@@ -1,0 +1,203 @@
+//! Planar geometry for placement, clustering and routing.
+//!
+//! Coordinates are in microns ([`crate::units::Micron`] semantics) but stored
+//! as plain `f64` inside [`Point`]/[`Rect`]; the wrapper types would add
+//! noise to the heavy inner loops of the placer and router, so the micron
+//! convention is applied at the API boundary instead.
+
+use std::fmt;
+
+/// A point on the die, in microns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance — the routing metric used throughout.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance, used only for reporting.
+    #[inline]
+    pub fn euclid(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Component-wise midpoint.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle (µm), `lo` inclusive, `hi` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners; the corners are normalised so
+    /// that `lo` is component-wise ≤ `hi`.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    pub fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Smallest rectangle covering every point in the iterator.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r.expand(p);
+        }
+        Some(r)
+    }
+
+    /// Grows the rectangle to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// Width (µm).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (µm).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Half-perimeter, the classic HPWL contribution of one net.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Area (µm²).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// True when the two rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_vs_euclid() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert!((a.euclid(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_normalises_corners() {
+        let r = Rect::new(Point::new(5.0, 1.0), Point::new(1.0, 6.0));
+        assert_eq!(r.lo, Point::new(1.0, 1.0));
+        assert_eq!(r.hi, Point::new(5.0, 6.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 5.0);
+        assert_eq!(r.half_perimeter(), 9.0);
+        assert_eq!(r.area(), 20.0);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            Point::new(2.0, 3.0),
+            Point::new(-1.0, 0.5),
+            Point::new(4.0, 1.0),
+        ];
+        let r = Rect::bounding(pts).expect("non-empty");
+        assert_eq!(r.lo, Point::new(-1.0, 0.5));
+        assert_eq!(r.hi, Point::new(4.0, 3.0));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(!r.contains(Point::new(2.1, 1.0)));
+        let s = Rect::new(Point::new(1.5, 1.5), Point::new(3.0, 3.0));
+        let t = Rect::new(Point::new(2.5, 2.5), Point::new(3.0, 3.0));
+        assert!(r.intersects(&s));
+        assert!(!r.intersects(&t));
+    }
+
+    #[test]
+    fn center_and_midpoint() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        assert_eq!(r.center(), Point::new(2.0, 1.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! # smt-base
+//!
+//! Foundation types shared by every crate in the Selective-MT reproduction:
+//! physical [`units`], planar [`geom`]etry, a small deterministic
+//! [`rng`], and plain-text [`report`] tables used by the experiment
+//! harness.
+//!
+//! The whole workspace uses one consistent unit system, chosen so that
+//! Elmore products come out directly in picoseconds:
+//!
+//! | Quantity    | Unit | Type        |
+//! |-------------|------|-------------|
+//! | time        | ps   | [`Time`]    |
+//! | capacitance | fF   | [`Cap`]     |
+//! | resistance  | kΩ   | [`Res`]     |
+//! | power       | nW   | [`Power`]   |
+//! | current     | µA   | [`Current`] |
+//! | voltage     | V    | [`Volt`]    |
+//! | distance    | µm   | [`Micron`]  |
+//! | area        | µm²  | [`Area`]    |
+//!
+//! `1 kΩ × 1 fF = 1 ps`, so `Res * Cap -> Time` is implemented as a real
+//! operator.
+//!
+//! ```
+//! use smt_base::units::{Cap, Res};
+//! let delay = Res::new(2.0) * Cap::new(10.0); // 2 kΩ into 10 fF
+//! assert_eq!(delay.ps(), 20.0);
+//! ```
+
+pub mod geom;
+pub mod report;
+pub mod rng;
+pub mod units;
+
+pub use geom::{Point, Rect};
+pub use rng::SplitMix64;
+pub use units::{Area, Cap, Current, Micron, Power, Res, Time, Volt};

@@ -1,0 +1,341 @@
+//! Newtype physical units used across the workspace.
+//!
+//! All quantities wrap `f64` and implement the arithmetic that is physically
+//! meaningful (adding two capacitances, scaling a resistance, multiplying a
+//! resistance by a capacitance to obtain a time, ...). Anything outside that
+//! algebra requires an explicit `.value()` escape hatch, which keeps unit
+//! mistakes loud at the boundaries where they matter (Elmore delay, IR drop,
+//! leakage summation).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $unit:expr, $getter:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw value expressed in the canonical unit.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            /// Raw value in the canonical unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Raw value in the canonical unit (named accessor, e.g. `.ps()`).
+            #[inline]
+            pub const fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Larger of two quantities (total order on non-NaN values).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// True when the wrapped value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Time in picoseconds.
+    Time, "ps", ps
+);
+unit!(
+    /// Capacitance in femtofarads.
+    Cap, "fF", ff
+);
+unit!(
+    /// Resistance in kiloohms.
+    Res, "kOhm", kohm
+);
+unit!(
+    /// Power in nanowatts.
+    Power, "nW", nw
+);
+unit!(
+    /// Current in microamperes.
+    Current, "uA", ua
+);
+unit!(
+    /// Voltage in volts.
+    Volt, "V", volts
+);
+unit!(
+    /// Distance in micrometres.
+    Micron, "um", um
+);
+unit!(
+    /// Area in square micrometres.
+    Area, "um^2", um2
+);
+
+impl Mul<Cap> for Res {
+    type Output = Time;
+    /// Elmore product: kΩ · fF = ps.
+    #[inline]
+    fn mul(self, rhs: Cap) -> Time {
+        Time::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Res> for Cap {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Res) -> Time {
+        rhs * self
+    }
+}
+
+impl Mul<Res> for Current {
+    type Output = Volt;
+    /// IR drop: µA · kΩ = mV, scaled to volts.
+    #[inline]
+    fn mul(self, rhs: Res) -> Volt {
+        Volt::new(self.value() * rhs.value() * 1e-3)
+    }
+}
+
+impl Mul<Current> for Res {
+    type Output = Volt;
+    #[inline]
+    fn mul(self, rhs: Current) -> Volt {
+        rhs * self
+    }
+}
+
+impl Mul<Volt> for Current {
+    type Output = Power;
+    /// µA · V = µW = 1000 nW.
+    #[inline]
+    fn mul(self, rhs: Volt) -> Power {
+        Power::new(self.value() * rhs.value() * 1e3)
+    }
+}
+
+impl Mul<Current> for Volt {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Current) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Micron> for Micron {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Micron) -> Area {
+        Area::new(self.value() * rhs.value())
+    }
+}
+
+impl Volt {
+    /// IR drop expressed in millivolts (the unit the bounce limits are quoted in).
+    #[inline]
+    pub fn millivolts(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Constructs a voltage from a millivolt figure.
+    #[inline]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+}
+
+impl Time {
+    /// Time in nanoseconds.
+    #[inline]
+    pub fn ns(self) -> f64 {
+        self.value() * 1e-3
+    }
+
+    /// Constructs a time from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Self::new(ns * 1e3)
+    }
+}
+
+impl Power {
+    /// Power in microwatts.
+    #[inline]
+    pub fn uw(self) -> f64 {
+        self.value() * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elmore_product_units() {
+        let t = Res::new(1.5) * Cap::new(4.0);
+        assert_eq!(t, Time::new(6.0));
+        let t2 = Cap::new(4.0) * Res::new(1.5);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn ir_drop_units() {
+        // 100 µA through 1 kΩ is 100 mV.
+        let v = Current::new(100.0) * Res::new(1.0);
+        assert!((v.millivolts() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_units() {
+        // 1 µA at 1.2 V = 1.2 µW = 1200 nW.
+        let p = Current::new(1.0) * Volt::new(1.2);
+        assert!((p.nw() - 1200.0).abs() < 1e-9);
+        assert!((p.uw() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_order() {
+        let a = Time::new(3.0);
+        let b = Time::new(5.0);
+        assert_eq!(a + b, Time::new(8.0));
+        assert_eq!(b - a, Time::new(2.0));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-a).abs(), a);
+        assert_eq!(b / a, 5.0 / 3.0);
+        assert_eq!(a * 2.0, Time::new(6.0));
+        assert_eq!(2.0 * a, Time::new(6.0));
+        assert_eq!(a / 2.0, Time::new(1.5));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cap = (1..=4).map(|i| Cap::new(i as f64)).sum();
+        assert_eq!(total, Cap::new(10.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Time::new(1.0)), "1.0000 ps");
+        assert_eq!(format!("{}", Area::new(2.5)), "2.5000 um^2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Time::from_ns(1.0), Time::new(1000.0));
+        assert!((Time::new(1500.0).ns() - 1.5).abs() < 1e-12);
+        assert_eq!(Volt::from_millivolts(50.0), Volt::new(0.05));
+    }
+
+    #[test]
+    fn micron_squared_is_area() {
+        assert_eq!(Micron::new(2.0) * Micron::new(3.0), Area::new(6.0));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert_eq!(Cap::default(), Cap::ZERO);
+    }
+}

@@ -1,0 +1,186 @@
+//! Criterion benchmarks for the substrate algorithms: synthesis, placement,
+//! routing, STA and switch clustering, at two design sizes each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_cells::library::Library;
+use smt_circuits::gen::{random_logic, RandomLogicConfig};
+use smt_circuits::rtl::{circuit_a_rtl_lanes, circuit_b_rtl};
+use smt_core::cluster::{construct_switch_structure, ClusterConfig};
+use smt_core::smtgen::{insert_output_holders, to_improved_mt_cells};
+use smt_place::{place, PlacerConfig};
+use smt_route::{route_global, Parasitics, RouteConfig};
+use smt_sta::{analyze, Derating, StaConfig};
+use smt_synth::{synthesize, SynthOptions};
+
+fn bench_synth(c: &mut Criterion) {
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("synth");
+    g.sample_size(10);
+    for (name, rtl) in [
+        ("circuit_b", circuit_b_rtl()),
+        ("circuit_a_4x4", circuit_a_rtl_lanes(4, 1)),
+        ("circuit_a_8x8x2", circuit_a_rtl_lanes(8, 2)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &rtl, |b, rtl| {
+            b.iter(|| synthesize(rtl, &lib, &SynthOptions::default()).expect("synthesizes"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_place(c: &mut Criterion) {
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("place");
+    g.sample_size(10);
+    for gates in [300usize, 1000] {
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                ..RandomLogicConfig::default()
+            },
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
+            b.iter(|| place(n, &lib, &PlacerConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("route");
+    g.sample_size(10);
+    for gates in [300usize, 1000] {
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, p), |b, (n, p)| {
+            b.iter(|| route_global(n, &lib, p, &RouteConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("sta");
+    for gates in [300usize, 1000, 3000] {
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, par), |b, (n, par)| {
+            b.iter(|| {
+                analyze(n, &lib, par, &StaConfig::default(), &Derating::none())
+                    .expect("acyclic")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    for gates in [300usize, 1000] {
+        let mut n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                ..RandomLogicConfig::default()
+            },
+        );
+        to_improved_mt_cells(&mut n, &lib);
+        insert_output_holders(&mut n, &lib);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, p), |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |(mut n, mut p)| {
+                    construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_sta(c: &mut Criterion) {
+    use smt_cells::cell::VthClass;
+    use smt_sta::IncrementalSta;
+    let lib = Library::industrial_130nm();
+    let mut g = c.benchmark_group("sta_incremental");
+    for gates in [1000usize, 3000] {
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+        // One representative swap target: a mid-design logic cell.
+        let target = n
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_logic())
+            .map(|(id, _)| id)
+            .nth(gates / 2)
+            .expect("logic cell");
+        g.bench_with_input(
+            BenchmarkId::new("one_swap_update", gates),
+            &(n.clone(), target),
+            |b, (n, target)| {
+                let mut n = n.clone();
+                let mut inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
+                b.iter(|| {
+                    // Toggle L<->H and re-time incrementally.
+                    let cur = lib.cell(n.inst(*target).cell);
+                    let want = if cur.vth == VthClass::Low {
+                        VthClass::High
+                    } else {
+                        VthClass::Low
+                    };
+                    let v = lib.variant_id(n.inst(*target).cell, want).unwrap();
+                    n.replace_cell(*target, v, &lib).unwrap();
+                    inc.update_after_swap(&n, &lib, &par, &der, *target);
+                    inc.wns()
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_reanalysis", gates),
+            &n,
+            |b, n| {
+                b.iter(|| analyze(n, &lib, &par, &cfg, &der).unwrap().wns);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synth,
+    bench_place,
+    bench_route,
+    bench_sta,
+    bench_incremental_sta,
+    bench_cluster
+);
+criterion_main!(benches);

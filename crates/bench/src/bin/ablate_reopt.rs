@@ -1,0 +1,55 @@
+//! Ablation A3: value of the post-route switch re-optimization.
+//!
+//! The paper motivates re-optimization by the error between placement-
+//! estimated and extracted wire RC. This ablation measures that error on
+//! the VGND nets and shows what the re-optimizer does about it: bounce
+//! violations fixed (upsizes) and area recovered (downsizes).
+//!
+//! ```text
+//! cargo run --release -p smt-bench --bin ablate_reopt
+//! ```
+
+use smt_base::report::Table;
+use smt_cells::library::Library;
+use smt_circuits::rtl::{circuit_a_rtl, circuit_b_rtl};
+use smt_core::flow::{run_flow, FlowConfig, Technique};
+
+fn main() {
+    let lib = Library::industrial_130nm();
+    let mut t = Table::new(
+        "A3: post-route switch re-optimization (improved SMT)",
+        &[
+            "circuit", "upsized", "downsized", "width delta um", "unresolved",
+            "final wns ps", "standby uA",
+        ],
+    );
+    for (name, rtl, margin, frac) in [
+        ("A", circuit_a_rtl(), 1.22, 0.60),
+        ("B", circuit_b_rtl(), 1.30, 0.74),
+    ] {
+        let mut cfg = FlowConfig {
+            technique: Technique::ImprovedSmt,
+            period_margin: margin,
+            ..FlowConfig::default()
+        };
+        cfg.dualvth.max_high_fraction = Some(frac);
+        let r = run_flow(&rtl, &lib, &cfg).expect("flow succeeds");
+        let re = r.reopt.expect("improved flow re-optimizes");
+        t.row_owned(vec![
+            name.to_owned(),
+            format!("{}", re.upsized),
+            format!("{}", re.downsized),
+            format!("{:+.1}", re.width_delta_um),
+            format!("{}", re.unresolved),
+            format!("{:.1}", r.timing.wns.ps()),
+            format!("{:.5}", r.standby_leakage.ua()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: estimates are conservative for clustered VGND nets\n\
+         (short, local), so the dominant action is downsizing — the paper's\n\
+         'adjusted, so that the voltage bounce ... may not exceed the upper\n\
+         limit' with area recovered where routing came in shorter."
+    );
+}

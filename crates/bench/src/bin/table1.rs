@@ -1,0 +1,55 @@
+//! Regenerates the paper's Table 1: area and standby leakage of
+//! Dual-Vth / conventional SMT / improved SMT on circuits A and B,
+//! normalised to the Dual-Vth baseline, printed next to the paper's
+//! reference numbers.
+//!
+//! ```text
+//! cargo run --release -p smt-bench --bin table1
+//! ```
+
+use smt_bench::{check_table1_shape, render_table1, table1};
+use smt_cells::library::Library;
+
+fn main() {
+    let lib = Library::industrial_130nm();
+    eprintln!("running 2 circuits x 3 techniques (release mode recommended)...");
+    let rows = table1(&lib);
+    let table = render_table1(&rows);
+    println!("{table}");
+    println!("CSV:\n{}", table.to_csv());
+
+    for row in &rows {
+        println!("-- circuit {}: absolute numbers --", row.name);
+        for r in &row.results {
+            let tech = match (r.census.mt_embedded > 0, r.census.mt_vgnd > 0) {
+                (true, _) => "Con.-SMT",
+                (_, true) => "Imp.-SMT",
+                _ => "Dual-Vth",
+            };
+            println!(
+                "  {:9}  area {:>10.1} um^2   standby {:>9.5} uA   wns {:>9.2} ps   cells {} (low {}, high {}, MT {}, switches {}, holders {})",
+                tech,
+                r.area.um2(),
+                r.standby_leakage.ua(),
+                r.timing.wns.ps(),
+                r.census.total(),
+                r.census.low,
+                r.census.high,
+                r.census.mt_embedded + r.census.mt_vgnd,
+                r.census.switches,
+                r.census.holders,
+            );
+        }
+    }
+
+    let violations = check_table1_shape(&rows);
+    if violations.is_empty() {
+        println!("\nshape check: PASS — all qualitative Table 1 claims reproduced");
+    } else {
+        println!("\nshape check: FAIL");
+        for v in violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

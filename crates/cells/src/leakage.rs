@@ -1,0 +1,266 @@
+//! State-dependent subthreshold leakage of CMOS gates.
+//!
+//! A gate's standby leakage depends on which of its transistor stacks are
+//! off, which in turn depends on the input state — the *stack effect* gives
+//! up to ~5× difference between the best and worst input vector of a NAND.
+//! We model each gate's pull-up and pull-down networks as a set of
+//! series paths ([`PullNetwork`]) and evaluate, for every input state, the
+//! sum over non-conducting paths of the stack-attenuated subthreshold
+//! current.
+//!
+//! This is the model that produces the paper's Table 1 leakage column:
+//! low-Vth paths leak ~100× more than high-Vth ones, and an off high-Vth
+//! footer switch in series collapses the leakage of an entire MT cluster.
+
+use crate::tech::Technology;
+use smt_base::units::{Current, Volt};
+
+/// One transistor in a series path: which input drives its gate, and its
+/// width relative to the cell's unit width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Index of the controlling input pin.
+    pub input: usize,
+    /// Width as a multiple of the cell's unit NMOS/PMOS width.
+    pub width_factor: f64,
+}
+
+impl Device {
+    /// Convenience constructor with unit width.
+    pub const fn new(input: usize) -> Self {
+        Device {
+            input,
+            width_factor: 1.0,
+        }
+    }
+}
+
+/// A pull-up or pull-down network expressed as parallel series-paths from
+/// the output node to the rail.
+///
+/// NAND2 pull-down is one path `[A, B]`; its pull-up is two paths
+/// `[A]`, `[B]`. This series-path form is exact for the series-parallel
+/// gates in the library and a good approximation for the complex gates
+/// (AOI/OAI/XOR).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PullNetwork {
+    /// Each inner vector is one series path of devices.
+    pub paths: Vec<Vec<Device>>,
+}
+
+impl PullNetwork {
+    /// Builds a network from input-index paths, all devices at unit width.
+    pub fn from_paths(paths: &[&[usize]]) -> Self {
+        PullNetwork {
+            paths: paths
+                .iter()
+                .map(|p| p.iter().copied().map(Device::new).collect())
+                .collect(),
+        }
+    }
+
+    /// Total device width in the network (multiples of unit width) — used
+    /// for area and input-capacitance bookkeeping.
+    pub fn total_width(&self) -> f64 {
+        self.paths
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|d| d.width_factor)
+            .sum()
+    }
+
+    /// Leakage through this network for one input `state`, assuming the
+    /// network is the *off* (non-conducting) side.
+    ///
+    /// `device_off` decides whether a device is off given its input bit:
+    /// NMOS is off when the bit is 0, PMOS when it is 1.
+    fn state_leak(
+        &self,
+        tech: &Technology,
+        vth: Volt,
+        unit_width_um: f64,
+        state: u32,
+        device_off: impl Fn(bool) -> bool,
+    ) -> Current {
+        let mut total = Current::ZERO;
+        for path in &self.paths {
+            let mut off = 0u32;
+            let mut min_w = f64::INFINITY;
+            for d in path {
+                let bit = (state >> d.input) & 1 == 1;
+                if device_off(bit) {
+                    off += 1;
+                    min_w = min_w.min(d.width_factor * unit_width_um);
+                }
+            }
+            if off > 0 {
+                total += tech.subthreshold_leak(min_w, vth, off);
+            }
+            // A path with zero off devices conducts; it belongs to the on
+            // network for this state and contributes no subthreshold leak.
+        }
+        total
+    }
+}
+
+/// Per-state leakage table of a static CMOS gate.
+///
+/// `per_state[s]` is the leakage with input vector `s` applied
+/// (bit *i* of `s` = logic level of input *i*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageTable {
+    /// Leakage per input state.
+    pub per_state: Vec<Current>,
+}
+
+impl LeakageTable {
+    /// Evaluates the leakage of a gate for every input state.
+    ///
+    /// * `n_inputs` — number of logic inputs (≤ 8);
+    /// * `output_of` — the gate's logic function;
+    /// * `pull_down` / `pull_up` — transistor networks;
+    /// * `wn_um` / `wp_um` — unit NMOS / PMOS widths.
+    ///
+    /// When the output is 1 the pull-down network is off and leaks; when 0,
+    /// the pull-up network leaks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs > 8` (library gates never exceed 4 inputs).
+    pub fn evaluate(
+        tech: &Technology,
+        vth: Volt,
+        n_inputs: usize,
+        output_of: impl Fn(u32) -> bool,
+        pull_down: &PullNetwork,
+        pull_up: &PullNetwork,
+        wn_um: f64,
+        wp_um: f64,
+    ) -> Self {
+        assert!(n_inputs <= 8, "gates are limited to 8 inputs");
+        let states = 1u32 << n_inputs;
+        let mut per_state = Vec::with_capacity(states as usize);
+        for s in 0..states {
+            let leak = if output_of(s) {
+                // Output high: pull-down (NMOS, off when gate bit = 0) leaks.
+                pull_down.state_leak(tech, vth, wn_um, s, |bit| !bit)
+            } else {
+                // Output low: pull-up (PMOS, off when gate bit = 1) leaks.
+                pull_up.state_leak(tech, vth, wp_um, s, |bit| bit)
+            };
+            per_state.push(leak);
+        }
+        LeakageTable { per_state }
+    }
+
+    /// Constant leakage regardless of state (used for sequential cells and
+    /// special cells where we model an averaged figure).
+    pub fn constant(n_inputs: usize, value: Current) -> Self {
+        LeakageTable {
+            per_state: vec![value; 1 << n_inputs],
+        }
+    }
+
+    /// Leakage for a specific state, clamped into range.
+    pub fn state(&self, s: u32) -> Current {
+        self.per_state[(s as usize) % self.per_state.len()]
+    }
+
+    /// Mean leakage over all states (equal state probabilities).
+    pub fn mean(&self) -> Current {
+        if self.per_state.is_empty() {
+            return Current::ZERO;
+        }
+        self.per_state.iter().copied().sum::<Current>() / self.per_state.len() as f64
+    }
+
+    /// Worst-case (maximum) leakage over states.
+    pub fn worst(&self) -> Current {
+        self.per_state
+            .iter()
+            .copied()
+            .fold(Current::ZERO, Current::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::industrial_130nm()
+    }
+
+    /// NAND2: pull-down one series path [0,1]; pull-up parallel [0], [1].
+    fn nand2_networks() -> (PullNetwork, PullNetwork) {
+        (
+            PullNetwork::from_paths(&[&[0, 1]]),
+            PullNetwork::from_paths(&[&[0], &[1]]),
+        )
+    }
+
+    fn nand2_table(vth: Volt) -> LeakageTable {
+        let t = tech();
+        let (pd, pu) = nand2_networks();
+        LeakageTable::evaluate(&t, vth, 2, |s| s & 0b11 != 0b11, &pd, &pu, 1.0, 2.0)
+    }
+
+    #[test]
+    fn nand2_state_dependence_shows_stack_effect() {
+        let t = tech();
+        let table = nand2_table(t.vth_low);
+        // state 00: both NMOS off in series -> strongest stack effect.
+        // state 01/10: one NMOS off -> single-device leak.
+        // state 11: output low, both PMOS off in parallel.
+        let s00 = table.state(0b00);
+        let s01 = table.state(0b01);
+        let s11 = table.state(0b11);
+        assert!(s00 < s01, "two-off stack must leak less than one-off");
+        assert!(s01 < s11, "parallel PMOS pair leaks most");
+    }
+
+    #[test]
+    fn mean_and_worst_are_consistent() {
+        let t = tech();
+        let table = nand2_table(t.vth_low);
+        assert!(table.mean() <= table.worst());
+        assert!(table.mean() > Current::ZERO);
+        assert_eq!(table.per_state.len(), 4);
+    }
+
+    #[test]
+    fn high_vth_table_is_two_orders_lower() {
+        let t = tech();
+        let low = nand2_table(t.vth_low);
+        let high = nand2_table(t.vth_high);
+        let ratio = low.mean().ua() / high.mean().ua();
+        assert!((ratio - t.leak_ratio_low_over_high()).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn inverter_leaks_on_both_states() {
+        let t = tech();
+        let pd = PullNetwork::from_paths(&[&[0]]);
+        let pu = PullNetwork::from_paths(&[&[0]]);
+        let table = LeakageTable::evaluate(&t, t.vth_low, 1, |s| s & 1 == 0, &pd, &pu, 1.0, 2.0);
+        assert!(table.state(0) > Current::ZERO); // out=1, NMOS off
+        assert!(table.state(1) > Current::ZERO); // out=0, PMOS off
+        // PMOS is twice as wide here, so state 1 leaks more.
+        assert!(table.state(1) > table.state(0));
+    }
+
+    #[test]
+    fn constant_table() {
+        let c = LeakageTable::constant(2, Current::new(0.5));
+        assert_eq!(c.per_state.len(), 4);
+        assert_eq!(c.mean(), Current::new(0.5));
+        assert_eq!(c.worst(), Current::new(0.5));
+    }
+
+    #[test]
+    fn total_width_counts_devices() {
+        let (pd, pu) = nand2_networks();
+        assert_eq!(pd.total_width(), 2.0);
+        assert_eq!(pu.total_width(), 2.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # smt-cells
+//!
+//! Technology and standard-cell library modelling for the Selective-MT
+//! reproduction.
+//!
+//! The DATE'05 paper evaluates three techniques that differ *only* in which
+//! library variants are instantiated and how the footer switches are shared:
+//!
+//! * plain **low-Vth** and **high-Vth** cells (Dual-Vth, ref \[1\]),
+//! * the **conventional MT-cell** of Fig. 1(a): low-Vth logic with an
+//!   *embedded*, per-cell high-Vth footer switch and output holder
+//!   (ref \[2\], Usami et al.),
+//! * the **improved MT-cell** of Fig. 1(b): low-Vth logic with only a
+//!   **VGND port**; the switch transistor and output holder become separate
+//!   library cells shared between many MT-cells (this paper).
+//!
+//! This crate provides:
+//!
+//! * [`tech::Technology`] — the process parameters (VDD, both thresholds,
+//!   subthreshold slope, wire RC, ...) every model derives from;
+//! * [`leakage`] — the analytic subthreshold-leakage model with stack
+//!   effect, the lever behind every number in the paper's Table 1;
+//! * [`cell`] / [`library`] — the cell model (pins, timing arcs,
+//!   state-dependent leakage, MT metadata) and the generated
+//!   [`library::Library::industrial_130nm`] library with all four Vth
+//!   variants of every logic function;
+//! * [`liberty`] — a Liberty-lite text format (writer + parser, round-trip
+//!   tested) so libraries can be inspected and exchanged;
+//! * [`schematic`] — transistor-level decomposition of the MT-cell
+//!   variants, used to regenerate Fig. 1.
+//!
+//! ```
+//! use smt_cells::library::Library;
+//! use smt_cells::cell::VthClass;
+//!
+//! let lib = Library::industrial_130nm();
+//! let nand_low = lib.find("ND2_X1_L").expect("generated");
+//! let nand_mt = lib
+//!     .variant_of(nand_low, VthClass::MtVgnd)
+//!     .expect("MT variant exists");
+//! // The improved MT-cell is only slightly larger than the plain cell...
+//! assert!(nand_mt.area.um2() < 1.5 * nand_low.area.um2());
+//! // ...while the conventional MT-cell pays for its embedded switch.
+//! let nand_conv = lib.variant_of(nand_low, VthClass::MtEmbedded).unwrap();
+//! assert!(nand_conv.area.um2() > 2.0 * nand_low.area.um2());
+//! ```
+
+pub mod cell;
+pub mod leakage;
+pub mod liberty;
+pub mod library;
+pub mod schematic;
+pub mod tech;
+
+pub use cell::{Cell, CellId, CellKind, CellRole, PinDir, PinSpec, TimingArc, VthClass};
+pub use library::Library;
+pub use tech::Technology;

@@ -1,0 +1,567 @@
+//! Liberty-lite: a compact, Liberty-flavoured text format for cell
+//! libraries, with a writer and a parser that round-trip.
+//!
+//! Real Liberty is a large grammar; this subset keeps the parts the flow
+//! consumes — pin directions and caps, the linear timing model, per-state
+//! leakage, area, Vth class and MTCMOS attributes — in a syntax close
+//! enough that anyone who has read a `.lib` feels at home:
+//!
+//! ```text
+//! library (smt130lp) {
+//!   cell (ND2_X1_MV) {
+//!     area : 15.0000;
+//!     vth_class : mt_vgnd;
+//!     kind : ND2; drive : 1;
+//!     pin (A) { direction : input; capacitance : 3.6000; }
+//!     pin (Z) { direction : output; }
+//!     timing (A -> Z) { intrinsic : 10.4; slew_coeff : 0.15; drive_res : 4.2; ... }
+//!     leakage_state (0) : 0.0123;
+//!   }
+//! }
+//! ```
+//!
+//! The parser reconstructs a [`Library`] *shell*: all cells with their
+//! electrical data, paired with the [`Technology`] supplied by the caller
+//! (Liberty files do not carry process physics).
+
+use crate::cell::{
+    Cell, CellKind, CellRole, MtInfo, PinDir, PinSpec, SwitchSpec, TimingArc, TruthTable, VthClass,
+};
+use crate::leakage::LeakageTable;
+use crate::library::{Library, LibraryConfig};
+use crate::tech::Technology;
+use smt_base::units::{Area, Cap, Current, Res, Time};
+use std::fmt::Write as _;
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseLibertyError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "liberty-lite parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLibertyError {}
+
+fn vth_keyword(v: VthClass) -> &'static str {
+    match v {
+        VthClass::Low => "low",
+        VthClass::High => "high",
+        VthClass::MtEmbedded => "mt_embedded",
+        VthClass::MtVgnd => "mt_vgnd",
+    }
+}
+
+fn vth_from_keyword(s: &str) -> Option<VthClass> {
+    Some(match s {
+        "low" => VthClass::Low,
+        "high" => VthClass::High,
+        "mt_embedded" => VthClass::MtEmbedded,
+        "mt_vgnd" => VthClass::MtVgnd,
+        _ => return None,
+    })
+}
+
+fn role_keyword(r: CellRole) -> &'static str {
+    match r {
+        CellRole::Logic => "logic",
+        CellRole::Sequential => "sequential",
+        CellRole::ClockBuf => "clock_buf",
+        CellRole::Switch => "switch",
+        CellRole::Holder => "holder",
+    }
+}
+
+fn role_from_keyword(s: &str) -> Option<CellRole> {
+    Some(match s {
+        "logic" => CellRole::Logic,
+        "sequential" => CellRole::Sequential,
+        "clock_buf" => CellRole::ClockBuf,
+        "switch" => CellRole::Switch,
+        "holder" => CellRole::Holder,
+        _ => return None,
+    })
+}
+
+fn kind_from_keyword(s: &str) -> Option<CellKind> {
+    use CellKind::*;
+    Some(match s {
+        "INV" => Inv,
+        "BUF" => Buf,
+        "ND2" => Nand2,
+        "ND3" => Nand3,
+        "ND4" => Nand4,
+        "NR2" => Nor2,
+        "NR3" => Nor3,
+        "AN2" => And2,
+        "OR2" => Or2,
+        "XOR2" => Xor2,
+        "XNR2" => Xnor2,
+        "AOI21" => Aoi21,
+        "OAI21" => Oai21,
+        "AOI22" => Aoi22,
+        "OAI22" => Oai22,
+        "MUX2" => Mux2,
+        "DFF" => Dff,
+        "CKBUF" => ClkBuf,
+        "SW" => Switch,
+        "HOLD" => Holder,
+        _ => return None,
+    })
+}
+
+/// Serialises a library to Liberty-lite text.
+pub fn write(lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.tech.name);
+    for cell in lib.cells() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {:.4};", cell.area.um2());
+        let _ = writeln!(out, "    kind : {};", cell.kind.base_name());
+        let _ = writeln!(out, "    drive : {};", cell.drive);
+        let _ = writeln!(out, "    vth_class : {};", vth_keyword(cell.vth));
+        let _ = writeln!(out, "    role : {};", role_keyword(cell.role));
+        let _ = writeln!(out, "    nmos_width : {:.4};", cell.nmos_width_um);
+        let _ = writeln!(out, "    standby_leakage : {:.9};", cell.standby_leak.ua());
+        if cell.setup != Time::ZERO || cell.hold != Time::ZERO {
+            let _ = writeln!(out, "    setup : {:.4};", cell.setup.ps());
+            let _ = writeln!(out, "    hold : {:.4};", cell.hold.ps());
+        }
+        if let Some(tt) = cell.function {
+            let _ = writeln!(out, "    function_bits : {} {};", tt.n_inputs, tt.bits);
+        }
+        if let Some(mt) = cell.mt {
+            let _ = writeln!(
+                out,
+                "    mt_info : {:.4} {:.4};",
+                mt.embedded_switch_width_um,
+                mt.peak_current.ua()
+            );
+        }
+        if let Some(sw) = cell.switch {
+            let _ = writeln!(
+                out,
+                "    switch_spec : {:.4} {:.6} {:.9} {:.4};",
+                sw.width_um,
+                sw.on_res.kohm(),
+                sw.off_leak.ua(),
+                sw.max_current.ua()
+            );
+        }
+        for pin in &cell.pins {
+            let dir = match pin.dir {
+                PinDir::Input => "input",
+                PinDir::Output => "output",
+            };
+            let mut attrs = format!("direction : {};", dir);
+            if pin.dir == PinDir::Input {
+                let _ = write!(attrs, " capacitance : {:.4};", pin.cap.ff());
+            }
+            if pin.is_clock {
+                attrs.push_str(" clock : true;");
+            }
+            if pin.is_vgnd {
+                attrs.push_str(" vgnd : true;");
+            }
+            let _ = writeln!(out, "    pin ({}) {{ {} }}", pin.name, attrs);
+        }
+        for arc in &cell.arcs {
+            let _ = writeln!(
+                out,
+                "    timing ({} -> {}) {{ intrinsic : {:.4}; slew_coeff : {:.4}; drive_res : {:.6}; slew_intrinsic : {:.4}; slew_res : {:.6}; }}",
+                cell.pins[arc.from_pin].name,
+                cell.pins[arc.to_pin].name,
+                arc.intrinsic.ps(),
+                arc.slew_coeff,
+                arc.drive_res.kohm(),
+                arc.slew_intrinsic.ps(),
+                arc.slew_res.kohm(),
+            );
+        }
+        for (s, leak) in cell.leakage.per_state.iter().enumerate() {
+            let _ = writeln!(out, "    leakage_state ({}) : {:.9};", s, leak.ua());
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Tokenised line-oriented parser state.
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let item = self.peek();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    fn err(line: usize, msg: impl Into<String>) -> ParseLibertyError {
+        ParseLibertyError {
+            line,
+            message: msg.into(),
+        }
+    }
+}
+
+fn attr_value<'a>(line: &'a str) -> Option<(&'a str, &'a str)> {
+    let body = line.strip_suffix(';')?;
+    let (k, v) = body.split_once(':')?;
+    Some((k.trim(), v.trim()))
+}
+
+fn header_name<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (name, rest) = rest.split_once(')')?;
+    if rest.trim() == "{" {
+        Some(name.trim())
+    } else {
+        None
+    }
+}
+
+/// Parses Liberty-lite text into a [`Library`] using the given technology
+/// for process context.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] with a line number on malformed input,
+/// unknown keywords, or missing mandatory attributes.
+pub fn parse(text: &str, tech: Technology) -> Result<Library, ParseLibertyError> {
+    let mut p = Parser::new(text);
+    let (line, first) = p
+        .next()
+        .ok_or_else(|| Parser::err(0, "empty library text"))?;
+    if header_name(first, "library").is_none() {
+        return Err(Parser::err(line, "expected `library (<name>) {`"));
+    }
+    let mut cells = Vec::new();
+    loop {
+        let (line, l) = p
+            .peek()
+            .ok_or_else(|| Parser::err(usize::MAX, "unexpected end of file"))?;
+        if l == "}" {
+            p.next();
+            break;
+        }
+        if let Some(name) = header_name(l, "cell") {
+            p.next();
+            cells.push(parse_cell(&mut p, name, line)?);
+        } else {
+            return Err(Parser::err(line, format!("unexpected line `{l}`")));
+        }
+    }
+    Ok(Library::from_cells(tech, LibraryConfig::default(), cells))
+}
+
+fn parse_cell(p: &mut Parser<'_>, name: &str, at: usize) -> Result<Cell, ParseLibertyError> {
+    let mut cell = Cell {
+        name: name.to_owned(),
+        kind: CellKind::Inv,
+        drive: 1,
+        vth: VthClass::Low,
+        role: CellRole::Logic,
+        area: Area::ZERO,
+        pins: Vec::new(),
+        function: None,
+        arcs: Vec::new(),
+        leakage: LeakageTable { per_state: Vec::new() },
+        standby_leak: Current::ZERO,
+        setup: Time::ZERO,
+        hold: Time::ZERO,
+        mt: None,
+        switch: None,
+        nmos_width_um: 0.0,
+    };
+    let mut leak_states: Vec<(usize, Current)> = Vec::new();
+    loop {
+        let (line, l) = p
+            .next()
+            .ok_or_else(|| Parser::err(at, format!("cell {name}: unexpected end of file")))?;
+        if l == "}" {
+            break;
+        }
+        if let Some(pin_name) = l
+            .strip_prefix("pin")
+            .and_then(|r| r.trim_start().strip_prefix('('))
+            .and_then(|r| r.split_once(')'))
+            .map(|(n, _)| n.trim())
+        {
+            cell.pins.push(parse_pin(l, pin_name, line)?);
+            continue;
+        }
+        if l.starts_with("timing") {
+            cell.arcs.push(parse_timing(l, &cell, line)?);
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("leakage_state") {
+            let rest = rest.trim_start();
+            let (idx, val) = rest
+                .strip_prefix('(')
+                .and_then(|r| r.split_once(')'))
+                .ok_or_else(|| Parser::err(line, "malformed leakage_state"))?;
+            let idx: usize = idx
+                .trim()
+                .parse()
+                .map_err(|_| Parser::err(line, "bad leakage state index"))?;
+            let val = val
+                .trim()
+                .strip_prefix(':')
+                .map(str::trim)
+                .and_then(|v| v.strip_suffix(';'))
+                .ok_or_else(|| Parser::err(line, "malformed leakage_state value"))?;
+            let ua: f64 = val
+                .trim()
+                .parse()
+                .map_err(|_| Parser::err(line, "bad leakage value"))?;
+            leak_states.push((idx, Current::new(ua)));
+            continue;
+        }
+        let (k, v) = attr_value(l).ok_or_else(|| Parser::err(line, format!("bad attribute `{l}`")))?;
+        let numf = |v: &str| -> Result<f64, ParseLibertyError> {
+            v.parse().map_err(|_| Parser::err(line, format!("bad number `{v}`")))
+        };
+        match k {
+            "area" => cell.area = Area::new(numf(v)?),
+            "kind" => {
+                cell.kind = kind_from_keyword(v)
+                    .ok_or_else(|| Parser::err(line, format!("unknown kind `{v}`")))?
+            }
+            "drive" => {
+                cell.drive = v
+                    .parse()
+                    .map_err(|_| Parser::err(line, format!("bad drive `{v}`")))?
+            }
+            "vth_class" => {
+                cell.vth = vth_from_keyword(v)
+                    .ok_or_else(|| Parser::err(line, format!("unknown vth_class `{v}`")))?
+            }
+            "role" => {
+                cell.role = role_from_keyword(v)
+                    .ok_or_else(|| Parser::err(line, format!("unknown role `{v}`")))?
+            }
+            "nmos_width" => cell.nmos_width_um = numf(v)?,
+            "standby_leakage" => cell.standby_leak = Current::new(numf(v)?),
+            "setup" => cell.setup = Time::new(numf(v)?),
+            "hold" => cell.hold = Time::new(numf(v)?),
+            "function_bits" => {
+                let mut it = v.split_whitespace();
+                let n: u8 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| Parser::err(line, "bad function_bits"))?;
+                let bits: u16 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| Parser::err(line, "bad function_bits"))?;
+                cell.function = Some(TruthTable { n_inputs: n, bits });
+            }
+            "mt_info" => {
+                let mut it = v.split_whitespace();
+                let w: f64 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| Parser::err(line, "bad mt_info"))?;
+                let i: f64 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| Parser::err(line, "bad mt_info"))?;
+                cell.mt = Some(MtInfo {
+                    embedded_switch_width_um: w,
+                    peak_current: Current::new(i),
+                });
+            }
+            "switch_spec" => {
+                let nums: Vec<f64> = v
+                    .split_whitespace()
+                    .map(|x| x.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| Parser::err(line, "bad switch_spec"))?;
+                if nums.len() != 4 {
+                    return Err(Parser::err(line, "switch_spec needs 4 numbers"));
+                }
+                cell.switch = Some(SwitchSpec {
+                    width_um: nums[0],
+                    on_res: Res::new(nums[1]),
+                    off_leak: Current::new(nums[2]),
+                    max_current: Current::new(nums[3]),
+                });
+            }
+            other => {
+                return Err(Parser::err(line, format!("unknown attribute `{other}`")));
+            }
+        }
+    }
+    let n = leak_states.len();
+    let mut per_state = vec![Current::ZERO; n];
+    for (idx, v) in leak_states {
+        if idx >= n {
+            return Err(Parser::err(at, format!("cell {name}: leakage state {idx} out of range")));
+        }
+        per_state[idx] = v;
+    }
+    cell.leakage = LeakageTable { per_state };
+    Ok(cell)
+}
+
+fn parse_pin(line_text: &str, name: &str, line: usize) -> Result<PinSpec, ParseLibertyError> {
+    let body = line_text
+        .split_once('{')
+        .map(|(_, b)| b)
+        .and_then(|b| b.rsplit_once('}'))
+        .map(|(b, _)| b)
+        .ok_or_else(|| Parser::err(line, "malformed pin body"))?;
+    let mut pin = PinSpec::input(name, Cap::ZERO);
+    for attr in body.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let (k, v) = attr
+            .split_once(':')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| Parser::err(line, format!("bad pin attribute `{attr}`")))?;
+        match k {
+            "direction" => {
+                pin.dir = match v {
+                    "input" => PinDir::Input,
+                    "output" => PinDir::Output,
+                    _ => return Err(Parser::err(line, format!("unknown direction `{v}`"))),
+                }
+            }
+            "capacitance" => {
+                pin.cap = Cap::new(
+                    v.parse()
+                        .map_err(|_| Parser::err(line, "bad capacitance"))?,
+                )
+            }
+            "clock" => pin.is_clock = v == "true",
+            "vgnd" => pin.is_vgnd = v == "true",
+            other => return Err(Parser::err(line, format!("unknown pin attribute `{other}`"))),
+        }
+    }
+    Ok(pin)
+}
+
+fn parse_timing(line_text: &str, cell: &Cell, line: usize) -> Result<TimingArc, ParseLibertyError> {
+    let header = line_text
+        .split_once('(')
+        .map(|(_, r)| r)
+        .and_then(|r| r.split_once(')'))
+        .map(|(h, _)| h)
+        .ok_or_else(|| Parser::err(line, "malformed timing header"))?;
+    let (from, to) = header
+        .split_once("->")
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| Parser::err(line, "timing header needs `A -> Z`"))?;
+    let from_pin = cell
+        .pin_index(from)
+        .ok_or_else(|| Parser::err(line, format!("unknown timing pin `{from}` (pins must precede timing)")))?;
+    let to_pin = cell
+        .pin_index(to)
+        .ok_or_else(|| Parser::err(line, format!("unknown timing pin `{to}`")))?;
+    let body = line_text
+        .split_once('{')
+        .map(|(_, b)| b)
+        .and_then(|b| b.rsplit_once('}'))
+        .map(|(b, _)| b)
+        .ok_or_else(|| Parser::err(line, "malformed timing body"))?;
+    let mut arc = TimingArc {
+        from_pin,
+        to_pin,
+        intrinsic: Time::ZERO,
+        slew_coeff: 0.0,
+        drive_res: Res::ZERO,
+        slew_intrinsic: Time::ZERO,
+        slew_res: Res::ZERO,
+    };
+    for attr in body.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let (k, v) = attr
+            .split_once(':')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| Parser::err(line, format!("bad timing attribute `{attr}`")))?;
+        let num: f64 = v
+            .parse()
+            .map_err(|_| Parser::err(line, format!("bad number `{v}`")))?;
+        match k {
+            "intrinsic" => arc.intrinsic = Time::new(num),
+            "slew_coeff" => arc.slew_coeff = num,
+            "drive_res" => arc.drive_res = Res::new(num),
+            "slew_intrinsic" => arc.slew_intrinsic = Time::new(num),
+            "slew_res" => arc.slew_res = Res::new(num),
+            other => return Err(Parser::err(line, format!("unknown timing attribute `{other}`"))),
+        }
+    }
+    Ok(arc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_library() {
+        let lib = Library::industrial_130nm();
+        let text = write(&lib);
+        let parsed = parse(&text, lib.tech.clone()).expect("roundtrip parse");
+        assert_eq!(lib.len(), parsed.len());
+        for (a, b) in lib.cells().iter().zip(parsed.cells()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.vth, b.vth);
+            assert_eq!(a.role, b.role);
+            assert_eq!(a.pins.len(), b.pins.len(), "cell {}", a.name);
+            assert_eq!(a.arcs.len(), b.arcs.len(), "cell {}", a.name);
+            assert_eq!(a.function, b.function, "cell {}", a.name);
+            assert!((a.area.um2() - b.area.um2()).abs() < 1e-3);
+            assert!((a.standby_leak.ua() - b.standby_leak.ua()).abs() < 1e-6);
+            assert_eq!(a.leakage.per_state.len(), b.leakage.per_state.len());
+        }
+        // Parsed library still answers variant queries.
+        let nand = parsed.find("ND2_X1_L").unwrap();
+        assert!(parsed.variant_of(nand, VthClass::MtVgnd).is_some());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let t = Technology::industrial_130nm();
+        assert!(parse("", t.clone()).is_err());
+        assert!(parse("library (x) {\n  bogus line\n}\n", t.clone()).is_err());
+        let bad_attr = "library (x) {\n  cell (C) {\n    nonsense : 1;\n  }\n}\n";
+        let err = parse(bad_attr, t).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("nonsense"));
+    }
+
+    #[test]
+    fn parse_reports_unknown_vth() {
+        let t = Technology::industrial_130nm();
+        let text = "library (x) {\n  cell (C) {\n    vth_class : medium;\n  }\n}\n";
+        let err = parse(text, t).unwrap_err();
+        assert!(err.message.contains("medium"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Transistor-level decomposition of the MT-cell variants — the data behind
+//! the paper's Fig. 1.
+//!
+//! Fig. 1(a): the conventional MT-cell. Low-Vth logic transistors, plus a
+//! high-Vth switch transistor between the logic's source node and real
+//! ground, gated by `MTE`, *inside* the cell.
+//!
+//! Fig. 1(b): the improved MT-cell. The same low-Vth logic, but the source
+//! node is exported as the `VGND` port; no switch inside the cell.
+//!
+//! [`mt_cell_schematic`] produces a [`Schematic`] for any logic cell in the
+//! library, which the `fig1_mtcell` binary renders as a transistor census
+//! and an ASCII diagram.
+
+use crate::cell::{Cell, VthClass};
+use crate::library::Library;
+use smt_base::units::Volt;
+
+/// Which rail/node a transistor terminal connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Supply.
+    Vdd,
+    /// Real ground.
+    Gnd,
+    /// Virtual ground (source node of the gated NMOS network).
+    Vgnd,
+    /// The cell output.
+    Out,
+    /// An internal stack node.
+    Internal(u8),
+}
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// One transistor of the schematic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transistor {
+    /// N or P.
+    pub mos: MosType,
+    /// Gate signal name (`A`, `B`, ..., or `MTE`).
+    pub gate: String,
+    /// Drain node.
+    pub drain: Node,
+    /// Source node.
+    pub source: Node,
+    /// Device width, µm.
+    pub width_um: f64,
+    /// Threshold voltage of the device.
+    pub vth: Volt,
+}
+
+/// Transistor-level view of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schematic {
+    /// Cell name this schematic was derived from.
+    pub cell_name: String,
+    /// All devices.
+    pub transistors: Vec<Transistor>,
+    /// True when the NMOS network's foot is exported as a VGND port
+    /// (improved MT-cell) rather than tied to ground or an embedded switch.
+    pub has_vgnd_port: bool,
+}
+
+impl Schematic {
+    /// Number of devices at each polarity: `(nmos, pmos)`.
+    pub fn device_counts(&self) -> (usize, usize) {
+        let n = self
+            .transistors
+            .iter()
+            .filter(|t| t.mos == MosType::Nmos)
+            .count();
+        (n, self.transistors.len() - n)
+    }
+
+    /// Total device width, µm.
+    pub fn total_width_um(&self) -> f64 {
+        self.transistors.iter().map(|t| t.width_um).sum()
+    }
+
+    /// Number of high-Vth devices (the embedded switch, if present).
+    pub fn high_vth_devices(&self, vth_high: Volt) -> usize {
+        self.transistors
+            .iter()
+            .filter(|t| (t.vth.volts() - vth_high.volts()).abs() < 1e-9)
+            .count()
+    }
+
+    /// Renders a compact ASCII sketch in the spirit of Fig. 1.
+    pub fn ascii_art(&self) -> String {
+        let (n, p) = self.device_counts();
+        let foot = if self.has_vgnd_port {
+            "          |\n        [VGND port] --> shared switch (separate cell)"
+        } else if self.transistors.iter().any(|t| t.gate == "MTE") {
+            "          |\n        [high-Vth switch, gate=MTE]\n          |\n         GND"
+        } else {
+            "          |\n         GND"
+        };
+        format!(
+            "VDD\n  [{p} PMOS pull-up]\n          |--- Z\n  [{n} NMOS pull-down]\n{foot}\n",
+        )
+    }
+}
+
+/// Derives the transistor-level schematic of a logic cell, honouring its
+/// Vth class (Fig. 1(a) for [`VthClass::MtEmbedded`], Fig. 1(b) for
+/// [`VthClass::MtVgnd`], plain footing otherwise).
+///
+/// The series/parallel topology is reconstructed from the cell's leakage
+/// pull networks in the library generator; here we enumerate one device per
+/// (input, network) pair, which matches the gate set in this library.
+pub fn mt_cell_schematic(lib: &Library, cell: &Cell) -> Schematic {
+    let t = &lib.tech;
+    let wn = cell.nmos_width_um / cell.kind.n_inputs().max(1) as f64;
+    let wp = wn * 2.0;
+    let logic_vth = match cell.vth {
+        VthClass::High => t.vth_high,
+        _ => t.vth_low,
+    };
+    let gated = cell.vth.is_mt();
+    let foot = if gated { Node::Vgnd } else { Node::Gnd };
+    let mut transistors = Vec::new();
+    let input_names: Vec<String> = cell
+        .logic_input_pins()
+        .iter()
+        .map(|&i| cell.pins[i].name.clone())
+        .collect();
+    for name in &input_names {
+        transistors.push(Transistor {
+            mos: MosType::Nmos,
+            gate: name.clone(),
+            drain: Node::Out,
+            source: foot,
+            width_um: wn,
+            vth: logic_vth,
+        });
+        transistors.push(Transistor {
+            mos: MosType::Pmos,
+            gate: name.clone(),
+            drain: Node::Vdd,
+            source: Node::Out,
+            width_um: wp,
+            vth: logic_vth,
+        });
+    }
+    let mut has_vgnd_port = false;
+    match cell.vth {
+        VthClass::MtEmbedded => {
+            let w = cell
+                .mt
+                .map(|m| m.embedded_switch_width_um)
+                .unwrap_or_default();
+            transistors.push(Transistor {
+                mos: MosType::Nmos,
+                gate: "MTE".to_owned(),
+                drain: Node::Vgnd,
+                source: Node::Gnd,
+                width_um: w,
+                vth: t.vth_high,
+            });
+        }
+        VthClass::MtVgnd => has_vgnd_port = true,
+        _ => {}
+    }
+    Schematic {
+        cell_name: cell.name.clone(),
+        transistors,
+        has_vgnd_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_mt_cell_contains_embedded_switch() {
+        let lib = Library::industrial_130nm();
+        let mc = lib.find("ND2_X1_MC").unwrap();
+        let s = mt_cell_schematic(&lib, mc);
+        assert!(!s.has_vgnd_port);
+        assert_eq!(s.high_vth_devices(lib.tech.vth_high), 1);
+        assert!(s
+            .transistors
+            .iter()
+            .any(|t| t.gate == "MTE" && t.mos == MosType::Nmos));
+        // The embedded switch dominates the width budget (why Fig. 1(a) is big).
+        let sw = s.transistors.iter().find(|t| t.gate == "MTE").unwrap();
+        assert!(sw.width_um > s.total_width_um() / 2.0);
+    }
+
+    #[test]
+    fn improved_mt_cell_has_vgnd_and_no_switch() {
+        let lib = Library::industrial_130nm();
+        let mv = lib.find("ND2_X1_MV").unwrap();
+        let s = mt_cell_schematic(&lib, mv);
+        assert!(s.has_vgnd_port);
+        assert_eq!(s.high_vth_devices(lib.tech.vth_high), 0);
+        assert!(s.transistors.iter().all(|t| t.gate != "MTE"));
+        assert!(s.ascii_art().contains("VGND port"));
+    }
+
+    #[test]
+    fn plain_cells_foot_to_ground() {
+        let lib = Library::industrial_130nm();
+        let l = lib.find("ND2_X1_L").unwrap();
+        let s = mt_cell_schematic(&lib, l);
+        assert!(!s.has_vgnd_port);
+        assert!(s.transistors.iter().all(|t| t.source != Node::Vgnd));
+        let (n, p) = s.device_counts();
+        assert_eq!(n, 2);
+        assert_eq!(p, 2);
+    }
+
+    #[test]
+    fn high_vth_cell_uses_high_threshold_devices() {
+        let lib = Library::industrial_130nm();
+        let h = lib.find("INV_X1_H").unwrap();
+        let s = mt_cell_schematic(&lib, h);
+        assert_eq!(s.high_vth_devices(lib.tech.vth_high), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Process technology parameters.
+//!
+//! One [`Technology`] value parameterises every physical model in the
+//! workspace: subthreshold leakage, on-resistance (and therefore cell
+//! delay), gate capacitance, wire RC, and the MTCMOS switch-sizing
+//! constants. The defaults model a generic 130 nm low-power process of the
+//! paper's era (2004/2005); they are *calibration* constants, documented in
+//! DESIGN.md §5, not foundry data.
+
+use smt_base::units::{Cap, Current, Res, Volt};
+
+/// Process and MTCMOS modelling parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Descriptive name.
+    pub name: String,
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// Low threshold voltage (fast, leaky devices).
+    pub vth_low: Volt,
+    /// High threshold voltage (slow, low-leakage devices).
+    pub vth_high: Volt,
+    /// Subthreshold swing in volts/decade (~100 mV/dec at hot corner).
+    ///
+    /// With the default thresholds this puts the low-Vth : high-Vth leakage
+    /// ratio at `10^((0.45-0.25)/0.1) = 100×`, the lever that makes the
+    /// Dual-Vth baseline of Table 1 dominated by its low-Vth cells.
+    pub subthreshold_swing: f64,
+    /// Leakage prefactor `I0` in µA per µm of device width at `Vth = 0`.
+    pub leak_i0_ua_per_um: f64,
+    /// Series-stack attenuation per additional off device (≈0.1–0.3).
+    pub stack_factor: f64,
+    /// NMOS on-resistance × width product, kΩ·µm, for low-Vth devices.
+    pub ron_low_kohm_um: f64,
+    /// Multiplier on on-resistance for high-Vth devices (slower).
+    pub ron_high_ratio: f64,
+    /// Gate capacitance per µm of gate width, fF/µm.
+    pub cgate_ff_per_um: f64,
+    /// Wire resistance per µm, kΩ/µm.
+    pub wire_res_kohm_per_um: f64,
+    /// Wire capacitance per µm, fF/µm.
+    pub wire_cap_ff_per_um: f64,
+    /// Standard-cell row height, µm.
+    pub row_height_um: f64,
+    /// Placement site width, µm.
+    pub site_width_um: f64,
+    /// Peak switching current drawn from VGND per µm of cell NMOS width, µA/µm.
+    pub ipeak_ua_per_um: f64,
+    /// Simultaneous-switching (diversity) factor for *shared* footer
+    /// switches: the fraction of the cluster's summed peak current assumed
+    /// to flow at once. Embedded per-cell switches (conventional MT-cells)
+    /// see no diversity and must be sized for `1.0`.
+    pub simultaneity: f64,
+    /// VGND nets are routed as wide power straps: their resistance per µm
+    /// is this fraction of a signal wire's.
+    pub vgnd_wire_res_factor: f64,
+    /// Area of a footer switch per µm of switch width, µm²/µm
+    /// (accounts for folding the wide device into rows).
+    pub switch_area_um2_per_um: f64,
+    /// Electromigration current limit per VGND via/strap, µA — converts to
+    /// the "cells per switch" cap the paper mentions.
+    pub em_limit_ua: f64,
+    /// Delay degradation slope: `d = d0 * (1 + bounce_delay_sens * dV/VDD)`.
+    pub bounce_delay_sens: f64,
+}
+
+impl Technology {
+    /// Generic 130 nm low-power process used by every experiment.
+    pub fn industrial_130nm() -> Self {
+        Technology {
+            name: "smt130lp".to_owned(),
+            vdd: Volt::new(1.2),
+            vth_low: Volt::new(0.25),
+            vth_high: Volt::new(0.45),
+            subthreshold_swing: 0.100,
+            leak_i0_ua_per_um: 1.58,
+            stack_factor: 0.18,
+            ron_low_kohm_um: 2.0,
+            ron_high_ratio: 1.35,
+            cgate_ff_per_um: 1.5,
+            wire_res_kohm_per_um: 0.0004,
+            wire_cap_ff_per_um: 0.20,
+            row_height_um: 4.0,
+            site_width_um: 0.8,
+            ipeak_ua_per_um: 120.0,
+            simultaneity: 0.25,
+            vgnd_wire_res_factor: 0.25,
+            switch_area_um2_per_um: 1.1,
+            em_limit_ua: 4000.0,
+            bounce_delay_sens: 1.5,
+        }
+    }
+
+    /// Subthreshold leakage current for `width_um` of device at threshold
+    /// `vth`, through a series stack of `stack_depth` off devices.
+    ///
+    /// `I = I0 · W · 10^(−Vth/S) · k_stack^(depth−1)` — the classic
+    /// exponential-in-Vth model with a geometric stack-effect discount.
+    pub fn subthreshold_leak(&self, width_um: f64, vth: Volt, stack_depth: u32) -> Current {
+        debug_assert!(stack_depth >= 1, "a leaking path has at least one device");
+        let base = self.leak_i0_ua_per_um
+            * width_um
+            * 10f64.powf(-vth.volts() / self.subthreshold_swing);
+        Current::new(base * self.stack_factor.powi(stack_depth as i32 - 1))
+    }
+
+    /// On-resistance of a device of the given width and threshold class.
+    pub fn on_resistance(&self, width_um: f64, high_vth: bool) -> Res {
+        let r = self.ron_low_kohm_um / width_um;
+        Res::new(if high_vth { r * self.ron_high_ratio } else { r })
+    }
+
+    /// Gate capacitance of `width_um` of gate.
+    pub fn gate_cap(&self, width_um: f64) -> Cap {
+        Cap::new(self.cgate_ff_per_um * width_um)
+    }
+
+    /// Wire resistance of a segment of `len_um`.
+    pub fn wire_res(&self, len_um: f64) -> Res {
+        Res::new(self.wire_res_kohm_per_um * len_um)
+    }
+
+    /// Wire capacitance of a segment of `len_um`.
+    pub fn wire_cap(&self, len_um: f64) -> Cap {
+        Cap::new(self.wire_cap_ff_per_um * len_um)
+    }
+
+    /// Peak VGND current drawn by a cell whose NMOS width sums to `width_um`.
+    pub fn peak_current(&self, width_um: f64) -> Current {
+        Current::new(self.ipeak_ua_per_um * width_um)
+    }
+
+    /// Low-Vth : high-Vth leakage ratio implied by the parameters
+    /// (≈100× for the defaults).
+    pub fn leak_ratio_low_over_high(&self) -> f64 {
+        10f64.powf((self.vth_high.volts() - self.vth_low.volts()) / self.subthreshold_swing)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::industrial_130nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_ratio_is_about_100x() {
+        let t = Technology::industrial_130nm();
+        let r = t.leak_ratio_low_over_high();
+        assert!((99.0..101.0).contains(&r), "ratio = {r}");
+        let low = t.subthreshold_leak(1.0, t.vth_low, 1);
+        let high = t.subthreshold_leak(1.0, t.vth_high, 1);
+        assert!((low.ua() / high.ua() - r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_vth_leak_is_nanoamp_scale() {
+        let t = Technology::industrial_130nm();
+        // ~5 nA/µm for low-Vth at the default calibration.
+        let i = t.subthreshold_leak(1.0, t.vth_low, 1);
+        assert!((0.001..0.02).contains(&i.ua()), "got {} uA", i.ua());
+    }
+
+    #[test]
+    fn stack_effect_reduces_leakage() {
+        let t = Technology::industrial_130nm();
+        let one = t.subthreshold_leak(1.0, t.vth_low, 1);
+        let two = t.subthreshold_leak(1.0, t.vth_low, 2);
+        let three = t.subthreshold_leak(1.0, t.vth_low, 3);
+        assert!(two < one);
+        assert!(three < two);
+        assert!((two.ua() / one.ua() - t.stack_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_vth_devices_are_slower() {
+        let t = Technology::industrial_130nm();
+        assert!(t.on_resistance(1.0, true) > t.on_resistance(1.0, false));
+        // Resistance scales inversely with width.
+        let narrow = t.on_resistance(1.0, false);
+        let wide = t.on_resistance(4.0, false);
+        assert!((narrow.kohm() / wide.kohm() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_models_scale_linearly() {
+        let t = Technology::industrial_130nm();
+        assert!((t.wire_cap(100.0).ff() - 20.0).abs() < 1e-12);
+        assert!((t.wire_res(100.0).kohm() - 0.04).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! The 7-flip-flop example circuit of the paper's Fig. 2 / Fig. 3.
+//!
+//! The figures show a small sequential design where one register-to-
+//! register path is critical (drawn with MT-cells) and the rest is
+//! high-Vth. We reconstruct the same topology: seven FFs, a deep
+//! gate chain forming the critical path, and shallow side logic —
+//! and tag which instances the figure draws as MT-cells so the
+//! `fig2_conventional` / `fig3_improved` binaries can apply the two
+//! transforms and print the resulting structures.
+
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, Netlist};
+
+/// The example circuit plus the names of the gates the figure marks as
+/// critical (the MT-cell candidates).
+#[derive(Debug, Clone)]
+pub struct FigureCircuit {
+    /// The netlist (all logic initially low-Vth, as after initial
+    /// synthesis in the flow).
+    pub netlist: Netlist,
+    /// Instances on the drawn critical path.
+    pub critical: Vec<InstId>,
+}
+
+/// Builds the Fig. 2/3 example: 7 FFs, one deep critical path, shallow
+/// side cones.
+pub fn fig_example(lib: &Library) -> FigureCircuit {
+    let mut n = Netlist::new("fig_example");
+    let clk = n.add_clock("clk");
+    let dff = lib.find_id("DFF_X1_L").expect("DFF");
+    let inv = lib.find_id("INV_X1_L").expect("INV");
+    let nd2 = lib.find_id("ND2_X1_L").expect("ND2");
+    let xor2 = lib.find_id("XOR2_X1_L").expect("XOR2");
+
+    // Seven FFs; q0..q6.
+    let mut q = Vec::new();
+    let mut ffs = Vec::new();
+    for i in 0..7 {
+        let qn = n.add_net(&format!("q{i}"));
+        let ff = n.add_instance(&format!("ff{i}"), dff, lib);
+        n.connect_by_name(ff, "CK", clk, lib).unwrap();
+        n.connect_by_name(ff, "Q", qn, lib).unwrap();
+        q.push(qn);
+        ffs.push(ff);
+    }
+    let din = n.add_input("din");
+
+    // Critical path: q0 -> 6 gates -> ff1.D (the chain of MT-cells in the
+    // figure).
+    let mut critical = Vec::new();
+    let mut prev = q[0];
+    for i in 0..6 {
+        let w = n.add_net(&format!("cp{i}"));
+        let (cell, pins): (_, &[&str]) = if i % 2 == 0 {
+            (nd2, &["A", "B"])
+        } else {
+            (inv, &["A"])
+        };
+        let u = n.add_instance(&format!("crit{i}"), cell, lib);
+        n.connect_by_name(u, pins[0], prev, lib).unwrap();
+        if pins.len() > 1 {
+            // Second input ties to a side signal so the gate is 2-input
+            // like the figure's NANDs.
+            n.connect_by_name(u, pins[1], q[2], lib).unwrap();
+        }
+        n.connect_by_name(u, "Z", w, lib).unwrap();
+        critical.push(u);
+        prev = w;
+    }
+    n.connect_by_name(ffs[1], "D", prev, lib).unwrap();
+
+    // Shallow side cones -> remaining FFs (the high-Vth gates of the
+    // figure).
+    let side_specs: &[(usize, usize)] = &[(2, 3), (3, 4), (4, 5), (5, 6)];
+    for &(src, dst) in side_specs {
+        let w = n.add_net(&format!("side{src}_{dst}"));
+        let u = n.add_instance(&format!("side{src}_{dst}_g"), xor2, lib);
+        n.connect_by_name(u, "A", q[src], lib).unwrap();
+        n.connect_by_name(u, "B", din, lib).unwrap();
+        n.connect_by_name(u, "Z", w, lib).unwrap();
+        n.connect_by_name(ffs[dst], "D", w, lib).unwrap();
+    }
+    // Remaining FF inputs: recirculate.
+    n.connect_by_name(ffs[0], "D", q[6], lib).unwrap();
+    n.connect_by_name(ffs[2], "D", q[1], lib).unwrap();
+    // One output crossing from the critical chain into side logic: this is
+    // the net that needs an output holder in Fig. 3 (MT drives non-MT).
+    let zout = n.add_output("z");
+    let mix = n.add_instance("mix", nd2, lib);
+    n.connect_by_name(mix, "A", prev, lib).unwrap();
+    n.connect_by_name(mix, "B", q[3], lib).unwrap();
+    n.connect_by_name(mix, "Z", zout, lib).unwrap();
+
+    FigureCircuit {
+        netlist: n,
+        critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::graph::topo_order;
+
+    #[test]
+    fn figure_circuit_is_well_formed() {
+        let lib = Library::industrial_130nm();
+        let f = fig_example(&lib);
+        let issues = lint(&f.netlist, &lib, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
+        assert!(topo_order(&f.netlist, &lib).is_ok());
+        assert_eq!(f.critical.len(), 6);
+        // Seven FFs as drawn.
+        let ffs = f
+            .netlist
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_sequential())
+            .count();
+        assert_eq!(ffs, 7);
+    }
+
+    #[test]
+    fn critical_path_is_the_deepest() {
+        use smt_place::{place, PlacerConfig};
+        use smt_route::Parasitics;
+        use smt_sta::{analyze, Derating, StaConfig};
+        let lib = Library::industrial_130nm();
+        let f = fig_example(&lib);
+        let p = place(&f.netlist, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&f.netlist, &lib, &p);
+        let r = analyze(&f.netlist, &lib, &par, &StaConfig::default(), &Derating::none()).unwrap();
+        // Critical gates have the smallest slacks in the design.
+        let crit_slack: Vec<f64> = f
+            .critical
+            .iter()
+            .map(|&c| r.inst_slack(&f.netlist, &lib, c).ps())
+            .collect();
+        let side = f.netlist.find_inst("side2_3_g").unwrap();
+        let side_slack = r.inst_slack(&f.netlist, &lib, side).ps();
+        for (i, s) in crit_slack.iter().enumerate() {
+            assert!(s < &side_slack, "crit{} slack {} vs side {}", i, s, side_slack);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Seeded random-logic netlist generation (direct gate instantiation, no
+//! RTL round-trip) for placer/router/STA stress tests and property tests.
+
+use smt_base::rng::SplitMix64;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist};
+
+/// Options for the random generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLogicConfig {
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of flip-flops.
+    pub ffs: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Locality window: gate inputs are drawn from the most recent `window`
+    /// nets, which keeps the circuit DAG-shaped and placement-friendly.
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomLogicConfig {
+    fn default() -> Self {
+        RandomLogicConfig {
+            gates: 500,
+            ffs: 32,
+            inputs: 16,
+            window: 64,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a random, acyclic, fully connected netlist on low-Vth cells.
+///
+/// Structure: primary inputs and FF outputs seed the net pool; gates draw
+/// inputs from recent nets (topologically earlier, so no combinational
+/// cycles); FF `D` pins and primary outputs consume the final nets so
+/// nothing dangles.
+pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Netlist {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut n = Netlist::new("random_logic");
+    let clk = n.add_clock("clk");
+
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..config.inputs.max(1) {
+        pool.push(n.add_input(&format!("in{i}")));
+    }
+    // FFs created first so their Q nets join the pool.
+    // High-Vth FFs, matching the technology mapper: storage cannot be gated.
+    let dff = lib.find_id("DFF_X1_H").expect("DFF");
+    let mut ffs = Vec::new();
+    for i in 0..config.ffs {
+        let q = n.add_net(&format!("ffq{i}"));
+        let ff = n.add_instance(&format!("ff{i}"), dff, lib);
+        n.connect_by_name(ff, "CK", clk, lib).expect("CK");
+        n.connect_by_name(ff, "Q", q, lib).expect("Q");
+        ffs.push(ff);
+        pool.push(q);
+    }
+
+    let one_in = ["INV_X1_L", "BUF_X1_L"];
+    let two_in = [
+        "ND2_X1_L", "NR2_X1_L", "AN2_X1_L", "OR2_X1_L", "XOR2_X1_L", "XNR2_X1_L",
+    ];
+    let three_in = ["ND3_X1_L", "NR3_X1_L", "AOI21_X1_L", "OAI21_X1_L", "MUX2_X1_L"];
+
+    for g in 0..config.gates {
+        let roll = rng.next_f64();
+        let cell_name = if roll < 0.2 {
+            *rng.choose(&one_in)
+        } else if roll < 0.8 {
+            *rng.choose(&two_in)
+        } else {
+            *rng.choose(&three_in)
+        };
+        let cell = lib.find_id(cell_name).expect("library cell");
+        let spec = lib.cell(cell);
+        let out = n.add_net(&format!("g{g}_z"));
+        let inst = n.add_instance(&format!("g{g}"), cell, lib);
+        let lo = pool.len().saturating_sub(config.window);
+        for pin in spec.logic_input_pins() {
+            let src = pool[lo + rng.next_below(pool.len() - lo)];
+            n.connect(inst, pin, src).expect("input connect");
+        }
+        let op = spec.output_pin().expect("logic output");
+        n.connect(inst, op, out).expect("output connect");
+        pool.push(out);
+    }
+
+    // Close the loop: FF D pins sample late nets; expose some outputs.
+    let len = pool.len();
+    for (i, &ff) in ffs.iter().enumerate() {
+        let src = pool[len - 1 - (i % config.window.min(len))];
+        n.connect_by_name(ff, "D", src, lib).expect("D");
+    }
+    // Any driven-but-unloaded net becomes a primary output.
+    let unloaded: Vec<NetId> = n
+        .nets()
+        .filter(|(_, net)| net.driver.is_some() && net.loads.is_empty() && net.port_loads.is_empty())
+        .map(|(id, _)| id)
+        .collect();
+    for (i, net) in unloaded.into_iter().enumerate() {
+        n.expose_output(&format!("out{i}"), net);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::graph::topo_order;
+
+    #[test]
+    fn random_netlists_are_clean_and_acyclic() {
+        let lib = Library::industrial_130nm();
+        for seed in [1u64, 2, 3] {
+            let n = random_logic(
+                &lib,
+                &RandomLogicConfig {
+                    gates: 300,
+                    seed,
+                    ..RandomLogicConfig::default()
+                },
+            );
+            assert!(n.num_instances() >= 300);
+            let issues = lint(&n, &lib, LintConfig::default());
+            assert!(is_clean(&issues), "seed {seed}: {issues:?}");
+            assert!(topo_order(&n, &lib).is_ok(), "seed {seed}: cyclic");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lib = Library::industrial_130nm();
+        let cfg = RandomLogicConfig::default();
+        let a = random_logic(&lib, &cfg);
+        let b = random_logic(&lib, &cfg);
+        assert_eq!(a.num_instances(), b.num_instances());
+        assert_eq!(a.num_nets(), b.num_nets());
+    }
+}

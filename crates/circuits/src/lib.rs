@@ -1,0 +1,51 @@
+//! # smt-circuits
+//!
+//! Benchmark designs for the Selective-MT reproduction:
+//!
+//! * [`rtl`] — RTL-lite source generators, headlined by the substitutes
+//!   for the paper's industrial circuits: [`rtl::circuit_a_rtl`]
+//!   (datapath-dominated, large critical fraction) and
+//!   [`rtl::circuit_b_rtl`] (control-dominated, slack-rich), plus
+//!   counters, adders and LFSRs for small examples;
+//! * [`figures`] — the 7-flip-flop example circuit drawn in the paper's
+//!   Fig. 2 / Fig. 3, with its critical path tagged;
+//! * [`gen`] — seeded random-logic netlists for stress and property
+//!   tests.
+//!
+//! ```
+//! use smt_cells::library::Library;
+//! use smt_circuits::circuit_a;
+//!
+//! let lib = Library::industrial_130nm();
+//! let a = circuit_a(&lib);
+//! assert!(a.num_instances() > 800);
+//! ```
+
+pub mod figures;
+pub mod gen;
+pub mod rtl;
+
+use smt_cells::library::Library;
+use smt_netlist::netlist::Netlist;
+use smt_synth::{synthesize, SynthOptions};
+
+/// Synthesizes the circuit-A substitute (see [`rtl::circuit_a_rtl`]).
+///
+/// # Panics
+///
+/// Panics only if the bundled RTL fails to synthesize, which would be a
+/// bug in this crate.
+pub fn circuit_a(lib: &Library) -> Netlist {
+    synthesize(&rtl::circuit_a_rtl(), lib, &SynthOptions::default())
+        .expect("bundled circuit A RTL synthesizes")
+}
+
+/// Synthesizes the circuit-B substitute (see [`rtl::circuit_b_rtl`]).
+///
+/// # Panics
+///
+/// Panics only if the bundled RTL fails to synthesize.
+pub fn circuit_b(lib: &Library) -> Netlist {
+    synthesize(&rtl::circuit_b_rtl(), lib, &SynthOptions::default())
+        .expect("bundled circuit B RTL synthesizes")
+}

@@ -1,0 +1,430 @@
+//! RTL-lite source generators for the benchmark designs.
+//!
+//! The paper evaluates on two Toshiba circuits, A and B, which we cannot
+//! obtain. The substitutes preserve the property Table 1 actually depends
+//! on: the *fraction of timing-critical cells*.
+//!
+//! * [`circuit_a_rtl`] — datapath-dominated: a shift-add array multiplier
+//!   feeding a two-operand ALU with an accumulator, plus a modest amount
+//!   of shallow side logic. Deep ripple-carry chains put a large fraction
+//!   of cells on near-critical paths (~40%), like the paper's circuit A
+//!   (which pays the larger SMT area overhead).
+//! * [`circuit_b_rtl`] — control-dominated: one moderately deep
+//!   accumulator lane surrounded by wide, shallow logic (CRC, LFSR next
+//!   state, decoders, parity). Only the accumulator lane ends up critical
+//!   (~25%), like the paper's circuit B.
+
+use std::fmt::Write as _;
+
+/// RTL for the circuit-A substitute (datapath heavy).
+///
+/// `mul_width` controls the multiplier operand width (default 8 in
+/// [`circuit_a_rtl`]); larger = deeper critical paths and more gates.
+pub fn circuit_a_rtl_sized(mul_width: usize) -> String {
+    circuit_a_rtl_lanes(mul_width, 2)
+}
+
+/// Multi-lane variant of circuit A: `lanes` independent multipliers of
+/// equal depth XOR-merged before the ALU. Parallel equal-depth lanes keep
+/// a large fraction of the datapath near-critical — the property the
+/// paper's circuit A exhibits (it pays the larger SMT area overhead).
+pub fn circuit_a_rtl_lanes(mul_width: usize, lanes: usize) -> String {
+    let w = mul_width;
+    let pw = 2 * w; // product width
+    let mut s = String::new();
+    let _ = writeln!(s, "module circuit_a;");
+    let _ = writeln!(s, "input clk;");
+    for l in 0..lanes {
+        let _ = writeln!(s, "input [{}:0] a{l}, b{l};", w - 1);
+    }
+    let _ = writeln!(s, "input [{}:0] c;", pw - 1);
+    let _ = writeln!(s, "input [1:0] op;");
+    for l in 0..lanes {
+        let _ = writeln!(s, "reg [{}:0] ra{l}, rb{l};", w - 1);
+    }
+    let _ = writeln!(s, "reg [{}:0] rc;", pw - 1);
+    let _ = writeln!(s, "reg [{}:0] prod_r;", pw - 1);
+    let _ = writeln!(s, "reg [{}:0] acc;", pw - 1);
+    let _ = writeln!(s, "reg [1:0] rop;");
+    let mut t = 0usize;
+    let mut lane_products = Vec::new();
+    for l in 0..lanes {
+        // Partial products: pp_i = rb[i] ? (ra << i) : 0, zero-extended.
+        let _ = writeln!(s, "wire [{}:0] az{l} = {{{}'d0, ra{l}}};", pw - 1, pw - w);
+        for i in 0..w {
+            if i == 0 {
+                let _ = writeln!(
+                    s,
+                    "wire [{}:0] pp{l}_{} = rb{l}[0] ? az{l} : {}'d0;",
+                    pw - 1,
+                    i,
+                    pw
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "wire [{}:0] pp{l}_{} = rb{l}[{}] ? (az{l} << {}) : {}'d0;",
+                    pw - 1,
+                    i,
+                    i,
+                    i,
+                    pw
+                );
+            }
+        }
+        // Balanced adder tree over the partial products.
+        let mut level: Vec<String> = (0..w).map(|i| format!("pp{l}_{i}")).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    let name = format!("s{t}");
+                    t += 1;
+                    let _ =
+                        writeln!(s, "wire [{}:0] {} = {} + {};", pw - 1, name, pair[0], pair[1]);
+                    next.push(name);
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            level = next;
+        }
+        lane_products.push(level.pop().expect("non-empty tree"));
+    }
+    // Merge lanes (equal depth: XOR keeps them all critical).
+    let prod_expr = lane_products.join(" ^ ");
+    let _ = writeln!(s, "wire [{}:0] prod = {};", pw - 1, prod_expr);
+    // ALU on the registered product.
+    let _ = writeln!(
+        s,
+        "wire [{}:0] alu = rop == 2'd0 ? prod_r + rc : (rop == 2'd1 ? prod_r - rc : (rop[0] ? (prod_r & rc) : (prod_r | rc)));",
+        pw - 1
+    );
+    // Shallow side logic: decoders and parity of the operands (non-critical).
+    let _ = writeln!(s, "wire [{}:0] mask = ra0 ^ rb0;", w - 1);
+    for i in 0..w {
+        let _ = writeln!(
+            s,
+            "wire dsel{} = (ra0 == {}'d{}) | (rb0 == {}'d{});",
+            i, w, i, w, i
+        );
+    }
+    let sel_terms: Vec<String> = (0..w).map(|i| format!("dsel{i}")).collect();
+    let _ = writeln!(s, "wire anysel = {};", sel_terms.join(" | "));
+    let _ = writeln!(s, "output [{}:0] flags;", w - 1);
+    let _ = writeln!(s, "assign flags = anysel ? mask : {}'d0;", w);
+    let _ = writeln!(s, "output [{}:0] y;", pw - 1);
+    let _ = writeln!(s, "output [{}:0] p;", pw - 1);
+    let _ = writeln!(s, "assign p = prod_r;");
+    let _ = writeln!(s, "assign y = acc;");
+    let _ = writeln!(s, "always @(posedge clk) begin");
+    for l in 0..lanes {
+        let _ = writeln!(s, "  ra{l} <= a{l};");
+        let _ = writeln!(s, "  rb{l} <= b{l};");
+    }
+    let _ = writeln!(s, "  rc <= c;");
+    let _ = writeln!(s, "  rop <= op;");
+    let _ = writeln!(s, "  prod_r <= prod;");
+    let _ = writeln!(s, "  acc <= alu;");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Default-size circuit A (8×8 multiplier, 16-bit ALU lane).
+pub fn circuit_a_rtl() -> String {
+    circuit_a_rtl_sized(8)
+}
+
+/// RTL for the circuit-B substitute (control heavy).
+pub fn circuit_b_rtl() -> String {
+    circuit_b_rtl_sized(12)
+}
+
+/// Sized circuit-B generator; `acc_width` sets the single deep lane's
+/// width (the critical accumulator).
+pub fn circuit_b_rtl_sized(acc_width: usize) -> String {
+    let aw = acc_width;
+    let mut s = String::new();
+    let _ = writeln!(s, "module circuit_b;");
+    let _ = writeln!(s, "input clk;");
+    let _ = writeln!(s, "input [{}:0] din;", aw - 1);
+    let _ = writeln!(s, "input [7:0] ctrl;");
+    let _ = writeln!(s, "reg [{}:0] rd;", aw - 1);
+    let _ = writeln!(s, "reg [7:0] rctrl;");
+    // One deep lane: 3-stage chained accumulator add (critical).
+    let _ = writeln!(s, "reg [{}:0] acc;", aw - 1);
+    let _ = writeln!(s, "wire [{}:0] acc1 = acc + rd;", aw - 1);
+    let _ = writeln!(s, "wire [{}:0] acc2 = acc1 + (rd << 1);", aw - 1);
+    let _ = writeln!(s, "wire [{}:0] acc_next = rctrl[0] ? acc2 : acc1;", aw - 1);
+    // Wide shallow logic: CRC-8 next state (XOR network, 2-3 levels).
+    let _ = writeln!(s, "reg [7:0] crc;");
+    for i in 0..8usize {
+        // polynomial x^8+x^2+x+1 style mixing, all shallow XORs
+        let a = (i + 1) % 8;
+        let b = (i + 3) % 8;
+        let _ = writeln!(
+            s,
+            "wire crcn{} = crc[{}] ^ crc[{}] ^ rd[{}] ^ rctrl[{}];",
+            i,
+            a,
+            b,
+            i % aw,
+            i
+        );
+    }
+    let crc_bits: Vec<String> = (0..8).rev().map(|i| format!("crcn{i}")).collect();
+    let _ = writeln!(s, "wire [7:0] crc_next = {{{}}};", crc_bits.join(", "));
+    // LFSR (shallow).
+    let _ = writeln!(s, "reg [15:0] lfsr;");
+    let _ = writeln!(
+        s,
+        "wire fb = lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10];"
+    );
+    let _ = writeln!(s, "wire [15:0] lfsr_next = {{lfsr[14:0], fb}};");
+    // Decoders over ctrl (wide, shallow).
+    for i in 0..16usize {
+        let _ = writeln!(s, "wire dec{} = rctrl[3:0] == 4'd{};", i, i);
+    }
+    let dec_terms: Vec<String> = (0..16).rev().map(|i| format!("dec{i}")).collect();
+    let _ = writeln!(s, "wire [15:0] onehot = {{{}}};", dec_terms.join(", "));
+    // Parity trees (shallow).
+    let _ = writeln!(
+        s,
+        "wire par = rd[0] ^ rd[1] ^ rd[2] ^ rd[3] ^ rctrl[0] ^ rctrl[1];"
+    );
+    let _ = writeln!(s, "output [{}:0] acc_out;", aw - 1);
+    let _ = writeln!(s, "output [7:0] crc_out;");
+    let _ = writeln!(s, "output [15:0] hot;");
+    let _ = writeln!(s, "output [15:0] rnd;");
+    let _ = writeln!(s, "output parity;");
+    let _ = writeln!(s, "assign acc_out = acc;");
+    let _ = writeln!(s, "assign crc_out = crc;");
+    let _ = writeln!(s, "assign hot = onehot;");
+    let _ = writeln!(s, "assign rnd = lfsr;");
+    let _ = writeln!(s, "assign parity = par;");
+    let _ = writeln!(s, "always @(posedge clk) begin");
+    let _ = writeln!(s, "  rd <= din;");
+    let _ = writeln!(s, "  rctrl <= ctrl;");
+    let _ = writeln!(s, "  acc <= acc_next;");
+    let _ = writeln!(s, "  crc <= crc_next;");
+    let _ = writeln!(s, "  lfsr <= lfsr_next;");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// A `width`-bit free-running counter (quickstart-scale example).
+pub fn counter_rtl(width: usize) -> String {
+    format!(
+        "module counter;\ninput clk;\nreg [{w}:0] q;\noutput [{w}:0] y;\nalways @(posedge clk) q <= q + {n}'d1;\nassign y = q;\nendmodule\n",
+        w = width - 1,
+        n = width
+    )
+}
+
+/// A `width`-bit ripple-carry adder (pure combinational).
+pub fn adder_rtl(width: usize) -> String {
+    format!(
+        "module adder;\ninput [{w}:0] a, b;\noutput [{o}:0] s;\nassign s = {{1'b0, a}} + {{1'b0, b}};\nendmodule\n",
+        w = width - 1,
+        o = width
+    )
+}
+
+/// A Kogge–Stone parallel-prefix adder: `log2(width)` prefix levels
+/// instead of the ripple adder's `width` — the classic depth/area trade.
+/// Useful for contrasting slack distributions: a KS adder's cells sit at
+/// near-uniform depth, so far more of them are timing-critical than in a
+/// ripple design of the same function.
+pub fn kogge_stone_rtl(width: usize) -> String {
+    let w = width;
+    let mut s = String::new();
+    let _ = writeln!(s, "module ks_adder;");
+    let _ = writeln!(s, "input [{}:0] a, b;", w - 1);
+    let _ = writeln!(s, "input cin;");
+    let _ = writeln!(s, "output [{}:0] sum;", w - 1);
+    let _ = writeln!(s, "output cout;");
+    // Level 0: generate/propagate per bit.
+    for i in 0..w {
+        let _ = writeln!(s, "wire g0_{i} = a[{i}] & b[{i}];");
+        let _ = writeln!(s, "wire p0_{i} = a[{i}] ^ b[{i}];");
+    }
+    // Prefix levels: (g,p)[i] = (g[i] | p[i]&g[i-d], p[i]&p[i-d]).
+    let mut level = 0usize;
+    let mut d = 1usize;
+    while d < w {
+        let next = level + 1;
+        for i in 0..w {
+            if i >= d {
+                let _ = writeln!(
+                    s,
+                    "wire g{next}_{i} = g{level}_{i} | (p{level}_{i} & g{level}_{});",
+                    i - d
+                );
+                let _ = writeln!(
+                    s,
+                    "wire p{next}_{i} = p{level}_{i} & p{level}_{};",
+                    i - d
+                );
+            } else {
+                let _ = writeln!(s, "wire g{next}_{i} = g{level}_{i};");
+                let _ = writeln!(s, "wire p{next}_{i} = p{level}_{i};");
+            }
+        }
+        level = next;
+        d *= 2;
+    }
+    // Carries: c[0] = cin; c[i+1] = G[i] | P[i]&cin.
+    let _ = writeln!(s, "wire c_0 = cin;");
+    for i in 0..w {
+        let _ = writeln!(s, "wire c_{} = g{level}_{i} | (p{level}_{i} & cin);", i + 1);
+    }
+    for i in 0..w {
+        let _ = writeln!(s, "wire s_{i} = p0_{i} ^ c_{i};");
+    }
+    let bits: Vec<String> = (0..w).rev().map(|i| format!("s_{i}")).collect();
+    let _ = writeln!(s, "assign sum = {{{}}};", bits.join(", "));
+    let _ = writeln!(s, "assign cout = c_{};", w);
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Galois LFSR of the given width (shallow sequential logic).
+pub fn lfsr_rtl(width: usize) -> String {
+    let w = width;
+    format!(
+        "module lfsr;\ninput clk;\ninput seed_en;\ninput [{h}:0] seed;\nreg [{h}:0] r;\nwire fb = r[{t}] ^ r[{m}];\nwire [{h}:0] nxt = {{r[{h2}:0], fb}};\noutput [{h}:0] y;\nassign y = r;\nalways @(posedge clk) r <= seed_en ? seed : nxt;\nendmodule\n",
+        h = w - 1,
+        h2 = w - 2,
+        t = w - 1,
+        m = w / 2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::library::Library;
+    use smt_synth::{synthesize, SynthOptions};
+
+    #[test]
+    fn circuit_a_synthesizes() {
+        let lib = Library::industrial_130nm();
+        let n = synthesize(&circuit_a_rtl(), &lib, &SynthOptions::default())
+            .expect("circuit A synthesizes");
+        assert!(n.num_instances() > 800, "got {}", n.num_instances());
+        assert!(n.clock_net().is_some());
+    }
+
+    #[test]
+    fn circuit_b_synthesizes() {
+        let lib = Library::industrial_130nm();
+        let n = synthesize(&circuit_b_rtl(), &lib, &SynthOptions::default())
+            .expect("circuit B synthesizes");
+        assert!(n.num_instances() > 200, "got {}", n.num_instances());
+    }
+
+    #[test]
+    fn small_generators_synthesize() {
+        let lib = Library::industrial_130nm();
+        for rtl in [counter_rtl(8), adder_rtl(8), lfsr_rtl(16)] {
+            let n = synthesize(&rtl, &lib, &SynthOptions::default()).expect("synthesizes");
+            assert!(n.num_instances() > 0);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_adds_correctly_and_is_shallow() {
+        use smt_netlist::graph::topo_order;
+        use smt_sim::{Simulator, Value};
+        let lib = Library::industrial_130nm();
+        let ks = synthesize(&kogge_stone_rtl(8), &lib, &SynthOptions::default()).unwrap();
+        let ripple = synthesize(&adder_rtl(8), &lib, &SynthOptions::default()).unwrap();
+        // Depth: KS is much shallower than ripple at the same width.
+        let dk = topo_order(&ks, &lib).unwrap().max_level();
+        let dr = topo_order(&ripple, &lib).unwrap().max_level();
+        assert!(dk < dr, "ks depth {dk} vs ripple {dr}");
+        // Function: spot-check sums incl. carry.
+        let mut sim = Simulator::new(&ks, &lib).unwrap();
+        let set = |sim: &mut Simulator, base: &str, v: u32| {
+            for i in 0..8 {
+                let net = ks.find_net(&format!("{base}[{i}]")).unwrap();
+                sim.set_input(net, Value::from_bool(v >> i & 1 == 1));
+            }
+        };
+        let cin = ks.find_net("cin").unwrap();
+        for (a, b, ci) in [(0u32, 0u32, 0u32), (255, 1, 0), (100, 55, 1), (170, 85, 0)] {
+            set(&mut sim, "a", a);
+            set(&mut sim, "b", b);
+            sim.set_input(cin, Value::from_bool(ci == 1));
+            sim.propagate(&ks, &lib);
+            let mut got = 0u32;
+            for i in 0..8 {
+                let p = ks.ports().find(|(_, p)| p.name == format!("sum[{i}]")).unwrap();
+                if sim.value(p.1.net) == Value::One {
+                    got |= 1 << i;
+                }
+            }
+            let co = ks.ports().find(|(_, p)| p.name == "cout").unwrap();
+            if sim.value(co.1.net) == Value::One {
+                got |= 1 << 8;
+            }
+            assert_eq!(got, a + b + ci, "a={a} b={b} cin={ci}");
+        }
+    }
+
+    #[test]
+    fn multiplier_functionally_correct() {
+        // Check the product lane of circuit A against u8 arithmetic by
+        // simulating two clock cycles (operands register, then product).
+        use smt_sim::{Simulator, Value};
+        let lib = Library::industrial_130nm();
+        let n = synthesize(&circuit_a_rtl_lanes(4, 1), &lib, &SynthOptions::default()).unwrap();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for (id, inst) in n.instances() {
+            if lib.cell(inst.cell).is_sequential() {
+                sim.set_ff_state(id, Value::Zero);
+            }
+        }
+        let set_vec = |sim: &mut Simulator, base: &str, width: usize, value: u32| {
+            for i in 0..width {
+                let name = if width == 1 {
+                    base.to_owned()
+                } else {
+                    format!("{base}[{i}]")
+                };
+                if let Some(net) = n.find_net(&name) {
+                    sim.set_input(net, Value::from_bool(value >> i & 1 == 1));
+                }
+            }
+        };
+        let read_vec = |sim: &Simulator, base: &str, width: usize| -> u32 {
+            (0..width)
+                .map(|i| {
+                    let name = format!("{base}[{i}]");
+                    let net = n
+                        .ports()
+                        .find(|(_, p)| p.name == name)
+                        .map(|(_, p)| p.net)
+                        .unwrap();
+                    match sim.value(net) {
+                        Value::One => 1 << i,
+                        _ => 0,
+                    }
+                })
+                .sum()
+        };
+        for (a, b) in [(3u32, 5u32), (7, 7), (0, 9), (15, 15)] {
+            set_vec(&mut sim, "a0", 4, a);
+            set_vec(&mut sim, "b0", 4, b);
+            set_vec(&mut sim, "c", 8, 0);
+            set_vec(&mut sim, "op", 2, 0);
+            sim.propagate(&n, &lib);
+            sim.clock_edge(&n, &lib); // operands -> ra/rb
+            sim.clock_edge(&n, &lib); // product -> prod_r
+            let p = read_vec(&sim, "p", 8);
+            assert_eq!(p, a * b, "a={a} b={b}");
+        }
+    }
+}

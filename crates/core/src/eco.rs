@@ -1,0 +1,317 @@
+//! ECO: hold fixing and the MTE distribution network.
+//!
+//! The last boxes of Fig. 4: buffer the heavily loaded MT-enable net, and
+//! fix hold violations (introduced by clock skew after CTS) by padding
+//! short paths with delay buffers.
+
+use crate::smtgen::mte_net;
+use smt_base::units::Time;
+use smt_cells::cell::VthClass;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{Netlist, PinRef};
+use smt_place::Placement;
+use smt_route::{buffer_net, BufferingConfig, BufferingReport, Parasitics};
+use smt_sta::{analyze, Derating, StaConfig};
+
+/// Buffers the MTE net with always-on high-Vth buffers.
+///
+/// MTE must stay functional in standby, so its buffers cannot themselves
+/// be power-gated: high-Vth buffers are the correct choice (slow is fine —
+/// MTE switches at mode transitions only).
+pub fn distribute_mte(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    max_fanout: usize,
+) -> BufferingReport {
+    let mte = mte_net(netlist);
+    let buffer = lib
+        .buffer(4, VthClass::High)
+        .or_else(|| lib.buffer(1, VthClass::High))
+        .expect("library has high-Vth buffers");
+    buffer_net(
+        netlist,
+        placement,
+        lib,
+        mte,
+        &BufferingConfig { max_fanout, buffer },
+    )
+}
+
+/// Outcome of hold fixing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HoldFixReport {
+    /// Delay buffers inserted.
+    pub buffers: usize,
+    /// Hold violations remaining (0 on success).
+    pub remaining: usize,
+    /// Fixing rounds used.
+    pub rounds: usize,
+}
+
+/// Fixes hold violations by inserting high-Vth delay buffers in front of
+/// violating flip-flop `D` pins, iterating STA → pad → STA.
+///
+/// # Errors
+///
+/// Propagates combinational-cycle errors from STA (cannot occur on
+/// netlists this flow produces).
+pub fn fix_hold(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    parasitics: &Parasitics,
+    sta_config: &StaConfig,
+    derating: &Derating,
+    max_rounds: usize,
+) -> Result<HoldFixReport, smt_netlist::graph::CombinationalCycle> {
+    let buffer = lib
+        .buffer(1, VthClass::High)
+        .expect("library has BUF_X1_H");
+    let mut report = HoldFixReport::default();
+    for round in 0..max_rounds {
+        report.rounds = round + 1;
+        let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+        if timing.hold_violations.is_empty() {
+            report.remaining = 0;
+            return Ok(report);
+        }
+        for v in &timing.hold_violations {
+            let ff = v.ff;
+            let cell = lib.cell(netlist.inst(ff).cell);
+            let Some(dp) = cell.pin_index("D") else { continue };
+            let Some(dnet) = netlist.inst(ff).net_on(dp) else { continue };
+            // How many buffers this gap needs (each adds ~its intrinsic).
+            let buf_cell = lib.cell(buffer);
+            let per_buf = buf_cell.arcs[0]
+                .delay(Time::new(40.0), buf_cell.pins[0].cap + smt_base::units::Cap::new(2.0));
+            let deficit = v.required - v.arrival_min;
+            let count = ((deficit.ps() / per_buf.ps()).ceil() as usize).clamp(1, 8);
+            let loc = placement.loc(ff);
+            let mut net = dnet;
+            for _ in 0..count {
+                let loads = vec![PinRef { inst: ff, pin: dp }];
+                let (buf, new_net) = netlist.insert_buffer(net, &loads, buffer, "hold", lib);
+                placement.set_loc(buf, loc);
+                report.buffers += 1;
+                net = new_net;
+            }
+        }
+        // NOTE: `parasitics` is indexed by net id; new nets created above
+        // fall back to zero-RC defaults in STA lookups, which is
+        // conservative for hold (buffers' own delay still counts).
+    }
+    let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+    report.remaining = timing.hold_violations.len();
+    Ok(report)
+}
+
+/// Outcome of setup recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SetupFixReport {
+    /// High→low Vth swaps applied on critical paths.
+    pub vth_downgrades: usize,
+    /// Drive upsizes applied on critical paths.
+    pub upsizes: usize,
+    /// Final WNS, ps.
+    pub final_wns_ps: f64,
+}
+
+/// Post-route setup recovery: while setup fails, walk the worst path and
+/// make its cells faster — high-Vth logic returns to low-Vth (trading
+/// leakage for speed, exactly the Dual-Vth trade), and already-fast cells
+/// are drive-upsized. Mirrors the "ECO" box of Fig. 4.
+///
+/// # Errors
+///
+/// Propagates combinational-cycle errors from STA.
+pub fn recover_setup(
+    netlist: &mut Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    sta_config: &StaConfig,
+    derating: &Derating,
+    max_rounds: usize,
+) -> Result<SetupFixReport, smt_netlist::graph::CombinationalCycle> {
+    use smt_sta::worst_path;
+    let mut report = SetupFixReport::default();
+    for _ in 0..max_rounds {
+        let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+        report.final_wns_ps = timing.wns.ps();
+        if timing.setup_met() {
+            return Ok(report);
+        }
+        let path = worst_path(netlist, lib, &timing);
+        let mut changed = 0usize;
+        for inst in path {
+            let cell = lib.cell(netlist.inst(inst).cell);
+            if !cell.is_logic() {
+                continue;
+            }
+            if cell.vth == VthClass::High {
+                if let Some(low) = lib.variant_id(netlist.inst(inst).cell, VthClass::Low) {
+                    netlist.replace_cell(inst, low, lib).expect("variant swap");
+                    report.vth_downgrades += 1;
+                    changed += 1;
+                }
+            } else if cell.drive < 4 {
+                let next_drive = cell.drive * 2;
+                let name = format!(
+                    "{}_X{}_{}",
+                    cell.kind.base_name(),
+                    next_drive,
+                    cell.vth.suffix()
+                );
+                if let Some(bigger) = lib.find_id(&name) {
+                    netlist.replace_cell(inst, bigger, lib).expect("drive swap");
+                    report.upsizes += 1;
+                    changed += 1;
+                }
+            }
+            if changed >= 12 {
+                break; // re-time before touching more
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+    report.final_wns_ps = timing.wns.ps();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_place::{place, PlacerConfig};
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    /// A shift register: classic hold-risk structure under skew.
+    fn shift_register(lib: &Library, len: usize) -> Netlist {
+        let mut n = Netlist::new("shift");
+        let clk = n.add_clock("clk");
+        let mut prev = n.add_input("d");
+        let dff = lib.find_id("DFF_X1_L").unwrap();
+        for i in 0..len {
+            let q = n.add_net(&format!("q{i}"));
+            let ff = n.add_instance(&format!("ff{i}"), dff, lib);
+            n.connect_by_name(ff, "D", prev, lib).unwrap();
+            n.connect_by_name(ff, "CK", clk, lib).unwrap();
+            n.connect_by_name(ff, "Q", q, lib).unwrap();
+            prev = q;
+        }
+        n.expose_output("z", prev);
+        n
+    }
+
+    #[test]
+    fn hold_fixing_converges() {
+        let lib = lib();
+        let mut n = shift_register(&lib, 8);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig {
+            clock_skew: Time::new(60.0), // CTS skew creates hold risk
+            ..StaConfig::default()
+        };
+        let before = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        assert!(
+            !before.hold_violations.is_empty(),
+            "test needs violations to fix"
+        );
+        let report = fix_hold(&mut n, &mut p, &lib, &par, &cfg, &Derating::none(), 6).unwrap();
+        assert_eq!(report.remaining, 0, "{report:?}");
+        assert!(report.buffers > 0);
+        // And setup still holds (buffers only pad short paths).
+        let after = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        assert!(after.setup_met(), "wns = {}", after.wns);
+    }
+
+    #[test]
+    fn setup_recovery_makes_critical_cells_faster() {
+        // An all-high-Vth chain misses a clock the low-Vth variant meets;
+        // recovery must downgrade chain cells back to low-Vth until setup
+        // closes.
+        let lib = lib();
+        let mut n = Netlist::new("slow");
+        let clk = n.add_clock("clk");
+        let mut prev = n.add_input("a");
+        let inv_h = lib.find_id("INV_X1_H").unwrap();
+        for i in 0..20 {
+            let w = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("u{i}"), inv_h, &lib);
+            n.connect_by_name(u, "A", prev, &lib).unwrap();
+            n.connect_by_name(u, "Z", w, &lib).unwrap();
+            prev = w;
+        }
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_H").unwrap(), &lib);
+        n.connect_by_name(ff, "D", prev, &lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, &lib).unwrap();
+        let q = n.add_output("q");
+        n.connect_by_name(ff, "Q", q, &lib).unwrap();
+
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        // Find the all-high critical delay, then demand ~70% of it.
+        let probe = analyze(
+            &n,
+            &lib,
+            &par,
+            &StaConfig {
+                clock_period: Time::from_ns(100.0),
+                ..StaConfig::default()
+            },
+            &Derating::none(),
+        )
+        .unwrap();
+        let crit = Time::from_ns(100.0) - probe.wns;
+        let cfg = StaConfig {
+            clock_period: crit * 0.72,
+            ..StaConfig::default()
+        };
+        let before = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        assert!(!before.setup_met(), "test needs a violation to recover");
+
+        let report =
+            recover_setup(&mut n, &lib, &par, &cfg, &Derating::none(), 30).unwrap();
+        assert!(report.vth_downgrades > 0, "{report:?}");
+        let after = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        assert!(after.setup_met(), "wns {} after {report:?}", after.wns);
+    }
+
+    #[test]
+    fn mte_distribution_buffers_high_fanout() {
+        use crate::cluster::{construct_switch_structure, ClusterConfig};
+        use crate::smtgen::{insert_output_holders, to_improved_mt_cells};
+        use smt_circuits::gen::{random_logic, RandomLogicConfig};
+        let lib = lib();
+        let mut n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates: 400,
+                seed: 5,
+                ..RandomLogicConfig::default()
+            },
+        );
+        to_improved_mt_cells(&mut n, &lib);
+        insert_output_holders(&mut n, &lib);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
+        let mte = n.find_net("mte").unwrap();
+        let fanout_before = n.net(mte).loads.len();
+        let report = distribute_mte(&mut n, &mut p, &lib, 12);
+        assert!(fanout_before > 12, "test design has high MTE fanout");
+        assert!(report.buffers > 0);
+        assert!(n.net(mte).loads.len() <= 12);
+        // All MTE buffers are high-Vth (must stay powered in standby).
+        for (_, inst) in n.instances() {
+            if inst.name.starts_with("hfb") {
+                assert_eq!(lib.cell(inst.cell).vth, VthClass::High);
+            }
+        }
+    }
+}

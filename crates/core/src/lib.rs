@@ -1,0 +1,47 @@
+//! # smt-core
+//!
+//! The paper's contribution: the improved Selective Multi-Threshold CMOS
+//! methodology, plus the Dual-Vth and conventional-SMT baselines it is
+//! compared against in Table 1.
+//!
+//! * [`dualvth`] — timing-driven low→high Vth assignment (ref \[1\]);
+//! * [`smtgen`] — the MT-cell replacement transforms, the paper's
+//!   output-holder rule, and initial switch insertion;
+//! * [`cluster`] — the CoolPower-substitute back-end optimizer: MT-cell
+//!   clustering and switch sizing under voltage-bounce, VGND-wirelength
+//!   and electromigration constraints;
+//! * [`reopt`] — post-route switch re-optimization on extracted RC;
+//! * [`eco`] — MTE-net buffering and hold fixing;
+//! * [`mod@verify`] — structural, functional and standby-safety verification;
+//! * [`flow`] — the complete Fig. 4 flow under any of the three
+//!   techniques.
+//!
+//! ```no_run
+//! use smt_cells::library::Library;
+//! use smt_core::flow::{run_flow, FlowConfig, Technique};
+//! use smt_circuits::rtl::circuit_b_rtl;
+//!
+//! let lib = Library::industrial_130nm();
+//! let result = run_flow(&circuit_b_rtl(), &lib, &FlowConfig {
+//!     technique: Technique::ImprovedSmt,
+//!     ..FlowConfig::default()
+//! }).expect("flow succeeds");
+//! println!("standby leakage: {}", result.standby_leakage);
+//! ```
+
+pub mod cluster;
+pub mod crosstalk;
+pub mod dualvth;
+pub mod eco;
+pub mod flow;
+pub mod reopt;
+pub mod report;
+pub mod smtgen;
+pub mod verify;
+
+pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
+pub use crosstalk::{analyze_crosstalk, worst_noise, CrosstalkConfig, CrosstalkReport};
+pub use dualvth::{assign_dual_vth, DualVthConfig, DualVthReport};
+pub use flow::{run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique};
+pub use report::render_signoff;
+pub use verify::{verify, VerifyReport};

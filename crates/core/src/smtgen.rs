@@ -1,0 +1,314 @@
+//! The Selective-MT netlist transforms of Fig. 4:
+//!
+//! * conventional SMT — remaining low-Vth cells become `_MC` MT-cells
+//!   (embedded switch + holder, Fig. 1(a)), each with its `MTE` pin wired
+//!   to the MT-enable net;
+//! * improved SMT — remaining low-Vth cells become `_MV` MT-cells
+//!   ("without VGND ports" first: the pin exists but is left unconnected,
+//!   matching the paper's staging), then
+//!   [`insert_output_holders`] applies the paper's holder rule and
+//!   [`insert_initial_switch`] adds the single shared switch whose drain
+//!   collects every VGND port — the starting point the clusterer refines.
+
+use smt_base::units::Volt;
+use smt_cells::cell::{CellRole, VthClass};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist};
+use smt_power::cluster_current;
+
+/// Result of a Vth→MT replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MtReplaceReport {
+    /// Cells converted to MT variants.
+    pub converted: usize,
+}
+
+/// Gets (or creates) the MT-enable input port net, named `mte`.
+pub fn mte_net(netlist: &mut Netlist) -> NetId {
+    netlist
+        .find_net("mte")
+        .unwrap_or_else(|| netlist.add_input("mte"))
+}
+
+/// Converts every remaining low-Vth logic cell to the conventional MT-cell
+/// (`_MC`) and wires its embedded switch's `MTE` pin.
+///
+/// # Panics
+///
+/// Panics if the library lacks an `_MC` variant for a converted cell
+/// (generated libraries always have them).
+pub fn to_conventional_smt(netlist: &mut Netlist, lib: &Library) -> MtReplaceReport {
+    let mte = mte_net(netlist);
+    let ids: Vec<InstId> = netlist
+        .instances()
+        .filter(|(_, i)| {
+            let c = lib.cell(i.cell);
+            c.vth == VthClass::Low && c.role == CellRole::Logic
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for &id in &ids {
+        let mc = lib
+            .variant_id(netlist.inst(id).cell, VthClass::MtEmbedded)
+            .expect("MC variant exists");
+        netlist.replace_cell(id, mc, lib).expect("pin-compatible");
+        netlist
+            .connect_by_name(id, "MTE", mte, lib)
+            .expect("MC cell has MTE");
+    }
+    MtReplaceReport {
+        converted: ids.len(),
+    }
+}
+
+/// Converts every remaining low-Vth logic cell to the improved MT-cell
+/// (`_MV`), leaving the `VGND` port unconnected ("MT-cells without VGND
+/// ports" in the paper's staging).
+pub fn to_improved_mt_cells(netlist: &mut Netlist, lib: &Library) -> MtReplaceReport {
+    let ids: Vec<InstId> = netlist
+        .instances()
+        .filter(|(_, i)| {
+            let c = lib.cell(i.cell);
+            c.vth == VthClass::Low && c.role == CellRole::Logic
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for &id in &ids {
+        let mv = lib
+            .variant_id(netlist.inst(id).cell, VthClass::MtVgnd)
+            .expect("MV variant exists");
+        netlist.replace_cell(id, mv, lib).expect("pin-compatible");
+    }
+    MtReplaceReport {
+        converted: ids.len(),
+    }
+}
+
+/// Holder insertion per the paper's rule: "The output holder is not
+/// necessary for all MT-cells ... When all fanouts of the MT-cell are
+/// connected to MT-cells, an output holder is unnecessary."
+///
+/// A net driven by an MT-cell gets a holder iff at least one fanout is a
+/// powered (non-MT) consumer: a high-Vth gate, a flip-flop, or a primary
+/// output. Returns the number of holders inserted.
+pub fn insert_output_holders(netlist: &mut Netlist, lib: &Library) -> usize {
+    let mte = mte_net(netlist);
+    let holder = lib.holder();
+    let mut targets: Vec<NetId> = Vec::new();
+    for (net_id, net) in netlist.nets() {
+        let Some(NetDriver::Inst(pr)) = net.driver else {
+            continue;
+        };
+        if !lib.cell(netlist.inst(pr.inst).cell).is_mt() {
+            continue;
+        }
+        let mut needs = !net.port_loads.is_empty();
+        for load in &net.loads {
+            let cell = lib.cell(netlist.inst(load.inst).cell);
+            // MT logic inputs keep floating nets harmless; anything
+            // powered (high/low-Vth logic, FFs) must not see a float.
+            // Holders themselves don't count as consumers.
+            let powered = match cell.role {
+                CellRole::Holder | CellRole::Switch => false,
+                _ => !cell.is_mt(),
+            };
+            if powered {
+                needs = true;
+                break;
+            }
+        }
+        // Skip if a holder is already attached (idempotence).
+        let already = net.loads.iter().any(|l| {
+            lib.cell(netlist.inst(l.inst).cell).role == CellRole::Holder
+        });
+        if needs && !already {
+            targets.push(net_id);
+        }
+    }
+    for (k, net) in targets.iter().enumerate() {
+        let name = netlist.fresh_inst_name(&format!("hold{k}"));
+        let h = netlist.add_instance(&name, holder, lib);
+        netlist
+            .connect_by_name(h, "A", *net, lib)
+            .expect("holder pin A");
+        netlist
+            .connect_by_name(h, "MTE", mte, lib)
+            .expect("holder pin MTE");
+    }
+    targets.len()
+}
+
+/// All improved MT-cell instances.
+pub fn mt_vgnd_cells(netlist: &Netlist, lib: &Library) -> Vec<InstId> {
+    netlist
+        .instances()
+        .filter(|(_, i)| lib.cell(i.cell).vth == VthClass::MtVgnd)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Inserts the paper's *initial* switch structure: one switch transistor
+/// whose drain collects every VGND port. The switch is the smallest
+/// library switch that keeps the (diversity-discounted) total current
+/// under the bounce limit — usually the widest one, which is exactly why
+/// the clusterer replaces this structure next.
+///
+/// Returns the switch instance, or `None` when the design has no improved
+/// MT-cells.
+pub fn insert_initial_switch(
+    netlist: &mut Netlist,
+    lib: &Library,
+    bounce_limit: Volt,
+) -> Option<InstId> {
+    let cells = mt_vgnd_cells(netlist, lib);
+    if cells.is_empty() {
+        return None;
+    }
+    let mte = mte_net(netlist);
+    let vgnd = {
+        let name = netlist.fresh_net_name("vgnd_all");
+        netlist.add_net(&name)
+    };
+    for &c in &cells {
+        netlist
+            .connect_by_name(c, "VGND", vgnd, lib)
+            .expect("MV cell has VGND");
+    }
+    let current = cluster_current(lib, netlist, &cells);
+    // Fall back to the widest switch when nothing satisfies the limit
+    // (the re-optimizer and clusterer will fix it).
+    let sw_cell = lib
+        .pick_switch(current, bounce_limit)
+        .or_else(|| lib.switch_cells().last().copied())
+        .expect("library has switch cells");
+    let name = netlist.fresh_inst_name("swroot");
+    let sw = netlist.add_instance(&name, sw_cell, lib);
+    netlist
+        .connect_by_name(sw, "VGND", vgnd, lib)
+        .expect("switch VGND");
+    netlist
+        .connect_by_name(sw, "MTE", mte, lib)
+        .expect("switch MTE");
+    Some(sw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_sim::{check_equivalence, Mode, Simulator, Value};
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    /// MT chain driving: another MT cell, a high-Vth cell, an FF, a port.
+    fn mixed(lib: &Library) -> Netlist {
+        let mut n = Netlist::new("mixed");
+        let clk = n.add_clock("clk");
+        let a = n.add_input("a");
+        let w0 = n.add_net("w0");
+        let w1 = n.add_net("w1");
+        let z = n.add_output("z");
+        let inv_l = lib.find_id("INV_X1_L").unwrap();
+        let inv_h = lib.find_id("INV_X1_H").unwrap();
+        let u0 = n.add_instance("u0", inv_l, lib); // will become MT
+        let u1 = n.add_instance("u1", inv_l, lib); // will become MT
+        let u2 = n.add_instance("u2", inv_h, lib); // stays high-Vth
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_H").unwrap(), lib);
+        n.connect_by_name(u0, "A", a, lib).unwrap();
+        n.connect_by_name(u0, "Z", w0, lib).unwrap();
+        n.connect_by_name(u1, "A", w0, lib).unwrap();
+        n.connect_by_name(u1, "Z", w1, lib).unwrap();
+        n.connect_by_name(u2, "A", w1, lib).unwrap();
+        n.connect_by_name(u2, "Z", z, lib).unwrap();
+        n.connect_by_name(ff, "D", w1, lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, lib).unwrap();
+        let q = n.add_output("q");
+        n.connect_by_name(ff, "Q", q, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn conventional_transform_wires_mte() {
+        let lib = lib();
+        let golden = mixed(&lib);
+        let mut n = mixed(&lib);
+        let r = to_conventional_smt(&mut n, &lib);
+        assert_eq!(r.converted, 2);
+        let mte = n.find_net("mte").unwrap();
+        assert_eq!(n.net(mte).loads.len(), 2, "both MC cells on MTE");
+        let issues = lint(&n, &lib, LintConfig { require_mt_wiring: true });
+        assert!(is_clean(&issues), "{issues:?}");
+        // Function unchanged in active mode. The golden netlist has no
+        // `mte` port, so compare against a copy that has one too.
+        let mut golden2 = golden.clone();
+        let _ = mte_net(&mut golden2);
+        let eq = check_equivalence(&golden2, &n, &lib, 64, 3).unwrap();
+        assert!(eq.is_equivalent(), "{:?}", eq.mismatches.first());
+    }
+
+    #[test]
+    fn holder_rule_matches_paper() {
+        let lib = lib();
+        let mut n = mixed(&lib);
+        to_improved_mt_cells(&mut n, &lib);
+        let holders = insert_output_holders(&mut n, &lib);
+        // w0: MT u0 -> MT u1 only  => no holder.
+        // w1: MT u1 -> high-Vth u2 + FF => holder.
+        assert_eq!(holders, 1);
+        let w1 = n.find_net("w1").unwrap();
+        let has_holder = n.net(w1).loads.iter().any(|l| {
+            lib.cell(n.inst(l.inst).cell).role == CellRole::Holder
+        });
+        assert!(has_holder);
+        let w0 = n.find_net("w0").unwrap();
+        let w0_holder = n.net(w0).loads.iter().any(|l| {
+            lib.cell(n.inst(l.inst).cell).role == CellRole::Holder
+        });
+        assert!(!w0_holder, "MT->MT net must not get a holder");
+        // Idempotent.
+        assert_eq!(insert_output_holders(&mut n, &lib), 0);
+    }
+
+    #[test]
+    fn initial_switch_collects_all_vgnd_ports() {
+        let lib = lib();
+        let mut n = mixed(&lib);
+        to_improved_mt_cells(&mut n, &lib);
+        insert_output_holders(&mut n, &lib);
+        let sw = insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0))
+            .expect("has MT cells");
+        let issues = lint(&n, &lib, LintConfig { require_mt_wiring: true });
+        assert!(is_clean(&issues), "{issues:?}");
+        let spec = lib.cell(n.inst(sw).cell);
+        assert_eq!(spec.role, CellRole::Switch);
+    }
+
+    #[test]
+    fn standby_behaviour_after_improved_transform() {
+        let lib = lib();
+        let mut n = mixed(&lib);
+        to_improved_mt_cells(&mut n, &lib);
+        insert_output_holders(&mut n, &lib);
+        insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0));
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let a = n.find_net("a").unwrap();
+        sim.set_input(a, Value::Zero);
+        sim.set_mode(Mode::Standby);
+        sim.propagate(&n, &lib);
+        // The held boundary net reads 1; the powered inverter sees a known
+        // value; its output is therefore known.
+        let w1 = n.find_net("w1").unwrap();
+        let z = n.find_net("z").unwrap();
+        assert_eq!(sim.value(w1), Value::One);
+        assert_eq!(sim.value(z), Value::Zero);
+    }
+
+    #[test]
+    fn no_mt_cells_no_switch() {
+        let lib = lib();
+        let mut n = mixed(&lib); // still all L/H, no MV cells
+        assert!(insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0)).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Final verification (the last box of Fig. 4): structural lint,
+//! active-mode functional equivalence against the golden netlist, and a
+//! standby-safety check that no powered cell is left staring at a
+//! floating net — the failure mode the output holders exist to prevent.
+
+use smt_cells::cell::CellRole;
+use smt_cells::library::Library;
+use smt_netlist::check::{lint, LintConfig, Severity};
+use smt_netlist::netlist::{Netlist, PortDir};
+use smt_sim::{check_equivalence, EquivReport, Mode, Simulator, Value};
+
+/// Combined verification outcome.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Structural lint errors (strict MT-wiring rules).
+    pub lint_errors: Vec<String>,
+    /// Functional equivalence result (active mode).
+    pub equivalence: EquivReport,
+    /// Powered-cell inputs observed floating in standby (instance, pin
+    /// name). Empty = the holder rule did its job.
+    pub floating_in_standby: Vec<(String, String)>,
+}
+
+impl VerifyReport {
+    /// True when all three checks pass.
+    pub fn passed(&self) -> bool {
+        self.lint_errors.is_empty()
+            && self.equivalence.is_equivalent()
+            && self.floating_in_standby.is_empty()
+    }
+}
+
+/// Verification error (simulation setup failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Runs the full verification suite.
+///
+/// `golden` is the pre-transform netlist (after synthesis, before any Vth
+/// assignment); the DUT is the final Selective-MT netlist. The `mte` port
+/// added by the transforms is tolerated in port matching.
+///
+/// # Errors
+///
+/// [`VerifyError`] when either netlist cannot be simulated.
+pub fn verify(
+    golden: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    cycles: usize,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    // 1. Structural lint with strict MT wiring.
+    let issues = lint(dut, lib, LintConfig { require_mt_wiring: true });
+    let lint_errors: Vec<String> = issues
+        .iter()
+        .filter(|i| i.severity == Severity::Error)
+        .map(|i| i.message.clone())
+        .collect();
+
+    // 2. Active-mode equivalence. Give the golden design an `mte` port if
+    // the DUT grew one, so the port sets match.
+    let mut golden2 = golden.clone();
+    if dut.find_net("mte").is_some() && golden2.find_net("mte").is_none() {
+        golden2.add_input("mte");
+    }
+    let equivalence = check_equivalence(&golden2, dut, lib, cycles, seed)
+        .map_err(|e| VerifyError { message: e.to_string() })?;
+
+    // 3. Standby safety: drive a known input vector, gate the design, and
+    // look for powered cells with X inputs.
+    let mut sim = Simulator::new(dut, lib).map_err(|e| VerifyError { message: e.to_string() })?;
+    for (i, (_, port)) in dut
+        .ports()
+        .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
+        .enumerate()
+    {
+        sim.set_input(port.net, Value::from_bool(i % 2 == 0));
+    }
+    for (id, inst) in dut.instances() {
+        if lib.cell(inst.cell).is_sequential() {
+            sim.set_ff_state(id, Value::Zero);
+        }
+    }
+    sim.set_mode(Mode::Standby);
+    sim.propagate(dut, lib);
+    let mut floating_in_standby = Vec::new();
+    for (_, inst) in dut.instances() {
+        let cell = lib.cell(inst.cell);
+        // Powered consumers: plain logic, FFs. (MT cells are gated; their
+        // inputs floating costs nothing. Holders/switches are the gating
+        // fabric itself. Clock buffers see the stopped clock.)
+        let powered = match cell.role {
+            CellRole::Logic => !cell.is_mt(),
+            CellRole::Sequential => true,
+            _ => false,
+        };
+        if !powered {
+            continue;
+        }
+        let pins: Vec<usize> = if cell.is_sequential() {
+            cell.pin_index("D").into_iter().collect()
+        } else {
+            cell.logic_input_pins()
+        };
+        for pin in pins {
+            if let Some(net) = inst.net_on(pin) {
+                if sim.value(net) == Value::X {
+                    floating_in_standby
+                        .push((inst.name.clone(), cell.pins[pin].name.clone()));
+                }
+            }
+        }
+    }
+
+    Ok(VerifyReport {
+        lint_errors,
+        equivalence,
+        floating_in_standby,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smtgen::{
+        insert_initial_switch, insert_output_holders, to_improved_mt_cells,
+    };
+    use smt_base::units::Volt;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    fn design(lib: &Library) -> Netlist {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let w = n.add_net("w");
+        let z = n.add_output("z");
+        let g1 = n.add_instance("g1", lib.find_id("ND2_X1_L").unwrap(), lib);
+        let g2 = n.add_instance("g2", lib.find_id("INV_X1_H").unwrap(), lib);
+        n.connect_by_name(g1, "A", a, lib).unwrap();
+        n.connect_by_name(g1, "B", b, lib).unwrap();
+        n.connect_by_name(g1, "Z", w, lib).unwrap();
+        n.connect_by_name(g2, "A", w, lib).unwrap();
+        n.connect_by_name(g2, "Z", z, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn full_transform_passes_verification() {
+        let lib = lib();
+        let golden = design(&lib);
+        let mut dut = design(&lib);
+        to_improved_mt_cells(&mut dut, &lib);
+        insert_output_holders(&mut dut, &lib);
+        insert_initial_switch(&mut dut, &lib, Volt::from_millivolts(50.0));
+        let report = verify(&golden, &dut, &lib, 64, 1).unwrap();
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn missing_holder_is_caught_by_standby_check() {
+        let lib = lib();
+        let golden = design(&lib);
+        let mut dut = design(&lib);
+        to_improved_mt_cells(&mut dut, &lib);
+        // Deliberately skip holder insertion.
+        insert_initial_switch(&mut dut, &lib, Volt::from_millivolts(50.0));
+        let report = verify(&golden, &dut, &lib, 32, 1).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report
+                .floating_in_standby
+                .iter()
+                .any(|(inst, pin)| inst == "g2" && pin == "A"),
+            "{:?}",
+            report.floating_in_standby
+        );
+    }
+
+    #[test]
+    fn broken_function_is_caught_by_equivalence() {
+        let lib = lib();
+        let golden = design(&lib);
+        let mut dut = design(&lib);
+        // Sabotage: swap the NAND for a NOR.
+        let g1 = dut.find_inst("g1").unwrap();
+        dut.replace_cell(g1, lib.find_id("NR2_X1_L").unwrap(), &lib)
+            .unwrap();
+        let report = verify(&golden, &dut, &lib, 64, 1).unwrap();
+        assert!(!report.equivalence.is_equivalent());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn unwired_vgnd_is_caught_by_lint() {
+        let lib = lib();
+        let golden = design(&lib);
+        let mut dut = design(&lib);
+        to_improved_mt_cells(&mut dut, &lib);
+        insert_output_holders(&mut dut, &lib);
+        // Skip switch insertion: VGND pins float.
+        let report = verify(&golden, &dut, &lib, 32, 1).unwrap();
+        assert!(!report.lint_errors.is_empty());
+        assert!(!report.passed());
+    }
+}

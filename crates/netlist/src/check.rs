@@ -1,0 +1,309 @@
+//! Structural lint: the invariants every stage of the Fig. 4 flow must
+//! maintain.
+//!
+//! The improved Selective-MT transform touches a netlist aggressively
+//! (variant swaps, new VGND nets, switch and holder insertion, MTE
+//! buffering), so the flow runs [`lint`] after each stage and treats any
+//! [`Severity::Error`] as a bug in the transform.
+
+use crate::netlist::{Netlist, PortDir};
+use smt_cells::cell::{CellRole, PinDir};
+use smt_cells::library::Library;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (e.g. unused net).
+    Info,
+    /// Suspicious but may be intentional mid-flow.
+    Warning,
+    /// A violated invariant.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description naming the offending object.
+    pub message: String,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warn",
+            Severity::Error => "ERROR",
+        };
+        write!(f, "[{tag}] {}", self.message)
+    }
+}
+
+/// Options controlling which rules apply at the current flow stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Mid-flow, MT-cells may still have floating `VGND`/`MTE` pins (the
+    /// switch-insertion stage comes later). Set to `true` after that stage
+    /// to require them wired.
+    pub require_mt_wiring: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            require_mt_wiring: false,
+        }
+    }
+}
+
+/// Runs the structural checks and returns all findings.
+pub fn lint(netlist: &Netlist, lib: &Library, config: LintConfig) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    let push = |issues: &mut Vec<LintIssue>, severity, message: String| {
+        issues.push(LintIssue { severity, message });
+    };
+
+    // Net rules. VGND nets are power nets: every attached pin (MT-cell
+    // ports and the switch drain) is an input-direction `is_vgnd` pin, so
+    // they legitimately have no logic driver.
+    for (_, net) in netlist.nets() {
+        let is_vgnd_net = !net.loads.is_empty()
+            && net.loads.iter().all(|pr| {
+                let cell = lib.cell(netlist.inst(pr.inst).cell);
+                cell.pins[pr.pin].is_vgnd
+            });
+        if is_vgnd_net {
+            continue;
+        }
+        let n_sinks = net.loads.len() + net.port_loads.len();
+        match (net.driver.is_some(), n_sinks) {
+            (false, 0) => push(
+                &mut issues,
+                Severity::Info,
+                format!("net `{}` is completely unconnected", net.name),
+            ),
+            (false, _) => push(
+                &mut issues,
+                Severity::Error,
+                format!("net `{}` has loads but no driver", net.name),
+            ),
+            (true, 0) => push(
+                &mut issues,
+                Severity::Warning,
+                format!("net `{}` is driven but unloaded", net.name),
+            ),
+            (true, _) => {}
+        }
+    }
+
+    // Instance rules.
+    for (_, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        for (pin, conn) in inst.conns.iter().enumerate() {
+            let spec = &cell.pins[pin];
+            if conn.is_some() {
+                continue;
+            }
+            let special = spec.is_vgnd || spec.name == "MTE";
+            match spec.dir {
+                PinDir::Input if special => {
+                    if config.require_mt_wiring {
+                        push(
+                            &mut issues,
+                            Severity::Error,
+                            format!(
+                                "instance `{}` pin `{}` unconnected after switch insertion",
+                                inst.name, spec.name
+                            ),
+                        );
+                    }
+                }
+                PinDir::Input => push(
+                    &mut issues,
+                    Severity::Error,
+                    format!("instance `{}` input `{}` is floating", inst.name, spec.name),
+                ),
+                PinDir::Output => push(
+                    &mut issues,
+                    Severity::Warning,
+                    format!("instance `{}` output `{}` is dangling", inst.name, spec.name),
+                ),
+            }
+        }
+    }
+
+    // VGND nets must connect MT VGND ports to exactly one switch drain.
+    if config.require_mt_wiring {
+        for (_, net) in netlist.nets() {
+            let mut mt_ports = 0usize;
+            let mut switch_drains = 0usize;
+            for pr in &net.loads {
+                let cell = lib.cell(netlist.inst(pr.inst).cell);
+                if cell.pins[pr.pin].is_vgnd {
+                    if cell.role == CellRole::Switch {
+                        switch_drains += 1;
+                    } else {
+                        mt_ports += 1;
+                    }
+                }
+            }
+            if mt_ports > 0 && switch_drains != 1 {
+                push(
+                    &mut issues,
+                    Severity::Error,
+                    format!(
+                        "VGND net `{}` joins {} MT-cell port(s) but {} switch(es)",
+                        net.name, mt_ports, switch_drains
+                    ),
+                );
+            }
+        }
+    }
+
+    // Ports must be bound.
+    for (_, port) in netlist.ports() {
+        let net = netlist.net(port.net);
+        if port.dir == PortDir::Output && net.driver.is_none() {
+            push(
+                &mut issues,
+                Severity::Error,
+                format!("output port `{}` is undriven", port.name),
+            );
+        }
+    }
+    // Clock net should only feed clock pins and clock buffers.
+    if let Some(ck) = netlist.clock_net() {
+        for pr in &netlist.net(ck).loads {
+            let cell = lib.cell(netlist.inst(pr.inst).cell);
+            let pin = &cell.pins[pr.pin];
+            if !pin.is_clock && cell.role != CellRole::ClockBuf {
+                push(
+                    &mut issues,
+                    Severity::Warning,
+                    format!(
+                        "clock net drives non-clock pin `{}` of `{}`",
+                        pin.name,
+                        netlist.inst(pr.inst).name
+                    ),
+                );
+            }
+        }
+    }
+
+    issues
+}
+
+/// True when no [`Severity::Error`] findings exist.
+pub fn is_clean(issues: &[LintIssue]) -> bool {
+    issues.iter().all(|i| i.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use smt_cells::cell::VthClass;
+    use smt_cells::library::Library;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    #[test]
+    fn clean_netlist_passes() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn floating_input_is_error() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(!is_clean(&issues));
+        assert!(issues.iter().any(|i| i.message.contains("floating")));
+    }
+
+    #[test]
+    fn undriven_loaded_net_is_error() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let w = n.add_net("w");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u, "A", w, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("no driver")));
+    }
+
+    #[test]
+    fn mt_wiring_rule_only_after_switch_insertion() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let z = n.add_output("z");
+        let mv = lib.find_id("ND2_X1_MV").unwrap();
+        let u = n.add_instance("u", mv, &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "B", b, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        // VGND unconnected: fine mid-flow...
+        let relaxed = lint(&n, &lib, LintConfig::default());
+        assert!(is_clean(&relaxed), "{relaxed:?}");
+        // ...an error once switch insertion is declared done.
+        let strict = lint(
+            &n,
+            &lib,
+            LintConfig {
+                require_mt_wiring: true,
+            },
+        );
+        assert!(!is_clean(&strict));
+    }
+
+    #[test]
+    fn vgnd_net_requires_one_switch() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let z = n.add_output("z");
+        let mte = n.add_input("mte");
+        let mv = lib.find_id("ND2_X1_MV").unwrap();
+        let u = n.add_instance("u", mv, &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "B", b, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let vg = n.add_net("vgnd0");
+        n.connect_by_name(u, "VGND", vg, &lib).unwrap();
+        // No switch on vgnd0 yet -> error under strict config.
+        let strict = LintConfig {
+            require_mt_wiring: true,
+        };
+        assert!(!is_clean(&lint(&n, &lib, strict)));
+        // Attach a switch: becomes clean.
+        let sw = n.add_instance("sw0", lib.find_id("SW_W8").unwrap(), &lib);
+        n.connect_by_name(sw, "VGND", vg, &lib).unwrap();
+        n.connect_by_name(sw, "MTE", mte, &lib).unwrap();
+        let issues = lint(&n, &lib, strict);
+        assert!(is_clean(&issues), "{issues:?}");
+        let _ = VthClass::MtVgnd;
+    }
+}

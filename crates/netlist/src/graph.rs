@@ -1,0 +1,293 @@
+//! Graph views over a netlist: topological order of the combinational
+//! core, levelisation, cones, and cycle detection.
+//!
+//! The combinational core is the set of live instances with a logic role
+//! (gates and buffers). Flip-flops, ports, switches and holders are
+//! boundaries: an FF's `Q` output is a source, its `D` input a sink.
+
+use crate::netlist::{InstId, NetDriver, Netlist};
+use smt_cells::library::Library;
+use std::collections::VecDeque;
+
+/// Error: the combinational core contains a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinationalCycle {
+    /// Instances still unresolved when propagation stalled (a superset of
+    /// the actual cycle, useful for debugging).
+    pub members: Vec<InstId>,
+}
+
+impl std::fmt::Display for CombinationalCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "combinational cycle through {} instance(s)",
+            self.members.len()
+        )
+    }
+}
+
+impl std::error::Error for CombinationalCycle {}
+
+/// Precomputed traversal structure.
+#[derive(Debug, Clone)]
+pub struct TopoOrder {
+    /// Combinational instances in dependency order (drivers before loads).
+    pub order: Vec<InstId>,
+    /// Logic depth of each instance slot (0 for instances whose inputs are
+    /// all sources); `u32::MAX` for non-combinational slots.
+    pub level: Vec<u32>,
+}
+
+impl TopoOrder {
+    /// Maximum logic depth (0 when there is no combinational logic).
+    pub fn max_level(&self) -> u32 {
+        self.order
+            .iter()
+            .map(|i| self.level[i.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn is_comb(netlist: &Netlist, lib: &Library, id: InstId) -> bool {
+    let inst = netlist.inst(id);
+    !inst.dead && lib.cell(inst.cell).is_logic()
+}
+
+/// Computes a topological order of the combinational core.
+///
+/// # Errors
+///
+/// Returns [`CombinationalCycle`] when gates form a loop (no FF in the
+/// cycle), which the synthesiser must never emit.
+pub fn topo_order(netlist: &Netlist, lib: &Library) -> Result<TopoOrder, CombinationalCycle> {
+    let cap = netlist.inst_capacity();
+    let mut pending = vec![0u32; cap];
+    let mut comb = vec![false; cap];
+    let mut total = 0usize;
+
+    for (id, inst) in netlist.instances() {
+        if !is_comb(netlist, lib, id) {
+            continue;
+        }
+        comb[id.index()] = true;
+        total += 1;
+        // Count combinational fan-in drivers.
+        let cell = lib.cell(inst.cell);
+        for &pin in &cell.logic_input_pins() {
+            if let Some(net) = inst.net_on(pin) {
+                if let Some(NetDriver::Inst(pr)) = netlist.net(net).driver {
+                    if is_comb(netlist, lib, pr.inst) {
+                        pending[id.index()] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut level = vec![u32::MAX; cap];
+    let mut order = Vec::with_capacity(total);
+    let mut queue: VecDeque<InstId> = netlist
+        .instances()
+        .map(|(id, _)| id)
+        .filter(|id| comb[id.index()] && pending[id.index()] == 0)
+        .collect();
+    for id in &queue {
+        level[id.index()] = 0;
+    }
+
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let Some(out) = cell.output_pin() else {
+            continue;
+        };
+        let Some(net) = inst.net_on(out) else {
+            continue;
+        };
+        for load in &netlist.net(net).loads {
+            if !comb[load.inst.index()] {
+                continue;
+            }
+            // Only logic input pins create dependencies.
+            let lcell = lib.cell(netlist.inst(load.inst).cell);
+            if !lcell.logic_input_pins().contains(&load.pin) {
+                continue;
+            }
+            let p = &mut pending[load.inst.index()];
+            debug_assert!(*p > 0);
+            *p -= 1;
+            let lvl = level[id.index()] + 1;
+            if level[load.inst.index()] == u32::MAX || level[load.inst.index()] < lvl {
+                level[load.inst.index()] = lvl;
+            }
+            if *p == 0 {
+                queue.push_back(load.inst);
+            }
+        }
+    }
+
+    if order.len() != total {
+        let members = netlist
+            .instances()
+            .map(|(id, _)| id)
+            .filter(|id| comb[id.index()] && pending[id.index()] > 0)
+            .collect();
+        return Err(CombinationalCycle { members });
+    }
+    Ok(TopoOrder { order, level })
+}
+
+/// Transitive fan-out instances of an instance (not including itself),
+/// stopping at sequential/boundary cells.
+pub fn fanout_cone(netlist: &Netlist, lib: &Library, from: InstId) -> Vec<InstId> {
+    let mut seen = vec![false; netlist.inst_capacity()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(id) = queue.pop_front() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let Some(op) = cell.output_pin() else { continue };
+        let Some(net) = inst.net_on(op) else { continue };
+        for load in &netlist.net(net).loads {
+            if seen[load.inst.index()] {
+                continue;
+            }
+            seen[load.inst.index()] = true;
+            out.push(load.inst);
+            if is_comb(netlist, lib, load.inst) {
+                queue.push_back(load.inst);
+            }
+        }
+    }
+    out
+}
+
+/// Transitive fan-in instances of an instance (not including itself),
+/// stopping at sequential/boundary cells.
+pub fn fanin_cone(netlist: &Netlist, lib: &Library, from: InstId) -> Vec<InstId> {
+    let mut seen = vec![false; netlist.inst_capacity()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(id) = queue.pop_front() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        for &pin in &cell.logic_input_pins() {
+            let Some(net) = inst.net_on(pin) else { continue };
+            if let Some(NetDriver::Inst(pr)) = netlist.net(net).driver {
+                if seen[pr.inst.index()] {
+                    continue;
+                }
+                seen[pr.inst.index()] = true;
+                out.push(pr.inst);
+                if is_comb(netlist, lib, pr.inst) {
+                    queue.push_back(pr.inst);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use smt_cells::library::Library;
+
+    /// Chain: a -> inv0 -> inv1 -> inv2 -> z, plus a DFF boundary.
+    fn chain(lib: &Library, len: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let mut prev = n.add_input("a");
+        let clk = n.add_clock("clk");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        for i in 0..len {
+            let next = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("inv{i}"), inv, lib);
+            n.connect_by_name(u, "A", prev, lib).unwrap();
+            n.connect_by_name(u, "Z", next, lib).unwrap();
+            prev = next;
+        }
+        let q = n.add_output("z");
+        let ff = n.add_instance("ff0", lib.find_id("DFF_X1_L").unwrap(), lib);
+        n.connect_by_name(ff, "D", prev, lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, lib).unwrap();
+        n.connect_by_name(ff, "Q", q, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn topo_levels_follow_chain() {
+        let lib = Library::industrial_130nm();
+        let n = chain(&lib, 5);
+        let topo = topo_order(&n, &lib).unwrap();
+        assert_eq!(topo.order.len(), 5);
+        assert_eq!(topo.max_level(), 4);
+        for (i, id) in topo.order.iter().enumerate() {
+            assert_eq!(topo.level[id.index()], i as u32);
+        }
+    }
+
+    #[test]
+    fn ff_breaks_cycles() {
+        // ff.Q -> inv -> ff.D is sequential feedback, not a comb cycle.
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("loop");
+        let clk = n.add_clock("clk");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_L").unwrap(), &lib);
+        let inv = n.add_instance("inv", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(ff, "CK", clk, &lib).unwrap();
+        n.connect_by_name(ff, "Q", q, &lib).unwrap();
+        n.connect_by_name(ff, "D", d, &lib).unwrap();
+        n.connect_by_name(inv, "A", q, &lib).unwrap();
+        n.connect_by_name(inv, "Z", d, &lib).unwrap();
+        let topo = topo_order(&n, &lib).unwrap();
+        assert_eq!(topo.order.len(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("bad");
+        let w0 = n.add_net("w0");
+        let w1 = n.add_net("w1");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        let u0 = n.add_instance("u0", inv, &lib);
+        let u1 = n.add_instance("u1", inv, &lib);
+        n.connect_by_name(u0, "A", w1, &lib).unwrap();
+        n.connect_by_name(u0, "Z", w0, &lib).unwrap();
+        n.connect_by_name(u1, "A", w0, &lib).unwrap();
+        n.connect_by_name(u1, "Z", w1, &lib).unwrap();
+        let err = topo_order(&n, &lib).unwrap_err();
+        assert_eq!(err.members.len(), 2);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn cones() {
+        let lib = Library::industrial_130nm();
+        let n = chain(&lib, 4);
+        let first = n.find_inst("inv0").unwrap();
+        let last = n.find_inst("inv3").unwrap();
+        let fo = fanout_cone(&n, &lib, first);
+        // inv1..inv3 plus the FF.
+        assert_eq!(fo.len(), 4);
+        let fi = fanin_cone(&n, &lib, last);
+        assert_eq!(fi.len(), 3);
+        assert!(fi.contains(&first));
+    }
+
+    #[test]
+    fn removed_instances_are_skipped() {
+        let lib = Library::industrial_130nm();
+        let mut n = chain(&lib, 3);
+        let mid = n.find_inst("inv1").unwrap();
+        n.remove_instance(mid);
+        let topo = topo_order(&n, &lib).unwrap();
+        assert_eq!(topo.order.len(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Structural-Verilog-lite writer and parser.
+//!
+//! The dialect covers what a gate-level P&R netlist needs and nothing more:
+//!
+//! ```text
+//! module top (a, b, clk, z);
+//!   input a, b;
+//!   input clk; // clock
+//!   output z;
+//!   wire n1, n2;
+//!   ND2_X1_L u1 (.A(a), .B(b), .Z(n1));
+//!   DFF_X1_L ff0 (.D(n1), .CK(clk), .Q(z));
+//! endmodule
+//! ```
+//!
+//! Cell names must exist in the supplied [`Library`]. The `// clock`
+//! comment marks the clock input (written automatically by
+//! [`write`]; optional on parse — a port named `clk` is also recognised).
+
+use crate::netlist::{Netlist, PortDir};
+use smt_cells::library::Library;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseVerilogError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+/// Serialises a netlist to the Verilog-lite dialect. The library provides
+/// cell and pin names.
+pub fn write_with_lib(netlist: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    let port_list: Vec<&str> = netlist.ports().map(|(_, p)| p.name.as_str()).collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name, port_list.join(", "));
+    for (_, p) in netlist.ports() {
+        let dir = match p.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        let clock = if p.is_clock { " // clock" } else { "" };
+        let _ = writeln!(out, "  {} {};{}", dir, p.name, clock);
+    }
+    let port_nets: HashSet<&str> = netlist.ports().map(|(_, p)| p.name.as_str()).collect();
+    let wires: Vec<&str> = netlist
+        .nets()
+        .map(|(_, n)| n.name.as_str())
+        .filter(|n| !port_nets.contains(n))
+        .collect();
+    for chunk in wires.chunks(12) {
+        let _ = writeln!(out, "  wire {};", chunk.join(", "));
+    }
+    for (_, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        let conns: Vec<String> = inst
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(pin, conn)| {
+                conn.map(|net| format!(".{}({})", cell.pins[pin].name, netlist.net(net).name))
+            })
+            .collect();
+        let _ = writeln!(out, "  {} {} ({});", cell.name, inst.name, conns.join(", "));
+    }
+    // Output ports exposed on internal nets become `assign` aliases.
+    for (_, p) in netlist.ports() {
+        if p.dir == PortDir::Output && netlist.net(p.net).name != p.name {
+            let _ = writeln!(out, "  assign {} = {};", p.name, netlist.net(p.net).name);
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn strip_comment(line: &str) -> (&str, bool) {
+    if let Some(idx) = line.find("//") {
+        let is_clock = line[idx..].contains("clock");
+        (&line[..idx], is_clock)
+    } else {
+        (line, false)
+    }
+}
+
+/// Parses the Verilog-lite dialect into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on syntax errors, unknown cells or pins,
+/// undeclared nets, or connectivity violations (two drivers on one net).
+pub fn parse(text: &str, lib: &Library) -> Result<Netlist, ParseVerilogError> {
+    let err = |line: usize, msg: String| ParseVerilogError { line, message: msg };
+    // Join statements: a statement ends with ';' (or is module/endmodule).
+    let mut netlist: Option<Netlist> = None;
+    let mut declared_ports: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    let mut pending_clock = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let (code, clock_marker) = strip_comment(raw);
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        if pending.is_empty() {
+            pending_line = lineno;
+            pending_clock = false;
+        }
+        pending_clock |= clock_marker;
+        pending.push(' ');
+        pending.push_str(code);
+
+        while let Some(semi) = pending.find(';') {
+            let stmt: String = pending[..semi].trim().to_owned();
+            let rest = pending[semi + 1..].to_owned();
+            pending = rest;
+            let is_clock = pending_clock;
+            pending_clock = false;
+            process_statement(
+                &stmt,
+                pending_line,
+                is_clock,
+                &mut netlist,
+                &mut declared_ports,
+                lib,
+            )
+            .map_err(|m| err(pending_line, m))?;
+        }
+        if pending.trim() == "endmodule" {
+            pending.clear();
+        }
+    }
+    let n = netlist.ok_or_else(|| err(1, "no module declaration found".to_owned()))?;
+    Ok(n)
+}
+
+fn process_statement(
+    stmt: &str,
+    _line: usize,
+    is_clock: bool,
+    netlist: &mut Option<Netlist>,
+    declared_ports: &mut Vec<String>,
+    lib: &Library,
+) -> Result<(), String> {
+    let stmt = stmt.trim();
+    if stmt.is_empty() || stmt == "endmodule" {
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("module ") {
+        let (name, ports) = rest
+            .split_once('(')
+            .ok_or_else(|| "module declaration needs a port list".to_owned())?;
+        let ports = ports
+            .strip_suffix(')')
+            .ok_or_else(|| "unterminated port list".to_owned())?;
+        *netlist = Some(Netlist::new(name.trim()));
+        *declared_ports = ports
+            .split(',')
+            .map(|p| p.trim().to_owned())
+            .filter(|p| !p.is_empty())
+            .collect();
+        return Ok(());
+    }
+    let n = netlist
+        .as_mut()
+        .ok_or_else(|| "statement before module declaration".to_owned())?;
+    if let Some(rest) = stmt.strip_prefix("input ") {
+        for name in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !declared_ports.iter().any(|p| p == name) {
+                return Err(format!("input `{name}` not in module port list"));
+            }
+            if is_clock || name == "clk" || name == "clock" {
+                n.add_clock(name);
+            } else {
+                n.add_input(name);
+            }
+        }
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("output ") {
+        for name in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !declared_ports.iter().any(|p| p == name) {
+                return Err(format!("output `{name}` not in module port list"));
+            }
+            n.add_output(name);
+        }
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("wire ") {
+        for name in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            n.add_net_checked(name).map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("assign ") {
+        // Port alias: `assign <output-port> = <net>;`
+        let (port, src) = rest
+            .split_once('=')
+            .map(|(a, b)| (a.trim(), b.trim()))
+            .ok_or_else(|| format!("malformed assign `{rest}`"))?;
+        let net = n
+            .find_net(src)
+            .ok_or_else(|| format!("assign source net `{src}` undeclared"))?;
+        if !n.rebind_output_port(port, net) {
+            return Err(format!("assign target `{port}` is not an output port"));
+        }
+        return Ok(());
+    }
+    // Instance: CELL name ( .PIN(net), ... )
+    let (head, conns) = stmt
+        .split_once('(')
+        .ok_or_else(|| format!("unrecognised statement `{stmt}`"))?;
+    let conns = conns
+        .strip_suffix(')')
+        .ok_or_else(|| "unterminated connection list".to_owned())?;
+    let mut head_it = head.split_whitespace();
+    let cell_name = head_it
+        .next()
+        .ok_or_else(|| "missing cell name".to_owned())?;
+    let inst_name = head_it
+        .next()
+        .ok_or_else(|| format!("missing instance name after `{cell_name}`"))?;
+    let cell_id = lib
+        .find_id(cell_name)
+        .ok_or_else(|| format!("unknown cell `{cell_name}`"))?;
+    let inst = n.add_instance(inst_name, cell_id, lib);
+    for conn in conns.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let conn = conn
+            .strip_prefix('.')
+            .ok_or_else(|| format!("expected `.PIN(net)`, got `{conn}`"))?;
+        let (pin, net) = conn
+            .split_once('(')
+            .ok_or_else(|| format!("malformed connection `{conn}`"))?;
+        let net = net
+            .strip_suffix(')')
+            .ok_or_else(|| format!("malformed connection `{conn}`"))?
+            .trim();
+        let net_id = n
+            .find_net(net)
+            .ok_or_else(|| format!("undeclared net `{net}`"))?;
+        n.connect_by_name(inst, pin.trim(), net_id, lib)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::library::Library;
+
+    const SAMPLE: &str = "\
+module top (a, b, clk, z);
+  input a, b;
+  input clk; // clock
+  output z;
+  wire n1;
+  ND2_X1_L u1 (.A(a), .B(b), .Z(n1));
+  DFF_X1_L ff0 (.D(n1), .CK(clk), .Q(z));
+endmodule
+";
+
+    #[test]
+    fn parse_sample() {
+        let lib = Library::industrial_130nm();
+        let n = parse(SAMPLE, &lib).unwrap();
+        assert_eq!(n.name, "top");
+        assert_eq!(n.num_instances(), 2);
+        assert!(n.clock_net().is_some());
+        let u1 = n.find_inst("u1").unwrap();
+        assert_eq!(lib.cell(n.inst(u1).cell).name, "ND2_X1_L");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let lib = Library::industrial_130nm();
+        let n = parse(SAMPLE, &lib).unwrap();
+        let text = write_with_lib(&n, &lib);
+        let n2 = parse(&text, &lib).unwrap();
+        assert_eq!(n.num_instances(), n2.num_instances());
+        assert_eq!(n.num_nets(), n2.num_nets());
+        assert_eq!(n2.clock_net().map(|c| n2.net(c).name.clone()),
+                   Some("clk".to_owned()));
+        // Connectivity identical: compare per-instance bound net names.
+        for (id, inst) in n.instances() {
+            let id2 = n2.find_inst(&inst.name).expect("instance survives");
+            let inst2 = n2.inst(id2);
+            assert_eq!(inst.cell, inst2.cell);
+            let nets: Vec<Option<&str>> = inst
+                .conns
+                .iter()
+                .map(|c| c.map(|x| n.net(x).name.as_str()))
+                .collect();
+            let nets2: Vec<Option<&str>> = inst2
+                .conns
+                .iter()
+                .map(|c| c.map(|x| n2.net(x).name.as_str()))
+                .collect();
+            assert_eq!(nets, nets2, "instance {} ({})", inst.name, id);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let lib = Library::industrial_130nm();
+        let bad = "module t (a);\n  input a;\n  BOGUS_CELL u (.A(a));\nendmodule\n";
+        let e = parse(bad, &lib).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("BOGUS_CELL"));
+    }
+
+    #[test]
+    fn undeclared_net_rejected() {
+        let lib = Library::industrial_130nm();
+        let bad = "module t (a);\n  input a;\n  INV_X1_L u (.A(a), .Z(missing));\nendmodule\n";
+        let e = parse(bad, &lib).unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn multiline_statements() {
+        let lib = Library::industrial_130nm();
+        let text = "module t (a,\n z);\n input a;\n output z;\n INV_X1_L u (.A(a),\n   .Z(z));\nendmodule\n";
+        let n = parse(text, &lib).unwrap();
+        assert_eq!(n.num_instances(), 1);
+    }
+
+    #[test]
+    fn no_module_is_error() {
+        let lib = Library::industrial_130nm();
+        assert!(parse("wire w;\n", &lib).is_err());
+        assert!(parse("", &lib).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Pre-route RC estimation from placement.
+//!
+//! Before routing exists, the flow (Fig. 4) sizes the footer switches
+//! against *estimated* wire RC: we take each net's half-perimeter
+//! wirelength, inflate it by a routing-detour factor, and convert to
+//! lumped R and C with the technology's per-µm constants. The paper
+//! explicitly calls out that "there is an error when compared with the
+//! precise RC information which is generated after routing" — that error
+//! is what the post-route re-optimization stage corrects, and our
+//! `ablate_reopt` bench measures it.
+
+use crate::place::Placement;
+use smt_base::units::{Cap, Res};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist};
+
+/// Lumped RC of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetRc {
+    /// Estimated routed length, µm.
+    pub length_um: f64,
+    /// Total wire resistance.
+    pub res: Res,
+    /// Total wire capacitance (excluding pin caps).
+    pub cap: Cap,
+}
+
+/// HPWL-to-routed-length detour factor (RSMT ≈ 1.1–1.3 × HPWL for typical
+/// fanouts; higher fanout routes longer).
+fn detour_factor(fanout: usize) -> f64 {
+    match fanout {
+        0 | 1 => 1.05,
+        2 => 1.15,
+        3..=5 => 1.25,
+        _ => 1.35,
+    }
+}
+
+/// Estimates one net's RC from placement.
+pub fn estimate_net_rc(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+    net: NetId,
+) -> NetRc {
+    let hpwl = placement.net_hpwl(netlist, net);
+    let fanout = netlist.net(net).loads.len() + netlist.net(net).port_loads.len();
+    let length = hpwl * detour_factor(fanout);
+    NetRc {
+        length_um: length,
+        res: lib.tech.wire_res(length),
+        cap: lib.tech.wire_cap(length),
+    }
+}
+
+/// Estimates RC for every net; indexable by `NetId::index()`.
+pub fn estimate_all(netlist: &Netlist, lib: &Library, placement: &Placement) -> Vec<NetRc> {
+    netlist
+        .nets()
+        .map(|(id, _)| estimate_net_rc(netlist, lib, placement, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacerConfig};
+
+    #[test]
+    fn rc_scales_with_wirelength() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        let mut prev = a;
+        for i in 0..30 {
+            let w = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("u{i}"), inv, &lib);
+            n.connect_by_name(u, "A", prev, &lib).unwrap();
+            n.connect_by_name(u, "Z", w, &lib).unwrap();
+            prev = w;
+        }
+        n.expose_output("z", prev);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let rcs = estimate_all(&n, &lib, &p);
+        assert_eq!(rcs.len(), n.num_nets());
+        for rc in &rcs {
+            // R and C must be consistent with the same length.
+            let expect_c = lib.tech.wire_cap(rc.length_um);
+            assert!((rc.cap.ff() - expect_c.ff()).abs() < 1e-9);
+            assert!(rc.res.kohm() >= 0.0);
+        }
+        // At least some nets have non-zero estimated wire.
+        assert!(rcs.iter().any(|rc| rc.length_um > 0.0));
+    }
+
+    #[test]
+    fn detour_grows_with_fanout() {
+        assert!(detour_factor(1) < detour_factor(3));
+        assert!(detour_factor(3) < detour_factor(10));
+    }
+}

@@ -1,0 +1,509 @@
+//! Global placement (recursive min-cut), row legalization, and simulated
+//! annealing refinement.
+
+use crate::fm::{bipartition, FmConfig, Hypergraph};
+use smt_base::geom::{Point, Rect};
+use smt_base::rng::SplitMix64;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PortDir};
+
+/// Placer options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerConfig {
+    /// Target row utilization (fraction of row sites occupied).
+    pub utilization: f64,
+    /// Stop recursive bisection at regions of this many cells.
+    pub min_partition: usize,
+    /// Simulated-annealing moves per cell (0 disables refinement).
+    pub anneal_moves_per_cell: usize,
+    /// RNG seed (placement is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            utilization: 0.70,
+            min_partition: 12,
+            anneal_moves_per_cell: 40,
+            seed: 42,
+        }
+    }
+}
+
+/// A legalized placement: instance locations on rows plus port locations
+/// on the die boundary.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Location of each instance slot (tombstoned slots keep their last
+    /// position; nobody queries them).
+    pub locs: Vec<Point>,
+    /// Location of each port, on the die edge.
+    pub port_locs: Vec<Point>,
+    /// Die outline.
+    pub die: Rect,
+    /// Row y-coordinates.
+    pub row_ys: Vec<f64>,
+}
+
+impl Placement {
+    /// Location of an instance. Instances created after placement that
+    /// were never given a location via [`Placement::set_loc`] read as the
+    /// die centre (flow stages place the cells they create; the fallback
+    /// keeps estimation robust while they do).
+    pub fn loc(&self, inst: InstId) -> Point {
+        self.locs
+            .get(inst.index())
+            .copied()
+            .unwrap_or_else(|| self.die.center())
+    }
+
+    /// Records (or overrides) the location of an instance — used by the
+    /// later flow stages (CTS buffers, switches, holders, ECO cells) that
+    /// create instances after initial placement. Grows the table as needed.
+    pub fn set_loc(&mut self, inst: InstId, loc: Point) {
+        if inst.index() >= self.locs.len() {
+            self.locs.resize(inst.index() + 1, Point::ORIGIN);
+        }
+        self.locs[inst.index()] = loc;
+    }
+
+    /// Location of a port. Ports created after placement (e.g. the `mte`
+    /// enable added by the SMT transforms) default to the left die edge.
+    pub fn port_loc(&self, port: smt_netlist::netlist::PortId) -> Point {
+        self.port_locs
+            .get(port.index())
+            .copied()
+            .unwrap_or(Point::new(self.die.lo.x, (self.die.lo.y + self.die.hi.y) / 2.0))
+    }
+
+    /// Bounding box of a net's pins (instance centers + port locations).
+    pub fn net_bbox(&self, netlist: &Netlist, net: NetId) -> Option<Rect> {
+        let n = netlist.net(net);
+        let mut pts: Vec<Point> = Vec::new();
+        if let Some(NetDriver::Inst(pr)) = n.driver {
+            pts.push(self.loc(pr.inst));
+        }
+        if let Some(NetDriver::Port(p)) = n.driver {
+            pts.push(self.port_loc(p));
+        }
+        for pr in &n.loads {
+            pts.push(self.loc(pr.inst));
+        }
+        for p in &n.port_loads {
+            pts.push(self.port_loc(*p));
+        }
+        Rect::bounding(pts)
+    }
+
+    /// Half-perimeter wirelength of one net, µm.
+    pub fn net_hpwl(&self, netlist: &Netlist, net: NetId) -> f64 {
+        self.net_bbox(netlist, net)
+            .map(|r| r.half_perimeter())
+            .unwrap_or(0.0)
+    }
+
+    /// Total HPWL, µm.
+    pub fn hpwl(&self, netlist: &Netlist) -> f64 {
+        netlist
+            .nets()
+            .map(|(id, _)| self.net_hpwl(netlist, id))
+            .sum()
+    }
+}
+
+/// Width of a cell in placement sites.
+fn cell_sites(lib: &Library, netlist: &Netlist, inst: InstId) -> usize {
+    let cell = lib.cell(netlist.inst(inst).cell);
+    let w = cell.area.um2() / lib.tech.row_height_um;
+    (w / lib.tech.site_width_um).ceil().max(1.0) as usize
+}
+
+/// Places a netlist: recursive FM bisection for global positions, Tetris
+/// row legalization, then annealing refinement. Deterministic for a fixed
+/// seed.
+pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placement {
+    let insts: Vec<InstId> = netlist.instances().map(|(id, _)| id).collect();
+    let site_w = lib.tech.site_width_um;
+    let row_h = lib.tech.row_height_um;
+
+    // ---- floorplan ---------------------------------------------------
+    let total_sites: usize = insts.iter().map(|&i| cell_sites(lib, netlist, i)).sum();
+    let needed = (total_sites as f64 / config.utilization).ceil().max(4.0);
+    // Square-ish die: rows * sites_per_row = needed, rows*row_h ≈ spr*site_w.
+    let rows = ((needed * site_w / row_h).sqrt().ceil() as usize).max(1);
+    let sites_per_row = (needed / rows as f64).ceil() as usize + 2;
+    let die = Rect::new(
+        Point::ORIGIN,
+        Point::new(sites_per_row as f64 * site_w, rows as f64 * row_h),
+    );
+    let row_ys: Vec<f64> = (0..rows).map(|r| (r as f64 + 0.5) * row_h).collect();
+
+    // ---- global placement: recursive bisection ------------------------
+    // Map instance -> dense index.
+    let dense: Vec<usize> = insts.iter().map(|i| i.index()).collect();
+    let mut dense_of = vec![usize::MAX; netlist.inst_capacity()];
+    for (d, &slot) in dense.iter().enumerate() {
+        dense_of[slot] = d;
+    }
+    let weights: Vec<f64> = insts
+        .iter()
+        .map(|&i| cell_sites(lib, netlist, i) as f64)
+        .collect();
+
+    // Hypergraph over all cells (ports ignored: they pull via annealing).
+    let mut all_nets: Vec<Vec<usize>> = Vec::new();
+    for (_, net) in netlist.nets() {
+        let mut cells: Vec<usize> = Vec::new();
+        if let Some(NetDriver::Inst(pr)) = net.driver {
+            cells.push(dense_of[pr.inst.index()]);
+        }
+        for pr in &net.loads {
+            cells.push(dense_of[pr.inst.index()]);
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        if cells.len() >= 2 {
+            all_nets.push(cells);
+        }
+    }
+
+    let mut targets = vec![Point::ORIGIN; insts.len()];
+    let mut stack: Vec<(Vec<usize>, Rect, u64)> = vec![(
+        (0..insts.len()).collect(),
+        die,
+        config.seed,
+    )];
+    while let Some((members, region, seed)) = stack.pop() {
+        if members.len() <= config.min_partition {
+            let c = region.center();
+            for &m in &members {
+                targets[m] = c;
+            }
+            continue;
+        }
+        // Build the sub-hypergraph restricted to `members`.
+        let mut local_of = vec![usize::MAX; insts.len()];
+        for (li, &m) in members.iter().enumerate() {
+            local_of[m] = li;
+        }
+        let mut sub_nets = Vec::new();
+        for cells in &all_nets {
+            let local: Vec<usize> = cells
+                .iter()
+                .filter_map(|&c| (local_of[c] != usize::MAX).then(|| local_of[c]))
+                .collect();
+            if local.len() >= 2 {
+                sub_nets.push(local);
+            }
+        }
+        let w: Vec<f64> = members.iter().map(|&m| weights[m]).collect();
+        let h = Hypergraph::new(members.len(), sub_nets, w);
+        let side = bipartition(
+            &h,
+            FmConfig {
+                seed,
+                ..FmConfig::default()
+            },
+        );
+        // Split the region along its long axis.
+        let (r0, r1) = if region.width() >= region.height() {
+            let mid = (region.lo.x + region.hi.x) / 2.0;
+            (
+                Rect::new(region.lo, Point::new(mid, region.hi.y)),
+                Rect::new(Point::new(mid, region.lo.y), region.hi),
+            )
+        } else {
+            let mid = (region.lo.y + region.hi.y) / 2.0;
+            (
+                Rect::new(region.lo, Point::new(region.hi.x, mid)),
+                Rect::new(Point::new(region.lo.x, mid), region.hi),
+            )
+        };
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (li, &m) in members.iter().enumerate() {
+            if side[li] {
+                right.push(m);
+            } else {
+                left.push(m);
+            }
+        }
+        stack.push((left, r0, seed.wrapping_mul(6364136223846793005).wrapping_add(1)));
+        stack.push((right, r1, seed.wrapping_mul(6364136223846793005).wrapping_add(2)));
+    }
+
+    // ---- legalization: Tetris packing per row -------------------------
+    // Assign cells to the nearest row by target y, then pack by target x.
+    let mut row_members: Vec<Vec<usize>> = vec![Vec::new(); rows];
+    let mut order: Vec<usize> = (0..insts.len()).collect();
+    order.sort_by(|&a, &b| {
+        targets[a]
+            .x
+            .partial_cmp(&targets[b].x)
+            .expect("finite coords")
+    });
+    let mut row_fill = vec![0usize; rows];
+    for &d in &order {
+        let want_row = ((targets[d].y / row_h) as usize).min(rows - 1);
+        // Find the least-filled row near the wanted one.
+        let mut best_row = want_row;
+        let mut best_score = f64::INFINITY;
+        for r in 0..rows {
+            let dist = (r as f64 - want_row as f64).abs();
+            let fill_pen = row_fill[r] as f64 / sites_per_row as f64;
+            let score = dist + 8.0 * fill_pen.powi(2) * rows as f64 * 0.25
+                + if row_fill[r] + sites(&weights, d) > sites_per_row {
+                    1e9
+                } else {
+                    0.0
+                };
+            if score < best_score {
+                best_score = score;
+                best_row = r;
+            }
+        }
+        row_fill[best_row] += sites(&weights, d);
+        row_members[best_row].push(d);
+    }
+
+    let mut locs = vec![Point::ORIGIN; netlist.inst_capacity()];
+    let mut slot_x: Vec<Vec<f64>> = vec![Vec::new(); rows];
+    for (r, members) in row_members.iter().enumerate() {
+        let mut x = 0.0;
+        for &d in members {
+            let w = sites(&weights, d) as f64 * site_w;
+            let center = Point::new(x + w / 2.0, row_ys[r]);
+            locs[insts[d].index()] = center;
+            slot_x[r].push(x);
+            x += w;
+        }
+    }
+
+    // ---- ports on the boundary ----------------------------------------
+    let n_ports = netlist.ports().count().max(1);
+    let mut port_locs = Vec::with_capacity(n_ports);
+    let mut in_i = 0usize;
+    let mut out_i = 0usize;
+    let n_in = netlist
+        .ports()
+        .filter(|(_, p)| p.dir == PortDir::Input)
+        .count()
+        .max(1);
+    let n_out = (n_ports - n_in.min(n_ports)).max(1);
+    for (_, p) in netlist.ports() {
+        let loc = match p.dir {
+            PortDir::Input => {
+                in_i += 1;
+                Point::new(die.lo.x, die.lo.y + die.height() * in_i as f64 / (n_in + 1) as f64)
+            }
+            PortDir::Output => {
+                out_i += 1;
+                Point::new(
+                    die.hi.x,
+                    die.lo.y + die.height() * out_i as f64 / (n_out + 1) as f64,
+                )
+            }
+        };
+        port_locs.push(loc);
+    }
+
+    let mut placement = Placement {
+        locs,
+        port_locs,
+        die,
+        row_ys,
+    };
+
+    // ---- annealing refinement: same-width swaps ------------------------
+    if config.anneal_moves_per_cell > 0 && insts.len() >= 2 {
+        anneal(netlist, &insts, &weights, &mut placement, config);
+    }
+    placement
+}
+
+fn sites(weights: &[f64], d: usize) -> usize {
+    weights[d] as usize
+}
+
+/// Simulated annealing over equal-footprint position swaps. Keeps the
+/// placement legal by construction.
+fn anneal(
+    netlist: &Netlist,
+    insts: &[InstId],
+    weights: &[f64],
+    placement: &mut Placement,
+    config: &PlacerConfig,
+) {
+    let mut rng = SplitMix64::new(config.seed ^ 0x5157_1057);
+    // Group dense indices by footprint so swaps stay legal.
+    let mut by_width: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for (d, &w) in weights.iter().enumerate() {
+        by_width.entry(w as usize).or_default().push(d);
+    }
+    let groups: Vec<&Vec<usize>> = by_width.values().filter(|g| g.len() >= 2).collect();
+    if groups.is_empty() {
+        return;
+    }
+
+    // Cost of all nets touching an instance.
+    let inst_nets = |inst: InstId| -> Vec<NetId> {
+        let i = netlist.inst(inst);
+        let mut v: Vec<NetId> = i.conns.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    let moves = config.anneal_moves_per_cell * insts.len();
+    let mut temp = placement.die.half_perimeter() * 0.05;
+    let cooling = (0.02f64).powf(1.0 / moves.max(1) as f64);
+
+    for _ in 0..moves {
+        let group = groups[rng.next_below(groups.len())];
+        let a = group[rng.next_below(group.len())];
+        let b = group[rng.next_below(group.len())];
+        if a == b {
+            temp *= cooling;
+            continue;
+        }
+        let (ia, ib) = (insts[a], insts[b]);
+        let mut nets: Vec<NetId> = inst_nets(ia);
+        nets.extend(inst_nets(ib));
+        nets.sort_unstable();
+        nets.dedup();
+        let before: f64 = nets.iter().map(|&n| placement.net_hpwl(netlist, n)).sum();
+        placement.locs.swap(ia.index(), ib.index());
+        let after: f64 = nets.iter().map(|&n| placement.net_hpwl(netlist, n)).sum();
+        let delta = after - before;
+        let accept = delta <= 0.0 || rng.next_f64() < (-delta / temp.max(1e-9)).exp();
+        if !accept {
+            placement.locs.swap(ia.index(), ib.index());
+        }
+        temp *= cooling;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::library::Library;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    /// A chain of inverters: placement should not scatter it randomly.
+    fn chain(lib: &Library, len: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let mut prev = n.add_input("a");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        for i in 0..len {
+            let next = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("u{i}"), inv, lib);
+            n.connect_by_name(u, "A", prev, lib).unwrap();
+            n.connect_by_name(u, "Z", next, lib).unwrap();
+            prev = next;
+        }
+        n.expose_output("z", prev);
+        n
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let lib = lib();
+        let n = chain(&lib, 60);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        // All cells inside the die.
+        for (id, _) in n.instances() {
+            assert!(p.die.contains(p.loc(id)), "cell {} at {}", id, p.loc(id));
+        }
+        // No overlaps: per row, sort by x and check center distances.
+        let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
+        for (id, inst) in n.instances() {
+            let cell = lib.cell(inst.cell);
+            let w = cell.area.um2() / lib.tech.row_height_um;
+            let loc = p.loc(id);
+            by_row
+                .entry((loc.y * 1000.0) as i64)
+                .or_default()
+                .push((loc.x, w));
+        }
+        for (_, mut cells) in by_row {
+            cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in cells.windows(2) {
+                let (x0, w0) = pair[0];
+                let (x1, w1) = pair[1];
+                assert!(
+                    x1 - x0 >= (w0 + w1) / 2.0 - 1e-6,
+                    "overlap: {x0},{w0} vs {x1},{w1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_worsen_hpwl_much_and_usually_helps() {
+        let lib = lib();
+        let n = chain(&lib, 80);
+        let base = place(
+            &n,
+            &lib,
+            &PlacerConfig {
+                anneal_moves_per_cell: 0,
+                ..PlacerConfig::default()
+            },
+        );
+        let refined = place(&n, &lib, &PlacerConfig::default());
+        // Same die, same legality; refined should not be dramatically worse.
+        assert!(refined.hpwl(&n) <= base.hpwl(&n) * 1.10);
+    }
+
+    #[test]
+    fn hpwl_positive_and_bbox_sane() {
+        let lib = lib();
+        let n = chain(&lib, 10);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        assert!(p.hpwl(&n) > 0.0);
+        let w0 = n.find_net("w0").unwrap();
+        let bbox = p.net_bbox(&n, w0).unwrap();
+        assert!(p.die.intersects(&bbox));
+    }
+
+    #[test]
+    fn deterministic() {
+        let lib = lib();
+        let n = chain(&lib, 30);
+        let p1 = place(&n, &lib, &PlacerConfig::default());
+        let p2 = place(&n, &lib, &PlacerConfig::default());
+        assert_eq!(p1.hpwl(&n), p2.hpwl(&n));
+    }
+
+    #[test]
+    fn ports_on_boundary() {
+        let lib = lib();
+        let n = chain(&lib, 10);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        for (pid, port) in n.ports() {
+            let loc = p.port_locs[pid.index()];
+            let on_edge = (loc.x - p.die.lo.x).abs() < 1e-9 || (loc.x - p.die.hi.x).abs() < 1e-9;
+            assert!(on_edge, "port {} at {}", port.name, loc);
+        }
+    }
+
+    #[test]
+    fn connected_cells_end_up_close() {
+        // In a chain, average wirelength per net should be far below the
+        // die diagonal (i.e. the min-cut actually clusters neighbours).
+        let lib = lib();
+        let n = chain(&lib, 100);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let nets: Vec<_> = n.nets().map(|(id, _)| id).collect();
+        let avg = p.hpwl(&n) / nets.len() as f64;
+        assert!(
+            avg < p.die.half_perimeter() / 3.0,
+            "avg = {avg}, die = {}",
+            p.die.half_perimeter()
+        );
+    }
+}

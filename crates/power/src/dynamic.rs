@@ -1,0 +1,69 @@
+//! Dynamic (switching) power estimation from toggle statistics.
+//!
+//! Not part of the paper's Table 1 (which is standby leakage), but the
+//! flow reports it so the examples can show the full power picture:
+//! `P = α · C · V² · f` summed over nets, with α from random simulation.
+
+use smt_base::units::{Cap, Power};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist};
+use smt_sim::ToggleStats;
+
+/// Per-net capacitance supplier (pin caps + wire cap).
+fn net_cap(netlist: &Netlist, lib: &Library, net: NetId, wire_cap: impl Fn(NetId) -> Cap) -> Cap {
+    let n = netlist.net(net);
+    let pins: Cap = n
+        .loads
+        .iter()
+        .map(|pr| lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].cap)
+        .sum();
+    pins + wire_cap(net)
+}
+
+/// Estimates dynamic power at a clock frequency.
+///
+/// * `toggles` — per-net activity from [`smt_sim::estimate_toggles`];
+/// * `freq_ghz` — clock frequency in GHz;
+/// * `wire_cap` — wire capacitance per net (estimate or extracted).
+pub fn dynamic_power(
+    netlist: &Netlist,
+    lib: &Library,
+    toggles: &ToggleStats,
+    freq_ghz: f64,
+    wire_cap: impl Fn(NetId) -> Cap,
+) -> Power {
+    let vdd = lib.tech.vdd.volts();
+    let mut nw = 0.0;
+    for (id, _) in netlist.nets() {
+        let c = net_cap(netlist, lib, id, &wire_cap);
+        let alpha = toggles.activity(id);
+        // 0.5 · C[fF] · V² · (α · f)[GHz] gives µW; ×1000 for nW.
+        nw += 0.5 * c.ff() * vdd * vdd * alpha * freq_ghz * 1e3;
+    }
+    Power::new(nw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::estimate_toggles;
+
+    #[test]
+    fn power_scales_with_frequency_and_activity() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X2_L").unwrap(), &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let stats = estimate_toggles(&n, &lib, 256, 1).unwrap();
+        let p1 = dynamic_power(&n, &lib, &stats, 1.0, |_| Cap::new(2.0));
+        let p2 = dynamic_power(&n, &lib, &stats, 2.0, |_| Cap::new(2.0));
+        assert!(p1.nw() > 0.0);
+        assert!((p2.nw() / p1.nw() - 2.0).abs() < 1e-9);
+        // More wire cap, more power.
+        let p3 = dynamic_power(&n, &lib, &stats, 1.0, |_| Cap::new(20.0));
+        assert!(p3 > p1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Standby and active leakage analysis with per-class breakdown.
+//!
+//! This module computes the leakage column of the paper's Table 1. The
+//! accounting follows the physics of each technique:
+//!
+//! * **plain low/high-Vth cells** leak their state-dependent subthreshold
+//!   current in both modes — low-Vth critical-path cells are what make the
+//!   Dual-Vth baseline leak;
+//! * **conventional MT-cells** (embedded switch) leak through their own
+//!   off footer in standby — one worst-case-sized switch *per cell*;
+//! * **improved MT-cells** (VGND port) leak only a residual in standby;
+//!   the real leakage path is the *shared* switch cell, counted once per
+//!   cluster — the diversity-sized shared switch is why the improved
+//!   technique wins the leakage comparison too;
+//! * flip-flops stay powered (they hold state) and leak always;
+//! * holders and MTE buffers leak their (high-Vth, small) figure.
+
+use smt_base::units::{Current, Power};
+use smt_cells::cell::{CellRole, VthClass};
+use smt_cells::library::Library;
+use smt_netlist::netlist::Netlist;
+use smt_sim::{Simulator, Value};
+
+/// Leakage power split by contributor class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeakageBreakdown {
+    /// Low-Vth logic cells.
+    pub low_vth: Current,
+    /// High-Vth logic cells.
+    pub high_vth: Current,
+    /// Conventional MT-cells (their embedded off switch + holder).
+    pub mt_embedded: Current,
+    /// Improved MT-cells' residual (gated logic floor).
+    pub mt_vgnd_residual: Current,
+    /// Shared footer switch cells (off in standby).
+    pub shared_switches: Current,
+    /// Output holders.
+    pub holders: Current,
+    /// Flip-flops (always powered).
+    pub flip_flops: Current,
+    /// Clock buffers.
+    pub clock_buffers: Current,
+}
+
+impl LeakageBreakdown {
+    /// Total leakage current.
+    pub fn total(&self) -> Current {
+        self.low_vth
+            + self.high_vth
+            + self.mt_embedded
+            + self.mt_vgnd_residual
+            + self.shared_switches
+            + self.holders
+            + self.flip_flops
+            + self.clock_buffers
+    }
+
+    /// Total leakage power at the technology's supply.
+    pub fn power(&self, lib: &Library) -> Power {
+        self.total() * lib.tech.vdd
+    }
+}
+
+/// How cell input states are chosen for the state-dependent model.
+#[derive(Debug, Clone, Copy)]
+pub enum StateSource<'a> {
+    /// Equal-probability average over all input states.
+    Mean,
+    /// Read input states from a simulator snapshot (run it in the desired
+    /// mode first). Unknown (`X`) inputs fall back to the cell's mean.
+    Snapshot(&'a Simulator),
+}
+
+fn cell_state_leak(
+    netlist: &Netlist,
+    lib: &Library,
+    inst: smt_netlist::netlist::InstId,
+    source: StateSource<'_>,
+) -> Current {
+    let i = netlist.inst(inst);
+    let cell = lib.cell(i.cell);
+    match source {
+        StateSource::Mean => cell.leakage.mean(),
+        StateSource::Snapshot(sim) => {
+            let pins = cell.logic_input_pins();
+            let mut state = 0u32;
+            for (k, &pin) in pins.iter().enumerate() {
+                match i.net_on(pin).map(|n| sim.value(n)) {
+                    Some(Value::One) => state |= 1 << k,
+                    Some(Value::Zero) => {}
+                    _ => return cell.leakage.mean(),
+                }
+            }
+            cell.leakage.state(state)
+        }
+    }
+}
+
+/// Computes the standby-mode leakage breakdown (footer switches off).
+pub fn standby_leakage(
+    netlist: &Netlist,
+    lib: &Library,
+    source: StateSource<'_>,
+) -> LeakageBreakdown {
+    let mut b = LeakageBreakdown::default();
+    for (id, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        match cell.role {
+            CellRole::Sequential => b.flip_flops += cell.standby_leak,
+            CellRole::Switch => b.shared_switches += cell.standby_leak,
+            CellRole::Holder => b.holders += cell.standby_leak,
+            CellRole::ClockBuf => b.clock_buffers += cell.standby_leak,
+            CellRole::Logic => match cell.vth {
+                VthClass::Low => b.low_vth += cell_state_leak(netlist, lib, id, source),
+                VthClass::High => b.high_vth += cell_state_leak(netlist, lib, id, source),
+                VthClass::MtEmbedded => b.mt_embedded += cell.standby_leak,
+                VthClass::MtVgnd => b.mt_vgnd_residual += cell.standby_leak,
+            },
+        }
+    }
+    b
+}
+
+/// Computes active-mode leakage (footer switches on: MT logic leaks like
+/// low-Vth logic; switches leak nothing while conducting).
+pub fn active_leakage(
+    netlist: &Netlist,
+    lib: &Library,
+    source: StateSource<'_>,
+) -> LeakageBreakdown {
+    let mut b = LeakageBreakdown::default();
+    for (id, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        match cell.role {
+            CellRole::Sequential => b.flip_flops += cell.standby_leak,
+            CellRole::Switch => {} // conducting: subthreshold path shorted
+            CellRole::Holder => b.holders += cell.standby_leak,
+            CellRole::ClockBuf => b.clock_buffers += cell.standby_leak,
+            CellRole::Logic => {
+                let leak = cell_state_leak(netlist, lib, id, source);
+                match cell.vth {
+                    VthClass::Low => b.low_vth += leak,
+                    VthClass::High => b.high_vth += leak,
+                    VthClass::MtEmbedded => b.mt_embedded += leak,
+                    VthClass::MtVgnd => b.mt_vgnd_residual += leak,
+                }
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::Mode;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    fn one_gate(lib: &Library, cell: &str) -> Netlist {
+        let mut n = Netlist::new("g");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id(cell).unwrap(), lib);
+        n.connect_by_name(u, "A", a, lib).unwrap();
+        n.connect_by_name(u, "B", b, lib).unwrap();
+        n.connect_by_name(u, "Z", z, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn low_vth_dominates_dual_vth_standby() {
+        let lib = lib();
+        let low = one_gate(&lib, "ND2_X1_L");
+        let high = one_gate(&lib, "ND2_X1_H");
+        let bl = standby_leakage(&low, &lib, StateSource::Mean);
+        let bh = standby_leakage(&high, &lib, StateSource::Mean);
+        assert!(bl.total().ua() > bh.total().ua() * 50.0);
+    }
+
+    #[test]
+    fn state_dependence_from_snapshot() {
+        let lib = lib();
+        let n = one_gate(&lib, "ND2_X1_L");
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        // 00: deepest stack, least leakage.
+        sim.set_input(a, Value::Zero);
+        sim.set_input(b, Value::Zero);
+        sim.propagate(&n, &lib);
+        let leak00 = standby_leakage(&n, &lib, StateSource::Snapshot(&sim)).total();
+        // 11: pull-up pair off in parallel, most leakage.
+        sim.set_input(a, Value::One);
+        sim.set_input(b, Value::One);
+        sim.propagate(&n, &lib);
+        let leak11 = standby_leakage(&n, &lib, StateSource::Snapshot(&sim)).total();
+        assert!(leak11 > leak00, "11: {leak11}, 00: {leak00}");
+        // Mean sits between extremes.
+        let mean = standby_leakage(&n, &lib, StateSource::Mean).total();
+        assert!(mean >= leak00 && mean <= leak11);
+    }
+
+    #[test]
+    fn mt_variants_cut_standby_but_not_active() {
+        let lib = lib();
+        let low = one_gate(&lib, "ND2_X1_L");
+        let mv = one_gate(&lib, "ND2_X1_MV");
+        let mc = one_gate(&lib, "ND2_X1_MC");
+        let s_low = standby_leakage(&low, &lib, StateSource::Mean).total();
+        let s_mv = standby_leakage(&mv, &lib, StateSource::Mean).total();
+        let s_mc = standby_leakage(&mc, &lib, StateSource::Mean).total();
+        assert!(s_mv.ua() < s_low.ua() / 100.0, "gated residual is tiny");
+        assert!(s_mc < s_low);
+        assert!(s_mv < s_mc, "shared-switch variant beats embedded");
+        // Active mode: MT logic leaks like low-Vth logic.
+        let a_low = active_leakage(&low, &lib, StateSource::Mean).total();
+        let a_mv = active_leakage(&mv, &lib, StateSource::Mean).total();
+        assert!((a_low.ua() - a_mv.ua()).abs() / a_low.ua() < 1e-9);
+    }
+
+    #[test]
+    fn switch_cells_count_only_in_standby() {
+        let lib = lib();
+        let mut n = one_gate(&lib, "ND2_X1_MV");
+        let mte = n.add_input("mte");
+        let vg = n.add_net("vg");
+        let u = n.find_inst("u").unwrap();
+        n.connect_by_name(u, "VGND", vg, &lib).unwrap();
+        let sw = n.add_instance("sw", lib.find_id("SW_W16").unwrap(), &lib);
+        n.connect_by_name(sw, "VGND", vg, &lib).unwrap();
+        n.connect_by_name(sw, "MTE", mte, &lib).unwrap();
+        let standby = standby_leakage(&n, &lib, StateSource::Mean);
+        assert!(standby.shared_switches.ua() > 0.0);
+        let active = active_leakage(&n, &lib, StateSource::Mean);
+        assert_eq!(active.shared_switches, Current::ZERO);
+        // Power conversion sane: 1 µA at 1.2 V = 1.2 µW.
+        let p = standby.power(&lib);
+        assert!((p.nw() - standby.total().ua() * 1200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standby_snapshot_with_holder_keeps_states_known() {
+        // MT inverter -> high-Vth inverter with holder on the boundary:
+        // in standby the held net reads 1, so the high-Vth cell's state
+        // stays known and its stack leakage is computed exactly.
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let mte = n.add_input("mte");
+        let w = n.add_net("w");
+        let z = n.add_output("z");
+        let u1 = n.add_instance("u1", lib.find_id("INV_X1_MV").unwrap(), &lib);
+        let u2 = n.add_instance("u2", lib.find_id("INV_X1_H").unwrap(), &lib);
+        let h = n.add_instance("h", lib.holder(), &lib);
+        n.connect_by_name(u1, "A", a, &lib).unwrap();
+        n.connect_by_name(u1, "Z", w, &lib).unwrap();
+        n.connect_by_name(u2, "A", w, &lib).unwrap();
+        n.connect_by_name(u2, "Z", z, &lib).unwrap();
+        n.connect_by_name(h, "A", w, &lib).unwrap();
+        n.connect_by_name(h, "MTE", mte, &lib).unwrap();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.set_input(a, Value::One);
+        sim.set_mode(Mode::Standby);
+        sim.propagate(&n, &lib);
+        assert_eq!(sim.value(w), Value::One);
+        let b = standby_leakage(&n, &lib, StateSource::Snapshot(&sim));
+        // u2 input = 1 -> its PMOS leaks; exact state used, not the mean.
+        let u2_cell = lib.find("INV_X1_H").unwrap();
+        assert!((b.high_vth.ua() - u2_cell.leakage.state(1).ua()).abs() < 1e-12);
+    }
+}

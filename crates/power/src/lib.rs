@@ -1,0 +1,22 @@
+//! # smt-power
+//!
+//! Power analysis for the Selective-MT reproduction:
+//!
+//! * [`leakage`] — standby and active leakage with a per-class breakdown
+//!   (low/high-Vth logic, embedded vs shared switches, holders, FFs) —
+//!   the machinery behind the paper's Table 1 leakage column;
+//! * [`vgnd`] — virtual-ground voltage-bounce analysis per cluster,
+//!   electromigration checks, and bounce→delay derate conversion;
+//! * [`dynamic`] — switching power from simulated toggle rates.
+
+pub mod dynamic;
+pub mod leakage;
+pub mod report;
+pub mod vgnd;
+pub mod wakeup;
+
+pub use dynamic::dynamic_power;
+pub use leakage::{active_leakage, standby_leakage, LeakageBreakdown, StateSource};
+pub use report::{gating_potential, render_standby_report, top_leakers, GatingPotential};
+pub use vgnd::{analyze_vgnd, bounce_derates, cluster_current, ClusterBounce};
+pub use wakeup::{analyze_wakeup, ClusterWakeup, WakeupReport};

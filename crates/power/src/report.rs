@@ -1,0 +1,201 @@
+//! Power report writer: per-class leakage breakdown plus the top
+//! individual leakers, as a plain-text block (the power-signoff view of
+//! the design).
+
+use crate::leakage::{standby_leakage, LeakageBreakdown, StateSource};
+use smt_base::units::Current;
+use smt_cells::cell::{CellRole, VthClass};
+use smt_cells::library::Library;
+use smt_netlist::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// One ranked leaker.
+#[derive(Debug, Clone)]
+pub struct Leaker {
+    /// Instance name.
+    pub inst: String,
+    /// Cell type.
+    pub cell: String,
+    /// Standby leakage contribution.
+    pub leak: Current,
+}
+
+/// Ranks the top `k` standby leakers of a design.
+pub fn top_leakers(netlist: &Netlist, lib: &Library, k: usize) -> Vec<Leaker> {
+    let mut all: Vec<Leaker> = netlist
+        .instances()
+        .map(|(_, inst)| {
+            let cell = lib.cell(inst.cell);
+            Leaker {
+                inst: inst.name.clone(),
+                cell: cell.name.clone(),
+                leak: cell.standby_leak,
+            }
+        })
+        .collect();
+    all.sort_by(|a, b| b.leak.partial_cmp(&a.leak).expect("finite leak"));
+    all.truncate(k);
+    all
+}
+
+fn class_rows(b: &LeakageBreakdown) -> [(&'static str, Current); 8] {
+    [
+        ("low-Vth logic", b.low_vth),
+        ("high-Vth logic", b.high_vth),
+        ("MT-cells (embedded switch)", b.mt_embedded),
+        ("MT-cells (gated residual)", b.mt_vgnd_residual),
+        ("shared footer switches", b.shared_switches),
+        ("output holders", b.holders),
+        ("flip-flops", b.flip_flops),
+        ("clock buffers", b.clock_buffers),
+    ]
+}
+
+/// Renders the standby power report: totals, per-class breakdown with
+/// percentages, and the top leakers.
+pub fn render_standby_report(
+    netlist: &Netlist,
+    lib: &Library,
+    source: StateSource<'_>,
+    top_k: usize,
+) -> String {
+    let b = standby_leakage(netlist, lib, source);
+    let total = b.total();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "standby power report: {} total ({} at {})",
+        total,
+        b.power(lib),
+        lib.tech.vdd
+    );
+    let _ = writeln!(out, "  {:<28} {:>12} {:>7}", "class", "uA", "share");
+    for (name, i) in class_rows(&b) {
+        if i.ua() == 0.0 {
+            continue;
+        }
+        let share = if total.ua() > 0.0 {
+            100.0 * i.ua() / total.ua()
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {:<28} {:>12.6} {:>6.1}%", name, i.ua(), share);
+    }
+    let _ = writeln!(out, "  top leakers:");
+    for l in top_leakers(netlist, lib, top_k) {
+        let _ = writeln!(
+            out,
+            "    {:<24} {:<14} {:>12.6} uA",
+            l.inst,
+            l.cell,
+            l.leak.ua()
+        );
+    }
+    out
+}
+
+/// Quick census of how much of the design's cell population can be gated
+/// at all: the structural upper bound on what any MTCMOS technique can
+/// save.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GatingPotential {
+    /// Leakage of cells a perfect gating scheme could eliminate
+    /// (combinational logic of any Vth).
+    pub gateable: Current,
+    /// Leakage of cells that must stay powered (FFs, clock, holders,
+    /// switches).
+    pub always_on: Current,
+}
+
+impl GatingPotential {
+    /// Best-case post-gating leakage fraction.
+    pub fn floor_fraction(&self) -> f64 {
+        let total = self.gateable.ua() + self.always_on.ua();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.always_on.ua() / total
+    }
+}
+
+/// Computes the gating potential of a design in its *current* Vth
+/// assignment (mean-state leakage).
+pub fn gating_potential(netlist: &Netlist, lib: &Library) -> GatingPotential {
+    let mut g = GatingPotential::default();
+    for (_, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        match cell.role {
+            CellRole::Logic => {
+                // Gateable regardless of current flavour.
+                let leak = match cell.vth {
+                    VthClass::MtEmbedded | VthClass::MtVgnd => cell.leakage.mean(),
+                    _ => cell.standby_leak,
+                };
+                g.gateable += leak;
+            }
+            _ => g.always_on += cell.standby_leak,
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(lib: &Library) -> Netlist {
+        let mut n = Netlist::new("d");
+        let clk = n.add_clock("clk");
+        let a = n.add_input("a");
+        let w = n.add_net("w");
+        let z = n.add_output("z");
+        let g1 = n.add_instance("big_leaker", lib.find_id("ND4_X4_L").unwrap(), lib);
+        let g2 = n.add_instance("quiet", lib.find_id("INV_X1_H").unwrap(), lib);
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_H").unwrap(), lib);
+        for pin in ["A", "B", "C", "D"] {
+            n.connect_by_name(g1, pin, a, lib).unwrap();
+        }
+        n.connect_by_name(g1, "Z", w, lib).unwrap();
+        n.connect_by_name(g2, "A", w, lib).unwrap();
+        n.connect_by_name(g2, "Z", z, lib).unwrap();
+        n.connect_by_name(ff, "D", w, lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, lib).unwrap();
+        let q = n.add_output("q");
+        n.connect_by_name(ff, "Q", q, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn top_leakers_ranked() {
+        let lib = Library::industrial_130nm();
+        let n = design(&lib);
+        let top = top_leakers(&n, &lib, 2);
+        assert_eq!(top[0].inst, "big_leaker");
+        assert!(top[0].leak > top[1].leak);
+    }
+
+    #[test]
+    fn report_text_is_complete() {
+        let lib = Library::industrial_130nm();
+        let n = design(&lib);
+        let text = render_standby_report(&n, &lib, StateSource::Mean, 3);
+        assert!(text.contains("standby power report"));
+        assert!(text.contains("low-Vth logic"));
+        assert!(text.contains("flip-flops"));
+        assert!(text.contains("big_leaker"));
+        assert!(text.contains("%"));
+    }
+
+    #[test]
+    fn gating_potential_bounds_the_techniques() {
+        let lib = Library::industrial_130nm();
+        let n = design(&lib);
+        let g = gating_potential(&n, &lib);
+        assert!(g.gateable.ua() > 0.0);
+        assert!(g.always_on.ua() > 0.0);
+        let f = g.floor_fraction();
+        assert!((0.0..1.0).contains(&f));
+        // The big low-Vth NAND dominates: floor is small.
+        assert!(f < 0.2, "floor {f}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Virtual-ground (VGND) electrical analysis.
+//!
+//! When a cluster of improved MT-cells switches, the current through the
+//! shared footer raises the virtual ground above true ground ("voltage
+//! bounce"). The paper's back-end optimizer sizes each switch "so that the
+//! voltage bounce of each VGND line may not exceed the upper limit which
+//! the designer specifies". This module evaluates that bounce for every
+//! VGND net, checks the electromigration rating, and converts bounce into
+//! the per-cell delay-derate factors the STA consumes.
+
+use smt_base::units::{Current, Res, Volt};
+use smt_cells::cell::CellRole;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, NetId, Netlist};
+
+/// Electrical summary of one VGND cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBounce {
+    /// The VGND net.
+    pub net: NetId,
+    /// The switch instance footing the cluster.
+    pub switch: InstId,
+    /// MT-cells in the cluster.
+    pub mt_cells: Vec<InstId>,
+    /// Diversity-discounted simultaneous switching current.
+    pub current: Current,
+    /// Switch on-resistance.
+    pub switch_res: Res,
+    /// VGND wire resistance contribution (half the net length).
+    pub wire_res: Res,
+    /// Worst-case voltage bounce.
+    pub bounce: Volt,
+    /// Whether the current respects the switch's EM rating.
+    pub em_ok: bool,
+    /// VGND net wire length used, µm.
+    pub wire_length_um: f64,
+}
+
+impl ClusterBounce {
+    /// Delay-derate factor for cells in this cluster:
+    /// `1 + k · ΔV / VDD`.
+    pub fn delay_factor(&self, lib: &Library) -> f64 {
+        1.0 + lib.tech.bounce_delay_sens * self.bounce.volts() / lib.tech.vdd.volts()
+    }
+}
+
+/// Computes the simultaneous-switching current of a set of MT-cells:
+/// `max(peak_i) + simultaneity · Σ(other peaks)`.
+///
+/// The conventional technique has no sharing, so each embedded switch sees
+/// its own full peak; sharing lets the optimizer bank on switching
+/// diversity — this asymmetry is the physical source of the paper's area
+/// and leakage win.
+pub fn cluster_current(lib: &Library, netlist: &Netlist, cells: &[InstId]) -> Current {
+    let mut peaks: Vec<f64> = cells
+        .iter()
+        .filter_map(|&c| lib.cell(netlist.inst(c).cell).mt.map(|m| m.peak_current.ua()))
+        .collect();
+    peaks.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    match peaks.split_first() {
+        None => Current::ZERO,
+        Some((max, rest)) => {
+            Current::new(max + lib.tech.simultaneity * rest.iter().sum::<f64>())
+        }
+    }
+}
+
+/// Analyses every VGND net in the netlist.
+///
+/// `net_length` supplies each net's wire length (pre-route estimate or
+/// post-route extraction) so this crate stays independent of the placer
+/// and router.
+pub fn analyze_vgnd(
+    netlist: &Netlist,
+    lib: &Library,
+    net_length: impl Fn(NetId) -> f64,
+) -> Vec<ClusterBounce> {
+    let mut out = Vec::new();
+    for (net_id, net) in netlist.nets() {
+        let mut switch = None;
+        let mut mt_cells = Vec::new();
+        for pr in &net.loads {
+            let cell = lib.cell(netlist.inst(pr.inst).cell);
+            if !cell.pins[pr.pin].is_vgnd {
+                continue;
+            }
+            if cell.role == CellRole::Switch {
+                switch = Some(pr.inst);
+            } else {
+                mt_cells.push(pr.inst);
+            }
+        }
+        let Some(switch) = switch else { continue };
+        if mt_cells.is_empty() {
+            continue;
+        }
+        let spec = lib
+            .cell(netlist.inst(switch).cell)
+            .switch
+            .expect("switch cell has a spec");
+        let current = cluster_current(lib, netlist, &mt_cells);
+        let len = net_length(net_id);
+        // Distributed wide power strap: effective IR contribution is half
+        // the total R, scaled by the VGND strap-width factor.
+        let wire_res = Res::new(
+            lib.tech.wire_res(len).kohm() * 0.5 * lib.tech.vgnd_wire_res_factor,
+        );
+        let bounce = current * spec.on_res + current * wire_res;
+        out.push(ClusterBounce {
+            net: net_id,
+            switch,
+            mt_cells,
+            current,
+            switch_res: spec.on_res,
+            wire_res,
+            bounce,
+            em_ok: current.ua() <= spec.max_current.ua(),
+            wire_length_um: len,
+        });
+    }
+    out
+}
+
+/// Converts cluster bounce into per-instance delay factors,
+/// `(instance, factor)` pairs for every MT-cell.
+pub fn bounce_derates(lib: &Library, clusters: &[ClusterBounce]) -> Vec<(InstId, f64)> {
+    let mut out = Vec::new();
+    for c in clusters {
+        let f = c.delay_factor(lib);
+        for &cell in &c.mt_cells {
+            out.push((cell, f));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::cell::VthClass;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    /// `k` MT NAND cells on one VGND net with the given switch.
+    fn cluster(lib: &Library, k: usize, sw: &str) -> (Netlist, NetId) {
+        let mut n = Netlist::new("c");
+        let mte = n.add_input("mte");
+        let vg = n.add_net("vg");
+        let mv = lib.find_id("ND2_X1_MV").unwrap();
+        for i in 0..k {
+            let a = n.add_input(&format!("a{i}"));
+            let b = n.add_input(&format!("b{i}"));
+            let z = n.add_output(&format!("z{i}"));
+            let u = n.add_instance(&format!("u{i}"), mv, lib);
+            n.connect_by_name(u, "A", a, lib).unwrap();
+            n.connect_by_name(u, "B", b, lib).unwrap();
+            n.connect_by_name(u, "Z", z, lib).unwrap();
+            n.connect_by_name(u, "VGND", vg, lib).unwrap();
+        }
+        let s = n.add_instance("sw", lib.find_id(sw).unwrap(), lib);
+        n.connect_by_name(s, "VGND", vg, lib).unwrap();
+        n.connect_by_name(s, "MTE", mte, lib).unwrap();
+        (n, vg)
+    }
+
+    #[test]
+    fn bounce_scales_with_cluster_size_and_switch_width() {
+        let lib = lib();
+        let (n4, _) = cluster(&lib, 4, "SW_W32");
+        let (n16, _) = cluster(&lib, 16, "SW_W32");
+        let b4 = analyze_vgnd(&n4, &lib, |_| 50.0);
+        let b16 = analyze_vgnd(&n16, &lib, |_| 50.0);
+        assert_eq!(b4.len(), 1);
+        assert_eq!(b16.len(), 1);
+        assert!(b16[0].bounce > b4[0].bounce);
+        // Wider switch, less bounce.
+        let (n16w, _) = cluster(&lib, 16, "SW_W128");
+        let bw = analyze_vgnd(&n16w, &lib, |_| 50.0);
+        assert!(bw[0].bounce < b16[0].bounce);
+    }
+
+    #[test]
+    fn diversity_discount_applies() {
+        let lib = lib();
+        let (n, _) = cluster(&lib, 10, "SW_W32");
+        let cells: Vec<InstId> = n
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_mt())
+            .map(|(id, _)| id)
+            .collect();
+        let i_cluster = cluster_current(&lib, &n, &cells);
+        let peak_one = lib
+            .find("ND2_X1_MV")
+            .unwrap()
+            .mt
+            .unwrap()
+            .peak_current;
+        // Far below the undiscounted sum, at least one full peak.
+        assert!(i_cluster.ua() < 10.0 * peak_one.ua() * 0.6);
+        assert!(i_cluster.ua() >= peak_one.ua());
+        // Exact formula.
+        let expect = peak_one.ua() * (1.0 + lib.tech.simultaneity * 9.0);
+        assert!((i_cluster.ua() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn em_violation_detected_on_narrow_switch() {
+        let lib = lib();
+        let (n, _) = cluster(&lib, 40, "SW_W2");
+        let b = analyze_vgnd(&n, &lib, |_| 50.0);
+        assert!(!b[0].em_ok, "40 cells on a 2 µm switch must violate EM");
+    }
+
+    #[test]
+    fn wire_length_adds_bounce() {
+        let lib = lib();
+        let (n, _) = cluster(&lib, 8, "SW_W64");
+        let short = analyze_vgnd(&n, &lib, |_| 10.0);
+        let long = analyze_vgnd(&n, &lib, |_| 2000.0);
+        assert!(long[0].bounce > short[0].bounce);
+    }
+
+    #[test]
+    fn derates_cover_all_mt_cells_and_exceed_one() {
+        let lib = lib();
+        let (n, _) = cluster(&lib, 8, "SW_W32");
+        let clusters = analyze_vgnd(&n, &lib, |_| 100.0);
+        let derates = bounce_derates(&lib, &clusters);
+        assert_eq!(derates.len(), 8);
+        for (_, f) in &derates {
+            assert!(*f > 1.0 && *f < 2.0, "factor {f}");
+        }
+        let _ = VthClass::MtVgnd;
+    }
+}

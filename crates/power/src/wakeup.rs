@@ -1,0 +1,169 @@
+//! Wake-up cost analysis for power-gated clusters.
+//!
+//! Power gating is not free to leave: when `MTE` re-asserts, every
+//! cluster's virtual-ground rail (charged toward VDD while floating) must
+//! be discharged through its footer switch before the MT-cells compute
+//! reliably. Two quantities matter at system level:
+//!
+//! * **wake-up energy** — `E = C_vgnd · VDD²` per sleep/wake cycle
+//!   (crowbar + rail recharge), which sets the *break-even standby time*:
+//!   sleeping shorter than break-even wastes energy;
+//! * **wake-up latency** — a few RC time constants of
+//!   `R_switch · C_vgnd`, which bounds how quickly the block can resume.
+//!
+//! The paper's improved technique changes both: shared switches mean fewer,
+//! larger VGND rails (more C per rail, less switch R), so latency stays
+//! comparable while the energy is set by the same total capacitance.
+
+use crate::vgnd::analyze_vgnd;
+use smt_base::units::{Cap, Current, Time, Volt};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist};
+
+/// Wake-up figures for one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterWakeup {
+    /// The VGND net.
+    pub net: NetId,
+    /// VGND rail capacitance (wire + MT-cell source diffusion).
+    pub rail_cap: Cap,
+    /// Energy to cycle this cluster through sleep/wake once, femtojoules.
+    pub energy_fj: f64,
+    /// Time constant `R_sw · C_rail`.
+    pub tau: Time,
+    /// Latency to settle within ~5% (3τ).
+    pub latency: Time,
+}
+
+/// Whole-design wake-up summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WakeupReport {
+    /// Per-cluster figures.
+    pub clusters: Vec<ClusterWakeup>,
+    /// Total energy per sleep/wake cycle, femtojoules.
+    pub total_energy_fj: f64,
+    /// Worst cluster latency.
+    pub worst_latency: Time,
+}
+
+impl WakeupReport {
+    /// Minimum standby duration for which sleeping saves energy, given the
+    /// leakage saved while asleep:
+    /// `t_breakeven = E_cycle / P_saved`.
+    pub fn break_even(&self, leakage_saved: Current, vdd: Volt) -> Time {
+        let p_saved_nw = (leakage_saved * vdd).nw();
+        if p_saved_nw <= 0.0 {
+            return Time::new(f64::INFINITY);
+        }
+        // fJ / nW = µs; Time is ps, so ×1e6.
+        Time::new(self.total_energy_fj / p_saved_nw * 1e6)
+    }
+}
+
+/// Diffusion capacitance per µm of gated NMOS width hanging on the rail,
+/// fF/µm (source/drain junction of the MT-cells' foot).
+const CDIFF_FF_PER_UM: f64 = 0.8;
+
+/// Analyses wake-up cost for every VGND cluster.
+///
+/// `net_length` supplies VGND wire lengths (estimate or extracted), as in
+/// [`crate::vgnd::analyze_vgnd`].
+pub fn analyze_wakeup(
+    netlist: &Netlist,
+    lib: &Library,
+    net_length: impl Fn(NetId) -> f64,
+) -> WakeupReport {
+    let vdd = lib.tech.vdd;
+    let clusters = analyze_vgnd(netlist, lib, &net_length);
+    let mut out = WakeupReport::default();
+    for c in clusters {
+        let wire = lib.tech.wire_cap(c.wire_length_um);
+        let diff_width: f64 = c
+            .mt_cells
+            .iter()
+            .map(|&m| lib.cell(netlist.inst(m).cell).nmos_width_um)
+            .sum();
+        let rail_cap = wire + Cap::new(diff_width * CDIFF_FF_PER_UM);
+        // E = C·V²: fF · V² = fJ.
+        let energy_fj = rail_cap.ff() * vdd.volts() * vdd.volts();
+        let tau = c.switch_res * rail_cap;
+        let latency = tau * 3.0;
+        out.total_energy_fj += energy_fj;
+        out.worst_latency = out.worst_latency.max(latency);
+        out.clusters.push(ClusterWakeup {
+            net: c.net,
+            rail_cap,
+            energy_fj,
+            tau,
+            latency,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(lib: &Library, k: usize, sw: &str) -> Netlist {
+        let mut n = Netlist::new("c");
+        let mte = n.add_input("mte");
+        let vg = n.add_net("vg");
+        let mv = lib.find_id("ND2_X1_MV").unwrap();
+        for i in 0..k {
+            let a = n.add_input(&format!("a{i}"));
+            let b = n.add_input(&format!("b{i}"));
+            let z = n.add_output(&format!("z{i}"));
+            let u = n.add_instance(&format!("u{i}"), mv, lib);
+            n.connect_by_name(u, "A", a, lib).unwrap();
+            n.connect_by_name(u, "B", b, lib).unwrap();
+            n.connect_by_name(u, "Z", z, lib).unwrap();
+            n.connect_by_name(u, "VGND", vg, lib).unwrap();
+        }
+        let s = n.add_instance("sw", lib.find_id(sw).unwrap(), lib);
+        n.connect_by_name(s, "VGND", vg, lib).unwrap();
+        n.connect_by_name(s, "MTE", mte, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn energy_scales_with_cluster_size() {
+        let lib = Library::industrial_130nm();
+        let small = analyze_wakeup(&cluster(&lib, 4, "SW_W32"), &lib, |_| 40.0);
+        let big = analyze_wakeup(&cluster(&lib, 16, "SW_W32"), &lib, |_| 40.0);
+        assert_eq!(small.clusters.len(), 1);
+        assert!(big.total_energy_fj > small.total_energy_fj * 2.0);
+    }
+
+    #[test]
+    fn wider_switch_wakes_faster() {
+        let lib = Library::industrial_130nm();
+        let narrow = analyze_wakeup(&cluster(&lib, 8, "SW_W8"), &lib, |_| 40.0);
+        let wide = analyze_wakeup(&cluster(&lib, 8, "SW_W128"), &lib, |_| 40.0);
+        assert!(wide.worst_latency < narrow.worst_latency);
+        // Energy is a property of the rail, not the switch.
+        assert!((wide.total_energy_fj - narrow.total_energy_fj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_is_finite_and_sane() {
+        let lib = Library::industrial_130nm();
+        let r = analyze_wakeup(&cluster(&lib, 8, "SW_W32"), &lib, |_| 40.0);
+        // Saving 1 µA of leakage at 1.2 V: break-even in the µs range for
+        // tens of fJ per cycle.
+        let t = r.break_even(Current::new(1.0), lib.tech.vdd);
+        assert!(t.is_finite());
+        assert!(t.ps() > 0.0);
+        assert!(t.ns() < 1e6, "break-even {} unexpectedly long", t);
+        // Zero savings: never worth sleeping.
+        assert!(!r.break_even(Current::ZERO, lib.tech.vdd).is_finite());
+    }
+
+    #[test]
+    fn latency_is_three_tau() {
+        let lib = Library::industrial_130nm();
+        let r = analyze_wakeup(&cluster(&lib, 8, "SW_W32"), &lib, |_| 40.0);
+        let c = &r.clusters[0];
+        assert!((c.latency.ps() - 3.0 * c.tau.ps()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! High-fanout net buffering.
+//!
+//! The MT enable signal "has many fanouts, as MTE is necessary to be
+//! connected to all switch transistors and output holders. So, buffers
+//! need to be inserted to the MTE net appropriately" (Fig. 4, routing
+//! stage). This module provides the generic placement-aware buffer-tree
+//! builder `smt-core` uses for exactly that, and which is equally useful
+//! for reset/scan-enable style nets.
+
+use smt_base::geom::Point;
+use smt_cells::cell::CellId;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist, PinRef};
+use smt_place::Placement;
+
+/// Buffering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferingConfig {
+    /// Maximum loads per buffer (and per level of the tree).
+    pub max_fanout: usize,
+    /// Buffer cell to insert.
+    pub buffer: CellId,
+}
+
+/// Outcome of buffering one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferingReport {
+    /// Buffers inserted.
+    pub buffers: usize,
+    /// Levels of buffering added (0 = net was already under the budget).
+    pub levels: usize,
+}
+
+/// Buffers a high-fanout net into a geometric tree so no net carries more
+/// than `max_fanout` loads. Loads are grouped by proximity (median splits)
+/// and each group is moved behind a buffer placed at the group's centroid.
+///
+/// Returns how many buffers/levels were inserted.
+pub fn buffer_net(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    net: NetId,
+    config: &BufferingConfig,
+) -> BufferingReport {
+    let mut report = BufferingReport::default();
+    let frontier = net;
+    loop {
+        let loads = netlist.net(frontier).loads.clone();
+        if loads.len() <= config.max_fanout {
+            return report;
+        }
+        report.levels += 1;
+        // Median-split the loads until every group fits the budget.
+        let groups = split_geometric(&loads, config.max_fanout, placement);
+        for (gi, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let centroid = {
+                let n = group.len() as f64;
+                Point::new(
+                    group.iter().map(|p| placement.loc(p.inst).x).sum::<f64>() / n,
+                    group.iter().map(|p| placement.loc(p.inst).y).sum::<f64>() / n,
+                )
+            };
+            let hint = format!("hfb{}_{}", report.levels, gi);
+            let (buf, _new_net) =
+                netlist.insert_buffer(frontier, group, config.buffer, &hint, lib);
+            placement.set_loc(buf, centroid);
+            report.buffers += 1;
+        }
+        // The frontier net now feeds the level's buffers; if there are
+        // still too many of them, loop and buffer the buffers.
+    }
+}
+
+/// Splits loads into geometric clusters of at most `max_size` pins via
+/// recursive median cuts, alternating axes.
+fn split_geometric(loads: &[PinRef], max_size: usize, placement: &Placement) -> Vec<Vec<PinRef>> {
+    let mut done: Vec<Vec<PinRef>> = Vec::new();
+    let mut work: Vec<(Vec<PinRef>, usize)> = vec![(loads.to_vec(), 0)];
+    while let Some((mut g, axis)) = work.pop() {
+        if g.len() <= max_size {
+            done.push(g);
+            continue;
+        }
+        g.sort_by(|a, b| {
+            let pa = placement.loc(a.inst);
+            let pb = placement.loc(b.inst);
+            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).expect("finite")
+        });
+        let right = g.split_off(g.len() / 2);
+        work.push((g, 1 - axis));
+        work.push((right, 1 - axis));
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::cell::VthClass;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_place::{place, PlacerConfig};
+    use smt_sim::{check_equivalence};
+
+    fn fanout_net(lib: &Library, loads: usize) -> Netlist {
+        let mut n = Netlist::new("hf");
+        let a = n.add_input("a");
+        let w = n.add_net("w");
+        let drv = n.add_instance("drv", lib.find_id("BUF_X4_L").unwrap(), lib);
+        n.connect_by_name(drv, "A", a, lib).unwrap();
+        n.connect_by_name(drv, "Z", w, lib).unwrap();
+        for i in 0..loads {
+            let z = n.add_output(&format!("z{i}"));
+            let u = n.add_instance(&format!("u{i}"), lib.find_id("INV_X1_L").unwrap(), lib);
+            n.connect_by_name(u, "A", w, lib).unwrap();
+            n.connect_by_name(u, "Z", z, lib).unwrap();
+        }
+        n
+    }
+
+    #[test]
+    fn buffering_caps_fanout_and_preserves_function() {
+        let lib = Library::industrial_130nm();
+        let reference = fanout_net(&lib, 70);
+        let mut n = fanout_net(&lib, 70);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        let w = n.find_net("w").unwrap();
+        let cfg = BufferingConfig {
+            max_fanout: 8,
+            buffer: lib.buffer(2, VthClass::High).unwrap(),
+        };
+        let report = buffer_net(&mut n, &mut p, &lib, w, &cfg);
+        assert!(report.buffers >= 70 / 8);
+        assert!(report.levels >= 1);
+        // Every net now under the budget.
+        for (_, net) in n.nets() {
+            assert!(net.loads.len() <= 8, "net {} fanout {}", net.name, net.loads.len());
+        }
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
+        // Buffering must not change logic.
+        let r = check_equivalence(&reference, &n, &lib, 32, 11).unwrap();
+        assert!(r.is_equivalent(), "{:?}", r.mismatches.first());
+    }
+
+    #[test]
+    fn small_nets_untouched() {
+        let lib = Library::industrial_130nm();
+        let mut n = fanout_net(&lib, 4);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        let w = n.find_net("w").unwrap();
+        let cfg = BufferingConfig {
+            max_fanout: 8,
+            buffer: lib.buffer(2, VthClass::High).unwrap(),
+        };
+        let before = n.num_instances();
+        let report = buffer_net(&mut n, &mut p, &lib, w, &cfg);
+        assert_eq!(report, BufferingReport::default());
+        assert_eq!(n.num_instances(), before);
+    }
+}

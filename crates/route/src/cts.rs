@@ -1,0 +1,346 @@
+//! Clock tree synthesis: recursive geometric clustering with buffer
+//! insertion ("Routing (including CTS)" in Fig. 4).
+//!
+//! Sinks (FF clock pins) are split by the median coordinate, alternating
+//! axes, until clusters fit under one buffer's fanout budget; a buffer is
+//! placed at each cluster's centroid and the tree is built bottom-up to a
+//! root buffer on the clock port. Insertion delay and skew are estimated
+//! with the same linear-delay + wire-Elmore models the STA uses.
+
+use smt_base::geom::Point;
+use smt_base::units::{Cap, Time};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, Netlist, PinRef};
+use smt_place::Placement;
+
+/// CTS options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtsConfig {
+    /// Max sinks (or child buffers) per clock buffer.
+    pub max_fanout: usize,
+    /// Drive strength of inserted clock buffers.
+    pub buffer_drive: u8,
+}
+
+impl Default for CtsConfig {
+    fn default() -> Self {
+        CtsConfig {
+            max_fanout: 8,
+            buffer_drive: 4,
+        }
+    }
+}
+
+/// CTS outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtsReport {
+    /// Buffers inserted.
+    pub buffers: usize,
+    /// Tree depth in buffer levels.
+    pub levels: usize,
+    /// Estimated min/max insertion delay over all FF clock pins.
+    pub insertion_min: Time,
+    /// See [`CtsReport::insertion_min`].
+    pub insertion_max: Time,
+}
+
+impl CtsReport {
+    /// Estimated clock skew.
+    pub fn skew(&self) -> Time {
+        self.insertion_max - self.insertion_min
+    }
+}
+
+struct Cluster {
+    /// Sink pins (FF CK pins or child buffer A pins).
+    sinks: Vec<PinRef>,
+    centroid: Point,
+}
+
+/// Runs CTS on the netlist's clock net. Returns `None` when the design has
+/// no clock or no FFs.
+///
+/// New buffers are placed via [`Placement::set_loc`]; FF `CK` pins are
+/// rewired to leaf buffer nets.
+pub fn synthesize_clock_tree(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    config: &CtsConfig,
+) -> Option<CtsReport> {
+    let clock = netlist.clock_net()?;
+    let sinks: Vec<PinRef> = netlist.net(clock).loads.clone();
+    if sinks.is_empty() {
+        return None;
+    }
+    let buf_cell = lib
+        .clock_buffer(config.buffer_drive)
+        .or_else(|| lib.clock_buffer(1))
+        .expect("library has clock buffers");
+
+    // Recursive split into leaf clusters.
+    let mut leaves: Vec<Cluster> = Vec::new();
+    let mut stack = vec![(sinks, 0usize)];
+    while let Some((mut group, axis)) = stack.pop() {
+        if group.len() <= config.max_fanout {
+            let centroid = centroid_of(&group, placement);
+            leaves.push(Cluster {
+                sinks: group,
+                centroid,
+            });
+            continue;
+        }
+        group.sort_by(|a, b| {
+            let pa = placement.loc(a.inst);
+            let pb = placement.loc(b.inst);
+            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).expect("finite")
+        });
+        let mid = group.len() / 2;
+        let right = group.split_off(mid);
+        stack.push((group, 1 - axis));
+        stack.push((right, 1 - axis));
+    }
+
+    // Build buffers bottom-up: leaves first, then merge upwards until one
+    // root remains.
+    let mut buffers = 0usize;
+    let mut levels = 1usize;
+    let mut level: Vec<(InstId, Point)> = Vec::new();
+    for (i, leaf) in leaves.iter().enumerate() {
+        let (buf, _net) = insert_buffer(netlist, placement, lib, buf_cell, &leaf.sinks, leaf.centroid, &format!("ctsl{i}"));
+        buffers += 1;
+        level.push((buf, leaf.centroid));
+    }
+    while level.len() > config.max_fanout {
+        levels += 1;
+        let mut next: Vec<(InstId, Point)> = Vec::new();
+        for (i, chunk) in level.chunks(config.max_fanout).enumerate() {
+            let pins: Vec<PinRef> = chunk
+                .iter()
+                .map(|(b, _)| PinRef {
+                    inst: *b,
+                    pin: lib.cell(netlist.inst(*b).cell).pin_index("A").expect("buf A"),
+                })
+                .collect();
+            let c = Point::new(
+                chunk.iter().map(|(_, p)| p.x).sum::<f64>() / chunk.len() as f64,
+                chunk.iter().map(|(_, p)| p.y).sum::<f64>() / chunk.len() as f64,
+            );
+            let (buf, _net) =
+                insert_buffer(netlist, placement, lib, buf_cell, &pins, c, &format!("ctsm{levels}_{i}"));
+            buffers += 1;
+            next.push((buf, c));
+        }
+        level = next;
+    }
+    // Root buffer on the clock port.
+    levels += 1;
+    let pins: Vec<PinRef> = level
+        .iter()
+        .map(|(b, _)| PinRef {
+            inst: *b,
+            pin: lib.cell(netlist.inst(*b).cell).pin_index("A").expect("buf A"),
+        })
+        .collect();
+    let root_loc = centroid_points(&level.iter().map(|(_, p)| *p).collect::<Vec<_>>());
+    let (_root, _net) = insert_buffer(netlist, placement, lib, buf_cell, &pins, root_loc, "ctsroot");
+    buffers += 1;
+
+    // Insertion delay estimate per FF sink: walk up the buffer chain.
+    let report = estimate_insertion(netlist, placement, lib, clock);
+    Some(CtsReport {
+        buffers,
+        levels,
+        insertion_min: report.0,
+        insertion_max: report.1,
+    })
+}
+
+fn centroid_of(pins: &[PinRef], placement: &Placement) -> Point {
+    let pts: Vec<Point> = pins.iter().map(|p| placement.loc(p.inst)).collect();
+    centroid_points(&pts)
+}
+
+fn centroid_points(pts: &[Point]) -> Point {
+    let n = pts.len().max(1) as f64;
+    Point::new(
+        pts.iter().map(|p| p.x).sum::<f64>() / n,
+        pts.iter().map(|p| p.y).sum::<f64>() / n,
+    )
+}
+
+/// Inserts one buffer driving `sinks`, rewiring them from whatever net they
+/// were on (they must share one net — the clock or a parent buffer net).
+fn insert_buffer(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    buf_cell: smt_cells::cell::CellId,
+    sinks: &[PinRef],
+    loc: Point,
+    hint: &str,
+) -> (InstId, smt_netlist::netlist::NetId) {
+    let src = netlist
+        .inst(sinks[0].inst)
+        .net_on(sinks[0].pin)
+        .expect("sink pin is connected");
+    let (buf, net) = netlist.insert_buffer(src, sinks, buf_cell, hint, lib);
+    placement.set_loc(buf, loc);
+    (buf, net)
+}
+
+/// Walks the buffer tree from each FF clock pin to the clock source and
+/// sums stage delays.
+fn estimate_insertion(
+    netlist: &Netlist,
+    placement: &Placement,
+    lib: &Library,
+    clock_root: smt_netlist::netlist::NetId,
+) -> (Time, Time) {
+    let mut min = Time::new(f64::INFINITY);
+    let mut max = Time::ZERO;
+    for (id, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        if !cell.is_sequential() {
+            continue;
+        }
+        let ck_pin = cell
+            .pins
+            .iter()
+            .position(|p| p.is_clock)
+            .expect("sequential cell has a clock pin");
+        let Some(mut net) = inst.net_on(ck_pin) else { continue };
+        let mut delay = Time::ZERO;
+        let mut hops = 0;
+        loop {
+            if net == clock_root || hops > 64 {
+                break;
+            }
+            let driver = match netlist.net(net).driver {
+                Some(smt_netlist::netlist::NetDriver::Inst(pr)) => pr,
+                _ => break,
+            };
+            let dcell = lib.cell(netlist.inst(driver.inst).cell);
+            let arc = dcell.arcs.first();
+            // Load on the driver's output net: pin caps + wire estimate.
+            let load: Cap = netlist
+                .net(net)
+                .loads
+                .iter()
+                .map(|pr| {
+                    let c = lib.cell(netlist.inst(pr.inst).cell);
+                    c.pins[pr.pin].cap
+                })
+                .sum::<Cap>()
+                + wire_cap_of(netlist, placement, lib, net);
+            if let Some(arc) = arc {
+                delay += arc.delay(Time::new(30.0), load);
+            }
+            let in_pin = dcell.pin_index("A").unwrap_or(0);
+            match netlist.inst(driver.inst).net_on(in_pin) {
+                Some(up) => net = up,
+                None => break,
+            }
+            hops += 1;
+        }
+        min = min.min(delay);
+        max = max.max(delay);
+        let _ = id;
+    }
+    if !min.is_finite() {
+        (Time::ZERO, Time::ZERO)
+    } else {
+        (min, max)
+    }
+}
+
+fn wire_cap_of(
+    netlist: &Netlist,
+    placement: &Placement,
+    lib: &Library,
+    net: smt_netlist::netlist::NetId,
+) -> Cap {
+    lib.tech.wire_cap(placement.net_hpwl(netlist, net) * 1.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_place::{place, PlacerConfig};
+
+    fn many_ffs(lib: &Library, count: usize) -> Netlist {
+        let mut n = Netlist::new("ffs");
+        let clk = n.add_clock("clk");
+        let d = n.add_input("d");
+        let dff = lib.find_id("DFF_X1_L").unwrap();
+        let mut prev = d;
+        for i in 0..count {
+            let q = n.add_net(&format!("q{i}"));
+            let ff = n.add_instance(&format!("ff{i}"), dff, lib);
+            n.connect_by_name(ff, "D", prev, lib).unwrap();
+            n.connect_by_name(ff, "CK", clk, lib).unwrap();
+            n.connect_by_name(ff, "Q", q, lib).unwrap();
+            prev = q;
+        }
+        n.expose_output("z", prev);
+        n
+    }
+
+    #[test]
+    fn cts_builds_a_tree_and_caps_fanout() {
+        let lib = Library::industrial_130nm();
+        let mut n = many_ffs(&lib, 60);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        let report = synthesize_clock_tree(&mut n, &mut p, &lib, &CtsConfig::default())
+            .expect("has clock and FFs");
+        assert!(report.buffers >= 60 / 8, "buffers = {}", report.buffers);
+        assert!(report.levels >= 2);
+        // Clock root now feeds only buffers; every net fanout ≤ max.
+        let clock = n.clock_net().unwrap();
+        assert!(n.net(clock).loads.len() <= 8);
+        for (_, net) in n.nets() {
+            let clocked = net
+                .loads
+                .iter()
+                .any(|pr| lib.cell(n.inst(pr.inst).cell).pins[pr.pin].is_clock);
+            if clocked {
+                assert!(net.loads.len() <= 8, "net {} fanout {}", net.name, net.loads.len());
+            }
+        }
+        // Netlist still structurally clean.
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
+        // Skew is a finite, non-negative estimate.
+        assert!(report.skew().ps() >= 0.0);
+        assert!(report.insertion_max.ps() > 0.0);
+    }
+
+    #[test]
+    fn no_clock_no_cts() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("comb");
+        let a = n.add_input("a");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        assert!(synthesize_clock_tree(&mut n, &mut p, &lib, &CtsConfig::default()).is_none());
+    }
+
+    #[test]
+    fn buffers_are_placed() {
+        let lib = Library::industrial_130nm();
+        let mut n = many_ffs(&lib, 30);
+        let mut p = place(&n, &lib, &PlacerConfig::default());
+        synthesize_clock_tree(&mut n, &mut p, &lib, &CtsConfig::default()).unwrap();
+        for (id, inst) in n.instances() {
+            if inst.name.starts_with("cts") {
+                let loc = p.loc(id);
+                assert!(p.die.contains(loc) || loc != Point::ORIGIN, "{}", inst.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! SPEF-lite: a compact parasitics exchange format.
+//!
+//! The paper's flow hands post-route parasitics ("SPEF") to the switch
+//! re-optimizer. Real SPEF carries full RC networks; this subset carries
+//! what our models consume — per-net totals and per-sink Elmore — in a
+//! recognisable shape:
+//!
+//! ```text
+//! *SPEF smt-lite
+//! *DESIGN top
+//! *NET w4 2.40 0.0048 12.0      // name  cap_fF  res_kOhm  length_um
+//! *SINK 0 0.0123                // sink ordinal, wire elmore ps
+//! *SINK 1 0.0345
+//! *END
+//! ```
+
+use crate::extract::{NetParasitics, Parasitics};
+use smt_base::units::{Cap, Res, Time};
+use smt_netlist::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpefError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseSpefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spef-lite parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpefError {}
+
+/// Serialises parasitics against a netlist (net names come from the
+/// netlist; order is preserved on parse).
+pub fn write(netlist: &Netlist, parasitics: &Parasitics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF smt-lite");
+    let _ = writeln!(out, "*DESIGN {}", netlist.name);
+    let _ = writeln!(
+        out,
+        "*MODE {}",
+        if parasitics.post_route { "post_route" } else { "estimated" }
+    );
+    for (id, net) in netlist.nets() {
+        let p = parasitics.net(id);
+        let _ = writeln!(
+            out,
+            "*NET {} {:.6} {:.9} {:.4}",
+            net.name,
+            p.wire_cap.ff(),
+            p.wire_res.kohm(),
+            p.length_um
+        );
+        for (k, e) in p.sink_elmore.iter().enumerate() {
+            let _ = writeln!(out, "*SINK {} {:.6}", k, e.ps());
+        }
+    }
+    let _ = writeln!(out, "*END");
+    out
+}
+
+/// Parses SPEF-lite back into [`Parasitics`], matching nets by name.
+///
+/// # Errors
+///
+/// [`ParseSpefError`] on malformed lines or nets that do not exist in the
+/// netlist.
+pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, ParseSpefError> {
+    let err = |line: usize, m: String| ParseSpefError { line, message: m };
+    let mut nets = vec![NetParasitics::default(); netlist.num_nets()];
+    let mut post_route = false;
+    let mut current: Option<usize> = None;
+    let mut seen_header = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let l = raw.trim();
+        if l.is_empty() {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("*SPEF") {
+            let _ = rest;
+            seen_header = true;
+            continue;
+        }
+        if !seen_header {
+            return Err(err(line, "missing *SPEF header".to_owned()));
+        }
+        if l.starts_with("*DESIGN") || l == "*END" {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("*MODE") {
+            post_route = rest.trim() == "post_route";
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("*NET") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| err(line, "net line needs a name".to_owned()))?;
+            let vals: Vec<f64> = it
+                .map(|v| v.parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| err(line, "bad number on *NET line".to_owned()))?;
+            if vals.len() != 3 {
+                return Err(err(line, "*NET needs cap res length".to_owned()));
+            }
+            let id = netlist
+                .find_net(name)
+                .ok_or_else(|| err(line, format!("unknown net `{name}`")))?;
+            nets[id.index()] = NetParasitics {
+                length_um: vals[2],
+                wire_cap: Cap::new(vals[0]),
+                wire_res: Res::new(vals[1]),
+                sink_elmore: Vec::new(),
+            };
+            current = Some(id.index());
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("*SINK") {
+            let idx = current.ok_or_else(|| err(line, "*SINK before any *NET".to_owned()))?;
+            let mut it = rest.split_whitespace();
+            let k: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(line, "bad sink ordinal".to_owned()))?;
+            let e: f64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(line, "bad sink elmore".to_owned()))?;
+            let list = &mut nets[idx].sink_elmore;
+            if k >= list.len() {
+                list.resize(k + 1, Time::ZERO);
+            }
+            list[k] = Time::new(e);
+            continue;
+        }
+        return Err(err(line, format!("unrecognised line `{l}`")));
+    }
+    Ok(Parasitics { nets, post_route })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{route_global, RouteConfig};
+    use smt_cells::library::Library;
+    use smt_place::{place, PlacerConfig};
+
+    #[test]
+    fn roundtrip() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let mut prev = a;
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        for i in 0..10 {
+            let w = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("u{i}"), inv, &lib);
+            n.connect_by_name(u, "A", prev, &lib).unwrap();
+            n.connect_by_name(u, "Z", w, &lib).unwrap();
+            prev = w;
+        }
+        n.expose_output("z", prev);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let gr = route_global(&n, &lib, &p, &RouteConfig::default());
+        let ext = Parasitics::extract(&n, &lib, &p, &gr);
+        let text = write(&n, &ext);
+        let back = parse(&text, &n).unwrap();
+        assert_eq!(back.post_route, true);
+        for (id, _) in n.nets() {
+            let x = ext.net(id);
+            let y = back.net(id);
+            assert!((x.wire_cap.ff() - y.wire_cap.ff()).abs() < 1e-4);
+            assert!((x.length_um - y.length_um).abs() < 1e-3);
+            assert_eq!(x.sink_elmore.len(), y.sink_elmore.len());
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let n = Netlist::new("t");
+        assert!(parse("*NET x 1 2 3\n", &n).is_err()); // no header
+        assert!(parse("*SPEF smt-lite\n*NET nope 1 2 3\n", &n).is_err()); // unknown net
+        assert!(parse("*SPEF smt-lite\n*SINK 0 1.0\n", &n).is_err()); // sink before net
+        assert!(parse("*SPEF smt-lite\nwhat is this\n", &n).is_err());
+    }
+}

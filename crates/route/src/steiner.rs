@@ -1,0 +1,242 @@
+//! Rectilinear Steiner tree construction.
+//!
+//! Each net is routed as a rectilinear minimum spanning tree (Prim, L1
+//! metric) improved by a single pass of Hanan-point Steinerisation: for
+//! every tree edge pair sharing a node, try the L-shape corner that
+//! shortens total length. This lands within a few percent of optimal RSMT
+//! for the fanouts standard-cell nets have, which is all the RC models
+//! need.
+
+use smt_base::geom::Point;
+
+/// A routing tree over a net's pins.
+///
+/// Node 0 is always the driver; nodes `1..n_pins` are the sink pins in
+/// input order; nodes beyond that are Steiner points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RouteTree {
+    /// Node locations.
+    pub nodes: Vec<Point>,
+    /// Parent of each node (`usize::MAX` for the root). Tree edges run
+    /// `node -> parent`.
+    pub parent: Vec<usize>,
+}
+
+impl RouteTree {
+    /// Total rectilinear wirelength, µm.
+    pub fn wirelength(&self) -> f64 {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != usize::MAX)
+            .map(|(i, &p)| self.nodes[i].manhattan(self.nodes[p]))
+            .sum()
+    }
+
+    /// Path length from the root to a node, µm.
+    pub fn path_length(&self, mut node: usize) -> f64 {
+        let mut len = 0.0;
+        while self.parent[node] != usize::MAX {
+            let p = self.parent[node];
+            len += self.nodes[node].manhattan(self.nodes[p]);
+            node = p;
+        }
+        len
+    }
+
+    /// Edge list `(child, parent)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != usize::MAX)
+            .map(|(i, &p)| (i, p))
+    }
+}
+
+/// Builds a Steiner tree over pins; `pins[0]` is the driver.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty.
+pub fn steiner_tree(pins: &[Point]) -> RouteTree {
+    assert!(!pins.is_empty(), "a net needs at least a driver pin");
+    let n = pins.len();
+    let nodes = pins.to_vec();
+    let mut parent = vec![usize::MAX; n];
+    if n == 1 {
+        return RouteTree { nodes, parent };
+    }
+
+    // Prim MST from the driver.
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = pins[i].manhattan(pins[0]);
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < pick_d {
+                pick_d = best_dist[i];
+                pick = i;
+            }
+        }
+        in_tree[pick] = true;
+        parent[pick] = best_link[pick];
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = pins[i].manhattan(pins[pick]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_link[i] = pick;
+                }
+            }
+        }
+    }
+
+    // Steinerisation: where a node has 2+ children (or child+parent) with
+    // overlapping bounding boxes, insert the median corner point.
+    // One pass over nodes; insert at most one Steiner point per node.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if parent[i] != usize::MAX {
+            children[parent[i]].push(i);
+        }
+    }
+    let mut tree = RouteTree { nodes, parent };
+    for v in 0..n {
+        // Case 1: two children — try the median of (v, childA, childB).
+        if children[v].len() >= 2 {
+            let mut kids = children[v].clone();
+            kids.sort_by(|&a, &b| {
+                let da = tree.nodes[a].manhattan(tree.nodes[v]);
+                let db = tree.nodes[b].manhattan(tree.nodes[v]);
+                db.partial_cmp(&da).expect("finite")
+            });
+            let (a, b) = (kids[0], kids[1]);
+            // Only if both still hang off v (not rewired by an earlier fix).
+            if tree.parent[a] == v && tree.parent[b] == v {
+                let s = median_point(tree.nodes[v], tree.nodes[a], tree.nodes[b]);
+                let old = tree.nodes[a].manhattan(tree.nodes[v])
+                    + tree.nodes[b].manhattan(tree.nodes[v]);
+                let new = s.manhattan(tree.nodes[v])
+                    + s.manhattan(tree.nodes[a])
+                    + s.manhattan(tree.nodes[b]);
+                if new + 1e-9 < old {
+                    let sid = tree.nodes.len();
+                    tree.nodes.push(s);
+                    tree.parent.push(v);
+                    tree.parent[a] = sid;
+                    tree.parent[b] = sid;
+                    continue;
+                }
+            }
+        }
+        // Case 2: trunk node — median of (parent, v, longest child).
+        if tree.parent[v] != usize::MAX && !children[v].is_empty() {
+            let p = tree.parent[v];
+            let c = *children[v]
+                .iter()
+                .filter(|&&c| tree.parent[c] == v)
+                .max_by(|&&a, &&b| {
+                    let da = tree.nodes[a].manhattan(tree.nodes[v]);
+                    let db = tree.nodes[b].manhattan(tree.nodes[v]);
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .unwrap_or(&usize::MAX);
+            if c == usize::MAX {
+                continue;
+            }
+            let s = median_point(tree.nodes[p], tree.nodes[v], tree.nodes[c]);
+            let old =
+                tree.nodes[v].manhattan(tree.nodes[p]) + tree.nodes[c].manhattan(tree.nodes[v]);
+            let new = s.manhattan(tree.nodes[p])
+                + s.manhattan(tree.nodes[v])
+                + s.manhattan(tree.nodes[c]);
+            if new + 1e-9 < old {
+                let sid = tree.nodes.len();
+                tree.nodes.push(s);
+                tree.parent.push(p);
+                tree.parent[v] = sid;
+                tree.parent[c] = sid;
+            }
+        }
+    }
+    tree
+}
+
+/// Component-wise median of three points — the optimal Steiner point for
+/// three terminals in the L1 metric.
+fn median_point(a: Point, b: Point, c: Point) -> Point {
+    let med = |x: f64, y: f64, z: f64| {
+        let mut v = [x, y, z];
+        v.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+        v[1]
+    };
+    Point::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pin_is_trivial() {
+        let t = steiner_tree(&[Point::new(1.0, 1.0)]);
+        assert_eq!(t.wirelength(), 0.0);
+        assert_eq!(t.nodes.len(), 1);
+    }
+
+    #[test]
+    fn two_pins_is_manhattan_distance() {
+        let t = steiner_tree(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+        assert_eq!(t.wirelength(), 7.0);
+        assert_eq!(t.path_length(1), 7.0);
+    }
+
+    #[test]
+    fn steiner_point_beats_star_topology() {
+        // Three corners of an L: the median point saves wire vs the MST.
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 2.0),
+            Point::new(10.0, -2.0),
+        ];
+        let t = steiner_tree(&pins);
+        // Optimal RSMT: trunk to (10,0) then ±2 = 10 + 2 + 2 = 14.
+        assert!(t.wirelength() <= 14.0 + 1e-9, "wl = {}", t.wirelength());
+        // MST would be 12 + 4 = 16 (0->a 12, a->b 4).
+        assert!(t.wirelength() < 16.0);
+    }
+
+    #[test]
+    fn wirelength_lower_bound_is_hpwl() {
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 9.0),
+            Point::new(2.0, 3.0),
+            Point::new(8.0, 1.0),
+        ];
+        let t = steiner_tree(&pins);
+        let bbox = smt_base::geom::Rect::bounding(pins).unwrap();
+        assert!(t.wirelength() >= bbox.half_perimeter() - 1e-9);
+        // Every sink is connected to the root.
+        for sink in 1..pins.len() {
+            assert!(t.path_length(sink) > 0.0);
+        }
+    }
+
+    #[test]
+    fn median_point_math() {
+        let m = median_point(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 2.0),
+            Point::new(10.0, -2.0),
+        );
+        assert_eq!(m, Point::new(10.0, 0.0));
+    }
+}

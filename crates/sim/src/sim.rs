@@ -1,0 +1,388 @@
+//! The levelized three-valued simulator.
+
+use smt_cells::cell::{CellRole, TruthTable};
+use smt_cells::library::Library;
+use smt_netlist::graph::{topo_order, CombinationalCycle, TopoOrder};
+use smt_netlist::netlist::{InstId, NetId, Netlist};
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / floating.
+    #[default]
+    X,
+}
+
+impl Value {
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+
+    /// To a boolean, when known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Value::Zero => Some(false),
+            Value::One => Some(true),
+            Value::X => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Value::Zero => "0",
+            Value::One => "1",
+            Value::X => "X",
+        })
+    }
+}
+
+/// Operating mode of the power-gated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// `MTE` asserted: footer switches on, MT-cells behave as plain logic.
+    #[default]
+    Active,
+    /// `MTE` deasserted: footer switches off. MT-cell outputs float (`X`)
+    /// unless an output holder pins them to `1`.
+    Standby,
+}
+
+/// The simulator: per-net values plus per-FF state.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    topo: TopoOrder,
+    values: Vec<Value>,
+    ff_state: Vec<Value>,
+    /// `has_holder[net]`: an output holder is attached to the net.
+    has_holder: Vec<bool>,
+    mode: Mode,
+}
+
+impl Simulator {
+    /// Builds a simulator for a netlist. All nets start at `X`, all FFs at
+    /// `X`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CombinationalCycle`] from levelisation.
+    pub fn new(netlist: &Netlist, lib: &Library) -> Result<Self, CombinationalCycle> {
+        let topo = topo_order(netlist, lib)?;
+        let mut has_holder = vec![false; netlist.num_nets()];
+        for (_, inst) in netlist.instances() {
+            let cell = lib.cell(inst.cell);
+            if cell.role == CellRole::Holder {
+                // Pin `A` attaches to the held net.
+                if let Some(pin) = cell.pin_index("A") {
+                    if let Some(net) = inst.net_on(pin) {
+                        has_holder[net.index()] = true;
+                    }
+                }
+            }
+        }
+        Ok(Simulator {
+            topo,
+            values: vec![Value::X; netlist.num_nets()],
+            ff_state: vec![Value::X; netlist.inst_capacity()],
+            has_holder,
+            mode: Mode::Active,
+        })
+    }
+
+    /// Sets the operating mode. Takes effect on the next
+    /// [`Simulator::propagate`].
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Drives a primary-input net.
+    pub fn set_input(&mut self, net: NetId, value: Value) {
+        self.values[net.index()] = value;
+    }
+
+    /// Reads a net value.
+    pub fn value(&self, net: NetId) -> Value {
+        self.values[net.index()]
+    }
+
+    /// Forces a flip-flop's internal state (e.g. reset modelling in tests).
+    pub fn set_ff_state(&mut self, ff: InstId, value: Value) {
+        self.ff_state[ff.index()] = value;
+    }
+
+    /// Evaluates one gate from net values.
+    fn eval_gate(&self, netlist: &Netlist, lib: &Library, id: InstId) -> Value {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let Some(tt) = cell.function else {
+            return Value::X;
+        };
+        let pins = cell.logic_input_pins();
+        let mut known = 0u32;
+        let mut x_mask = 0u32;
+        for (i, &pin) in pins.iter().enumerate() {
+            match inst.net_on(pin).map(|n| self.values[n.index()]) {
+                Some(Value::One) => known |= 1 << i,
+                Some(Value::Zero) => {}
+                Some(Value::X) | None => x_mask |= 1 << i,
+            }
+        }
+        eval_tt_with_x(tt, known, x_mask)
+    }
+
+    /// Propagates values through the combinational core. FF outputs come
+    /// from stored state; call [`Simulator::clock_edge`] to advance state.
+    pub fn propagate(&mut self, netlist: &Netlist, lib: &Library) {
+        // FF Q outputs first (sources).
+        for (id, inst) in netlist.instances() {
+            let cell = lib.cell(inst.cell);
+            if cell.is_sequential() {
+                if let Some(q) = cell.output_pin() {
+                    if let Some(net) = inst.net_on(q) {
+                        self.values[net.index()] = self.ff_state[id.index()];
+                    }
+                }
+            }
+        }
+        let order = self.topo.order.clone();
+        for id in order {
+            let out_value = {
+                let inst = netlist.inst(id);
+                let cell = lib.cell(inst.cell);
+                if self.mode == Mode::Standby && cell.is_mt() {
+                    // Conventional MT-cells (Fig. 1(a)) embed their own
+                    // output holder: the output is pinned to 1. Improved
+                    // MT-cells float unless a separate holder is attached
+                    // (handled below).
+                    if cell.vth == smt_cells::cell::VthClass::MtEmbedded {
+                        Value::One
+                    } else {
+                        Value::X
+                    }
+                } else {
+                    self.eval_gate(netlist, lib, id)
+                }
+            };
+            let inst = netlist.inst(id);
+            let cell = lib.cell(inst.cell);
+            if let Some(op) = cell.output_pin() {
+                if let Some(net) = inst.net_on(op) {
+                    let mut v = out_value;
+                    // Output holder: in standby, a held floating net is
+                    // pinned to 1 (the paper's holder drives 1).
+                    if self.mode == Mode::Standby
+                        && v == Value::X
+                        && self.has_holder[net.index()]
+                    {
+                        v = Value::One;
+                    }
+                    self.values[net.index()] = v;
+                }
+            }
+        }
+    }
+
+    /// Rising clock edge: every FF samples its `D` input, then values are
+    /// re-propagated.
+    pub fn clock_edge(&mut self, netlist: &Netlist, lib: &Library) {
+        let mut next: Vec<(InstId, Value)> = Vec::new();
+        for (id, inst) in netlist.instances() {
+            let cell = lib.cell(inst.cell);
+            if !cell.is_sequential() {
+                continue;
+            }
+            let d_pin = cell.pin_index("D").expect("DFF has D");
+            let v = inst
+                .net_on(d_pin)
+                .map(|n| self.values[n.index()])
+                .unwrap_or(Value::X);
+            next.push((id, v));
+        }
+        for (id, v) in next {
+            self.ff_state[id.index()] = v;
+        }
+        self.propagate(netlist, lib);
+    }
+}
+
+/// Evaluates a truth table where `x_mask` marks unknown inputs: the output
+/// is known only if it agrees across all assignments of the unknowns.
+fn eval_tt_with_x(tt: TruthTable, known: u32, x_mask: u32) -> Value {
+    if x_mask == 0 {
+        return Value::from_bool(tt.eval(known));
+    }
+    let n = tt.n_inputs as u32;
+    let x_bits: Vec<u32> = (0..n).filter(|b| x_mask >> b & 1 == 1).collect();
+    let mut first: Option<bool> = None;
+    for combo in 0..(1u32 << x_bits.len()) {
+        let mut state = known;
+        for (i, &b) in x_bits.iter().enumerate() {
+            if combo >> i & 1 == 1 {
+                state |= 1 << b;
+            }
+        }
+        let v = tt.eval(state);
+        match first {
+            None => first = Some(v),
+            Some(prev) if prev != v => return Value::X,
+            Some(_) => {}
+        }
+    }
+    Value::from_bool(first.expect("at least one combination"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::cell::CellKind;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    #[test]
+    fn x_aware_truth_table_eval() {
+        let nand = TruthTable::of_kind(CellKind::Nand2).unwrap();
+        // One input 0 -> output 1 regardless of the X.
+        assert_eq!(eval_tt_with_x(nand, 0b00, 0b10), Value::One);
+        // One input 1, other X -> output X.
+        assert_eq!(eval_tt_with_x(nand, 0b01, 0b10), Value::X);
+        // No X.
+        assert_eq!(eval_tt_with_x(nand, 0b11, 0), Value::Zero);
+    }
+
+    fn nand_inv(lib: &Library) -> (Netlist, NetId, NetId, NetId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let z = n.add_output("z");
+        let w = n.add_net("w");
+        let u1 = n.add_instance("u1", lib.find_id("ND2_X1_L").unwrap(), lib);
+        let u2 = n.add_instance("u2", lib.find_id("INV_X1_L").unwrap(), lib);
+        n.connect_by_name(u1, "A", a, lib).unwrap();
+        n.connect_by_name(u1, "B", b, lib).unwrap();
+        n.connect_by_name(u1, "Z", w, lib).unwrap();
+        n.connect_by_name(u2, "A", w, lib).unwrap();
+        n.connect_by_name(u2, "Z", z, lib).unwrap();
+        (n, a, b, z)
+    }
+
+    #[test]
+    fn combinational_propagation() {
+        let lib = lib();
+        let (n, a, b, z) = nand_inv(&lib);
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for (va, vb, expect) in [
+            (Value::Zero, Value::Zero, Value::Zero), // nand=1, inv=0
+            (Value::One, Value::One, Value::One),    // nand=0, inv=1
+            (Value::One, Value::Zero, Value::Zero),
+        ] {
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            sim.propagate(&n, &lib);
+            assert_eq!(sim.value(z), expect, "a={va} b={vb}");
+        }
+    }
+
+    #[test]
+    fn x_propagates_through_gates() {
+        let lib = lib();
+        let (n, a, b, z) = nand_inv(&lib);
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.set_input(a, Value::One);
+        sim.set_input(b, Value::X);
+        sim.propagate(&n, &lib);
+        assert_eq!(sim.value(z), Value::X);
+        // Controlling value masks the X.
+        sim.set_input(a, Value::Zero);
+        sim.propagate(&n, &lib);
+        assert_eq!(sim.value(z), Value::Zero);
+    }
+
+    #[test]
+    fn dff_samples_on_clock_edge() {
+        let lib = lib();
+        let mut n = Netlist::new("ff");
+        let d = n.add_input("d");
+        let clk = n.add_clock("clk");
+        let q = n.add_output("q");
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_L").unwrap(), &lib);
+        n.connect_by_name(ff, "D", d, &lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, &lib).unwrap();
+        n.connect_by_name(ff, "Q", q, &lib).unwrap();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.set_input(d, Value::One);
+        sim.propagate(&n, &lib);
+        assert_eq!(sim.value(q), Value::X, "before any edge, state unknown");
+        sim.clock_edge(&n, &lib);
+        assert_eq!(sim.value(q), Value::One);
+        sim.set_input(d, Value::Zero);
+        sim.clock_edge(&n, &lib);
+        assert_eq!(sim.value(q), Value::Zero);
+    }
+
+    #[test]
+    fn standby_floats_mt_outputs_and_holder_pins_to_one() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let z = n.add_output("z");
+        let z2 = n.add_output("z2");
+        let w = n.add_net("w");
+        // MT inverter drives w; a high-Vth inverter consumes it -> needs a
+        // holder per the paper's rule; also an MT inverter u3 drives z2
+        // (no holder: output to port, but we attach one to show pinning).
+        let u1 = n.add_instance("u1", lib.find_id("INV_X1_MV").unwrap(), &lib);
+        let u2 = n.add_instance("u2", lib.find_id("INV_X1_H").unwrap(), &lib);
+        let u3 = n.add_instance("u3", lib.find_id("INV_X1_MV").unwrap(), &lib);
+        n.connect_by_name(u1, "A", a, &lib).unwrap();
+        n.connect_by_name(u1, "Z", w, &lib).unwrap();
+        n.connect_by_name(u2, "A", w, &lib).unwrap();
+        n.connect_by_name(u2, "Z", z, &lib).unwrap();
+        n.connect_by_name(u3, "A", a, &lib).unwrap();
+        n.connect_by_name(u3, "Z", z2, &lib).unwrap();
+        // Holder on w.
+        let mte = n.add_input("mte");
+        let hold = n.add_instance("h0", lib.holder(), &lib);
+        n.connect_by_name(hold, "A", w, &lib).unwrap();
+        n.connect_by_name(hold, "MTE", mte, &lib).unwrap();
+
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.set_input(a, Value::Zero);
+        sim.set_input(mte, Value::One);
+        sim.propagate(&n, &lib);
+        assert_eq!(sim.value(z), Value::Zero, "active mode works normally");
+        assert_eq!(sim.value(z2), Value::One);
+
+        sim.set_mode(Mode::Standby);
+        sim.propagate(&n, &lib);
+        // w is held at 1 -> high-Vth inverter sees 1, outputs 0: no float.
+        assert_eq!(sim.value(z), Value::Zero);
+        // u3's output has no holder -> floats.
+        assert_eq!(sim.value(z2), Value::X);
+    }
+
+    #[test]
+    fn values_display() {
+        assert_eq!(Value::One.to_string(), "1");
+        assert_eq!(Value::X.to_string(), "X");
+        assert_eq!(Value::from_bool(false), Value::Zero);
+        assert_eq!(Value::One.to_bool(), Some(true));
+        assert_eq!(Value::X.to_bool(), None);
+    }
+}

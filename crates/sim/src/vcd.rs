@@ -1,0 +1,153 @@
+//! VCD-lite waveform dumping.
+//!
+//! Records selected nets over simulation steps and writes a Value Change
+//! Dump readable by GTKWave & friends — handy for debugging the standby
+//! entry/exit behaviour of gated designs (watch the held nets stay at 1
+//! while ungated outputs float to `x`).
+
+use crate::sim::{Simulator, Value};
+use smt_netlist::netlist::{NetId, Netlist};
+use std::fmt::Write as _;
+
+/// A waveform recorder over a fixed set of nets.
+#[derive(Debug, Clone)]
+pub struct WaveRecorder {
+    nets: Vec<(NetId, String)>,
+    /// `frames[t][k]` = value of net `k` at step `t`.
+    frames: Vec<Vec<Value>>,
+}
+
+impl WaveRecorder {
+    /// Records the given nets (name taken from the netlist).
+    pub fn new(netlist: &Netlist, nets: &[NetId]) -> Self {
+        WaveRecorder {
+            nets: nets
+                .iter()
+                .map(|&n| (n, netlist.net(n).name.clone()))
+                .collect(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Records every port of the design (the usual debug view).
+    pub fn ports(netlist: &Netlist) -> Self {
+        let nets: Vec<NetId> = netlist.ports().map(|(_, p)| p.net).collect();
+        Self::new(netlist, &nets)
+    }
+
+    /// Captures the current simulator state as one time step.
+    pub fn sample(&mut self, sim: &Simulator) {
+        self.frames
+            .push(self.nets.iter().map(|&(n, _)| sim.value(n)).collect());
+    }
+
+    /// Number of captured steps.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Renders the capture as VCD text. `timescale_ns` is the nominal time
+    /// per sample.
+    pub fn to_vcd(&self, design: &str, timescale_ns: u32) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date reproduction run $end");
+        let _ = writeln!(out, "$version selective-mt smt-sim $end");
+        let _ = writeln!(out, "$timescale {timescale_ns}ns $end");
+        let _ = writeln!(out, "$scope module {design} $end");
+        // VCD id codes: printable ASCII starting at '!'.
+        let code = |k: usize| -> String {
+            let mut k = k;
+            let mut s = String::new();
+            loop {
+                s.push((b'!' + (k % 94) as u8) as char);
+                k /= 94;
+                if k == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        for (k, (_, name)) in self.nets.iter().enumerate() {
+            // Escape brackets for VCD identifiers.
+            let clean = name.replace(['[', ']'], "_");
+            let _ = writeln!(out, "$var wire 1 {} {} $end", code(k), clean);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+
+        let ch = |v: Value| match v {
+            Value::Zero => '0',
+            Value::One => '1',
+            Value::X => 'x',
+        };
+        let mut last: Vec<Option<Value>> = vec![None; self.nets.len()];
+        for (t, frame) in self.frames.iter().enumerate() {
+            let mut changes = String::new();
+            for (k, &v) in frame.iter().enumerate() {
+                if last[k] != Some(v) {
+                    let _ = writeln!(changes, "{}{}", ch(v), code(k));
+                    last[k] = Some(v);
+                }
+            }
+            if !changes.is_empty() || t == 0 {
+                let _ = writeln!(out, "#{t}");
+                out.push_str(&changes);
+            }
+        }
+        let _ = writeln!(out, "#{}", self.frames.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::library::Library;
+
+    #[test]
+    fn vcd_records_value_changes_only() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let z = n.add_output("z");
+        let u = n.add_instance("u", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u, "A", a, &lib).unwrap();
+        n.connect_by_name(u, "Z", z, &lib).unwrap();
+
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let mut rec = WaveRecorder::ports(&n);
+        for v in [Value::Zero, Value::Zero, Value::One, Value::X] {
+            sim.set_input(a, v);
+            sim.propagate(&n, &lib);
+            rec.sample(&sim);
+        }
+        assert_eq!(rec.len(), 4);
+        let vcd = rec.to_vcd("t", 1);
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        // Initial values at #0, change at #2 (0->1), x at #3; no entry for
+        // the unchanged step #1.
+        assert!(vcd.contains("#0\n"));
+        assert!(!vcd.contains("#1\n"), "{vcd}");
+        assert!(vcd.contains("#2\n"));
+        assert!(vcd.contains("x!"), "{vcd}");
+    }
+
+    #[test]
+    fn bracketed_names_are_escaped() {
+        let lib = Library::industrial_130nm();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a[0]");
+        let _ = a;
+        let rec = WaveRecorder::ports(&n);
+        let vcd = rec.to_vcd("t", 1);
+        assert!(vcd.contains("a_0_"));
+        assert!(!vcd.contains("a[0]"));
+        let _ = lib;
+    }
+}

@@ -1,0 +1,374 @@
+//! Incremental timing: cone-limited arrival re-propagation after cell
+//! swaps.
+//!
+//! The Vth-assignment loops make thousands of what-if cell swaps, each of
+//! which only perturbs timing *downstream of the swapped cell*. This
+//! engine keeps arrival/slew state resident and, on
+//! [`IncrementalSta::update_after_swap`], re-evaluates only the affected
+//! fan-out cone (plus the swapped cell's fan-in drivers, whose loads
+//! changed), with early termination where arrivals converge back to their
+//! old values.
+//!
+//! Setup WNS is maintained exactly: endpoint *required* times depend only
+//! on the clock, the endpoint cell's setup and its wire delay — none of
+//! which an upstream Vth swap changes — so re-deriving endpoint slacks
+//! from the updated arrivals reproduces the full analysis.
+
+use crate::analysis::{Derating, StaConfig};
+use smt_base::units::{Cap, Time};
+use smt_cells::library::Library;
+use smt_netlist::graph::{topo_order, CombinationalCycle, TopoOrder};
+use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PinRef, PortDir};
+use smt_route::Parasitics;
+use std::collections::BinaryHeap;
+
+/// Persistent incremental setup-timing state.
+#[derive(Debug, Clone)]
+pub struct IncrementalSta {
+    topo: TopoOrder,
+    config: StaConfig,
+    arrival: Vec<Time>,
+    slew: Vec<Time>,
+    /// Static required time per endpoint: `(net, required)`.
+    endpoints: Vec<(NetId, Time)>,
+}
+
+impl IncrementalSta {
+    /// Builds the engine and runs the initial full propagation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CombinationalCycle`] from levelisation.
+    pub fn new(
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+    ) -> Result<Self, CombinationalCycle> {
+        let topo = topo_order(netlist, lib)?;
+        let mut s = IncrementalSta {
+            topo,
+            config: config.clone(),
+            arrival: vec![Time::ZERO; netlist.num_nets()],
+            slew: vec![config.source_slew; netlist.num_nets()],
+            endpoints: Vec::new(),
+        };
+        s.collect_endpoints(netlist, lib, parasitics);
+        s.full_propagate(netlist, lib, parasitics, derating);
+        Ok(s)
+    }
+
+    fn collect_endpoints(&mut self, netlist: &Netlist, lib: &Library, parasitics: &Parasitics) {
+        let req0 = self.config.clock_period - self.config.clock_skew;
+        self.endpoints.clear();
+        for (_, port) in netlist.ports() {
+            if port.dir == PortDir::Output {
+                self.endpoints
+                    .push((port.net, req0 - self.config.output_margin));
+            }
+        }
+        for (id, inst) in netlist.instances() {
+            let cell = lib.cell(inst.cell);
+            if !cell.is_sequential() {
+                continue;
+            }
+            if let Some(dp) = cell.pin_index("D") {
+                if let Some(dnet) = inst.net_on(dp) {
+                    let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
+                    let wire = parasitics.net(dnet).elmore(ord);
+                    self.endpoints.push((dnet, req0 - cell.setup - wire));
+                }
+            }
+        }
+    }
+
+    fn net_load(netlist: &Netlist, lib: &Library, parasitics: &Parasitics, net: NetId) -> Cap {
+        let n = netlist.net(net);
+        let pins: Cap = n
+            .loads
+            .iter()
+            .map(|pr| lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].cap)
+            .sum();
+        pins + Cap::new(2.0 * n.port_loads.len() as f64) + parasitics.net(net).wire_cap
+    }
+
+    /// Evaluates one instance's output arrival/slew from current state.
+    /// Returns `(net, arrival, slew)` or `None` for cells without a timed
+    /// output.
+    fn eval(
+        &self,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        derating: &Derating,
+        id: InstId,
+    ) -> Option<(NetId, Time, Time)> {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let onet = inst.net_on(cell.output_pin()?)?;
+        let load = Self::net_load(netlist, lib, parasitics, onet);
+        let mut best = Time::ZERO;
+        let mut best_slew = self.config.source_slew;
+        let mut any = false;
+        for &pin in &cell.logic_input_pins() {
+            let Some(inet) = inst.net_on(pin) else { continue };
+            let Some(arc) = cell.arc_from(pin) else { continue };
+            any = true;
+            let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
+            let wire = parasitics.net(inet).elmore(ord);
+            let at = self.arrival[inet.index()] + wire;
+            let d = arc.delay(self.slew[inet.index()], load) * derating.factor(id);
+            if at + d > best {
+                best = at + d;
+                best_slew = arc.output_slew(load);
+            }
+        }
+        any.then_some((onet, best, best_slew))
+    }
+
+    fn seed_sources(
+        &mut self,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        derating: &Derating,
+    ) {
+        for (_, port) in netlist.ports() {
+            if port.dir == PortDir::Input {
+                self.arrival[port.net.index()] = self.config.input_delay;
+                self.slew[port.net.index()] = self.config.source_slew;
+            }
+        }
+        for (id, inst) in netlist.instances() {
+            let cell = lib.cell(inst.cell);
+            if !cell.is_sequential() {
+                continue;
+            }
+            let Some(qp) = cell.output_pin() else { continue };
+            let Some(qnet) = inst.net_on(qp) else { continue };
+            let load = Self::net_load(netlist, lib, parasitics, qnet);
+            if let Some(arc) = cell.arcs.first() {
+                self.arrival[qnet.index()] =
+                    arc.delay(self.config.source_slew, load) * derating.factor(id);
+                self.slew[qnet.index()] = arc.output_slew(load);
+            }
+        }
+    }
+
+    fn full_propagate(
+        &mut self,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        derating: &Derating,
+    ) {
+        self.seed_sources(netlist, lib, parasitics, derating);
+        for &id in &self.topo.order.clone() {
+            if let Some((net, at, sl)) = self.eval(netlist, lib, parasitics, derating, id) {
+                self.arrival[net.index()] = at;
+                self.slew[net.index()] = sl;
+            }
+        }
+    }
+
+    /// Re-times after the cell of `swapped` changed variant (same pins).
+    ///
+    /// Re-evaluates the swapped instance, the *drivers of its inputs*
+    /// (their load changed if pin caps differ across variants — with this
+    /// library they do not, but the engine stays correct if they do), and
+    /// then the fan-out cone in level order with convergence cut-off.
+    pub fn update_after_swap(
+        &mut self,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        derating: &Derating,
+        swapped: InstId,
+    ) {
+        // Worklist keyed by topo level so each instance is evaluated after its
+        // perturbed fan-ins.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut queued = vec![false; netlist.inst_capacity()];
+        let mut push = |heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: InstId, level: u32| {
+            if !queued[id.index()] {
+                queued[id.index()] = true;
+                heap.push(std::cmp::Reverse((level, id.0)));
+            }
+        };
+        let level_of = |id: InstId| -> u32 {
+            let l = self.topo.level.get(id.index()).copied().unwrap_or(0);
+            if l == u32::MAX {
+                0
+            } else {
+                l
+            }
+        };
+        // Fan-in drivers (their output load could change).
+        {
+            let inst = netlist.inst(swapped);
+            let cell = lib.cell(inst.cell);
+            for &pin in &cell.logic_input_pins() {
+                if let Some(inet) = inst.net_on(pin) {
+                    if let Some(NetDriver::Inst(pr)) = netlist.net(inet).driver {
+                        if lib.cell(netlist.inst(pr.inst).cell).is_logic() {
+                            push(&mut heap, &mut queued, pr.inst, level_of(pr.inst));
+                        }
+                    }
+                }
+            }
+        }
+        push(&mut heap, &mut queued, swapped, level_of(swapped));
+
+        while let Some(std::cmp::Reverse((_, raw))) = heap.pop() {
+            let id = InstId(raw);
+            queued[id.index()] = false;
+            let cell = lib.cell(netlist.inst(id).cell);
+            if !cell.is_logic() {
+                continue;
+            }
+            let Some((net, at, sl)) = self.eval(netlist, lib, parasitics, derating, id) else {
+                continue;
+            };
+            let old_at = self.arrival[net.index()];
+            let old_sl = self.slew[net.index()];
+            if (at - old_at).abs().ps() < 1e-9 && (sl - old_sl).abs().ps() < 1e-9 {
+                continue; // converged: the cone below is unaffected
+            }
+            self.arrival[net.index()] = at;
+            self.slew[net.index()] = sl;
+            for load in &netlist.net(net).loads {
+                if lib.cell(netlist.inst(load.inst).cell).is_logic() {
+                    push(&mut heap, &mut queued, load.inst, level_of(load.inst));
+                }
+            }
+        }
+    }
+
+    /// Current arrival of a net.
+    pub fn arrival(&self, net: NetId) -> Time {
+        self.arrival[net.index()]
+    }
+
+    /// Current setup WNS from the maintained arrivals.
+    pub fn wns(&self) -> Time {
+        let mut wns = Time::new(f64::INFINITY);
+        for &(net, req) in &self.endpoints {
+            wns = wns.min(req - self.arrival[net.index()]);
+        }
+        if wns.is_finite() {
+            wns
+        } else {
+            self.config.clock_period
+        }
+    }
+}
+
+fn sink_ordinal(netlist: &Netlist, net: NetId, pr: PinRef) -> usize {
+    netlist
+        .net(net)
+        .loads
+        .iter()
+        .position(|l| *l == pr)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use smt_cells::cell::VthClass;
+    use smt_circuits::gen::{random_logic, RandomLogicConfig};
+    use smt_place::{place, PlacerConfig};
+
+    /// The contract: after any sequence of swaps, incremental WNS equals a
+    /// from-scratch full analysis.
+    #[test]
+    fn incremental_matches_full_sta_over_random_swaps() {
+        let lib = Library::industrial_130nm();
+        for seed in [1u64, 9, 23] {
+            let mut n = random_logic(
+                &lib,
+                &RandomLogicConfig {
+                    gates: 250,
+                    seed,
+                    ..RandomLogicConfig::default()
+                },
+            );
+            let p = place(&n, &lib, &PlacerConfig::default());
+            let par = Parasitics::estimate(&n, &lib, &p);
+            let cfg = StaConfig::default();
+            let der = Derating::none();
+            let mut inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
+
+            // Swap a pseudo-random subset of logic cells L<->H, checking
+            // after each swap.
+            let ids: Vec<InstId> = n
+                .instances()
+                .filter(|(_, i)| lib.cell(i.cell).is_logic())
+                .map(|(id, _)| id)
+                .collect();
+            let mut rng = smt_base::SplitMix64::new(seed);
+            for k in 0..24 {
+                let id = *rng.choose(&ids);
+                let cell = lib.cell(n.inst(id).cell);
+                let target = if cell.vth == VthClass::Low {
+                    VthClass::High
+                } else {
+                    VthClass::Low
+                };
+                let Some(v) = lib.variant_id(n.inst(id).cell, target) else {
+                    continue;
+                };
+                n.replace_cell(id, v, &lib).unwrap();
+                inc.update_after_swap(&n, &lib, &par, &der, id);
+
+                let full = analyze(&n, &lib, &par, &cfg, &der).unwrap();
+                assert!(
+                    (inc.wns() - full.wns).abs().ps() < 1e-6,
+                    "seed {seed} swap {k}: incremental {} vs full {}",
+                    inc.wns(),
+                    full.wns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_match_full_sta_everywhere() {
+        let lib = Library::industrial_130nm();
+        let mut n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates: 150,
+                seed: 5,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+        let mut inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
+        // One swap deep in the design.
+        let id = n
+            .instances()
+            .find(|(_, i)| lib.cell(i.cell).is_logic())
+            .map(|(id, _)| id)
+            .unwrap();
+        let v = lib
+            .variant_id(n.inst(id).cell, VthClass::High)
+            .unwrap();
+        n.replace_cell(id, v, &lib).unwrap();
+        inc.update_after_swap(&n, &lib, &par, &der, id);
+        let full = analyze(&n, &lib, &par, &cfg, &der).unwrap();
+        for (net, _) in n.nets() {
+            assert!(
+                (inc.arrival(net) - full.arrival[net.index()]).abs().ps() < 1e-6,
+                "net {net}: {} vs {}",
+                inc.arrival(net),
+                full.arrival[net.index()]
+            );
+        }
+    }
+}

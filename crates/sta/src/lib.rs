@@ -1,0 +1,40 @@
+//! # smt-sta
+//!
+//! Static timing analysis over gate-level netlists, supporting both points
+//! where the paper's flow needs timing:
+//!
+//! * before routing, on estimated parasitics, to drive the Vth
+//!   re-assignment ("replacing low-Vth cells by high-Vth cells & MT-cells
+//!   with timing optimization");
+//! * after routing, on extracted parasitics, for final verification and
+//!   ECO hold fixing.
+//!
+//! The model is linear cell delay + per-sink wire Elmore, with optional
+//! per-instance [`Derating`] that the MTCMOS clustering uses to apply the
+//! VGND-bounce penalty to MT-cells.
+//!
+//! ```no_run
+//! use smt_cells::library::Library;
+//! use smt_netlist::netlist::Netlist;
+//! use smt_place::{place, PlacerConfig};
+//! use smt_route::Parasitics;
+//! use smt_sta::{analyze, Derating, StaConfig};
+//!
+//! # fn design() -> Netlist { Netlist::new("x") }
+//! let lib = Library::industrial_130nm();
+//! let n = design();
+//! let p = place(&n, &lib, &PlacerConfig::default());
+//! let par = Parasitics::estimate(&n, &lib, &p);
+//! let report = analyze(&n, &lib, &par, &StaConfig::default(), &Derating::none()).unwrap();
+//! println!("WNS = {}", report.wns);
+//! ```
+
+pub mod analysis;
+pub mod incremental;
+pub mod report;
+
+pub use analysis::{
+    analyze, worst_path, Derating, HoldViolation, StaConfig, TimingReport,
+};
+pub use incremental::IncrementalSta;
+pub use report::{render_report, worst_paths, ReportedPath};

@@ -1,0 +1,340 @@
+//! Human-readable timing reports: top-K worst paths with per-stage
+//! breakdown, in the spirit of `report_timing`.
+
+use crate::analysis::{Derating, StaConfig, TimingReport};
+use smt_base::units::{Cap, Time};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PortDir};
+use smt_route::Parasitics;
+use std::fmt::Write as _;
+
+/// One stage of a reported path.
+#[derive(Debug, Clone)]
+pub struct PathStage {
+    /// Driving instance (None for the launching port/FF).
+    pub inst: Option<InstId>,
+    /// Display name (instance or port).
+    pub what: String,
+    /// Cell type name, if an instance.
+    pub cell: String,
+    /// Stage delay (cell arc + wire to the next pin).
+    pub delay: Time,
+    /// Cumulative arrival after this stage.
+    pub arrival: Time,
+}
+
+/// A reported timing path.
+#[derive(Debug, Clone)]
+pub struct ReportedPath {
+    /// Endpoint description (FF `D` pin or output port).
+    pub endpoint: String,
+    /// Slack at the endpoint.
+    pub slack: Time,
+    /// Stages, launch first.
+    pub stages: Vec<PathStage>,
+}
+
+impl ReportedPath {
+    /// Renders the path like a classic STA report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "endpoint: {}   slack: {}", self.endpoint, self.slack);
+        let _ = writeln!(out, "  {:<28} {:<12} {:>10} {:>12}", "point", "cell", "delay", "arrival");
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<12} {:>10.2} {:>12.2}",
+                s.what,
+                s.cell,
+                s.delay.ps(),
+                s.arrival.ps()
+            );
+        }
+        out
+    }
+}
+
+/// Collects the `k` worst setup paths of a timed design.
+///
+/// Endpoints are ranked by slack; for each, the path is traced backwards
+/// through the worst-arrival fan-in, then reported launch-first with
+/// per-stage delays recomputed from the same models STA used.
+pub fn worst_paths(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    report: &TimingReport,
+    config: &StaConfig,
+    derating: &Derating,
+    k: usize,
+) -> Vec<ReportedPath> {
+    // Endpoint list: (slack, endpoint net, description).
+    let mut endpoints: Vec<(Time, NetId, String)> = Vec::new();
+    for (_, port) in netlist.ports() {
+        if port.dir == PortDir::Output {
+            endpoints.push((
+                report.slack(port.net),
+                port.net,
+                format!("output port {}", port.name),
+            ));
+        }
+    }
+    for (_, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        if !cell.is_sequential() {
+            continue;
+        }
+        if let Some(dp) = cell.pin_index("D") {
+            if let Some(dnet) = inst.net_on(dp) {
+                endpoints.push((
+                    report.slack(dnet),
+                    dnet,
+                    format!("{}/D ({})", inst.name, cell.name),
+                ));
+            }
+        }
+    }
+    endpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slack"));
+    endpoints.truncate(k);
+
+    endpoints
+        .into_iter()
+        .map(|(slack, net, endpoint)| {
+            let stages = trace(netlist, lib, parasitics, report, config, derating, net);
+            ReportedPath {
+                endpoint,
+                slack,
+                stages,
+            }
+        })
+        .collect()
+}
+
+fn net_load(netlist: &Netlist, lib: &Library, parasitics: &Parasitics, net: NetId) -> Cap {
+    let n = netlist.net(net);
+    let pins: Cap = n
+        .loads
+        .iter()
+        .map(|pr| lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].cap)
+        .sum();
+    pins + Cap::new(2.0 * n.port_loads.len() as f64) + parasitics.net(net).wire_cap
+}
+
+fn trace(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    report: &TimingReport,
+    config: &StaConfig,
+    derating: &Derating,
+    endpoint: NetId,
+) -> Vec<PathStage> {
+    // Walk backwards choosing the worst-arrival input at each gate.
+    let mut chain: Vec<(InstId, NetId)> = Vec::new();
+    let mut net = endpoint;
+    let mut launch: Option<String> = None;
+    for _ in 0..netlist.num_instances() + 2 {
+        match netlist.net(net).driver {
+            Some(NetDriver::Port(p)) => {
+                launch = Some(format!("input port {}", netlist.port(p).name));
+                break;
+            }
+            Some(NetDriver::Inst(pr)) => {
+                let cell = lib.cell(netlist.inst(pr.inst).cell);
+                chain.push((pr.inst, net));
+                if !cell.is_logic() {
+                    launch = Some(format!(
+                        "{}/Q ({})",
+                        netlist.inst(pr.inst).name,
+                        cell.name
+                    ));
+                    chain.pop();
+                    // Keep the FF as the launching stage.
+                    chain.push((pr.inst, net));
+                    break;
+                }
+                let mut best: Option<(Time, NetId)> = None;
+                for &pin in &cell.logic_input_pins() {
+                    if let Some(inet) = netlist.inst(pr.inst).net_on(pin) {
+                        let at = report.arrival[inet.index()];
+                        if best.map(|(b, _)| at > b).unwrap_or(true) {
+                            best = Some((at, inet));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, inet)) => net = inet,
+                    None => break,
+                }
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+
+    let mut stages = Vec::new();
+    let mut arrival = Time::ZERO;
+    if let Some(l) = launch {
+        let is_port = l.starts_with("input port");
+        if is_port {
+            arrival = config.input_delay;
+        }
+        stages.push(PathStage {
+            inst: None,
+            what: l,
+            cell: String::new(),
+            delay: arrival,
+            arrival,
+        });
+    }
+    for (inst, onet) in chain {
+        let cell = lib.cell(netlist.inst(inst).cell);
+        let load = net_load(netlist, lib, parasitics, onet);
+        // Stage delay: the arc from the input on the traced path (use the
+        // first arc as representative when ambiguous) plus this net's
+        // worst sink wire delay.
+        let arc_delay = cell
+            .arcs
+            .first()
+            .map(|a| a.delay(config.source_slew, load))
+            .unwrap_or(Time::ZERO)
+            * derating.factor(inst);
+        let wire = netlist
+            .net(onet)
+            .loads
+            .iter()
+            .enumerate()
+            .map(|(k, _)| parasitics.net(onet).elmore(k))
+            .fold(Time::ZERO, Time::max);
+        let delay = arc_delay + wire;
+        arrival += delay;
+        stages.push(PathStage {
+            inst: Some(inst),
+            what: format!("{}/Z", netlist.inst(inst).name),
+            cell: cell.name.clone(),
+            delay,
+            arrival,
+        });
+    }
+    stages
+}
+
+/// Renders a summary header plus the top-K paths as one text report.
+pub fn render_report(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    report: &TimingReport,
+    config: &StaConfig,
+    derating: &Derating,
+    k: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timing report: clock {} | wns {} | tns {} | hold violations {}",
+        config.clock_period,
+        report.wns,
+        report.tns,
+        report.hold_violations.len()
+    );
+    for p in worst_paths(netlist, lib, parasitics, report, config, derating, k) {
+        let _ = writeln!(out, "{}", p.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use smt_place::{place, PlacerConfig};
+
+    fn chain(lib: &Library, len: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let clk = n.add_clock("clk");
+        let mut prev = n.add_input("a");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        for i in 0..len {
+            let w = n.add_net(&format!("w{i}"));
+            let u = n.add_instance(&format!("u{i}"), inv, lib);
+            n.connect_by_name(u, "A", prev, lib).unwrap();
+            n.connect_by_name(u, "Z", w, lib).unwrap();
+            prev = w;
+        }
+        let q = n.add_output("q");
+        let ff = n.add_instance("ff", lib.find_id("DFF_X1_H").unwrap(), lib);
+        n.connect_by_name(ff, "D", prev, lib).unwrap();
+        n.connect_by_name(ff, "CK", clk, lib).unwrap();
+        n.connect_by_name(ff, "Q", q, lib).unwrap();
+        n
+    }
+
+    #[test]
+    fn report_contains_whole_chain() {
+        let lib = Library::industrial_130nm();
+        let n = chain(&lib, 8);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let r = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        let paths = worst_paths(&n, &lib, &par, &r, &cfg, &Derating::none(), 2);
+        assert!(!paths.is_empty());
+        let worst = &paths[0];
+        assert!(worst.endpoint.contains("ff/D"), "{}", worst.endpoint);
+        // Launch stage + 8 inverters.
+        assert!(worst.stages.len() >= 9, "stages: {}", worst.stages.len());
+        // Arrival is monotone along the path.
+        for w in worst.stages.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        let text = worst.render();
+        assert!(text.contains("u7/Z"));
+        assert!(text.contains("INV_X1_L"));
+    }
+
+    #[test]
+    fn render_report_has_header_and_paths() {
+        let lib = Library::industrial_130nm();
+        let n = chain(&lib, 4);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let r = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        let text = render_report(&n, &lib, &par, &r, &cfg, &Derating::none(), 3);
+        assert!(text.contains("timing report"));
+        assert!(text.contains("wns"));
+        assert!(text.contains("endpoint:"));
+    }
+
+    #[test]
+    fn endpoint_ranking_is_by_slack() {
+        let lib = Library::industrial_130nm();
+        // Two chains of different depth to two FFs.
+        let mut n = Netlist::new("two");
+        let clk = n.add_clock("clk");
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        for (tag, len) in [("deep", 12), ("shal", 2)] {
+            let mut prev = n.add_input(&format!("{tag}_in"));
+            for i in 0..len {
+                let w = n.add_net(&format!("{tag}_w{i}"));
+                let u = n.add_instance(&format!("{tag}_u{i}"), inv, &lib);
+                n.connect_by_name(u, "A", prev, &lib).unwrap();
+                n.connect_by_name(u, "Z", w, &lib).unwrap();
+                prev = w;
+            }
+            let q = n.add_output(&format!("{tag}_q"));
+            let ff = n.add_instance(&format!("{tag}_ff"), lib.find_id("DFF_X1_H").unwrap(), &lib);
+            n.connect_by_name(ff, "D", prev, &lib).unwrap();
+            n.connect_by_name(ff, "CK", clk, &lib).unwrap();
+            n.connect_by_name(ff, "Q", q, &lib).unwrap();
+        }
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let r = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
+        let paths = worst_paths(&n, &lib, &par, &r, &cfg, &Derating::none(), 4);
+        assert!(paths[0].endpoint.contains("deep_ff"), "{}", paths[0].endpoint);
+        assert!(paths[0].slack < paths.last().unwrap().slack);
+    }
+}

@@ -1,0 +1,671 @@
+//! And-inverter graph with structural hashing, plus bit-blasting
+//! elaboration from the RTL-lite AST.
+
+use crate::ast::{Expr, Module, SignalKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: an AIG node index with a complement bit in the LSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false (the positive phase of node 0).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    #[inline]
+    pub fn new(node: u32, complement: bool) -> Self {
+        Lit(node << 1 | complement as u32)
+    }
+
+    /// The underlying node index.
+    #[inline]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True when the literal is complemented.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[inline]
+    #[must_use]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}n{}",
+            if self.is_complemented() { "!" } else { "" },
+            self.node()
+        )
+    }
+}
+
+/// What a node computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Node 0: constant false.
+    ConstFalse,
+    /// Primary input / register output, with an ordinal.
+    Input(u32),
+    /// Two-input AND of literals.
+    And(Lit, Lit),
+}
+
+/// An and-inverter graph.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<NodeKind>,
+    strash: HashMap<(Lit, Lit), u32>,
+    n_inputs: u32,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![NodeKind::ConstFalse],
+            strash: HashMap::new(),
+            n_inputs: 0,
+        }
+    }
+
+    /// Number of nodes (including the constant and inputs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes beyond the constant.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::And(_, _)))
+            .count()
+    }
+
+    /// Kind of a node.
+    pub fn node(&self, idx: u32) -> NodeKind {
+        self.nodes[idx as usize]
+    }
+
+    /// Adds a primary input and returns its positive literal.
+    pub fn input(&mut self) -> Lit {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::Input(self.n_inputs));
+        self.n_inputs += 1;
+        Lit::new(idx, false)
+    }
+
+    /// AND of two literals with constant folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Normalise operand order for hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if let Some(&idx) = self.strash.get(&(a, b)) {
+            return Lit::new(idx, false);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::And(a, b));
+        self.strash.insert((a, b), idx);
+        Lit::new(idx, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR built from two ANDs (the mapper pattern-matches this shape
+    /// back into XOR2/XNR2 cells).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, b.not());
+        let t1 = self.and(a.not(), b);
+        self.or(t0, t1)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).not()
+    }
+
+    /// 2:1 mux: `c ? t : e` (the mapper pattern-matches this into MUX2).
+    pub fn mux(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(c, t);
+        let b = self.and(c.not(), e);
+        self.or(a, b)
+    }
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let c0 = self.and(a, b);
+        let c1 = self.and(axb, cin);
+        let cout = self.or(c0, c1);
+        (sum, cout)
+    }
+}
+
+/// One register bit after elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegBit {
+    /// Flattened name, e.g. `acc[3]` (or `acc` for 1-bit regs).
+    pub name: String,
+    /// The AIG input literal standing for the register's `Q`.
+    pub q: Lit,
+    /// Next-state literal (the `D` input).
+    pub next: Lit,
+}
+
+/// A fully elaborated design: AIG plus port/register binding.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    /// Module name.
+    pub name: String,
+    /// The graph. (Empty `Default` only for struct update syntax.)
+    pub aig: Aig,
+    /// Primary inputs: `(flattened bit name, literal)`, LSB first per port.
+    pub inputs: Vec<(String, Lit)>,
+    /// Primary outputs: `(flattened bit name, literal)`.
+    pub outputs: Vec<(String, Lit)>,
+    /// Registers.
+    pub regs: Vec<RegBit>,
+    /// True when the module declared a clock (required if `regs` is
+    /// non-empty).
+    pub has_clock: bool,
+}
+
+/// Elaboration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+fn err(message: impl Into<String>) -> ElabError {
+    ElabError {
+        message: message.into(),
+    }
+}
+
+/// Flattened bit name.
+fn bit_name(base: &str, width: u32, bit: u32) -> String {
+    if width == 1 {
+        base.to_owned()
+    } else {
+        format!("{base}[{bit}]")
+    }
+}
+
+struct Elaborator<'m> {
+    module: &'m Module,
+    aig: Aig,
+    env: HashMap<String, Vec<Lit>>,
+    visiting: Vec<String>,
+}
+
+impl<'m> Elaborator<'m> {
+    /// Resolves a signal to its bit literals, evaluating assignments on
+    /// demand (so source order does not matter).
+    fn resolve(&mut self, name: &str) -> Result<Vec<Lit>, ElabError> {
+        if let Some(bits) = self.env.get(name) {
+            return Ok(bits.clone());
+        }
+        let sig = self
+            .module
+            .signal(name)
+            .ok_or_else(|| err(format!("unknown signal `{name}`")))?;
+        if self.visiting.iter().any(|v| v == name) {
+            return Err(err(format!(
+                "combinational cycle through `{name}` (chain: {})",
+                self.visiting.join(" -> ")
+            )));
+        }
+        let assign = self
+            .module
+            .assigns
+            .iter()
+            .find(|a| a.lhs == name)
+            .ok_or_else(|| {
+                err(format!(
+                    "signal `{name}` ({:?}) is never assigned",
+                    sig.kind
+                ))
+            })?;
+        self.visiting.push(name.to_owned());
+        let mut bits = self.eval(&assign.rhs)?;
+        self.visiting.pop();
+        fit_width(&mut bits, sig.width);
+        self.env.insert(name.to_owned(), bits.clone());
+        Ok(bits)
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Vec<Lit>, ElabError> {
+        match e {
+            Expr::Ident(name) => self.resolve(name),
+            Expr::Const(l) => Ok((0..l.width)
+                .map(|b| {
+                    if l.value >> b & 1 == 1 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                })
+                .collect()),
+            Expr::Index(inner, i) => {
+                let bits = self.eval(inner)?;
+                bits.get(*i as usize)
+                    .copied()
+                    .map(|b| vec![b])
+                    .ok_or_else(|| err(format!("bit index {i} out of range")))
+            }
+            Expr::Slice(inner, hi, lo) => {
+                let bits = self.eval(inner)?;
+                if *hi < *lo || *hi as usize >= bits.len() {
+                    return Err(err(format!("slice [{hi}:{lo}] out of range")));
+                }
+                Ok(bits[*lo as usize..=*hi as usize].to_vec())
+            }
+            Expr::Concat(parts) => {
+                // Verilog: first part is MSB.
+                let mut bits = Vec::new();
+                for p in parts.iter().rev() {
+                    bits.extend(self.eval(p)?);
+                }
+                Ok(bits)
+            }
+            Expr::Not(inner) => {
+                let bits = self.eval(inner)?;
+                Ok(bits.into_iter().map(Lit::not).collect())
+            }
+            Expr::And(a, b) => self.bitwise(a, b, |g, x, y| g.and(x, y)),
+            Expr::Or(a, b) => self.bitwise(a, b, |g, x, y| g.or(x, y)),
+            Expr::Xor(a, b) => self.bitwise(a, b, |g, x, y| g.xor(x, y)),
+            Expr::Add(a, b) => {
+                let (x, y) = self.equalise(a, b)?;
+                Ok(self.ripple_add(&x, &y, Lit::FALSE).0)
+            }
+            Expr::Sub(a, b) => {
+                let (x, y) = self.equalise(a, b)?;
+                let yb: Vec<Lit> = y.iter().map(|l| l.not()).collect();
+                Ok(self.ripple_add(&x, &yb, Lit::TRUE).0)
+            }
+            Expr::Eq(a, b) => {
+                let (x, y) = self.equalise(a, b)?;
+                let mut acc = Lit::TRUE;
+                for (xa, ya) in x.iter().zip(&y) {
+                    let same = self.aig.xnor(*xa, *ya);
+                    acc = self.aig.and(acc, same);
+                }
+                Ok(vec![acc])
+            }
+            Expr::Ne(a, b) => {
+                let eq = self.eval(&Expr::Eq(a.clone(), b.clone()))?;
+                Ok(vec![eq[0].not()])
+            }
+            Expr::Lt(a, b) => {
+                // a < b  <=>  carry-out of a + ~b + 1 is 0.
+                let (x, y) = self.equalise(a, b)?;
+                let yb: Vec<Lit> = y.iter().map(|l| l.not()).collect();
+                let (_, cout) = self.ripple_add(&x, &yb, Lit::TRUE);
+                Ok(vec![cout.not()])
+            }
+            Expr::Shl(inner, k) => {
+                let bits = self.eval(inner)?;
+                let w = bits.len();
+                let mut out = vec![Lit::FALSE; w];
+                for i in *k as usize..w {
+                    out[i] = bits[i - *k as usize];
+                }
+                Ok(out)
+            }
+            Expr::Shr(inner, k) => {
+                let bits = self.eval(inner)?;
+                let w = bits.len();
+                let mut out = vec![Lit::FALSE; w];
+                for i in 0..w.saturating_sub(*k as usize) {
+                    out[i] = bits[i + *k as usize];
+                }
+                Ok(out)
+            }
+            Expr::Mux(c, t, f) => {
+                let cb = self.eval(c)?;
+                if cb.len() != 1 {
+                    return Err(err("mux condition must be 1 bit wide"));
+                }
+                let (tv, fv) = self.equalise(t, f)?;
+                Ok(tv
+                    .iter()
+                    .zip(&fv)
+                    .map(|(a, b)| self.aig.mux(cb[0], *a, *b))
+                    .collect())
+            }
+        }
+    }
+
+    fn bitwise(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        f: impl Fn(&mut Aig, Lit, Lit) -> Lit,
+    ) -> Result<Vec<Lit>, ElabError> {
+        let (x, y) = self.equalise(a, b)?;
+        Ok(x.iter().zip(&y).map(|(p, q)| f(&mut self.aig, *p, *q)).collect())
+    }
+
+    /// Evaluates both operands and zero-extends the narrower to match.
+    fn equalise(&mut self, a: &Expr, b: &Expr) -> Result<(Vec<Lit>, Vec<Lit>), ElabError> {
+        let mut x = self.eval(a)?;
+        let mut y = self.eval(b)?;
+        let w = x.len().max(y.len()) as u32;
+        fit_width(&mut x, w);
+        fit_width(&mut y, w);
+        Ok((x, y))
+    }
+
+    fn ripple_add(&mut self, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+        let mut carry = cin;
+        let mut out = Vec::with_capacity(a.len());
+        for (x, y) in a.iter().zip(b) {
+            let (s, c) = self.aig.full_adder(*x, *y, carry);
+            out.push(s);
+            carry = c;
+        }
+        (out, carry)
+    }
+}
+
+/// Zero-extends or truncates a bit vector to `width`.
+fn fit_width(bits: &mut Vec<Lit>, width: u32) {
+    bits.resize(width as usize, Lit::FALSE);
+}
+
+/// Elaborates a parsed module into a [`Design`].
+///
+/// # Errors
+///
+/// [`ElabError`] for unknown/unassigned signals, combinational cycles
+/// through wires, out-of-range selects, or registers without a clock.
+pub fn elaborate(module: &Module) -> Result<Design, ElabError> {
+    let mut el = Elaborator {
+        module,
+        aig: Aig::new(),
+        env: HashMap::new(),
+        visiting: Vec::new(),
+    };
+    let mut inputs = Vec::new();
+    let mut has_clock = false;
+
+    // Inputs and register Qs become AIG inputs up front.
+    for sig in &module.signals {
+        match sig.kind {
+            SignalKind::Input => {
+                if sig.is_clock {
+                    has_clock = true;
+                    continue;
+                }
+                let bits: Vec<Lit> = (0..sig.width)
+                    .map(|b| {
+                        let l = el.aig.input();
+                        inputs.push((bit_name(&sig.name, sig.width, b), l));
+                        l
+                    })
+                    .collect();
+                el.env.insert(sig.name.clone(), bits);
+            }
+            SignalKind::Reg => {
+                let bits: Vec<Lit> = (0..sig.width).map(|_| el.aig.input()).collect();
+                el.env.insert(sig.name.clone(), bits);
+            }
+            _ => {}
+        }
+    }
+
+    // Register next-state functions.
+    let mut regs = Vec::new();
+    for ra in &module.reg_assigns {
+        let sig = module
+            .signal(&ra.lhs)
+            .ok_or_else(|| err(format!("unknown register `{}`", ra.lhs)))?;
+        if sig.kind != SignalKind::Reg {
+            return Err(err(format!("`{}` is not declared `reg`", ra.lhs)));
+        }
+        let mut next = el.eval(&ra.rhs)?;
+        fit_width(&mut next, sig.width);
+        let qbits = el.env.get(&ra.lhs).expect("reg Q created above").clone();
+        for (b, (q, d)) in qbits.iter().zip(&next).enumerate() {
+            regs.push(RegBit {
+                name: bit_name(&ra.lhs, sig.width, b as u32),
+                q: *q,
+                next: *d,
+            });
+        }
+    }
+    if !regs.is_empty() && !has_clock {
+        return Err(err("registers declared but no clock input (`clk`)"));
+    }
+
+    // Outputs.
+    let mut outputs = Vec::new();
+    for sig in &module.signals {
+        if sig.kind != SignalKind::Output {
+            continue;
+        }
+        let bits = el.resolve(&sig.name)?;
+        for (b, l) in bits.iter().enumerate() {
+            outputs.push((bit_name(&sig.name, sig.width, b as u32), *l));
+        }
+    }
+
+    Ok(Design {
+        name: module.name.clone(),
+        aig: el.aig,
+        inputs,
+        outputs,
+        regs,
+        has_clock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_rtl;
+
+    /// Evaluates an AIG literal given input values by ordinal.
+    fn eval_lit(aig: &Aig, lit: Lit, inputs: &[bool]) -> bool {
+        fn node_val(aig: &Aig, idx: u32, inputs: &[bool]) -> bool {
+            match aig.node(idx) {
+                NodeKind::ConstFalse => false,
+                NodeKind::Input(i) => inputs[i as usize],
+                NodeKind::And(a, b) => {
+                    let va = node_val(aig, a.node(), inputs) ^ a.is_complemented();
+                    let vb = node_val(aig, b.node(), inputs) ^ b.is_complemented();
+                    va && vb
+                }
+            }
+        }
+        node_val(aig, lit.node(), inputs) ^ lit.is_complemented()
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn full_adder_truth() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let (s, co) = g.full_adder(a, b, c);
+        for v in 0..8u32 {
+            let ins = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+            let total = ins.iter().filter(|&&x| x).count();
+            assert_eq!(eval_lit(&g, s, &ins), total % 2 == 1, "sum at {v}");
+            assert_eq!(eval_lit(&g, co, &ins), total >= 2, "carry at {v}");
+        }
+    }
+
+    #[test]
+    fn elaborate_adder_matches_arithmetic() {
+        let m = parse_rtl(
+            "module add4;\ninput [3:0] a, b;\noutput [4:0] s;\nassign s = {1'b0, a} + {1'b0, b};\nendmodule\n",
+        )
+        .unwrap();
+        let d = elaborate(&m).unwrap();
+        assert_eq!(d.inputs.len(), 8);
+        assert_eq!(d.outputs.len(), 5);
+        for av in 0..16u32 {
+            for bv in 0..16u32 {
+                let mut ins = vec![false; 8];
+                for i in 0..4 {
+                    ins[i] = av >> i & 1 == 1; // a bits come first
+                    ins[4 + i] = bv >> i & 1 == 1;
+                }
+                let mut sum = 0u32;
+                for (i, (_, lit)) in d.outputs.iter().enumerate() {
+                    if eval_lit(&d.aig, *lit, &ins) {
+                        sum |= 1 << i;
+                    }
+                }
+                assert_eq!(sum, av + bv, "a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn elaborate_subtract_compare() {
+        let m = parse_rtl(
+            "module cmp;\ninput [3:0] a, b;\noutput lt;\noutput eq;\noutput [3:0] d;\nassign lt = a < b;\nassign eq = a == b;\nassign d = a - b;\nendmodule\n",
+        )
+        .unwrap();
+        let d = elaborate(&m).unwrap();
+        let get = |name: &str| {
+            d.outputs
+                .iter()
+                .filter(|(n, _)| n.starts_with(name))
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+        };
+        let lt = get("lt")[0];
+        let eq = get("eq")[0];
+        let diff = get("d[");
+        for av in 0..16u32 {
+            for bv in 0..16u32 {
+                let mut ins = vec![false; 8];
+                for i in 0..4 {
+                    ins[i] = av >> i & 1 == 1;
+                    ins[4 + i] = bv >> i & 1 == 1;
+                }
+                assert_eq!(eval_lit(&d.aig, lt, &ins), av < bv);
+                assert_eq!(eval_lit(&d.aig, eq, &ins), av == bv);
+                let mut dv = 0u32;
+                for (i, l) in diff.iter().enumerate() {
+                    if eval_lit(&d.aig, *l, &ins) {
+                        dv |= 1 << i;
+                    }
+                }
+                assert_eq!(dv, (av.wrapping_sub(bv)) & 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn registers_require_clock() {
+        let m = parse_rtl(
+            "module r;\ninput [1:0] d;\nreg [1:0] q;\noutput [1:0] y;\nalways @(posedge clk) q <= d;\nassign y = q;\nendmodule\n",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap_err();
+        assert!(e.message.contains("clock"));
+    }
+
+    #[test]
+    fn register_elaboration() {
+        let m = parse_rtl(
+            "module r;\ninput clk;\ninput [1:0] d;\nreg [1:0] q;\noutput [1:0] y;\nalways @(posedge clk) q <= d ^ q;\nassign y = q;\nendmodule\n",
+        )
+        .unwrap();
+        let d = elaborate(&m).unwrap();
+        assert!(d.has_clock);
+        assert_eq!(d.regs.len(), 2);
+        assert_eq!(d.regs[0].name, "q[0]");
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let m = parse_rtl(
+            "module c;\ninput a;\nwire x = y & a;\nwire y = x | a;\noutput o;\nassign o = x;\nendmodule\n",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap_err();
+        assert!(e.message.contains("cycle"));
+    }
+
+    #[test]
+    fn unassigned_wire_detected() {
+        let m = parse_rtl("module u;\nwire w;\noutput o;\nassign o = w;\nendmodule\n").unwrap();
+        let e = elaborate(&m).unwrap_err();
+        assert!(e.message.contains("never assigned"));
+    }
+
+    #[test]
+    fn mux_condition_width_checked() {
+        let m = parse_rtl(
+            "module m;\ninput [1:0] c;\ninput a, b;\noutput y;\nassign y = c ? a : b;\nendmodule\n",
+        )
+        .unwrap();
+        assert!(elaborate(&m).is_err());
+    }
+}

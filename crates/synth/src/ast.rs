@@ -1,0 +1,742 @@
+//! RTL-lite: grammar, AST, and recursive-descent parser.
+//!
+//! ```text
+//! module <name>;
+//! input clk;                      // the clock, by name
+//! input [15:0] a, b;              // bit-vector ports, MSB:LSB
+//! output [16:0] sum;
+//! reg   [15:0] acc;               // registered signal
+//! wire  [15:0] t = a ^ b;         // wire with inline definition
+//! assign sum = {1'b0, a} + {1'b0, b};
+//! always @(posedge clk) begin
+//!   acc <= acc + a;
+//! end
+//! endmodule
+//! ```
+//!
+//! Expression operators, loosest first:
+//! `?:` · `|` · `^` · `&` · `== !=` · `<` · `<< >>` (constant shift) ·
+//! `+ -` · unary `~` · primary (identifier, bit select `a[3]`, slice
+//! `a[7:4]`, literal `8'hFF` / `4'b1010` / `13`, concatenation `{a, b}`,
+//! parentheses).
+
+use std::fmt;
+
+/// A width-annotated literal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// Bit width.
+    pub width: u32,
+    /// Value (LSB-aligned; bits above `width` are zero).
+    pub value: u64,
+}
+
+/// An RTL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Signal reference.
+    Ident(String),
+    /// Constant.
+    Const(Literal),
+    /// Single-bit select `sig[i]`.
+    Index(Box<Expr>, u32),
+    /// Slice `sig[hi:lo]`.
+    Slice(Box<Expr>, u32, u32),
+    /// Concatenation `{a, b, ...}` (MSB part first, Verilog style).
+    Concat(Vec<Expr>),
+    /// Bitwise NOT.
+    Not(Box<Expr>),
+    /// Bitwise AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Bitwise OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Bitwise XOR.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Addition (modular, result width = max operand width).
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Equality (1-bit result).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality (1-bit result).
+    Ne(Box<Expr>, Box<Expr>),
+    /// Unsigned less-than (1-bit result).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Left shift by constant.
+    Shl(Box<Expr>, u32),
+    /// Right shift by constant.
+    Shr(Box<Expr>, u32),
+    /// Conditional `cond ? t : e` (cond reduced to its LSB... must be 1 bit).
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Direction/kind of a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// Module input.
+    Input,
+    /// Module output.
+    Output,
+    /// Internal wire.
+    Wire,
+    /// Registered signal (becomes DFFs).
+    Reg,
+}
+
+/// A declared signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    /// Name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Kind.
+    pub kind: SignalKind,
+    /// True when this input is the clock.
+    pub is_clock: bool,
+}
+
+/// A combinational assignment (`assign lhs = expr` or a wire initialiser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Target signal name.
+    pub lhs: String,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+/// A registered assignment inside `always @(posedge clk)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegAssign {
+    /// Target register name.
+    pub lhs: String,
+    /// Next-state expression.
+    pub rhs: Expr,
+}
+
+/// A parsed RTL-lite module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// All declared signals.
+    pub signals: Vec<Signal>,
+    /// Combinational assignments, in source order.
+    pub assigns: Vec<Assign>,
+    /// Registered assignments.
+    pub reg_assigns: Vec<RegAssign>,
+}
+
+impl Module {
+    /// Looks up a signal by name.
+    pub fn signal(&self, name: &str) -> Option<&Signal> {
+        self.signals.iter().find(|s| s.name == name)
+    }
+}
+
+/// Parse failure with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRtlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rtl parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseRtlError {}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    SizedLit(Literal),
+    Punct(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn lex(text: &str) -> Result<Lexer, ParseRtlError> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.find("//") {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((line, Tok::Ident(code[start..i].to_owned())));
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let num: u64 = code[start..i].parse().map_err(|_| ParseRtlError {
+                    line,
+                    message: "number too large".to_owned(),
+                })?;
+                // Sized literal? <width>'<base><digits>
+                if i < bytes.len() && bytes[i] == b'\'' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(ParseRtlError {
+                            line,
+                            message: "truncated sized literal".to_owned(),
+                        });
+                    }
+                    let base = bytes[i] as char;
+                    i += 1;
+                    let dstart = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let digits: String = code[dstart..i].replace('_', "");
+                    let radix = match base {
+                        'b' | 'B' => 2,
+                        'o' | 'O' => 8,
+                        'd' | 'D' => 10,
+                        'h' | 'H' => 16,
+                        _ => {
+                            return Err(ParseRtlError {
+                                line,
+                                message: format!("unknown literal base `{base}`"),
+                            })
+                        }
+                    };
+                    let value = u64::from_str_radix(&digits, radix).map_err(|_| ParseRtlError {
+                        line,
+                        message: format!("bad literal digits `{digits}`"),
+                    })?;
+                    let width = num as u32;
+                    if width == 0 || width > 64 {
+                        return Err(ParseRtlError {
+                            line,
+                            message: "literal width must be 1..=64".to_owned(),
+                        });
+                    }
+                    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                    toks.push((
+                        line,
+                        Tok::SizedLit(Literal {
+                            width,
+                            value: value & mask,
+                        }),
+                    ));
+                } else {
+                    toks.push((line, Tok::Number(num)));
+                }
+                continue;
+            }
+            // Punctuation (two-char first).
+            let two: Option<&'static str> = if i + 1 < bytes.len() {
+                match &code[i..i + 2] {
+                    "<=" => Some("<="),
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<<" => Some("<<"),
+                    ">>" => Some(">>"),
+                    "@(" => None, // handled as single chars
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(p) = two {
+                toks.push((line, Tok::Punct(p)));
+                i += 2;
+                continue;
+            }
+            let one: &'static str = match c {
+                ';' => ";",
+                ',' => ",",
+                '(' => "(",
+                ')' => ")",
+                '[' => "[",
+                ']' => "]",
+                '{' => "{",
+                '}' => "}",
+                ':' => ":",
+                '?' => "?",
+                '~' => "~",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '+' => "+",
+                '-' => "-",
+                '=' => "=",
+                '<' => "<",
+                '@' => "@",
+                _ => {
+                    return Err(ParseRtlError {
+                        line,
+                        message: format!("unexpected character `{c}`"),
+                    })
+                }
+            };
+            toks.push((line, Tok::Punct(one)));
+            i += 1;
+        }
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&Tok::Punct_of(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseRtlError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseRtlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected identifier".to_owned())),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseRtlError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            _ => Err(self.err("expected number".to_owned())),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseRtlError {
+        ParseRtlError {
+            line: self.line(),
+            message,
+        }
+    }
+}
+
+impl Tok {
+    #[allow(non_snake_case)]
+    fn Punct_of(p: &str) -> Tok {
+        // Interned punctuation set; `Punct` stores &'static str, so match
+        // through the known table.
+        const TABLE: &[&str] = &[
+            ";", ",", "(", ")", "[", "]", "{", "}", ":", "?", "~", "&", "|", "^", "+", "-", "=",
+            "<", "@", "<=", "==", "!=", "<<", ">>",
+        ];
+        for &t in TABLE {
+            if t == p {
+                return Tok::Punct(t);
+            }
+        }
+        unreachable!("unknown punct {p}")
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+/// Parses RTL-lite source into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`ParseRtlError`] with the source line on any syntax problem.
+pub fn parse_rtl(text: &str) -> Result<Module, ParseRtlError> {
+    let mut lx = lex(text)?;
+    let mut module = Module::default();
+    if !lx.eat_ident("module") {
+        return Err(lx.err("expected `module`".to_owned()));
+    }
+    module.name = lx.expect_ident()?;
+    lx.expect_punct(";")?;
+
+    loop {
+        if lx.eat_ident("endmodule") {
+            break;
+        }
+        if lx.peek().is_none() {
+            return Err(lx.err("missing `endmodule`".to_owned()));
+        }
+        if lx.eat_ident("input") {
+            parse_decl(&mut lx, &mut module, SignalKind::Input)?;
+        } else if lx.eat_ident("output") {
+            parse_decl(&mut lx, &mut module, SignalKind::Output)?;
+        } else if lx.eat_ident("wire") {
+            parse_decl(&mut lx, &mut module, SignalKind::Wire)?;
+        } else if lx.eat_ident("reg") {
+            parse_decl(&mut lx, &mut module, SignalKind::Reg)?;
+        } else if lx.eat_ident("assign") {
+            let lhs = lx.expect_ident()?;
+            lx.expect_punct("=")?;
+            let rhs = parse_expr(&mut lx)?;
+            lx.expect_punct(";")?;
+            module.assigns.push(Assign { lhs, rhs });
+        } else if lx.eat_ident("always") {
+            parse_always(&mut lx, &mut module)?;
+        } else {
+            return Err(lx.err("expected declaration, assign, always or endmodule".to_owned()));
+        }
+    }
+    Ok(module)
+}
+
+fn parse_decl(
+    lx: &mut Lexer,
+    module: &mut Module,
+    kind: SignalKind,
+) -> Result<(), ParseRtlError> {
+    let width = if lx.eat_punct("[") {
+        let hi = lx.expect_number()? as u32;
+        lx.expect_punct(":")?;
+        let lo = lx.expect_number()? as u32;
+        lx.expect_punct("]")?;
+        if lo != 0 {
+            return Err(lx.err("ranges must be [hi:0]".to_owned()));
+        }
+        hi + 1
+    } else {
+        1
+    };
+    loop {
+        let name = lx.expect_ident()?;
+        if module.signal(&name).is_some() {
+            return Err(lx.err(format!("duplicate signal `{name}`")));
+        }
+        let is_clock =
+            kind == SignalKind::Input && width == 1 && (name == "clk" || name == "clock");
+        // Wire with inline definition: `wire [..] t = expr;`
+        let mut inline = None;
+        if kind == SignalKind::Wire && lx.eat_punct("=") {
+            inline = Some(parse_expr(lx)?);
+        }
+        module.signals.push(Signal {
+            name: name.clone(),
+            width,
+            kind,
+            is_clock,
+        });
+        if let Some(rhs) = inline {
+            module.assigns.push(Assign { lhs: name, rhs });
+        }
+        if lx.eat_punct(",") {
+            continue;
+        }
+        lx.expect_punct(";")?;
+        return Ok(());
+    }
+}
+
+fn parse_always(lx: &mut Lexer, module: &mut Module) -> Result<(), ParseRtlError> {
+    lx.expect_punct("@")?;
+    lx.expect_punct("(")?;
+    if !lx.eat_ident("posedge") {
+        return Err(lx.err("only `always @(posedge <clk>)` is supported".to_owned()));
+    }
+    let _clk = lx.expect_ident()?;
+    lx.expect_punct(")")?;
+    let block = lx.eat_ident("begin");
+    loop {
+        if block && lx.eat_ident("end") {
+            break;
+        }
+        let lhs = lx.expect_ident()?;
+        lx.expect_punct("<=")?;
+        let rhs = parse_expr(lx)?;
+        lx.expect_punct(";")?;
+        module.reg_assigns.push(RegAssign { lhs, rhs });
+        if !block {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn parse_expr(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    parse_mux(lx)
+}
+
+fn parse_mux(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let cond = parse_or(lx)?;
+    if lx.eat_punct("?") {
+        let t = parse_mux(lx)?;
+        lx.expect_punct(":")?;
+        let e = parse_mux(lx)?;
+        Ok(Expr::Mux(Box::new(cond), Box::new(t), Box::new(e)))
+    } else {
+        Ok(cond)
+    }
+}
+
+fn parse_or(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let mut a = parse_xor(lx)?;
+    while lx.eat_punct("|") {
+        let b = parse_xor(lx)?;
+        a = Expr::Or(Box::new(a), Box::new(b));
+    }
+    Ok(a)
+}
+
+fn parse_xor(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let mut a = parse_and(lx)?;
+    while lx.eat_punct("^") {
+        let b = parse_and(lx)?;
+        a = Expr::Xor(Box::new(a), Box::new(b));
+    }
+    Ok(a)
+}
+
+fn parse_and(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let mut a = parse_cmp(lx)?;
+    while lx.eat_punct("&") {
+        let b = parse_cmp(lx)?;
+        a = Expr::And(Box::new(a), Box::new(b));
+    }
+    Ok(a)
+}
+
+fn parse_cmp(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let a = parse_shift(lx)?;
+    if lx.eat_punct("==") {
+        let b = parse_shift(lx)?;
+        Ok(Expr::Eq(Box::new(a), Box::new(b)))
+    } else if lx.eat_punct("!=") {
+        let b = parse_shift(lx)?;
+        Ok(Expr::Ne(Box::new(a), Box::new(b)))
+    } else if lx.eat_punct("<") {
+        let b = parse_shift(lx)?;
+        Ok(Expr::Lt(Box::new(a), Box::new(b)))
+    } else {
+        Ok(a)
+    }
+}
+
+fn parse_shift(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let mut a = parse_add(lx)?;
+    loop {
+        if lx.eat_punct("<<") {
+            let n = lx.expect_number()? as u32;
+            a = Expr::Shl(Box::new(a), n);
+        } else if lx.eat_punct(">>") {
+            let n = lx.expect_number()? as u32;
+            a = Expr::Shr(Box::new(a), n);
+        } else {
+            return Ok(a);
+        }
+    }
+}
+
+fn parse_add(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    let mut a = parse_unary(lx)?;
+    loop {
+        if lx.eat_punct("+") {
+            let b = parse_unary(lx)?;
+            a = Expr::Add(Box::new(a), Box::new(b));
+        } else if lx.eat_punct("-") {
+            let b = parse_unary(lx)?;
+            a = Expr::Sub(Box::new(a), Box::new(b));
+        } else {
+            return Ok(a);
+        }
+    }
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    if lx.eat_punct("~") {
+        let e = parse_unary(lx)?;
+        return Ok(Expr::Not(Box::new(e)));
+    }
+    parse_primary(lx)
+}
+
+fn parse_primary(lx: &mut Lexer) -> Result<Expr, ParseRtlError> {
+    match lx.next() {
+        Some(Tok::Ident(name)) => {
+            let mut e = Expr::Ident(name);
+            if lx.eat_punct("[") {
+                let hi = lx.expect_number()? as u32;
+                if lx.eat_punct(":") {
+                    let lo = lx.expect_number()? as u32;
+                    lx.expect_punct("]")?;
+                    e = Expr::Slice(Box::new(e), hi, lo);
+                } else {
+                    lx.expect_punct("]")?;
+                    e = Expr::Index(Box::new(e), hi);
+                }
+            }
+            Ok(e)
+        }
+        Some(Tok::SizedLit(l)) => Ok(Expr::Const(l)),
+        Some(Tok::Number(n)) => Ok(Expr::Const(Literal {
+            // Unsized decimal: width = bits needed (min 1).
+            width: (64 - n.leading_zeros()).max(1),
+            value: n,
+        })),
+        Some(Tok::Punct("(")) => {
+            let e = parse_expr(lx)?;
+            lx.expect_punct(")")?;
+            Ok(e)
+        }
+        Some(Tok::Punct("{")) => {
+            let mut parts = vec![parse_expr(lx)?];
+            while lx.eat_punct(",") {
+                parts.push(parse_expr(lx)?);
+            }
+            lx.expect_punct("}")?;
+            Ok(Expr::Concat(parts))
+        }
+        other => Err(lx.err(format!("unexpected token in expression: {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_assigns() {
+        let m = parse_rtl(
+            "module t;\ninput clk;\ninput [7:0] a, b;\noutput [7:0] y;\nwire [7:0] w = a & b;\nassign y = w | b;\nendmodule\n",
+        )
+        .unwrap();
+        assert_eq!(m.name, "t");
+        assert_eq!(m.signals.len(), 5);
+        assert!(m.signal("clk").unwrap().is_clock);
+        assert_eq!(m.signal("a").unwrap().width, 8);
+        assert_eq!(m.assigns.len(), 2); // wire initialiser + assign
+    }
+
+    #[test]
+    fn parses_always_block() {
+        let m = parse_rtl(
+            "module t;\ninput clk;\ninput [3:0] d;\nreg [3:0] q;\noutput [3:0] y;\nalways @(posedge clk) begin\n q <= d + 4'd1;\nend\nassign y = q;\nendmodule\n",
+        )
+        .unwrap();
+        assert_eq!(m.reg_assigns.len(), 1);
+        assert_eq!(m.reg_assigns[0].lhs, "q");
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let m = parse_rtl(
+            "module t;\ninput a, b, c;\noutput y;\nassign y = a | b & c;\nendmodule\n",
+        )
+        .unwrap();
+        // & binds tighter than |
+        match &m.assigns[0].rhs {
+            Expr::Or(l, r) => {
+                assert_eq!(**l, Expr::Ident("a".into()));
+                assert!(matches!(**r, Expr::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mux_and_comparison() {
+        let m = parse_rtl(
+            "module t;\ninput [3:0] a, b;\ninput s;\noutput [3:0] y;\nassign y = s ? a + b : a - b;\noutput e;\nassign e = a == b;\nendmodule\n",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns[0].rhs, Expr::Mux(_, _, _)));
+        assert!(matches!(m.assigns[1].rhs, Expr::Eq(_, _)));
+    }
+
+    #[test]
+    fn literals() {
+        let m = parse_rtl(
+            "module t;\noutput [7:0] y;\nassign y = 8'hA5 ^ 8'b1111_0000;\nendmodule\n",
+        )
+        .unwrap();
+        match &m.assigns[0].rhs {
+            Expr::Xor(l, r) => {
+                assert_eq!(**l, Expr::Const(Literal { width: 8, value: 0xA5 }));
+                assert_eq!(**r, Expr::Const(Literal { width: 8, value: 0xF0 }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slice_index_concat_shift() {
+        let m = parse_rtl(
+            "module t;\ninput [7:0] a;\noutput [7:0] y;\nassign y = {a[3:0], a[7:4]} << 1;\noutput b;\nassign b = a[7];\nendmodule\n",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns[0].rhs, Expr::Shl(_, 1)));
+        assert!(matches!(m.assigns[1].rhs, Expr::Index(_, 7)));
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse_rtl("module t;\ninput a\noutput y;\nendmodule\n").unwrap_err();
+        assert!(e.line >= 2, "line = {}", e.line);
+        assert!(parse_rtl("garbage").is_err());
+        assert!(parse_rtl("module t;\ninput a;\n").is_err()); // no endmodule
+    }
+
+    #[test]
+    fn duplicate_signal_rejected() {
+        let e = parse_rtl("module t;\ninput a;\ninput a;\nendmodule\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # smt-synth
+//!
+//! RTL-to-gates synthesis: the front of the paper's Fig. 4 flow
+//! ("RTL → physical synthesis using low-Vth cells → initial netlist").
+//!
+//! Pipeline:
+//!
+//! 1. [`ast`] — an RTL-lite hardware description language (a Verilog
+//!    subset: modules, bit-vector wires/regs, `assign`, `always
+//!    @(posedge clk)`, operators `~ & | ^ + - == != < << >> ?:`, bit
+//!    select/slice, literals) with a recursive-descent parser;
+//! 2. [`aig`] — bit-blasting into an and-inverter graph with structural
+//!    hashing and constant folding;
+//! 3. [`map`] — technology mapping onto the low-Vth cells of a
+//!    [`smt_cells::library::Library`] (NAND/INV core with XOR/MUX pattern
+//!    rescue and fanout-based drive selection), producing a
+//!    [`smt_netlist::netlist::Netlist`].
+//!
+//! ```
+//! use smt_cells::library::Library;
+//! use smt_synth::{synthesize, SynthOptions};
+//!
+//! let rtl = r"
+//! module maj;
+//! input a, b, c;
+//! output y;
+//! assign y = (a & b) | (a & c) | (b & c);
+//! endmodule
+//! ";
+//! let lib = Library::industrial_130nm();
+//! let netlist = synthesize(rtl, &lib, &SynthOptions::default()).unwrap();
+//! assert!(netlist.num_instances() > 0);
+//! ```
+
+pub mod aig;
+pub mod ast;
+pub mod map;
+
+pub use aig::{Aig, Lit};
+pub use ast::{parse_rtl, Module, ParseRtlError};
+pub use map::{map_to_netlist, SynthOptions};
+
+/// Parses RTL-lite text, elaborates it into an AIG and maps it to gates.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] for parse failures or elaboration problems
+/// (unknown identifiers, width mismatches).
+pub fn synthesize(
+    rtl: &str,
+    lib: &smt_cells::library::Library,
+    options: &SynthOptions,
+) -> Result<smt_netlist::netlist::Netlist, SynthError> {
+    let module = parse_rtl(rtl).map_err(SynthError::Parse)?;
+    let design = aig::elaborate(&module).map_err(SynthError::Elab)?;
+    Ok(map_to_netlist(&design, lib, options))
+}
+
+/// Top-level synthesis error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// RTL text did not parse.
+    Parse(ParseRtlError),
+    /// Elaboration failed (unknown name, width mismatch...).
+    Elab(aig::ElabError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Parse(e) => write!(f, "{e}"),
+            SynthError::Elab(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}

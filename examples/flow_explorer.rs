@@ -1,0 +1,73 @@
+//! Interactive constraint exploration: sweep the designer knobs the paper
+//! names (bounce limit, VGND wirelength cap, cells-per-switch) on any of
+//! the bundled circuits and watch the area/leakage/timing trade move.
+//!
+//! ```text
+//! cargo run --release --example flow_explorer -- [a|b] [bounce_mv] [max_len_um] [max_cells]
+//! cargo run --release --example flow_explorer -- a 30 200 16
+//! cargo run --release --example flow_explorer -- b 50 400 24 --signoff
+//! ```
+
+use selective_mt::base::units::Volt;
+use selective_mt::cells::library::Library;
+use selective_mt::circuits::rtl::{circuit_a_rtl, circuit_b_rtl};
+use selective_mt::core::flow::{run_flow, FlowConfig, Technique};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuit = args.first().map(String::as_str).unwrap_or("b");
+    let bounce_mv: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50.0);
+    let max_len: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400.0);
+    let max_cells: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+
+    let (rtl, margin, frac) = match circuit {
+        "a" | "A" => (circuit_a_rtl(), 1.22, 0.60),
+        _ => (circuit_b_rtl(), 1.30, 0.74),
+    };
+
+    let lib = Library::industrial_130nm();
+    let mut cfg = FlowConfig {
+        technique: Technique::ImprovedSmt,
+        period_margin: margin,
+        ..FlowConfig::default()
+    };
+    cfg.dualvth.max_high_fraction = Some(frac);
+    cfg.cluster.bounce_limit = Volt::from_millivolts(bounce_mv);
+    cfg.cluster.max_vgnd_length_um = max_len;
+    cfg.cluster.max_cells_per_switch = max_cells;
+
+    eprintln!(
+        "circuit {circuit}: bounce <= {bounce_mv} mV, VGND length <= {max_len} um, <= {max_cells} cells/switch"
+    );
+    let r = run_flow(&rtl, &lib, &cfg)?;
+
+    println!("clock period  : {}", r.clock_period);
+    println!("area          : {}", r.area);
+    println!("standby       : {}", r.standby_leakage);
+    println!("setup WNS     : {}", r.timing.wns);
+    if let Some(c) = &r.cluster {
+        println!(
+            "clusters      : {} over {} MT-cells (largest {}), switch width {:.1} um",
+            c.clusters, c.mt_cells, c.largest_cluster, c.total_switch_width_um
+        );
+        println!(
+            "worst bounce  : {:.1} mV (limit {bounce_mv} mV), worst VGND length {:.0} um (limit {max_len} um)",
+            c.worst_bounce.millivolts(),
+            c.worst_length_um
+        );
+    }
+    if let Some(re) = &r.reopt {
+        println!(
+            "re-opt        : {} upsized / {} downsized ({:+.1} um)",
+            re.upsized, re.downsized, re.width_delta_um
+        );
+    }
+    println!(
+        "verification  : {}",
+        if r.verify.passed() { "PASS" } else { "FAIL" }
+    );
+    if args.iter().any(|a| a == "--signoff") {
+        println!("\n{}", selective_mt::core::report::render_signoff(&r, &lib, 3));
+    }
+    Ok(())
+}

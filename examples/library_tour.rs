@@ -1,0 +1,85 @@
+//! A tour of the generated standard-cell library: the four Vth flavours,
+//! the footer-switch ladder, Liberty-lite round-tripping, and the
+//! transistor-level MT-cell schematics of Fig. 1.
+//!
+//! ```text
+//! cargo run --example library_tour
+//! ```
+
+use selective_mt::base::report::Table;
+use selective_mt::base::units::{Cap, Time};
+use selective_mt::cells::cell::VthClass;
+use selective_mt::cells::library::Library;
+use selective_mt::cells::{liberty, schematic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::industrial_130nm();
+    println!(
+        "library `{}`: {} cells on {} (VDD {}, Vth {} / {})\n",
+        lib.tech.name,
+        lib.len(),
+        "smt130lp",
+        lib.tech.vdd,
+        lib.tech.vth_low,
+        lib.tech.vth_high
+    );
+
+    // Vth flavours of one function.
+    let mut t = Table::new(
+        "the four flavours of ND2_X1",
+        &["cell", "area um^2", "standby uA", "delay @10fF ps"],
+    );
+    for v in [
+        VthClass::Low,
+        VthClass::High,
+        VthClass::MtEmbedded,
+        VthClass::MtVgnd,
+    ] {
+        let c = lib
+            .find(&format!("ND2_X1_{}", v.suffix()))
+            .expect("generated");
+        t.row_owned(vec![
+            c.name.clone(),
+            format!("{:.2}", c.area.um2()),
+            format!("{:.6}", c.standby_leak.ua()),
+            format!("{:.1}", c.arcs[0].delay(Time::new(40.0), Cap::new(10.0)).ps()),
+        ]);
+    }
+    println!("{t}");
+
+    // The switch ladder.
+    let mut t = Table::new(
+        "footer-switch ladder",
+        &["cell", "width um", "on-res kOhm", "off-leak uA", "EM limit uA"],
+    );
+    for id in lib.switch_cells() {
+        let c = lib.cell(id);
+        let s = c.switch.expect("switch spec");
+        t.row_owned(vec![
+            c.name.clone(),
+            format!("{:.0}", s.width_um),
+            format!("{:.4}", s.on_res.kohm()),
+            format!("{:.6}", s.off_leak.ua()),
+            format!("{:.0}", s.max_current.ua()),
+        ]);
+    }
+    println!("{t}");
+
+    // Liberty-lite round trip.
+    let text = liberty::write(&lib);
+    let parsed = liberty::parse(&text, lib.tech.clone())?;
+    println!(
+        "liberty-lite: serialised {} KiB, parsed back {} cells — round trip OK\n",
+        text.len() / 1024,
+        parsed.len()
+    );
+
+    // Fig. 1 schematics.
+    for name in ["ND2_X1_MC", "ND2_X1_MV"] {
+        let cell = lib.find(name).expect("cell");
+        let s = schematic::mt_cell_schematic(&lib, cell);
+        println!("{name}:");
+        println!("{}", s.ascii_art());
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! The paper's motivating scenario: a portable-appliance SoC block that is
+//! on standby most of the day (the intro cites cellular basebands; ref [3]
+//! is a 3G baseband chip using this technique).
+//!
+//! This example runs all three techniques on the circuit-A substitute and
+//! converts the results into battery-relevant numbers: charge drawn per
+//! day at a given standby duty cycle.
+//!
+//! ```text
+//! cargo run --release --example standby_soc
+//! ```
+
+use selective_mt::base::report::Table;
+use selective_mt::cells::library::Library;
+use selective_mt::circuits::rtl::circuit_a_rtl;
+use selective_mt::core::flow::{run_flow, FlowConfig, Technique};
+
+/// Fraction of the day the block is active (a paging/idle-mode modem
+/// block: a few minutes per day).
+const ACTIVE_DUTY: f64 = 0.002;
+/// Clock frequency while active, GHz.
+const ACTIVE_FREQ_GHZ: f64 = 0.2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_a_rtl();
+
+    let mut clock = None;
+    let mut table = Table::new(
+        "standby SoC: daily charge per technique (99% standby)",
+        &[
+            "technique",
+            "standby uA",
+            "dynamic uW (active)",
+            "uAh/day",
+            "vs Dual-Vth",
+        ],
+    );
+
+    let mut baseline_uah = None;
+    for technique in [
+        Technique::DualVth,
+        Technique::ConventionalSmt,
+        Technique::ImprovedSmt,
+    ] {
+        let mut cfg = FlowConfig {
+            technique,
+            clock_period: clock,
+            period_margin: 1.22,
+            ..FlowConfig::default()
+        };
+        cfg.dualvth.max_high_fraction = Some(0.6);
+        eprintln!("running {technique}...");
+        let r = run_flow(&rtl, &lib, &cfg)?;
+        clock = clock.or(Some(r.clock_period));
+
+        // Dynamic power while active, from simulated toggle rates. The MT
+        // enable is a *mode* pin, not a data input: the random-vector
+        // toggle estimator must not flip it (it carries the switch gates'
+        // large capacitance), so its activity is pinned to zero.
+        let mut toggles =
+            selective_mt::sim::estimate_toggles(&r.netlist, &lib, 128, 7)?;
+        if let Some(mte) = r.netlist.find_net("mte") {
+            toggles.toggles[mte.index()] = 0;
+        }
+        let dynamic = selective_mt::power::dynamic_power(
+            &r.netlist,
+            &lib,
+            &toggles,
+            ACTIVE_FREQ_GHZ,
+            |_| selective_mt::base::units::Cap::new(4.0),
+        );
+
+        // Daily charge: standby current over ~24h plus active share.
+        // (Active-mode leakage also counts during the active window.)
+        let hours_standby = 24.0 * (1.0 - ACTIVE_DUTY);
+        let hours_active = 24.0 * ACTIVE_DUTY;
+        let vdd = lib.tech.vdd.volts();
+        let active_current_ua = dynamic.uw() / vdd + r.active_leakage.ua();
+        let uah = r.standby_leakage.ua() * hours_standby + active_current_ua * hours_active;
+
+        let vs = match baseline_uah {
+            None => {
+                baseline_uah = Some(uah);
+                "100.0%".to_owned()
+            }
+            Some(base) => format!("{:.1}%", 100.0 * uah / base),
+        };
+        table.row_owned(vec![
+            technique.to_string(),
+            format!("{:.4}", r.standby_leakage.ua()),
+            format!("{:.2}", dynamic.uw()),
+            format!("{:.2}", uah),
+            vs,
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "At {:.1}% standby the battery draw is dominated by standby leakage —\n\
+         which is why the paper optimises it, and why the improved\n\
+         technique's extra leakage cut matters at system level.",
+        100.0 * (1.0 - ACTIVE_DUTY)
+    );
+    Ok(())
+}

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) on the core invariants the
+//! reproduction rests on.
+
+use proptest::prelude::*;
+use selective_mt::cells::cell::VthClass;
+use selective_mt::cells::library::Library;
+use selective_mt::circuits::gen::{random_logic, RandomLogicConfig};
+use selective_mt::core::smtgen::{
+    insert_initial_switch, insert_output_holders, to_improved_mt_cells,
+};
+use selective_mt::netlist::check::{is_clean, lint, LintConfig};
+use selective_mt::sim::check_equivalence;
+use selective_mt::synth::aig::{elaborate, NodeKind};
+use selective_mt::synth::ast::parse_rtl;
+use selective_mt::synth::Aig;
+
+fn lib() -> Library {
+    Library::industrial_130nm()
+}
+
+// ---- AIG soundness against a reference interpreter ----------------------
+
+fn eval_lit(aig: &Aig, lit: selective_mt::synth::Lit, inputs: &[bool]) -> bool {
+    fn node_val(aig: &Aig, idx: u32, inputs: &[bool]) -> bool {
+        match aig.node(idx) {
+            NodeKind::ConstFalse => false,
+            NodeKind::Input(i) => inputs[i as usize],
+            NodeKind::And(a, b) => {
+                (node_val(aig, a.node(), inputs) ^ a.is_complemented())
+                    && (node_val(aig, b.node(), inputs) ^ b.is_complemented())
+            }
+        }
+    }
+    node_val(aig, lit.node(), inputs) ^ lit.is_complemented()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random arithmetic RTL: the elaborated AIG computes the same value
+    /// as u64 arithmetic for any operand assignment.
+    #[test]
+    fn aig_matches_integer_arithmetic(a in 0u64..256, b in 0u64..256, op in 0usize..5) {
+        let expr = match op {
+            0 => "x + y",
+            1 => "x - y",
+            2 => "x ^ y",
+            3 => "(x & y) | (x ^ y)",
+            _ => "x < y ? x + y : x - y",
+        };
+        let width = 9usize;
+        let rtl = format!(
+            "module t;\ninput [{w}:0] x, y;\noutput [{w}:0] z;\nassign z = {expr};\nendmodule\n",
+            w = width - 1
+        );
+        let m = parse_rtl(&rtl).unwrap();
+        let d = elaborate(&m).unwrap();
+        let mut inputs = vec![false; 2 * width];
+        for i in 0..width {
+            inputs[i] = a >> i & 1 == 1;
+            inputs[width + i] = b >> i & 1 == 1;
+        }
+        let mut got = 0u64;
+        for (i, (_, l)) in d.outputs.iter().enumerate() {
+            if eval_lit(&d.aig, *l, &inputs) {
+                got |= 1 << i;
+            }
+        }
+        let mask = (1u64 << width) - 1;
+        let expect = match op {
+            0 => (a + b) & mask,
+            1 => a.wrapping_sub(b) & mask,
+            2 => (a ^ b) & mask,
+            3 => ((a & b) | (a ^ b)) & mask,
+            _ => if a < b { (a + b) & mask } else { a.wrapping_sub(b) & mask },
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Structural hashing never grows the graph for repeated sub-terms.
+    #[test]
+    fn aig_strash_is_idempotent(seed in 0u32..1000) {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        // Build the same expression twice with operand orders shuffled by
+        // the seed; the node count must not change the second time.
+        let build = |g: &mut Aig| {
+            let t0 = if seed % 2 == 0 { g.and(a, b) } else { g.and(b, a) };
+            let t1 = g.or(t0, c);
+            g.xor(t1, a)
+        };
+        let l1 = build(&mut g);
+        let n1 = g.len();
+        let l2 = build(&mut g);
+        prop_assert_eq!(l1, l2);
+        prop_assert_eq!(g.len(), n1);
+    }
+
+    /// Any random (seeded) netlist survives the improved-SMT transform
+    /// pipeline with structure intact and function preserved.
+    #[test]
+    fn improved_transform_preserves_function(seed in 0u64..30) {
+        let lib = lib();
+        let cfg = RandomLogicConfig { gates: 120, ffs: 8, seed, ..RandomLogicConfig::default() };
+        let golden = random_logic(&lib, &cfg);
+        let mut dut = golden.clone();
+        to_improved_mt_cells(&mut dut, &lib);
+        insert_output_holders(&mut dut, &lib);
+        insert_initial_switch(&mut dut, &lib, selective_mt::base::units::Volt::from_millivolts(50.0));
+        let issues = lint(&dut, &lib, LintConfig { require_mt_wiring: true });
+        prop_assert!(is_clean(&issues), "{issues:?}");
+        let mut golden2 = golden.clone();
+        if dut.find_net("mte").is_some() {
+            golden2.add_input("mte");
+        }
+        let eq = check_equivalence(&golden2, &dut, &lib, 24, seed).unwrap();
+        prop_assert!(eq.is_equivalent(), "{:?}", eq.mismatches.first());
+    }
+
+    /// Vth variant swaps never change cell pin-out compatibility, logic
+    /// function, or the netlist's structural health.
+    #[test]
+    fn variant_swaps_preserve_structure(seed in 0u64..30, flavour in 0usize..3) {
+        let lib = lib();
+        let cfg = RandomLogicConfig { gates: 80, ffs: 4, seed, ..RandomLogicConfig::default() };
+        let golden = random_logic(&lib, &cfg);
+        let mut dut = golden.clone();
+        let target = [VthClass::High, VthClass::MtEmbedded, VthClass::MtVgnd][flavour];
+        let ids: Vec<_> = dut.instances().map(|(id, _)| id).collect();
+        for id in ids {
+            let cell = lib.cell(dut.inst(id).cell);
+            if cell.vth == VthClass::Low && cell.role == selective_mt::cells::cell::CellRole::Logic {
+                let v = lib.variant_id(dut.inst(id).cell, target).unwrap();
+                dut.replace_cell(id, v, &lib).unwrap();
+            }
+        }
+        let issues = lint(&dut, &lib, LintConfig::default());
+        prop_assert!(is_clean(&issues), "{issues:?}");
+        let eq = check_equivalence(&golden, &dut, &lib, 16, seed).unwrap();
+        prop_assert!(eq.is_equivalent());
+    }
+
+    /// Steiner wirelength is sandwiched between the HPWL lower bound and
+    /// the star-topology upper bound.
+    #[test]
+    fn steiner_wirelength_bounds(points in prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), 2..12)) {
+        use selective_mt::base::geom::{Point, Rect};
+        use selective_mt::route::steiner_tree;
+        let pins: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let tree = steiner_tree(&pins);
+        let hpwl = Rect::bounding(pins.iter().copied()).unwrap().half_perimeter();
+        let star: f64 = pins[1..].iter().map(|p| p.manhattan(pins[0])).sum();
+        prop_assert!(tree.wirelength() >= hpwl - 1e-6, "below HPWL bound");
+        prop_assert!(tree.wirelength() <= star + 1e-6, "worse than star");
+        // Every sink is actually connected.
+        for s in 1..pins.len() {
+            prop_assert!(tree.path_length(s) >= pins[s].manhattan(pins[0]) - 1e-6);
+        }
+    }
+
+    /// Placement is always legal: every cell inside the die and no two
+    /// same-row cells overlapping, for any random design.
+    #[test]
+    fn placement_is_always_legal(seed in 0u64..20, gates in 50usize..250) {
+        use selective_mt::place::{place, PlacerConfig};
+        let lib = lib();
+        let n = random_logic(&lib, &RandomLogicConfig { gates, seed, ..RandomLogicConfig::default() });
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
+        for (id, inst) in n.instances() {
+            let loc = p.loc(id);
+            prop_assert!(p.die.contains(loc), "{} at {}", inst.name, loc);
+            let w = lib.cell(inst.cell).area.um2() / lib.tech.row_height_um;
+            by_row.entry((loc.y * 1000.0) as i64).or_default().push((loc.x, w));
+        }
+        for (_, mut cells) in by_row {
+            cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in cells.windows(2) {
+                let (x0, w0) = pair[0];
+                let (x1, w1) = pair[1];
+                prop_assert!(
+                    x1 - x0 >= (w0 + w1) / 2.0 - 1e-6,
+                    "overlap at x {x0}/{x1} (widths {w0}/{w1})"
+                );
+            }
+        }
+    }
+
+    /// Verilog write→parse is the identity on connectivity for any random
+    /// design.
+    #[test]
+    fn verilog_roundtrip_any_design(seed in 0u64..20) {
+        use selective_mt::netlist::verilog;
+        let lib = lib();
+        let n = random_logic(&lib, &RandomLogicConfig { gates: 80, seed, ..RandomLogicConfig::default() });
+        let text = verilog::write_with_lib(&n, &lib);
+        let back = verilog::parse(&text, &lib).unwrap();
+        prop_assert_eq!(n.num_instances(), back.num_instances());
+        let eq = check_equivalence(&n, &back, &lib, 16, seed).unwrap();
+        prop_assert!(eq.is_equivalent(), "{:?}", eq.mismatches.first());
+    }
+
+    /// Subthreshold leakage is monotone in width and anti-monotone in Vth
+    /// and stack depth.
+    #[test]
+    fn leakage_model_monotonicity(w in 0.5f64..50.0, vth in 0.15f64..0.5, depth in 1u32..4) {
+        use selective_mt::base::units::Volt;
+        let t = selective_mt::cells::Technology::industrial_130nm();
+        let base = t.subthreshold_leak(w, Volt::new(vth), depth);
+        prop_assert!(base.ua() > 0.0);
+        prop_assert!(t.subthreshold_leak(w * 2.0, Volt::new(vth), depth) > base);
+        prop_assert!(t.subthreshold_leak(w, Volt::new(vth + 0.05), depth) < base);
+        prop_assert!(t.subthreshold_leak(w, Volt::new(vth), depth + 1) < base);
+    }
+}
