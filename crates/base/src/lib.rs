@@ -2,8 +2,9 @@
 //!
 //! Foundation types shared by every crate in the Selective-MT reproduction:
 //! physical [`units`], planar [`geom`]etry, a small deterministic
-//! [`rng`], and plain-text [`report`] tables used by the experiment
-//! harness.
+//! [`rng`], plain-text [`report`] tables used by the experiment
+//! harness, and a dependency-free [`json`] reader/writer for sweep
+//! configuration files.
 //!
 //! The whole workspace uses one consistent unit system, chosen so that
 //! Elmore products come out directly in picoseconds:
@@ -29,6 +30,7 @@
 //! ```
 
 pub mod geom;
+pub mod json;
 pub mod report;
 pub mod rng;
 pub mod units;

@@ -45,7 +45,8 @@ impl Table {
             self.header.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
     }
 
     /// Appends a row of already-owned strings.

@@ -1,41 +1,33 @@
-//! Criterion benchmark of the end-to-end Fig. 4 flow (the paper's whole
+//! Benchmark of the end-to-end Fig. 4 flow (the paper's whole
 //! methodology) per technique on circuit B.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_bench::harness::Harness;
 use smt_cells::library::Library;
 use smt_circuits::rtl::circuit_b_rtl;
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::FlowEngine;
+use smt_core::flow::{FlowConfig, Technique};
 
-fn bench_flow(c: &mut Criterion) {
+fn main() {
     let lib = Library::industrial_130nm();
     let rtl = circuit_b_rtl();
-    let mut g = c.benchmark_group("flow_circuit_b");
+    let mut h = Harness::new();
+    let mut g = h.group("flow_circuit_b");
     g.sample_size(10);
     for technique in [
         Technique::DualVth,
         Technique::ConventionalSmt,
         Technique::ImprovedSmt,
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(technique),
-            &technique,
-            |b, &technique| {
-                b.iter(|| {
-                    run_flow(
-                        &rtl,
-                        &lib,
-                        &FlowConfig {
-                            technique,
-                            ..FlowConfig::default()
-                        },
-                    )
-                    .expect("flow succeeds")
-                });
-            },
-        );
+        g.bench(&technique.to_string(), || {
+            FlowEngine::new(
+                &lib,
+                FlowConfig {
+                    technique,
+                    ..FlowConfig::default()
+                },
+            )
+            .run(&rtl)
+            .expect("flow succeeds")
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_flow);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the substrate algorithms: synthesis, placement,
-//! routing, STA and switch clustering, at two design sizes each.
+//! Benchmarks for the substrate algorithms: synthesis, placement, routing,
+//! STA and switch clustering, at two design sizes each.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_bench::harness::Harness;
 use smt_cells::library::Library;
 use smt_circuits::gen::{random_logic, RandomLogicConfig};
 use smt_circuits::rtl::{circuit_a_rtl_lanes, circuit_b_rtl};
@@ -12,25 +12,24 @@ use smt_route::{route_global, Parasitics, RouteConfig};
 use smt_sta::{analyze, Derating, StaConfig};
 use smt_synth::{synthesize, SynthOptions};
 
-fn bench_synth(c: &mut Criterion) {
+fn bench_synth(h: &mut Harness) {
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("synth");
+    let mut g = h.group("synth");
     g.sample_size(10);
     for (name, rtl) in [
         ("circuit_b", circuit_b_rtl()),
         ("circuit_a_4x4", circuit_a_rtl_lanes(4, 1)),
         ("circuit_a_8x8x2", circuit_a_rtl_lanes(8, 2)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &rtl, |b, rtl| {
-            b.iter(|| synthesize(rtl, &lib, &SynthOptions::default()).expect("synthesizes"));
+        g.bench(name, || {
+            synthesize(&rtl, &lib, &SynthOptions::default()).expect("synthesizes")
         });
     }
-    g.finish();
 }
 
-fn bench_place(c: &mut Criterion) {
+fn bench_place(h: &mut Harness) {
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("place");
+    let mut g = h.group("place");
     g.sample_size(10);
     for gates in [300usize, 1000] {
         let n = random_logic(
@@ -40,16 +39,15 @@ fn bench_place(c: &mut Criterion) {
                 ..RandomLogicConfig::default()
             },
         );
-        g.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
-            b.iter(|| place(n, &lib, &PlacerConfig::default()));
+        g.bench(&gates.to_string(), || {
+            place(&n, &lib, &PlacerConfig::default())
         });
     }
-    g.finish();
 }
 
-fn bench_route(c: &mut Criterion) {
+fn bench_route(h: &mut Harness) {
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("route");
+    let mut g = h.group("route");
     g.sample_size(10);
     for gates in [300usize, 1000] {
         let n = random_logic(
@@ -60,16 +58,15 @@ fn bench_route(c: &mut Criterion) {
             },
         );
         let p = place(&n, &lib, &PlacerConfig::default());
-        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, p), |b, (n, p)| {
-            b.iter(|| route_global(n, &lib, p, &RouteConfig::default()));
+        g.bench(&gates.to_string(), || {
+            route_global(&n, &lib, &p, &RouteConfig::default())
         });
     }
-    g.finish();
 }
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta(h: &mut Harness) {
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("sta");
+    let mut g = h.group("sta");
     for gates in [300usize, 1000, 3000] {
         let n = random_logic(
             &lib,
@@ -80,19 +77,15 @@ fn bench_sta(c: &mut Criterion) {
         );
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
-        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, par), |b, (n, par)| {
-            b.iter(|| {
-                analyze(n, &lib, par, &StaConfig::default(), &Derating::none())
-                    .expect("acyclic")
-            });
+        g.bench(&gates.to_string(), || {
+            analyze(&n, &lib, &par, &StaConfig::default(), &Derating::none()).expect("acyclic")
         });
     }
-    g.finish();
 }
 
-fn bench_cluster(c: &mut Criterion) {
+fn bench_cluster(h: &mut Harness) {
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("cluster");
+    let mut g = h.group("cluster");
     g.sample_size(10);
     for gates in [300usize, 1000] {
         let mut n = random_logic(
@@ -105,24 +98,21 @@ fn bench_cluster(c: &mut Criterion) {
         to_improved_mt_cells(&mut n, &lib);
         insert_output_holders(&mut n, &lib);
         let p = place(&n, &lib, &PlacerConfig::default());
-        g.bench_with_input(BenchmarkId::from_parameter(gates), &(n, p), |b, input| {
-            b.iter_batched(
-                || input.clone(),
-                |(mut n, mut p)| {
-                    construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default())
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        g.bench_batched(
+            &gates.to_string(),
+            || (n.clone(), p.clone()),
+            |(mut n, mut p)| {
+                construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default())
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_incremental_sta(c: &mut Criterion) {
+fn bench_incremental_sta(h: &mut Harness) {
     use smt_cells::cell::VthClass;
     use smt_sta::IncrementalSta;
     let lib = Library::industrial_130nm();
-    let mut g = c.benchmark_group("sta_incremental");
+    let mut g = h.group("sta_incremental");
     for gates in [1000usize, 3000] {
         let n = random_logic(
             &lib,
@@ -142,45 +132,35 @@ fn bench_incremental_sta(c: &mut Criterion) {
             .map(|(id, _)| id)
             .nth(gates / 2)
             .expect("logic cell");
-        g.bench_with_input(
-            BenchmarkId::new("one_swap_update", gates),
-            &(n.clone(), target),
-            |b, (n, target)| {
-                let mut n = n.clone();
-                let mut inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
-                b.iter(|| {
-                    // Toggle L<->H and re-time incrementally.
-                    let cur = lib.cell(n.inst(*target).cell);
-                    let want = if cur.vth == VthClass::Low {
-                        VthClass::High
-                    } else {
-                        VthClass::Low
-                    };
-                    let v = lib.variant_id(n.inst(*target).cell, want).unwrap();
-                    n.replace_cell(*target, v, &lib).unwrap();
-                    inc.update_after_swap(&n, &lib, &par, &der, *target);
-                    inc.wns()
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("full_reanalysis", gates),
-            &n,
-            |b, n| {
-                b.iter(|| analyze(n, &lib, &par, &cfg, &der).unwrap().wns);
-            },
-        );
+        {
+            let mut n = n.clone();
+            let mut inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
+            g.bench(&format!("one_swap_update/{gates}"), || {
+                // Toggle L<->H and re-time incrementally.
+                let cur = lib.cell(n.inst(target).cell);
+                let want = if cur.vth == VthClass::Low {
+                    VthClass::High
+                } else {
+                    VthClass::Low
+                };
+                let v = lib.variant_id(n.inst(target).cell, want).unwrap();
+                n.replace_cell(target, v, &lib).unwrap();
+                inc.update_after_swap(&n, &lib, &par, &der, target);
+                inc.wns()
+            });
+        }
+        g.bench(&format!("full_reanalysis/{gates}"), || {
+            analyze(&n, &lib, &par, &cfg, &der).unwrap().wns
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_synth,
-    bench_place,
-    bench_route,
-    bench_sta,
-    bench_incremental_sta,
-    bench_cluster
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_synth(&mut h);
+    bench_place(&mut h);
+    bench_route(&mut h);
+    bench_sta(&mut h);
+    bench_incremental_sta(&mut h);
+    bench_cluster(&mut h);
+}

@@ -3,7 +3,8 @@
 //! The bounce limit is the paper's central designer knob: looser limits
 //! mean smaller shared switches (less area, less switch leakage) but a
 //! larger MT-cell delay penalty. This sweep quantifies that trade on
-//! circuit B.
+//! circuit B. All seven operating points fork one shared synthesis +
+//! placement checkpoint (`run_sweep`) and run in parallel.
 //!
 //! ```text
 //! cargo run --release -p smt-bench --bin ablate_bounce
@@ -13,30 +14,47 @@ use smt_base::report::Table;
 use smt_base::units::Volt;
 use smt_cells::library::Library;
 use smt_circuits::rtl::circuit_b_rtl;
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::{run_sweep, SweepRun};
+use smt_core::flow::{FlowConfig, Technique};
 
 fn main() {
     let lib = Library::industrial_130nm();
     let mut t = Table::new(
         "A1: bounce-limit sweep (circuit B, improved SMT)",
         &[
-            "limit mV", "clusters", "switch width um", "switch area um^2", "area um^2",
-            "standby uA", "wns ps",
+            "limit mV",
+            "clusters",
+            "switch width um",
+            "switch area um^2",
+            "area um^2",
+            "standby uA",
+            "wns ps",
         ],
     );
-    for mv in [20.0, 30.0, 40.0, 50.0, 70.0, 90.0, 120.0] {
-        let mut cfg = FlowConfig {
-            technique: Technique::ImprovedSmt,
-            period_margin: 1.30,
-            ..FlowConfig::default()
-        };
-        cfg.dualvth.max_high_fraction = Some(0.74);
-        cfg.cluster.bounce_limit = Volt::from_millivolts(mv);
-        match run_flow(&circuit_b_rtl(), &lib, &cfg) {
+    let mut base = FlowConfig {
+        technique: Technique::ImprovedSmt,
+        period_margin: 1.30,
+        ..FlowConfig::default()
+    };
+    base.dualvth.max_high_fraction = Some(0.74);
+
+    let runs: Vec<SweepRun> = [20.0, 30.0, 40.0, 50.0, 70.0, 90.0, 120.0]
+        .into_iter()
+        .map(|mv| {
+            let mut cfg = base.clone();
+            cfg.cluster.bounce_limit = Volt::from_millivolts(mv);
+            SweepRun::new(format!("{mv:.0}"), cfg)
+        })
+        .collect();
+    let outcomes = run_sweep(&circuit_b_rtl(), &lib, &base, &runs, 0)
+        .expect("shared synthesis + placement prefix");
+
+    for outcome in outcomes {
+        match outcome.result {
             Ok(r) => {
                 let c = r.cluster.as_ref().expect("improved flow clusters");
                 t.row_owned(vec![
-                    format!("{mv:.0}"),
+                    outcome.label,
                     format!("{}", c.clusters),
                     format!("{:.1}", c.total_switch_width_um),
                     format!("{:.1}", c.switch_area_um2),
@@ -47,7 +65,7 @@ fn main() {
             }
             Err(e) => {
                 t.row_owned(vec![
-                    format!("{mv:.0}"),
+                    outcome.label,
                     "-".into(),
                     "-".into(),
                     "-".into(),

@@ -3,6 +3,9 @@
 //! the same switch transistor is also cared") and the VGND wirelength
 //! limit ("a long VGND line tends to suffer from the crosstalk").
 //!
+//! Both sweeps fork one shared synthesis + placement checkpoint per sweep
+//! (`run_sweep`) and run their variants in parallel.
+//!
 //! ```text
 //! cargo run --release -p smt-bench --bin ablate_cluster
 //! ```
@@ -10,17 +13,22 @@
 use smt_base::report::Table;
 use smt_cells::library::Library;
 use smt_circuits::rtl::circuit_b_rtl;
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::{run_sweep, SweepOutcome, SweepRun};
+use smt_core::flow::{FlowConfig, Technique};
 
-fn run(lib: &Library, f: impl FnOnce(&mut FlowConfig)) -> Option<smt_core::flow::FlowResult> {
+fn base_config() -> FlowConfig {
     let mut cfg = FlowConfig {
         technique: Technique::ImprovedSmt,
         period_margin: 1.30,
         ..FlowConfig::default()
     };
     cfg.dualvth.max_high_fraction = Some(0.74);
-    f(&mut cfg);
-    run_flow(&circuit_b_rtl(), lib, &cfg).ok()
+    cfg
+}
+
+fn sweep(lib: &Library, runs: Vec<SweepRun>) -> Vec<SweepOutcome> {
+    run_sweep(&circuit_b_rtl(), lib, &base_config(), &runs, 0)
+        .expect("shared synthesis + placement prefix")
 }
 
 fn main() {
@@ -28,13 +36,27 @@ fn main() {
 
     let mut t = Table::new(
         "A2a: cells-per-switch (EM) sweep (circuit B, improved SMT)",
-        &["max cells", "clusters", "largest", "switch width um", "standby uA"],
+        &[
+            "max cells",
+            "clusters",
+            "largest",
+            "switch width um",
+            "standby uA",
+        ],
     );
-    for cap in [2usize, 4, 8, 16, 24, 48] {
-        if let Some(r) = run(&lib, |c| c.cluster.max_cells_per_switch = cap) {
+    let runs = [2usize, 4, 8, 16, 24, 48]
+        .into_iter()
+        .map(|cap| {
+            let mut cfg = base_config();
+            cfg.cluster.max_cells_per_switch = cap;
+            SweepRun::new(format!("{cap}"), cfg)
+        })
+        .collect();
+    for outcome in sweep(&lib, runs) {
+        if let Ok(r) = outcome.result {
             let cl = r.cluster.as_ref().expect("clusters");
             t.row_owned(vec![
-                format!("{cap}"),
+                outcome.label,
                 format!("{}", cl.clusters),
                 format!("{}", cl.largest_cluster),
                 format!("{:.1}", cl.total_switch_width_um),
@@ -46,13 +68,27 @@ fn main() {
 
     let mut t = Table::new(
         "A2b: VGND wirelength-limit sweep (circuit B, improved SMT)",
-        &["max length um", "clusters", "worst length um", "switch width um", "standby uA"],
+        &[
+            "max length um",
+            "clusters",
+            "worst length um",
+            "switch width um",
+            "standby uA",
+        ],
     );
-    for len in [40.0, 80.0, 160.0, 400.0, 1000.0] {
-        if let Some(r) = run(&lib, |c| c.cluster.max_vgnd_length_um = len) {
+    let runs = [40.0, 80.0, 160.0, 400.0, 1000.0]
+        .into_iter()
+        .map(|len| {
+            let mut cfg = base_config();
+            cfg.cluster.max_vgnd_length_um = len;
+            SweepRun::new(format!("{len:.0}"), cfg)
+        })
+        .collect();
+    for outcome in sweep(&lib, runs) {
+        if let Ok(r) = outcome.result {
             let cl = r.cluster.as_ref().expect("clusters");
             t.row_owned(vec![
-                format!("{len:.0}"),
+                outcome.label,
                 format!("{}", cl.clusters),
                 format!("{:.1}", cl.worst_length_um),
                 format!("{:.1}", cl.total_switch_width_um),

@@ -16,13 +16,18 @@ use smt_base::report::Table;
 use smt_cells::library::{Library, LibraryConfig};
 use smt_cells::Technology;
 use smt_circuits::rtl::circuit_b_rtl;
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::FlowEngine;
+use smt_core::flow::{FlowConfig, Technique};
 
 fn main() {
     let mut t = Table::new(
         "A4: simultaneity sweep (circuit B, improved SMT)",
         &[
-            "simultaneity", "switch width um", "area um^2", "standby uA", "vs conventional",
+            "simultaneity",
+            "switch width um",
+            "area um^2",
+            "standby uA",
+            "vs conventional",
         ],
     );
     // Conventional reference at the default technology.
@@ -33,7 +38,9 @@ fn main() {
         ..FlowConfig::default()
     };
     conv_cfg.dualvth.max_high_fraction = Some(0.74);
-    let conv = run_flow(&circuit_b_rtl(), &lib0, &conv_cfg).expect("conventional flow");
+    let conv = FlowEngine::new(&lib0, conv_cfg)
+        .run(&circuit_b_rtl())
+        .expect("conventional flow");
 
     for sim in [0.1, 0.25, 0.5, 0.75, 1.0] {
         let tech = Technology {
@@ -47,7 +54,8 @@ fn main() {
             ..FlowConfig::default()
         };
         cfg.dualvth.max_high_fraction = Some(0.74);
-        match run_flow(&circuit_b_rtl(), &lib, &cfg) {
+        let result = FlowEngine::new(&lib, cfg).run(&circuit_b_rtl());
+        match result {
             Ok(r) => {
                 let c = r.cluster.as_ref().expect("clusters");
                 t.row_owned(vec![

@@ -12,15 +12,21 @@
 use smt_base::report::Table;
 use smt_cells::library::Library;
 use smt_circuits::rtl::{circuit_a_rtl, circuit_b_rtl};
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::FlowEngine;
+use smt_core::flow::{FlowConfig, Technique};
 
 fn main() {
     let lib = Library::industrial_130nm();
     let mut t = Table::new(
         "A3: post-route switch re-optimization (improved SMT)",
         &[
-            "circuit", "upsized", "downsized", "width delta um", "unresolved",
-            "final wns ps", "standby uA",
+            "circuit",
+            "upsized",
+            "downsized",
+            "width delta um",
+            "unresolved",
+            "final wns ps",
+            "standby uA",
         ],
     );
     for (name, rtl, margin, frac) in [
@@ -33,7 +39,7 @@ fn main() {
             ..FlowConfig::default()
         };
         cfg.dualvth.max_high_fraction = Some(frac);
-        let r = run_flow(&rtl, &lib, &cfg).expect("flow succeeds");
+        let r = FlowEngine::new(&lib, cfg).run(&rtl).expect("flow succeeds");
         let re = r.reopt.expect("improved flow re-optimizes");
         t.row_owned(vec![
             name.to_owned(),

@@ -36,7 +36,14 @@ fn main() {
 
     let mut t = Table::new(
         "NAND2 variants: the numbers behind Fig. 1",
-        &["cell", "class", "area um^2", "vs low", "standby uA", "delay @10fF ps"],
+        &[
+            "cell",
+            "class",
+            "area um^2",
+            "vs low",
+            "standby uA",
+            "delay @10fF ps",
+        ],
     );
     let low_area = lib.find("ND2_X1_L").unwrap().area.um2();
     for name in variants {
@@ -59,6 +66,10 @@ fn main() {
         "note: the conventional cell's embedded switch is sized for the cell's own\n\
          peak current with no sharing — that width ({:.1} um on this cell) is the\n\
          area the improved technique reclaims by clustering.",
-        lib.find("ND2_X1_MC").unwrap().mt.unwrap().embedded_switch_width_um
+        lib.find("ND2_X1_MC")
+            .unwrap()
+            .mt
+            .unwrap()
+            .embedded_switch_width_um
     );
 }

@@ -7,15 +7,15 @@
 //! ```
 
 use smt_base::report::Table;
-use smt_cells::library::Library;
+use smt_base::units::Time;
 use smt_cells::cell::VthClass;
+use smt_cells::library::Library;
 use smt_circuits::figures::fig_example;
-use smt_core::smtgen::to_conventional_smt;
 use smt_core::dualvth::{assign_dual_vth, DualVthConfig};
+use smt_core::smtgen::to_conventional_smt;
 use smt_place::{place, PlacerConfig};
 use smt_route::Parasitics;
 use smt_sta::{analyze, Derating, StaConfig};
-use smt_base::units::Time;
 
 fn main() {
     let lib = Library::industrial_130nm();
@@ -27,17 +27,28 @@ fn main() {
     let p = place(&n, &lib, &PlacerConfig::default());
     let par = Parasitics::estimate(&n, &lib, &p);
     let probe = analyze(
-        &n, &lib, &par,
-        &StaConfig { clock_period: Time::from_ns(100.0), ..Default::default() },
+        &n,
+        &lib,
+        &par,
+        &StaConfig {
+            clock_period: Time::from_ns(100.0),
+            ..Default::default()
+        },
         &Derating::none(),
-    ).expect("acyclic");
+    )
+    .expect("acyclic");
     let crit = Time::from_ns(100.0) - probe.wns;
-    let sta_cfg = StaConfig { clock_period: crit * 1.15, ..Default::default() };
-    assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default())
-        .expect("feasible");
+    let sta_cfg = StaConfig {
+        clock_period: crit * 1.15,
+        ..Default::default()
+    };
+    assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default()).expect("feasible");
     let rep = to_conventional_smt(&mut n, &lib);
 
-    println!("Fig. 2: conventional Selective-MT circuit ({} MT-cells inserted)\n", rep.converted);
+    println!(
+        "Fig. 2: conventional Selective-MT circuit ({} MT-cells inserted)\n",
+        rep.converted
+    );
     let mut t = Table::new(
         "instance roles after the conventional transform",
         &["instance", "cell", "class", "on drawn critical path"],
@@ -51,7 +62,11 @@ fn main() {
             inst.name.clone(),
             cell.name.clone(),
             cell.vth.to_string(),
-            if fig.critical.contains(&id) { "yes".into() } else { "".into() },
+            if fig.critical.contains(&id) {
+                "yes".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     println!("{t}");

@@ -28,14 +28,22 @@ fn main() {
     let mut p = place(&n, &lib, &PlacerConfig::default());
     let par = Parasitics::estimate(&n, &lib, &p);
     let probe = analyze(
-        &n, &lib, &par,
-        &StaConfig { clock_period: Time::from_ns(100.0), ..Default::default() },
+        &n,
+        &lib,
+        &par,
+        &StaConfig {
+            clock_period: Time::from_ns(100.0),
+            ..Default::default()
+        },
         &Derating::none(),
-    ).expect("acyclic");
+    )
+    .expect("acyclic");
     let crit = Time::from_ns(100.0) - probe.wns;
-    let sta_cfg = StaConfig { clock_period: crit * 1.15, ..Default::default() };
-    assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default())
-        .expect("feasible");
+    let sta_cfg = StaConfig {
+        clock_period: crit * 1.15,
+        ..Default::default()
+    };
+    assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default()).expect("feasible");
     to_improved_mt_cells(&mut n, &lib);
     let holders = insert_output_holders(&mut n, &lib);
     let report = construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
@@ -52,7 +60,9 @@ fn main() {
         &["net", "driver", "fanouts", "non-MT fanout?", "holder?"],
     );
     for (_net_id, net) in n.nets() {
-        let Some(NetDriver::Inst(pr)) = net.driver else { continue };
+        let Some(NetDriver::Inst(pr)) = net.driver else {
+            continue;
+        };
         if !lib.cell(n.inst(pr.inst).cell).is_mt() {
             continue;
         }
@@ -69,7 +79,11 @@ fn main() {
             n.inst(pr.inst).name.clone(),
             format!("{}", net.loads.len() + net.port_loads.len()),
             if non_mt { "yes".into() } else { "no".into() },
-            if has_holder { "yes".into() } else { "no".into() },
+            if has_holder {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     println!("{t}");

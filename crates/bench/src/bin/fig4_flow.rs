@@ -9,7 +9,8 @@
 use smt_base::report::Table;
 use smt_cells::library::Library;
 use smt_circuits::rtl::circuit_a_rtl;
-use smt_core::flow::{run_flow, FlowConfig, Technique};
+use smt_core::engine::{FlowEngine, StageLogger};
+use smt_core::flow::{FlowConfig, Technique};
 
 fn main() {
     let lib = Library::industrial_130nm();
@@ -20,7 +21,8 @@ fn main() {
     };
     cfg.dualvth.max_high_fraction = Some(0.60);
     eprintln!("running the improved-SMT flow on circuit A...");
-    let r = run_flow(&circuit_a_rtl(), &lib, &cfg).expect("flow succeeds");
+    let mut engine = FlowEngine::new(&lib, cfg).observe(StageLogger);
+    let r = engine.run(&circuit_a_rtl()).expect("flow succeeds");
 
     println!("Fig. 4: Selective-MT design flow (improved technique, circuit A)\n");
     let mut t = Table::new(

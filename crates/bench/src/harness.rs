@@ -1,0 +1,120 @@
+//! A minimal, dependency-free timing harness with a Criterion-like
+//! surface, used by the `benches/` targets (`harness = false`).
+//!
+//! The container this reproduction builds in has no network access to
+//! crates.io, so Criterion itself cannot be pulled in; this shim keeps the
+//! bench sources idiomatic (groups, named benchmarks, closures) while
+//! reporting wall-clock statistics from `std::time::Instant`.
+//!
+//! ```text
+//! cargo bench -p smt-bench --bench flow
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness: owns output formatting and the default sample count.
+pub struct Harness {
+    samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness { samples: 10 }
+    }
+}
+
+impl Harness {
+    /// A harness with the default sample count (10).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        println!("\n== {name} ==");
+        Group {
+            _harness: self,
+            samples: self.samples,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct Group<'a> {
+    _harness: &'a Harness,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Times `f` for `samples` iterations (after one untimed warm-up) and
+    /// prints min / median / mean. The closure's result is returned via
+    /// `std::hint::black_box` so the computation cannot be optimised away.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Stats {
+        std::hint::black_box(f()); // warm-up
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        let stats = Stats::from_times(&mut times);
+        println!(
+            "{id:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+            stats.min, stats.median, stats.mean
+        );
+        stats
+    }
+
+    /// Like [`Group::bench`] but regenerates the input with `setup` outside
+    /// the timed region on every sample (Criterion's `iter_batched`).
+    pub fn bench_batched<T, R>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> T,
+        mut f: impl FnMut(T) -> R,
+    ) -> Stats {
+        std::hint::black_box(f(setup())); // warm-up
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            times.push(t0.elapsed());
+        }
+        let stats = Stats::from_times(&mut times);
+        println!(
+            "{id:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+            stats.min, stats.median, stats.mean
+        );
+        stats
+    }
+}
+
+/// Wall-clock statistics over the timed samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+impl Stats {
+    fn from_times(times: &mut [Duration]) -> Stats {
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        Stats {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / times.len() as u32,
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //! | Fig. 4 (design flow) | `--bin fig4_flow` |
 //! | Ablations (ours) | `--bin ablate_bounce`, `--bin ablate_cluster`, `--bin ablate_reopt` |
 
+pub mod harness;
+
 use smt_base::report::{percent, Table};
 use smt_cells::library::Library;
 use smt_core::flow::{run_three_techniques, FlowConfig, FlowResult, Technique};
@@ -118,7 +120,13 @@ pub fn render_table1(rows: &[Table1Row]) -> Table {
     let mut t = Table::new(
         "Table 1: comparison of three techniques (measured vs paper)",
         &[
-            "Circuit", "Metric", "Dual-Vth", "Con.-SMT", "Imp.-SMT", "paper Con.", "paper Imp.",
+            "Circuit",
+            "Metric",
+            "Dual-Vth",
+            "Con.-SMT",
+            "Imp.-SMT",
+            "paper Con.",
+            "paper Imp.",
         ],
     );
     for (ci, row) in rows.iter().enumerate() {
@@ -191,6 +199,7 @@ pub fn quick_flow(lib: &Library, technique: Technique) -> FlowResult {
         technique,
         ..FlowConfig::default()
     };
-    smt_core::flow::run_flow(&smt_circuits::rtl::circuit_b_rtl(), lib, &cfg)
+    smt_core::engine::FlowEngine::new(lib, cfg)
+        .run(&smt_circuits::rtl::circuit_b_rtl())
         .expect("bundled circuit B flow succeeds")
 }

@@ -302,9 +302,7 @@ impl TruthTable {
             // Z = !((A|B) & C)
             CellKind::Oai21 => |s| !(((s & 1 == 1) || (s >> 1 & 1 == 1)) && (s >> 2 & 1 == 1)),
             // Z = !((A&B) | (C&D))
-            CellKind::Aoi22 => {
-                |s| !((s & 0b11 == 0b11) || (s >> 2 & 0b11 == 0b11))
-            }
+            CellKind::Aoi22 => |s| !((s & 0b11 == 0b11) || (s >> 2 & 0b11 == 0b11)),
             // Z = !((A|B) & (C|D))
             CellKind::Oai22 => |s| !((s & 0b11 != 0) && (s >> 2 & 0b11 != 0)),
             // inputs: 0=A, 1=B, 2=S ; Z = S ? B : A
@@ -438,9 +436,7 @@ impl Cell {
         self.pins
             .iter()
             .enumerate()
-            .filter(|(_, p)| {
-                p.dir == PinDir::Input && !p.is_clock && !p.is_vgnd && p.name != "MTE"
-            })
+            .filter(|(_, p)| p.dir == PinDir::Input && !p.is_clock && !p.is_vgnd && p.name != "MTE")
             .map(|(i, _)| i)
             .collect()
     }
@@ -506,7 +502,7 @@ mod tests {
         // S=0 selects A (bit 0)
         assert!(!mux.eval(0b010)); // A=0,B=1,S=0 -> 0
         assert!(mux.eval(0b001)); // A=1,B=0,S=0 -> 1
-        // S=1 selects B (bit 1)
+                                  // S=1 selects B (bit 1)
         assert!(mux.eval(0b110)); // A=0,B=1,S=1 -> 1
         assert!(!mux.eval(0b101)); // A=1,B=0,S=1 -> 0
     }

@@ -127,6 +127,7 @@ impl LeakageTable {
     /// # Panics
     ///
     /// Panics if `n_inputs > 8` (library gates never exceed 4 inputs).
+    #[allow(clippy::too_many_arguments)]
     pub fn evaluate(
         tech: &Technology,
         vth: Volt,
@@ -245,7 +246,7 @@ mod tests {
         let table = LeakageTable::evaluate(&t, t.vth_low, 1, |s| s & 1 == 0, &pd, &pu, 1.0, 2.0);
         assert!(table.state(0) > Current::ZERO); // out=1, NMOS off
         assert!(table.state(1) > Current::ZERO); // out=0, PMOS off
-        // PMOS is twice as wide here, so state 1 leaks more.
+                                                 // PMOS is twice as wide here, so state 1 leaks more.
         assert!(table.state(1) > table.state(0));
     }
 

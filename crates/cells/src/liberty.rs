@@ -44,7 +44,11 @@ pub struct ParseLibertyError {
 
 impl std::fmt::Display for ParseLibertyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "liberty-lite parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "liberty-lite parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -231,7 +235,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn attr_value<'a>(line: &'a str) -> Option<(&'a str, &'a str)> {
+fn attr_value(line: &str) -> Option<(&str, &str)> {
     let body = line.strip_suffix(';')?;
     let (k, v) = body.split_once(':')?;
     Some((k.trim(), v.trim()))
@@ -293,7 +297,9 @@ fn parse_cell(p: &mut Parser<'_>, name: &str, at: usize) -> Result<Cell, ParseLi
         pins: Vec::new(),
         function: None,
         arcs: Vec::new(),
-        leakage: LeakageTable { per_state: Vec::new() },
+        leakage: LeakageTable {
+            per_state: Vec::new(),
+        },
         standby_leak: Current::ZERO,
         setup: Time::ZERO,
         hold: Time::ZERO,
@@ -345,9 +351,11 @@ fn parse_cell(p: &mut Parser<'_>, name: &str, at: usize) -> Result<Cell, ParseLi
             leak_states.push((idx, Current::new(ua)));
             continue;
         }
-        let (k, v) = attr_value(l).ok_or_else(|| Parser::err(line, format!("bad attribute `{l}`")))?;
+        let (k, v) =
+            attr_value(l).ok_or_else(|| Parser::err(line, format!("bad attribute `{l}`")))?;
         let numf = |v: &str| -> Result<f64, ParseLibertyError> {
-            v.parse().map_err(|_| Parser::err(line, format!("bad number `{v}`")))
+            v.parse()
+                .map_err(|_| Parser::err(line, format!("bad number `{v}`")))
         };
         match k {
             "area" => cell.area = Area::new(numf(v)?),
@@ -424,7 +432,10 @@ fn parse_cell(p: &mut Parser<'_>, name: &str, at: usize) -> Result<Cell, ParseLi
     let mut per_state = vec![Current::ZERO; n];
     for (idx, v) in leak_states {
         if idx >= n {
-            return Err(Parser::err(at, format!("cell {name}: leakage state {idx} out of range")));
+            return Err(Parser::err(
+                at,
+                format!("cell {name}: leakage state {idx} out of range"),
+            ));
         }
         per_state[idx] = v;
     }
@@ -461,7 +472,12 @@ fn parse_pin(line_text: &str, name: &str, line: usize) -> Result<PinSpec, ParseL
             }
             "clock" => pin.is_clock = v == "true",
             "vgnd" => pin.is_vgnd = v == "true",
-            other => return Err(Parser::err(line, format!("unknown pin attribute `{other}`"))),
+            other => {
+                return Err(Parser::err(
+                    line,
+                    format!("unknown pin attribute `{other}`"),
+                ))
+            }
         }
     }
     Ok(pin)
@@ -478,9 +494,12 @@ fn parse_timing(line_text: &str, cell: &Cell, line: usize) -> Result<TimingArc, 
         .split_once("->")
         .map(|(a, b)| (a.trim(), b.trim()))
         .ok_or_else(|| Parser::err(line, "timing header needs `A -> Z`"))?;
-    let from_pin = cell
-        .pin_index(from)
-        .ok_or_else(|| Parser::err(line, format!("unknown timing pin `{from}` (pins must precede timing)")))?;
+    let from_pin = cell.pin_index(from).ok_or_else(|| {
+        Parser::err(
+            line,
+            format!("unknown timing pin `{from}` (pins must precede timing)"),
+        )
+    })?;
     let to_pin = cell
         .pin_index(to)
         .ok_or_else(|| Parser::err(line, format!("unknown timing pin `{to}`")))?;
@@ -513,7 +532,12 @@ fn parse_timing(line_text: &str, cell: &Cell, line: usize) -> Result<TimingArc, 
             "drive_res" => arc.drive_res = Res::new(num),
             "slew_intrinsic" => arc.slew_intrinsic = Time::new(num),
             "slew_res" => arc.slew_res = Res::new(num),
-            other => return Err(Parser::err(line, format!("unknown timing attribute `{other}`"))),
+            other => {
+                return Err(Parser::err(
+                    line,
+                    format!("unknown timing attribute `{other}`"),
+                ))
+            }
         }
     }
     Ok(arc)

@@ -14,8 +14,7 @@
 //! from the model instead of being hard-coded.
 
 use crate::cell::{
-    Cell, CellId, CellKind, CellRole, MtInfo, PinSpec, SwitchSpec, TimingArc, TruthTable,
-    VthClass,
+    Cell, CellId, CellKind, CellRole, MtInfo, PinSpec, SwitchSpec, TimingArc, TruthTable, VthClass,
 };
 use crate::leakage::{LeakageTable, PullNetwork};
 use crate::tech::Technology;
@@ -64,8 +63,8 @@ impl Default for LibraryConfig {
             mt_delay_penalty_embedded: 1.06,
             mt_delay_penalty_vgnd: 1.03,
             switch_widths_um: vec![
-                2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0,
-                192.0, 256.0, 384.0,
+                2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0,
+                256.0, 384.0,
             ],
             em_ua_per_um: 60.0,
         }
@@ -84,42 +83,45 @@ struct KindSpec {
     sites: f64,
 }
 
+/// Static transistor stacks: each inner slice is one series stack of
+/// gate-input indices.
+type Stacks = &'static [&'static [usize]];
+
 fn kind_spec(kind: CellKind) -> KindSpec {
     use CellKind::*;
-    let (pd, pu, res_factor, intr_factor, sites): (&[&[usize]], &[&[usize]], f64, f64, f64) =
-        match kind {
-            Inv => (&[&[0]], &[&[0]], 1.0, 1.0, 2.0),
-            Buf => (&[&[0]], &[&[0]], 1.0, 2.0, 3.0),
-            Nand2 => (&[&[0, 1]], &[&[0], &[1]], 1.6, 1.3, 3.0),
-            Nand3 => (&[&[0, 1, 2]], &[&[0], &[1], &[2]], 2.2, 1.6, 4.0),
-            Nand4 => (&[&[0, 1, 2, 3]], &[&[0], &[1], &[2], &[3]], 2.8, 1.9, 5.0),
-            Nor2 => (&[&[0], &[1]], &[&[0, 1]], 1.8, 1.4, 3.0),
-            Nor3 => (&[&[0], &[1], &[2]], &[&[0, 1, 2]], 2.6, 1.8, 4.0),
-            And2 => (&[&[0, 1]], &[&[0], &[1]], 1.7, 1.9, 4.0),
-            Or2 => (&[&[0], &[1]], &[&[0, 1]], 1.7, 2.0, 4.0),
-            Xor2 => (&[&[0, 1], &[0, 1]], &[&[0, 1], &[0, 1]], 2.2, 2.6, 6.0),
-            Xnor2 => (&[&[0, 1], &[0, 1]], &[&[0, 1], &[0, 1]], 2.2, 2.6, 6.0),
-            Aoi21 => (&[&[0, 1], &[2]], &[&[0, 2], &[1, 2]], 2.0, 1.7, 4.0),
-            Oai21 => (&[&[0, 2], &[1, 2]], &[&[0, 1], &[2]], 2.0, 1.7, 4.0),
-            Aoi22 => (
-                &[&[0, 1], &[2, 3]],
-                &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]],
-                2.2,
-                1.9,
-                5.0,
-            ),
-            Oai22 => (
-                &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]],
-                &[&[0, 1], &[2, 3]],
-                2.2,
-                1.9,
-                5.0,
-            ),
-            Mux2 => (&[&[0, 2], &[1, 2]], &[&[0, 2], &[1, 2]], 2.0, 2.4, 6.0),
-            ClkBuf => (&[&[0]], &[&[0]], 0.9, 1.8, 4.0),
-            Dff => (&[&[0]], &[&[0]], 1.8, 3.5, 9.0),
-            Switch | Holder => (&[], &[], 1.0, 1.0, 2.0),
-        };
+    let (pd, pu, res_factor, intr_factor, sites): (Stacks, Stacks, f64, f64, f64) = match kind {
+        Inv => (&[&[0]], &[&[0]], 1.0, 1.0, 2.0),
+        Buf => (&[&[0]], &[&[0]], 1.0, 2.0, 3.0),
+        Nand2 => (&[&[0, 1]], &[&[0], &[1]], 1.6, 1.3, 3.0),
+        Nand3 => (&[&[0, 1, 2]], &[&[0], &[1], &[2]], 2.2, 1.6, 4.0),
+        Nand4 => (&[&[0, 1, 2, 3]], &[&[0], &[1], &[2], &[3]], 2.8, 1.9, 5.0),
+        Nor2 => (&[&[0], &[1]], &[&[0, 1]], 1.8, 1.4, 3.0),
+        Nor3 => (&[&[0], &[1], &[2]], &[&[0, 1, 2]], 2.6, 1.8, 4.0),
+        And2 => (&[&[0, 1]], &[&[0], &[1]], 1.7, 1.9, 4.0),
+        Or2 => (&[&[0], &[1]], &[&[0, 1]], 1.7, 2.0, 4.0),
+        Xor2 => (&[&[0, 1], &[0, 1]], &[&[0, 1], &[0, 1]], 2.2, 2.6, 6.0),
+        Xnor2 => (&[&[0, 1], &[0, 1]], &[&[0, 1], &[0, 1]], 2.2, 2.6, 6.0),
+        Aoi21 => (&[&[0, 1], &[2]], &[&[0, 2], &[1, 2]], 2.0, 1.7, 4.0),
+        Oai21 => (&[&[0, 2], &[1, 2]], &[&[0, 1], &[2]], 2.0, 1.7, 4.0),
+        Aoi22 => (
+            &[&[0, 1], &[2, 3]],
+            &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]],
+            2.2,
+            1.9,
+            5.0,
+        ),
+        Oai22 => (
+            &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]],
+            &[&[0, 1], &[2, 3]],
+            2.2,
+            1.9,
+            5.0,
+        ),
+        Mux2 => (&[&[0, 2], &[1, 2]], &[&[0, 2], &[1, 2]], 2.0, 2.4, 6.0),
+        ClkBuf => (&[&[0]], &[&[0]], 0.9, 1.8, 4.0),
+        Dff => (&[&[0]], &[&[0]], 1.8, 3.5, 9.0),
+        Switch | Holder => (&[], &[], 1.0, 1.0, 2.0),
+    };
     KindSpec {
         pd: PullNetwork::from_paths(pd),
         pu: PullNetwork::from_paths(pu),
@@ -237,8 +239,7 @@ impl Library {
         let n_inputs = kind.n_inputs();
         let function = TruthTable::of_kind(kind);
 
-        let base_area =
-            spec.sites * drive_area_factor(drive) * t.site_width_um * t.row_height_um;
+        let base_area = spec.sites * drive_area_factor(drive) * t.site_width_um * t.row_height_um;
 
         // Pins: inputs A.. then output Z, plus MTE/VGND for MT variants.
         let input_cap = t.gate_cap(wn + wp);
@@ -279,7 +280,11 @@ impl Library {
             .collect();
 
         // Leakage of the logic part.
-        let logic_vth = if high { t.vth_low.max(t.vth_high) } else { t.vth_low };
+        let logic_vth = if high {
+            t.vth_low.max(t.vth_high)
+        } else {
+            t.vth_low
+        };
         let table = TruthTable::of_kind(kind).expect("logic cell has a function");
         let leakage = LeakageTable::evaluate(
             t,
@@ -469,7 +474,8 @@ impl Library {
         let cfg = &self.config;
         let on_res = t.on_resistance(width_um, true);
         let off_leak = t.subthreshold_leak(width_um, t.vth_high, 1);
-        let max_current = Current::new(cfg.em_ua_per_um * width_um).min(Current::new(t.em_limit_ua));
+        let max_current =
+            Current::new(cfg.em_ua_per_um * width_um).min(Current::new(t.em_limit_ua));
         let mut vgnd = PinSpec::input("VGND", Cap::ZERO);
         vgnd.is_vgnd = true;
         let pins = vec![vgnd, PinSpec::input("MTE", t.gate_cap(width_um))];
@@ -604,7 +610,11 @@ impl Library {
     /// Smallest switch whose on-resistance keeps `current` under
     /// `max_bounce` volts of VGND bounce and whose EM rating covers the
     /// current. Returns `None` when even the widest switch cannot.
-    pub fn pick_switch(&self, current: Current, max_bounce: smt_base::units::Volt) -> Option<CellId> {
+    pub fn pick_switch(
+        &self,
+        current: Current,
+        max_bounce: smt_base::units::Volt,
+    ) -> Option<CellId> {
         for id in self.switch_cells() {
             let spec = self.cell(id).switch.expect("switch cell");
             let bounce = current * spec.on_res;
@@ -617,7 +627,8 @@ impl Library {
 
     /// The output-holder cell.
     pub fn holder(&self) -> CellId {
-        self.find_id("HOLD_X1").expect("library always has a holder")
+        self.find_id("HOLD_X1")
+            .expect("library always has a holder")
     }
 
     /// A buffer cell of the given drive and Vth class.

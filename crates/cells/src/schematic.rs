@@ -103,9 +103,7 @@ impl Schematic {
         } else {
             "          |\n         GND"
         };
-        format!(
-            "VDD\n  [{p} PMOS pull-up]\n          |--- Z\n  [{n} NMOS pull-down]\n{foot}\n",
-        )
+        format!("VDD\n  [{p} PMOS pull-up]\n          |--- Z\n  [{n} NMOS pull-down]\n{foot}\n",)
     }
 }
 

@@ -98,9 +98,8 @@ impl Technology {
     /// exponential-in-Vth model with a geometric stack-effect discount.
     pub fn subthreshold_leak(&self, width_um: f64, vth: Volt, stack_depth: u32) -> Current {
         debug_assert!(stack_depth >= 1, "a leaking path has at least one device");
-        let base = self.leak_i0_ua_per_um
-            * width_um
-            * 10f64.powf(-vth.volts() / self.subthreshold_swing);
+        let base =
+            self.leak_i0_ua_per_um * width_um * 10f64.powf(-vth.volts() / self.subthreshold_swing);
         Current::new(base * self.stack_factor.powi(stack_depth as i32 - 1))
     }
 

@@ -129,7 +129,14 @@ mod tests {
         let f = fig_example(&lib);
         let p = place(&f.netlist, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&f.netlist, &lib, &p);
-        let r = analyze(&f.netlist, &lib, &par, &StaConfig::default(), &Derating::none()).unwrap();
+        let r = analyze(
+            &f.netlist,
+            &lib,
+            &par,
+            &StaConfig::default(),
+            &Derating::none(),
+        )
+        .unwrap();
         // Critical gates have the smallest slacks in the design.
         let crit_slack: Vec<f64> = f
             .critical
@@ -139,7 +146,13 @@ mod tests {
         let side = f.netlist.find_inst("side2_3_g").unwrap();
         let side_slack = r.inst_slack(&f.netlist, &lib, side).ps();
         for (i, s) in crit_slack.iter().enumerate() {
-            assert!(s < &side_slack, "crit{} slack {} vs side {}", i, s, side_slack);
+            assert!(
+                s < &side_slack,
+                "crit{} slack {} vs side {}",
+                i,
+                s,
+                side_slack
+            );
         }
     }
 }

@@ -63,9 +63,20 @@ pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Netlist {
 
     let one_in = ["INV_X1_L", "BUF_X1_L"];
     let two_in = [
-        "ND2_X1_L", "NR2_X1_L", "AN2_X1_L", "OR2_X1_L", "XOR2_X1_L", "XNR2_X1_L",
+        "ND2_X1_L",
+        "NR2_X1_L",
+        "AN2_X1_L",
+        "OR2_X1_L",
+        "XOR2_X1_L",
+        "XNR2_X1_L",
     ];
-    let three_in = ["ND3_X1_L", "NR3_X1_L", "AOI21_X1_L", "OAI21_X1_L", "MUX2_X1_L"];
+    let three_in = [
+        "ND3_X1_L",
+        "NR3_X1_L",
+        "AOI21_X1_L",
+        "OAI21_X1_L",
+        "MUX2_X1_L",
+    ];
 
     for g in 0..config.gates {
         let roll = rng.next_f64();
@@ -99,7 +110,9 @@ pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Netlist {
     // Any driven-but-unloaded net becomes a primary output.
     let unloaded: Vec<NetId> = n
         .nets()
-        .filter(|(_, net)| net.driver.is_some() && net.loads.is_empty() && net.port_loads.is_empty())
+        .filter(|(_, net)| {
+            net.driver.is_some() && net.loads.is_empty() && net.port_loads.is_empty()
+        })
         .map(|(id, _)| id)
         .collect();
     for (i, net) in unloaded.into_iter().enumerate() {

@@ -80,8 +80,14 @@ pub fn circuit_a_rtl_lanes(mul_width: usize, lanes: usize) -> String {
                 if pair.len() == 2 {
                     let name = format!("s{t}");
                     t += 1;
-                    let _ =
-                        writeln!(s, "wire [{}:0] {} = {} + {};", pw - 1, name, pair[0], pair[1]);
+                    let _ = writeln!(
+                        s,
+                        "wire [{}:0] {} = {} + {};",
+                        pw - 1,
+                        name,
+                        pair[0],
+                        pair[1]
+                    );
                     next.push(name);
                 } else {
                     next.push(pair[0].clone());
@@ -177,10 +183,7 @@ pub fn circuit_b_rtl_sized(acc_width: usize) -> String {
     let _ = writeln!(s, "wire [7:0] crc_next = {{{}}};", crc_bits.join(", "));
     // LFSR (shallow).
     let _ = writeln!(s, "reg [15:0] lfsr;");
-    let _ = writeln!(
-        s,
-        "wire fb = lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10];"
-    );
+    let _ = writeln!(s, "wire fb = lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10];");
     let _ = writeln!(s, "wire [15:0] lfsr_next = {{lfsr[14:0], fb}};");
     // Decoders over ctrl (wide, shallow).
     for i in 0..16usize {
@@ -262,11 +265,7 @@ pub fn kogge_stone_rtl(width: usize) -> String {
                     "wire g{next}_{i} = g{level}_{i} | (p{level}_{i} & g{level}_{});",
                     i - d
                 );
-                let _ = writeln!(
-                    s,
-                    "wire p{next}_{i} = p{level}_{i} & p{level}_{};",
-                    i - d
-                );
+                let _ = writeln!(s, "wire p{next}_{i} = p{level}_{i} & p{level}_{};", i - d);
             } else {
                 let _ = writeln!(s, "wire g{next}_{i} = g{level}_{i};");
                 let _ = writeln!(s, "wire p{next}_{i} = p{level}_{i};");
@@ -361,7 +360,10 @@ mod tests {
             sim.propagate(&ks, &lib);
             let mut got = 0u32;
             for i in 0..8 {
-                let p = ks.ports().find(|(_, p)| p.name == format!("sum[{i}]")).unwrap();
+                let p = ks
+                    .ports()
+                    .find(|(_, p)| p.name == format!("sum[{i}]"))
+                    .unwrap();
                 if sim.value(p.1.net) == Value::One {
                     got |= 1 << i;
                 }

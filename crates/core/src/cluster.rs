@@ -124,11 +124,10 @@ fn feasible(
     if budget.volts() <= 0.0 {
         return None;
     }
-    lib.pick_switch(current, budget)
-        .filter(|&sw| {
-            let spec = lib.cell(sw).switch.expect("switch");
-            current.ua() <= spec.max_current.ua()
-        })
+    lib.pick_switch(current, budget).filter(|&sw| {
+        let spec = lib.cell(sw).switch.expect("switch");
+        current.ua() <= spec.max_current.ua()
+    })
 }
 
 /// Constructs the clustered switch structure (replacing whatever structure
@@ -158,7 +157,11 @@ pub fn construct_switch_structure(
         let ra = (a.1.y / row_h) as i64;
         let rb = (b.1.y / row_h) as i64;
         ra.cmp(&rb).then_with(|| {
-            let (xa, xb) = if ra % 2 == 0 { (a.1.x, b.1.x) } else { (b.1.x, a.1.x) };
+            let (xa, xb) = if ra % 2 == 0 {
+                (a.1.x, b.1.x)
+            } else {
+                (b.1.x, a.1.x)
+            };
             xa.partial_cmp(&xb).expect("finite")
         })
     });
@@ -186,13 +189,12 @@ pub fn construct_switch_structure(
                 // Start a new cluster with this cell alone.
                 let alone = vec![id];
                 let alone_pts = vec![pt];
-                let sw = feasible(netlist, lib, config, &alone, &alone_pts)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "switch constraints infeasible even for a single MT-cell ({})",
-                            netlist.inst(id).name
-                        )
-                    });
+                let sw = feasible(netlist, lib, config, &alone, &alone_pts).unwrap_or_else(|| {
+                    panic!(
+                        "switch constraints infeasible even for a single MT-cell ({})",
+                        netlist.inst(id).name
+                    )
+                });
                 cur = alone;
                 cur_pts = alone_pts;
                 cur_switch = Some(sw);
@@ -220,8 +222,12 @@ pub fn construct_switch_structure(
         }
         let sw_name = netlist.fresh_inst_name(&format!("sw{k}"));
         let sw = netlist.add_instance(&sw_name, *sw_cell, lib);
-        netlist.connect_by_name(sw, "VGND", vg, lib).expect("switch VGND");
-        netlist.connect_by_name(sw, "MTE", mte, lib).expect("switch MTE");
+        netlist
+            .connect_by_name(sw, "VGND", vg, lib)
+            .expect("switch VGND");
+        netlist
+            .connect_by_name(sw, "MTE", mte, lib)
+            .expect("switch MTE");
         let centroid = Point::new(
             pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64,
             pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64,
@@ -245,10 +251,7 @@ pub fn construct_switch_structure(
             .collect();
         est_length(&pts, detour)
     });
-    let worst_bounce = bounces
-        .iter()
-        .map(|b| b.bounce)
-        .fold(Volt::ZERO, Volt::max);
+    let worst_bounce = bounces.iter().map(|b| b.bounce).fold(Volt::ZERO, Volt::max);
     let worst_length = bounces
         .iter()
         .map(|b| b.wire_length_um)
@@ -353,7 +356,10 @@ mod tests {
         let report = construct_switch_structure(&mut n, &lib, &mut p, &cfg);
         assert!(report.clusters >= 2, "{report:?}");
         assert!(report.largest_cluster <= cfg.max_cells_per_switch);
-        assert!(report.worst_length_um <= cfg.max_vgnd_length_um * 1.01, "{report:?}");
+        assert!(
+            report.worst_length_um <= cfg.max_vgnd_length_um * 1.01,
+            "{report:?}"
+        );
         assert!(
             report.worst_bounce.volts() <= cfg.bounce_limit.volts() * 1.01,
             "worst bounce {} vs limit {}",
@@ -361,7 +367,13 @@ mod tests {
             cfg.bounce_limit
         );
         // Structure is structurally valid.
-        let issues = lint(&n, &lib, LintConfig { require_mt_wiring: true });
+        let issues = lint(
+            &n,
+            &lib,
+            LintConfig {
+                require_mt_wiring: true,
+            },
+        );
         assert!(is_clean(&issues), "{issues:?}");
         // Every MT cell is in exactly one cluster.
         assert_eq!(report.mt_cells, mt_vgnd_cells(&n, &lib).len());
@@ -372,8 +384,7 @@ mod tests {
         // The headline physics: Σ shared switch widths << Σ embedded.
         let lib = lib();
         let (mut n, mut p) = mt_design(&lib, 400, 13);
-        let report =
-            construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
+        let report = construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
         let embedded = embedded_width_equivalent(&n, &lib);
         assert!(
             report.total_switch_width_um < embedded * 0.6,
@@ -393,8 +404,7 @@ mod tests {
             .filter(|(_, i)| lib.cell(i.cell).role == CellRole::Switch)
             .count();
         assert_eq!(before_switches, 1);
-        let report =
-            construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
+        let report = construct_switch_structure(&mut n, &lib, &mut p, &ClusterConfig::default());
         let after_switches = n
             .instances()
             .filter(|(_, i)| lib.cell(i.cell).role == CellRole::Switch)

@@ -75,16 +75,18 @@ pub fn analyze_crosstalk(
         if net.loads.is_empty() {
             continue;
         }
-        let all_vgnd = net.loads.iter().all(|pr| {
-            lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].is_vgnd
-        });
+        let all_vgnd = net
+            .loads
+            .iter()
+            .all(|pr| lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].is_vgnd);
         let Some(bbox) = placement.net_bbox(netlist, id) else {
             continue;
         };
         if all_vgnd {
-            let has_switch = net.loads.iter().any(|pr| {
-                lib.cell(netlist.inst(pr.inst).cell).role == CellRole::Switch
-            });
+            let has_switch = net
+                .loads
+                .iter()
+                .any(|pr| lib.cell(netlist.inst(pr.inst).cell).role == CellRole::Switch);
             if has_switch {
                 vgnd_nets.push((id, bbox));
             }
@@ -99,8 +101,14 @@ pub fn analyze_crosstalk(
         .map(|(net, bbox)| {
             let length = bbox.half_perimeter().max(1.0);
             let window = Rect::new(
-                smt_base::geom::Point::new(bbox.lo.x - config.window_um, bbox.lo.y - config.window_um),
-                smt_base::geom::Point::new(bbox.hi.x + config.window_um, bbox.hi.y + config.window_um),
+                smt_base::geom::Point::new(
+                    bbox.lo.x - config.window_um,
+                    bbox.lo.y - config.window_um,
+                ),
+                smt_base::geom::Point::new(
+                    bbox.hi.x + config.window_um,
+                    bbox.hi.y + config.window_um,
+                ),
             );
             let mut aggressors = 0usize;
             let mut ccoup_ff = 0.0;
@@ -144,10 +152,7 @@ pub fn analyze_crosstalk(
 
 /// Worst injected noise across all VGND nets (zero when there are none).
 pub fn worst_noise(reports: &[CrosstalkReport]) -> Volt {
-    reports
-        .iter()
-        .map(|r| r.noise)
-        .fold(Volt::ZERO, Volt::max)
+    reports.iter().map(|r| r.noise).fold(Volt::ZERO, Volt::max)
 }
 
 #[cfg(test)]
@@ -218,7 +223,12 @@ mod tests {
         let avg = |r: &[CrosstalkReport]| {
             r.iter().map(|x| x.noise.volts()).sum::<f64>() / r.len().max(1) as f64
         };
-        assert!(avg(&short) < avg(&long), "avg short {} vs long {}", avg(&short), avg(&long));
+        assert!(
+            avg(&short) < avg(&long),
+            "avg short {} vs long {}",
+            avg(&short),
+            avg(&long)
+        );
     }
 
     #[test]

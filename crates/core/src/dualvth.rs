@@ -187,7 +187,11 @@ pub fn assign_dual_vth(
         // Binary search the largest prefix that still meets timing.
         let swap_prefix = |netlist: &mut Netlist, k: usize, to_high: bool| {
             for &id in &ids[..k] {
-                let want = if to_high { VthClass::High } else { VthClass::Low };
+                let want = if to_high {
+                    VthClass::High
+                } else {
+                    VthClass::Low
+                };
                 let new_cell = lib
                     .variant_id(netlist.inst(id).cell, want)
                     .expect("every L cell has an H variant");
@@ -198,7 +202,7 @@ pub fn assign_dual_vth(
         };
         let mut lo = 0usize; // known-good prefix
         let mut hi = ids.len(); // first known-bad beyond
-        // Probe the full swap first: often everything fits.
+                                // Probe the full swap first: often everything fits.
         swap_prefix(netlist, hi, true);
         let r = sta(netlist, lib, parasitics, sta_config, derate)?;
         if r.wns >= margin {
@@ -249,7 +253,9 @@ pub fn assign_dual_vth(
         if r.wns >= margin {
             swapped_total += 1;
         } else {
-            netlist.replace_cell(id, low, lib).expect("variant swap back");
+            netlist
+                .replace_cell(id, low, lib)
+                .expect("variant swap back");
         }
     }
 
@@ -355,8 +361,8 @@ mod tests {
             clock_period: Time::new(100.0), // absurdly fast
             ..StaConfig::default()
         };
-        let e = assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default())
-            .unwrap_err();
+        let e =
+            assign_dual_vth(&mut n, &lib, &par, &sta_cfg, &DualVthConfig::default()).unwrap_err();
         assert!(matches!(e, AssignVthError::InfeasibleConstraint { .. }));
         assert!(e.to_string().contains("infeasible"));
     }

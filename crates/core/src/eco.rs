@@ -65,9 +65,7 @@ pub fn fix_hold(
     derating: &Derating,
     max_rounds: usize,
 ) -> Result<HoldFixReport, smt_netlist::graph::CombinationalCycle> {
-    let buffer = lib
-        .buffer(1, VthClass::High)
-        .expect("library has BUF_X1_H");
+    let buffer = lib.buffer(1, VthClass::High).expect("library has BUF_X1_H");
     let mut report = HoldFixReport::default();
     for round in 0..max_rounds {
         report.rounds = round + 1;
@@ -79,12 +77,18 @@ pub fn fix_hold(
         for v in &timing.hold_violations {
             let ff = v.ff;
             let cell = lib.cell(netlist.inst(ff).cell);
-            let Some(dp) = cell.pin_index("D") else { continue };
-            let Some(dnet) = netlist.inst(ff).net_on(dp) else { continue };
+            let Some(dp) = cell.pin_index("D") else {
+                continue;
+            };
+            let Some(dnet) = netlist.inst(ff).net_on(dp) else {
+                continue;
+            };
             // How many buffers this gap needs (each adds ~its intrinsic).
             let buf_cell = lib.cell(buffer);
-            let per_buf = buf_cell.arcs[0]
-                .delay(Time::new(40.0), buf_cell.pins[0].cap + smt_base::units::Cap::new(2.0));
+            let per_buf = buf_cell.arcs[0].delay(
+                Time::new(40.0),
+                buf_cell.pins[0].cap + smt_base::units::Cap::new(2.0),
+            );
             let deficit = v.required - v.arrival_min;
             let count = ((deficit.ps() / per_buf.ps()).ceil() as usize).clamp(1, 8);
             let loc = placement.loc(ff);
@@ -276,8 +280,7 @@ mod tests {
         let before = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
         assert!(!before.setup_met(), "test needs a violation to recover");
 
-        let report =
-            recover_setup(&mut n, &lib, &par, &cfg, &Derating::none(), 30).unwrap();
+        let report = recover_setup(&mut n, &lib, &par, &cfg, &Derating::none(), 30).unwrap();
         assert!(report.vth_downgrades > 0, "{report:?}");
         let after = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
         assert!(after.setup_met(), "wns {} after {report:?}", after.wns);

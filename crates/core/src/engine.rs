@@ -1,0 +1,1427 @@
+//! The composable Fig. 4 flow engine.
+//!
+//! The paper's methodology is a staged pipeline (synthesis → dual-Vth →
+//! MT-cell replacement → clustering → route → re-opt → ECO → signoff).
+//! This module exposes each box of Fig. 4 as a named, typed [`Stage`]
+//! operating on a shared [`DesignState`], driven by a [`FlowEngine`]:
+//!
+//! ```text
+//!  Synthesize ──► PlaceAndClock ──► AssignDualVth ──► MtReplace*
+//!                                                        │
+//!        ┌───────────────────────────────────────────────┘
+//!        ▼
+//!  InsertHolders* ──► ClusterSwitches* ──► Cts ──► RouteExtract
+//!                                                        │
+//!        ┌───────────────────────────────────────────────┘
+//!        ▼
+//!  ReoptSwitches* ──► EcoHoldFix ──► Signoff          (* technique-gated)
+//! ```
+//!
+//! On top of the per-stage decomposition the engine provides
+//!
+//! * [`Observer`] callbacks with per-stage [`StageMetrics`] and wall-clock
+//!   time;
+//! * [`Checkpoint`] snapshot/restore between stages, so sweeps can fork a
+//!   shared synthesis + placement prefix instead of re-running it;
+//! * [`run_sweep`], a thread-parallel driver fanning one RTL out across
+//!   many [`FlowConfig`]s, and [`run_three_techniques`], the paper's
+//!   Table 1 comparison as a one-checkpoint-fork special case.
+//!
+//! The monolithic [`run_flow`](crate::flow::run_flow) /
+//! [`run_flow_netlist`](crate::flow::run_flow_netlist) entry points remain
+//! available as thin wrappers over the engine.
+
+use crate::cluster::{
+    cluster_state, construct_switch_structure, ClusterConfig, SwitchStructureReport,
+};
+use crate::dualvth::{assign_dual_vth, AssignVthError, DualVthConfig, DualVthReport};
+use crate::eco::{distribute_mte, fix_hold, HoldFixReport};
+use crate::reopt::{reoptimize_switches, ReoptReport};
+use crate::smtgen::{
+    insert_initial_switch, insert_output_holders, to_conventional_smt, to_improved_mt_cells,
+};
+use crate::verify::{verify, VerifyError, VerifyReport};
+use smt_base::units::{Area, Current, Time};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
+use smt_place::{place, Placement, PlacerConfig};
+use smt_power::{bounce_derates, standby_leakage, StateSource};
+use smt_route::{
+    route_global, synthesize_clock_tree, CtsConfig, CtsReport, Parasitics, RouteConfig,
+};
+use smt_sim::{Mode, Simulator, Value};
+use smt_sta::{analyze, Derating, StaConfig, TimingReport};
+use smt_synth::{synthesize, SynthError, SynthOptions};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Floor on the clock period, applied both to auto-selected and pinned
+/// clocks (a sub-100ps clock is meaningless in this 130nm library).
+pub const MIN_CLOCK_PERIOD: Time = Time::new(100.0);
+
+/// Which of the paper's three techniques to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Baseline: Dual-Vth assignment only (ref \[1\]).
+    DualVth,
+    /// Conventional Selective-MT: per-cell embedded switches (ref \[2\]).
+    ConventionalSmt,
+    /// Improved Selective-MT: shared, clustered switches (this paper).
+    ImprovedSmt,
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Technique::DualVth => "Dual-Vth",
+            Technique::ConventionalSmt => "Conventional-SMT",
+            Technique::ImprovedSmt => "Improved-SMT",
+        })
+    }
+}
+
+/// All flow knobs.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Technique to apply.
+    pub technique: Technique,
+    /// Clock period; `None` sets it automatically to the all-low-Vth
+    /// critical delay times [`FlowConfig::period_margin`].
+    pub clock_period: Option<Time>,
+    /// Auto-period margin over the all-low critical delay.
+    pub period_margin: f64,
+    /// Base STA settings (input delay, margins; period is overridden).
+    pub sta: StaConfig,
+    /// Dual-Vth assignment options.
+    pub dualvth: DualVthConfig,
+    /// Switch clustering constraints (improved technique).
+    pub cluster: ClusterConfig,
+    /// Re-clustering attempts when the bounce derate breaks timing.
+    pub recluster_retries: usize,
+    /// Placement options.
+    pub placer: PlacerConfig,
+    /// Routing options.
+    pub route: RouteConfig,
+    /// CTS options.
+    pub cts: CtsConfig,
+    /// Max fanout on the MTE net before buffering.
+    pub mte_max_fanout: usize,
+    /// Hold-fix rounds.
+    pub hold_rounds: usize,
+    /// Random-stimulus cycles in final verification.
+    pub verify_cycles: usize,
+    /// Seed for verification stimulus.
+    pub seed: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            technique: Technique::ImprovedSmt,
+            clock_period: None,
+            period_margin: 1.25,
+            sta: StaConfig::default(),
+            dualvth: DualVthConfig::default(),
+            cluster: ClusterConfig::default(),
+            recluster_retries: 2,
+            placer: PlacerConfig::default(),
+            route: RouteConfig::default(),
+            cts: CtsConfig::default(),
+            mte_max_fanout: 16,
+            hold_rounds: 6,
+            verify_cycles: 96,
+            seed: 2005,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage identities and metrics
+// ---------------------------------------------------------------------------
+
+/// The named boxes of the Fig. 4 stage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// RTL-lite → mapped all-low-Vth netlist.
+    Synthesize,
+    /// Initial placement, RC estimation, and clock-period selection.
+    PlaceAndClock,
+    /// Timing-driven low→high Vth assignment.
+    AssignDualVth,
+    /// Replacement of remaining low-Vth cells by MT-cells.
+    MtReplace,
+    /// Output-holder insertion and the initial (per-cell) switch.
+    InsertHolders,
+    /// Clustered switch-structure construction with timing feedback.
+    ClusterSwitches,
+    /// Clock-tree synthesis and MTE-net buffering.
+    Cts,
+    /// Global routing and RC extraction.
+    RouteExtract,
+    /// Post-route switch re-optimization on extracted wire lengths.
+    ReoptSwitches,
+    /// Setup-recovery and hold-fix ECO.
+    EcoHoldFix,
+    /// Final STA, functional/structural/standby verification, power.
+    Signoff,
+}
+
+impl StageId {
+    /// Human-readable stage title (used in [`StageMetrics::stage`]).
+    pub fn title(self) -> &'static str {
+        match self {
+            StageId::Synthesize => "synthesis",
+            StageId::PlaceAndClock => "initial netlist & placement",
+            StageId::AssignDualVth => "dual-Vth assignment",
+            StageId::MtReplace => "replace by MT-cells",
+            StageId::InsertHolders => "output holders + initial switch",
+            StageId::ClusterSwitches => "switch structure construction",
+            StageId::Cts => "clock tree synthesis & MTE buffering",
+            StageId::RouteExtract => "global routing & extraction",
+            StageId::ReoptSwitches => "post-route switch re-optimization",
+            StageId::EcoHoldFix => "ECO (setup recovery & hold fixing)",
+            StageId::Signoff => "signoff STA & verification",
+        }
+    }
+
+    /// The ordered stage plan for a technique — the Fig. 4 walk with the
+    /// technique-gated boxes removed.
+    pub fn plan(technique: Technique) -> &'static [StageId] {
+        use StageId::*;
+        match technique {
+            Technique::DualVth => &[
+                Synthesize,
+                PlaceAndClock,
+                AssignDualVth,
+                Cts,
+                RouteExtract,
+                EcoHoldFix,
+                Signoff,
+            ],
+            Technique::ConventionalSmt => &[
+                Synthesize,
+                PlaceAndClock,
+                AssignDualVth,
+                MtReplace,
+                Cts,
+                RouteExtract,
+                EcoHoldFix,
+                Signoff,
+            ],
+            Technique::ImprovedSmt => &[
+                Synthesize,
+                PlaceAndClock,
+                AssignDualVth,
+                MtReplace,
+                InsertHolders,
+                ClusterSwitches,
+                Cts,
+                RouteExtract,
+                ReoptSwitches,
+                EcoHoldFix,
+                Signoff,
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// Snapshot of the design after one flow stage.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Which stage produced this snapshot.
+    pub id: StageId,
+    /// Stage title (matches the Fig. 4 boxes).
+    pub stage: String,
+    /// Total cell area.
+    pub area: Area,
+    /// Live instances.
+    pub cells: usize,
+    /// Quick standby-leakage figure (per-cell standby sums).
+    pub leak_quick: Current,
+    /// Setup WNS, when timing was run at this stage.
+    pub wns: Option<Time>,
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Unified flow failure, wrapping every stage's error type.
+#[derive(Debug, Clone)]
+pub enum FlowError {
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// Vth assignment failed (infeasible clock).
+    Assign(AssignVthError),
+    /// Levelisation failed (combinational loop) in placement, STA, CTS,
+    /// routing or ECO.
+    Cycle(smt_netlist::graph::CombinationalCycle),
+    /// Verification machinery failed.
+    Verify(VerifyError),
+    /// The final design misses timing even after re-clustering retries.
+    TimingNotMet {
+        /// Final WNS.
+        wns: Time,
+    },
+    /// A stage ran before the state it needs was produced (engine misuse,
+    /// e.g. resuming a checkpoint past the stage that feeds it).
+    MissingState {
+        /// The stage that could not run.
+        stage: StageId,
+        /// What it was missing.
+        what: &'static str,
+    },
+    /// `run_until`/`resume_until` named a stage the engine's plan does not
+    /// contain (e.g. `ClusterSwitches` under [`Technique::DualVth`]).
+    StageNotInPlan {
+        /// The requested stop stage.
+        stage: StageId,
+    },
+    /// A resumed config pins a `clock_period` different from the one the
+    /// checkpoint's timing-dependent stages (dual-Vth assignment onward)
+    /// were computed with; honouring it would silently invalidate them.
+    ClockRepinnedAfterTiming {
+        /// The clock the resuming config pins.
+        pinned: Time,
+        /// The clock the checkpoint was computed with.
+        committed: Time,
+    },
+    /// A sweep run's flow panicked (isolated by [`fork_sweep`] so the
+    /// other runs still complete).
+    RunPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Synth(e) => write!(f, "{e}"),
+            FlowError::Assign(e) => write!(f, "{e}"),
+            FlowError::Cycle(e) => write!(f, "{e}"),
+            FlowError::Verify(e) => write!(f, "{e}"),
+            FlowError::TimingNotMet { wns } => {
+                write!(f, "flow result misses timing (wns = {wns})")
+            }
+            FlowError::MissingState { stage, what } => {
+                write!(f, "stage `{stage}` is missing prerequisite state: {what}")
+            }
+            FlowError::StageNotInPlan { stage } => {
+                write!(f, "stage `{stage}` is not in this engine's plan")
+            }
+            FlowError::ClockRepinnedAfterTiming { pinned, committed } => {
+                write!(
+                    f,
+                    "cannot re-pin the clock to {pinned} on a checkpoint whose \
+                     timing stages were computed for {committed}"
+                )
+            }
+            FlowError::RunPanicked { message } => {
+                write!(f, "flow panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Synth(e) => Some(e),
+            FlowError::Assign(e) => Some(e),
+            FlowError::Cycle(e) => Some(e),
+            FlowError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Design state
+// ---------------------------------------------------------------------------
+
+/// Everything the stages read and write: the netlist under transformation,
+/// its golden reference, physical data, timing context and per-stage
+/// reports. Cloning a `DesignState` is how [`Checkpoint`]s fork flows.
+#[derive(Debug, Clone)]
+pub struct DesignState {
+    /// The netlist being transformed.
+    pub netlist: Netlist,
+    /// The post-synthesis reference for equivalence checking.
+    pub golden: Netlist,
+    /// Placement (from [`StageId::PlaceAndClock`] onward).
+    pub placement: Option<Placement>,
+    /// Estimated (pre-route) parasitics.
+    pub estimated: Option<Parasitics>,
+    /// Extracted (post-route) parasitics.
+    pub extracted: Option<Parasitics>,
+    /// Chosen clock period.
+    pub clock_period: Option<Time>,
+    /// Working STA configuration (period and, post-CTS, skew filled in).
+    pub sta: Option<StaConfig>,
+    /// Current timing derates (VGND bounce; uniform otherwise).
+    pub derating: Option<Derating>,
+    /// Stage-by-stage metrics (the Fig. 4 walkthrough).
+    pub stages: Vec<StageMetrics>,
+    /// Stages already executed, in order.
+    pub completed: Vec<StageId>,
+    /// WNS reported by the most recent stage that ran timing.
+    pub last_wns: Option<Time>,
+    /// Dual-Vth assignment report.
+    pub dualvth: Option<DualVthReport>,
+    /// Clustering report (improved technique only).
+    pub cluster: Option<SwitchStructureReport>,
+    /// CTS report (designs with a clock).
+    pub cts: Option<CtsReport>,
+    /// Post-route switch re-optimization (improved only).
+    pub reopt: Option<ReoptReport>,
+    /// Hold-fix report.
+    pub hold_fix: Option<HoldFixReport>,
+    /// Final timing.
+    pub timing: Option<TimingReport>,
+    /// Final verification.
+    pub verify: Option<VerifyReport>,
+    /// Standby leakage from a gated-mode simulation snapshot.
+    pub standby_leakage: Option<Current>,
+    /// Active-mode leakage.
+    pub active_leakage: Option<Current>,
+}
+
+impl DesignState {
+    /// Empty state: the [`StageId::Synthesize`] stage will fill it from RTL.
+    pub fn new() -> Self {
+        DesignState {
+            netlist: Netlist::new("design"),
+            golden: Netlist::new("design"),
+            placement: None,
+            estimated: None,
+            extracted: None,
+            clock_period: None,
+            sta: None,
+            derating: None,
+            stages: Vec::new(),
+            completed: Vec::new(),
+            last_wns: None,
+            dualvth: None,
+            cluster: None,
+            cts: None,
+            reopt: None,
+            hold_fix: None,
+            timing: None,
+            verify: None,
+            standby_leakage: None,
+            active_leakage: None,
+        }
+    }
+
+    /// State seeded from an existing (all-low-Vth) netlist;
+    /// [`StageId::Synthesize`] is recorded as already done.
+    pub fn from_netlist(netlist: Netlist) -> Self {
+        let mut s = Self::new();
+        s.golden = netlist.clone();
+        s.netlist = netlist;
+        s.completed.push(StageId::Synthesize);
+        s
+    }
+
+    /// Whether `stage` has already executed on this state.
+    pub fn is_done(&self, stage: StageId) -> bool {
+        self.completed.contains(&stage)
+    }
+
+    /// The most recently executed stage.
+    pub fn last_stage(&self) -> Option<StageId> {
+        self.completed.last().copied()
+    }
+
+    fn snapshot(&mut self, id: StageId, lib: &Library) {
+        self.stages.push(StageMetrics {
+            id,
+            stage: id.title().to_owned(),
+            area: self.netlist.total_area(lib),
+            cells: self.netlist.num_instances(),
+            leak_quick: self.netlist.standby_leak_quick(lib),
+            wns: self.last_wns,
+        });
+    }
+
+    fn placement(&self, stage: StageId) -> Result<&Placement, FlowError> {
+        self.placement.as_ref().ok_or(FlowError::MissingState {
+            stage,
+            what: "placement",
+        })
+    }
+
+    fn sta(&self, stage: StageId) -> Result<&StaConfig, FlowError> {
+        self.sta.as_ref().ok_or(FlowError::MissingState {
+            stage,
+            what: "STA configuration",
+        })
+    }
+}
+
+impl Default for DesignState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Borrows just the placement field mutably — a free function (not a
+/// `DesignState` method) so stages can hold it alongside
+/// `&mut state.netlist`.
+fn placement_mut(
+    placement: &mut Option<Placement>,
+    stage: StageId,
+) -> Result<&mut Placement, FlowError> {
+    placement.as_mut().ok_or(FlowError::MissingState {
+        stage,
+        what: "placement",
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The final netlist.
+    pub netlist: Netlist,
+    /// The golden (post-synthesis) netlist used for equivalence.
+    pub golden: Netlist,
+    /// Final placement.
+    pub placement: Placement,
+    /// Chosen clock period.
+    pub clock_period: Time,
+    /// Stage-by-stage metrics (the Fig. 4 walkthrough).
+    pub stages: Vec<StageMetrics>,
+    /// Dual-Vth assignment report.
+    pub dualvth: DualVthReport,
+    /// Clustering report (improved technique only).
+    pub cluster: Option<SwitchStructureReport>,
+    /// CTS report (designs with a clock).
+    pub cts: Option<CtsReport>,
+    /// Post-route switch re-optimization (improved only).
+    pub reopt: Option<ReoptReport>,
+    /// Hold-fix report.
+    pub hold_fix: HoldFixReport,
+    /// Final timing.
+    pub timing: TimingReport,
+    /// Final verification.
+    pub verify: VerifyReport,
+    /// Final Vth census.
+    pub census: VthCensus,
+    /// Total cell area.
+    pub area: Area,
+    /// Standby leakage from a gated-mode simulation snapshot.
+    pub standby_leakage: Current,
+    /// Active-mode leakage.
+    pub active_leakage: Current,
+}
+
+impl FlowResult {
+    fn from_state(state: DesignState, lib: &Library) -> Result<Self, FlowError> {
+        let missing = |what| FlowError::MissingState {
+            stage: StageId::Signoff,
+            what,
+        };
+        Ok(FlowResult {
+            census: state.netlist.vth_census(lib),
+            area: state.netlist.total_area(lib),
+            golden: state.golden,
+            placement: state.placement.ok_or(missing("placement"))?,
+            clock_period: state.clock_period.ok_or(missing("clock period"))?,
+            stages: state.stages,
+            dualvth: state.dualvth.ok_or(missing("dual-Vth report"))?,
+            cluster: state.cluster,
+            cts: state.cts,
+            reopt: state.reopt,
+            hold_fix: state.hold_fix.ok_or(missing("hold-fix report"))?,
+            timing: state.timing.ok_or(missing("timing report"))?,
+            verify: state.verify.ok_or(missing("verification report"))?,
+            standby_leakage: state.standby_leakage.ok_or(missing("standby leakage"))?,
+            active_leakage: state.active_leakage.ok_or(missing("active leakage"))?,
+            netlist: state.netlist,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage trait and observers
+// ---------------------------------------------------------------------------
+
+/// Shared, read-only context every stage receives.
+pub struct FlowContext<'a> {
+    /// Cell library.
+    pub lib: &'a Library,
+    /// Flow configuration.
+    pub config: &'a FlowConfig,
+    /// RTL-lite source ([`StageId::Synthesize`] input; absent when the
+    /// flow was seeded from a netlist).
+    pub rtl: Option<&'a str>,
+}
+
+/// One box of the Fig. 4 stage graph: a named transformation of
+/// [`DesignState`].
+pub trait Stage {
+    /// Stable identity of this stage.
+    fn id(&self) -> StageId;
+
+    /// Executes the stage, mutating `state` in place.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FlowError`]; the engine stops at the first failing stage.
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError>;
+}
+
+/// Callback hook receiving per-stage progress from a [`FlowEngine`].
+pub trait Observer {
+    /// Called before a stage executes.
+    fn on_stage_start(&mut self, _stage: StageId) {}
+    /// Called after a stage executes, with the metrics snapshot it
+    /// produced and its wall-clock time.
+    fn on_stage_end(&mut self, _stage: StageId, _metrics: &StageMetrics, _elapsed: Duration) {}
+}
+
+/// An [`Observer`] that logs stage completion to stderr — handy in the
+/// regeneration binaries.
+#[derive(Debug, Default)]
+pub struct StageLogger;
+
+impl Observer for StageLogger {
+    fn on_stage_end(&mut self, stage: StageId, metrics: &StageMetrics, elapsed: Duration) {
+        eprintln!(
+            "[flow] {:36} {:>6} cells  {:>10.1} um^2  {:>9.2?}{}",
+            stage.title(),
+            metrics.cells,
+            metrics.area.um2(),
+            elapsed,
+            metrics
+                .wns
+                .map(|w| format!("  wns {:.1} ps", w.ps()))
+                .unwrap_or_default(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// A frozen [`DesignState`] taken between stages. Restoring is a clone, so
+/// one checkpoint can fork arbitrarily many downstream flows (sweeps, the
+/// Table 1 three-technique comparison, ablations).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    state: DesignState,
+}
+
+impl Checkpoint {
+    /// Wraps a state as a checkpoint.
+    pub fn new(state: DesignState) -> Self {
+        Checkpoint { state }
+    }
+
+    /// The last stage executed before the snapshot.
+    pub fn stage(&self) -> Option<StageId> {
+        self.state.last_stage()
+    }
+
+    /// A fresh working copy of the frozen state.
+    pub fn restore(&self) -> DesignState {
+        self.state.clone()
+    }
+
+    /// Read-only view of the frozen state.
+    pub fn state(&self) -> &DesignState {
+        &self.state
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Drives a stage plan over a [`DesignState`], with observer callbacks and
+/// checkpointing. Construct with [`FlowEngine::new`] (plan derived from
+/// the configured [`Technique`]) or [`FlowEngine::with_stages`] (custom
+/// stage graph).
+pub struct FlowEngine<'a> {
+    lib: &'a Library,
+    config: FlowConfig,
+    stages: Vec<Box<dyn Stage + 'a>>,
+    observers: Vec<Box<dyn Observer + 'a>>,
+}
+
+impl<'a> FlowEngine<'a> {
+    /// An engine running the standard Fig. 4 plan for `config.technique`.
+    pub fn new(lib: &'a Library, config: FlowConfig) -> Self {
+        let stages = StageId::plan(config.technique)
+            .iter()
+            .map(|&id| instantiate(id))
+            .collect();
+        FlowEngine {
+            lib,
+            config,
+            stages,
+            observers: Vec::new(),
+        }
+    }
+
+    /// An engine running a caller-assembled stage list.
+    pub fn with_stages(
+        lib: &'a Library,
+        config: FlowConfig,
+        stages: Vec<Box<dyn Stage + 'a>>,
+    ) -> Self {
+        FlowEngine {
+            lib,
+            config,
+            stages,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Registers an observer (builder style).
+    #[must_use]
+    pub fn observe(mut self, observer: impl Observer + 'a) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// The engine's flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The ordered stage plan this engine will execute.
+    pub fn plan(&self) -> Vec<StageId> {
+        self.stages.iter().map(|s| s.id()).collect()
+    }
+
+    /// Runs the full flow from RTL-lite source.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn run(&mut self, rtl: &str) -> Result<FlowResult, FlowError> {
+        let mut state = DesignState::new();
+        self.drive(&mut state, Some(rtl), None)?;
+        FlowResult::from_state(state, self.lib)
+    }
+
+    /// Runs the full flow on an existing (all-low-Vth) netlist.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn run_netlist(&mut self, netlist: Netlist) -> Result<FlowResult, FlowError> {
+        let mut state = DesignState::from_netlist(netlist);
+        self.drive(&mut state, None, None)?;
+        FlowResult::from_state(state, self.lib)
+    }
+
+    /// Runs the plan from RTL up to and including `until`, returning a
+    /// [`Checkpoint`] that later flows (same or different config) can
+    /// resume or fork from.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn run_until(&mut self, rtl: &str, until: StageId) -> Result<Checkpoint, FlowError> {
+        let mut state = DesignState::new();
+        self.drive(&mut state, Some(rtl), Some(until))?;
+        Ok(Checkpoint::new(state))
+    }
+
+    /// Resumes a checkpoint and runs the remaining stages of this engine's
+    /// plan to completion. Stages recorded as completed in the checkpoint
+    /// are skipped; a pinned `config.clock_period` is re-applied so sweeps
+    /// can fork one placed prefix across different clocks.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn resume(&mut self, checkpoint: &Checkpoint) -> Result<FlowResult, FlowError> {
+        let mut state = checkpoint.restore();
+        self.drive(&mut state, None, None)?;
+        FlowResult::from_state(state, self.lib)
+    }
+
+    /// Like [`FlowEngine::resume`], but stops (inclusive) at `until` and
+    /// returns a new checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn resume_until(
+        &mut self,
+        checkpoint: &Checkpoint,
+        until: StageId,
+    ) -> Result<Checkpoint, FlowError> {
+        let mut state = checkpoint.restore();
+        self.drive(&mut state, None, Some(until))?;
+        Ok(Checkpoint::new(state))
+    }
+
+    fn drive(
+        &mut self,
+        state: &mut DesignState,
+        rtl: Option<&str>,
+        until: Option<StageId>,
+    ) -> Result<(), FlowError> {
+        if let Some(stop) = until {
+            if !self.stages.iter().any(|s| s.id() == stop) {
+                return Err(FlowError::StageNotInPlan { stage: stop });
+            }
+        }
+        // Re-apply a pinned clock when forking a checkpoint whose prefix
+        // selected a different (auto) period, with the same floor
+        // `PlaceAndClock` enforces so resumed runs match fresh ones. Only
+        // legal while nothing timing-dependent has run: past
+        // `AssignDualVth` the Vth assignment embeds the old period, and
+        // re-pinning would silently invalidate it.
+        if let (Some(sta), Some(pinned)) = (state.sta.as_mut(), self.config.clock_period) {
+            let pinned = pinned.max(MIN_CLOCK_PERIOD);
+            let committed = state.clock_period.unwrap_or(pinned);
+            let timing_done = state
+                .completed
+                .iter()
+                .any(|s| !matches!(s, StageId::Synthesize | StageId::PlaceAndClock));
+            if timing_done && pinned != committed {
+                return Err(FlowError::ClockRepinnedAfterTiming { pinned, committed });
+            }
+            sta.clock_period = pinned;
+            state.clock_period = Some(pinned);
+        }
+        let ctx = FlowContext {
+            lib: self.lib,
+            config: &self.config,
+            rtl,
+        };
+        for stage in &self.stages {
+            let id = stage.id();
+            if !state.is_done(id) {
+                for o in &mut self.observers {
+                    o.on_stage_start(id);
+                }
+                let t0 = std::time::Instant::now();
+                state.last_wns = None;
+                stage.run(state, &ctx)?;
+                state.completed.push(id);
+                state.snapshot(id, self.lib);
+                let elapsed = t0.elapsed();
+                let metrics = state.stages.last().expect("snapshot just pushed");
+                for o in &mut self.observers {
+                    o.on_stage_end(id, metrics, elapsed);
+                }
+            }
+            if until == Some(id) {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the standard stage object for a [`StageId`].
+pub fn instantiate(id: StageId) -> Box<dyn Stage> {
+    match id {
+        StageId::Synthesize => Box::new(Synthesize),
+        StageId::PlaceAndClock => Box::new(PlaceAndClock),
+        StageId::AssignDualVth => Box::new(AssignDualVth),
+        StageId::MtReplace => Box::new(MtReplace),
+        StageId::InsertHolders => Box::new(InsertHolders),
+        StageId::ClusterSwitches => Box::new(ClusterSwitches),
+        StageId::Cts => Box::new(Cts),
+        StageId::RouteExtract => Box::new(RouteExtract),
+        StageId::ReoptSwitches => Box::new(ReoptSwitches),
+        StageId::EcoHoldFix => Box::new(EcoHoldFix),
+        StageId::Signoff => Box::new(Signoff),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage implementations (the Fig. 4 boxes)
+// ---------------------------------------------------------------------------
+
+/// RTL-lite → mapped all-low-Vth netlist ([`StageId::Synthesize`]).
+pub struct Synthesize;
+
+impl Stage for Synthesize {
+    fn id(&self) -> StageId {
+        StageId::Synthesize
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let rtl = ctx.rtl.ok_or(FlowError::MissingState {
+            stage: StageId::Synthesize,
+            what: "RTL source (seed the engine with run() or run_netlist())",
+        })?;
+        let netlist =
+            synthesize(rtl, ctx.lib, &SynthOptions::default()).map_err(FlowError::Synth)?;
+        state.golden = netlist.clone();
+        state.netlist = netlist;
+        Ok(())
+    }
+}
+
+/// Initial placement, RC estimation and clock selection
+/// ([`StageId::PlaceAndClock`]).
+pub struct PlaceAndClock;
+
+impl Stage for PlaceAndClock {
+    fn id(&self) -> StageId {
+        StageId::PlaceAndClock
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let cfg = ctx.config;
+        let placement = place(&state.netlist, ctx.lib, &cfg.placer);
+        let parasitics = Parasitics::estimate(&state.netlist, ctx.lib, &placement);
+
+        // Clock selection: probe the all-low critical delay with a huge
+        // period, then apply the margin (unless the period is pinned).
+        let probe_cfg = StaConfig {
+            clock_period: Time::from_ns(1000.0),
+            ..cfg.sta.clone()
+        };
+        let probe = analyze(
+            &state.netlist,
+            ctx.lib,
+            &parasitics,
+            &probe_cfg,
+            &Derating::none(),
+        )
+        .map_err(FlowError::Cycle)?;
+        let crit = probe_cfg.clock_period - probe.wns;
+        let clock_period = cfg
+            .clock_period
+            .unwrap_or(crit * cfg.period_margin)
+            .max(MIN_CLOCK_PERIOD);
+
+        state.placement = Some(placement);
+        state.estimated = Some(parasitics);
+        state.clock_period = Some(clock_period);
+        state.sta = Some(StaConfig {
+            clock_period,
+            ..cfg.sta.clone()
+        });
+        state.last_wns = Some(probe.wns);
+        Ok(())
+    }
+}
+
+/// Timing-driven low→high Vth assignment ([`StageId::AssignDualVth`]).
+pub struct AssignDualVth;
+
+impl Stage for AssignDualVth {
+    fn id(&self) -> StageId {
+        StageId::AssignDualVth
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let cfg = ctx.config;
+        let lib = ctx.lib;
+        // Reserve slack for what happens after assignment: extraction error
+        // and CTS skew (all techniques), plus the MT-cell delay penalty —
+        // embedded for conventional; VGND-port penalty + worst-case bounce
+        // derate for improved. Without the guard, assignment consumes all
+        // slack on estimated RC and the post-route STA fails.
+        let technique_penalty = match cfg.technique {
+            Technique::DualVth => 0.0,
+            Technique::ConventionalSmt => lib.config.mt_delay_penalty_embedded - 1.0,
+            Technique::ImprovedSmt => {
+                (lib.config.mt_delay_penalty_vgnd - 1.0)
+                    + lib.tech.bounce_delay_sens * cfg.cluster.bounce_limit.volts()
+                        / lib.tech.vdd.volts()
+            }
+        };
+        let sta_cfg = state.sta(StageId::AssignDualVth)?.clone();
+        let guard = sta_cfg.clock_period * 0.08;
+        let dualvth_cfg = DualVthConfig {
+            slack_margin: cfg.dualvth.slack_margin.max(guard),
+            low_vth_derate: 1.0 + technique_penalty,
+            ..cfg.dualvth.clone()
+        };
+        let parasitics = state.estimated.as_ref().ok_or(FlowError::MissingState {
+            stage: StageId::AssignDualVth,
+            what: "estimated parasitics",
+        })?;
+        let report = assign_dual_vth(&mut state.netlist, lib, parasitics, &sta_cfg, &dualvth_cfg)
+            .map_err(FlowError::Assign)?;
+        state.last_wns = Some(report.final_wns);
+        state.dualvth = Some(report);
+        Ok(())
+    }
+}
+
+/// MT-cell replacement ([`StageId::MtReplace`]): embedded switches for the
+/// conventional technique, VGND-port MT-cells for the improved one.
+pub struct MtReplace;
+
+impl Stage for MtReplace {
+    fn id(&self) -> StageId {
+        StageId::MtReplace
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        match ctx.config.technique {
+            Technique::DualVth => {}
+            Technique::ConventionalSmt => {
+                to_conventional_smt(&mut state.netlist, ctx.lib);
+            }
+            Technique::ImprovedSmt => {
+                to_improved_mt_cells(&mut state.netlist, ctx.lib);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Output-holder insertion and the initial one-switch-per-cell gating
+/// ([`StageId::InsertHolders`], improved technique).
+pub struct InsertHolders;
+
+impl Stage for InsertHolders {
+    fn id(&self) -> StageId {
+        StageId::InsertHolders
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        insert_output_holders(&mut state.netlist, ctx.lib);
+        let placement = placement_mut(&mut state.placement, StageId::InsertHolders)?;
+        place_new_support_cells(&state.netlist, ctx.lib, placement);
+        insert_initial_switch(&mut state.netlist, ctx.lib, ctx.config.cluster.bounce_limit);
+        Ok(())
+    }
+}
+
+/// Clustered switch-structure construction under the bounce / wirelength /
+/// EM constraints, with a timing check that tightens the bounce budget and
+/// re-clusters when the VGND derate breaks setup
+/// ([`StageId::ClusterSwitches`]).
+pub struct ClusterSwitches;
+
+impl Stage for ClusterSwitches {
+    fn id(&self) -> StageId {
+        StageId::ClusterSwitches
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let cfg = ctx.config;
+        let lib = ctx.lib;
+        let sta_cfg = state.sta(StageId::ClusterSwitches)?.clone();
+        let placement = placement_mut(&mut state.placement, StageId::ClusterSwitches)?;
+        let mut cl_cfg = cfg.cluster.clone();
+        for attempt in 0..=cfg.recluster_retries {
+            let report = construct_switch_structure(&mut state.netlist, lib, placement, &cl_cfg);
+            let derates = {
+                let clusters = cluster_state(&state.netlist, lib, placement, cl_cfg.length_detour);
+                let mut d = Derating::uniform(&state.netlist);
+                for (inst, f) in bounce_derates(lib, &clusters) {
+                    d.set(inst, f);
+                }
+                d
+            };
+            let par = Parasitics::estimate(&state.netlist, lib, placement);
+            let timing =
+                analyze(&state.netlist, lib, &par, &sta_cfg, &derates).map_err(FlowError::Cycle)?;
+            if timing.setup_met() || attempt == cfg.recluster_retries {
+                state.cluster = Some(report);
+                break;
+            }
+            // Tighten the bounce budget and re-cluster.
+            cl_cfg.bounce_limit = cl_cfg.bounce_limit * 0.7;
+        }
+        Ok(())
+    }
+}
+
+/// Clock-tree synthesis plus MTE-net buffering ([`StageId::Cts`]).
+pub struct Cts;
+
+impl Stage for Cts {
+    fn id(&self) -> StageId {
+        StageId::Cts
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let placement = placement_mut(&mut state.placement, StageId::Cts)?;
+        let cts = synthesize_clock_tree(&mut state.netlist, placement, ctx.lib, &ctx.config.cts);
+        if let (Some(r), Some(sta)) = (&cts, state.sta.as_mut()) {
+            sta.clock_skew = r.skew();
+        }
+        state.cts = cts;
+        if state.netlist.find_net("mte").is_some() {
+            let placement = placement_mut(&mut state.placement, StageId::Cts)?;
+            distribute_mte(
+                &mut state.netlist,
+                placement,
+                ctx.lib,
+                ctx.config.mte_max_fanout,
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Global routing and RC extraction ([`StageId::RouteExtract`]).
+pub struct RouteExtract;
+
+impl Stage for RouteExtract {
+    fn id(&self) -> StageId {
+        StageId::RouteExtract
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let placement = state.placement(StageId::RouteExtract)?;
+        let groute = route_global(&state.netlist, ctx.lib, placement, &ctx.config.route);
+        state.extracted = Some(Parasitics::extract(
+            &state.netlist,
+            ctx.lib,
+            placement,
+            &groute,
+        ));
+        Ok(())
+    }
+}
+
+/// Post-route switch re-optimization on extracted wire lengths
+/// ([`StageId::ReoptSwitches`], improved technique).
+pub struct ReoptSwitches;
+
+impl Stage for ReoptSwitches {
+    fn id(&self) -> StageId {
+        StageId::ReoptSwitches
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
+            stage: StageId::ReoptSwitches,
+            what: "extracted parasitics",
+        })?;
+        let lengths: Vec<f64> = state
+            .netlist
+            .nets()
+            .map(|(id, _)| extracted.net(id).length_um)
+            .collect();
+        let report = reoptimize_switches(
+            &mut state.netlist,
+            ctx.lib,
+            ctx.config.cluster.bounce_limit,
+            |id| lengths.get(id.index()).copied().unwrap_or(0.0),
+        );
+        state.reopt = Some(report);
+        Ok(())
+    }
+}
+
+/// Setup-recovery and hold-fix ECO on extracted RC
+/// ([`StageId::EcoHoldFix`]).
+pub struct EcoHoldFix;
+
+impl Stage for EcoHoldFix {
+    fn id(&self) -> StageId {
+        StageId::EcoHoldFix
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let lib = ctx.lib;
+        let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
+            stage: StageId::EcoHoldFix,
+            what: "extracted parasitics",
+        })?;
+        // Final derating from extracted lengths (VGND bounce, improved
+        // technique only).
+        let derating = if ctx.config.technique == Technique::ImprovedSmt {
+            let lengths: Vec<f64> = state
+                .netlist
+                .nets()
+                .map(|(id, _)| extracted.net(id).length_um)
+                .collect();
+            let clusters = smt_power::analyze_vgnd(&state.netlist, lib, |id| {
+                lengths.get(id.index()).copied().unwrap_or(0.0)
+            });
+            let mut d = Derating::uniform(&state.netlist);
+            for (inst, f) in bounce_derates(lib, &clusters) {
+                d.set(inst, f);
+            }
+            d
+        } else {
+            Derating::none()
+        };
+        let sta_cfg = state.sta(StageId::EcoHoldFix)?.clone();
+        crate::eco::recover_setup(&mut state.netlist, lib, extracted, &sta_cfg, &derating, 20)
+            .map_err(FlowError::Cycle)?;
+        let placement = placement_mut(&mut state.placement, StageId::EcoHoldFix)?;
+        let hold_fix = fix_hold(
+            &mut state.netlist,
+            placement,
+            lib,
+            extracted,
+            &sta_cfg,
+            &derating,
+            ctx.config.hold_rounds,
+        )
+        .map_err(FlowError::Cycle)?;
+        state.hold_fix = Some(hold_fix);
+        state.derating = Some(derating);
+        Ok(())
+    }
+}
+
+/// Final STA, verification, and power accounting ([`StageId::Signoff`]).
+pub struct Signoff;
+
+impl Stage for Signoff {
+    fn id(&self) -> StageId {
+        StageId::Signoff
+    }
+
+    fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let lib = ctx.lib;
+        let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
+            stage: StageId::Signoff,
+            what: "extracted parasitics",
+        })?;
+        let sta_cfg = state.sta(StageId::Signoff)?;
+        let derating = state.derating.clone().unwrap_or_else(Derating::none);
+        let timing = analyze(&state.netlist, lib, extracted, sta_cfg, &derating)
+            .map_err(FlowError::Cycle)?;
+        state.last_wns = Some(timing.wns);
+        if !timing.setup_met() {
+            return Err(FlowError::TimingNotMet { wns: timing.wns });
+        }
+        state.timing = Some(timing);
+
+        let verify_report = verify(
+            &state.golden,
+            &state.netlist,
+            lib,
+            ctx.config.verify_cycles,
+            ctx.config.seed,
+        )
+        .map_err(FlowError::Verify)?;
+        state.verify = Some(verify_report);
+
+        let standby = standby_sim(&state.netlist, lib)?;
+        state.standby_leakage =
+            Some(standby_leakage(&state.netlist, lib, StateSource::Snapshot(&standby)).total());
+        state.active_leakage =
+            Some(smt_power::active_leakage(&state.netlist, lib, StateSource::Mean).total());
+        Ok(())
+    }
+}
+
+/// Builds the standby-mode simulator snapshot used for leakage accounting
+/// (fixed alternating input vector, FFs initialised to 0).
+fn standby_sim(netlist: &Netlist, lib: &Library) -> Result<Simulator, FlowError> {
+    let mut sim = Simulator::new(netlist, lib).map_err(FlowError::Cycle)?;
+    for (i, (_, port)) in netlist
+        .ports()
+        .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
+        .enumerate()
+    {
+        sim.set_input(port.net, Value::from_bool(i % 2 == 0));
+    }
+    for (id, inst) in netlist.instances() {
+        if lib.cell(inst.cell).is_sequential() {
+            sim.set_ff_state(id, Value::Zero);
+        }
+    }
+    sim.set_mode(Mode::Standby);
+    sim.propagate(netlist, lib);
+    Ok(sim)
+}
+
+/// Places support cells added after initial placement (output holders) at
+/// the location of the net driver they attach to.
+fn place_new_support_cells(netlist: &Netlist, lib: &Library, placement: &mut Placement) {
+    for (id, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        if cell.role != smt_cells::cell::CellRole::Holder {
+            continue;
+        }
+        let Some(pin) = cell.pin_index("A") else {
+            continue;
+        };
+        let Some(net) = inst.net_on(pin) else {
+            continue;
+        };
+        if let Some(smt_netlist::netlist::NetDriver::Inst(pr)) = netlist.net(net).driver {
+            let loc = placement.loc(pr.inst);
+            placement.set_loc(id, loc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweeps
+// ---------------------------------------------------------------------------
+
+/// One run of a sweep: a label plus the full configuration to fork from
+/// the shared prefix checkpoint.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Row label in reports.
+    pub label: String,
+    /// Flow configuration for this run.
+    pub config: FlowConfig,
+}
+
+impl SweepRun {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, config: FlowConfig) -> Self {
+        SweepRun {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Outcome of one sweep run.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Label copied from the [`SweepRun`].
+    pub label: String,
+    /// The run's result (sweeps keep going when individual runs fail).
+    pub result: Result<FlowResult, FlowError>,
+}
+
+/// Fans one RTL + library out across many configurations, sharing the
+/// synthesis + placement + clock-selection prefix via a [`Checkpoint`] and
+/// running the divergent suffixes on `threads` OS threads (`0` = one per
+/// available core).
+///
+/// The prefix (stages [`StageId::Synthesize`] and
+/// [`StageId::PlaceAndClock`]) is executed **once** under `base`; each
+/// run's technique-specific suffix then forks the frozen state. Prefix
+/// knobs (`placer`, `sta`, `period_margin`) are therefore taken from
+/// `base` — per-run configs that pin `clock_period` are honoured at fork
+/// time, everything downstream (technique, dual-Vth, clustering, routing,
+/// ECO, verification) comes from the per-run config.
+///
+/// # Errors
+///
+/// Fails only when the shared prefix fails; per-run failures are reported
+/// in each [`SweepOutcome`].
+pub fn run_sweep(
+    rtl: &str,
+    lib: &Library,
+    base: &FlowConfig,
+    runs: &[SweepRun],
+    threads: usize,
+) -> Result<Vec<SweepOutcome>, FlowError> {
+    let checkpoint = FlowEngine::new(lib, base.clone()).run_until(rtl, StageId::PlaceAndClock)?;
+    Ok(fork_sweep(lib, &checkpoint, runs, threads))
+}
+
+/// The fan-out half of [`run_sweep`]: forks an existing checkpoint across
+/// `runs`, in parallel on up to `threads` OS threads (`0` = one per
+/// available core). Results come back in `runs` order.
+pub fn fork_sweep(
+    lib: &Library,
+    checkpoint: &Checkpoint,
+    runs: &[SweepRun],
+    threads: usize,
+) -> Vec<SweepOutcome> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(runs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<Result<FlowResult, FlowError>>>> =
+        runs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= runs.len() {
+                    break;
+                }
+                // Isolate panics so one infeasible run surfaces as an Err
+                // outcome instead of tearing down the whole sweep.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    FlowEngine::new(lib, runs[i].config.clone()).resume(checkpoint)
+                }))
+                .unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(FlowError::RunPanicked { message })
+                });
+                *results[i].lock().expect("sweep slot lock") = Some(outcome);
+            });
+        }
+    });
+
+    runs.iter()
+        .zip(results)
+        .map(|(run, slot)| SweepOutcome {
+            label: run.label.clone(),
+            result: slot
+                .into_inner()
+                .expect("sweep slot lock")
+                .expect("worker filled every claimed slot"),
+        })
+        .collect()
+}
+
+/// Convenience: runs all three techniques on the same RTL with the same
+/// constraints and returns the results in `[Dual-Vth, Conv, Improved]`
+/// order — the exact comparison of the paper's Table 1.
+///
+/// The synthesis + placement + clock-probe prefix runs **once**; the
+/// Dual-Vth baseline completes first (it pins the clock for the other
+/// two), then the conventional and improved flows fork the same checkpoint
+/// in parallel.
+///
+/// # Errors
+///
+/// Fails if any individual flow fails.
+pub fn run_three_techniques(
+    rtl: &str,
+    lib: &Library,
+    base: &FlowConfig,
+) -> Result<[FlowResult; 3], FlowError> {
+    let mut probe_cfg = base.clone();
+    probe_cfg.technique = Technique::DualVth;
+    let mut engine = FlowEngine::new(lib, probe_cfg);
+    let checkpoint = engine.run_until(rtl, StageId::PlaceAndClock)?;
+    let dual = engine.resume(&checkpoint)?;
+
+    // Pin the clock so all three see identical constraints.
+    let clock = dual.clock_period;
+    let mut conv_cfg = base.clone();
+    conv_cfg.technique = Technique::ConventionalSmt;
+    conv_cfg.clock_period = Some(clock);
+    let mut imp_cfg = base.clone();
+    imp_cfg.technique = Technique::ImprovedSmt;
+    imp_cfg.clock_period = Some(clock);
+
+    let runs = [
+        SweepRun::new("conventional", conv_cfg),
+        SweepRun::new("improved", imp_cfg),
+    ];
+    let mut outcomes = fork_sweep(lib, &checkpoint, &runs, 2).into_iter();
+    let conv = outcomes.next().expect("two outcomes").result?;
+    let imp = outcomes.next().expect("two outcomes").result?;
+    Ok([dual, conv, imp])
+}

@@ -14,483 +14,44 @@
 //!    wire lengths;
 //! 7. ECO hold fixing and final STA + functional/structural/standby
 //!    verification.
+//!
+//! This module is the **compatibility surface** over the composable
+//! [`engine`](crate::engine): [`run_flow`] / [`run_flow_netlist`] execute
+//! the whole pipeline in one call, exactly as before the stage-graph
+//! redesign. New code should prefer [`FlowEngine`] directly — it exposes
+//! per-stage observers, checkpoint/fork, and parallel sweeps
+//! ([`run_sweep`](crate::engine::run_sweep)).
 
-use crate::cluster::{cluster_state, construct_switch_structure, ClusterConfig, SwitchStructureReport};
-use crate::dualvth::{assign_dual_vth, AssignVthError, DualVthConfig, DualVthReport};
-use crate::eco::{distribute_mte, fix_hold, HoldFixReport};
-use crate::reopt::{reoptimize_switches, ReoptReport};
-use crate::smtgen::{
-    insert_initial_switch, insert_output_holders, to_conventional_smt, to_improved_mt_cells,
+pub use crate::engine::{
+    run_sweep, run_three_techniques, Checkpoint, DesignState, FlowConfig, FlowContext, FlowEngine,
+    FlowError, FlowResult, Observer, Stage, StageId, StageLogger, StageMetrics, SweepOutcome,
+    SweepRun, Technique,
 };
-use crate::verify::{verify, VerifyError, VerifyReport};
-use smt_base::units::{Area, Current, Time};
 use smt_cells::library::Library;
-use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
-use smt_place::{place, Placement, PlacerConfig};
-use smt_power::{bounce_derates, standby_leakage, StateSource};
-use smt_route::{
-    route_global, synthesize_clock_tree, CtsConfig, CtsReport, Parasitics, RouteConfig,
-};
-use smt_sim::{Mode, Simulator, Value};
-use smt_sta::{analyze, Derating, StaConfig, TimingReport};
-use smt_synth::{synthesize, SynthError, SynthOptions};
+use smt_netlist::netlist::Netlist;
 
-/// Which of the paper's three techniques to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Technique {
-    /// Baseline: Dual-Vth assignment only (ref \[1\]).
-    DualVth,
-    /// Conventional Selective-MT: per-cell embedded switches (ref \[2\]).
-    ConventionalSmt,
-    /// Improved Selective-MT: shared, clustered switches (this paper).
-    ImprovedSmt,
-}
-
-impl std::fmt::Display for Technique {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Technique::DualVth => "Dual-Vth",
-            Technique::ConventionalSmt => "Conventional-SMT",
-            Technique::ImprovedSmt => "Improved-SMT",
-        })
-    }
-}
-
-/// All flow knobs.
-#[derive(Debug, Clone)]
-pub struct FlowConfig {
-    /// Technique to apply.
-    pub technique: Technique,
-    /// Clock period; `None` sets it automatically to the all-low-Vth
-    /// critical delay times [`FlowConfig::period_margin`].
-    pub clock_period: Option<Time>,
-    /// Auto-period margin over the all-low critical delay.
-    pub period_margin: f64,
-    /// Base STA settings (input delay, margins; period is overridden).
-    pub sta: StaConfig,
-    /// Dual-Vth assignment options.
-    pub dualvth: DualVthConfig,
-    /// Switch clustering constraints (improved technique).
-    pub cluster: ClusterConfig,
-    /// Re-clustering attempts when the bounce derate breaks timing.
-    pub recluster_retries: usize,
-    /// Placement options.
-    pub placer: PlacerConfig,
-    /// Routing options.
-    pub route: RouteConfig,
-    /// CTS options.
-    pub cts: CtsConfig,
-    /// Max fanout on the MTE net before buffering.
-    pub mte_max_fanout: usize,
-    /// Hold-fix rounds.
-    pub hold_rounds: usize,
-    /// Random-stimulus cycles in final verification.
-    pub verify_cycles: usize,
-    /// Seed for verification stimulus.
-    pub seed: u64,
-}
-
-impl Default for FlowConfig {
-    fn default() -> Self {
-        FlowConfig {
-            technique: Technique::ImprovedSmt,
-            clock_period: None,
-            period_margin: 1.25,
-            sta: StaConfig::default(),
-            dualvth: DualVthConfig::default(),
-            cluster: ClusterConfig::default(),
-            recluster_retries: 2,
-            placer: PlacerConfig::default(),
-            route: RouteConfig::default(),
-            cts: CtsConfig::default(),
-            mte_max_fanout: 16,
-            hold_rounds: 6,
-            verify_cycles: 96,
-            seed: 2005,
-        }
-    }
-}
-
-/// Snapshot of the design after one flow stage.
-#[derive(Debug, Clone)]
-pub struct StageMetrics {
-    /// Stage name (matches the Fig. 4 boxes).
-    pub stage: String,
-    /// Total cell area.
-    pub area: Area,
-    /// Live instances.
-    pub cells: usize,
-    /// Quick standby-leakage figure (per-cell standby sums).
-    pub leak_quick: Current,
-    /// Setup WNS, when timing was run at this stage.
-    pub wns: Option<Time>,
-}
-
-/// Everything the flow produces.
-#[derive(Debug, Clone)]
-pub struct FlowResult {
-    /// The final netlist.
-    pub netlist: Netlist,
-    /// The golden (post-synthesis) netlist used for equivalence.
-    pub golden: Netlist,
-    /// Final placement.
-    pub placement: Placement,
-    /// Chosen clock period.
-    pub clock_period: Time,
-    /// Stage-by-stage metrics (the Fig. 4 walkthrough).
-    pub stages: Vec<StageMetrics>,
-    /// Dual-Vth assignment report.
-    pub dualvth: DualVthReport,
-    /// Clustering report (improved technique only).
-    pub cluster: Option<SwitchStructureReport>,
-    /// CTS report (designs with a clock).
-    pub cts: Option<CtsReport>,
-    /// Post-route switch re-optimization (improved only).
-    pub reopt: Option<ReoptReport>,
-    /// Hold-fix report.
-    pub hold_fix: HoldFixReport,
-    /// Final timing.
-    pub timing: TimingReport,
-    /// Final verification.
-    pub verify: VerifyReport,
-    /// Final Vth census.
-    pub census: VthCensus,
-    /// Total cell area.
-    pub area: Area,
-    /// Standby leakage from a gated-mode simulation snapshot.
-    pub standby_leakage: Current,
-    /// Active-mode leakage.
-    pub active_leakage: Current,
-}
-
-/// Flow failure.
-#[derive(Debug, Clone)]
-pub enum FlowError {
-    /// Synthesis failed.
-    Synth(SynthError),
-    /// Vth assignment failed (infeasible clock).
-    Assign(AssignVthError),
-    /// Levelisation failed.
-    Cycle(smt_netlist::graph::CombinationalCycle),
-    /// Verification machinery failed.
-    Verify(VerifyError),
-    /// The final design misses timing even after re-clustering retries.
-    TimingNotMet {
-        /// Final WNS.
-        wns: Time,
-    },
-}
-
-impl std::fmt::Display for FlowError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FlowError::Synth(e) => write!(f, "{e}"),
-            FlowError::Assign(e) => write!(f, "{e}"),
-            FlowError::Cycle(e) => write!(f, "{e}"),
-            FlowError::Verify(e) => write!(f, "{e}"),
-            FlowError::TimingNotMet { wns } => {
-                write!(f, "flow result misses timing (wns = {wns})")
-            }
-        }
-    }
-}
-
-impl std::error::Error for FlowError {}
-
-/// Runs the flow from RTL-lite source.
+/// Runs the flow from RTL-lite source (one-shot wrapper over
+/// [`FlowEngine::run`]).
 ///
 /// # Errors
 ///
 /// See [`FlowError`].
 pub fn run_flow(rtl: &str, lib: &Library, config: &FlowConfig) -> Result<FlowResult, FlowError> {
-    let netlist =
-        synthesize(rtl, lib, &SynthOptions::default()).map_err(FlowError::Synth)?;
-    run_flow_netlist(netlist, lib, config)
+    FlowEngine::new(lib, config.clone()).run(rtl)
 }
 
-fn snapshot(
-    stages: &mut Vec<StageMetrics>,
-    name: &str,
-    netlist: &Netlist,
-    lib: &Library,
-    wns: Option<Time>,
-) {
-    stages.push(StageMetrics {
-        stage: name.to_owned(),
-        area: netlist.total_area(lib),
-        cells: netlist.num_instances(),
-        leak_quick: netlist.standby_leak_quick(lib),
-        wns,
-    });
-}
-
-/// Builds the standby-mode simulator snapshot used for leakage accounting
-/// (fixed alternating input vector, FFs initialised to 0).
-fn standby_sim(netlist: &Netlist, lib: &Library) -> Result<Simulator, FlowError> {
-    let mut sim = Simulator::new(netlist, lib).map_err(FlowError::Cycle)?;
-    for (i, (_, port)) in netlist
-        .ports()
-        .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
-        .enumerate()
-    {
-        sim.set_input(port.net, Value::from_bool(i % 2 == 0));
-    }
-    for (id, inst) in netlist.instances() {
-        if lib.cell(inst.cell).is_sequential() {
-            sim.set_ff_state(id, Value::Zero);
-        }
-    }
-    sim.set_mode(Mode::Standby);
-    sim.propagate(netlist, lib);
-    Ok(sim)
-}
-
-/// Runs the flow on an existing (all-low-Vth) netlist.
+/// Runs the flow on an existing (all-low-Vth) netlist (one-shot wrapper
+/// over [`FlowEngine::run_netlist`]).
 ///
 /// # Errors
 ///
 /// See [`FlowError`].
 pub fn run_flow_netlist(
-    mut netlist: Netlist,
+    netlist: Netlist,
     lib: &Library,
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
-    let golden = netlist.clone();
-    let mut stages = Vec::new();
-
-    // ---- stage: initial placement -------------------------------------
-    let mut placement = place(&netlist, lib, &config.placer);
-    let parasitics = Parasitics::estimate(&netlist, lib, &placement);
-
-    // ---- clock selection ----------------------------------------------
-    let probe_cfg = StaConfig {
-        clock_period: Time::from_ns(1000.0),
-        ..config.sta.clone()
-    };
-    let probe = analyze(&netlist, lib, &parasitics, &probe_cfg, &Derating::none())
-        .map_err(FlowError::Cycle)?;
-    let crit = probe_cfg.clock_period - probe.wns;
-    let clock_period = config
-        .clock_period
-        .unwrap_or(crit * config.period_margin)
-        .max(Time::new(100.0));
-    let mut sta_cfg = StaConfig {
-        clock_period,
-        ..config.sta.clone()
-    };
-    snapshot(&mut stages, "initial netlist & placement", &netlist, lib, Some(probe.wns));
-
-    // ---- stage: Dual-Vth assignment ------------------------------------
-    // Reserve slack for what happens after assignment: extraction error and
-    // CTS skew (all techniques), plus the MT-cell delay penalty — embedded
-    // for conventional; VGND-port penalty + worst-case bounce derate for
-    // improved. Without the guard, assignment consumes all slack on
-    // estimated RC and the post-route STA fails.
-    let technique_penalty = match config.technique {
-        Technique::DualVth => 0.0,
-        Technique::ConventionalSmt => lib.config.mt_delay_penalty_embedded - 1.0,
-        Technique::ImprovedSmt => {
-            (lib.config.mt_delay_penalty_vgnd - 1.0)
-                + lib.tech.bounce_delay_sens * config.cluster.bounce_limit.volts()
-                    / lib.tech.vdd.volts()
-        }
-    };
-    let guard = clock_period * 0.08;
-    let dualvth_cfg = DualVthConfig {
-        slack_margin: config.dualvth.slack_margin.max(guard),
-        low_vth_derate: 1.0 + technique_penalty,
-        ..config.dualvth.clone()
-    };
-    let dualvth = assign_dual_vth(&mut netlist, lib, &parasitics, &sta_cfg, &dualvth_cfg)
-        .map_err(FlowError::Assign)?;
-    snapshot(&mut stages, "dual-Vth assignment", &netlist, lib, Some(dualvth.final_wns));
-
-    // ---- stage: MT replacement + switch structure ----------------------
-    let mut cluster_report = None;
-    match config.technique {
-        Technique::DualVth => {}
-        Technique::ConventionalSmt => {
-            to_conventional_smt(&mut netlist, lib);
-            snapshot(&mut stages, "replace by MT-cells (embedded)", &netlist, lib, None);
-        }
-        Technique::ImprovedSmt => {
-            to_improved_mt_cells(&mut netlist, lib);
-            insert_output_holders(&mut netlist, lib);
-            place_new_support_cells(&netlist, lib, &mut placement);
-            insert_initial_switch(&mut netlist, lib, config.cluster.bounce_limit);
-            snapshot(&mut stages, "replace by MT-cells + holders + initial switch", &netlist, lib, None);
-
-            // Clustered switch structure with timing feedback.
-            let mut cl_cfg = config.cluster.clone();
-            for attempt in 0..=config.recluster_retries {
-                let report =
-                    construct_switch_structure(&mut netlist, lib, &mut placement, &cl_cfg);
-                let derates = {
-                    let clusters = cluster_state(&netlist, lib, &placement, cl_cfg.length_detour);
-                    let mut d = Derating::uniform(&netlist);
-                    for (inst, f) in bounce_derates(lib, &clusters) {
-                        d.set(inst, f);
-                    }
-                    d
-                };
-                let par = Parasitics::estimate(&netlist, lib, &placement);
-                let timing = analyze(&netlist, lib, &par, &sta_cfg, &derates)
-                    .map_err(FlowError::Cycle)?;
-                if timing.setup_met() || attempt == config.recluster_retries {
-                    cluster_report = Some(report);
-                    break;
-                }
-                // Tighten the bounce budget and re-cluster.
-                cl_cfg.bounce_limit = cl_cfg.bounce_limit * 0.7;
-            }
-            snapshot(&mut stages, "switch structure construction", &netlist, lib, None);
-        }
-    }
-
-    // ---- stage: routing (CTS + MTE buffering + global route) -----------
-    let cts = synthesize_clock_tree(&mut netlist, &mut placement, lib, &config.cts);
-    if let Some(r) = &cts {
-        sta_cfg.clock_skew = r.skew();
-    }
-    if netlist.find_net("mte").is_some() {
-        distribute_mte(&mut netlist, &mut placement, lib, config.mte_max_fanout);
-    }
-    let groute = route_global(&netlist, lib, &placement, &config.route);
-    let extracted = Parasitics::extract(&netlist, lib, &placement, &groute);
-    snapshot(&mut stages, "routing (CTS, MTE buffering)", &netlist, lib, None);
-
-    // ---- stage: post-route switch re-optimization ----------------------
-    let mut reopt = None;
-    if config.technique == Technique::ImprovedSmt {
-        let lengths: Vec<f64> = netlist
-            .nets()
-            .map(|(id, _)| extracted.net(id).length_um)
-            .collect();
-        let r = reoptimize_switches(&mut netlist, lib, config.cluster.bounce_limit, |id| {
-            lengths.get(id.index()).copied().unwrap_or(0.0)
-        });
-        reopt = Some(r);
-        snapshot(&mut stages, "post-route switch re-optimization", &netlist, lib, None);
-    }
-
-    // Final derating from extracted lengths.
-    let derating = if config.technique == Technique::ImprovedSmt {
-        let lengths: Vec<f64> = netlist
-            .nets()
-            .map(|(id, _)| extracted.net(id).length_um)
-            .collect();
-        let clusters = smt_power::analyze_vgnd(&netlist, lib, |id| {
-            lengths.get(id.index()).copied().unwrap_or(0.0)
-        });
-        let mut d = Derating::uniform(&netlist);
-        for (inst, f) in bounce_derates(lib, &clusters) {
-            d.set(inst, f);
-        }
-        d
-    } else {
-        Derating::none()
-    };
-
-    // ---- stage: ECO (setup recovery + hold fixing) + final STA ---------
-    crate::eco::recover_setup(&mut netlist, lib, &extracted, &sta_cfg, &derating, 20)
-        .map_err(FlowError::Cycle)?;
-    let hold_fix = fix_hold(
-        &mut netlist,
-        &mut placement,
-        lib,
-        &extracted,
-        &sta_cfg,
-        &derating,
-        config.hold_rounds,
-    )
-    .map_err(FlowError::Cycle)?;
-    let timing = analyze(&netlist, lib, &extracted, &sta_cfg, &derating)
-        .map_err(FlowError::Cycle)?;
-    snapshot(&mut stages, "ECO & timing analysis", &netlist, lib, Some(timing.wns));
-    if !timing.setup_met() {
-        return Err(FlowError::TimingNotMet { wns: timing.wns });
-    }
-
-    // ---- verification + metrics ----------------------------------------
-    let verify_report = verify(&golden, &netlist, lib, config.verify_cycles, config.seed)
-        .map_err(FlowError::Verify)?;
-
-    let standby = standby_sim(&netlist, lib)?;
-    let standby_leakage =
-        standby_leakage_total(&netlist, lib, &standby);
-    let active_leakage =
-        smt_power::active_leakage(&netlist, lib, StateSource::Mean).total();
-
-    Ok(FlowResult {
-        census: netlist.vth_census(lib),
-        area: netlist.total_area(lib),
-        golden,
-        placement,
-        clock_period,
-        stages,
-        dualvth,
-        cluster: cluster_report,
-        cts,
-        reopt,
-        hold_fix,
-        timing,
-        verify: verify_report,
-        standby_leakage,
-        active_leakage,
-        netlist,
-    })
-}
-
-fn standby_leakage_total(netlist: &Netlist, lib: &Library, sim: &Simulator) -> Current {
-    standby_leakage(netlist, lib, StateSource::Snapshot(sim)).total()
-}
-
-/// Places support cells added after initial placement (output holders) at
-/// the location of the net driver they attach to.
-fn place_new_support_cells(netlist: &Netlist, lib: &Library, placement: &mut Placement) {
-    for (id, inst) in netlist.instances() {
-        let cell = lib.cell(inst.cell);
-        if cell.role != smt_cells::cell::CellRole::Holder {
-            continue;
-        }
-        let Some(pin) = cell.pin_index("A") else { continue };
-        let Some(net) = inst.net_on(pin) else { continue };
-        if let Some(smt_netlist::netlist::NetDriver::Inst(pr)) = netlist.net(net).driver {
-            let loc = placement.loc(pr.inst);
-            placement.set_loc(id, loc);
-        }
-    }
-}
-
-/// Convenience: runs all three techniques on the same RTL with the same
-/// constraints and returns the results in `[Dual-Vth, Conv, Improved]`
-/// order — the exact comparison of the paper's Table 1.
-///
-/// # Errors
-///
-/// Fails if any individual flow fails.
-pub fn run_three_techniques(
-    rtl: &str,
-    lib: &Library,
-    base: &FlowConfig,
-) -> Result<[FlowResult; 3], FlowError> {
-    let netlist = synthesize(rtl, lib, &SynthOptions::default()).map_err(FlowError::Synth)?;
-    // Pin the clock so all three see identical constraints.
-    let mut probe_cfg = base.clone();
-    probe_cfg.technique = Technique::DualVth;
-    let dual = run_flow_netlist(netlist.clone(), lib, &probe_cfg)?;
-    let clock = dual.clock_period;
-
-    let mut conv_cfg = base.clone();
-    conv_cfg.technique = Technique::ConventionalSmt;
-    conv_cfg.clock_period = Some(clock);
-    let conv = run_flow_netlist(netlist.clone(), lib, &conv_cfg)?;
-
-    let mut imp_cfg = base.clone();
-    imp_cfg.technique = Technique::ImprovedSmt;
-    imp_cfg.clock_period = Some(clock);
-    let imp = run_flow_netlist(netlist, lib, &imp_cfg)?;
-    Ok([dual, conv, imp])
+    FlowEngine::new(lib, config.clone()).run_netlist(netlist)
 }
 
 #[cfg(test)]

@@ -13,26 +13,34 @@
 //! * [`reopt`] — post-route switch re-optimization on extracted RC;
 //! * [`eco`] — MTE-net buffering and hold fixing;
 //! * [`mod@verify`] — structural, functional and standby-safety verification;
-//! * [`flow`] — the complete Fig. 4 flow under any of the three
-//!   techniques.
+//! * [`engine`] — the composable Fig. 4 stage-graph: [`engine::Stage`]s
+//!   over a shared [`engine::DesignState`], driven by an
+//!   [`engine::FlowEngine`] with observers, checkpoints and parallel
+//!   sweeps;
+//! * [`flow`] — the one-shot `run_flow` compatibility wrappers over the
+//!   engine.
 //!
 //! ```no_run
 //! use smt_cells::library::Library;
-//! use smt_core::flow::{run_flow, FlowConfig, Technique};
+//! use smt_core::engine::{FlowConfig, FlowEngine, Technique};
 //! use smt_circuits::rtl::circuit_b_rtl;
 //!
 //! let lib = Library::industrial_130nm();
-//! let result = run_flow(&circuit_b_rtl(), &lib, &FlowConfig {
+//! let result = FlowEngine::new(&lib, FlowConfig {
 //!     technique: Technique::ImprovedSmt,
 //!     ..FlowConfig::default()
-//! }).expect("flow succeeds");
+//! })
+//! .run(&circuit_b_rtl())
+//! .expect("flow succeeds");
 //! println!("standby leakage: {}", result.standby_leakage);
 //! ```
 
 pub mod cluster;
+pub mod config_io;
 pub mod crosstalk;
 pub mod dualvth;
 pub mod eco;
+pub mod engine;
 pub mod flow;
 pub mod reopt;
 pub mod report;
@@ -42,6 +50,12 @@ pub mod verify;
 pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
 pub use crosstalk::{analyze_crosstalk, worst_noise, CrosstalkConfig, CrosstalkReport};
 pub use dualvth::{assign_dual_vth, DualVthConfig, DualVthReport};
-pub use flow::{run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique};
+pub use engine::{
+    run_sweep, Checkpoint, DesignState, FlowContext, FlowEngine, FlowError, Observer, Stage,
+    StageId, StageLogger, StageMetrics, SweepOutcome, SweepRun,
+};
+pub use flow::{
+    run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique,
+};
 pub use report::render_signoff;
 pub use verify::{verify, VerifyReport};

@@ -119,10 +119,7 @@ mod tests {
         assert!(r.width_delta_um > 0.0);
         // After upsizing, bounce is within limits again.
         let after = analyze_vgnd(&n, &lib, |_| 900.0);
-        let ok = after
-            .iter()
-            .filter(|c| c.bounce.volts() <= 0.0501)
-            .count();
+        let ok = after.iter().filter(|c| c.bounce.volts() <= 0.0501).count();
         assert!(ok + r.unresolved >= after.len(), "{r:?}");
     }
 
@@ -141,12 +138,8 @@ mod tests {
         let (lib, mut n, p) = setup();
         let detour = ClusterConfig::default().length_detour;
         let len = |net: smt_netlist::netlist::NetId| {
-            let pts: Vec<smt_base::geom::Point> = n
-                .net(net)
-                .loads
-                .iter()
-                .map(|pr| p.loc(pr.inst))
-                .collect();
+            let pts: Vec<smt_base::geom::Point> =
+                n.net(net).loads.iter().map(|pr| p.loc(pr.inst)).collect();
             smt_base::geom::Rect::bounding(pts.iter().copied())
                 .map(|r| r.half_perimeter() * detour)
                 .unwrap_or(0.0)

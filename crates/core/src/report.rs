@@ -24,7 +24,11 @@ pub fn render_signoff(result: &FlowResult, lib: &Library, top_paths: usize) -> S
         result.clock_period,
         result.area,
         result.standby_leakage,
-        if result.verify.passed() { "PASS" } else { "FAIL" }
+        if result.verify.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     let _ = writeln!(out, "\n-- flow stages --");
@@ -104,9 +108,8 @@ pub fn render_signoff(result: &FlowResult, lib: &Library, top_paths: usize) -> S
         // Mode-transition cost.
         let placement = &result.placement;
         let netlist = &result.netlist;
-        let wake = smt_power::analyze_wakeup(netlist, lib, |net| {
-            placement.net_hpwl(netlist, net) * 1.2
-        });
+        let wake =
+            smt_power::analyze_wakeup(netlist, lib, |net| placement.net_hpwl(netlist, net) * 1.2);
         let saved = result.active_leakage - result.standby_leakage;
         let _ = writeln!(
             out,

@@ -118,9 +118,10 @@ pub fn insert_output_holders(netlist: &mut Netlist, lib: &Library) -> usize {
             }
         }
         // Skip if a holder is already attached (idempotence).
-        let already = net.loads.iter().any(|l| {
-            lib.cell(netlist.inst(l.inst).cell).role == CellRole::Holder
-        });
+        let already = net
+            .loads
+            .iter()
+            .any(|l| lib.cell(netlist.inst(l.inst).cell).role == CellRole::Holder);
         if needs && !already {
             targets.push(net_id);
         }
@@ -238,7 +239,13 @@ mod tests {
         assert_eq!(r.converted, 2);
         let mte = n.find_net("mte").unwrap();
         assert_eq!(n.net(mte).loads.len(), 2, "both MC cells on MTE");
-        let issues = lint(&n, &lib, LintConfig { require_mt_wiring: true });
+        let issues = lint(
+            &n,
+            &lib,
+            LintConfig {
+                require_mt_wiring: true,
+            },
+        );
         assert!(is_clean(&issues), "{issues:?}");
         // Function unchanged in active mode. The golden netlist has no
         // `mte` port, so compare against a copy that has one too.
@@ -258,14 +265,18 @@ mod tests {
         // w1: MT u1 -> high-Vth u2 + FF => holder.
         assert_eq!(holders, 1);
         let w1 = n.find_net("w1").unwrap();
-        let has_holder = n.net(w1).loads.iter().any(|l| {
-            lib.cell(n.inst(l.inst).cell).role == CellRole::Holder
-        });
+        let has_holder = n
+            .net(w1)
+            .loads
+            .iter()
+            .any(|l| lib.cell(n.inst(l.inst).cell).role == CellRole::Holder);
         assert!(has_holder);
         let w0 = n.find_net("w0").unwrap();
-        let w0_holder = n.net(w0).loads.iter().any(|l| {
-            lib.cell(n.inst(l.inst).cell).role == CellRole::Holder
-        });
+        let w0_holder = n
+            .net(w0)
+            .loads
+            .iter()
+            .any(|l| lib.cell(n.inst(l.inst).cell).role == CellRole::Holder);
         assert!(!w0_holder, "MT->MT net must not get a holder");
         // Idempotent.
         assert_eq!(insert_output_holders(&mut n, &lib), 0);
@@ -277,9 +288,15 @@ mod tests {
         let mut n = mixed(&lib);
         to_improved_mt_cells(&mut n, &lib);
         insert_output_holders(&mut n, &lib);
-        let sw = insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0))
-            .expect("has MT cells");
-        let issues = lint(&n, &lib, LintConfig { require_mt_wiring: true });
+        let sw =
+            insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0)).expect("has MT cells");
+        let issues = lint(
+            &n,
+            &lib,
+            LintConfig {
+                require_mt_wiring: true,
+            },
+        );
         assert!(is_clean(&issues), "{issues:?}");
         let spec = lib.cell(n.inst(sw).cell);
         assert_eq!(spec.role, CellRole::Switch);

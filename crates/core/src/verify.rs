@@ -62,7 +62,13 @@ pub fn verify(
     seed: u64,
 ) -> Result<VerifyReport, VerifyError> {
     // 1. Structural lint with strict MT wiring.
-    let issues = lint(dut, lib, LintConfig { require_mt_wiring: true });
+    let issues = lint(
+        dut,
+        lib,
+        LintConfig {
+            require_mt_wiring: true,
+        },
+    );
     let lint_errors: Vec<String> = issues
         .iter()
         .filter(|i| i.severity == Severity::Error)
@@ -75,12 +81,16 @@ pub fn verify(
     if dut.find_net("mte").is_some() && golden2.find_net("mte").is_none() {
         golden2.add_input("mte");
     }
-    let equivalence = check_equivalence(&golden2, dut, lib, cycles, seed)
-        .map_err(|e| VerifyError { message: e.to_string() })?;
+    let equivalence =
+        check_equivalence(&golden2, dut, lib, cycles, seed).map_err(|e| VerifyError {
+            message: e.to_string(),
+        })?;
 
     // 3. Standby safety: drive a known input vector, gate the design, and
     // look for powered cells with X inputs.
-    let mut sim = Simulator::new(dut, lib).map_err(|e| VerifyError { message: e.to_string() })?;
+    let mut sim = Simulator::new(dut, lib).map_err(|e| VerifyError {
+        message: e.to_string(),
+    })?;
     for (i, (_, port)) in dut
         .ports()
         .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
@@ -117,8 +127,7 @@ pub fn verify(
         for pin in pins {
             if let Some(net) = inst.net_on(pin) {
                 if sim.value(net) == Value::X {
-                    floating_in_standby
-                        .push((inst.name.clone(), cell.pins[pin].name.clone()));
+                    floating_in_standby.push((inst.name.clone(), cell.pins[pin].name.clone()));
                 }
             }
         }
@@ -134,9 +143,7 @@ pub fn verify(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::smtgen::{
-        insert_initial_switch, insert_output_holders, to_improved_mt_cells,
-    };
+    use crate::smtgen::{insert_initial_switch, insert_output_holders, to_improved_mt_cells};
     use smt_base::units::Volt;
 
     fn lib() -> Library {

@@ -43,20 +43,12 @@ impl fmt::Display for LintIssue {
 }
 
 /// Options controlling which rules apply at the current flow stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LintConfig {
     /// Mid-flow, MT-cells may still have floating `VGND`/`MTE` pins (the
     /// switch-insertion stage comes later). Set to `true` after that stage
     /// to require them wired.
     pub require_mt_wiring: bool,
-}
-
-impl Default for LintConfig {
-    fn default() -> Self {
-        LintConfig {
-            require_mt_wiring: false,
-        }
-    }
 }
 
 /// Runs the structural checks and returns all findings.
@@ -129,7 +121,10 @@ pub fn lint(netlist: &Netlist, lib: &Library, config: LintConfig) -> Vec<LintIss
                 PinDir::Output => push(
                     &mut issues,
                     Severity::Warning,
-                    format!("instance `{}` output `{}` is dangling", inst.name, spec.name),
+                    format!(
+                        "instance `{}` output `{}` is dangling",
+                        inst.name, spec.name
+                    ),
                 ),
             }
         }

@@ -149,7 +149,9 @@ pub fn fanout_cone(netlist: &Netlist, lib: &Library, from: InstId) -> Vec<InstId
     while let Some(id) = queue.pop_front() {
         let inst = netlist.inst(id);
         let cell = lib.cell(inst.cell);
-        let Some(op) = cell.output_pin() else { continue };
+        let Some(op) = cell.output_pin() else {
+            continue;
+        };
         let Some(net) = inst.net_on(op) else { continue };
         for load in &netlist.net(net).loads {
             if seen[load.inst.index()] {
@@ -175,7 +177,9 @@ pub fn fanin_cone(netlist: &Netlist, lib: &Library, from: InstId) -> Vec<InstId>
         let inst = netlist.inst(id);
         let cell = lib.cell(inst.cell);
         for &pin in &cell.logic_input_pins() {
-            let Some(net) = inst.net_on(pin) else { continue };
+            let Some(net) = inst.net_on(pin) else {
+                continue;
+            };
             if let Some(NetDriver::Inst(pr)) = netlist.net(net).driver {
                 if seen[pr.inst.index()] {
                     continue;

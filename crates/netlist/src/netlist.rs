@@ -202,8 +202,7 @@ impl Netlist {
     /// Adds a net. Panics on duplicate names only in debug builds; use
     /// [`Netlist::add_net_checked`] for fallible creation.
     pub fn add_net(&mut self, name: &str) -> NetId {
-        self.add_net_checked(name)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.add_net_checked(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Adds a net, failing on duplicate names.
@@ -577,9 +576,7 @@ impl Netlist {
 
     /// Total cell area.
     pub fn total_area(&self, lib: &Library) -> Area {
-        self.instances()
-            .map(|(_, i)| lib.cell(i.cell).area)
-            .sum()
+        self.instances().map(|(_, i)| lib.cell(i.cell).area).sum()
     }
 
     /// Count of live instances in each Vth class.
@@ -670,7 +667,10 @@ mod tests {
         let (n, u1, u2) = tiny(&lib);
         let n1 = n.find_net("n1").unwrap();
         let net = n.net(n1);
-        assert_eq!(net.driver, Some(NetDriver::Inst(PinRef { inst: u1, pin: 2 })));
+        assert_eq!(
+            net.driver,
+            Some(NetDriver::Inst(PinRef { inst: u1, pin: 2 }))
+        );
         assert_eq!(net.loads, vec![PinRef { inst: u2, pin: 0 }]);
         assert_eq!(n.num_instances(), 2);
         // Input port drives its net.

@@ -33,7 +33,11 @@ pub struct ParseVerilogError {
 
 impl std::fmt::Display for ParseVerilogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -292,8 +296,10 @@ endmodule
         let n2 = parse(&text, &lib).unwrap();
         assert_eq!(n.num_instances(), n2.num_instances());
         assert_eq!(n.num_nets(), n2.num_nets());
-        assert_eq!(n2.clock_net().map(|c| n2.net(c).name.clone()),
-                   Some("clk".to_owned()));
+        assert_eq!(
+            n2.clock_net().map(|c| n2.net(c).name.clone()),
+            Some("clk".to_owned())
+        );
         // Connectivity identical: compare per-instance bound net names.
         for (id, inst) in n.instances() {
             let id2 = n2.find_inst(&inst.name).expect("instance survives");

@@ -171,7 +171,11 @@ fn fm_pass(
             if locked[c] {
                 continue;
             }
-            let new_w1 = if side[c] { w1 - h.weight[c] } else { w1 + h.weight[c] };
+            let new_w1 = if side[c] {
+                w1 - h.weight[c]
+            } else {
+                w1 + h.weight[c]
+            };
             // Keep balance and never empty a side.
             if (new_w1 - total_weight / 2.0).abs() > max_dev
                 || new_w1 <= 0.0

@@ -74,7 +74,10 @@ impl Placement {
         self.port_locs
             .get(port.index())
             .copied()
-            .unwrap_or(Point::new(self.die.lo.x, (self.die.lo.y + self.die.hi.y) / 2.0))
+            .unwrap_or(Point::new(
+                self.die.lo.x,
+                (self.die.lo.y + self.die.hi.y) / 2.0,
+            ))
     }
 
     /// Bounding box of a net's pins (instance centers + port locations).
@@ -169,11 +172,8 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
     }
 
     let mut targets = vec![Point::ORIGIN; insts.len()];
-    let mut stack: Vec<(Vec<usize>, Rect, u64)> = vec![(
-        (0..insts.len()).collect(),
-        die,
-        config.seed,
-    )];
+    let mut stack: Vec<(Vec<usize>, Rect, u64)> =
+        vec![((0..insts.len()).collect(), die, config.seed)];
     while let Some((members, region, seed)) = stack.pop() {
         if members.len() <= config.min_partition {
             let c = region.center();
@@ -191,7 +191,8 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
         for cells in &all_nets {
             let local: Vec<usize> = cells
                 .iter()
-                .filter_map(|&c| (local_of[c] != usize::MAX).then(|| local_of[c]))
+                .map(|&c| local_of[c])
+                .filter(|&l| l != usize::MAX)
                 .collect();
             if local.len() >= 2 {
                 sub_nets.push(local);
@@ -229,8 +230,16 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
                 left.push(m);
             }
         }
-        stack.push((left, r0, seed.wrapping_mul(6364136223846793005).wrapping_add(1)));
-        stack.push((right, r1, seed.wrapping_mul(6364136223846793005).wrapping_add(2)));
+        stack.push((
+            left,
+            r0,
+            seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+        ));
+        stack.push((
+            right,
+            r1,
+            seed.wrapping_mul(6364136223846793005).wrapping_add(2),
+        ));
     }
 
     // ---- legalization: Tetris packing per row -------------------------
@@ -249,11 +258,12 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
         // Find the least-filled row near the wanted one.
         let mut best_row = want_row;
         let mut best_score = f64::INFINITY;
-        for r in 0..rows {
+        for (r, &fill) in row_fill.iter().enumerate() {
             let dist = (r as f64 - want_row as f64).abs();
-            let fill_pen = row_fill[r] as f64 / sites_per_row as f64;
-            let score = dist + 8.0 * fill_pen.powi(2) * rows as f64 * 0.25
-                + if row_fill[r] + sites(&weights, d) > sites_per_row {
+            let fill_pen = fill as f64 / sites_per_row as f64;
+            let score = dist
+                + 8.0 * fill_pen.powi(2) * rows as f64 * 0.25
+                + if fill + sites(&weights, d) > sites_per_row {
                     1e9
                 } else {
                     0.0
@@ -295,7 +305,10 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
         let loc = match p.dir {
             PortDir::Input => {
                 in_i += 1;
-                Point::new(die.lo.x, die.lo.y + die.height() * in_i as f64 / (n_in + 1) as f64)
+                Point::new(
+                    die.lo.x,
+                    die.lo.y + die.height() * in_i as f64 / (n_in + 1) as f64,
+                )
             }
             PortDir::Output => {
                 out_i += 1;
@@ -336,8 +349,11 @@ fn anneal(
     config: &PlacerConfig,
 ) {
     let mut rng = SplitMix64::new(config.seed ^ 0x5157_1057);
-    // Group dense indices by footprint so swaps stay legal.
-    let mut by_width: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    // Group dense indices by footprint so swaps stay legal. Ordered map:
+    // the group iteration order feeds the seeded RNG's swap choices, so a
+    // hash map's per-instance ordering would break the placement
+    // determinism that checkpoints and sweeps rely on.
+    let mut by_width: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for (d, &w) in weights.iter().enumerate() {
         by_width.entry(w as usize).or_default().push(d);
     }

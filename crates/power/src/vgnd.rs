@@ -54,14 +54,16 @@ impl ClusterBounce {
 pub fn cluster_current(lib: &Library, netlist: &Netlist, cells: &[InstId]) -> Current {
     let mut peaks: Vec<f64> = cells
         .iter()
-        .filter_map(|&c| lib.cell(netlist.inst(c).cell).mt.map(|m| m.peak_current.ua()))
+        .filter_map(|&c| {
+            lib.cell(netlist.inst(c).cell)
+                .mt
+                .map(|m| m.peak_current.ua())
+        })
         .collect();
     peaks.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     match peaks.split_first() {
         None => Current::ZERO,
-        Some((max, rest)) => {
-            Current::new(max + lib.tech.simultaneity * rest.iter().sum::<f64>())
-        }
+        Some((max, rest)) => Current::new(max + lib.tech.simultaneity * rest.iter().sum::<f64>()),
     }
 }
 
@@ -102,9 +104,8 @@ pub fn analyze_vgnd(
         let len = net_length(net_id);
         // Distributed wide power strap: effective IR contribution is half
         // the total R, scaled by the VGND strap-width factor.
-        let wire_res = Res::new(
-            lib.tech.wire_res(len).kohm() * 0.5 * lib.tech.vgnd_wire_res_factor,
-        );
+        let wire_res =
+            Res::new(lib.tech.wire_res(len).kohm() * 0.5 * lib.tech.vgnd_wire_res_factor);
         let bounce = current * spec.on_res + current * wire_res;
         out.push(ClusterBounce {
             net: net_id,
@@ -191,12 +192,7 @@ mod tests {
             .map(|(id, _)| id)
             .collect();
         let i_cluster = cluster_current(&lib, &n, &cells);
-        let peak_one = lib
-            .find("ND2_X1_MV")
-            .unwrap()
-            .mt
-            .unwrap()
-            .peak_current;
+        let peak_one = lib.find("ND2_X1_MV").unwrap().mt.unwrap().peak_current;
         // Far below the undiscounted sum, at least one full peak.
         assert!(i_cluster.ua() < 10.0 * peak_one.ua() * 0.6);
         assert!(i_cluster.ua() >= peak_one.ua());

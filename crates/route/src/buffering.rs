@@ -65,8 +65,7 @@ pub fn buffer_net(
                 )
             };
             let hint = format!("hfb{}_{}", report.levels, gi);
-            let (buf, _new_net) =
-                netlist.insert_buffer(frontier, group, config.buffer, &hint, lib);
+            let (buf, _new_net) = netlist.insert_buffer(frontier, group, config.buffer, &hint, lib);
             placement.set_loc(buf, centroid);
             report.buffers += 1;
         }
@@ -88,7 +87,11 @@ fn split_geometric(loads: &[PinRef], max_size: usize, placement: &Placement) -> 
         g.sort_by(|a, b| {
             let pa = placement.loc(a.inst);
             let pb = placement.loc(b.inst);
-            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            let (ka, kb) = if axis == 0 {
+                (pa.x, pb.x)
+            } else {
+                (pa.y, pb.y)
+            };
             ka.partial_cmp(&kb).expect("finite")
         });
         let right = g.split_off(g.len() / 2);
@@ -104,7 +107,7 @@ mod tests {
     use smt_cells::cell::VthClass;
     use smt_netlist::check::{is_clean, lint, LintConfig};
     use smt_place::{place, PlacerConfig};
-    use smt_sim::{check_equivalence};
+    use smt_sim::check_equivalence;
 
     fn fanout_net(lib: &Library, loads: usize) -> Netlist {
         let mut n = Netlist::new("hf");
@@ -138,7 +141,12 @@ mod tests {
         assert!(report.levels >= 1);
         // Every net now under the budget.
         for (_, net) in n.nets() {
-            assert!(net.loads.len() <= 8, "net {} fanout {}", net.name, net.loads.len());
+            assert!(
+                net.loads.len() <= 8,
+                "net {} fanout {}",
+                net.name,
+                net.loads.len()
+            );
         }
         let issues = lint(&n, &lib, LintConfig::default());
         assert!(is_clean(&issues), "{issues:?}");

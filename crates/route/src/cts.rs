@@ -93,7 +93,11 @@ pub fn synthesize_clock_tree(
         group.sort_by(|a, b| {
             let pa = placement.loc(a.inst);
             let pb = placement.loc(b.inst);
-            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            let (ka, kb) = if axis == 0 {
+                (pa.x, pb.x)
+            } else {
+                (pa.y, pb.y)
+            };
             ka.partial_cmp(&kb).expect("finite")
         });
         let mid = group.len() / 2;
@@ -108,7 +112,15 @@ pub fn synthesize_clock_tree(
     let mut levels = 1usize;
     let mut level: Vec<(InstId, Point)> = Vec::new();
     for (i, leaf) in leaves.iter().enumerate() {
-        let (buf, _net) = insert_buffer(netlist, placement, lib, buf_cell, &leaf.sinks, leaf.centroid, &format!("ctsl{i}"));
+        let (buf, _net) = insert_buffer(
+            netlist,
+            placement,
+            lib,
+            buf_cell,
+            &leaf.sinks,
+            leaf.centroid,
+            &format!("ctsl{i}"),
+        );
         buffers += 1;
         level.push((buf, leaf.centroid));
     }
@@ -120,15 +132,25 @@ pub fn synthesize_clock_tree(
                 .iter()
                 .map(|(b, _)| PinRef {
                     inst: *b,
-                    pin: lib.cell(netlist.inst(*b).cell).pin_index("A").expect("buf A"),
+                    pin: lib
+                        .cell(netlist.inst(*b).cell)
+                        .pin_index("A")
+                        .expect("buf A"),
                 })
                 .collect();
             let c = Point::new(
                 chunk.iter().map(|(_, p)| p.x).sum::<f64>() / chunk.len() as f64,
                 chunk.iter().map(|(_, p)| p.y).sum::<f64>() / chunk.len() as f64,
             );
-            let (buf, _net) =
-                insert_buffer(netlist, placement, lib, buf_cell, &pins, c, &format!("ctsm{levels}_{i}"));
+            let (buf, _net) = insert_buffer(
+                netlist,
+                placement,
+                lib,
+                buf_cell,
+                &pins,
+                c,
+                &format!("ctsm{levels}_{i}"),
+            );
             buffers += 1;
             next.push((buf, c));
         }
@@ -140,11 +162,16 @@ pub fn synthesize_clock_tree(
         .iter()
         .map(|(b, _)| PinRef {
             inst: *b,
-            pin: lib.cell(netlist.inst(*b).cell).pin_index("A").expect("buf A"),
+            pin: lib
+                .cell(netlist.inst(*b).cell)
+                .pin_index("A")
+                .expect("buf A"),
         })
         .collect();
     let root_loc = centroid_points(&level.iter().map(|(_, p)| *p).collect::<Vec<_>>());
-    let (_root, _net) = insert_buffer(netlist, placement, lib, buf_cell, &pins, root_loc, "ctsroot");
+    let (_root, _net) = insert_buffer(
+        netlist, placement, lib, buf_cell, &pins, root_loc, "ctsroot",
+    );
     buffers += 1;
 
     // Insertion delay estimate per FF sink: walk up the buffer chain.
@@ -210,7 +237,9 @@ fn estimate_insertion(
             .iter()
             .position(|p| p.is_clock)
             .expect("sequential cell has a clock pin");
-        let Some(mut net) = inst.net_on(ck_pin) else { continue };
+        let Some(mut net) = inst.net_on(ck_pin) else {
+            continue;
+        };
         let mut delay = Time::ZERO;
         let mut hops = 0;
         loop {
@@ -306,7 +335,12 @@ mod tests {
                 .iter()
                 .any(|pr| lib.cell(n.inst(pr.inst).cell).pins[pr.pin].is_clock);
             if clocked {
-                assert!(net.loads.len() <= 8, "net {} fanout {}", net.name, net.loads.len());
+                assert!(
+                    net.loads.len() <= 8,
+                    "net {} fanout {}",
+                    net.name,
+                    net.loads.len()
+                );
             }
         }
         // Netlist still structurally clean.

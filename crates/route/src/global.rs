@@ -108,12 +108,8 @@ impl Grid {
                 break;
             }
             let du = dist[u];
-            let mut neighbours: [(isize, isize, f64); 4] = [
-                (1, 0, 0.0),
-                (-1, 0, 0.0),
-                (0, 1, 0.0),
-                (0, -1, 0.0),
-            ];
+            let mut neighbours: [(isize, isize, f64); 4] =
+                [(1, 0, 0.0), (-1, 0, 0.0), (0, 1, 0.0), (0, -1, 0.0)];
             for n in &mut neighbours {
                 let nx = x as isize + n.0;
                 let ny = y as isize + n.1;
@@ -197,7 +193,13 @@ impl Grid {
     }
 
     fn peak_utilization(&self) -> f64 {
-        let m = self.h.iter().chain(self.v.iter()).copied().max().unwrap_or(0);
+        let m = self
+            .h
+            .iter()
+            .chain(self.v.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
         m as f64 / self.capacity as f64
     }
 }
@@ -339,7 +341,11 @@ mod tests {
         assert!(gr.total_length() > 0.0);
         // Routed length should be within a sane factor of HPWL.
         let hpwl = p.hpwl(&n);
-        assert!(gr.total_length() < hpwl * 4.0 + 200.0, "routed {} vs hpwl {hpwl}", gr.total_length());
+        assert!(
+            gr.total_length() < hpwl * 4.0 + 200.0,
+            "routed {} vs hpwl {hpwl}",
+            gr.total_length()
+        );
     }
 
     #[test]
@@ -369,9 +375,7 @@ mod tests {
         for (id, net) in n.nets() {
             if net.driver.is_some() && !net.loads.is_empty() {
                 let pins = net_pins(&n, &p, id);
-                let spread = pins
-                    .iter()
-                    .any(|&q| q.manhattan(pins[0]) > gr.tile_um);
+                let spread = pins.iter().any(|&q| q.manhattan(pins[0]) > gr.tile_um);
                 if spread {
                     assert!(gr.length(id) > 0.0, "net {} unrouted", net.name);
                 }

@@ -30,7 +30,11 @@ pub struct ParseSpefError {
 
 impl std::fmt::Display for ParseSpefError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "spef-lite parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spef-lite parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -45,7 +49,11 @@ pub fn write(netlist: &Netlist, parasitics: &Parasitics) -> String {
     let _ = writeln!(
         out,
         "*MODE {}",
-        if parasitics.post_route { "post_route" } else { "estimated" }
+        if parasitics.post_route {
+            "post_route"
+        } else {
+            "estimated"
+        }
     );
     for (id, net) in netlist.nets() {
         let p = parasitics.net(id);
@@ -172,7 +180,7 @@ mod tests {
         let ext = Parasitics::extract(&n, &lib, &p, &gr);
         let text = write(&n, &ext);
         let back = parse(&text, &n).unwrap();
-        assert_eq!(back.post_route, true);
+        assert!(back.post_route);
         for (id, _) in n.nets() {
             let x = ext.net(id);
             let y = back.net(id);

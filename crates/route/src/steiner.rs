@@ -108,10 +108,10 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
         }
     }
     let mut tree = RouteTree { nodes, parent };
-    for v in 0..n {
+    for (v, child_list) in children.iter().enumerate() {
         // Case 1: two children — try the median of (v, childA, childB).
-        if children[v].len() >= 2 {
-            let mut kids = children[v].clone();
+        if child_list.len() >= 2 {
+            let mut kids = child_list.clone();
             kids.sort_by(|&a, &b| {
                 let da = tree.nodes[a].manhattan(tree.nodes[v]);
                 let db = tree.nodes[b].manhattan(tree.nodes[v]);
@@ -121,8 +121,8 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
             // Only if both still hang off v (not rewired by an earlier fix).
             if tree.parent[a] == v && tree.parent[b] == v {
                 let s = median_point(tree.nodes[v], tree.nodes[a], tree.nodes[b]);
-                let old = tree.nodes[a].manhattan(tree.nodes[v])
-                    + tree.nodes[b].manhattan(tree.nodes[v]);
+                let old =
+                    tree.nodes[a].manhattan(tree.nodes[v]) + tree.nodes[b].manhattan(tree.nodes[v]);
                 let new = s.manhattan(tree.nodes[v])
                     + s.manhattan(tree.nodes[a])
                     + s.manhattan(tree.nodes[b]);
@@ -137,9 +137,9 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
             }
         }
         // Case 2: trunk node — median of (parent, v, longest child).
-        if tree.parent[v] != usize::MAX && !children[v].is_empty() {
+        if tree.parent[v] != usize::MAX && !child_list.is_empty() {
             let p = tree.parent[v];
-            let c = *children[v]
+            let c = *child_list
                 .iter()
                 .filter(|&&c| tree.parent[c] == v)
                 .max_by(|&&a, &&b| {

@@ -9,8 +9,7 @@
 //! mis-inserted buffers).
 
 use crate::sim::{Mode, Simulator, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smt_base::SplitMix64;
 use smt_cells::library::Library;
 use smt_netlist::graph::CombinationalCycle;
 use smt_netlist::netlist::{Netlist, PortDir};
@@ -127,23 +126,33 @@ pub fn check_equivalence(
     sim_ref.set_mode(Mode::Active);
     sim_dut.set_mode(Mode::Active);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut mismatches = Vec::new();
     for cycle in 0..cycles {
         for (i, (_, net)) in ref_inputs.iter().enumerate() {
-            let v = Value::from_bool(rng.random::<bool>());
+            let v = Value::from_bool(rng.chance(0.5));
             sim_ref.set_input(*net, v);
             sim_dut.set_input(dut_inputs[i], v);
         }
         sim_ref.propagate(reference, lib);
         sim_dut.propagate(dut, lib);
         compare(
-            &sim_ref, &sim_dut, &ref_outputs, &dut_outputs, cycle, &mut mismatches,
+            &sim_ref,
+            &sim_dut,
+            &ref_outputs,
+            &dut_outputs,
+            cycle,
+            &mut mismatches,
         );
         sim_ref.clock_edge(reference, lib);
         sim_dut.clock_edge(dut, lib);
         compare(
-            &sim_ref, &sim_dut, &ref_outputs, &dut_outputs, cycle, &mut mismatches,
+            &sim_ref,
+            &sim_dut,
+            &ref_outputs,
+            &dut_outputs,
+            cycle,
+            &mut mismatches,
         );
         if mismatches.len() > 16 {
             break; // enough evidence
@@ -245,8 +254,11 @@ mod tests {
             let z = n.add_output("z");
             let w = n.add_net("w");
             let q = n.add_net("q");
-            let g = n
-                .add_instance("g", lib.find_id(&format!("ND2_X1_{}", vth.suffix())).unwrap(), &lib);
+            let g = n.add_instance(
+                "g",
+                lib.find_id(&format!("ND2_X1_{}", vth.suffix())).unwrap(),
+                &lib,
+            );
             let ff = n.add_instance("ff", lib.find_id("DFF_X1_L").unwrap(), &lib);
             let inv = n.add_instance("inv", lib.find_id("INV_X1_L").unwrap(), &lib);
             n.connect_by_name(g, "A", a, &lib).unwrap();

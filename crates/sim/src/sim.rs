@@ -185,10 +185,7 @@ impl Simulator {
                     let mut v = out_value;
                     // Output holder: in standby, a held floating net is
                     // pinned to 1 (the paper's holder drives 1).
-                    if self.mode == Mode::Standby
-                        && v == Value::X
-                        && self.has_holder[net.index()]
-                    {
+                    if self.mode == Mode::Standby && v == Value::X && self.has_holder[net.index()] {
                         v = Value::One;
                     }
                     self.values[net.index()] = v;

@@ -6,8 +6,7 @@
 //! net (transitions into or out of `X` are ignored).
 
 use crate::sim::{Simulator, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smt_base::SplitMix64;
 use smt_cells::library::Library;
 use smt_netlist::graph::CombinationalCycle;
 use smt_netlist::netlist::{Netlist, PortDir};
@@ -58,14 +57,14 @@ pub fn estimate_toggles(
         .map(|(_, p)| p.net)
         .collect();
     let nets: Vec<_> = netlist.nets().map(|(id, _)| id).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut prev: Vec<Value> = vec![Value::X; netlist.num_nets()];
     let mut toggles = vec![0u32; netlist.num_nets()];
 
     // Warm up: two cycles to flush X from state.
     for _ in 0..2 {
         for &i in &inputs {
-            sim.set_input(i, Value::from_bool(rng.random()));
+            sim.set_input(i, Value::from_bool(rng.chance(0.5)));
         }
         sim.propagate(netlist, lib);
         sim.clock_edge(netlist, lib);
@@ -76,7 +75,7 @@ pub fn estimate_toggles(
 
     for _ in 0..cycles {
         for &i in &inputs {
-            sim.set_input(i, Value::from_bool(rng.random()));
+            sim.set_input(i, Value::from_bool(rng.chance(0.5)));
         }
         sim.propagate(netlist, lib);
         sim.clock_edge(netlist, lib);

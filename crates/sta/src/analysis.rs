@@ -187,8 +187,12 @@ pub fn analyze(
         if !cell.is_sequential() {
             continue;
         }
-        let Some(qp) = cell.output_pin() else { continue };
-        let Some(qnet) = inst.net_on(qp) else { continue };
+        let Some(qp) = cell.output_pin() else {
+            continue;
+        };
+        let Some(qnet) = inst.net_on(qp) else {
+            continue;
+        };
         let load = net_load(netlist, lib, parasitics, qnet);
         if let Some(arc) = cell.arcs.first() {
             let d = arc.delay(config.source_slew, load) * derating.factor(id);
@@ -202,16 +206,24 @@ pub fn analyze(
     for &id in &topo.order {
         let inst = netlist.inst(id);
         let cell = lib.cell(inst.cell);
-        let Some(op) = cell.output_pin() else { continue };
-        let Some(onet) = inst.net_on(op) else { continue };
+        let Some(op) = cell.output_pin() else {
+            continue;
+        };
+        let Some(onet) = inst.net_on(op) else {
+            continue;
+        };
         let load = net_load(netlist, lib, parasitics, onet);
         let mut best = Time::ZERO;
         let mut best_min = Time::new(f64::INFINITY);
         let mut best_slew = config.source_slew;
         let mut any_input = false;
         for &pin in &cell.logic_input_pins() {
-            let Some(inet) = inst.net_on(pin) else { continue };
-            let Some(arc) = cell.arc_from(pin) else { continue };
+            let Some(inet) = inst.net_on(pin) else {
+                continue;
+            };
+            let Some(arc) = cell.arc_from(pin) else {
+                continue;
+            };
             any_input = true;
             let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
             let wire = parasitics.net(inet).elmore(ord);
@@ -259,16 +271,24 @@ pub fn analyze(
     for &id in topo.order.iter().rev() {
         let inst = netlist.inst(id);
         let cell = lib.cell(inst.cell);
-        let Some(op) = cell.output_pin() else { continue };
-        let Some(onet) = inst.net_on(op) else { continue };
+        let Some(op) = cell.output_pin() else {
+            continue;
+        };
+        let Some(onet) = inst.net_on(op) else {
+            continue;
+        };
         let out_req = required[onet.index()];
         if !out_req.is_finite() {
             continue;
         }
         let load = net_load(netlist, lib, parasitics, onet);
         for &pin in &cell.logic_input_pins() {
-            let Some(inet) = inst.net_on(pin) else { continue };
-            let Some(arc) = cell.arc_from(pin) else { continue };
+            let Some(inet) = inst.net_on(pin) else {
+                continue;
+            };
+            let Some(arc) = cell.arc_from(pin) else {
+                continue;
+            };
             let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
             let wire = parasitics.net(inet).elmore(ord);
             let d = arc.delay(slew[inet.index()], load) * derating.factor(id);
@@ -326,8 +346,12 @@ pub fn analyze(
         if !cell.is_sequential() {
             continue;
         }
-        let Some(dp) = cell.pin_index("D") else { continue };
-        let Some(dnet) = inst.net_on(dp) else { continue };
+        let Some(dp) = cell.pin_index("D") else {
+            continue;
+        };
+        let Some(dnet) = inst.net_on(dp) else {
+            continue;
+        };
         let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
         let wire = parasitics.net(dnet).elmore(ord);
         let mut at_min = arrival_min[dnet.index()];
@@ -359,11 +383,7 @@ pub fn analyze(
 
 /// Walks the worst path backwards from the worst endpoint; returns the
 /// instances on it, endpoint first.
-pub fn worst_path(
-    netlist: &Netlist,
-    lib: &Library,
-    report: &TimingReport,
-) -> Vec<InstId> {
+pub fn worst_path(netlist: &Netlist, lib: &Library, report: &TimingReport) -> Vec<InstId> {
     // Worst endpoint: minimal slack over FF D nets and output-port nets.
     let mut worst: Option<(Time, NetId)> = None;
     let mut consider = |net: NetId| {
@@ -387,13 +407,12 @@ pub fn worst_path(
             }
         }
     }
-    let Some((_, mut net)) = worst else { return Vec::new() };
+    let Some((_, mut net)) = worst else {
+        return Vec::new();
+    };
     let mut path = Vec::new();
-    loop {
-        let driver = match netlist.net(net).driver {
-            Some(NetDriver::Inst(pr)) => pr.inst,
-            _ => break,
-        };
+    while let Some(NetDriver::Inst(pr)) = netlist.net(net).driver {
+        let driver = pr.inst;
         let cell = lib.cell(netlist.inst(driver).cell);
         path.push(driver);
         if !cell.is_logic() {
@@ -435,9 +454,7 @@ mod tests {
         let mut n = Netlist::new("chain");
         let clk = n.add_clock("clk");
         let mut prev = n.add_input("a");
-        let inv = lib
-            .find_id(&format!("INV_X1_{}", vth.suffix()))
-            .unwrap();
+        let inv = lib.find_id(&format!("INV_X1_{}", vth.suffix())).unwrap();
         for i in 0..len {
             let w = n.add_net(&format!("w{i}"));
             let u = n.add_instance(&format!("u{i}"), inv, lib);

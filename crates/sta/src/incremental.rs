@@ -112,8 +112,12 @@ impl IncrementalSta {
         let mut best_slew = self.config.source_slew;
         let mut any = false;
         for &pin in &cell.logic_input_pins() {
-            let Some(inet) = inst.net_on(pin) else { continue };
-            let Some(arc) = cell.arc_from(pin) else { continue };
+            let Some(inet) = inst.net_on(pin) else {
+                continue;
+            };
+            let Some(arc) = cell.arc_from(pin) else {
+                continue;
+            };
             any = true;
             let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
             let wire = parasitics.net(inet).elmore(ord);
@@ -145,8 +149,12 @@ impl IncrementalSta {
             if !cell.is_sequential() {
                 continue;
             }
-            let Some(qp) = cell.output_pin() else { continue };
-            let Some(qnet) = inst.net_on(qp) else { continue };
+            let Some(qp) = cell.output_pin() else {
+                continue;
+            };
+            let Some(qnet) = inst.net_on(qp) else {
+                continue;
+            };
             let load = Self::net_load(netlist, lib, parasitics, qnet);
             if let Some(arc) = cell.arcs.first() {
                 self.arrival[qnet.index()] =
@@ -190,7 +198,7 @@ impl IncrementalSta {
         // perturbed fan-ins.
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
         let mut queued = vec![false; netlist.inst_capacity()];
-        let mut push = |heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: InstId, level: u32| {
+        let push = |heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: InstId, level: u32| {
             if !queued[id.index()] {
                 queued[id.index()] = true;
                 heap.push(std::cmp::Reverse((level, id.0)));
@@ -356,9 +364,7 @@ mod tests {
             .find(|(_, i)| lib.cell(i.cell).is_logic())
             .map(|(id, _)| id)
             .unwrap();
-        let v = lib
-            .variant_id(n.inst(id).cell, VthClass::High)
-            .unwrap();
+        let v = lib.variant_id(n.inst(id).cell, VthClass::High).unwrap();
         n.replace_cell(id, v, &lib).unwrap();
         inc.update_after_swap(&n, &lib, &par, &der, id);
         let full = analyze(&n, &lib, &par, &cfg, &der).unwrap();

@@ -33,8 +33,6 @@ pub mod analysis;
 pub mod incremental;
 pub mod report;
 
-pub use analysis::{
-    analyze, worst_path, Derating, HoldViolation, StaConfig, TimingReport,
-};
+pub use analysis::{analyze, worst_path, Derating, HoldViolation, StaConfig, TimingReport};
 pub use incremental::IncrementalSta;
 pub use report::{render_report, worst_paths, ReportedPath};

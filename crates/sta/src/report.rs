@@ -39,7 +39,11 @@ impl ReportedPath {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "endpoint: {}   slack: {}", self.endpoint, self.slack);
-        let _ = writeln!(out, "  {:<28} {:<12} {:>10} {:>12}", "point", "cell", "delay", "arrival");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<12} {:>10} {:>12}",
+            "point", "cell", "delay", "arrival"
+        );
         for s in &self.stages {
             let _ = writeln!(
                 out,
@@ -143,11 +147,7 @@ fn trace(
                 let cell = lib.cell(netlist.inst(pr.inst).cell);
                 chain.push((pr.inst, net));
                 if !cell.is_logic() {
-                    launch = Some(format!(
-                        "{}/Q ({})",
-                        netlist.inst(pr.inst).name,
-                        cell.name
-                    ));
+                    launch = Some(format!("{}/Q ({})", netlist.inst(pr.inst).name, cell.name));
                     chain.pop();
                     // Keep the FF as the launching stage.
                     chain.push((pr.inst, net));
@@ -334,7 +334,11 @@ mod tests {
         let cfg = StaConfig::default();
         let r = analyze(&n, &lib, &par, &cfg, &Derating::none()).unwrap();
         let paths = worst_paths(&n, &lib, &par, &r, &cfg, &Derating::none(), 4);
-        assert!(paths[0].endpoint.contains("deep_ff"), "{}", paths[0].endpoint);
+        assert!(
+            paths[0].endpoint.contains("deep_ff"),
+            "{}",
+            paths[0].endpoint
+        );
         assert!(paths[0].slack < paths.last().unwrap().slack);
     }
 }

@@ -4,6 +4,7 @@
 use crate::ast::{Expr, Module, SignalKind};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Not;
 
 /// A literal: an AIG node index with a complement bit in the LSB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,11 +33,14 @@ impl Lit {
     pub fn is_complemented(self) -> bool {
         self.0 & 1 == 1
     }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
 
     /// The complemented literal.
     #[inline]
-    #[must_use]
-    pub fn not(self) -> Lit {
+    fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }
 }
@@ -382,7 +386,10 @@ impl<'m> Elaborator<'m> {
         f: impl Fn(&mut Aig, Lit, Lit) -> Lit,
     ) -> Result<Vec<Lit>, ElabError> {
         let (x, y) = self.equalise(a, b)?;
-        Ok(x.iter().zip(&y).map(|(p, q)| f(&mut self.aig, *p, *q)).collect())
+        Ok(x.iter()
+            .zip(&y)
+            .map(|(p, q)| f(&mut self.aig, *p, *q))
+            .collect())
     }
 
     /// Evaluates both operands and zero-extends the narrower to match.

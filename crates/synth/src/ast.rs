@@ -242,7 +242,11 @@ fn lex(text: &str) -> Result<Lexer, ParseRtlError> {
                             message: "literal width must be 1..=64".to_owned(),
                         });
                     }
-                    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                    let mask = if width == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << width) - 1
+                    };
                     toks.push((
                         line,
                         Tok::SizedLit(Literal {
@@ -440,11 +444,7 @@ pub fn parse_rtl(text: &str) -> Result<Module, ParseRtlError> {
     Ok(module)
 }
 
-fn parse_decl(
-    lx: &mut Lexer,
-    module: &mut Module,
-    kind: SignalKind,
-) -> Result<(), ParseRtlError> {
+fn parse_decl(lx: &mut Lexer, module: &mut Module, kind: SignalKind) -> Result<(), ParseRtlError> {
     let width = if lx.eat_punct("[") {
         let hi = lx.expect_number()? as u32;
         lx.expect_punct(":")?;
@@ -677,10 +677,9 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let m = parse_rtl(
-            "module t;\ninput a, b, c;\noutput y;\nassign y = a | b & c;\nendmodule\n",
-        )
-        .unwrap();
+        let m =
+            parse_rtl("module t;\ninput a, b, c;\noutput y;\nassign y = a | b & c;\nendmodule\n")
+                .unwrap();
         // & binds tighter than |
         match &m.assigns[0].rhs {
             Expr::Or(l, r) => {
@@ -703,14 +702,25 @@ mod tests {
 
     #[test]
     fn literals() {
-        let m = parse_rtl(
-            "module t;\noutput [7:0] y;\nassign y = 8'hA5 ^ 8'b1111_0000;\nendmodule\n",
-        )
-        .unwrap();
+        let m =
+            parse_rtl("module t;\noutput [7:0] y;\nassign y = 8'hA5 ^ 8'b1111_0000;\nendmodule\n")
+                .unwrap();
         match &m.assigns[0].rhs {
             Expr::Xor(l, r) => {
-                assert_eq!(**l, Expr::Const(Literal { width: 8, value: 0xA5 }));
-                assert_eq!(**r, Expr::Const(Literal { width: 8, value: 0xF0 }));
+                assert_eq!(
+                    **l,
+                    Expr::Const(Literal {
+                        width: 8,
+                        value: 0xA5
+                    })
+                );
+                assert_eq!(
+                    **r,
+                    Expr::Const(Literal {
+                        width: 8,
+                        value: 0xF0
+                    })
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

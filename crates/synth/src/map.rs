@@ -23,6 +23,7 @@ use smt_cells::cell::VthClass;
 use smt_cells::library::Library;
 use smt_netlist::netlist::{NetId, Netlist};
 use std::collections::HashMap;
+use std::ops::Not;
 
 /// Mapper options.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,11 +117,7 @@ impl<'a> Mapper<'a> {
                         let xs = [x0, x1];
                         let ys = [y0, y1];
                         let has = |arr: [Lit; 2], l: Lit| arr[0] == l || arr[1] == l;
-                        if has(xs, a)
-                            && has(xs, b.not())
-                            && has(ys, a.not())
-                            && has(ys, b)
-                        {
+                        if has(xs, a) && has(xs, b.not()) && has(ys, a.not()) && has(ys, b) {
                             // node = and(!and(a,!b), !and(!a,b)) = XNOR(a,b).
                             return Some(Pattern::Xnor(a, b));
                         }
@@ -210,10 +207,7 @@ impl<'a> Mapper<'a> {
                 // Input nets are seeded in `run`; reaching here means the
                 // positive phase exists and we need an inverter.
                 let pos = Lit::new(lit.node(), false);
-                let src = *self
-                    .lit_net
-                    .get(&pos)
-                    .expect("input nets are pre-seeded");
+                let src = *self.lit_net.get(&pos).expect("input nets are pre-seeded");
                 debug_assert!(lit.is_complemented());
                 self.emit_unary("INV", src)
             }
@@ -393,19 +387,14 @@ impl<'a> Mapper<'a> {
         // low-Vth *logic* around them absorbs the timing cost (standard
         // practice in standby-critical designs and consistent with the
         // paper's figures, which draw the F/Fs outside the MT regions).
-        let dff = self
-            .lib
-            .find_id("DFF_X1_H")
-            .expect("library has DFF_X1_H");
+        let dff = self.lib.find_id("DFF_X1_H").expect("library has DFF_X1_H");
         let mut ff_insts = Vec::new();
         for (i, reg) in self.design.regs.iter().enumerate() {
             let q_net = self
                 .netlist
                 .add_net(&format!("{}__q", reg.name.replace(['[', ']'], "_")));
             self.lit_net.insert(reg.q, q_net);
-            let inst = self
-                .netlist
-                .add_instance(&format!("ff{i}"), dff, self.lib);
+            let inst = self.netlist.add_instance(&format!("ff{i}"), dff, self.lib);
             self.netlist
                 .connect_by_name(inst, "Q", q_net, self.lib)
                 .expect("DFF pin Q");
@@ -438,8 +427,12 @@ impl<'a> Mapper<'a> {
         let mut work: Vec<(smt_netlist::netlist::InstId, u8)> = Vec::new();
         for (id, inst) in self.netlist.instances() {
             let cell = self.lib.cell(inst.cell);
-            let Some(out) = cell.output_pin() else { continue };
-            let Some(net) = inst.net_on(out) else { continue };
+            let Some(out) = cell.output_pin() else {
+                continue;
+            };
+            let Some(net) = inst.net_on(out) else {
+                continue;
+            };
             let fanout = self.netlist.net(net).loads.len();
             let want = if fanout >= self.options.x4_fanout {
                 4
@@ -675,6 +668,10 @@ mod tests {
         // shared XOR/XNR gate output is reused: structural hashing should
         // collapse all 12 to ONE gate (shared net), so no upsize needed but
         // the netlist must stay small.
-        assert!(n.num_instances() <= 3, "hashing failed: {}", n.num_instances());
+        assert!(
+            n.num_instances() <= 3,
+            "hashing failed: {}",
+            n.num_instances()
+        );
     }
 }

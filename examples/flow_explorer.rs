@@ -2,23 +2,29 @@
 //! names (bounce limit, VGND wirelength cap, cells-per-switch) on any of
 //! the bundled circuits and watch the area/leakage/timing trade move.
 //!
+//! All variants fork one shared synthesis + placement checkpoint and run
+//! in parallel (`run_sweep`), so exploring N operating points costs far
+//! less than N full flows.
+//!
 //! ```text
-//! cargo run --release --example flow_explorer -- [a|b] [bounce_mv] [max_len_um] [max_cells]
-//! cargo run --release --example flow_explorer -- a 30 200 16
-//! cargo run --release --example flow_explorer -- b 50 400 24 --signoff
+//! cargo run --release --example flow_explorer -- [a|b] [bounce_mv...]
+//! cargo run --release --example flow_explorer -- a 30 50 90
+//! cargo run --release --example flow_explorer -- b 50 --signoff
+//! cargo run --release --example flow_explorer -- b --config sweep.json
 //! ```
+//!
+//! With `--config FILE`, FILE is a JSON `FlowConfig` (see
+//! `smt_core::config_io`) used as the base for every variant.
 
-use selective_mt::base::units::Volt;
-use selective_mt::cells::library::Library;
-use selective_mt::circuits::rtl::{circuit_a_rtl, circuit_b_rtl};
-use selective_mt::core::flow::{run_flow, FlowConfig, Technique};
+use selective_mt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let circuit = args.first().map(String::as_str).unwrap_or("b");
-    let bounce_mv: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50.0);
-    let max_len: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400.0);
-    let max_cells: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let cli_bounces_mv: Vec<f64> = args[1.min(args.len())..]
+        .iter()
+        .filter_map(|s| s.parse().ok())
+        .collect();
 
     let (rtl, margin, frac) = match circuit {
         "a" | "A" => (circuit_a_rtl(), 1.22, 0.60),
@@ -26,48 +32,89 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let lib = Library::industrial_130nm();
-    let mut cfg = FlowConfig {
-        technique: Technique::ImprovedSmt,
-        period_margin: margin,
-        ..FlowConfig::default()
+    // A `--config` file is the base for every variant, technique included;
+    // without one, the improved technique with per-circuit defaults.
+    let base = match args.iter().position(|a| a == "--config") {
+        Some(i) => {
+            let path = args.get(i + 1).ok_or("--config needs a file path")?;
+            FlowConfig::from_json(&std::fs::read_to_string(path)?)?
+        }
+        None => {
+            let mut cfg = FlowConfig {
+                technique: Technique::ImprovedSmt,
+                period_margin: margin,
+                ..FlowConfig::default()
+            };
+            cfg.dualvth.max_high_fraction = Some(frac);
+            cfg
+        }
     };
-    cfg.dualvth.max_high_fraction = Some(frac);
-    cfg.cluster.bounce_limit = Volt::from_millivolts(bounce_mv);
-    cfg.cluster.max_vgnd_length_um = max_len;
-    cfg.cluster.max_cells_per_switch = max_cells;
+    // Bounce points: CLI values if given, else the config's own limit,
+    // else the paper's spread.
+    let bounces_mv = if !cli_bounces_mv.is_empty() {
+        cli_bounces_mv
+    } else if args.iter().any(|a| a == "--config") {
+        vec![base.cluster.bounce_limit.millivolts()]
+    } else {
+        vec![30.0, 50.0, 90.0]
+    };
+
+    let runs: Vec<SweepRun> = bounces_mv
+        .iter()
+        .map(|&mv| {
+            let mut cfg = base.clone();
+            cfg.cluster.bounce_limit = Volt::from_millivolts(mv);
+            SweepRun::new(format!("bounce <= {mv:.0} mV"), cfg)
+        })
+        .collect();
 
     eprintln!(
-        "circuit {circuit}: bounce <= {bounce_mv} mV, VGND length <= {max_len} um, <= {max_cells} cells/switch"
+        "circuit {circuit}: {} variants over one shared checkpoint",
+        runs.len()
     );
-    let r = run_flow(&rtl, &lib, &cfg)?;
+    let outcomes = run_sweep(&rtl, &lib, &base, &runs, 0)?;
 
-    println!("clock period  : {}", r.clock_period);
-    println!("area          : {}", r.area);
-    println!("standby       : {}", r.standby_leakage);
-    println!("setup WNS     : {}", r.timing.wns);
-    if let Some(c) = &r.cluster {
+    for outcome in &outcomes {
+        println!("== {} ==", outcome.label);
+        let r = match &outcome.result {
+            Ok(r) => r,
+            Err(e) => {
+                println!("failed: {e}\n");
+                continue;
+            }
+        };
+        println!("clock period  : {}", r.clock_period);
+        println!("area          : {}", r.area);
+        println!("standby       : {}", r.standby_leakage);
+        println!("setup WNS     : {}", r.timing.wns);
+        if let Some(c) = &r.cluster {
+            println!(
+                "clusters      : {} over {} MT-cells (largest {}), switch width {:.1} um",
+                c.clusters, c.mt_cells, c.largest_cluster, c.total_switch_width_um
+            );
+            println!(
+                "worst bounce  : {:.1} mV, worst VGND length {:.0} um",
+                c.worst_bounce.millivolts(),
+                c.worst_length_um
+            );
+        }
+        if let Some(re) = &r.reopt {
+            println!(
+                "re-opt        : {} upsized / {} downsized ({:+.1} um)",
+                re.upsized, re.downsized, re.width_delta_um
+            );
+        }
         println!(
-            "clusters      : {} over {} MT-cells (largest {}), switch width {:.1} um",
-            c.clusters, c.mt_cells, c.largest_cluster, c.total_switch_width_um
+            "verification  : {}",
+            if r.verify.passed() { "PASS" } else { "FAIL" }
         );
-        println!(
-            "worst bounce  : {:.1} mV (limit {bounce_mv} mV), worst VGND length {:.0} um (limit {max_len} um)",
-            c.worst_bounce.millivolts(),
-            c.worst_length_um
-        );
-    }
-    if let Some(re) = &r.reopt {
-        println!(
-            "re-opt        : {} upsized / {} downsized ({:+.1} um)",
-            re.upsized, re.downsized, re.width_delta_um
-        );
-    }
-    println!(
-        "verification  : {}",
-        if r.verify.passed() { "PASS" } else { "FAIL" }
-    );
-    if args.iter().any(|a| a == "--signoff") {
-        println!("\n{}", selective_mt::core::report::render_signoff(&r, &lib, 3));
+        if args.iter().any(|a| a == "--signoff") {
+            println!(
+                "\n{}",
+                selective_mt::core::report::render_signoff(r, &lib, 3)
+            );
+        }
+        println!();
     }
     Ok(())
 }

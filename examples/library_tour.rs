@@ -15,10 +15,9 @@ use selective_mt::cells::{liberty, schematic};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::industrial_130nm();
     println!(
-        "library `{}`: {} cells on {} (VDD {}, Vth {} / {})\n",
+        "library `{}`: {} cells on smt130lp (VDD {}, Vth {} / {})\n",
         lib.tech.name,
         lib.len(),
-        "smt130lp",
         lib.tech.vdd,
         lib.tech.vth_low,
         lib.tech.vth_high
@@ -42,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.name.clone(),
             format!("{:.2}", c.area.um2()),
             format!("{:.6}", c.standby_leak.ua()),
-            format!("{:.1}", c.arcs[0].delay(Time::new(40.0), Cap::new(10.0)).ps()),
+            format!(
+                "{:.1}",
+                c.arcs[0].delay(Time::new(40.0), Cap::new(10.0)).ps()
+            ),
         ]);
     }
     println!("{t}");
@@ -50,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The switch ladder.
     let mut t = Table::new(
         "footer-switch ladder",
-        &["cell", "width um", "on-res kOhm", "off-leak uA", "EM limit uA"],
+        &[
+            "cell",
+            "width um",
+            "on-res kOhm",
+            "off-leak uA",
+            "EM limit uA",
+        ],
     );
     for id in lib.switch_cells() {
         let c = lib.cell(id);

@@ -1,12 +1,11 @@
 //! Quickstart: run the paper's improved Selective-MT flow on a small
-//! design and inspect what it did.
+//! design with the `FlowEngine` stage-graph API and inspect what it did.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use selective_mt::cells::library::Library;
-use selective_mt::core::flow::{run_flow, FlowConfig, Technique};
+use selective_mt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A technology library with all four Vth flavours of every gate,
@@ -28,18 +27,21 @@ always @(posedge clk) acc <= enable ? sum : acc;
 endmodule
 ";
 
-    // 3. Run the full Fig. 4 flow: synthesis, placement, Dual-Vth
-    //    assignment, MT-cell replacement, holder insertion, switch
-    //    clustering, routing/CTS, post-route re-optimization, ECO,
-    //    verification.
-    let result = run_flow(
-        rtl,
+    // 3. Build a flow engine for the full Fig. 4 stage graph: synthesis,
+    //    placement, Dual-Vth assignment, MT-cell replacement, holder
+    //    insertion, switch clustering, routing/CTS, post-route
+    //    re-optimization, ECO, verification. The `StageLogger` observer
+    //    prints each stage as it completes.
+    let mut engine = FlowEngine::new(
         &lib,
-        &FlowConfig {
+        FlowConfig {
             technique: Technique::ImprovedSmt,
             ..FlowConfig::default()
         },
-    )?;
+    )
+    .observe(StageLogger);
+    println!("stage plan: {:?}\n", engine.plan());
+    let result = engine.run(rtl)?;
 
     println!("clock period     : {}", result.clock_period);
     println!("final area       : {}", result.area);
@@ -55,10 +57,17 @@ endmodule
     );
     println!(
         "verification     : {}",
-        if result.verify.passed() { "PASS" } else { "FAIL" }
+        if result.verify.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // 4. Compare against the Dual-Vth baseline on the same constraints.
+    //    One-shot wrapper API; see `run_sweep` for checkpoint-forked
+    //    multi-config comparisons that share the synthesis + placement
+    //    prefix.
     let baseline = run_flow(
         rtl,
         &lib,

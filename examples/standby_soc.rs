@@ -11,9 +11,7 @@
 //! ```
 
 use selective_mt::base::report::Table;
-use selective_mt::cells::library::Library;
-use selective_mt::circuits::rtl::circuit_a_rtl;
-use selective_mt::core::flow::{run_flow, FlowConfig, Technique};
+use selective_mt::prelude::*;
 
 /// Fraction of the day the block is active (a paging/idle-mode modem
 /// block: a few minutes per day).
@@ -25,7 +23,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::industrial_130nm();
     let rtl = circuit_a_rtl();
 
-    let mut clock = None;
     let mut table = Table::new(
         "standby SoC: daily charge per technique (99% standby)",
         &[
@@ -37,39 +34,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
+    // One checkpoint-forked comparison: the synthesis + placement prefix
+    // runs once, the Dual-Vth baseline pins the clock, and the two SMT
+    // flows fork the shared checkpoint in parallel.
+    let mut base = FlowConfig {
+        period_margin: 1.22,
+        ..FlowConfig::default()
+    };
+    base.dualvth.max_high_fraction = Some(0.6);
+    eprintln!("running all three techniques from one checkpoint...");
+    let results = run_three_techniques(&rtl, &lib, &base)?;
+
     let mut baseline_uah = None;
-    for technique in [
+    let techniques = [
         Technique::DualVth,
         Technique::ConventionalSmt,
         Technique::ImprovedSmt,
-    ] {
-        let mut cfg = FlowConfig {
-            technique,
-            clock_period: clock,
-            period_margin: 1.22,
-            ..FlowConfig::default()
-        };
-        cfg.dualvth.max_high_fraction = Some(0.6);
-        eprintln!("running {technique}...");
-        let r = run_flow(&rtl, &lib, &cfg)?;
-        clock = clock.or(Some(r.clock_period));
-
+    ];
+    for (technique, r) in techniques.into_iter().zip(&results) {
         // Dynamic power while active, from simulated toggle rates. The MT
         // enable is a *mode* pin, not a data input: the random-vector
         // toggle estimator must not flip it (it carries the switch gates'
         // large capacitance), so its activity is pinned to zero.
-        let mut toggles =
-            selective_mt::sim::estimate_toggles(&r.netlist, &lib, 128, 7)?;
+        let mut toggles = selective_mt::sim::estimate_toggles(&r.netlist, &lib, 128, 7)?;
         if let Some(mte) = r.netlist.find_net("mte") {
             toggles.toggles[mte.index()] = 0;
         }
-        let dynamic = selective_mt::power::dynamic_power(
-            &r.netlist,
-            &lib,
-            &toggles,
-            ACTIVE_FREQ_GHZ,
-            |_| selective_mt::base::units::Cap::new(4.0),
-        );
+        let dynamic =
+            selective_mt::power::dynamic_power(&r.netlist, &lib, &toggles, ACTIVE_FREQ_GHZ, |_| {
+                selective_mt::base::units::Cap::new(4.0)
+            });
 
         // Daily charge: standby current over ~24h plus active share.
         // (Active-mode leakage also counts during the active window.)

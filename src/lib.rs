@@ -24,14 +24,19 @@
 //! ## Quickstart
 //!
 //! ```
-//! use selective_mt::cells::library::Library;
+//! use selective_mt::prelude::*;
 //!
 //! let lib = Library::industrial_130nm();
 //! assert!(lib.find("ND2_X1_MV").is_some());
+//! let engine = FlowEngine::new(&lib, FlowConfig::default());
+//! assert_eq!(engine.plan().first(), Some(&StageId::Synthesize));
 //! ```
 //!
 //! See `examples/quickstart.rs` for the full three-technique comparison
-//! that reproduces the paper's Table 1.
+//! that reproduces the paper's Table 1, and [`prelude`] for the one-line
+//! import covering the flow-engine API.
+
+pub mod prelude;
 
 pub use smt_base as base;
 pub use smt_cells as cells;

@@ -1,0 +1,216 @@
+//! Checkpoint/resume determinism and sweep semantics of the
+//! `FlowEngine` stage-graph API.
+//!
+//! The load-bearing guarantee: a flow resumed from a checkpoint must be
+//! **bit-identical** to the uninterrupted run — otherwise checkpoint-forked
+//! sweeps (and the Table 1 comparison built on them) would not be
+//! comparable to standalone flows.
+
+use selective_mt::cells::library::Library;
+use selective_mt::circuits::rtl::circuit_b_rtl_sized;
+use selective_mt::core::engine::{
+    run_sweep, FlowEngine, FlowError, FlowResult, StageId, SweepRun, Technique,
+};
+use selective_mt::core::flow::{run_flow, FlowConfig};
+
+fn base_config(technique: Technique) -> FlowConfig {
+    let mut cfg = FlowConfig {
+        technique,
+        period_margin: 1.30,
+        ..FlowConfig::default()
+    };
+    cfg.dualvth.max_high_fraction = Some(0.75);
+    cfg
+}
+
+/// Every scalar that the paper's tables report, compared exactly.
+fn assert_bit_identical(a: &FlowResult, b: &FlowResult, what: &str) {
+    assert_eq!(
+        a.standby_leakage.ua(),
+        b.standby_leakage.ua(),
+        "{what}: standby leakage"
+    );
+    assert_eq!(
+        a.active_leakage.ua(),
+        b.active_leakage.ua(),
+        "{what}: active leakage"
+    );
+    assert_eq!(a.area.um2(), b.area.um2(), "{what}: area");
+    assert_eq!(a.timing.wns.ps(), b.timing.wns.ps(), "{what}: WNS");
+    assert_eq!(
+        a.clock_period.ps(),
+        b.clock_period.ps(),
+        "{what}: clock period"
+    );
+    assert_eq!(a.census, b.census, "{what}: Vth census");
+    assert_eq!(a.hold_fix, b.hold_fix, "{what}: hold-fix report");
+    assert_eq!(
+        a.netlist.num_instances(),
+        b.netlist.num_instances(),
+        "{what}: instance count"
+    );
+}
+
+/// Resuming from a checkpoint taken after `AssignDualVth` reproduces the
+/// uninterrupted run bit-for-bit, for all three techniques.
+#[test]
+fn resume_after_dualvth_is_bit_identical() {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(8);
+    for technique in [
+        Technique::DualVth,
+        Technique::ConventionalSmt,
+        Technique::ImprovedSmt,
+    ] {
+        let cfg = base_config(technique);
+        let uninterrupted = run_flow(&rtl, &lib, &cfg).expect("uninterrupted flow");
+
+        let mut engine = FlowEngine::new(&lib, cfg.clone());
+        let checkpoint = engine
+            .run_until(&rtl, StageId::AssignDualVth)
+            .expect("prefix");
+        assert_eq!(checkpoint.stage(), Some(StageId::AssignDualVth));
+        let resumed = engine.resume(&checkpoint).expect("resumed flow");
+
+        assert_bit_identical(&uninterrupted, &resumed, &technique.to_string());
+        // The stage walk is the same plan in both runs.
+        assert_eq!(
+            uninterrupted
+                .stages
+                .iter()
+                .map(|s| s.id)
+                .collect::<Vec<_>>(),
+            resumed.stages.iter().map(|s| s.id).collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// One checkpoint can fork repeatedly: the snapshot is immutable and every
+/// fork sees the same state.
+#[test]
+fn checkpoint_forks_are_independent() {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(8);
+    let cfg = base_config(Technique::ImprovedSmt);
+    let mut engine = FlowEngine::new(&lib, cfg);
+    let checkpoint = engine
+        .run_until(&rtl, StageId::PlaceAndClock)
+        .expect("prefix");
+    let first = engine.resume(&checkpoint).expect("first fork");
+    let second = engine.resume(&checkpoint).expect("second fork");
+    assert_bit_identical(&first, &second, "fork");
+}
+
+/// `run_sweep` forks the shared prefix across techniques and matches the
+/// equivalent standalone flows exactly (clock pinned to the shared
+/// prefix's auto-selected period, as the sweep itself does).
+#[test]
+fn sweep_matches_standalone_flows() {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(8);
+    let base = base_config(Technique::DualVth);
+
+    let runs: Vec<SweepRun> = [Technique::DualVth, Technique::ImprovedSmt]
+        .into_iter()
+        .map(|t| SweepRun::new(t.to_string(), base_config(t)))
+        .collect();
+    let outcomes = run_sweep(&rtl, &lib, &base, &runs, 2).expect("sweep prefix");
+    assert_eq!(outcomes.len(), 2);
+
+    for outcome in &outcomes {
+        let technique = Technique::parse_json_str(&outcome.label).unwrap();
+        let standalone = run_flow(&rtl, &lib, &base_config(technique)).expect("standalone");
+        let swept = outcome.result.as_ref().expect("sweep run");
+        assert_bit_identical(swept, &standalone, &outcome.label);
+    }
+}
+
+/// Asking to stop at a stage the technique's plan does not contain is an
+/// error, not a silent full run.
+#[test]
+fn run_until_rejects_stage_outside_plan() {
+    let lib = Library::industrial_130nm();
+    let mut engine = FlowEngine::new(&lib, base_config(Technique::DualVth));
+    let err = engine
+        .run_until(&circuit_b_rtl_sized(6), StageId::ClusterSwitches)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FlowError::StageNotInPlan {
+                stage: StageId::ClusterSwitches
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// Resuming "until" a stage the checkpoint already completed returns
+/// immediately instead of running the rest of the flow.
+#[test]
+fn resume_until_completed_stage_is_a_noop() {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(6);
+    let mut engine = FlowEngine::new(&lib, base_config(Technique::ImprovedSmt));
+    let checkpoint = engine
+        .run_until(&rtl, StageId::PlaceAndClock)
+        .expect("prefix");
+    let again = engine
+        .resume_until(&checkpoint, StageId::PlaceAndClock)
+        .expect("noop resume");
+    assert_eq!(again.stage(), Some(StageId::PlaceAndClock));
+    assert_eq!(
+        again.state().completed,
+        checkpoint.state().completed,
+        "no extra stages may run"
+    );
+}
+
+/// A config that pins a different clock cannot resume a checkpoint whose
+/// dual-Vth assignment was computed for another period.
+#[test]
+fn repinning_clock_after_assignment_is_rejected() {
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(6);
+    let cfg = base_config(Technique::DualVth);
+    let mut engine = FlowEngine::new(&lib, cfg.clone());
+    let checkpoint = engine
+        .run_until(&rtl, StageId::AssignDualVth)
+        .expect("prefix");
+    let committed = checkpoint.state().clock_period.expect("clock chosen");
+    let mut repin = cfg;
+    repin.clock_period = Some(committed * 0.5);
+    let err = FlowEngine::new(&lib, repin)
+        .resume(&checkpoint)
+        .unwrap_err();
+    assert!(
+        matches!(err, FlowError::ClockRepinnedAfterTiming { .. }),
+        "{err}"
+    );
+}
+
+/// Observers see every stage of the plan, in order.
+#[test]
+fn observers_walk_the_plan_in_order() {
+    use selective_mt::core::engine::{Observer, StageMetrics};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct Recorder(Arc<Mutex<Vec<StageId>>>);
+    impl Observer for Recorder {
+        fn on_stage_end(&mut self, stage: StageId, _m: &StageMetrics, _e: std::time::Duration) {
+            self.0.lock().unwrap().push(stage);
+        }
+    }
+
+    let lib = Library::industrial_130nm();
+    let rtl = circuit_b_rtl_sized(6);
+    let cfg = base_config(Technique::ImprovedSmt);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut engine = FlowEngine::new(&lib, cfg).observe(Recorder(seen.clone()));
+    engine.run(&rtl).expect("flow");
+    assert_eq!(
+        seen.lock().unwrap().as_slice(),
+        StageId::plan(Technique::ImprovedSmt),
+    );
+}

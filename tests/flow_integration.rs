@@ -36,7 +36,11 @@ fn table1_shape_holds_end_to_end() {
 
     // Everyone meets timing and passes verification.
     for (name, r) in [("dual", &dual), ("conv", &conv), ("imp", &imp)] {
-        assert!(r.timing.setup_met(), "{name} misses setup: {}", r.timing.wns);
+        assert!(
+            r.timing.setup_met(),
+            "{name} misses setup: {}",
+            r.timing.wns
+        );
         assert!(r.hold_fix.remaining == 0, "{name} has hold violations");
         assert!(
             r.verify.passed(),
@@ -63,12 +67,20 @@ fn table1_shape_holds_end_to_end() {
 
     // Area ordering: dual < improved < conventional (Table 1).
     assert!(dual.area < imp.area);
-    assert!(imp.area < conv.area, "imp {} vs conv {}", imp.area, conv.area);
+    assert!(
+        imp.area < conv.area,
+        "imp {} vs conv {}",
+        imp.area,
+        conv.area
+    );
 
     // Structural expectations per technique.
     assert_eq!(dual.census.mt_embedded + dual.census.mt_vgnd, 0);
     assert!(conv.census.mt_embedded > 0);
-    assert_eq!(conv.census.switches, 0, "conventional has no separate switches");
+    assert_eq!(
+        conv.census.switches, 0,
+        "conventional has no separate switches"
+    );
     assert!(imp.census.mt_vgnd > 0);
     assert!(imp.census.switches > 0, "improved shares separate switches");
     assert!(

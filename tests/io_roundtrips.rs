@@ -2,8 +2,8 @@
 //! Liberty-lite and SPEF-lite all survive write→parse with the design's
 //! semantics intact.
 
-use selective_mt::cells::library::Library;
 use selective_mt::cells::liberty;
+use selective_mt::cells::library::Library;
 use selective_mt::circuits::rtl::circuit_b_rtl_sized;
 use selective_mt::netlist::verilog;
 use selective_mt::place::{place, PlacerConfig};

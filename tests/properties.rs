@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) on the core invariants the
-//! reproduction rests on.
+//! Property-style tests on the core invariants the reproduction rests on.
+//!
+//! The cases are driven by the workspace's own deterministic
+//! [`SplitMix64`] generator rather than an external property-testing
+//! framework, so the sampled inputs are identical on every run and every
+//! platform.
 
-use proptest::prelude::*;
+use selective_mt::base::SplitMix64;
 use selective_mt::cells::cell::VthClass;
 use selective_mt::cells::library::Library;
 use selective_mt::circuits::gen::{random_logic, RandomLogicConfig};
@@ -34,13 +38,15 @@ fn eval_lit(aig: &Aig, lit: selective_mt::synth::Lit, inputs: &[bool]) -> bool {
     node_val(aig, lit.node(), inputs) ^ lit.is_complemented()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random arithmetic RTL: the elaborated AIG computes the same value
-    /// as u64 arithmetic for any operand assignment.
-    #[test]
-    fn aig_matches_integer_arithmetic(a in 0u64..256, b in 0u64..256, op in 0usize..5) {
+/// Random arithmetic RTL: the elaborated AIG computes the same value
+/// as u64 arithmetic for any operand assignment.
+#[test]
+fn aig_matches_integer_arithmetic() {
+    let mut rng = SplitMix64::new(0xA16);
+    for _ in 0..64 {
+        let a = rng.next_below(256) as u64;
+        let b = rng.next_below(256) as u64;
+        let op = rng.next_below(5);
         let expr = match op {
             0 => "x + y",
             1 => "x - y",
@@ -72,14 +78,22 @@ proptest! {
             1 => a.wrapping_sub(b) & mask,
             2 => (a ^ b) & mask,
             3 => ((a & b) | (a ^ b)) & mask,
-            _ => if a < b { (a + b) & mask } else { a.wrapping_sub(b) & mask },
+            _ => {
+                if a < b {
+                    (a + b) & mask
+                } else {
+                    a.wrapping_sub(b) & mask
+                }
+            }
         };
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "op `{expr}` on a={a} b={b}");
     }
+}
 
-    /// Structural hashing never grows the graph for repeated sub-terms.
-    #[test]
-    fn aig_strash_is_idempotent(seed in 0u32..1000) {
+/// Structural hashing never grows the graph for repeated sub-terms.
+#[test]
+fn aig_strash_is_idempotent() {
+    for seed in 0u32..16 {
         let mut g = Aig::new();
         let a = g.input();
         let b = g.input();
@@ -87,131 +101,219 @@ proptest! {
         // Build the same expression twice with operand orders shuffled by
         // the seed; the node count must not change the second time.
         let build = |g: &mut Aig| {
-            let t0 = if seed % 2 == 0 { g.and(a, b) } else { g.and(b, a) };
+            let t0 = if seed % 2 == 0 {
+                g.and(a, b)
+            } else {
+                g.and(b, a)
+            };
             let t1 = g.or(t0, c);
             g.xor(t1, a)
         };
         let l1 = build(&mut g);
         let n1 = g.len();
         let l2 = build(&mut g);
-        prop_assert_eq!(l1, l2);
-        prop_assert_eq!(g.len(), n1);
+        assert_eq!(l1, l2);
+        assert_eq!(g.len(), n1);
     }
+}
 
-    /// Any random (seeded) netlist survives the improved-SMT transform
-    /// pipeline with structure intact and function preserved.
-    #[test]
-    fn improved_transform_preserves_function(seed in 0u64..30) {
-        let lib = lib();
-        let cfg = RandomLogicConfig { gates: 120, ffs: 8, seed, ..RandomLogicConfig::default() };
+/// Any random (seeded) netlist survives the improved-SMT transform
+/// pipeline with structure intact and function preserved.
+#[test]
+fn improved_transform_preserves_function() {
+    let lib = lib();
+    for seed in 0u64..30 {
+        let cfg = RandomLogicConfig {
+            gates: 120,
+            ffs: 8,
+            seed,
+            ..RandomLogicConfig::default()
+        };
         let golden = random_logic(&lib, &cfg);
         let mut dut = golden.clone();
         to_improved_mt_cells(&mut dut, &lib);
         insert_output_holders(&mut dut, &lib);
-        insert_initial_switch(&mut dut, &lib, selective_mt::base::units::Volt::from_millivolts(50.0));
-        let issues = lint(&dut, &lib, LintConfig { require_mt_wiring: true });
-        prop_assert!(is_clean(&issues), "{issues:?}");
+        insert_initial_switch(
+            &mut dut,
+            &lib,
+            selective_mt::base::units::Volt::from_millivolts(50.0),
+        );
+        let issues = lint(
+            &dut,
+            &lib,
+            LintConfig {
+                require_mt_wiring: true,
+            },
+        );
+        assert!(is_clean(&issues), "seed {seed}: {issues:?}");
         let mut golden2 = golden.clone();
         if dut.find_net("mte").is_some() {
             golden2.add_input("mte");
         }
         let eq = check_equivalence(&golden2, &dut, &lib, 24, seed).unwrap();
-        prop_assert!(eq.is_equivalent(), "{:?}", eq.mismatches.first());
+        assert!(
+            eq.is_equivalent(),
+            "seed {seed}: {:?}",
+            eq.mismatches.first()
+        );
     }
+}
 
-    /// Vth variant swaps never change cell pin-out compatibility, logic
-    /// function, or the netlist's structural health.
-    #[test]
-    fn variant_swaps_preserve_structure(seed in 0u64..30, flavour in 0usize..3) {
-        let lib = lib();
-        let cfg = RandomLogicConfig { gates: 80, ffs: 4, seed, ..RandomLogicConfig::default() };
-        let golden = random_logic(&lib, &cfg);
-        let mut dut = golden.clone();
-        let target = [VthClass::High, VthClass::MtEmbedded, VthClass::MtVgnd][flavour];
-        let ids: Vec<_> = dut.instances().map(|(id, _)| id).collect();
-        for id in ids {
-            let cell = lib.cell(dut.inst(id).cell);
-            if cell.vth == VthClass::Low && cell.role == selective_mt::cells::cell::CellRole::Logic {
-                let v = lib.variant_id(dut.inst(id).cell, target).unwrap();
-                dut.replace_cell(id, v, &lib).unwrap();
+/// Vth variant swaps never change cell pin-out compatibility, logic
+/// function, or the netlist's structural health.
+#[test]
+fn variant_swaps_preserve_structure() {
+    let lib = lib();
+    for seed in 0u64..10 {
+        for (flavour, target) in [VthClass::High, VthClass::MtEmbedded, VthClass::MtVgnd]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = RandomLogicConfig {
+                gates: 80,
+                ffs: 4,
+                seed,
+                ..RandomLogicConfig::default()
+            };
+            let golden = random_logic(&lib, &cfg);
+            let mut dut = golden.clone();
+            let ids: Vec<_> = dut.instances().map(|(id, _)| id).collect();
+            for id in ids {
+                let cell = lib.cell(dut.inst(id).cell);
+                if cell.vth == VthClass::Low
+                    && cell.role == selective_mt::cells::cell::CellRole::Logic
+                {
+                    let v = lib.variant_id(dut.inst(id).cell, target).unwrap();
+                    dut.replace_cell(id, v, &lib).unwrap();
+                }
             }
+            let issues = lint(&dut, &lib, LintConfig::default());
+            assert!(
+                is_clean(&issues),
+                "seed {seed} flavour {flavour}: {issues:?}"
+            );
+            let eq = check_equivalence(&golden, &dut, &lib, 16, seed).unwrap();
+            assert!(eq.is_equivalent(), "seed {seed} flavour {flavour}");
         }
-        let issues = lint(&dut, &lib, LintConfig::default());
-        prop_assert!(is_clean(&issues), "{issues:?}");
-        let eq = check_equivalence(&golden, &dut, &lib, 16, seed).unwrap();
-        prop_assert!(eq.is_equivalent());
     }
+}
 
-    /// Steiner wirelength is sandwiched between the HPWL lower bound and
-    /// the star-topology upper bound.
-    #[test]
-    fn steiner_wirelength_bounds(points in prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), 2..12)) {
-        use selective_mt::base::geom::{Point, Rect};
-        use selective_mt::route::steiner_tree;
-        let pins: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+/// Steiner wirelength is sandwiched between the HPWL lower bound and
+/// the star-topology upper bound.
+#[test]
+fn steiner_wirelength_bounds() {
+    use selective_mt::base::geom::{Point, Rect};
+    use selective_mt::route::steiner_tree;
+    let mut rng = SplitMix64::new(0x57E);
+    for case in 0..64 {
+        let n = 2 + rng.next_below(10);
+        let pins: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.next_f64() * 500.0, rng.next_f64() * 500.0))
+            .collect();
         let tree = steiner_tree(&pins);
-        let hpwl = Rect::bounding(pins.iter().copied()).unwrap().half_perimeter();
+        let hpwl = Rect::bounding(pins.iter().copied())
+            .unwrap()
+            .half_perimeter();
         let star: f64 = pins[1..].iter().map(|p| p.manhattan(pins[0])).sum();
-        prop_assert!(tree.wirelength() >= hpwl - 1e-6, "below HPWL bound");
-        prop_assert!(tree.wirelength() <= star + 1e-6, "worse than star");
+        assert!(
+            tree.wirelength() >= hpwl - 1e-6,
+            "case {case}: below HPWL bound"
+        );
+        assert!(
+            tree.wirelength() <= star + 1e-6,
+            "case {case}: worse than star"
+        );
         // Every sink is actually connected.
         for s in 1..pins.len() {
-            prop_assert!(tree.path_length(s) >= pins[s].manhattan(pins[0]) - 1e-6);
+            assert!(tree.path_length(s) >= pins[s].manhattan(pins[0]) - 1e-6);
         }
     }
+}
 
-    /// Placement is always legal: every cell inside the die and no two
-    /// same-row cells overlapping, for any random design.
-    #[test]
-    fn placement_is_always_legal(seed in 0u64..20, gates in 50usize..250) {
-        use selective_mt::place::{place, PlacerConfig};
-        let lib = lib();
-        let n = random_logic(&lib, &RandomLogicConfig { gates, seed, ..RandomLogicConfig::default() });
+/// Placement is always legal: every cell inside the die and no two
+/// same-row cells overlapping, for any random design.
+#[test]
+fn placement_is_always_legal() {
+    use selective_mt::place::{place, PlacerConfig};
+    let lib = lib();
+    let mut rng = SplitMix64::new(0x91A);
+    for seed in 0u64..16 {
+        let gates = 50 + rng.next_below(200);
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                seed,
+                ..RandomLogicConfig::default()
+            },
+        );
         let p = place(&n, &lib, &PlacerConfig::default());
         let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
         for (id, inst) in n.instances() {
             let loc = p.loc(id);
-            prop_assert!(p.die.contains(loc), "{} at {}", inst.name, loc);
+            assert!(p.die.contains(loc), "{} at {}", inst.name, loc);
             let w = lib.cell(inst.cell).area.um2() / lib.tech.row_height_um;
-            by_row.entry((loc.y * 1000.0) as i64).or_default().push((loc.x, w));
+            by_row
+                .entry((loc.y * 1000.0) as i64)
+                .or_default()
+                .push((loc.x, w));
         }
         for (_, mut cells) in by_row {
             cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for pair in cells.windows(2) {
                 let (x0, w0) = pair[0];
                 let (x1, w1) = pair[1];
-                prop_assert!(
+                assert!(
                     x1 - x0 >= (w0 + w1) / 2.0 - 1e-6,
                     "overlap at x {x0}/{x1} (widths {w0}/{w1})"
                 );
             }
         }
     }
+}
 
-    /// Verilog write→parse is the identity on connectivity for any random
-    /// design.
-    #[test]
-    fn verilog_roundtrip_any_design(seed in 0u64..20) {
-        use selective_mt::netlist::verilog;
-        let lib = lib();
-        let n = random_logic(&lib, &RandomLogicConfig { gates: 80, seed, ..RandomLogicConfig::default() });
+/// Verilog write→parse is the identity on connectivity for any random
+/// design.
+#[test]
+fn verilog_roundtrip_any_design() {
+    use selective_mt::netlist::verilog;
+    let lib = lib();
+    for seed in 0u64..20 {
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates: 80,
+                seed,
+                ..RandomLogicConfig::default()
+            },
+        );
         let text = verilog::write_with_lib(&n, &lib);
         let back = verilog::parse(&text, &lib).unwrap();
-        prop_assert_eq!(n.num_instances(), back.num_instances());
+        assert_eq!(n.num_instances(), back.num_instances());
         let eq = check_equivalence(&n, &back, &lib, 16, seed).unwrap();
-        prop_assert!(eq.is_equivalent(), "{:?}", eq.mismatches.first());
+        assert!(
+            eq.is_equivalent(),
+            "seed {seed}: {:?}",
+            eq.mismatches.first()
+        );
     }
+}
 
-    /// Subthreshold leakage is monotone in width and anti-monotone in Vth
-    /// and stack depth.
-    #[test]
-    fn leakage_model_monotonicity(w in 0.5f64..50.0, vth in 0.15f64..0.5, depth in 1u32..4) {
-        use selective_mt::base::units::Volt;
-        let t = selective_mt::cells::Technology::industrial_130nm();
+/// Subthreshold leakage is monotone in width and anti-monotone in Vth
+/// and stack depth.
+#[test]
+fn leakage_model_monotonicity() {
+    use selective_mt::base::units::Volt;
+    let t = selective_mt::cells::Technology::industrial_130nm();
+    let mut rng = SplitMix64::new(0x1EA);
+    for _ in 0..64 {
+        let w = 0.5 + rng.next_f64() * 49.5;
+        let vth = 0.15 + rng.next_f64() * 0.35;
+        let depth = 1 + rng.next_below(3) as u32;
         let base = t.subthreshold_leak(w, Volt::new(vth), depth);
-        prop_assert!(base.ua() > 0.0);
-        prop_assert!(t.subthreshold_leak(w * 2.0, Volt::new(vth), depth) > base);
-        prop_assert!(t.subthreshold_leak(w, Volt::new(vth + 0.05), depth) < base);
-        prop_assert!(t.subthreshold_leak(w, Volt::new(vth), depth + 1) < base);
+        assert!(base.ua() > 0.0);
+        assert!(t.subthreshold_leak(w * 2.0, Volt::new(vth), depth) > base);
+        assert!(t.subthreshold_leak(w, Volt::new(vth + 0.05), depth) < base);
+        assert!(t.subthreshold_leak(w, Volt::new(vth), depth + 1) < base);
     }
 }

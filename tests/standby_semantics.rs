@@ -105,7 +105,11 @@ fn active_mode_is_unaffected_by_the_gating_fabric() {
         let mut golden2 = golden.clone();
         golden2.add_input("mte");
         let eq = selective_mt::sim::check_equivalence(&golden2, &dut, &lib, 64, seed).unwrap();
-        assert!(eq.is_equivalent(), "seed {seed}: {:?}", eq.mismatches.first());
+        assert!(
+            eq.is_equivalent(),
+            "seed {seed}: {:?}",
+            eq.mismatches.first()
+        );
     }
 }
 
