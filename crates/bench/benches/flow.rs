@@ -11,23 +11,26 @@ fn main() {
     let lib = Library::industrial_130nm();
     let rtl = circuit_b_rtl();
     let mut h = Harness::new();
-    let mut g = h.group("flow_circuit_b");
-    g.sample_size(10);
-    for technique in [
-        Technique::DualVth,
-        Technique::ConventionalSmt,
-        Technique::ImprovedSmt,
-    ] {
-        g.bench(&technique.to_string(), || {
-            FlowEngine::new(
-                &lib,
-                FlowConfig {
-                    technique,
-                    ..FlowConfig::default()
-                },
-            )
-            .run(&rtl)
-            .expect("flow succeeds")
-        });
+    {
+        let mut g = h.group("flow_circuit_b");
+        g.sample_size(10);
+        for technique in [
+            Technique::DualVth,
+            Technique::ConventionalSmt,
+            Technique::ImprovedSmt,
+        ] {
+            g.bench(&technique.to_string(), || {
+                FlowEngine::new(
+                    &lib,
+                    FlowConfig {
+                        technique,
+                        ..FlowConfig::default()
+                    },
+                )
+                .run(&rtl)
+                .expect("flow succeeds")
+            });
+        }
     }
+    h.finish();
 }

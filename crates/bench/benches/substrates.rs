@@ -163,4 +163,5 @@ fn main() {
     bench_sta(&mut h);
     bench_incremental_sta(&mut h);
     bench_cluster(&mut h);
+    h.finish();
 }

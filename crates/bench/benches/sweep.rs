@@ -1,13 +1,17 @@
-//! Benchmark for the acceptance criterion of the stage-graph redesign:
-//! the Table 1 three-technique comparison via checkpoint-forked
-//! `run_sweep` (`run_three_techniques`) must be measurably faster than
-//! three independent `run_flow` calls, because the shared prefix
+//! Benchmark for the stage-graph redesign: the Table 1 three-technique
+//! comparison via checkpoint-forked `run_sweep` (`run_three_techniques`)
+//! against three independent `run_flow` calls — the shared prefix
 //! (synthesis, placement, clock probe) executes once and the two SMT
 //! suffixes run in parallel.
 //!
 //! ```text
 //! cargo bench -p smt-bench --bench sweep
 //! ```
+//!
+//! This bench **records, never asserts**: wall-clock gates flake on
+//! shared CI runners. The measured speedup goes into the JSON artifact
+//! (`SMT_BENCH_JSON`) as the `checkpoint_fork_speedup` metric, and the
+//! `bench_gate` binary compares it against `benches/baseline.json`.
 
 use smt_bench::harness::Harness;
 use smt_cells::library::Library;
@@ -25,36 +29,32 @@ fn main() {
     base.dualvth.max_high_fraction = Some(0.75);
 
     let mut h = Harness::new();
-    let mut g = h.group("three_techniques_circuit_b10");
-    g.sample_size(10);
+    let speedup = {
+        let mut g = h.group("three_techniques_circuit_b10");
+        g.sample_size(10);
 
-    let independent = g.bench("three independent run_flow calls", || {
-        // The pre-redesign shape: each flow re-synthesizes, re-places and
-        // re-probes; the Dual-Vth run pins the clock for the other two.
-        let dual = run_flow(&rtl, &lib, &base).expect("dual flow");
-        let mut conv_cfg = base.clone();
-        conv_cfg.technique = Technique::ConventionalSmt;
-        conv_cfg.clock_period = Some(dual.clock_period);
-        let conv = run_flow(&rtl, &lib, &conv_cfg).expect("conventional flow");
-        let mut imp_cfg = base.clone();
-        imp_cfg.technique = Technique::ImprovedSmt;
-        imp_cfg.clock_period = Some(dual.clock_period);
-        let imp = run_flow(&rtl, &lib, &imp_cfg).expect("improved flow");
-        [dual, conv, imp]
-    });
+        let independent = g.bench("three independent run_flow calls", || {
+            // The pre-redesign shape: each flow re-synthesizes, re-places and
+            // re-probes; the Dual-Vth run pins the clock for the other two.
+            let dual = run_flow(&rtl, &lib, &base).expect("dual flow");
+            let mut conv_cfg = base.clone();
+            conv_cfg.technique = Technique::ConventionalSmt;
+            conv_cfg.clock_period = Some(dual.clock_period);
+            let conv = run_flow(&rtl, &lib, &conv_cfg).expect("conventional flow");
+            let mut imp_cfg = base.clone();
+            imp_cfg.technique = Technique::ImprovedSmt;
+            imp_cfg.clock_period = Some(dual.clock_period);
+            let imp = run_flow(&rtl, &lib, &imp_cfg).expect("improved flow");
+            [dual, conv, imp]
+        });
 
-    let forked = g.bench("run_three_techniques (checkpoint fork)", || {
-        run_three_techniques(&rtl, &lib, &base).expect("three techniques")
-    });
+        let forked = g.bench("run_three_techniques (checkpoint fork)", || {
+            run_three_techniques(&rtl, &lib, &base).expect("three techniques")
+        });
 
-    let speedup = independent.median.as_secs_f64() / forked.median.as_secs_f64();
-    println!("\ncheckpoint-fork speedup: {speedup:.2}x (median)");
-    // Wall-clock assertions flake on noisy shared CI runners; gate only
-    // local runs (CI=true is set on GitHub Actions).
-    if std::env::var_os("CI").is_none() {
-        assert!(
-            speedup > 1.0,
-            "checkpoint-forked sweep should beat three independent flows"
-        );
-    }
+        independent.median.as_secs_f64() / forked.median.as_secs_f64()
+    };
+
+    h.metric("checkpoint_fork_speedup", speedup);
+    h.finish();
 }

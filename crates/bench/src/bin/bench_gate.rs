@@ -1,0 +1,131 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline.json> <BENCH_<sha>.json>...
+//! ```
+//!
+//! Compares the metrics of one or more bench artifacts (written by the
+//! harness when `SMT_BENCH_JSON` is set) against the committed baseline
+//! and exits non-zero on a regression of more than the baseline's
+//! tolerance (default 20 %).
+//!
+//! Baseline schema (`benches/baseline.json`):
+//!
+//! ```json
+//! {
+//!   "tolerance": 0.20,
+//!   "metrics": {
+//!     "checkpoint_fork_speedup": {"value": 1.25, "better": "higher"},
+//!     "per_corner_flow_cost_ratio": {"value": 3.0, "better": "lower"}
+//!   }
+//! }
+//! ```
+//!
+//! Only *ratio* metrics belong in the baseline — absolute wall-clock
+//! times vary wildly across runner generations, ratios mostly cancel
+//! that out. Known-noisy runners can skip the gate with the one-line
+//! `skip-bench-gate` PR label (checked in the workflow), or by setting
+//! `SMT_BENCH_GATE_SKIP=1`.
+
+use smt_base::json::{self, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return Err("usage: bench_gate <baseline.json> <bench.json>...".to_owned());
+    }
+    if std::env::var_os("SMT_BENCH_GATE_SKIP").is_some() {
+        println!("bench_gate: SMT_BENCH_GATE_SKIP set — skipping (noisy runner)");
+        return Ok(());
+    }
+
+    let baseline = load(&args[0])?;
+    let tolerance = baseline
+        .get("tolerance")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.20);
+    let checked = baseline
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .ok_or("baseline has no `metrics` object")?;
+
+    // Merge measured metrics from every provided artifact.
+    let mut measured: BTreeMap<String, f64> = BTreeMap::new();
+    for path in &args[1..] {
+        let doc = load(path)?;
+        if let Some(m) = doc.get("metrics").and_then(Json::as_obj) {
+            for (k, v) in m {
+                if let Some(x) = v.as_f64() {
+                    measured.insert(k.clone(), x);
+                }
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for (name, spec) in checked {
+        let base_value = spec
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline metric `{name}` has no numeric `value`"))?;
+        let higher_is_better = match spec.get("better").and_then(Json::as_str) {
+            Some("higher") | None => true,
+            Some("lower") => false,
+            Some(other) => {
+                return Err(format!(
+                    "baseline metric `{name}`: unknown `better` direction `{other}`"
+                ))
+            }
+        };
+        let Some(&value) = measured.get(name.as_str()) else {
+            failures.push(format!("metric `{name}` missing from bench artifacts"));
+            continue;
+        };
+        let (floor, ceil) = (
+            base_value * (1.0 - tolerance),
+            base_value * (1.0 + tolerance),
+        );
+        let (ok, bound) = if higher_is_better {
+            (value >= floor, format!(">= {floor:.3}"))
+        } else {
+            (value <= ceil, format!("<= {ceil:.3}"))
+        };
+        let verdict = if ok { "ok  " } else { "FAIL" };
+        println!(
+            "{verdict} {name:36} measured {value:8.3}  baseline {base_value:8.3}  (need {bound})"
+        );
+        if !ok {
+            failures.push(format!(
+                "`{name}` regressed: {value:.3} vs baseline {base_value:.3} (±{:.0}%)",
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_gate: all {} checked metrics within tolerance",
+            checked.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

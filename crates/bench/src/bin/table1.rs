@@ -4,19 +4,34 @@
 //! reference numbers.
 //!
 //! ```text
-//! cargo run --release -p smt-bench --bin table1
+//! cargo run --release -p smt-bench --bin table1 [-- --corners]
 //! ```
+//!
+//! With `--corners` every flow signs off at the slow/typ/fast PVT set
+//! and a per-corner leakage/WNS table is printed below the comparison.
 
-use smt_bench::{check_table1_shape, render_table1, table1};
+use smt_bench::{
+    check_table1_shape, render_corner_table, render_table1, table1, table1_at_corners,
+};
+use smt_cells::corner::CornerSet;
 use smt_cells::library::Library;
 
 fn main() {
     let lib = Library::industrial_130nm();
+    let multicorner = std::env::args().any(|a| a == "--corners");
     eprintln!("running 2 circuits x 3 techniques (release mode recommended)...");
-    let rows = table1(&lib);
+    let rows = if multicorner {
+        eprintln!("signing off at slow/typ/fast PVT corners...");
+        table1_at_corners(&lib, &CornerSet::slow_typ_fast())
+    } else {
+        table1(&lib)
+    };
     let table = render_table1(&rows);
     println!("{table}");
     println!("CSV:\n{}", table.to_csv());
+    if multicorner {
+        println!("{}", render_corner_table(&rows));
+    }
 
     for row in &rows {
         println!("-- circuit {}: absolute numbers --", row.name);

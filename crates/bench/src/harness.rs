@@ -9,47 +9,189 @@
 //! ```text
 //! cargo bench -p smt-bench --bench flow
 //! ```
+//!
+//! ## CI integration
+//!
+//! Wall-clock assertions flake on shared CI runners, so the harness does
+//! not assert — it **records**. Two environment variables drive the CI
+//! mode:
+//!
+//! * `SMT_BENCH_SAMPLES=<n>` overrides every group's sample count
+//!   (CI sets `2` for a smoke run);
+//! * `SMT_BENCH_JSON=<path>` makes [`Harness::finish`] write (or merge
+//!   into) a JSON artifact — `BENCH_<sha>.json` in the workflow — with
+//!   every bench's min/median/mean in nanoseconds plus the named scalar
+//!   [`Harness::metric`]s (speedup ratios and other runner-independent
+//!   quantities). The committed `benches/baseline.json` is compared
+//!   against those metrics by the `bench_gate` binary.
 
+use smt_base::json::{self, Json};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// Top-level harness: owns output formatting and the default sample count.
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Group the bench ran under.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Wall-clock statistics.
+    pub stats: Stats,
+}
+
+/// Top-level harness: owns output formatting, the default sample count,
+/// and the record/metric sink for the JSON artifact.
 pub struct Harness {
     samples: usize,
+    /// Valid `SMT_BENCH_SAMPLES` override, when one was given — a
+    /// malformed value is reported and ignored, so per-group
+    /// [`Group::sample_size`] requests still apply.
+    env_samples: Option<usize>,
+    records: Vec<Record>,
+    metrics: BTreeMap<String, f64>,
 }
 
 impl Default for Harness {
     fn default() -> Self {
-        Harness { samples: 10 }
+        let env_samples =
+            std::env::var("SMT_BENCH_SAMPLES")
+                .ok()
+                .and_then(|s| match s.parse::<usize>() {
+                    Ok(n) if n >= 2 => Some(n),
+                    _ => {
+                        eprintln!(
+                            "smt-bench: ignoring invalid SMT_BENCH_SAMPLES=`{s}` (need >= 2)"
+                        );
+                        None
+                    }
+                });
+        Harness {
+            samples: env_samples.unwrap_or(10),
+            env_samples,
+            records: Vec::new(),
+            metrics: BTreeMap::new(),
+        }
     }
 }
 
 impl Harness {
-    /// A harness with the default sample count (10).
+    /// A harness with the default sample count (10, or
+    /// `SMT_BENCH_SAMPLES` when set).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Opens a named benchmark group.
-    pub fn group(&mut self, name: &str) -> Group<'_> {
+    pub fn group<'h>(&'h mut self, name: &str) -> Group<'h> {
         println!("\n== {name} ==");
+        let samples = self.samples;
         Group {
-            _harness: self,
-            samples: self.samples,
+            harness: self,
+            name: name.to_owned(),
+            samples,
+        }
+    }
+
+    /// Records a named scalar metric (a speedup ratio, a cost factor —
+    /// anything runner-independent enough for the regression gate).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        println!("metric {name} = {value:.4}");
+        self.metrics.insert(name.to_owned(), value);
+    }
+
+    /// All records taken so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Writes the JSON artifact when `SMT_BENCH_JSON` is set (merging
+    /// with an existing artifact at the same path, so several bench
+    /// binaries can contribute to one `BENCH_<sha>.json`). Call once at
+    /// the end of each bench `main`.
+    pub fn finish(self) {
+        let Ok(path) = std::env::var("SMT_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut benches: BTreeMap<String, Json> = BTreeMap::new();
+        let mut metrics: BTreeMap<String, Json> = BTreeMap::new();
+        // Merge a pre-existing artifact (earlier bench binaries).
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(doc) = json::parse(&text) {
+                if let Some(b) = doc.get("benches").and_then(Json::as_obj) {
+                    benches.extend(b.clone());
+                }
+                if let Some(m) = doc.get("metrics").and_then(Json::as_obj) {
+                    metrics.extend(m.clone());
+                }
+            }
+        }
+        for r in &self.records {
+            benches.insert(
+                format!("{}/{}", r.group, r.id),
+                Json::Obj(BTreeMap::from([
+                    (
+                        "min_ns".to_owned(),
+                        Json::Num(r.stats.min.as_nanos() as f64),
+                    ),
+                    (
+                        "median_ns".to_owned(),
+                        Json::Num(r.stats.median.as_nanos() as f64),
+                    ),
+                    (
+                        "mean_ns".to_owned(),
+                        Json::Num(r.stats.mean.as_nanos() as f64),
+                    ),
+                ])),
+            );
+        }
+        for (k, v) in &self.metrics {
+            metrics.insert(k.clone(), Json::Num(*v));
+        }
+        let doc = Json::Obj(BTreeMap::from([
+            ("schema".to_owned(), Json::Str("smt-bench/1".to_owned())),
+            ("samples".to_owned(), Json::Num(self.samples as f64)),
+            ("benches".to_owned(), Json::Obj(benches)),
+            ("metrics".to_owned(), Json::Obj(metrics)),
+        ]));
+        if let Err(e) = std::fs::write(&path, doc.render()) {
+            eprintln!("smt-bench: could not write {path}: {e}");
+        } else {
+            println!("\nbench artifact written to {path}");
         }
     }
 }
 
 /// A named group of related benchmarks.
 pub struct Group<'a> {
-    _harness: &'a Harness,
+    harness: &'a mut Harness,
+    name: String,
     samples: usize,
 }
 
 impl Group<'_> {
-    /// Overrides the number of timed samples for this group.
+    /// Overrides the number of timed samples for this group (a valid
+    /// `SMT_BENCH_SAMPLES` environment override still wins).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(2);
+        if self.harness.env_samples.is_none() {
+            self.samples = n.max(2);
+        }
         self
+    }
+
+    fn record(&mut self, id: &str, stats: Stats) {
+        println!(
+            "{id:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+            stats.min, stats.median, stats.mean
+        );
+        self.harness.records.push(Record {
+            group: self.name.clone(),
+            id: id.to_owned(),
+            stats,
+        });
     }
 
     /// Times `f` for `samples` iterations (after one untimed warm-up) and
@@ -64,10 +206,7 @@ impl Group<'_> {
             times.push(t0.elapsed());
         }
         let stats = Stats::from_times(&mut times);
-        println!(
-            "{id:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
-            stats.min, stats.median, stats.mean
-        );
+        self.record(id, stats);
         stats
     }
 
@@ -88,10 +227,7 @@ impl Group<'_> {
             times.push(t0.elapsed());
         }
         let stats = Stats::from_times(&mut times);
-        println!(
-            "{id:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
-            stats.min, stats.median, stats.mean
-        );
+        self.record(id, stats);
         stats
     }
 }

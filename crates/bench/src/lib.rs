@@ -16,6 +16,7 @@
 pub mod harness;
 
 use smt_base::report::{percent, Table};
+use smt_cells::corner::CornerSet;
 use smt_cells::library::Library;
 use smt_core::flow::{run_three_techniques, FlowConfig, FlowResult, Technique};
 
@@ -92,11 +93,25 @@ impl Table1Row {
 ///
 /// Panics if any flow fails — the bundled workloads are tested to pass.
 pub fn table1(lib: &Library) -> Vec<Table1Row> {
+    table1_at_corners(lib, &CornerSet::typical_only())
+}
+
+/// Runs the Table 1 experiment signed off at a set of PVT corners: each
+/// flow evaluates setup at the slowest corner and hold at the fastest,
+/// and every [`FlowResult`] carries the per-corner leakage/WNS rows (the
+/// Table 1 comparison *at each corner*).
+///
+/// # Panics
+///
+/// Panics if any flow fails — the bundled workloads are tested to pass
+/// at [`CornerSet::slow_typ_fast`].
+pub fn table1_at_corners(lib: &Library, corners: &CornerSet) -> Vec<Table1Row> {
     table1_workloads()
         .into_iter()
         .map(|w| {
             let mut cfg = FlowConfig {
                 period_margin: w.period_margin,
+                corners: corners.clone(),
                 ..FlowConfig::default()
             };
             cfg.dualvth.max_high_fraction = Some(w.max_high_fraction);
@@ -190,6 +205,39 @@ pub fn check_table1_shape(rows: &[Table1Row]) -> Vec<String> {
         );
     }
     violations
+}
+
+/// Renders the per-corner signoff rows of every technique: circuit x
+/// technique x corner, with WNS, hold count and leakage at that corner.
+pub fn render_corner_table(rows: &[Table1Row]) -> Table {
+    let mut t = Table::new(
+        "Per-corner signoff (leakage / WNS at each PVT corner)",
+        &[
+            "Circuit",
+            "Technique",
+            "Corner",
+            "WNS ps",
+            "Hold viol.",
+            "Standby uA",
+            "Active uA",
+        ],
+    );
+    for row in rows {
+        for (r, tech) in row.results.iter().zip(["Dual-Vth", "Con.-SMT", "Imp.-SMT"]) {
+            for c in &r.corner_signoff {
+                t.row_owned(vec![
+                    row.name.to_owned(),
+                    tech.to_owned(),
+                    c.corner.name.clone(),
+                    format!("{:.1}", c.wns.ps()),
+                    c.hold_violations.to_string(),
+                    format!("{:.6}", c.standby_leakage.ua()),
+                    format!("{:.6}", c.active_leakage.ua()),
+                ]);
+            }
+        }
+    }
+    t
 }
 
 /// Convenience used by several binaries: one flow with a given technique

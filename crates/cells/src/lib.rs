@@ -46,6 +46,7 @@
 //! ```
 
 pub mod cell;
+pub mod corner;
 pub mod leakage;
 pub mod liberty;
 pub mod library;
@@ -53,5 +54,6 @@ pub mod schematic;
 pub mod tech;
 
 pub use cell::{Cell, CellId, CellKind, CellRole, PinDir, PinSpec, TimingArc, VthClass};
+pub use corner::{Corner, CornerLibrary, CornerSet};
 pub use library::Library;
 pub use tech::Technology;

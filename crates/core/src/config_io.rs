@@ -31,6 +31,7 @@ use crate::dualvth::DualVthConfig;
 use crate::engine::{FlowConfig, Technique};
 use smt_base::json::{self, Json, JsonError};
 use smt_base::units::{Time, Volt};
+use smt_cells::corner::{Corner, CornerSet};
 use smt_place::PlacerConfig;
 use smt_route::{CtsConfig, RouteConfig};
 use smt_sta::StaConfig;
@@ -417,6 +418,116 @@ impl JsonConfig for CtsConfig {
 }
 
 // ---------------------------------------------------------------------------
+// Corners
+// ---------------------------------------------------------------------------
+
+/// `Corner` JSON spelling: `{"name": "slow", "vth_shift_mv": 30,
+/// "ron_scale": 1.12, "vdd_scale": 0.9, "temp_c": 125,
+/// "check_setup": true, "check_hold": false}` — every field optional,
+/// defaulting to the identity (`typ`) corner.
+impl JsonConfig for Corner {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(BTreeMap::from([
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("vth_shift_mv".to_owned(), num(self.vth_shift.millivolts())),
+            ("ron_scale".to_owned(), num(self.ron_scale)),
+            ("vdd_scale".to_owned(), num(self.vdd_scale)),
+            ("temp_c".to_owned(), num(self.temp_c)),
+            ("check_setup".to_owned(), Json::Bool(self.check_setup)),
+            ("check_hold".to_owned(), Json::Bool(self.check_hold)),
+        ]))
+    }
+
+    fn from_json_value(value: &Json, path: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Corner::typical();
+        let mut f = Fields::new(value, path)?;
+        if let Some(v) = f.take("name") {
+            cfg.name = v
+                .as_str()
+                .ok_or_else(|| ConfigError::Field {
+                    path: display_path(path, "name"),
+                    message: "expected a string".to_owned(),
+                })?
+                .to_owned();
+        }
+        f.field(
+            "vth_shift_mv",
+            |v| v.as_f64().map(Volt::from_millivolts),
+            "a number (mV)",
+            &mut cfg.vth_shift,
+        )?;
+        f.f64("ron_scale", &mut cfg.ron_scale)?;
+        f.f64("vdd_scale", &mut cfg.vdd_scale)?;
+        f.f64("temp_c", &mut cfg.temp_c)?;
+        f.bool("check_setup", &mut cfg.check_setup)?;
+        f.bool("check_hold", &mut cfg.check_hold)?;
+        f.deny_unknown()?;
+        Ok(cfg)
+    }
+}
+
+/// `CornerSet` JSON spelling: either the preset strings `"typical"` /
+/// `"slow-typ-fast"`, or the explicit form
+/// `{"corners": [<corner>, ...]}`. The decoded set is validated
+/// (non-empty, covers setup and hold, unique names).
+impl JsonConfig for CornerSet {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(BTreeMap::from([(
+            "corners".to_owned(),
+            Json::Arr(self.corners.iter().map(Corner::to_json_value).collect()),
+        )]))
+    }
+
+    fn from_json_value(value: &Json, path: &str) -> Result<Self, ConfigError> {
+        let set = match value {
+            Json::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "typical" | "typ" => CornerSet::typical_only(),
+                "slow-typ-fast" | "slow_typ_fast" | "pvt" => CornerSet::slow_typ_fast(),
+                other => {
+                    return Err(ConfigError::Field {
+                        path: display_path(path, ""),
+                        message: format!(
+                            "unknown corner preset `{other}` (expected typical | slow-typ-fast)"
+                        ),
+                    })
+                }
+            },
+            _ => {
+                let mut f = Fields::new(value, path)?;
+                match f.take("corners") {
+                    Some(v) => {
+                        // An explicitly-listed (possibly empty) set: decode
+                        // it verbatim and let validation reject empties —
+                        // silently substituting the default would make the
+                        // user believe multi-corner signoff ran.
+                        let arr = v.as_arr().ok_or_else(|| ConfigError::Field {
+                            path: display_path(path, "corners"),
+                            message: "expected an array of corner objects".to_owned(),
+                        })?;
+                        let mut corners = Vec::new();
+                        for (i, item) in arr.iter().enumerate() {
+                            let sub_path = format!("{}[{i}]", display_path(path, "corners"));
+                            corners.push(Corner::from_json_value(item, &sub_path)?);
+                        }
+                        f.deny_unknown()?;
+                        CornerSet { corners }
+                    }
+                    None => {
+                        f.deny_unknown()?;
+                        CornerSet::typical_only()
+                    }
+                }
+            }
+        };
+        set.validate().map_err(|message| ConfigError::Field {
+            path: display_path(path, ""),
+            message,
+        })?;
+        Ok(set)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // FlowConfig
 // ---------------------------------------------------------------------------
 
@@ -429,6 +540,7 @@ impl JsonConfig for FlowConfig {
             ),
             ("period_margin".to_owned(), num(self.period_margin)),
             ("sta".to_owned(), self.sta.to_json_value()),
+            ("corners".to_owned(), self.corners.to_json_value()),
             ("dualvth".to_owned(), self.dualvth.to_json_value()),
             ("cluster".to_owned(), self.cluster.to_json_value()),
             (
@@ -475,6 +587,7 @@ impl JsonConfig for FlowConfig {
         }
         f.f64("period_margin", &mut cfg.period_margin)?;
         f.sub("sta", &mut cfg.sta)?;
+        f.sub("corners", &mut cfg.corners)?;
         f.sub("dualvth", &mut cfg.dualvth)?;
         f.sub("cluster", &mut cfg.cluster)?;
         f.usize("recluster_retries", &mut cfg.recluster_retries)?;
@@ -575,6 +688,54 @@ mod tests {
         );
         let e = FlowConfig::from_json(r#"{"techniqe": "improved"}"#).unwrap_err();
         assert!(e.to_string().contains("techniqe"), "{e}");
+    }
+
+    #[test]
+    fn corner_presets_and_explicit_sets_roundtrip() {
+        use smt_cells::corner::CornerSet;
+        let cfg = FlowConfig::from_json(r#"{"corners": "slow-typ-fast"}"#).unwrap();
+        assert_eq!(cfg.corners, CornerSet::slow_typ_fast());
+        let back = FlowConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.corners, cfg.corners);
+
+        let cfg = FlowConfig::from_json(
+            r#"{"corners": {"corners": [
+                {"name": "ss", "vth_shift_mv": 25, "ron_scale": 1.1, "vdd_scale": 0.92},
+                {"name": "ff", "vth_shift_mv": -25, "ron_scale": 0.9, "temp_c": -40,
+                 "check_setup": false}
+            ]}}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.corners.len(), 2);
+        assert_eq!(cfg.corners.corners[0].name, "ss");
+        assert_eq!(cfg.corners.corners[0].vth_shift.millivolts(), 25.0);
+        assert_eq!(cfg.corners.corners[1].temp_c, -40.0);
+        assert!(!cfg.corners.corners[1].check_setup);
+        // Default (absent) corners stay the identity set.
+        let d = FlowConfig::from_json("{}").unwrap();
+        assert_eq!(d.corners, CornerSet::typical_only());
+    }
+
+    #[test]
+    fn invalid_corner_sets_are_rejected() {
+        // A set with no hold corner violates the invariants.
+        let e = FlowConfig::from_json(
+            r#"{"corners": {"corners": [{"name": "s", "check_hold": false}]}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("hold"), "{e}");
+        // Unknown preset string.
+        let e = FlowConfig::from_json(r#"{"corners": "wacky"}"#).unwrap_err();
+        assert!(e.to_string().contains("preset"), "{e}");
+        // An explicitly empty list is rejected, not silently defaulted.
+        let e = FlowConfig::from_json(r#"{"corners": {"corners": []}}"#).unwrap_err();
+        assert!(e.to_string().contains("empty"), "{e}");
+        // Typo in a corner field, with the indexed path.
+        let e = FlowConfig::from_json(r#"{"corners": {"corners": [{"nam": "s"}]}}"#).unwrap_err();
+        assert!(
+            matches!(&e, ConfigError::Field { path, .. } if path.contains("corners[0]")),
+            "{e}"
+        );
     }
 
     #[test]

@@ -96,17 +96,18 @@ impl std::fmt::Display for AssignVthError {
 
 impl std::error::Error for AssignVthError {}
 
+/// Runs STA at every corner library; reports come back in `libs` order.
 fn sta(
     netlist: &Netlist,
-    lib: &Library,
+    libs: &[&Library],
     parasitics: &Parasitics,
     config: &StaConfig,
     low_vth_derate: f64,
-) -> Result<TimingReport, AssignVthError> {
+) -> Result<Vec<TimingReport>, AssignVthError> {
     let derating = if low_vth_derate > 1.0 {
         let mut d = Derating::uniform(netlist);
         for (id, inst) in netlist.instances() {
-            let cell = lib.cell(inst.cell);
+            let cell = libs[0].cell(inst.cell);
             if cell.vth == VthClass::Low && cell.role == smt_cells::cell::CellRole::Logic {
                 d.set(id, low_vth_derate);
             }
@@ -115,7 +116,33 @@ fn sta(
     } else {
         Derating::none()
     };
-    analyze(netlist, lib, parasitics, config, &derating).map_err(AssignVthError::Cycle)
+    libs.iter()
+        .map(|lib| {
+            analyze(netlist, lib, parasitics, config, &derating).map_err(AssignVthError::Cycle)
+        })
+        .collect()
+}
+
+/// Worst setup WNS across corner reports.
+fn worst_wns(reports: &[TimingReport]) -> Time {
+    reports
+        .iter()
+        .map(|r| r.wns)
+        .fold(Time::new(f64::INFINITY), Time::min)
+}
+
+/// Worst instance slack across corner reports (the slack the assignment
+/// must preserve at every corner).
+fn worst_inst_slack(
+    netlist: &Netlist,
+    libs: &[&Library],
+    reports: &[TimingReport],
+    id: InstId,
+) -> Time {
+    libs.iter()
+        .zip(reports)
+        .map(|(lib, r)| r.inst_slack(netlist, lib, id))
+        .fold(Time::new(f64::INFINITY), Time::min)
 }
 
 fn is_candidate(lib: &Library, netlist: &Netlist, id: InstId, include_ffs: bool) -> bool {
@@ -130,7 +157,8 @@ fn is_candidate(lib: &Library, netlist: &Netlist, id: InstId, include_ffs: bool)
     }
 }
 
-/// Runs Dual-Vth assignment in place.
+/// Runs Dual-Vth assignment in place at a single corner (the original
+/// single-library entry point; see [`assign_dual_vth_at_corners`]).
 ///
 /// # Errors
 ///
@@ -143,11 +171,38 @@ pub fn assign_dual_vth(
     sta_config: &StaConfig,
     config: &DualVthConfig,
 ) -> Result<DualVthReport, AssignVthError> {
+    assign_dual_vth_at_corners(netlist, &[lib], parasitics, sta_config, config)
+}
+
+/// Runs Dual-Vth assignment in place, preserving setup timing at *every*
+/// corner library simultaneously: each swap decision is judged on the
+/// worst-across-corners slack, so the assignment holds up at the slow
+/// corner rather than just the corner it was tuned at.
+///
+/// All libraries must share cell ids (the [`smt_cells::corner`]
+/// invariant); `libs[0]` is used for cell metadata and variant lookup.
+/// With a single library this is exactly the original single-corner
+/// assignment.
+///
+/// # Errors
+///
+/// [`AssignVthError::InfeasibleConstraint`] when even the all-low design
+/// misses timing at some corner; [`AssignVthError::Cycle`] on
+/// combinational loops.
+pub fn assign_dual_vth_at_corners(
+    netlist: &mut Netlist,
+    libs: &[&Library],
+    parasitics: &Parasitics,
+    sta_config: &StaConfig,
+    config: &DualVthConfig,
+) -> Result<DualVthReport, AssignVthError> {
+    assert!(!libs.is_empty(), "at least one corner library");
+    let lib = libs[0];
     let margin = config.slack_margin;
     let derate = config.low_vth_derate;
-    let base = sta(netlist, lib, parasitics, sta_config, derate)?;
-    if base.wns < margin {
-        return Err(AssignVthError::InfeasibleConstraint { wns: base.wns });
+    let base = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+    if base < margin {
+        return Err(AssignVthError::InfeasibleConstraint { wns: base });
     }
 
     let mut swapped_total = 0usize;
@@ -163,13 +218,13 @@ pub fn assign_dual_vth(
 
     for _pass in 0..config.max_passes {
         passes += 1;
-        let report = sta(netlist, lib, parasitics, sta_config, derate)?;
-        // Candidates sorted by slack, largest first.
+        let reports = sta(netlist, libs, parasitics, sta_config, derate)?;
+        // Candidates sorted by worst-across-corners slack, largest first.
         let mut cands: Vec<(Time, InstId)> = netlist
             .instances()
             .map(|(id, _)| id)
             .filter(|&id| is_candidate(lib, netlist, id, config.include_ffs))
-            .map(|id| (report.inst_slack(netlist, lib, id), id))
+            .map(|id| (worst_inst_slack(netlist, libs, &reports, id), id))
             .collect();
         if cands.is_empty() {
             break;
@@ -204,16 +259,16 @@ pub fn assign_dual_vth(
         let mut hi = ids.len(); // first known-bad beyond
                                 // Probe the full swap first: often everything fits.
         swap_prefix(netlist, hi, true);
-        let r = sta(netlist, lib, parasitics, sta_config, derate)?;
-        if r.wns >= margin {
+        let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+        if r >= margin {
             lo = hi;
         } else {
             swap_prefix(netlist, hi, false);
             while hi - lo > 1 {
                 let mid = (lo + hi) / 2;
                 swap_prefix(netlist, mid, true);
-                let r = sta(netlist, lib, parasitics, sta_config, derate)?;
-                if r.wns >= margin {
+                let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+                if r >= margin {
                     lo = mid;
                 } else {
                     hi = mid;
@@ -249,8 +304,8 @@ pub fn assign_dual_vth(
             .expect("H variant");
         let low = netlist.inst(id).cell;
         netlist.replace_cell(id, high, lib).expect("variant swap");
-        let r = sta(netlist, lib, parasitics, sta_config, derate)?;
-        if r.wns >= margin {
+        let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+        if r >= margin {
             swapped_total += 1;
         } else {
             netlist
@@ -263,8 +318,7 @@ pub fn assign_dual_vth(
         .instances()
         .filter(|&(id, _)| is_candidate(lib, netlist, id, true))
         .count();
-    let final_report = sta(netlist, lib, parasitics, sta_config, derate)?;
-    let final_wns = final_report.wns;
+    let final_wns = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
     debug_assert!(final_wns >= margin, "assignment must preserve timing");
     Ok(DualVthReport {
         swapped_to_high: swapped_total,
@@ -349,6 +403,33 @@ mod tests {
         }
         assert_eq!(shal_high, shal_total, "all shallow gates go high-Vth");
         assert!(deep_low >= 25, "deep path mostly stays low: {deep_low}");
+    }
+
+    #[test]
+    fn multi_corner_assignment_guards_the_slow_corner() {
+        use smt_cells::corner::{CornerLibrary, CornerSet};
+        let lib = lib();
+        let mut n = two_path_design(&lib, 24, 4);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let corners = CornerLibrary::build_set(&lib, &CornerSet::slow_typ_fast());
+        let libs: Vec<&Library> = smt_cells::corner::setup_libs(&corners);
+        // Clock sized off the *slow* corner so assignment is feasible there.
+        let probe = analyze(&n, libs[0], &par, &StaConfig::default(), &Derating::none()).unwrap();
+        let crit = StaConfig::default().clock_period - probe.wns;
+        let sta_cfg = StaConfig {
+            clock_period: crit * 1.15,
+            ..StaConfig::default()
+        };
+        let report =
+            assign_dual_vth_at_corners(&mut n, &libs, &par, &sta_cfg, &DualVthConfig::default())
+                .unwrap();
+        assert!(report.swapped_to_high > 0, "{report:?}");
+        // Timing holds at every setup corner, not just typical.
+        for l in &libs {
+            let r = analyze(&n, l, &par, &sta_cfg, &Derating::none()).unwrap();
+            assert!(r.setup_met(), "corner lib {} wns {}", l.tech.name, r.wns);
+        }
     }
 
     #[test]

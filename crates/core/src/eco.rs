@@ -49,8 +49,15 @@ pub struct HoldFixReport {
     pub rounds: usize,
 }
 
+/// Hold violations merged across corner reports (worst slack per
+/// flip-flop, via [`smt_sta::merge_hold_violations`]).
+fn merge_hold_violations(reports: &[smt_sta::TimingReport]) -> Vec<smt_sta::HoldViolation> {
+    smt_sta::merge_hold_violations(reports.iter().map(|r| r.hold_violations.clone()))
+}
+
 /// Fixes hold violations by inserting high-Vth delay buffers in front of
-/// violating flip-flop `D` pins, iterating STA → pad → STA.
+/// violating flip-flop `D` pins, iterating STA → pad → STA (single-corner
+/// entry point; see [`fix_hold_at_corners`]).
 ///
 /// # Errors
 ///
@@ -65,16 +72,51 @@ pub fn fix_hold(
     derating: &Derating,
     max_rounds: usize,
 ) -> Result<HoldFixReport, smt_netlist::graph::CombinationalCycle> {
+    fix_hold_at_corners(
+        netlist,
+        placement,
+        &[lib],
+        parasitics,
+        sta_config,
+        derating,
+        max_rounds,
+    )
+}
+
+/// Multi-corner hold fixing: each round pads against the union of hold
+/// violations across every corner library (worst slack per flip-flop), so
+/// short paths are buffered enough to survive the fast corner, not just
+/// the corner the flow was tuned at. `libs[0]` supplies the buffer cell;
+/// with a single library this is exactly [`fix_hold`].
+///
+/// # Errors
+///
+/// Propagates combinational-cycle errors from STA.
+pub fn fix_hold_at_corners(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    libs: &[&Library],
+    parasitics: &Parasitics,
+    sta_config: &StaConfig,
+    derating: &Derating,
+    max_rounds: usize,
+) -> Result<HoldFixReport, smt_netlist::graph::CombinationalCycle> {
+    assert!(!libs.is_empty(), "at least one corner library");
+    let lib = libs[0];
     let buffer = lib.buffer(1, VthClass::High).expect("library has BUF_X1_H");
     let mut report = HoldFixReport::default();
     for round in 0..max_rounds {
         report.rounds = round + 1;
-        let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
-        if timing.hold_violations.is_empty() {
+        let reports = libs
+            .iter()
+            .map(|l| analyze(netlist, l, parasitics, sta_config, derating))
+            .collect::<Result<Vec<_>, _>>()?;
+        let violations = merge_hold_violations(&reports);
+        if violations.is_empty() {
             report.remaining = 0;
             return Ok(report);
         }
-        for v in &timing.hold_violations {
+        for v in &violations {
             let ff = v.ff;
             let cell = lib.cell(netlist.inst(ff).cell);
             let Some(dp) = cell.pin_index("D") else {
@@ -105,8 +147,11 @@ pub fn fix_hold(
         // fall back to zero-RC defaults in STA lookups, which is
         // conservative for hold (buffers' own delay still counts).
     }
-    let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
-    report.remaining = timing.hold_violations.len();
+    let reports = libs
+        .iter()
+        .map(|l| analyze(netlist, l, parasitics, sta_config, derating))
+        .collect::<Result<Vec<_>, _>>()?;
+    report.remaining = merge_hold_violations(&reports).len();
     Ok(report)
 }
 
@@ -124,7 +169,8 @@ pub struct SetupFixReport {
 /// Post-route setup recovery: while setup fails, walk the worst path and
 /// make its cells faster — high-Vth logic returns to low-Vth (trading
 /// leakage for speed, exactly the Dual-Vth trade), and already-fast cells
-/// are drive-upsized. Mirrors the "ECO" box of Fig. 4.
+/// are drive-upsized. Mirrors the "ECO" box of Fig. 4. (Single-corner
+/// entry point; see [`recover_setup_at_corners`].)
 ///
 /// # Errors
 ///
@@ -137,15 +183,57 @@ pub fn recover_setup(
     derating: &Derating,
     max_rounds: usize,
 ) -> Result<SetupFixReport, smt_netlist::graph::CombinationalCycle> {
+    recover_setup_at_corners(
+        netlist,
+        &[lib],
+        parasitics,
+        sta_config,
+        derating,
+        max_rounds,
+    )
+}
+
+/// Multi-corner setup recovery: each round times every corner library,
+/// stops when setup is met at *all* of them, and otherwise walks the
+/// worst path of the *worst* corner (the binding one). `libs[0]` is used
+/// for variant/drive lookups; with a single library this is exactly
+/// [`recover_setup`].
+///
+/// # Errors
+///
+/// Propagates combinational-cycle errors from STA.
+pub fn recover_setup_at_corners(
+    netlist: &mut Netlist,
+    libs: &[&Library],
+    parasitics: &Parasitics,
+    sta_config: &StaConfig,
+    derating: &Derating,
+    max_rounds: usize,
+) -> Result<SetupFixReport, smt_netlist::graph::CombinationalCycle> {
     use smt_sta::worst_path;
+    assert!(!libs.is_empty(), "at least one corner library");
+    let lib = libs[0];
+    let worst_corner = |netlist: &Netlist| -> Result<
+        (usize, smt_sta::TimingReport),
+        smt_netlist::graph::CombinationalCycle,
+    > {
+        let mut worst: Option<(usize, smt_sta::TimingReport)> = None;
+        for (k, l) in libs.iter().enumerate() {
+            let t = analyze(netlist, l, parasitics, sta_config, derating)?;
+            if worst.as_ref().map(|(_, w)| t.wns < w.wns).unwrap_or(true) {
+                worst = Some((k, t));
+            }
+        }
+        Ok(worst.expect("non-empty corner list"))
+    };
     let mut report = SetupFixReport::default();
     for _ in 0..max_rounds {
-        let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+        let (k, timing) = worst_corner(netlist)?;
         report.final_wns_ps = timing.wns.ps();
         if timing.setup_met() {
             return Ok(report);
         }
-        let path = worst_path(netlist, lib, &timing);
+        let path = worst_path(netlist, libs[k], &timing);
         let mut changed = 0usize;
         for inst in path {
             let cell = lib.cell(netlist.inst(inst).cell);
@@ -180,7 +268,7 @@ pub fn recover_setup(
             break;
         }
     }
-    let timing = analyze(netlist, lib, parasitics, sta_config, derating)?;
+    let (_, timing) = worst_corner(netlist)?;
     report.final_wns_ps = timing.wns.ps();
     Ok(report)
 }

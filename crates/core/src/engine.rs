@@ -34,14 +34,15 @@
 use crate::cluster::{
     cluster_state, construct_switch_structure, ClusterConfig, SwitchStructureReport,
 };
-use crate::dualvth::{assign_dual_vth, AssignVthError, DualVthConfig, DualVthReport};
-use crate::eco::{distribute_mte, fix_hold, HoldFixReport};
-use crate::reopt::{reoptimize_switches, ReoptReport};
+use crate::dualvth::{assign_dual_vth_at_corners, AssignVthError, DualVthConfig, DualVthReport};
+use crate::eco::{distribute_mte, fix_hold_at_corners, HoldFixReport};
+use crate::reopt::{reoptimize_switches_at_corners, ReoptReport};
 use crate::smtgen::{
     insert_initial_switch, insert_output_holders, to_conventional_smt, to_improved_mt_cells,
 };
 use crate::verify::{verify, VerifyError, VerifyReport};
 use smt_base::units::{Area, Current, Time};
+use smt_cells::corner::{hold_libs, setup_libs, Corner, CornerLibrary, CornerSet};
 use smt_cells::library::Library;
 use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
 use smt_place::{place, Placement, PlacerConfig};
@@ -95,6 +96,13 @@ pub struct FlowConfig {
     pub period_margin: f64,
     /// Base STA settings (input delay, margins; period is overridden).
     pub sta: StaConfig,
+    /// PVT corners the flow signs off against. The default (the identity
+    /// [`CornerSet::typical_only`]) reproduces the original single-corner
+    /// flow bit-for-bit; [`CornerSet::slow_typ_fast`] signs setup off at
+    /// the slow corner and hold at the fast one, and every
+    /// timing-sensitive stage (clock probe, Vth assignment, switch
+    /// re-opt, ECO, signoff) then works on worst-across-corners slack.
+    pub corners: CornerSet,
     /// Dual-Vth assignment options.
     pub dualvth: DualVthConfig,
     /// Switch clustering constraints (improved technique).
@@ -124,6 +132,7 @@ impl Default for FlowConfig {
             clock_period: None,
             period_margin: 1.25,
             sta: StaConfig::default(),
+            corners: CornerSet::typical_only(),
             dualvth: DualVthConfig::default(),
             cluster: ClusterConfig::default(),
             recluster_retries: 2,
@@ -301,6 +310,12 @@ pub enum FlowError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The configured [`CornerSet`] violates its invariants (empty, no
+    /// setup corner, no hold corner, duplicate names).
+    InvalidCorners {
+        /// Which invariant failed.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -328,6 +343,9 @@ impl std::fmt::Display for FlowError {
             }
             FlowError::RunPanicked { message } => {
                 write!(f, "flow panicked: {message}")
+            }
+            FlowError::InvalidCorners { message } => {
+                write!(f, "invalid corner set: {message}")
             }
         }
     }
@@ -394,6 +412,9 @@ pub struct DesignState {
     pub standby_leakage: Option<Current>,
     /// Active-mode leakage.
     pub active_leakage: Option<Current>,
+    /// Per-corner signoff rows (filled by [`StageId::Signoff`]; one row
+    /// per configured corner, in corner-set order).
+    pub corner_signoff: Vec<CornerSignoff>,
 }
 
 impl DesignState {
@@ -420,6 +441,7 @@ impl DesignState {
             verify: None,
             standby_leakage: None,
             active_leakage: None,
+            corner_signoff: Vec::new(),
         }
     }
 
@@ -492,6 +514,26 @@ fn placement_mut(
 // Results
 // ---------------------------------------------------------------------------
 
+/// One corner's signoff row: timing and leakage of the *final* design
+/// evaluated at that corner's re-characterised library (the per-corner
+/// Table 1 view).
+#[derive(Debug, Clone)]
+pub struct CornerSignoff {
+    /// The corner (name, derates, which checks apply).
+    pub corner: Corner,
+    /// Setup WNS at this corner.
+    pub wns: Time,
+    /// Total negative slack at this corner.
+    pub tns: Time,
+    /// Hold violations at this corner.
+    pub hold_violations: usize,
+    /// Standby leakage at this corner (same gated-mode snapshot as the
+    /// primary signoff, re-priced at the corner's technology).
+    pub standby_leakage: Current,
+    /// Active-mode leakage at this corner.
+    pub active_leakage: Current,
+}
+
 /// Everything the flow produces.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
@@ -527,6 +569,9 @@ pub struct FlowResult {
     pub standby_leakage: Current,
     /// Active-mode leakage.
     pub active_leakage: Current,
+    /// Per-corner signoff rows, in corner-set order (a single `typ` row
+    /// for the default single-corner configuration).
+    pub corner_signoff: Vec<CornerSignoff>,
 }
 
 impl FlowResult {
@@ -551,6 +596,7 @@ impl FlowResult {
             verify: state.verify.ok_or(missing("verification report"))?,
             standby_leakage: state.standby_leakage.ok_or(missing("standby leakage"))?,
             active_leakage: state.active_leakage.ok_or(missing("active leakage"))?,
+            corner_signoff: state.corner_signoff,
             netlist: state.netlist,
         })
     }
@@ -562,13 +608,50 @@ impl FlowResult {
 
 /// Shared, read-only context every stage receives.
 pub struct FlowContext<'a> {
-    /// Cell library.
+    /// Cell library (the base/primary corner).
     pub lib: &'a Library,
+    /// The configured corners, each with its re-characterised library.
+    /// Always non-empty for engine-driven stages; the identity corner
+    /// set makes `corners[0].lib` a clone of [`FlowContext::lib`].
+    pub corners: &'a [CornerLibrary],
     /// Flow configuration.
     pub config: &'a FlowConfig,
     /// RTL-lite source ([`StageId::Synthesize`] input; absent when the
     /// flow was seeded from a netlist).
     pub rtl: Option<&'a str>,
+}
+
+impl<'a> FlowContext<'a> {
+    /// Libraries of the corners that sign off setup timing (falls back to
+    /// the base library for hand-built contexts with no corners).
+    pub fn setup_libs(&self) -> Vec<&'a Library> {
+        let libs = setup_libs(self.corners);
+        if libs.is_empty() {
+            vec![self.lib]
+        } else {
+            libs
+        }
+    }
+
+    /// Libraries of the corners that sign off hold timing (falls back to
+    /// the base library for hand-built contexts with no corners).
+    pub fn hold_libs(&self) -> Vec<&'a Library> {
+        let libs = hold_libs(self.corners);
+        if libs.is_empty() {
+            vec![self.lib]
+        } else {
+            libs
+        }
+    }
+
+    /// Libraries of every configured corner (base library when none).
+    pub fn corner_libs(&self) -> Vec<&'a Library> {
+        if self.corners.is_empty() {
+            vec![self.lib]
+        } else {
+            self.corners.iter().map(|c| &c.lib).collect()
+        }
+    }
 }
 
 /// One box of the Fig. 4 stage graph: a named transformation of
@@ -660,13 +743,47 @@ impl Checkpoint {
 pub struct FlowEngine<'a> {
     lib: &'a Library,
     config: FlowConfig,
+    /// Per-corner libraries, characterised once per engine (empty when
+    /// the configured corner set is invalid — surfaced as
+    /// [`FlowError::InvalidCorners`] on the first run).
+    corner_libs: Vec<CornerLibrary>,
     stages: Vec<Box<dyn Stage + 'a>>,
     observers: Vec<Box<dyn Observer + 'a>>,
+}
+
+/// Characterises the configured corners against the base library; an
+/// invalid set yields an empty vec (reported at run time).
+fn build_corner_libs(lib: &Library, corners: &CornerSet) -> Vec<CornerLibrary> {
+    if corners.validate().is_err() {
+        return Vec::new();
+    }
+    CornerLibrary::build_set(lib, corners)
 }
 
 impl<'a> FlowEngine<'a> {
     /// An engine running the standard Fig. 4 plan for `config.technique`.
     pub fn new(lib: &'a Library, config: FlowConfig) -> Self {
+        let corner_libs = build_corner_libs(lib, &config.corners);
+        Self::with_corner_libraries(lib, config, corner_libs)
+    }
+
+    /// An engine reusing already-characterised corner libraries (they
+    /// must have been built for `config.corners`); [`fork_sweep`] uses
+    /// this so N parallel runs share one characterisation instead of
+    /// regenerating the non-identity corners N times.
+    pub fn with_corner_libraries(
+        lib: &'a Library,
+        config: FlowConfig,
+        corner_libs: Vec<CornerLibrary>,
+    ) -> Self {
+        debug_assert!(
+            corner_libs.is_empty()
+                || corner_libs
+                    .iter()
+                    .map(|c| &c.corner)
+                    .eq(config.corners.corners.iter()),
+            "corner libraries must match config.corners"
+        );
         let stages = StageId::plan(config.technique)
             .iter()
             .map(|&id| instantiate(id))
@@ -674,6 +791,7 @@ impl<'a> FlowEngine<'a> {
         FlowEngine {
             lib,
             config,
+            corner_libs,
             stages,
             observers: Vec::new(),
         }
@@ -685,12 +803,20 @@ impl<'a> FlowEngine<'a> {
         config: FlowConfig,
         stages: Vec<Box<dyn Stage + 'a>>,
     ) -> Self {
+        let corner_libs = build_corner_libs(lib, &config.corners);
         FlowEngine {
             lib,
             config,
+            corner_libs,
             stages,
             observers: Vec::new(),
         }
+    }
+
+    /// The per-corner libraries this engine signs off against, in
+    /// corner-set order.
+    pub fn corner_libraries(&self) -> &[CornerLibrary] {
+        &self.corner_libs
     }
 
     /// Registers an observer (builder style).
@@ -786,6 +912,9 @@ impl<'a> FlowEngine<'a> {
                 return Err(FlowError::StageNotInPlan { stage: stop });
             }
         }
+        if let Err(message) = self.config.corners.validate() {
+            return Err(FlowError::InvalidCorners { message });
+        }
         // Re-apply a pinned clock when forking a checkpoint whose prefix
         // selected a different (auto) period, with the same floor
         // `PlaceAndClock` enforces so resumed runs match fresh ones. Only
@@ -807,6 +936,7 @@ impl<'a> FlowEngine<'a> {
         }
         let ctx = FlowContext {
             lib: self.lib,
+            corners: &self.corner_libs,
             config: &self.config,
             rtl,
         };
@@ -892,20 +1022,27 @@ impl Stage for PlaceAndClock {
         let parasitics = Parasitics::estimate(&state.netlist, ctx.lib, &placement);
 
         // Clock selection: probe the all-low critical delay with a huge
-        // period, then apply the margin (unless the period is pinned).
+        // period at every setup corner — the slowest corner's critical
+        // delay is what the clock must accommodate — then apply the
+        // margin (unless the period is pinned).
         let probe_cfg = StaConfig {
             clock_period: Time::from_ns(1000.0),
             ..cfg.sta.clone()
         };
-        let probe = analyze(
-            &state.netlist,
-            ctx.lib,
-            &parasitics,
-            &probe_cfg,
-            &Derating::none(),
-        )
-        .map_err(FlowError::Cycle)?;
-        let crit = probe_cfg.clock_period - probe.wns;
+        let mut crit = Time::new(f64::NEG_INFINITY);
+        let mut probe_wns = Time::new(f64::INFINITY);
+        for lib in ctx.setup_libs() {
+            let probe = analyze(
+                &state.netlist,
+                lib,
+                &parasitics,
+                &probe_cfg,
+                &Derating::none(),
+            )
+            .map_err(FlowError::Cycle)?;
+            crit = crit.max(probe_cfg.clock_period - probe.wns);
+            probe_wns = probe_wns.min(probe.wns);
+        }
         let clock_period = cfg
             .clock_period
             .unwrap_or(crit * cfg.period_margin)
@@ -918,7 +1055,7 @@ impl Stage for PlaceAndClock {
             clock_period,
             ..cfg.sta.clone()
         });
-        state.last_wns = Some(probe.wns);
+        state.last_wns = Some(probe_wns);
         Ok(())
     }
 }
@@ -959,8 +1096,16 @@ impl Stage for AssignDualVth {
             stage: StageId::AssignDualVth,
             what: "estimated parasitics",
         })?;
-        let report = assign_dual_vth(&mut state.netlist, lib, parasitics, &sta_cfg, &dualvth_cfg)
-            .map_err(FlowError::Assign)?;
+        // Worst-across-corners assignment: whatever stays low-Vth must
+        // tolerate its MT conversion at the slow corner too.
+        let report = assign_dual_vth_at_corners(
+            &mut state.netlist,
+            &ctx.setup_libs(),
+            parasitics,
+            &sta_cfg,
+            &dualvth_cfg,
+        )
+        .map_err(FlowError::Assign)?;
         state.last_wns = Some(report.final_wns);
         state.dualvth = Some(report);
         Ok(())
@@ -1036,9 +1181,13 @@ impl Stage for ClusterSwitches {
                 d
             };
             let par = Parasitics::estimate(&state.netlist, lib, placement);
-            let timing =
-                analyze(&state.netlist, lib, &par, &sta_cfg, &derates).map_err(FlowError::Cycle)?;
-            if timing.setup_met() || attempt == cfg.recluster_retries {
+            let mut setup_met = true;
+            for corner_lib in ctx.setup_libs() {
+                let timing = analyze(&state.netlist, corner_lib, &par, &sta_cfg, &derates)
+                    .map_err(FlowError::Cycle)?;
+                setup_met &= timing.setup_met();
+            }
+            if setup_met || attempt == cfg.recluster_retries {
                 state.cluster = Some(report);
                 break;
             }
@@ -1117,9 +1266,11 @@ impl Stage for ReoptSwitches {
             .nets()
             .map(|(id, _)| extracted.net(id).length_um)
             .collect();
-        let report = reoptimize_switches(
+        // Size each cluster's switch for its binding corner (the slow
+        // corner's resistive devices bounce hardest).
+        let report = reoptimize_switches_at_corners(
             &mut state.netlist,
-            ctx.lib,
+            &ctx.corner_libs(),
             ctx.config.cluster.bounce_limit,
             |id| lengths.get(id.index()).copied().unwrap_or(0.0),
         );
@@ -1163,13 +1314,22 @@ impl Stage for EcoHoldFix {
             Derating::none()
         };
         let sta_cfg = state.sta(StageId::EcoHoldFix)?.clone();
-        crate::eco::recover_setup(&mut state.netlist, lib, extracted, &sta_cfg, &derating, 20)
-            .map_err(FlowError::Cycle)?;
+        // Setup recovery against the worst setup corner; hold padding
+        // against the union of violations at the hold corners.
+        crate::eco::recover_setup_at_corners(
+            &mut state.netlist,
+            &ctx.setup_libs(),
+            extracted,
+            &sta_cfg,
+            &derating,
+            20,
+        )
+        .map_err(FlowError::Cycle)?;
         let placement = placement_mut(&mut state.placement, StageId::EcoHoldFix)?;
-        let hold_fix = fix_hold(
+        let hold_fix = fix_hold_at_corners(
             &mut state.netlist,
             placement,
-            lib,
+            &ctx.hold_libs(),
             extracted,
             &sta_cfg,
             &derating,
@@ -1196,15 +1356,14 @@ impl Stage for Signoff {
             stage: StageId::Signoff,
             what: "extracted parasitics",
         })?;
-        let sta_cfg = state.sta(StageId::Signoff)?;
+        let sta_cfg = state.sta(StageId::Signoff)?.clone();
         let derating = state.derating.clone().unwrap_or_else(Derating::none);
-        let timing = analyze(&state.netlist, lib, extracted, sta_cfg, &derating)
+        let timing = analyze(&state.netlist, lib, extracted, &sta_cfg, &derating)
             .map_err(FlowError::Cycle)?;
         state.last_wns = Some(timing.wns);
         if !timing.setup_met() {
             return Err(FlowError::TimingNotMet { wns: timing.wns });
         }
-        state.timing = Some(timing);
 
         let verify_report = verify(
             &state.golden,
@@ -1214,13 +1373,70 @@ impl Stage for Signoff {
             ctx.config.seed,
         )
         .map_err(FlowError::Verify)?;
-        state.verify = Some(verify_report);
 
         let standby = standby_sim(&state.netlist, lib)?;
-        state.standby_leakage =
-            Some(standby_leakage(&state.netlist, lib, StateSource::Snapshot(&standby)).total());
-        state.active_leakage =
-            Some(smt_power::active_leakage(&state.netlist, lib, StateSource::Mean).total());
+        let standby_total =
+            standby_leakage(&state.netlist, lib, StateSource::Snapshot(&standby)).total();
+        let active_total =
+            smt_power::active_leakage(&state.netlist, lib, StateSource::Mean).total();
+
+        // Per-corner signoff table: the final design re-timed and
+        // re-priced at every corner, fanned out on the same worker pool
+        // the sweeps use (one corner per thread). The identity corner's
+        // row is the primary signoff verbatim — its library is a clone of
+        // the base, so re-running analyze/leakage there would only
+        // recompute the identical numbers.
+        let netlist = &state.netlist;
+        let rows: Vec<Result<CornerSignoff, FlowError>> =
+            parallel_map(ctx.corners, 0, |cl: &CornerLibrary| {
+                if cl.corner.is_identity() {
+                    return Ok(CornerSignoff {
+                        corner: cl.corner.clone(),
+                        wns: timing.wns,
+                        tns: timing.tns,
+                        hold_violations: timing.hold_violations.len(),
+                        standby_leakage: standby_total,
+                        active_leakage: active_total,
+                    });
+                }
+                let t = analyze(netlist, &cl.lib, extracted, &sta_cfg, &derating)
+                    .map_err(FlowError::Cycle)?;
+                Ok(CornerSignoff {
+                    corner: cl.corner.clone(),
+                    wns: t.wns,
+                    tns: t.tns,
+                    hold_violations: t.hold_violations.len(),
+                    standby_leakage: standby_leakage(
+                        netlist,
+                        &cl.lib,
+                        StateSource::Snapshot(&standby),
+                    )
+                    .total(),
+                    active_leakage: smt_power::active_leakage(netlist, &cl.lib, StateSource::Mean)
+                        .total(),
+                })
+            });
+        let mut corner_signoff = Vec::with_capacity(rows.len());
+        for row in rows {
+            corner_signoff.push(row?);
+        }
+        // Enforce setup at every corner that signs it off (the primary
+        // corner was already enforced above and is reused verbatim for
+        // the identity corner).
+        if let Some(worst) = corner_signoff
+            .iter()
+            .filter(|c| c.corner.check_setup && c.wns.ps() < 0.0)
+            .map(|c| c.wns)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite wns"))
+        {
+            return Err(FlowError::TimingNotMet { wns: worst });
+        }
+
+        state.timing = Some(timing);
+        state.verify = Some(verify_report);
+        state.standby_leakage = Some(standby_total);
+        state.active_leakage = Some(active_total);
+        state.corner_signoff = corner_signoff;
         Ok(())
     }
 }
@@ -1328,6 +1544,51 @@ pub fn run_sweep(
     Ok(fork_sweep(lib, &checkpoint, runs, threads))
 }
 
+/// The shared fan-out worker pool: applies `f` to every item on up to
+/// `threads` OS threads (`0` = one per available core), returning results
+/// in item order. Both [`fork_sweep`] (one flow per thread) and the
+/// multi-corner [`Signoff`] stage (one corner per thread) drain their
+/// work from this pool, so corner evaluation is parallel by the same
+/// construction as the sweeps.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().expect("worker slot lock") = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
 /// The fan-out half of [`run_sweep`]: forks an existing checkpoint across
 /// `runs`, in parallel on up to `threads` OS threads (`0` = one per
 /// available core). Results come back in `runs` order.
@@ -1337,49 +1598,43 @@ pub fn fork_sweep(
     runs: &[SweepRun],
     threads: usize,
 ) -> Vec<SweepOutcome> {
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    }
-    .min(runs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<Result<FlowResult, FlowError>>>> =
-        runs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= runs.len() {
-                    break;
-                }
-                // Isolate panics so one infeasible run surfaces as an Err
-                // outcome instead of tearing down the whole sweep.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    FlowEngine::new(lib, runs[i].config.clone()).resume(checkpoint)
-                }))
-                .unwrap_or_else(|payload| {
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_owned())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_owned());
-                    Err(FlowError::RunPanicked { message })
-                });
-                *results[i].lock().expect("sweep slot lock") = Some(outcome);
-            });
+    // Characterise each distinct corner set once, up front; the forked
+    // engines clone the result instead of regenerating the non-identity
+    // corner libraries per run.
+    let mut corner_cache: Vec<(CornerSet, Vec<CornerLibrary>)> = Vec::new();
+    for run in runs {
+        if !corner_cache.iter().any(|(s, _)| *s == run.config.corners) {
+            corner_cache.push((
+                run.config.corners.clone(),
+                build_corner_libs(lib, &run.config.corners),
+            ));
         }
+    }
+    let results = parallel_map(runs, threads, |run: &SweepRun| {
+        let corners = corner_cache
+            .iter()
+            .find(|(s, _)| *s == run.config.corners)
+            .map(|(_, l)| l.clone())
+            .unwrap_or_default();
+        // Isolate panics so one infeasible run surfaces as an Err
+        // outcome instead of tearing down the whole sweep.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FlowEngine::with_corner_libraries(lib, run.config.clone(), corners).resume(checkpoint)
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(FlowError::RunPanicked { message })
+        })
     });
-
     runs.iter()
         .zip(results)
-        .map(|(run, slot)| SweepOutcome {
+        .map(|(run, result)| SweepOutcome {
             label: run.label.clone(),
-            result: slot
-                .into_inner()
-                .expect("sweep slot lock")
-                .expect("worker filled every claimed slot"),
+            result,
         })
         .collect()
 }

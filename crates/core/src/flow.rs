@@ -20,12 +20,12 @@
 //! the whole pipeline in one call, exactly as before the stage-graph
 //! redesign. New code should prefer [`FlowEngine`] directly — it exposes
 //! per-stage observers, checkpoint/fork, and parallel sweeps
-//! ([`run_sweep`](crate::engine::run_sweep)).
+//! ([`run_sweep`]).
 
 pub use crate::engine::{
-    run_sweep, run_three_techniques, Checkpoint, DesignState, FlowConfig, FlowContext, FlowEngine,
-    FlowError, FlowResult, Observer, Stage, StageId, StageLogger, StageMetrics, SweepOutcome,
-    SweepRun, Technique,
+    run_sweep, run_three_techniques, Checkpoint, CornerSignoff, DesignState, FlowConfig,
+    FlowContext, FlowEngine, FlowError, FlowResult, Observer, Stage, StageId, StageLogger,
+    StageMetrics, SweepOutcome, SweepRun, Technique,
 };
 use smt_cells::library::Library;
 use smt_netlist::netlist::Netlist;

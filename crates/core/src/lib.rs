@@ -49,10 +49,10 @@ pub mod verify;
 
 pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
 pub use crosstalk::{analyze_crosstalk, worst_noise, CrosstalkConfig, CrosstalkReport};
-pub use dualvth::{assign_dual_vth, DualVthConfig, DualVthReport};
+pub use dualvth::{assign_dual_vth, assign_dual_vth_at_corners, DualVthConfig, DualVthReport};
 pub use engine::{
-    run_sweep, Checkpoint, DesignState, FlowContext, FlowEngine, FlowError, Observer, Stage,
-    StageId, StageLogger, StageMetrics, SweepOutcome, SweepRun,
+    run_sweep, Checkpoint, CornerSignoff, DesignState, FlowContext, FlowEngine, FlowError,
+    Observer, Stage, StageId, StageLogger, StageMetrics, SweepOutcome, SweepRun,
 };
 pub use flow::{
     run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique,

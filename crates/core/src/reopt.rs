@@ -27,7 +27,8 @@ pub struct ReoptReport {
     pub unresolved: usize,
 }
 
-/// Re-sizes every cluster's switch against post-route VGND lengths.
+/// Re-sizes every cluster's switch against post-route VGND lengths at a
+/// single corner (see [`reoptimize_switches_at_corners`]).
 ///
 /// `net_length` should come from extraction
 /// ([`smt_route::Parasitics::extract`], via `|n| par.net(n).length_um`).
@@ -37,22 +38,65 @@ pub fn reoptimize_switches(
     bounce_limit: Volt,
     net_length: impl Fn(NetId) -> f64,
 ) -> ReoptReport {
-    let clusters = analyze_vgnd(netlist, lib, &net_length);
+    reoptimize_switches_at_corners(netlist, &[lib], bounce_limit, net_length)
+}
+
+/// Multi-corner re-optimization: each cluster's switch is sized for the
+/// *binding* corner — the one demanding the widest switch once its own
+/// on-resistance, wire resistance and peak current are accounted for
+/// (the slow corner's resistive devices bounce hardest). A cluster is
+/// `unresolved` if *any* corner cannot be satisfied by the widest switch
+/// available. `libs[0]` performs the netlist edits; cell ids are shared
+/// across corner libraries. With a single library this is exactly
+/// [`reoptimize_switches`].
+pub fn reoptimize_switches_at_corners(
+    netlist: &mut Netlist,
+    libs: &[&Library],
+    bounce_limit: Volt,
+    net_length: impl Fn(NetId) -> f64,
+) -> ReoptReport {
+    assert!(!libs.is_empty(), "at least one corner library");
+    let lib = libs[0];
+    // Cluster structure is identical at every corner (it depends only on
+    // the netlist); electrical state differs, so analyze each corner and
+    // zip the cluster lists.
+    let per_corner: Vec<_> = libs
+        .iter()
+        .map(|l| analyze_vgnd(netlist, l, &net_length))
+        .collect();
     let mut report = ReoptReport::default();
-    for c in clusters {
-        let wire_ir = Volt::new(c.current.ua() * c.wire_res.kohm() * 1e-3);
-        let budget = bounce_limit - wire_ir;
+    for (ci, c) in per_corner[0].iter().enumerate() {
         let old_spec = lib
             .cell(netlist.inst(c.switch).cell)
             .switch
             .expect("switch cell");
-        let new_cell = if budget.volts() <= 0.0 {
-            None
-        } else {
-            lib.pick_switch(c.current, budget)
-        };
-        match new_cell {
-            Some(new_id) => {
+        // Pick per corner, then keep the widest requirement; any corner
+        // that cannot be satisfied at all marks the cluster unresolved.
+        let mut pick: Option<smt_cells::cell::CellId> = None;
+        let mut infeasible = false;
+        for (l, clusters) in libs.iter().zip(&per_corner) {
+            let cc = &clusters[ci];
+            debug_assert_eq!(cc.switch, c.switch, "cluster order differs across corners");
+            let wire_ir = Volt::new(cc.current.ua() * cc.wire_res.kohm() * 1e-3);
+            let budget = bounce_limit - wire_ir;
+            let corner_pick = if budget.volts() <= 0.0 {
+                None
+            } else {
+                l.pick_switch(cc.current, budget)
+            };
+            match corner_pick {
+                Some(id) => {
+                    let w = lib.cell(id).switch.expect("switch cell").width_um;
+                    let cur = pick.map(|p| lib.cell(p).switch.expect("switch").width_um);
+                    if cur.map(|cw| w > cw).unwrap_or(true) {
+                        pick = Some(id);
+                    }
+                }
+                None => infeasible = true,
+            }
+        }
+        match (infeasible, pick) {
+            (false, Some(new_id)) => {
                 let new_spec = lib.cell(new_id).switch.expect("switch cell");
                 if (new_spec.width_um - old_spec.width_um).abs() < 1e-9 {
                     continue;
@@ -67,7 +111,7 @@ pub fn reoptimize_switches(
                     .replace_cell(c.switch, new_id, lib)
                     .expect("switch cells share pin names");
             }
-            None => {
+            _ => {
                 // Use the widest switch and flag for re-clustering.
                 let widest = *lib.switch_cells().last().expect("switches exist");
                 let widest_spec = lib.cell(widest).switch.expect("switch");

@@ -76,6 +76,36 @@ pub fn render_signoff(result: &FlowResult, lib: &Library, top_paths: usize) -> S
         render_standby_report(&result.netlist, lib, StateSource::Mean, 5)
     );
 
+    // Per-corner signoff table (multi-corner configurations only, so the
+    // single-corner report text is byte-identical to the original).
+    if result.corner_signoff.len() > 1 {
+        let _ = writeln!(out, "-- corners --");
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>12} {:>12} {:>6} {:>14} {:>14}",
+            "corner", "checks", "wns ps", "tns ps", "hold", "standby uA", "active uA"
+        );
+        for c in &result.corner_signoff {
+            let checks = match (c.corner.check_setup, c.corner.check_hold) {
+                (true, true) => "S+H",
+                (true, false) => "S",
+                (false, true) => "H",
+                (false, false) => "-",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>6} {:>12.1} {:>12.1} {:>6} {:>14.6} {:>14.6}",
+                c.corner.name,
+                checks,
+                c.wns.ps(),
+                c.tns.ps(),
+                c.hold_violations,
+                c.standby_leakage.ua(),
+                c.active_leakage.ua(),
+            );
+        }
+    }
+
     if let Some(cluster) = &result.cluster {
         let _ = writeln!(out, "-- MTCMOS --");
         let _ = writeln!(

@@ -17,6 +17,8 @@ pub mod wakeup;
 
 pub use dynamic::dynamic_power;
 pub use leakage::{active_leakage, standby_leakage, LeakageBreakdown, StateSource};
-pub use report::{gating_potential, render_standby_report, top_leakers, GatingPotential};
+pub use report::{
+    gating_potential, render_corner_leakage, render_standby_report, top_leakers, GatingPotential,
+};
 pub use vgnd::{analyze_vgnd, bounce_derates, cluster_current, ClusterBounce};
 pub use wakeup::{analyze_wakeup, ClusterWakeup, WakeupReport};

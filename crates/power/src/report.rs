@@ -2,9 +2,10 @@
 //! individual leakers, as a plain-text block (the power-signoff view of
 //! the design).
 
-use crate::leakage::{standby_leakage, LeakageBreakdown, StateSource};
+use crate::leakage::{active_leakage, standby_leakage, LeakageBreakdown, StateSource};
 use smt_base::units::Current;
 use smt_cells::cell::{CellRole, VthClass};
+use smt_cells::corner::CornerLibrary;
 use smt_cells::library::Library;
 use smt_netlist::netlist::Netlist;
 use std::fmt::Write as _;
@@ -89,6 +90,37 @@ pub fn render_standby_report(
             l.inst,
             l.cell,
             l.leak.ua()
+        );
+    }
+    out
+}
+
+/// Renders the per-corner leakage table: the same design re-priced at
+/// every corner library (standby and active totals plus power at the
+/// corner's supply). This is how much the Table 1 leakage column swings
+/// across PVT — temperature moves the subthreshold swing, so the hot
+/// corner dominates standby and the cold corner barely leaks at all.
+pub fn render_corner_leakage(
+    netlist: &Netlist,
+    corners: &[CornerLibrary],
+    source: StateSource<'_>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "per-corner leakage: {:<8} {:>14} {:>14} {:>12}",
+        "corner", "standby uA", "active uA", "power"
+    );
+    for cl in corners {
+        let standby = standby_leakage(netlist, &cl.lib, source);
+        let active = active_leakage(netlist, &cl.lib, source);
+        let _ = writeln!(
+            out,
+            "                    {:<8} {:>14.6} {:>14.6} {:>12}",
+            cl.corner.name,
+            standby.total().ua(),
+            active.total().ua(),
+            standby.power(&cl.lib),
         );
     }
     out

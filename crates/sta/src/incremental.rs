@@ -9,12 +9,16 @@
 //! changed), with early termination where arrivals converge back to their
 //! old values.
 //!
-//! Setup WNS is maintained exactly: endpoint *required* times depend only
-//! on the clock, the endpoint cell's setup and its wire delay — none of
-//! which an upstream Vth swap changes — so re-deriving endpoint slacks
-//! from the updated arrivals reproduces the full analysis.
+//! Both setup (max-arrival) and hold (min-arrival) state are maintained:
+//! endpoint *required* times depend only on the clock, the endpoint
+//! cell's setup/hold and its wire delay — none of which an upstream Vth
+//! swap changes — so re-deriving endpoint slacks from the updated
+//! arrivals reproduces the full analysis. The per-endpoint slack is
+//! computed with the same operation order as
+//! [`analyze`](crate::analysis::analyze), so a freshly-built engine
+//! reports bit-identical arrivals and WNS.
 
-use crate::analysis::{Derating, StaConfig};
+use crate::analysis::{Derating, HoldViolation, StaConfig};
 use smt_base::units::{Cap, Time};
 use smt_cells::library::Library;
 use smt_netlist::graph::{topo_order, CombinationalCycle, TopoOrder};
@@ -22,15 +26,39 @@ use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PinRef, PortDir};
 use smt_route::Parasitics;
 use std::collections::BinaryHeap;
 
-/// Persistent incremental setup-timing state.
+/// A setup endpoint: required time and the endpoint wire delay, kept
+/// separate so slack is computed exactly as the full analysis does
+/// (`req − (arrival + wire)`).
+#[derive(Debug, Clone, Copy)]
+struct SetupEndpoint {
+    net: NetId,
+    /// Required time excluding the endpoint wire (`period − skew −
+    /// margin` for ports, `period − skew − setup` for FF D pins).
+    req: Time,
+    /// Elmore delay of the endpoint sink pin (zero for ports).
+    wire: Time,
+}
+
+/// A hold check at a flip-flop D pin.
+#[derive(Debug, Clone, Copy)]
+struct HoldCheck {
+    ff: InstId,
+    net: NetId,
+    wire: Time,
+    /// Min-arrival requirement (`hold + skew`).
+    need: Time,
+}
+
+/// Persistent incremental setup+hold timing state.
 #[derive(Debug, Clone)]
 pub struct IncrementalSta {
     topo: TopoOrder,
     config: StaConfig,
     arrival: Vec<Time>,
+    arrival_min: Vec<Time>,
     slew: Vec<Time>,
-    /// Static required time per endpoint: `(net, required)`.
-    endpoints: Vec<(NetId, Time)>,
+    endpoints: Vec<SetupEndpoint>,
+    hold_checks: Vec<HoldCheck>,
 }
 
 impl IncrementalSta {
@@ -51,8 +79,10 @@ impl IncrementalSta {
             topo,
             config: config.clone(),
             arrival: vec![Time::ZERO; netlist.num_nets()],
+            arrival_min: vec![Time::new(f64::INFINITY); netlist.num_nets()],
             slew: vec![config.source_slew; netlist.num_nets()],
             endpoints: Vec::new(),
+            hold_checks: Vec::new(),
         };
         s.collect_endpoints(netlist, lib, parasitics);
         s.full_propagate(netlist, lib, parasitics, derating);
@@ -62,10 +92,14 @@ impl IncrementalSta {
     fn collect_endpoints(&mut self, netlist: &Netlist, lib: &Library, parasitics: &Parasitics) {
         let req0 = self.config.clock_period - self.config.clock_skew;
         self.endpoints.clear();
+        self.hold_checks.clear();
         for (_, port) in netlist.ports() {
             if port.dir == PortDir::Output {
-                self.endpoints
-                    .push((port.net, req0 - self.config.output_margin));
+                self.endpoints.push(SetupEndpoint {
+                    net: port.net,
+                    req: req0 - self.config.output_margin,
+                    wire: Time::ZERO,
+                });
             }
         }
         for (id, inst) in netlist.instances() {
@@ -77,7 +111,17 @@ impl IncrementalSta {
                 if let Some(dnet) = inst.net_on(dp) {
                     let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
                     let wire = parasitics.net(dnet).elmore(ord);
-                    self.endpoints.push((dnet, req0 - cell.setup - wire));
+                    self.endpoints.push(SetupEndpoint {
+                        net: dnet,
+                        req: req0 - cell.setup,
+                        wire,
+                    });
+                    self.hold_checks.push(HoldCheck {
+                        ff: id,
+                        net: dnet,
+                        wire,
+                        need: cell.hold + self.config.clock_skew,
+                    });
                 }
             }
         }
@@ -94,8 +138,8 @@ impl IncrementalSta {
     }
 
     /// Evaluates one instance's output arrival/slew from current state.
-    /// Returns `(net, arrival, slew)` or `None` for cells without a timed
-    /// output.
+    /// Returns `(net, arrival, arrival_min, slew)` or `None` for cells
+    /// without a timed output.
     fn eval(
         &self,
         netlist: &Netlist,
@@ -103,12 +147,13 @@ impl IncrementalSta {
         parasitics: &Parasitics,
         derating: &Derating,
         id: InstId,
-    ) -> Option<(NetId, Time, Time)> {
+    ) -> Option<(NetId, Time, Time, Time)> {
         let inst = netlist.inst(id);
         let cell = lib.cell(inst.cell);
         let onet = inst.net_on(cell.output_pin()?)?;
         let load = Self::net_load(netlist, lib, parasitics, onet);
         let mut best = Time::ZERO;
+        let mut best_min = Time::new(f64::INFINITY);
         let mut best_slew = self.config.source_slew;
         let mut any = false;
         for &pin in &cell.logic_input_pins() {
@@ -122,13 +167,15 @@ impl IncrementalSta {
             let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
             let wire = parasitics.net(inet).elmore(ord);
             let at = self.arrival[inet.index()] + wire;
+            let at_min = self.arrival_min[inet.index()] + wire;
             let d = arc.delay(self.slew[inet.index()], load) * derating.factor(id);
             if at + d > best {
                 best = at + d;
                 best_slew = arc.output_slew(load);
             }
+            best_min = best_min.min(at_min + d);
         }
-        any.then_some((onet, best, best_slew))
+        any.then_some((onet, best, best_min, best_slew))
     }
 
     fn seed_sources(
@@ -141,6 +188,7 @@ impl IncrementalSta {
         for (_, port) in netlist.ports() {
             if port.dir == PortDir::Input {
                 self.arrival[port.net.index()] = self.config.input_delay;
+                self.arrival_min[port.net.index()] = self.config.input_delay;
                 self.slew[port.net.index()] = self.config.source_slew;
             }
         }
@@ -157,8 +205,9 @@ impl IncrementalSta {
             };
             let load = Self::net_load(netlist, lib, parasitics, qnet);
             if let Some(arc) = cell.arcs.first() {
-                self.arrival[qnet.index()] =
-                    arc.delay(self.config.source_slew, load) * derating.factor(id);
+                let d = arc.delay(self.config.source_slew, load) * derating.factor(id);
+                self.arrival[qnet.index()] = d;
+                self.arrival_min[qnet.index()] = d;
                 self.slew[qnet.index()] = arc.output_slew(load);
             }
         }
@@ -173,8 +222,9 @@ impl IncrementalSta {
     ) {
         self.seed_sources(netlist, lib, parasitics, derating);
         for &id in &self.topo.order.clone() {
-            if let Some((net, at, sl)) = self.eval(netlist, lib, parasitics, derating, id) {
+            if let Some((net, at, at_min, sl)) = self.eval(netlist, lib, parasitics, derating, id) {
                 self.arrival[net.index()] = at;
+                self.arrival_min[net.index()] = at_min;
                 self.slew[net.index()] = sl;
             }
         }
@@ -228,6 +278,9 @@ impl IncrementalSta {
         }
         push(&mut heap, &mut queued, swapped, level_of(swapped));
 
+        // Converged when both sides agree exactly (covers the ±inf case of
+        // never-seeded min-arrivals) or within the re-propagation epsilon.
+        let close = |a: Time, b: Time| a == b || (a - b).abs().ps() < 1e-9;
         while let Some(std::cmp::Reverse((_, raw))) = heap.pop() {
             let id = InstId(raw);
             queued[id.index()] = false;
@@ -235,15 +288,18 @@ impl IncrementalSta {
             if !cell.is_logic() {
                 continue;
             }
-            let Some((net, at, sl)) = self.eval(netlist, lib, parasitics, derating, id) else {
+            let Some((net, at, at_min, sl)) = self.eval(netlist, lib, parasitics, derating, id)
+            else {
                 continue;
             };
             let old_at = self.arrival[net.index()];
+            let old_min = self.arrival_min[net.index()];
             let old_sl = self.slew[net.index()];
-            if (at - old_at).abs().ps() < 1e-9 && (sl - old_sl).abs().ps() < 1e-9 {
+            if close(at, old_at) && close(at_min, old_min) && close(sl, old_sl) {
                 continue; // converged: the cone below is unaffected
             }
             self.arrival[net.index()] = at;
+            self.arrival_min[net.index()] = at_min;
             self.slew[net.index()] = sl;
             for load in &netlist.net(net).loads {
                 if lib.cell(netlist.inst(load.inst).cell).is_logic() {
@@ -253,22 +309,65 @@ impl IncrementalSta {
         }
     }
 
-    /// Current arrival of a net.
+    /// Current (max) arrival of a net.
     pub fn arrival(&self, net: NetId) -> Time {
         self.arrival[net.index()]
+    }
+
+    /// Current min arrival of a net (`+inf` for unconstrained nets, as in
+    /// the full analysis).
+    pub fn arrival_min(&self, net: NetId) -> Time {
+        self.arrival_min[net.index()]
     }
 
     /// Current setup WNS from the maintained arrivals.
     pub fn wns(&self) -> Time {
         let mut wns = Time::new(f64::INFINITY);
-        for &(net, req) in &self.endpoints {
-            wns = wns.min(req - self.arrival[net.index()]);
+        for ep in &self.endpoints {
+            let at = self.arrival[ep.net.index()] + ep.wire;
+            wns = wns.min(ep.req - at);
         }
         if wns.is_finite() {
             wns
         } else {
             self.config.clock_period
         }
+    }
+
+    /// Current hold violations from the maintained min arrivals, in the
+    /// same flip-flop order as the full analysis.
+    pub fn hold_violations(&self) -> Vec<HoldViolation> {
+        let mut out = Vec::new();
+        for hc in &self.hold_checks {
+            let mut at_min = self.arrival_min[hc.net.index()];
+            if !at_min.is_finite() {
+                at_min = Time::ZERO;
+            }
+            let at_min = at_min + hc.wire;
+            if at_min < hc.need {
+                out.push(HoldViolation {
+                    ff: hc.ff,
+                    arrival_min: at_min,
+                    required: hc.need,
+                });
+            }
+        }
+        out
+    }
+
+    /// Worst (most negative) hold slack, or `None` when the design has no
+    /// hold checks.
+    pub fn hold_wns(&self) -> Option<Time> {
+        self.hold_checks
+            .iter()
+            .map(|hc| {
+                let mut at_min = self.arrival_min[hc.net.index()];
+                if !at_min.is_finite() {
+                    at_min = Time::ZERO;
+                }
+                at_min + hc.wire - hc.need
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite hold slack"))
     }
 }
 
@@ -338,6 +437,11 @@ mod tests {
                     inc.wns(),
                     full.wns
                 );
+                assert_eq!(
+                    inc.hold_violations().len(),
+                    full.hold_violations.len(),
+                    "seed {seed} swap {k}: hold violation count"
+                );
             }
         }
     }
@@ -374,6 +478,47 @@ mod tests {
                 "net {net}: {} vs {}",
                 inc.arrival(net),
                 full.arrival[net.index()]
+            );
+            let fm = full.arrival_min[net.index()];
+            let im = inc.arrival_min(net);
+            assert!(
+                im == fm || (im - fm).abs().ps() < 1e-6,
+                "net {net}: min {im} vs {fm}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_engine_is_bit_identical_to_full_sta() {
+        let lib = Library::industrial_130nm();
+        for seed in [2u64, 7, 40] {
+            let n = random_logic(
+                &lib,
+                &RandomLogicConfig {
+                    gates: 200,
+                    seed,
+                    ..RandomLogicConfig::default()
+                },
+            );
+            let p = place(&n, &lib, &PlacerConfig::default());
+            let par = Parasitics::estimate(&n, &lib, &p);
+            let cfg = StaConfig::default();
+            let der = Derating::none();
+            let inc = IncrementalSta::new(&n, &lib, &par, &cfg, &der).unwrap();
+            let full = analyze(&n, &lib, &par, &cfg, &der).unwrap();
+            for (net, _) in n.nets() {
+                assert_eq!(inc.arrival(net), full.arrival[net.index()], "seed {seed}");
+                assert_eq!(
+                    inc.arrival_min(net),
+                    full.arrival_min[net.index()],
+                    "seed {seed}"
+                );
+            }
+            assert_eq!(inc.wns(), full.wns, "seed {seed}");
+            assert_eq!(
+                inc.hold_violations(),
+                full.hold_violations,
+                "seed {seed}: hold"
             );
         }
     }

@@ -31,8 +31,10 @@
 
 pub mod analysis;
 pub mod incremental;
+pub mod multicorner;
 pub mod report;
 
 pub use analysis::{analyze, worst_path, Derating, HoldViolation, StaConfig, TimingReport};
 pub use incremental::IncrementalSta;
+pub use multicorner::{merge_hold_violations, CornerSta, MultiCornerSta};
 pub use report::{render_report, worst_paths, ReportedPath};

@@ -1,0 +1,315 @@
+//! Multi-corner (PVT) static timing analysis.
+//!
+//! Signoff across corners asks two different questions of the same
+//! netlist: *is setup met where devices are slowest* (the slow corner)
+//! and *is hold met where they are fastest* (the fast corner). A
+//! [`MultiCornerSta`] answers both by keeping one
+//! [`IncrementalSta`] per corner, each timed against the corner's
+//! re-characterised [`Library`] — cell ids are stable across
+//! per-corner libraries (see [`smt_cells::corner`]), so a single netlist
+//! indexes into all of them.
+//!
+//! The engine stays *incremental across corners*: a Vth swap updates
+//! every corner's fan-out cone via
+//! [`MultiCornerSta::update_after_swap`], so optimisation loops pay the
+//! cone cost per corner instead of a full re-propagation per corner.
+//!
+//! Restricted to the single identity corner
+//! ([`CornerSet::typical_only`]), every reported figure is bit-identical
+//! to the single-corner [`analyze`](crate::analysis::analyze()) results —
+//! the property the multi-corner flow relies on to leave single-corner
+//! runs unchanged.
+
+use crate::analysis::{analyze, Derating, HoldViolation, StaConfig, TimingReport};
+use crate::incremental::IncrementalSta;
+use smt_base::units::Time;
+use smt_cells::corner::{Corner, CornerLibrary, CornerSet};
+use smt_cells::library::Library;
+use smt_netlist::graph::CombinationalCycle;
+use smt_netlist::netlist::{InstId, NetId, Netlist};
+use smt_route::Parasitics;
+
+/// Merges per-corner hold-violation lists into the union a multi-corner
+/// ECO must fix: per flip-flop, the violation with the worst (most
+/// negative) slack wins. Ordered by flip-flop id, matching the full
+/// analysis.
+pub fn merge_hold_violations<I>(groups: I) -> Vec<HoldViolation>
+where
+    I: IntoIterator<Item = Vec<HoldViolation>>,
+{
+    let mut worst: Vec<HoldViolation> = Vec::new();
+    for group in groups {
+        for v in group {
+            match worst.iter_mut().find(|w| w.ff == v.ff) {
+                Some(w) => {
+                    if v.slack() < w.slack() {
+                        *w = v;
+                    }
+                }
+                None => worst.push(v),
+            }
+        }
+    }
+    worst.sort_by_key(|v| v.ff.index());
+    worst
+}
+
+/// One corner's resident timing state.
+#[derive(Debug, Clone)]
+pub struct CornerSta {
+    /// The corner this state is timed at.
+    pub corner: Corner,
+    /// The corner-characterised library.
+    pub lib: Library,
+    inc: IncrementalSta,
+}
+
+impl CornerSta {
+    /// The corner's incremental engine (read-only).
+    pub fn sta(&self) -> &IncrementalSta {
+        &self.inc
+    }
+}
+
+/// Per-corner incremental setup/hold timing over corner-characterised
+/// libraries.
+#[derive(Debug, Clone)]
+pub struct MultiCornerSta {
+    corners: Vec<CornerSta>,
+}
+
+impl MultiCornerSta {
+    /// Builds per-corner libraries from `base` and runs the initial full
+    /// propagation at every corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CombinationalCycle`] from levelisation.
+    pub fn new(
+        netlist: &Netlist,
+        base: &Library,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+        set: &CornerSet,
+    ) -> Result<Self, CombinationalCycle> {
+        Self::from_libraries(
+            netlist,
+            CornerLibrary::build_set(base, set),
+            parasitics,
+            config,
+            derating,
+        )
+    }
+
+    /// Builds the engine over already-characterised corner libraries
+    /// (avoids regenerating them when the caller keeps a set around).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CombinationalCycle`] from levelisation.
+    pub fn from_libraries(
+        netlist: &Netlist,
+        libs: Vec<CornerLibrary>,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+    ) -> Result<Self, CombinationalCycle> {
+        let mut corners = Vec::with_capacity(libs.len());
+        for cl in libs {
+            let inc = IncrementalSta::new(netlist, &cl.lib, parasitics, config, derating)?;
+            corners.push(CornerSta {
+                corner: cl.corner,
+                lib: cl.lib,
+                inc,
+            });
+        }
+        Ok(MultiCornerSta { corners })
+    }
+
+    /// The per-corner states, in corner-set order.
+    pub fn corners(&self) -> &[CornerSta] {
+        &self.corners
+    }
+
+    /// Number of corners.
+    pub fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Re-times every corner after the cell of `swapped` changed variant
+    /// (same pins). Each corner's update is cone-limited; see
+    /// [`IncrementalSta::update_after_swap`].
+    pub fn update_after_swap(
+        &mut self,
+        netlist: &Netlist,
+        parasitics: &Parasitics,
+        derating: &Derating,
+        swapped: InstId,
+    ) {
+        for c in &mut self.corners {
+            c.inc
+                .update_after_swap(netlist, &c.lib, parasitics, derating, swapped);
+        }
+    }
+
+    /// Setup WNS at one corner.
+    pub fn wns_at(&self, corner: usize) -> Time {
+        self.corners[corner].inc.wns()
+    }
+
+    /// Worst setup WNS across the corners that check setup (all corners
+    /// when none is marked, so a degenerate set still reports timing).
+    pub fn setup_wns(&self) -> Time {
+        let mut wns = Time::new(f64::INFINITY);
+        let mut any = false;
+        for c in &self.corners {
+            if c.corner.check_setup {
+                any = true;
+                wns = wns.min(c.inc.wns());
+            }
+        }
+        if !any {
+            for c in &self.corners {
+                wns = wns.min(c.inc.wns());
+            }
+        }
+        wns
+    }
+
+    /// Max arrival of a net at one corner.
+    pub fn arrival(&self, corner: usize, net: NetId) -> Time {
+        self.corners[corner].inc.arrival(net)
+    }
+
+    /// Min arrival of a net at one corner.
+    pub fn arrival_min(&self, corner: usize, net: NetId) -> Time {
+        self.corners[corner].inc.arrival_min(net)
+    }
+
+    /// Hold violations at one corner.
+    pub fn hold_violations_at(&self, corner: usize) -> Vec<HoldViolation> {
+        self.corners[corner].inc.hold_violations()
+    }
+
+    /// Hold violations merged across the corners that check hold: per
+    /// flip-flop, the violation with the worst (most negative) slack.
+    /// Ordered by flip-flop id, matching the full analysis.
+    pub fn hold_violations(&self) -> Vec<HoldViolation> {
+        merge_hold_violations(
+            self.corners
+                .iter()
+                .filter(|c| c.corner.check_hold)
+                .map(|c| c.inc.hold_violations()),
+        )
+    }
+
+    /// Runs the *full* (non-incremental) analysis at one corner —
+    /// required times, TNS, the complete [`TimingReport`]. This is the
+    /// reference the incremental state is equivalent to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CombinationalCycle`] from levelisation.
+    pub fn full_report(
+        &self,
+        corner: usize,
+        netlist: &Netlist,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+    ) -> Result<TimingReport, CombinationalCycle> {
+        analyze(
+            netlist,
+            &self.corners[corner].lib,
+            parasitics,
+            config,
+            derating,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_cells::cell::VthClass;
+    use smt_circuits::gen::{random_logic, RandomLogicConfig};
+    use smt_place::{place, PlacerConfig};
+
+    fn setup(seed: u64, gates: usize) -> (Library, Netlist, Parasitics) {
+        let lib = Library::industrial_130nm();
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                seed,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        (lib, n, par)
+    }
+
+    #[test]
+    fn slow_corner_has_worse_setup_fast_corner_worse_hold() {
+        let (lib, n, par) = setup(11, 200);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+        let mc =
+            MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &CornerSet::slow_typ_fast()).unwrap();
+        let [slow, typ, fast] = [mc.wns_at(0), mc.wns_at(1), mc.wns_at(2)];
+        assert!(slow < typ, "slow {slow} vs typ {typ}");
+        assert!(fast > typ, "fast {fast} vs typ {typ}");
+        // Min arrivals shrink at the fast corner: hold can only get worse.
+        assert!(
+            mc.hold_violations_at(2).len() >= mc.hold_violations_at(1).len(),
+            "fast corner cannot have fewer hold violations than typical"
+        );
+        assert_eq!(mc.setup_wns(), slow.min(typ));
+    }
+
+    #[test]
+    fn incremental_multicorner_matches_rebuild() {
+        let (lib, mut n, par) = setup(3, 180);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+        let set = CornerSet::slow_typ_fast();
+        let mut mc = MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &set).unwrap();
+
+        let ids: Vec<InstId> = n
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_logic())
+            .map(|(id, _)| id)
+            .collect();
+        let mut rng = smt_base::SplitMix64::new(99);
+        for _ in 0..16 {
+            let id = *rng.choose(&ids);
+            let cell = lib.cell(n.inst(id).cell);
+            let target = if cell.vth == VthClass::Low {
+                VthClass::High
+            } else {
+                VthClass::Low
+            };
+            let Some(v) = lib.variant_id(n.inst(id).cell, target) else {
+                continue;
+            };
+            n.replace_cell(id, v, &lib).unwrap();
+            mc.update_after_swap(&n, &par, &der, id);
+        }
+        let fresh = MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &set).unwrap();
+        for k in 0..3 {
+            assert!(
+                (mc.wns_at(k) - fresh.wns_at(k)).abs().ps() < 1e-6,
+                "corner {k}: {} vs {}",
+                mc.wns_at(k),
+                fresh.wns_at(k)
+            );
+            assert_eq!(
+                mc.hold_violations_at(k).len(),
+                fresh.hold_violations_at(k).len(),
+                "corner {k} hold"
+            );
+        }
+    }
+}

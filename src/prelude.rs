@@ -11,6 +11,7 @@
 //! ```
 
 pub use smt_base::units::{Area, Cap, Current, Micron, Power, Res, Time, Volt};
+pub use smt_cells::corner::{Corner, CornerLibrary, CornerSet};
 pub use smt_cells::library::Library;
 pub use smt_circuits::gen::{random_logic, RandomLogicConfig};
 pub use smt_circuits::rtl::{
@@ -18,8 +19,9 @@ pub use smt_circuits::rtl::{
 };
 pub use smt_core::config_io::JsonConfig;
 pub use smt_core::engine::{
-    run_sweep, run_three_techniques, Checkpoint, DesignState, FlowConfig, FlowEngine, FlowError,
-    FlowResult, Observer, Stage, StageId, StageLogger, StageMetrics, SweepOutcome, SweepRun,
-    Technique,
+    run_sweep, run_three_techniques, Checkpoint, CornerSignoff, DesignState, FlowConfig,
+    FlowEngine, FlowError, FlowResult, Observer, Stage, StageId, StageLogger, StageMetrics,
+    SweepOutcome, SweepRun, Technique,
 };
 pub use smt_core::flow::{run_flow, run_flow_netlist};
+pub use smt_sta::{IncrementalSta, MultiCornerSta};

@@ -1,0 +1,242 @@
+//! Multi-corner subsystem integration tests.
+//!
+//! The two equivalence contracts the corner work rests on:
+//!
+//! 1. restricted to the single identity (`typ`) corner, `MultiCornerSta`
+//!    is **bit-identical** to the single-corner `smt_sta::analyze`
+//!    results — arrivals, min arrivals, WNS and hold checks — on the
+//!    generated benchmark circuits (this is what guarantees the default
+//!    flow is unchanged by the corner plumbing);
+//! 2. incremental per-corner updates after an arbitrary sequence of Vth
+//!    swaps match a from-scratch `MultiCornerSta` rebuild.
+//!
+//! Plus the flow-level acceptance: `run_three_techniques` under a
+//! three-corner set emits a per-corner signoff table for every
+//! technique, and the default (single-corner) configuration produces
+//! bit-identical primary results to an explicit typical-only set.
+
+use selective_mt::prelude::*;
+use smt_cells::cell::VthClass;
+use smt_cells::corner::CornerLibrary;
+use smt_netlist::netlist::InstId;
+use smt_place::{place, PlacerConfig};
+use smt_route::Parasitics;
+use smt_sta::{analyze, Derating, StaConfig};
+
+fn bench_circuit(seed: u64, gates: usize, lib: &Library) -> smt_netlist::netlist::Netlist {
+    random_logic(
+        lib,
+        &RandomLogicConfig {
+            gates,
+            seed,
+            ..RandomLogicConfig::default()
+        },
+    )
+}
+
+/// Property: over the generated benchmark circuits, the typical-corner
+/// restriction of `MultiCornerSta` reproduces `analyze` bit-for-bit.
+#[test]
+fn typical_corner_multicorner_sta_is_bit_identical_to_single_corner() {
+    let lib = Library::industrial_130nm();
+    for seed in [1u64, 7, 19, 42, 77] {
+        let n = bench_circuit(seed, 220, &lib);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+
+        let full = analyze(&n, &lib, &par, &cfg, &der).unwrap();
+        let mc =
+            MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &CornerSet::typical_only()).unwrap();
+        assert_eq!(mc.num_corners(), 1);
+
+        for (net, _) in n.nets() {
+            assert_eq!(
+                mc.arrival(0, net),
+                full.arrival[net.index()],
+                "seed {seed} net {net}: arrival"
+            );
+            assert_eq!(
+                mc.arrival_min(0, net),
+                full.arrival_min[net.index()],
+                "seed {seed} net {net}: min arrival"
+            );
+        }
+        assert_eq!(mc.wns_at(0), full.wns, "seed {seed}: wns");
+        assert_eq!(mc.setup_wns(), full.wns, "seed {seed}: setup wns");
+        assert_eq!(
+            mc.hold_violations_at(0),
+            full.hold_violations,
+            "seed {seed}: hold checks"
+        );
+
+        // Same property through the *regeneration* path (not the clone
+        // shortcut): a library generated from the identity-derived
+        // technology times identically.
+        let regen = Library::generate(Corner::typical().derive(&lib.tech), lib.config.clone());
+        let full_regen = analyze(&n, &regen, &par, &cfg, &der).unwrap();
+        assert_eq!(full_regen.wns, full.wns, "seed {seed}: regenerated lib");
+        assert_eq!(full_regen.arrival, full.arrival, "seed {seed}");
+    }
+}
+
+/// Equivalence: incremental per-corner updates across a random Vth-swap
+/// sequence match a from-scratch rebuild at every corner.
+#[test]
+fn incremental_corner_updates_match_rebuild_after_random_swaps() {
+    let lib = Library::industrial_130nm();
+    let set = CornerSet::slow_typ_fast();
+    for seed in [3u64, 12, 31] {
+        let mut n = bench_circuit(seed, 200, &lib);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+        let mut mc = MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &set).unwrap();
+
+        let ids: Vec<InstId> = n
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_logic())
+            .map(|(id, _)| id)
+            .collect();
+        let mut rng = smt_base::SplitMix64::new(seed ^ 0xC0);
+        for _ in 0..20 {
+            let id = *rng.choose(&ids);
+            let cell = lib.cell(n.inst(id).cell);
+            let target = if cell.vth == VthClass::Low {
+                VthClass::High
+            } else {
+                VthClass::Low
+            };
+            let Some(v) = lib.variant_id(n.inst(id).cell, target) else {
+                continue;
+            };
+            n.replace_cell(id, v, &lib).unwrap();
+            mc.update_after_swap(&n, &par, &der, id);
+        }
+
+        let fresh = MultiCornerSta::new(&n, &lib, &par, &cfg, &der, &set).unwrap();
+        for k in 0..set.len() {
+            assert!(
+                (mc.wns_at(k) - fresh.wns_at(k)).abs().ps() < 1e-6,
+                "seed {seed} corner {k}: {} vs {}",
+                mc.wns_at(k),
+                fresh.wns_at(k)
+            );
+            let (a, b) = (mc.hold_violations_at(k), fresh.hold_violations_at(k));
+            assert_eq!(a.len(), b.len(), "seed {seed} corner {k}: hold count");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.ff, y.ff, "seed {seed} corner {k}");
+                assert!((x.arrival_min - y.arrival_min).abs().ps() < 1e-6);
+            }
+            // Spot-check arrivals across the whole net set.
+            for (net, _) in n.nets() {
+                assert!(
+                    (mc.arrival(k, net) - fresh.arrival(k, net)).abs().ps() < 1e-6,
+                    "seed {seed} corner {k} net {net}"
+                );
+            }
+        }
+    }
+}
+
+/// Flow-level acceptance: the three-technique comparison under a
+/// three-corner set reports a per-corner leakage/WNS row for every
+/// corner, setup holds at every setup corner, and the slow corner is the
+/// binding one.
+#[test]
+fn three_technique_flow_reports_three_corner_tables() {
+    let lib = Library::industrial_130nm();
+    let mut cfg = FlowConfig {
+        corners: CornerSet::slow_typ_fast(),
+        period_margin: 1.35,
+        ..FlowConfig::default()
+    };
+    cfg.dualvth.max_high_fraction = Some(0.7);
+    let results = run_three_techniques(&circuit_b_rtl_sized(8), &lib, &cfg).unwrap();
+    for r in &results {
+        assert_eq!(r.corner_signoff.len(), 3, "one row per corner");
+        let by_name = |name: &str| {
+            r.corner_signoff
+                .iter()
+                .find(|c| c.corner.name == name)
+                .unwrap_or_else(|| panic!("corner {name} missing"))
+        };
+        let (slow, typ, fast) = (by_name("slow"), by_name("typ"), by_name("fast"));
+        // Setup met at every setup-checked corner, slow binding.
+        assert!(slow.wns.ps() >= 0.0, "slow corner setup met");
+        assert!(typ.wns.ps() >= 0.0);
+        assert!(slow.wns <= typ.wns, "slow corner is the binding one");
+        assert!(fast.wns >= typ.wns, "fast corner has the most slack");
+        // Leakage collapses at the cold fast corner and peaks hot.
+        assert!(fast.standby_leakage < typ.standby_leakage);
+        // The corner table made it into the signoff report.
+        let text = smt_core::render_signoff(r, &lib, 1);
+        assert!(text.contains("-- corners --"), "report: {text}");
+        for name in ["slow", "typ", "fast"] {
+            assert!(text.contains(name), "report misses corner {name}");
+        }
+    }
+    // Hold is clean at the fast corner after the multi-corner ECO.
+    for r in &results {
+        let fast = r
+            .corner_signoff
+            .iter()
+            .find(|c| c.corner.name == "fast")
+            .unwrap();
+        assert_eq!(fast.hold_violations, 0, "fast-corner hold clean");
+    }
+}
+
+/// Bit-identity of the *flow*: the default configuration and an explicit
+/// typical-only corner set produce identical primary results (the corner
+/// plumbing is invisible until multi-corner sets are requested).
+#[test]
+fn default_flow_matches_explicit_typical_corner_set_bitwise() {
+    let lib = Library::industrial_130nm();
+    let base = FlowConfig::default();
+    let explicit = FlowConfig {
+        corners: CornerSet::typical_only(),
+        ..FlowConfig::default()
+    };
+    let rtl = circuit_b_rtl_sized(6);
+    let a = run_flow(&rtl, &lib, &base).unwrap();
+    let b = run_flow(&rtl, &lib, &explicit).unwrap();
+    assert_eq!(a.clock_period, b.clock_period);
+    assert_eq!(a.timing.wns, b.timing.wns);
+    assert_eq!(a.standby_leakage, b.standby_leakage);
+    assert_eq!(a.active_leakage, b.active_leakage);
+    assert_eq!(a.area, b.area);
+    assert_eq!(a.census.low, b.census.low);
+    assert_eq!(a.census.high, b.census.high);
+    // Exactly one corner row, the identity corner, mirroring the
+    // primary figures bit-for-bit.
+    assert_eq!(a.corner_signoff.len(), 1);
+    assert!(a.corner_signoff[0].corner.is_identity());
+    assert_eq!(a.corner_signoff[0].wns, a.timing.wns);
+    assert_eq!(a.corner_signoff[0].standby_leakage, a.standby_leakage);
+}
+
+/// The corner-library invariant the whole subsystem rests on: cell ids
+/// are stable across per-corner libraries, and the power reports price
+/// the same netlist differently per corner.
+#[test]
+fn per_corner_leakage_report_spans_orders_of_magnitude() {
+    let lib = Library::industrial_130nm();
+    let n = bench_circuit(5, 120, &lib);
+    let corners = CornerLibrary::build_set(&lib, &CornerSet::slow_typ_fast());
+    let text = smt_power::render_corner_leakage(&n, &corners, smt_power::StateSource::Mean);
+    assert!(text.contains("per-corner leakage"));
+    for name in ["slow", "typ", "fast"] {
+        assert!(text.contains(name), "{text}");
+    }
+    let total = |cl: &CornerLibrary| {
+        smt_power::standby_leakage(&n, &cl.lib, smt_power::StateSource::Mean).total()
+    };
+    let (slow, typ, fast) = (total(&corners[0]), total(&corners[1]), total(&corners[2]));
+    // Hot corners leak; the cold fast corner's leakage collapses even
+    // though its devices are the fastest (Vth shift < temperature swing).
+    assert!(fast.ua() < typ.ua() * 0.05, "cold {fast} vs hot {typ}");
+    assert!(slow.ua() < typ.ua(), "higher-Vth slow corner leaks less");
+}
