@@ -3,8 +3,9 @@
 //! Foundation types shared by every crate in the Selective-MT reproduction:
 //! physical [`units`], planar [`geom`]etry, a small deterministic
 //! [`rng`], plain-text [`report`] tables used by the experiment
-//! harness, and a dependency-free [`json`] reader/writer for sweep
-//! configuration files.
+//! harness, a dependency-free [`json`] reader/writer for sweep
+//! configuration files, and the shared [`par`]allel fan-out worker
+//! pool.
 //!
 //! The whole workspace uses one consistent unit system, chosen so that
 //! Elmore products come out directly in picoseconds:
@@ -31,10 +32,12 @@
 
 pub mod geom;
 pub mod json;
+pub mod par;
 pub mod report;
 pub mod rng;
 pub mod units;
 
 pub use geom::{Point, Rect};
+pub use par::parallel_map;
 pub use rng::SplitMix64;
 pub use units::{Area, Cap, Current, Micron, Power, Res, Time, Volt};

@@ -1,0 +1,82 @@
+//! The workspace's shared fan-out worker pool.
+//!
+//! One primitive, [`parallel_map`], backs every thread-parallel fan-out
+//! in the flow: sweep forks and per-corner signoff in `smt-core`, and
+//! the level-parallel timing propagation in `smt-sta`. Centralising it
+//! here keeps the threading policy (scoped `std::thread` workers over an
+//! atomic work index, results returned in item order) in one place, with
+//! no dependency on anything above the foundation crate.
+
+/// Applies `f` to every item on up to `threads` OS threads (`0` = one
+/// per available core), returning results in item order.
+///
+/// Work is drained from a shared atomic index, so uneven per-item cost
+/// balances across workers. With one worker or at most one item the
+/// call degenerates to a plain sequential map with no thread spawn at
+/// all — callers can therefore use it unconditionally and let the item
+/// count decide.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().expect("worker slot lock") = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, 0, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_and_single_thread_run_inline() {
+        assert_eq!(parallel_map(&[7usize], 0, |&x| x + 1), vec![8]);
+        let items: Vec<usize> = (0..16).collect();
+        let out = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], 0, |&x| x);
+        assert!(out.is_empty());
+    }
+}

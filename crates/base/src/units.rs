@@ -62,6 +62,15 @@ macro_rules! unit {
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
             }
+
+            /// IEEE-754 total order on the wrapped value
+            /// ([`f64::total_cmp`]): NaN-safe and deterministic, the
+            /// comparator every sort in the workspace uses instead of
+            /// `partial_cmp(..).unwrap()`.
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
         }
 
         impl Add for $name {

@@ -1,0 +1,92 @@
+//! Benchmarks for the shared levelized `TimingGraph` kernel: what one
+//! full analysis costs on a large design, legacy sequential propagation
+//! vs the kernel with a resident graph (and, for repeated-analysis
+//! loops over an unchanged netlist — the per-corner probe/signoff
+//! pattern — a resident sink cache too).
+//!
+//! ```text
+//! cargo bench -p smt-bench --bench timing_kernel
+//! ```
+//!
+//! Records one runner-independent metric for the regression gate:
+//!
+//! * `timing_kernel_speedup` — the repeated-analysis loop (graph +
+//!   cache built once, then full analyses) vs the same loop calling the
+//!   legacy `analyze_baseline` (which re-levelizes and re-scans load
+//!   lists every call). Higher is better; this ratio is what keeps the
+//!   Fig. 4 optimisation loops affordable after PR 2 multiplied every
+//!   timing query by the corner count. The gate requires it to stay
+//!   well above 3×.
+
+use smt_bench::harness::Harness;
+use smt_cells::library::Library;
+use smt_circuits::rtl::circuit_b_rtl_sized;
+use smt_place::{place, PlacerConfig};
+use smt_route::Parasitics;
+use smt_sta::{
+    analyze_baseline, analyze_cached, analyze_with_graph, Derating, StaConfig, TimingGraph,
+};
+use smt_synth::{synthesize, SynthOptions};
+
+fn main() {
+    let lib = Library::industrial_130nm();
+    let mut h = Harness::new();
+
+    // A large flat-datapath design: circuit B widened to a 256-bit
+    // accumulator (~5.2k instances, ~5.5k nets, multi-hundred-fanout
+    // control nets).
+    let n = synthesize(&circuit_b_rtl_sized(256), &lib, &SynthOptions::default())
+        .expect("circuit B synthesizes");
+    let p = place(&n, &lib, &PlacerConfig::default());
+    let par = Parasitics::estimate(&n, &lib, &p);
+    let cfg = StaConfig::default();
+    let der = Derating::none();
+
+    // A batch of analyses per timed iteration keeps the ratio stable
+    // even in 2-sample CI smoke runs.
+    const BATCH: usize = 4;
+
+    let speedup = {
+        let mut g = h.group("timing_kernel_circuit_b256");
+        g.sample_size(20);
+        let legacy = g.bench("4x legacy analyze (reference)", || {
+            let mut wns = 0.0;
+            for _ in 0..BATCH {
+                wns += analyze_baseline(&n, &lib, &par, &cfg, &der)
+                    .expect("acyclic")
+                    .wns
+                    .ps();
+            }
+            wns
+        });
+
+        g.bench("TimingGraph build", || {
+            TimingGraph::build(&n, &lib).expect("acyclic")
+        });
+        let graph = TimingGraph::build(&n, &lib).expect("acyclic");
+        g.bench("4x kernel analyze (fresh cache)", || {
+            let mut wns = 0.0;
+            for _ in 0..BATCH {
+                wns += analyze_with_graph(&graph, &n, &lib, &par, &cfg, &der)
+                    .wns
+                    .ps();
+            }
+            wns
+        });
+
+        let cache = graph.build_cache(&n);
+        let cached = g.bench("4x kernel analyze (resident cache)", || {
+            let mut wns = 0.0;
+            for _ in 0..BATCH {
+                wns += analyze_cached(&graph, &cache, &n, &lib, &par, &cfg, &der)
+                    .wns
+                    .ps();
+            }
+            wns
+        });
+        legacy.median.as_secs_f64() / cached.median.as_secs_f64()
+    };
+    println!("\nrepeated-analysis speedup (legacy / kernel): {speedup:.2}x");
+    h.metric("timing_kernel_speedup", speedup);
+    h.finish();
+}

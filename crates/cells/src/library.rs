@@ -602,7 +602,7 @@ impl Library {
         ids.sort_by(|a, b| {
             let wa = self.cell(*a).switch.expect("switch").width_um;
             let wb = self.cell(*b).switch.expect("switch").width_um;
-            wa.partial_cmp(&wb).expect("finite widths")
+            wa.total_cmp(&wb)
         });
         ids
     }

@@ -162,7 +162,7 @@ pub fn construct_switch_structure(
             } else {
                 (b.1.x, a.1.x)
             };
-            xa.partial_cmp(&xb).expect("finite")
+            xa.total_cmp(&xb)
         })
     });
 

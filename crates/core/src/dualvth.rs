@@ -17,7 +17,7 @@ use smt_cells::cell::VthClass;
 use smt_cells::library::Library;
 use smt_netlist::netlist::{InstId, Netlist};
 use smt_route::Parasitics;
-use smt_sta::{analyze, Derating, StaConfig, TimingReport};
+use smt_sta::{analyze_cached, Derating, StaConfig, TimingGraph, TimingReport};
 
 /// Options for the assignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,14 +96,22 @@ impl std::fmt::Display for AssignVthError {
 
 impl std::error::Error for AssignVthError {}
 
-/// Runs STA at every corner library; reports come back in `libs` order.
+/// Runs STA at every corner library over the assignment's shared
+/// [`TimingGraph`]; reports come back in `libs` order.
+///
+/// The graph is built **once per assignment** (every edit the loop
+/// makes is a same-pin variant swap, which preserves topology and
+/// levels); only the sink cache — load-list order and pin-cap sums
+/// change under swaps — and the derating table are re-derived per
+/// probe, then shared across the corner libraries.
 fn sta(
     netlist: &Netlist,
+    graph: &TimingGraph,
     libs: &[&Library],
     parasitics: &Parasitics,
     config: &StaConfig,
     low_vth_derate: f64,
-) -> Result<Vec<TimingReport>, AssignVthError> {
+) -> Vec<TimingReport> {
     let derating = if low_vth_derate > 1.0 {
         let mut d = Derating::uniform(netlist);
         for (id, inst) in netlist.instances() {
@@ -116,10 +124,9 @@ fn sta(
     } else {
         Derating::none()
     };
+    let cache = graph.build_cache(netlist);
     libs.iter()
-        .map(|lib| {
-            analyze(netlist, lib, parasitics, config, &derating).map_err(AssignVthError::Cycle)
-        })
+        .map(|lib| analyze_cached(graph, &cache, netlist, lib, parasitics, config, &derating))
         .collect()
 }
 
@@ -200,7 +207,10 @@ pub fn assign_dual_vth_at_corners(
     let lib = libs[0];
     let margin = config.slack_margin;
     let derate = config.low_vth_derate;
-    let base = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+    // Built once for the whole assignment: every edit below is a
+    // same-pin variant swap, so topology and levels never change.
+    let graph = TimingGraph::build(netlist, lib).map_err(AssignVthError::Cycle)?;
+    let base = worst_wns(&sta(netlist, &graph, libs, parasitics, sta_config, derate));
     if base < margin {
         return Err(AssignVthError::InfeasibleConstraint { wns: base });
     }
@@ -218,7 +228,7 @@ pub fn assign_dual_vth_at_corners(
 
     for _pass in 0..config.max_passes {
         passes += 1;
-        let reports = sta(netlist, libs, parasitics, sta_config, derate)?;
+        let reports = sta(netlist, &graph, libs, parasitics, sta_config, derate);
         // Candidates sorted by worst-across-corners slack, largest first.
         let mut cands: Vec<(Time, InstId)> = netlist
             .instances()
@@ -229,7 +239,7 @@ pub fn assign_dual_vth_at_corners(
         if cands.is_empty() {
             break;
         }
-        cands.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite slack"));
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut ids: Vec<InstId> = cands.iter().map(|&(_, id)| id).collect();
         // Respect the swap budget (paper-era operating-point emulation):
         // only the highest-slack remainder of the budget is eligible.
@@ -259,7 +269,7 @@ pub fn assign_dual_vth_at_corners(
         let mut hi = ids.len(); // first known-bad beyond
                                 // Probe the full swap first: often everything fits.
         swap_prefix(netlist, hi, true);
-        let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+        let r = worst_wns(&sta(netlist, &graph, libs, parasitics, sta_config, derate));
         if r >= margin {
             lo = hi;
         } else {
@@ -267,7 +277,7 @@ pub fn assign_dual_vth_at_corners(
             while hi - lo > 1 {
                 let mid = (lo + hi) / 2;
                 swap_prefix(netlist, mid, true);
-                let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+                let r = worst_wns(&sta(netlist, &graph, libs, parasitics, sta_config, derate));
                 if r >= margin {
                     lo = mid;
                 } else {
@@ -296,7 +306,7 @@ pub fn assign_dual_vth_at_corners(
             (leak, id)
         })
         .collect();
-    singles.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite leak"));
+    singles.sort_by(|a, b| b.0.total_cmp(&a.0));
     let singles_budget = budget.saturating_sub(swapped_total).min(128);
     for (_, id) in singles.into_iter().take(singles_budget) {
         let high = lib
@@ -304,7 +314,7 @@ pub fn assign_dual_vth_at_corners(
             .expect("H variant");
         let low = netlist.inst(id).cell;
         netlist.replace_cell(id, high, lib).expect("variant swap");
-        let r = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+        let r = worst_wns(&sta(netlist, &graph, libs, parasitics, sta_config, derate));
         if r >= margin {
             swapped_total += 1;
         } else {
@@ -318,7 +328,7 @@ pub fn assign_dual_vth_at_corners(
         .instances()
         .filter(|&(id, _)| is_candidate(lib, netlist, id, true))
         .count();
-    let final_wns = worst_wns(&sta(netlist, libs, parasitics, sta_config, derate)?);
+    let final_wns = worst_wns(&sta(netlist, &graph, libs, parasitics, sta_config, derate));
     debug_assert!(final_wns >= margin, "assignment must preserve timing");
     Ok(DualVthReport {
         swapped_to_high: swapped_total,
@@ -332,6 +342,7 @@ pub fn assign_dual_vth_at_corners(
 mod tests {
     use super::*;
     use smt_place::{place, PlacerConfig};
+    use smt_sta::analyze;
 
     fn lib() -> Library {
         Library::industrial_130nm()

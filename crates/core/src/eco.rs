@@ -11,7 +11,7 @@ use smt_cells::library::Library;
 use smt_netlist::netlist::{Netlist, PinRef};
 use smt_place::Placement;
 use smt_route::{buffer_net, BufferingConfig, BufferingReport, Parasitics};
-use smt_sta::{analyze, Derating, StaConfig};
+use smt_sta::{analyze_cached, Derating, StaConfig, TimingGraph};
 
 /// Buffers the MTE net with always-on high-Vth buffers.
 ///
@@ -107,10 +107,15 @@ pub fn fix_hold_at_corners(
     let mut report = HoldFixReport::default();
     for round in 0..max_rounds {
         report.rounds = round + 1;
-        let reports = libs
+        // Buffer insertion changes topology every round, so the graph is
+        // rebuilt per round — but shared (with its cache) across the
+        // corner libraries.
+        let graph = TimingGraph::build(netlist, lib)?;
+        let cache = graph.build_cache(netlist);
+        let reports: Vec<_> = libs
             .iter()
-            .map(|l| analyze(netlist, l, parasitics, sta_config, derating))
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|l| analyze_cached(&graph, &cache, netlist, l, parasitics, sta_config, derating))
+            .collect();
         let violations = merge_hold_violations(&reports);
         if violations.is_empty() {
             report.remaining = 0;
@@ -147,10 +152,12 @@ pub fn fix_hold_at_corners(
         // fall back to zero-RC defaults in STA lookups, which is
         // conservative for hold (buffers' own delay still counts).
     }
-    let reports = libs
+    let graph = TimingGraph::build(netlist, lib)?;
+    let cache = graph.build_cache(netlist);
+    let reports: Vec<_> = libs
         .iter()
-        .map(|l| analyze(netlist, l, parasitics, sta_config, derating))
-        .collect::<Result<Vec<_>, _>>()?;
+        .map(|l| analyze_cached(&graph, &cache, netlist, l, parasitics, sta_config, derating))
+        .collect();
     report.remaining = merge_hold_violations(&reports).len();
     Ok(report)
 }
@@ -213,22 +220,26 @@ pub fn recover_setup_at_corners(
     use smt_sta::worst_path;
     assert!(!libs.is_empty(), "at least one corner library");
     let lib = libs[0];
-    let worst_corner = |netlist: &Netlist| -> Result<
-        (usize, smt_sta::TimingReport),
-        smt_netlist::graph::CombinationalCycle,
-    > {
+    // Built once for the whole recovery: every fix below is a same-pin
+    // variant/drive swap, so topology and levels never change. (A future
+    // fix that inserts cells must rebuild the graph.)
+    let graph = TimingGraph::build(netlist, lib)?;
+    let worst_corner = |netlist: &Netlist| -> (usize, smt_sta::TimingReport) {
+        // Cache re-derived per probe (swaps permute load lists), shared
+        // across the corner libraries.
+        let cache = graph.build_cache(netlist);
         let mut worst: Option<(usize, smt_sta::TimingReport)> = None;
         for (k, l) in libs.iter().enumerate() {
-            let t = analyze(netlist, l, parasitics, sta_config, derating)?;
+            let t = analyze_cached(&graph, &cache, netlist, l, parasitics, sta_config, derating);
             if worst.as_ref().map(|(_, w)| t.wns < w.wns).unwrap_or(true) {
                 worst = Some((k, t));
             }
         }
-        Ok(worst.expect("non-empty corner list"))
+        worst.expect("non-empty corner list")
     };
     let mut report = SetupFixReport::default();
     for _ in 0..max_rounds {
-        let (k, timing) = worst_corner(netlist)?;
+        let (k, timing) = worst_corner(netlist);
         report.final_wns_ps = timing.wns.ps();
         if timing.setup_met() {
             return Ok(report);
@@ -268,7 +279,7 @@ pub fn recover_setup_at_corners(
             break;
         }
     }
-    let (_, timing) = worst_corner(netlist)?;
+    let (_, timing) = worst_corner(netlist);
     report.final_wns_ps = timing.wns.ps();
     Ok(report)
 }
@@ -277,6 +288,7 @@ pub fn recover_setup_at_corners(
 mod tests {
     use super::*;
     use smt_place::{place, PlacerConfig};
+    use smt_sta::analyze;
 
     fn lib() -> Library {
         Library::industrial_130nm()

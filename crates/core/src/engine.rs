@@ -41,6 +41,7 @@ use crate::smtgen::{
     insert_initial_switch, insert_output_holders, to_conventional_smt, to_improved_mt_cells,
 };
 use crate::verify::{verify, VerifyError, VerifyReport};
+use smt_base::par::parallel_map;
 use smt_base::units::{Area, Current, Time};
 use smt_cells::corner::{hold_libs, setup_libs, Corner, CornerLibrary, CornerSet};
 use smt_cells::library::Library;
@@ -51,7 +52,7 @@ use smt_route::{
     route_global, synthesize_clock_tree, CtsConfig, CtsReport, Parasitics, RouteConfig,
 };
 use smt_sim::{Mode, Simulator, Value};
-use smt_sta::{analyze, Derating, StaConfig, TimingReport};
+use smt_sta::{analyze, analyze_cached, Derating, StaConfig, TimingGraph, TimingReport};
 use smt_synth::{synthesize, SynthError, SynthOptions};
 use std::time::Duration;
 
@@ -1358,8 +1359,20 @@ impl Stage for Signoff {
         })?;
         let sta_cfg = state.sta(StageId::Signoff)?.clone();
         let derating = state.derating.clone().unwrap_or_else(Derating::none);
-        let timing = analyze(&state.netlist, lib, extracted, &sta_cfg, &derating)
-            .map_err(FlowError::Cycle)?;
+        // One `TimingGraph` + sink cache serves the primary signoff and
+        // every non-identity corner row below: topology is
+        // corner-invariant.
+        let graph = TimingGraph::build(&state.netlist, lib).map_err(FlowError::Cycle)?;
+        let cache = graph.build_cache(&state.netlist);
+        let timing = analyze_cached(
+            &graph,
+            &cache,
+            &state.netlist,
+            lib,
+            extracted,
+            &sta_cfg,
+            &derating,
+        );
         state.last_wns = Some(timing.wns);
         if !timing.setup_met() {
             return Err(FlowError::TimingNotMet { wns: timing.wns });
@@ -1387,6 +1400,7 @@ impl Stage for Signoff {
         // the base, so re-running analyze/leakage there would only
         // recompute the identical numbers.
         let netlist = &state.netlist;
+        let (graph, cache) = (&graph, &cache);
         let rows: Vec<Result<CornerSignoff, FlowError>> =
             parallel_map(ctx.corners, 0, |cl: &CornerLibrary| {
                 if cl.corner.is_identity() {
@@ -1399,8 +1413,9 @@ impl Stage for Signoff {
                         active_leakage: active_total,
                     });
                 }
-                let t = analyze(netlist, &cl.lib, extracted, &sta_cfg, &derating)
-                    .map_err(FlowError::Cycle)?;
+                let t = analyze_cached(
+                    graph, cache, netlist, &cl.lib, extracted, &sta_cfg, &derating,
+                );
                 Ok(CornerSignoff {
                     corner: cl.corner.clone(),
                     wns: t.wns,
@@ -1427,7 +1442,7 @@ impl Stage for Signoff {
             .iter()
             .filter(|c| c.corner.check_setup && c.wns.ps() < 0.0)
             .map(|c| c.wns)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite wns"))
+            .min_by(Time::total_cmp)
         {
             return Err(FlowError::TimingNotMet { wns: worst });
         }
@@ -1544,50 +1559,10 @@ pub fn run_sweep(
     Ok(fork_sweep(lib, &checkpoint, runs, threads))
 }
 
-/// The shared fan-out worker pool: applies `f` to every item on up to
-/// `threads` OS threads (`0` = one per available core), returning results
-/// in item order. Both [`fork_sweep`] (one flow per thread) and the
-/// multi-corner [`Signoff`] stage (one corner per thread) drain their
-/// work from this pool, so corner evaluation is parallel by the same
-/// construction as the sweeps.
-fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    }
-    .min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *slots[i].lock().expect("worker slot lock") = Some(f(&items[i]));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker slot lock")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
+// The shared fan-out worker pool lives in `smt_base::par::parallel_map`
+// (the level-parallel timing kernel in `smt-sta` drains the same pool):
+// [`fork_sweep`] runs one flow per thread and the multi-corner
+// [`Signoff`] stage one corner per thread.
 
 /// The fan-out half of [`run_sweep`]: forks an existing checkpoint across
 /// `runs`, in parallel on up to `threads` OS threads (`0` = one per

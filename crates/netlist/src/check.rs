@@ -6,7 +6,7 @@
 //! buffering), so the flow runs [`lint`] after each stage and treats any
 //! [`Severity::Error`] as a bug in the transform.
 
-use crate::netlist::{Netlist, PortDir};
+use crate::netlist::{Netlist, PinRef, PortDir};
 use smt_cells::cell::{CellRole, PinDir};
 use smt_cells::library::Library;
 use std::fmt;
@@ -126,6 +126,54 @@ pub fn lint(netlist: &Netlist, lib: &Library, config: LintConfig) -> Vec<LintIss
                         inst.name, spec.name
                     ),
                 ),
+            }
+        }
+    }
+
+    // Connectivity coherence: the instance-side `conns` table and the
+    // net-side load lists must agree, in both directions. One pass over
+    // the bulk [`Netlist::load_csr`] export collects every (net, sink)
+    // pair and flags net-side strays; a second pass over the instances
+    // flags bound input pins the export never listed — a dangling
+    // `PinRef`, the corruption class the timing kernel hard-errors on,
+    // surfaced here with the object names attached.
+    let csr = netlist.load_csr();
+    let mut listed: std::collections::HashSet<(crate::netlist::NetId, PinRef)> =
+        std::collections::HashSet::with_capacity(csr.sinks.len());
+    for (id, net) in netlist.nets() {
+        for pr in csr.net(id) {
+            listed.insert((id, *pr));
+            if netlist.inst(pr.inst).net_on(pr.pin) != Some(id) {
+                push(
+                    &mut issues,
+                    Severity::Error,
+                    format!(
+                        "net `{}` lists pin {} of `{}` as a load, but the instance is not bound to it",
+                        net.name,
+                        pr.pin,
+                        netlist.inst(pr.inst).name
+                    ),
+                );
+            }
+        }
+    }
+    for (id, inst) in netlist.instances() {
+        for (pin, conn) in inst.conns.iter().enumerate() {
+            let Some(net) = conn else { continue };
+            if inst.pin_dirs[pin] != PinDir::Input {
+                continue;
+            }
+            if !listed.contains(&(*net, PinRef { inst: id, pin })) {
+                push(
+                    &mut issues,
+                    Severity::Error,
+                    format!(
+                        "dangling PinRef: `{}` pin {} claims net `{}` but is not in its load list",
+                        inst.name,
+                        pin,
+                        netlist.net(*net).name
+                    ),
+                );
             }
         }
     }

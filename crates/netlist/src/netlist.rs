@@ -114,6 +114,20 @@ pub struct Net {
     pub port_loads: Vec<PortId>,
 }
 
+impl Net {
+    /// Position of `pr` in this net's load list — the per-sink ordinal
+    /// timing analysis uses to index per-sink Elmore tables.
+    ///
+    /// Returns `None` when the pin is **not** a load of this net: a
+    /// dangling [`PinRef`], which means the instance-side `conns` entry
+    /// and the net-side load list disagree (a broken edit invariant).
+    /// Callers must treat `None` as a hard error — picking an arbitrary
+    /// sink's delay instead would silently misprice the path.
+    pub fn load_ordinal(&self, pr: PinRef) -> Option<usize> {
+        self.loads.iter().position(|l| *l == pr)
+    }
+}
+
 /// A top-level port.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Port {
@@ -400,11 +414,17 @@ impl Netlist {
     ///
     /// This is the primitive behind every Vth re-assignment in Fig. 4.
     ///
+    /// The replacement is transactional: *every* rebind (pin-name
+    /// compatibility and second-driver checks included) is validated
+    /// before the first mutation, so on any error the netlist is left
+    /// exactly as it was — no half-rebound instance, no dropped loads.
+    ///
     /// # Errors
     ///
     /// [`NetlistError::IncompatibleReplacement`] when a *connected* old pin
     /// has no same-named pin on the new cell and is not a `MTE`/`VGND`
-    /// special pin.
+    /// special pin; [`NetlistError::MultipleDrivers`] when a rebind would
+    /// land an output pin on a net that keeps another driver.
     pub fn replace_cell(
         &mut self,
         inst: InstId,
@@ -413,18 +433,51 @@ impl Netlist {
     ) -> Result<(), NetlistError> {
         let old_cell = lib.cell(self.insts[inst.index()].cell);
         let new_spec = lib.cell(new_cell);
-        // Capture old bindings by name.
-        let mut bindings: Vec<(String, NetId)> = Vec::new();
-        for (i, conn) in self.insts[inst.index()].conns.clone().iter().enumerate() {
-            if let Some(net) = conn {
-                let pname = old_cell.pins[i].name.clone();
-                if new_spec.pin_index(&pname).is_none() && pname != "MTE" && pname != "VGND" {
+        // Pass 1 (read-only): resolve every connected old pin to its
+        // new-cell pin, in old-pin order.
+        let conns = self.insts[inst.index()].conns.clone();
+        let mut bindings: Vec<(usize, NetId)> = Vec::new(); // (new pin, net)
+        for (i, conn) in conns.iter().enumerate() {
+            let Some(net) = conn else { continue };
+            let pname = &old_cell.pins[i].name;
+            match new_spec.pin_index(pname) {
+                Some(pin) => bindings.push((pin, *net)),
+                // `MTE`/`VGND` special pins are silently dropped when the
+                // new variant lacks them (e.g. `_MV` → `_L`).
+                None if pname == "MTE" || pname == "VGND" => {}
+                None => {
                     return Err(NetlistError::IncompatibleReplacement {
                         inst: self.insts[inst.index()].name.clone(),
                         why: format!("connected pin `{pname}` missing on `{}`", new_spec.name),
                     });
                 }
-                bindings.push((pname, *net));
+            }
+        }
+        // Pass 2 (read-only): second-driver checks. A rebind onto an
+        // *output* pin of the new cell must not collide with a driver
+        // that survives the swap (any driver other than this instance,
+        // which is about to be disconnected) nor with another output
+        // rebind of this same replacement.
+        let mut driven: Vec<NetId> = Vec::new();
+        for &(pin, net) in &bindings {
+            if new_spec.pins[pin].dir != PinDir::Output {
+                continue;
+            }
+            let foreign_driver = match self.nets[net.index()].driver {
+                Some(NetDriver::Inst(pr)) => pr.inst != inst,
+                Some(NetDriver::Port(_)) => true,
+                None => false,
+            };
+            if foreign_driver || driven.contains(&net) {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[net.index()].name.clone(),
+                });
+            }
+            driven.push(net);
+        }
+        // Commit: every step below is infallible.
+        for (i, conn) in conns.iter().enumerate() {
+            if conn.is_some() {
                 self.disconnect(inst, i);
             }
         }
@@ -432,10 +485,9 @@ impl Netlist {
         me.cell = new_cell;
         me.conns = vec![None; new_spec.pins.len()];
         me.pin_dirs = new_spec.pins.iter().map(|p| p.dir).collect();
-        for (pname, net) in bindings {
-            if let Some(pin) = new_spec.pin_index(&pname) {
-                self.connect(inst, pin, net)?;
-            }
+        for (pin, net) in bindings {
+            self.connect(inst, pin, net)
+                .expect("pre-validated rebind cannot fail");
         }
         Ok(())
     }
@@ -572,6 +624,65 @@ impl Netlist {
             .map(|p| p.net)
     }
 
+    // ---- bulk topology export / maintenance -----------------------------
+
+    /// Exports net → sink connectivity in compressed-sparse-row form:
+    /// all nets' load lists concatenated (per-net order preserved, so an
+    /// offset into a net's row *is* the sink ordinal of
+    /// [`Net::load_ordinal`]). Bulk consumers walk these rows in one
+    /// cache-friendly pass instead of per-net pointer chasing: the
+    /// structural lint ([`crate::check::lint`]) cross-validates them
+    /// against the instance-side `conns` tables, and the `smt_sta`
+    /// timing kernel's sink cache derives exactly these rows, fused
+    /// with its per-net load sums.
+    pub fn load_csr(&self) -> LoadCsr {
+        let total: usize = self.nets.iter().map(|n| n.loads.len()).sum();
+        let mut sinks = Vec::with_capacity(total);
+        let mut net_start = Vec::with_capacity(self.nets.len() + 1);
+        net_start.push(0u32);
+        for net in &self.nets {
+            sinks.extend_from_slice(&net.loads);
+            net_start.push(sinks.len() as u32);
+        }
+        LoadCsr { sinks, net_start }
+    }
+
+    /// Squeezes [`Netlist::remove_instance`] tombstones out of the
+    /// instance table, renumbering the surviving instances densely (in
+    /// their existing relative order) and rewriting every net-side
+    /// [`PinRef`] and the name index to match.
+    ///
+    /// Nets, ports and per-net load *order* are untouched, so any
+    /// net-indexed state (parasitics, arrival tables) stays valid and
+    /// timing results are unchanged — only per-**instance** side tables
+    /// (placement, derating) must be remapped through the returned
+    /// [`CompactMap`]. Long ECO sessions call this so dense
+    /// per-instance tables stop paying for dead slots forever.
+    pub fn compact(&mut self) -> CompactMap {
+        let mut old_to_new = vec![None; self.insts.len()];
+        let mut kept = Vec::with_capacity(self.live_insts);
+        for (i, inst) in std::mem::take(&mut self.insts).into_iter().enumerate() {
+            if inst.dead {
+                continue;
+            }
+            old_to_new[i] = Some(InstId(kept.len() as u32));
+            kept.push(inst);
+        }
+        self.insts = kept;
+        for net in &mut self.nets {
+            if let Some(NetDriver::Inst(pr)) = &mut net.driver {
+                pr.inst = old_to_new[pr.inst.index()].expect("net driver is a live instance");
+            }
+            for pr in &mut net.loads {
+                pr.inst = old_to_new[pr.inst.index()].expect("net load is a live instance");
+            }
+        }
+        for id in self.inst_names.values_mut() {
+            *id = old_to_new[id.index()].expect("named instances are live");
+        }
+        CompactMap { old_to_new }
+    }
+
     // ---- summary statistics --------------------------------------------
 
     /// Total cell area.
@@ -607,6 +718,59 @@ impl Netlist {
         self.instances()
             .map(|(_, i)| lib.cell(i.cell).standby_leak)
             .sum()
+    }
+}
+
+/// Compressed-sparse-row export of net → sink connectivity; see
+/// [`Netlist::load_csr`].
+#[derive(Debug, Clone, Default)]
+pub struct LoadCsr {
+    /// Every net's load list, concatenated in net-id order with per-net
+    /// load order preserved.
+    pub sinks: Vec<PinRef>,
+    /// Per-net offsets into `sinks`; `net_start.len() == num_nets + 1`,
+    /// net `i`'s sinks are `sinks[net_start[i]..net_start[i + 1]]`.
+    pub net_start: Vec<u32>,
+}
+
+impl LoadCsr {
+    /// The sink row of one net (loads in ordinal order).
+    pub fn net(&self, id: NetId) -> &[PinRef] {
+        &self.sinks[self.net_start[id.index()] as usize..self.net_start[id.index() + 1] as usize]
+    }
+}
+
+/// Old-id → new-id instance mapping produced by [`Netlist::compact`].
+#[derive(Debug, Clone)]
+pub struct CompactMap {
+    old_to_new: Vec<Option<InstId>>,
+}
+
+impl CompactMap {
+    /// The new id of a pre-compaction instance (`None` for tombstones,
+    /// which no longer exist).
+    pub fn new_id(&self, old: InstId) -> Option<InstId> {
+        self.old_to_new.get(old.index()).copied().flatten()
+    }
+
+    /// Number of pre-compaction instance slots (the bound old side
+    /// tables were sized to).
+    pub fn old_capacity(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Gathers a dense per-instance side table (placement rows, derating
+    /// factors, ...) from pre-compaction indexing into post-compaction
+    /// indexing, dropping tombstone entries.
+    pub fn remap_table<T: Clone>(&self, old: &[T]) -> Vec<T> {
+        let live = self.old_to_new.iter().flatten().count();
+        let mut out = Vec::with_capacity(live);
+        for (i, slot) in self.old_to_new.iter().enumerate() {
+            if slot.is_some() {
+                out.push(old[i].clone());
+            }
+        }
+        out
     }
 }
 
@@ -801,6 +965,132 @@ mod tests {
         assert!(n.find_net(&nn).is_none());
         let ni = n.fresh_inst_name("u");
         assert!(n.find_inst(&ni).is_none());
+    }
+
+    #[test]
+    fn failed_replacement_leaves_netlist_untouched() {
+        // ND2 (A, B, Z all bound) -> INV (no pin B): the incompatibility
+        // is discovered at pin B, *after* pin A in declaration order. The
+        // old implementation had already disconnected A by then.
+        let lib = lib();
+        let (mut n, u1, _) = tiny(&lib);
+        let before = n.clone();
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        let err = n.replace_cell(u1, inv, &lib).unwrap_err();
+        assert!(matches!(err, NetlistError::IncompatibleReplacement { .. }));
+        // Nothing moved: same cell, same conns, same net-side state.
+        assert_eq!(n.inst(u1), before.inst(u1));
+        for (id, net) in before.nets() {
+            assert_eq!(
+                n.net(id),
+                net,
+                "net `{}` changed on a failed swap",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn replacement_onto_driven_net_is_rejected_atomically() {
+        // A replacement cell whose same-named pin flips direction
+        // (input `A` -> output `A`) would drive the port-driven net `a`:
+        // the second-driver check must fire *before* any mutation. The
+        // old implementation failed mid-rebind, leaving the instance on
+        // the new cell type with its bindings dropped.
+        use smt_cells::library::LibraryConfig;
+        let base = lib();
+        let mut cells = base.cells().to_vec();
+        let mut flip = base.find("INV_X1_L").unwrap().clone();
+        flip.name = "INV_FLIP".to_owned();
+        let ia = flip.pin_index("A").unwrap();
+        let iz = flip.pin_index("Z").unwrap();
+        flip.pins[ia].name = "Z".to_owned();
+        flip.pins[iz].name = "A".to_owned();
+        cells.push(flip);
+        let lib2 = Library::from_cells(base.tech.clone(), LibraryConfig::default(), cells);
+
+        let mut n = Netlist::new("flip");
+        let a = n.add_input("a");
+        let z = n.add_net("z");
+        let u = n.add_instance("u", lib2.find_id("INV_X1_L").unwrap(), &lib2);
+        n.connect_by_name(u, "A", a, &lib2).unwrap();
+        n.connect_by_name(u, "Z", z, &lib2).unwrap();
+        let before = n.clone();
+        let err = n
+            .replace_cell(u, lib2.find_id("INV_FLIP").unwrap(), &lib2)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+        assert_eq!(n.inst(u), before.inst(u));
+        for (id, net) in before.nets() {
+            assert_eq!(
+                n.net(id),
+                net,
+                "net `{}` changed on a failed swap",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn load_ordinal_reports_dangling_pinrefs() {
+        let lib = lib();
+        let (n, u1, u2) = tiny(&lib);
+        let n1 = n.find_net("n1").unwrap();
+        // The real load is found at its position...
+        assert_eq!(n.net(n1).load_ordinal(PinRef { inst: u2, pin: 0 }), Some(0));
+        // ...a PinRef not on the net is a dangling reference, never 0.
+        assert_eq!(n.net(n1).load_ordinal(PinRef { inst: u1, pin: 0 }), None);
+        // Same on a hand-built net with no loads at all.
+        let empty = Net::default();
+        assert_eq!(empty.load_ordinal(PinRef { inst: u1, pin: 3 }), None);
+    }
+
+    #[test]
+    fn load_csr_matches_per_net_loads() {
+        let lib = lib();
+        let (n, _, _) = tiny(&lib);
+        let csr = n.load_csr();
+        assert_eq!(csr.net_start.len(), n.num_nets() + 1);
+        for (id, net) in n.nets() {
+            assert_eq!(csr.net(id), &net.loads[..], "net `{}`", net.name);
+        }
+        assert_eq!(
+            csr.sinks.len(),
+            n.nets().map(|(_, net)| net.loads.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn compact_squeezes_tombstones_and_remaps() {
+        let lib = lib();
+        let (mut n, u1, u2) = tiny(&lib);
+        n.remove_instance(u1);
+        assert_eq!(n.inst_capacity(), 2);
+        let map = n.compact();
+        assert_eq!(n.inst_capacity(), 1);
+        assert_eq!(n.num_instances(), 1);
+        assert_eq!(map.new_id(u1), None);
+        let new_u2 = map.new_id(u2).unwrap();
+        assert_eq!(n.inst(new_u2).name, "u2");
+        assert_eq!(n.find_inst("u2"), Some(new_u2));
+        // Net-side references were rewritten to the new id.
+        let n1 = n.find_net("n1").unwrap();
+        assert_eq!(
+            n.net(n1).loads,
+            vec![PinRef {
+                inst: new_u2,
+                pin: 0
+            }]
+        );
+        assert!(n.net(n1).driver.is_none());
+        // Side-table gather: a 2-slot table shrinks to the live slot.
+        assert_eq!(map.old_capacity(), 2);
+        assert_eq!(map.remap_table(&["dead", "live"]), vec!["live"]);
+        // Editing continues to work post-compaction.
+        let u3 = n.add_instance("u3", lib.find_id("INV_X1_L").unwrap(), &lib);
+        n.connect_by_name(u3, "A", n1, &lib).unwrap();
+        assert_eq!(u3.index(), 1);
+        assert_eq!(n.net(n1).loads.len(), 2);
     }
 
     #[test]

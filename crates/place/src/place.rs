@@ -246,12 +246,7 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
     // Assign cells to the nearest row by target y, then pack by target x.
     let mut row_members: Vec<Vec<usize>> = vec![Vec::new(); rows];
     let mut order: Vec<usize> = (0..insts.len()).collect();
-    order.sort_by(|&a, &b| {
-        targets[a]
-            .x
-            .partial_cmp(&targets[b].x)
-            .expect("finite coords")
-    });
+    order.sort_by(|&a, &b| targets[a].x.total_cmp(&targets[b].x));
     let mut row_fill = vec![0usize; rows];
     for &d in &order {
         let want_row = ((targets[d].y / row_h) as usize).min(rows - 1);
@@ -446,7 +441,7 @@ mod tests {
                 .push((loc.x, w));
         }
         for (_, mut cells) in by_row {
-            cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            cells.sort_by(|a, b| a.0.total_cmp(&b.0));
             for pair in cells.windows(2) {
                 let (x0, w0) = pair[0];
                 let (x1, w1) = pair[1];

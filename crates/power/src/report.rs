@@ -34,7 +34,7 @@ pub fn top_leakers(netlist: &Netlist, lib: &Library, k: usize) -> Vec<Leaker> {
             }
         })
         .collect();
-    all.sort_by(|a, b| b.leak.partial_cmp(&a.leak).expect("finite leak"));
+    all.sort_by(|a, b| b.leak.total_cmp(&a.leak));
     all.truncate(k);
     all
 }

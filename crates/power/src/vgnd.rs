@@ -60,7 +60,7 @@ pub fn cluster_current(lib: &Library, netlist: &Netlist, cells: &[InstId]) -> Cu
                 .map(|m| m.peak_current.ua())
         })
         .collect();
-    peaks.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    peaks.sort_by(|a, b| b.total_cmp(a));
     match peaks.split_first() {
         None => Current::ZERO,
         Some((max, rest)) => Current::new(max + lib.tech.simultaneity * rest.iter().sum::<f64>()),

@@ -92,7 +92,7 @@ fn split_geometric(loads: &[PinRef], max_size: usize, placement: &Placement) -> 
             } else {
                 (pa.y, pb.y)
             };
-            ka.partial_cmp(&kb).expect("finite")
+            ka.total_cmp(&kb)
         });
         let right = g.split_off(g.len() / 2);
         work.push((g, 1 - axis));

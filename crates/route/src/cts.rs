@@ -98,7 +98,7 @@ pub fn synthesize_clock_tree(
             } else {
                 (pa.y, pb.y)
             };
-            ka.partial_cmp(&kb).expect("finite")
+            ka.total_cmp(&kb)
         });
         let mid = group.len() / 2;
         let right = group.split_off(mid);

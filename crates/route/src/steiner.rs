@@ -115,7 +115,7 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
             kids.sort_by(|&a, &b| {
                 let da = tree.nodes[a].manhattan(tree.nodes[v]);
                 let db = tree.nodes[b].manhattan(tree.nodes[v]);
-                db.partial_cmp(&da).expect("finite")
+                db.total_cmp(&da)
             });
             let (a, b) = (kids[0], kids[1]);
             // Only if both still hang off v (not rewired by an earlier fix).
@@ -145,7 +145,7 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
                 .max_by(|&&a, &&b| {
                     let da = tree.nodes[a].manhattan(tree.nodes[v]);
                     let db = tree.nodes[b].manhattan(tree.nodes[v]);
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 })
                 .unwrap_or(&usize::MAX);
             if c == usize::MAX {
@@ -174,7 +174,7 @@ pub fn steiner_tree(pins: &[Point]) -> RouteTree {
 fn median_point(a: Point, b: Point, c: Point) -> Point {
     let med = |x: f64, y: f64, z: f64| {
         let mut v = [x, y, z];
-        v.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+        v.sort_by(f64::total_cmp);
         v[1]
     };
     Point::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))

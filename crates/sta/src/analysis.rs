@@ -1,6 +1,16 @@
 //! Forward/backward timing propagation, slack, critical paths, and hold
 //! analysis.
+//!
+//! Since the [`TimingGraph`] kernel landed,
+//! [`analyze`] builds the levelized graph for the current topology and
+//! runs the shared kernel propagation; callers that re-analyze the same
+//! topology repeatedly (corner sweeps, assignment loops) build the graph
+//! once and call [`analyze_with_graph`] directly. The pre-kernel
+//! sequential implementation is kept verbatim as [`analyze_baseline`] —
+//! the differential-testing reference the kernel is proven bit-identical
+//! against.
 
+use crate::graph::{sink_ordinal, SinkCache, TimingGraph};
 use smt_base::units::{Cap, Time};
 use smt_cells::library::Library;
 use smt_netlist::graph::{topo_order, CombinationalCycle};
@@ -147,22 +157,223 @@ fn net_load(netlist: &Netlist, lib: &Library, parasitics: &Parasitics, net: NetI
     pins + ports + parasitics.net(net).wire_cap
 }
 
-/// Position of a pin in its net's load list (for per-sink Elmore lookup).
-fn sink_ordinal(netlist: &Netlist, net: NetId, pr: PinRef) -> usize {
-    netlist
-        .net(net)
-        .loads
-        .iter()
-        .position(|l| *l == pr)
-        .unwrap_or(0)
-}
-
 /// Runs setup and hold analysis.
+///
+/// Builds a fresh [`TimingGraph`] for the current topology and runs the
+/// shared kernel. Callers re-analyzing one topology many times (corner
+/// loops, Vth-assignment probes) should build the graph once and call
+/// [`analyze_with_graph`].
 ///
 /// # Errors
 ///
 /// Propagates [`CombinationalCycle`] from levelisation.
+///
+/// # Panics
+///
+/// Panics on a dangling [`PinRef`] (an instance pin missing from its
+/// net's load list) — a broken netlist-edit invariant that would
+/// otherwise be priced as a silently wrong wire delay.
 pub fn analyze(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    config: &StaConfig,
+    derating: &Derating,
+) -> Result<TimingReport, CombinationalCycle> {
+    let graph = TimingGraph::build(netlist, lib)?;
+    Ok(analyze_with_graph(
+        &graph, netlist, lib, parasitics, config, derating,
+    ))
+}
+
+/// Runs the full setup/hold analysis over a prebuilt [`TimingGraph`].
+///
+/// The graph must have been built for this netlist's current topology
+/// (same nets, same load lists); corner variants of the build library
+/// are fine — corner derates move timing numbers, never pin lists.
+/// Results are bit-identical to [`analyze`] (and to the legacy
+/// [`analyze_baseline`]).
+pub fn analyze_with_graph(
+    graph: &TimingGraph,
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    config: &StaConfig,
+    derating: &Derating,
+) -> TimingReport {
+    let cache = graph.build_cache(netlist);
+    analyze_cached(graph, &cache, netlist, lib, parasitics, config, derating)
+}
+
+/// [`analyze_with_graph`] with a caller-held [`SinkCache`], for loops
+/// that re-analyze an *unchanged* netlist under several libraries (the
+/// per-corner probes of the assignment and signoff loops): the cache is
+/// corner-invariant, so building it once amortizes the last per-call
+/// rediscovery cost.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_cached(
+    graph: &TimingGraph,
+    cache: &SinkCache,
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &Parasitics,
+    config: &StaConfig,
+    derating: &Derating,
+) -> TimingReport {
+    let state = graph.propagate(netlist, lib, parasitics, config, derating, cache);
+    let (arrival, arrival_min, slew) = (state.arrival, state.arrival_min, state.slew);
+    let nn = netlist.num_nets();
+    let wire_of = |net: NetId, pr: PinRef| {
+        let ord = graph.ordinal(cache, pr);
+        parasitics.net(net).elmore(ord)
+    };
+
+    // Required times: endpoints then backward propagation in reverse
+    // level order (every load of a net sits at a strictly higher level
+    // than its driver, so each `required` read is final).
+    let endpoint_req = config.clock_period - config.clock_skew;
+    let mut required = vec![Time::new(f64::INFINITY); nn];
+    for (_, port) in netlist.ports() {
+        if port.dir == PortDir::Output {
+            let r = endpoint_req - config.output_margin;
+            let i = port.net.index();
+            required[i] = required[i].min(r);
+        }
+    }
+    for &id in graph.ffs() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        if let Some(dp) = graph.cells.d_pin(inst.cell) {
+            if let Some(dnet) = inst.net_on(dp) {
+                let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
+                let r = endpoint_req - cell.setup - wire;
+                let i = dnet.index();
+                required[i] = required[i].min(r);
+            }
+        }
+    }
+    for &id in graph.order().iter().rev() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let Some(op) = graph.cells.out_pin(inst.cell) else {
+            continue;
+        };
+        let Some(onet) = inst.net_on(op) else {
+            continue;
+        };
+        let out_req = required[onet.index()];
+        if !out_req.is_finite() {
+            continue;
+        }
+        let load = cache.static_load(onet) + parasitics.net(onet).wire_cap;
+        for &pin in graph.cells.inputs(inst.cell) {
+            let pin = pin as usize;
+            let Some(inet) = inst.net_on(pin) else {
+                continue;
+            };
+            let Some(arc_idx) = graph.cells.arc_idx(inst.cell, pin) else {
+                continue;
+            };
+            let arc = &cell.arcs[arc_idx];
+            let wire = wire_of(inet, PinRef { inst: id, pin });
+            let d = arc.delay(slew[inet.index()], load) * derating.factor(id);
+            let r = out_req - d - wire;
+            let i = inet.index();
+            required[i] = required[i].min(r);
+        }
+    }
+    // Unconstrained nets: give them the endpoint requirement so slack is
+    // defined (large positive).
+    for r in required.iter_mut() {
+        if !r.is_finite() {
+            *r = endpoint_req;
+        }
+    }
+
+    // WNS / TNS over endpoints.
+    let mut wns = Time::new(f64::INFINITY);
+    let mut tns = Time::ZERO;
+    let mut consider = |slack: Time| {
+        wns = wns.min(slack);
+        if slack.ps() < 0.0 {
+            tns += slack;
+        }
+    };
+    for (_, port) in netlist.ports() {
+        if port.dir == PortDir::Output {
+            let i = port.net.index();
+            consider(required[i] - arrival[i]);
+        }
+    }
+    for &id in graph.ffs() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        if let Some(dp) = graph.cells.d_pin(inst.cell) {
+            if let Some(dnet) = inst.net_on(dp) {
+                let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
+                let at = arrival[dnet.index()] + wire;
+                let req = endpoint_req - cell.setup;
+                consider(req - at);
+            }
+        }
+    }
+    if !wns.is_finite() {
+        wns = config.clock_period;
+    }
+
+    // Hold: min arrival at FF D must exceed hold + skew.
+    let mut hold_violations = Vec::new();
+    for &id in graph.ffs() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        let Some(dp) = graph.cells.d_pin(inst.cell) else {
+            continue;
+        };
+        let Some(dnet) = inst.net_on(dp) else {
+            continue;
+        };
+        let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
+        let mut at_min = arrival_min[dnet.index()];
+        if !at_min.is_finite() {
+            at_min = Time::ZERO;
+        }
+        let at_min = at_min + wire;
+        let need = cell.hold + config.clock_skew;
+        if at_min < need {
+            hold_violations.push(HoldViolation {
+                ff: id,
+                arrival_min: at_min,
+                required: need,
+            });
+        }
+    }
+
+    TimingReport {
+        arrival,
+        arrival_min,
+        slew,
+        required,
+        wns,
+        tns,
+        hold_violations,
+        clock_period: config.clock_period,
+    }
+}
+
+/// The pre-kernel sequential analysis, kept verbatim as the reference
+/// implementation: `tests/properties.rs` asserts the
+/// [`TimingGraph`]-based [`analyze`] is bit-identical to it on
+/// randomized netlists, and the `timing_kernel` bench measures the
+/// kernel's speedup against it. Not for production use.
+///
+/// # Errors
+///
+/// Propagates [`CombinationalCycle`] from levelisation.
+///
+/// # Panics
+///
+/// Panics on a dangling [`PinRef`], like [`analyze`].
+pub fn analyze_baseline(
     netlist: &Netlist,
     lib: &Library,
     parasitics: &Parasitics,
@@ -174,6 +385,10 @@ pub fn analyze(
     let mut arrival = vec![Time::ZERO; nn];
     let mut arrival_min = vec![Time::new(f64::INFINITY); nn];
     let mut slew = vec![config.source_slew; nn];
+    let wire_of = |net: NetId, pr: PinRef| {
+        let ord = sink_ordinal(netlist.net(net), pr);
+        parasitics.net(net).elmore(ord)
+    };
 
     // Sources: primary inputs and FF Q pins.
     for (_, port) in netlist.ports() {
@@ -225,8 +440,7 @@ pub fn analyze(
                 continue;
             };
             any_input = true;
-            let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
-            let wire = parasitics.net(inet).elmore(ord);
+            let wire = wire_of(inet, PinRef { inst: id, pin });
             let at = arrival[inet.index()] + wire;
             let at_min = arrival_min[inet.index()] + wire;
             let d = arc.delay(slew[inet.index()], load) * derating.factor(id);
@@ -260,8 +474,7 @@ pub fn analyze(
         }
         if let Some(dp) = cell.pin_index("D") {
             if let Some(dnet) = inst.net_on(dp) {
-                let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
-                let wire = parasitics.net(dnet).elmore(ord);
+                let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
                 let r = endpoint_req - cell.setup - wire;
                 let i = dnet.index();
                 required[i] = required[i].min(r);
@@ -289,8 +502,7 @@ pub fn analyze(
             let Some(arc) = cell.arc_from(pin) else {
                 continue;
             };
-            let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
-            let wire = parasitics.net(inet).elmore(ord);
+            let wire = wire_of(inet, PinRef { inst: id, pin });
             let d = arc.delay(slew[inet.index()], load) * derating.factor(id);
             let r = out_req - d - wire;
             let i = inet.index();
@@ -327,8 +539,7 @@ pub fn analyze(
         }
         if let Some(dp) = cell.pin_index("D") {
             if let Some(dnet) = inst.net_on(dp) {
-                let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
-                let wire = parasitics.net(dnet).elmore(ord);
+                let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
                 let at = arrival[dnet.index()] + wire;
                 let req = endpoint_req - cell.setup;
                 consider(req - at);
@@ -352,8 +563,7 @@ pub fn analyze(
         let Some(dnet) = inst.net_on(dp) else {
             continue;
         };
-        let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
-        let wire = parasitics.net(dnet).elmore(ord);
+        let wire = wire_of(dnet, PinRef { inst: id, pin: dp });
         let mut at_min = arrival_min[dnet.index()];
         if !at_min.is_finite() {
             at_min = Time::ZERO;
@@ -599,5 +809,29 @@ mod tests {
         // Without the skew it passes.
         let r2 = analyze(&n, &lib, &par, &StaConfig::default(), &Derating::none()).unwrap();
         assert!(r2.hold_met(), "{:?}", r2.hold_violations);
+    }
+
+    #[test]
+    fn graph_analysis_is_bit_identical_to_baseline() {
+        let lib = lib();
+        for (len, period) in [(10usize, 4.0f64), (40, 0.3), (25, 2.0)] {
+            let n = chain(&lib, len, VthClass::Low);
+            let p = place(&n, &lib, &PlacerConfig::default());
+            let par = Parasitics::estimate(&n, &lib, &p);
+            let cfg = StaConfig {
+                clock_period: Time::from_ns(period),
+                ..StaConfig::default()
+            };
+            let der = Derating::none();
+            let new = analyze(&n, &lib, &par, &cfg, &der).unwrap();
+            let old = analyze_baseline(&n, &lib, &par, &cfg, &der).unwrap();
+            assert_eq!(new.arrival, old.arrival);
+            assert_eq!(new.arrival_min, old.arrival_min);
+            assert_eq!(new.slew, old.slew);
+            assert_eq!(new.required, old.required);
+            assert_eq!(new.wns, old.wns);
+            assert_eq!(new.tns, old.tns);
+            assert_eq!(new.hold_violations, old.hold_violations);
+        }
     }
 }

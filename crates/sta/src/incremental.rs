@@ -9,6 +9,14 @@
 //! changed), with early termination where arrivals converge back to their
 //! old values.
 //!
+//! The engine runs on the shared [`TimingGraph`] kernel: levelization and
+//! the sink-ordinal tables are built once (and, under
+//! [`MultiCornerSta`](crate::multicorner::MultiCornerSta), shared across
+//! every corner via [`IncrementalSta::with_graph`]); the engine owns only
+//! the library-dependent [`SinkCache`] of per-net static loads and
+//! ordinals, refreshing the nets a swap touches instead of re-deriving
+//! them on every evaluation.
+//!
 //! Both setup (max-arrival) and hold (min-arrival) state are maintained:
 //! endpoint *required* times depend only on the clock, the endpoint
 //! cell's setup/hold and its wire delay — none of which an upstream Vth
@@ -19,12 +27,14 @@
 //! reports bit-identical arrivals and WNS.
 
 use crate::analysis::{Derating, HoldViolation, StaConfig};
-use smt_base::units::{Cap, Time};
+use crate::graph::{PropState, SinkCache, TimingGraph};
+use smt_base::units::Time;
 use smt_cells::library::Library;
-use smt_netlist::graph::{topo_order, CombinationalCycle, TopoOrder};
+use smt_netlist::graph::CombinationalCycle;
 use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PinRef, PortDir};
 use smt_route::Parasitics;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A setup endpoint: required time and the endpoint wire delay, kept
 /// separate so slack is computed exactly as the full analysis does
@@ -37,6 +47,9 @@ struct SetupEndpoint {
     req: Time,
     /// Elmore delay of the endpoint sink pin (zero for ports).
     wire: Time,
+    /// The endpoint sink pin (`None` for ports), kept so `wire` can be
+    /// re-derived when a swap reorders the endpoint net's load list.
+    pin: Option<PinRef>,
 }
 
 /// A hold check at a flip-flop D pin.
@@ -47,22 +60,24 @@ struct HoldCheck {
     wire: Time,
     /// Min-arrival requirement (`hold + skew`).
     need: Time,
+    /// The D pin, kept so `wire` can be re-derived after swaps.
+    pin: PinRef,
 }
 
 /// Persistent incremental setup+hold timing state.
 #[derive(Debug, Clone)]
 pub struct IncrementalSta {
-    topo: TopoOrder,
+    graph: Arc<TimingGraph>,
+    cache: SinkCache,
     config: StaConfig,
-    arrival: Vec<Time>,
-    arrival_min: Vec<Time>,
-    slew: Vec<Time>,
+    state: PropState,
     endpoints: Vec<SetupEndpoint>,
     hold_checks: Vec<HoldCheck>,
 }
 
 impl IncrementalSta {
-    /// Builds the engine and runs the initial full propagation.
+    /// Builds the engine (including its own [`TimingGraph`]) and runs
+    /// the initial full propagation.
     ///
     /// # Errors
     ///
@@ -74,19 +89,58 @@ impl IncrementalSta {
         config: &StaConfig,
         derating: &Derating,
     ) -> Result<Self, CombinationalCycle> {
-        let topo = topo_order(netlist, lib)?;
+        let graph = Arc::new(TimingGraph::build(netlist, lib)?);
+        Ok(Self::with_graph(
+            graph, netlist, lib, parasitics, config, derating,
+        ))
+    }
+
+    /// Builds the engine over an already-built (possibly shared)
+    /// [`TimingGraph`] and runs the initial full propagation. The graph
+    /// must match the netlist's current topology; corner variants of the
+    /// build library are fine.
+    pub fn with_graph(
+        graph: Arc<TimingGraph>,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+    ) -> Self {
+        let cache = graph.build_cache(netlist);
+        Self::with_graph_and_cache(graph, cache, netlist, lib, parasitics, config, derating)
+    }
+
+    /// [`IncrementalSta::with_graph`] with a pre-derived [`SinkCache`]:
+    /// the cache is corner-invariant, so a multi-corner construction
+    /// derives it once and clones it into each corner's engine (each
+    /// engine then maintains its copy across swaps).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_graph_and_cache(
+        graph: Arc<TimingGraph>,
+        cache: SinkCache,
+        netlist: &Netlist,
+        lib: &Library,
+        parasitics: &Parasitics,
+        config: &StaConfig,
+        derating: &Derating,
+    ) -> Self {
+        let state = graph.propagate(netlist, lib, parasitics, config, derating, &cache);
         let mut s = IncrementalSta {
-            topo,
+            graph,
+            cache,
             config: config.clone(),
-            arrival: vec![Time::ZERO; netlist.num_nets()],
-            arrival_min: vec![Time::new(f64::INFINITY); netlist.num_nets()],
-            slew: vec![config.source_slew; netlist.num_nets()],
+            state,
             endpoints: Vec::new(),
             hold_checks: Vec::new(),
         };
         s.collect_endpoints(netlist, lib, parasitics);
-        s.full_propagate(netlist, lib, parasitics, derating);
-        Ok(s)
+        s
+    }
+
+    /// The engine's (shareable) timing graph.
+    pub fn graph(&self) -> &Arc<TimingGraph> {
+        &self.graph
     }
 
     fn collect_endpoints(&mut self, netlist: &Netlist, lib: &Library, parasitics: &Parasitics) {
@@ -99,6 +153,7 @@ impl IncrementalSta {
                     net: port.net,
                     req: req0 - self.config.output_margin,
                     wire: Time::ZERO,
+                    pin: None,
                 });
             }
         }
@@ -109,130 +164,31 @@ impl IncrementalSta {
             }
             if let Some(dp) = cell.pin_index("D") {
                 if let Some(dnet) = inst.net_on(dp) {
-                    let ord = sink_ordinal(netlist, dnet, PinRef { inst: id, pin: dp });
+                    let pr = PinRef { inst: id, pin: dp };
+                    let ord = self.graph.ordinal(&self.cache, pr);
                     let wire = parasitics.net(dnet).elmore(ord);
                     self.endpoints.push(SetupEndpoint {
                         net: dnet,
                         req: req0 - cell.setup,
                         wire,
+                        pin: Some(pr),
                     });
                     self.hold_checks.push(HoldCheck {
                         ff: id,
                         net: dnet,
                         wire,
                         need: cell.hold + self.config.clock_skew,
+                        pin: pr,
                     });
                 }
             }
         }
     }
 
-    fn net_load(netlist: &Netlist, lib: &Library, parasitics: &Parasitics, net: NetId) -> Cap {
-        let n = netlist.net(net);
-        let pins: Cap = n
-            .loads
-            .iter()
-            .map(|pr| lib.cell(netlist.inst(pr.inst).cell).pins[pr.pin].cap)
-            .sum();
-        pins + Cap::new(2.0 * n.port_loads.len() as f64) + parasitics.net(net).wire_cap
-    }
-
-    /// Evaluates one instance's output arrival/slew from current state.
-    /// Returns `(net, arrival, arrival_min, slew)` or `None` for cells
-    /// without a timed output.
-    fn eval(
-        &self,
-        netlist: &Netlist,
-        lib: &Library,
-        parasitics: &Parasitics,
-        derating: &Derating,
-        id: InstId,
-    ) -> Option<(NetId, Time, Time, Time)> {
-        let inst = netlist.inst(id);
-        let cell = lib.cell(inst.cell);
-        let onet = inst.net_on(cell.output_pin()?)?;
-        let load = Self::net_load(netlist, lib, parasitics, onet);
-        let mut best = Time::ZERO;
-        let mut best_min = Time::new(f64::INFINITY);
-        let mut best_slew = self.config.source_slew;
-        let mut any = false;
-        for &pin in &cell.logic_input_pins() {
-            let Some(inet) = inst.net_on(pin) else {
-                continue;
-            };
-            let Some(arc) = cell.arc_from(pin) else {
-                continue;
-            };
-            any = true;
-            let ord = sink_ordinal(netlist, inet, PinRef { inst: id, pin });
-            let wire = parasitics.net(inet).elmore(ord);
-            let at = self.arrival[inet.index()] + wire;
-            let at_min = self.arrival_min[inet.index()] + wire;
-            let d = arc.delay(self.slew[inet.index()], load) * derating.factor(id);
-            if at + d > best {
-                best = at + d;
-                best_slew = arc.output_slew(load);
-            }
-            best_min = best_min.min(at_min + d);
-        }
-        any.then_some((onet, best, best_min, best_slew))
-    }
-
-    fn seed_sources(
-        &mut self,
-        netlist: &Netlist,
-        lib: &Library,
-        parasitics: &Parasitics,
-        derating: &Derating,
-    ) {
-        for (_, port) in netlist.ports() {
-            if port.dir == PortDir::Input {
-                self.arrival[port.net.index()] = self.config.input_delay;
-                self.arrival_min[port.net.index()] = self.config.input_delay;
-                self.slew[port.net.index()] = self.config.source_slew;
-            }
-        }
-        for (id, inst) in netlist.instances() {
-            let cell = lib.cell(inst.cell);
-            if !cell.is_sequential() {
-                continue;
-            }
-            let Some(qp) = cell.output_pin() else {
-                continue;
-            };
-            let Some(qnet) = inst.net_on(qp) else {
-                continue;
-            };
-            let load = Self::net_load(netlist, lib, parasitics, qnet);
-            if let Some(arc) = cell.arcs.first() {
-                let d = arc.delay(self.config.source_slew, load) * derating.factor(id);
-                self.arrival[qnet.index()] = d;
-                self.arrival_min[qnet.index()] = d;
-                self.slew[qnet.index()] = arc.output_slew(load);
-            }
-        }
-    }
-
-    fn full_propagate(
-        &mut self,
-        netlist: &Netlist,
-        lib: &Library,
-        parasitics: &Parasitics,
-        derating: &Derating,
-    ) {
-        self.seed_sources(netlist, lib, parasitics, derating);
-        for &id in &self.topo.order.clone() {
-            if let Some((net, at, at_min, sl)) = self.eval(netlist, lib, parasitics, derating, id) {
-                self.arrival[net.index()] = at;
-                self.arrival_min[net.index()] = at_min;
-                self.slew[net.index()] = sl;
-            }
-        }
-    }
-
     /// Re-times after the cell of `swapped` changed variant (same pins).
     ///
-    /// Re-evaluates the swapped instance, the *drivers of its inputs*
+    /// Refreshes the swap-touched nets' cached loads and ordinals, then
+    /// re-evaluates the swapped instance, the *drivers of its inputs*
     /// (their load changed if pin caps differ across variants — with this
     /// library they do not, but the engine stays correct if they do), and
     /// then the fan-out cone in level order with convergence cut-off.
@@ -244,8 +200,41 @@ impl IncrementalSta {
         derating: &Derating,
         swapped: InstId,
     ) {
-        // Worklist keyed by topo level so each instance is evaluated after its
-        // perturbed fan-ins.
+        // The variant swap rebinds every pin of `swapped`
+        // (disconnect + reconnect), which re-appends its input pins to
+        // their nets' load lists: refresh those nets' cached loads and
+        // every sink ordinal on them.
+        let conns: Vec<NetId> = netlist
+            .inst(swapped)
+            .conns
+            .iter()
+            .copied()
+            .flatten()
+            .collect();
+        for &net in &conns {
+            self.cache.refresh_net(&self.graph, netlist, net);
+        }
+        // Endpoint/hold wire delays were derived from sink ordinals at
+        // construction; a reordered load list moves those ordinals, so
+        // re-derive them for every endpoint on a refreshed net.
+        {
+            let (graph, cache) = (&self.graph, &self.cache);
+            for ep in &mut self.endpoints {
+                if let Some(pr) = ep.pin {
+                    if conns.contains(&ep.net) {
+                        ep.wire = parasitics.net(ep.net).elmore(graph.ordinal(cache, pr));
+                    }
+                }
+            }
+            for hc in &mut self.hold_checks {
+                if conns.contains(&hc.net) {
+                    hc.wire = parasitics.net(hc.net).elmore(graph.ordinal(cache, hc.pin));
+                }
+            }
+        }
+
+        // Worklist keyed by graph level so each instance is evaluated
+        // after its perturbed fan-ins.
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
         let mut queued = vec![false; netlist.inst_capacity()];
         let push = |heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: InstId, level: u32| {
@@ -254,14 +243,7 @@ impl IncrementalSta {
                 heap.push(std::cmp::Reverse((level, id.0)));
             }
         };
-        let level_of = |id: InstId| -> u32 {
-            let l = self.topo.level.get(id.index()).copied().unwrap_or(0);
-            if l == u32::MAX {
-                0
-            } else {
-                l
-            }
-        };
+        let level_of = |id: InstId| -> u32 { self.graph.level_of(id).unwrap_or(0) };
         // Fan-in drivers (their output load could change).
         {
             let inst = netlist.inst(swapped);
@@ -288,19 +270,27 @@ impl IncrementalSta {
             if !cell.is_logic() {
                 continue;
             }
-            let Some((net, at, at_min, sl)) = self.eval(netlist, lib, parasitics, derating, id)
-            else {
+            let Some((net, at, at_min, sl)) = self.graph.eval_inst(
+                netlist,
+                lib,
+                parasitics,
+                derating,
+                self.config.source_slew,
+                &self.cache,
+                &self.state,
+                id,
+            ) else {
                 continue;
             };
-            let old_at = self.arrival[net.index()];
-            let old_min = self.arrival_min[net.index()];
-            let old_sl = self.slew[net.index()];
+            let old_at = self.state.arrival[net.index()];
+            let old_min = self.state.arrival_min[net.index()];
+            let old_sl = self.state.slew[net.index()];
             if close(at, old_at) && close(at_min, old_min) && close(sl, old_sl) {
                 continue; // converged: the cone below is unaffected
             }
-            self.arrival[net.index()] = at;
-            self.arrival_min[net.index()] = at_min;
-            self.slew[net.index()] = sl;
+            self.state.arrival[net.index()] = at;
+            self.state.arrival_min[net.index()] = at_min;
+            self.state.slew[net.index()] = sl;
             for load in &netlist.net(net).loads {
                 if lib.cell(netlist.inst(load.inst).cell).is_logic() {
                     push(&mut heap, &mut queued, load.inst, level_of(load.inst));
@@ -311,20 +301,20 @@ impl IncrementalSta {
 
     /// Current (max) arrival of a net.
     pub fn arrival(&self, net: NetId) -> Time {
-        self.arrival[net.index()]
+        self.state.arrival[net.index()]
     }
 
     /// Current min arrival of a net (`+inf` for unconstrained nets, as in
     /// the full analysis).
     pub fn arrival_min(&self, net: NetId) -> Time {
-        self.arrival_min[net.index()]
+        self.state.arrival_min[net.index()]
     }
 
     /// Current setup WNS from the maintained arrivals.
     pub fn wns(&self) -> Time {
         let mut wns = Time::new(f64::INFINITY);
         for ep in &self.endpoints {
-            let at = self.arrival[ep.net.index()] + ep.wire;
+            let at = self.state.arrival[ep.net.index()] + ep.wire;
             wns = wns.min(ep.req - at);
         }
         if wns.is_finite() {
@@ -339,7 +329,7 @@ impl IncrementalSta {
     pub fn hold_violations(&self) -> Vec<HoldViolation> {
         let mut out = Vec::new();
         for hc in &self.hold_checks {
-            let mut at_min = self.arrival_min[hc.net.index()];
+            let mut at_min = self.state.arrival_min[hc.net.index()];
             if !at_min.is_finite() {
                 at_min = Time::ZERO;
             }
@@ -361,23 +351,14 @@ impl IncrementalSta {
         self.hold_checks
             .iter()
             .map(|hc| {
-                let mut at_min = self.arrival_min[hc.net.index()];
+                let mut at_min = self.state.arrival_min[hc.net.index()];
                 if !at_min.is_finite() {
                     at_min = Time::ZERO;
                 }
                 at_min + hc.wire - hc.need
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite hold slack"))
+            .min_by(Time::total_cmp)
     }
-}
-
-fn sink_ordinal(netlist: &Netlist, net: NetId, pr: PinRef) -> usize {
-    netlist
-        .net(net)
-        .loads
-        .iter()
-        .position(|l| *l == pr)
-        .unwrap_or(0)
 }
 
 #[cfg(test)]

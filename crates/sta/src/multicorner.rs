@@ -14,13 +14,20 @@
 //! [`MultiCornerSta::update_after_swap`], so optimisation loops pay the
 //! cone cost per corner instead of a full re-propagation per corner.
 //!
+//! All corners share **one** [`TimingGraph`]: corner derates move timing
+//! numbers, never pin lists, so levelization and the sink-ordinal tables
+//! are built once and handed to every corner's engine via
+//! [`IncrementalSta::with_graph`] — only the cheap per-corner load cache
+//! is private to each corner.
+//!
 //! Restricted to the single identity corner
 //! ([`CornerSet::typical_only`]), every reported figure is bit-identical
 //! to the single-corner [`analyze`](crate::analysis::analyze()) results —
 //! the property the multi-corner flow relies on to leave single-corner
 //! runs unchanged.
 
-use crate::analysis::{analyze, Derating, HoldViolation, StaConfig, TimingReport};
+use crate::analysis::{analyze_with_graph, Derating, HoldViolation, StaConfig, TimingReport};
+use crate::graph::TimingGraph;
 use crate::incremental::IncrementalSta;
 use smt_base::units::Time;
 use smt_cells::corner::{Corner, CornerLibrary, CornerSet};
@@ -28,6 +35,7 @@ use smt_cells::library::Library;
 use smt_netlist::graph::CombinationalCycle;
 use smt_netlist::netlist::{InstId, NetId, Netlist};
 use smt_route::Parasitics;
+use std::sync::Arc;
 
 /// Merges per-corner hold-violation lists into the union a multi-corner
 /// ECO must fix: per flip-flop, the violation with the worst (most
@@ -115,9 +123,30 @@ impl MultiCornerSta {
         config: &StaConfig,
         derating: &Derating,
     ) -> Result<Self, CombinationalCycle> {
+        // One levelized graph — and one sink-cache derivation — for all
+        // corners: corner libraries share cell structure (pin lists and
+        // pin caps), so both are corner-invariant; each corner's engine
+        // clones the cache and maintains its copy across swaps.
+        let shared = match libs.first() {
+            Some(cl) => {
+                let graph = Arc::new(TimingGraph::build(netlist, &cl.lib)?);
+                let cache = graph.build_cache(netlist);
+                Some((graph, cache))
+            }
+            None => None,
+        };
         let mut corners = Vec::with_capacity(libs.len());
         for cl in libs {
-            let inc = IncrementalSta::new(netlist, &cl.lib, parasitics, config, derating)?;
+            let (graph, cache) = shared.as_ref().expect("graph built for non-empty set");
+            let inc = IncrementalSta::with_graph_and_cache(
+                graph.clone(),
+                cache.clone(),
+                netlist,
+                &cl.lib,
+                parasitics,
+                config,
+                derating,
+            );
             corners.push(CornerSta {
                 corner: cl.corner,
                 lib: cl.lib,
@@ -206,11 +235,13 @@ impl MultiCornerSta {
 
     /// Runs the *full* (non-incremental) analysis at one corner —
     /// required times, TNS, the complete [`TimingReport`]. This is the
-    /// reference the incremental state is equivalent to.
+    /// reference the incremental state is equivalent to. Reuses the
+    /// corner engine's shared [`TimingGraph`] instead of re-levelizing.
     ///
     /// # Errors
     ///
-    /// Propagates [`CombinationalCycle`] from levelisation.
+    /// Kept for API stability; the shared graph already levelized, so
+    /// this cannot fail any more.
     pub fn full_report(
         &self,
         corner: usize,
@@ -219,13 +250,15 @@ impl MultiCornerSta {
         config: &StaConfig,
         derating: &Derating,
     ) -> Result<TimingReport, CombinationalCycle> {
-        analyze(
+        let c = &self.corners[corner];
+        Ok(analyze_with_graph(
+            c.inc.graph(),
             netlist,
-            &self.corners[corner].lib,
+            &c.lib,
             parasitics,
             config,
             derating,
-        )
+        ))
     }
 }
 

@@ -98,7 +98,7 @@ pub fn worst_paths(
             }
         }
     }
-    endpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slack"));
+    endpoints.sort_by(|a, b| a.0.total_cmp(&b.0));
     endpoints.truncate(k);
 
     endpoints

@@ -259,7 +259,7 @@ fn placement_is_always_legal() {
                 .push((loc.x, w));
         }
         for (_, mut cells) in by_row {
-            cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            cells.sort_by(|a, b| a.0.total_cmp(&b.0));
             for pair in cells.windows(2) {
                 let (x0, w0) = pair[0];
                 let (x1, w1) = pair[1];
@@ -315,5 +315,99 @@ fn leakage_model_monotonicity() {
         assert!(t.subthreshold_leak(w * 2.0, Volt::new(vth), depth) > base);
         assert!(t.subthreshold_leak(w, Volt::new(vth + 0.05), depth) < base);
         assert!(t.subthreshold_leak(w, Volt::new(vth), depth + 1) < base);
+    }
+}
+
+/// The levelized `TimingGraph` kernel is bit-identical to the legacy
+/// sequential propagation on randomized netlists — including after Vth
+/// swaps (which reorder net load lists), with tombstoned instances, and
+/// across `Netlist::compact`, on both estimated and default parasitics.
+#[test]
+fn timing_graph_analysis_is_bit_identical_to_legacy() {
+    use selective_mt::place::{place, PlacerConfig};
+    use selective_mt::route::Parasitics;
+    use selective_mt::sta::{analyze, analyze_baseline, Derating, StaConfig, TimingReport};
+
+    fn assert_same(seed: u64, tag: &str, a: &TimingReport, b: &TimingReport) {
+        assert_eq!(a.arrival, b.arrival, "seed {seed} [{tag}]: arrival");
+        assert_eq!(a.arrival_min, b.arrival_min, "seed {seed} [{tag}]: min");
+        assert_eq!(a.slew, b.slew, "seed {seed} [{tag}]: slew");
+        assert_eq!(a.required, b.required, "seed {seed} [{tag}]: required");
+        assert_eq!(a.wns, b.wns, "seed {seed} [{tag}]: wns");
+        assert_eq!(a.tns, b.tns, "seed {seed} [{tag}]: tns");
+        assert_eq!(
+            a.hold_violations, b.hold_violations,
+            "seed {seed} [{tag}]: hold"
+        );
+    }
+
+    let lib = lib();
+    let mut rng = SplitMix64::new(0x71A1);
+    for seed in 0u64..8 {
+        let gates = 120 + rng.next_below(240);
+        let mut n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates,
+                seed,
+                ..RandomLogicConfig::default()
+            },
+        );
+        let p = place(&n, &lib, &PlacerConfig::default());
+        let par = Parasitics::estimate(&n, &lib, &p);
+        let cfg = StaConfig::default();
+        let der = Derating::none();
+
+        let fresh = |n: &selective_mt::netlist::netlist::Netlist, tag: &str| {
+            let new = analyze(n, &lib, &par, &cfg, &der).unwrap();
+            let old = analyze_baseline(n, &lib, &par, &cfg, &der).unwrap();
+            assert_same(seed, tag, &new, &old);
+            new
+        };
+        fresh(&n, "fresh");
+
+        // Vth swaps rebind pins, permuting load lists (and hence per-net
+        // cap-sum order and sink ordinals).
+        let logic: Vec<_> = n
+            .instances()
+            .filter(|(_, i)| lib.cell(i.cell).is_logic())
+            .map(|(id, _)| id)
+            .collect();
+        for k in 0..24usize {
+            let id = logic[(k * 31) % logic.len()];
+            if let Some(v) = lib.variant_id(n.inst(id).cell, VthClass::High) {
+                n.replace_cell(id, v, &lib).unwrap();
+            }
+        }
+        fresh(&n, "after swaps");
+
+        // Tombstones: drop a scattering of gates (their fanout loses its
+        // driver; both implementations must skip dead slots identically).
+        for k in 0..6usize {
+            n.remove_instance(logic[(7 + k * 53) % logic.len()]);
+        }
+        let before_compact = fresh(&n, "with tombstones");
+
+        // Compaction renumbers instances but leaves nets (and therefore
+        // every net-indexed timing quantity) untouched.
+        let map = n.compact();
+        assert_eq!(n.inst_capacity(), n.num_instances());
+        let after = fresh(&n, "compacted");
+        assert_eq!(
+            before_compact.arrival, after.arrival,
+            "seed {seed}: compact"
+        );
+        assert_eq!(before_compact.wns, after.wns, "seed {seed}: compact wns");
+        assert_eq!(
+            before_compact.hold_violations.len(),
+            after.hold_violations.len(),
+            "seed {seed}: compact hold count"
+        );
+        // The map accounts for every slot: tombstones vanish, survivors
+        // resolve to in-bounds dense ids.
+        let live = (0..map.old_capacity())
+            .filter_map(|i| map.new_id(selective_mt::netlist::netlist::InstId(i as u32)))
+            .count();
+        assert_eq!(live, n.num_instances(), "seed {seed}: compact map");
     }
 }
