@@ -42,7 +42,8 @@ fn main() {
                 seed: 2005,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         // Mixed Vth population so swaps go both ways.
         let ids: Vec<InstId> = n
             .instances()

@@ -38,7 +38,8 @@ fn bench_place(h: &mut Harness) {
                 gates,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         g.bench(&gates.to_string(), || {
             place(&n, &lib, &PlacerConfig::default())
         });
@@ -56,7 +57,8 @@ fn bench_route(h: &mut Harness) {
                 gates,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         g.bench(&gates.to_string(), || {
             route_global(&n, &lib, &p, &RouteConfig::default())
@@ -74,7 +76,8 @@ fn bench_sta(h: &mut Harness) {
                 gates,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
         g.bench(&gates.to_string(), || {
@@ -94,7 +97,8 @@ fn bench_cluster(h: &mut Harness) {
                 gates,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         to_improved_mt_cells(&mut n, &lib);
         insert_output_holders(&mut n, &lib);
         let p = place(&n, &lib, &PlacerConfig::default());
@@ -120,7 +124,8 @@ fn bench_incremental_sta(h: &mut Harness) {
                 gates,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
         let cfg = StaConfig::default();

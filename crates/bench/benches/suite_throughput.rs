@@ -1,0 +1,70 @@
+//! Workload-suite batching benchmark.
+//!
+//! Measures the smoke-scale generated suite through the Dual-Vth flow
+//! twice — serialised (`threads = 1`) and on the shared worker pool
+//! (`threads = 0`) — and records their wall-clock ratio as the
+//! **`suite_throughput`** metric gated by `benches/baseline.json`. The
+//! ratio is runner-independent enough to gate: if the batch driver ever
+//! serialises (a lost `parallel_map` fan-out, a poisoned shared
+//! characterisation), the ratio collapses to ~1 and the gate fails.
+//!
+//! ```text
+//! cargo bench -p smt-bench --bench suite_throughput
+//! ```
+
+use smt_bench::harness::Harness;
+use smt_cells::library::Library;
+use smt_circuits::families::{generate, standard_suite, SuiteScale};
+use smt_core::engine::{FlowConfig, Technique};
+use smt_core::suite::WorkloadSuite;
+
+fn smoke_suite(lib: &Library, threads: usize) -> WorkloadSuite {
+    let mut suite = WorkloadSuite::new(FlowConfig {
+        technique: Technique::DualVth,
+        ..FlowConfig::default()
+    })
+    .with_threads(threads)
+    // Equivalence is covered by tests/suite_equivalence.rs; keep the
+    // timed region about the flow fan-out itself.
+    .with_equiv_cycles(0);
+    for w in standard_suite(SuiteScale::Smoke) {
+        suite.push(
+            &w.name,
+            generate(lib, &w.config).expect("smoke configs are valid"),
+        );
+    }
+    suite
+}
+
+fn main() {
+    let lib = Library::industrial_130nm();
+    let mut h = Harness::new();
+
+    let mut g = h.group("suite");
+    g.sample_size(3);
+    let serial = g.bench("smoke_serial_threads1", || {
+        let report = smoke_suite(&lib, 1).run(&lib);
+        assert!(report.all_passed(), "{}", report.render());
+        report.gates_completed()
+    });
+    let parallel = g.bench("smoke_parallel_pool", || {
+        let report = smoke_suite(&lib, 0).run(&lib);
+        assert!(report.all_passed(), "{}", report.render());
+        report.gates_completed()
+    });
+    drop(g);
+
+    let speedup = serial.median.as_secs_f64() / parallel.median.as_secs_f64().max(1e-9);
+    h.metric("suite_throughput", speedup);
+
+    // Informational: absolute batch throughput of the parallel run (not
+    // gated — wall-clock absolute numbers are runner-dependent).
+    let report = smoke_suite(&lib, 0).run(&lib);
+    println!(
+        "parallel batch: {} gates in {:.2}s -> {:.0} gates/s",
+        report.gates_completed(),
+        report.wall.as_secs_f64(),
+        report.gates_per_second()
+    );
+    h.finish();
+}

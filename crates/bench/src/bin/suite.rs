@@ -1,0 +1,198 @@
+//! The workload-suite batch driver CLI: generate (or ingest) a set of
+//! designs, fan them through the flow on the worker pool, and print one
+//! report with per-design signoff and equivalence verdicts.
+//!
+//! ```text
+//! cargo run --release -p smt-bench --bin suite -- [options]
+//!
+//!   --scale smoke|standard|large   generated-suite size   [smoke]
+//!   --technique dual|conv|imp      flow technique         [dual]
+//!   --threads N                    worker cap (0 = cores) [0]
+//!   --corners                      sign off at slow/typ/fast PVT
+//!   --equiv-cycles N               equivalence stimulus   [48]
+//!   --snl FILE                     also ingest an SNL netlist (repeatable)
+//!   --write-snl DIR                dump every generated design as .snl
+//!   --no-generated                 run only the --snl ingested designs
+//! ```
+//!
+//! Exits non-zero when any design fails its flow, its verification, or
+//! the independent pre- vs post-flow equivalence check. The `large`
+//! scale is the ROADMAP-level stress run: its pipeline design exceeds
+//! 50k gates.
+
+use smt_cells::corner::CornerSet;
+use smt_cells::library::Library;
+use smt_circuits::families::{generate, standard_suite, SuiteScale};
+use smt_core::engine::{FlowConfig, Technique};
+use smt_core::suite::WorkloadSuite;
+use smt_synth::snl;
+use smt_synth::SynthOptions;
+
+struct Options {
+    scale: SuiteScale,
+    technique: Technique,
+    threads: usize,
+    corners: bool,
+    equiv_cycles: usize,
+    snl_files: Vec<String>,
+    write_snl: Option<String>,
+    generated: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        scale: SuiteScale::Smoke,
+        technique: Technique::DualVth,
+        threads: 0,
+        corners: false,
+        equiv_cycles: 48,
+        snl_files: Vec::new(),
+        write_snl: None,
+        generated: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("`{name}` needs a value"));
+        match arg.as_str() {
+            "--scale" => {
+                o.scale = match value("--scale")?.as_str() {
+                    "smoke" => SuiteScale::Smoke,
+                    "standard" => SuiteScale::Standard,
+                    "large" => SuiteScale::Large,
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            "--technique" => {
+                o.technique = match value("--technique")?.as_str() {
+                    "dual" => Technique::DualVth,
+                    "conv" | "conventional" => Technique::ConventionalSmt,
+                    "imp" | "improved" => Technique::ImprovedSmt,
+                    other => return Err(format!("unknown technique `{other}`")),
+                }
+            }
+            "--threads" => {
+                o.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--equiv-cycles" => {
+                o.equiv_cycles = value("--equiv-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--equiv-cycles: {e}"))?
+            }
+            "--corners" => o.corners = true,
+            "--snl" => o.snl_files.push(value("--snl")?),
+            "--write-snl" => o.write_snl = Some(value("--write-snl")?),
+            "--no-generated" => o.generated = false,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("suite: {e}");
+            std::process::exit(2);
+        }
+    };
+    let lib = Library::industrial_130nm();
+    let mut config = FlowConfig {
+        technique: o.technique,
+        ..FlowConfig::default()
+    };
+    if o.corners {
+        config.corners = CornerSet::slow_typ_fast();
+    }
+    let mut suite = WorkloadSuite::new(config)
+        .with_threads(o.threads)
+        .with_equiv_cycles(o.equiv_cycles);
+
+    if let Some(dir) = &o.write_snl {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("suite: creating {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if o.generated {
+        for w in standard_suite(o.scale) {
+            let netlist = match generate(&lib, &w.config) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("suite: generating {}: {e}", w.name);
+                    std::process::exit(2);
+                }
+            };
+            if let Some(dir) = &o.write_snl {
+                let text = match snl::write(&netlist, &lib) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("suite: serialising {}: {e}", w.name);
+                        std::process::exit(2);
+                    }
+                };
+                let path = format!("{dir}/{}.snl", w.name);
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("suite: writing {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("wrote {path}");
+            }
+            eprintln!("queued {:24} {:>7} gates", w.name, netlist.num_instances());
+            suite.push(&w.name, netlist);
+        }
+    }
+    for path in &o.snl_files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("suite: reading {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let netlist = match snl::read(&text, &lib, &SynthOptions::default()) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("suite: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let name = path
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".snl"))
+            .unwrap_or(path)
+            .to_owned();
+        eprintln!(
+            "queued {:24} {:>7} gates (from {path})",
+            name,
+            netlist.num_instances()
+        );
+        suite.push(&name, netlist);
+    }
+    if suite.is_empty() {
+        eprintln!("suite: nothing to run (use --snl or drop --no-generated)");
+        std::process::exit(2);
+    }
+
+    eprintln!("running {} designs under {} ...", suite.len(), o.technique);
+    let report = suite.run(&lib);
+    println!("{}", report.render());
+    if o.corners {
+        println!("{}", report.render_corners());
+    }
+    println!(
+        "batch: {} gates in {:.2}s  ->  {:.0} gates/s",
+        report.gates_completed(),
+        report.wall.as_secs_f64(),
+        report.gates_per_second()
+    );
+    if report.all_passed() {
+        println!("suite: PASS — every design completed and is equivalent pre- vs post-flow");
+    } else {
+        println!("suite: FAIL");
+        std::process::exit(1);
+    }
+}

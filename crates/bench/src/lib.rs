@@ -130,8 +130,76 @@ pub const PAPER_TABLE1_AREA: [[f64; 3]; 2] = [[1.0, 1.6484, 1.3318], [1.0, 1.422
 /// See [`PAPER_TABLE1_AREA`].
 pub const PAPER_TABLE1_LEAK: [[f64; 3]; 2] = [[1.0, 0.1458, 0.0942], [1.0, 0.1942, 0.1221]];
 
+/// The render-ready digest of one [`Table1Row`]: just the numbers the
+/// report prints, decoupled from the heavyweight [`FlowResult`]s so the
+/// report *format* can be golden-snapshot-tested on canned values
+/// (`tests/golden_table1.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Summary {
+    /// Circuit label.
+    pub name: String,
+    /// `[Dual-Vth, Conventional, Improved]` area, normalised to Dual-Vth.
+    pub area_ratios: [f64; 3],
+    /// `[Dual-Vth, Conventional, Improved]` standby leakage, normalised.
+    pub leakage_ratios: [f64; 3],
+    /// Per-corner signoff digests, technique-major then corner order.
+    pub corners: Vec<CornerSummary>,
+}
+
+/// One technique × corner signoff line of the per-corner table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerSummary {
+    /// Technique label.
+    pub technique: String,
+    /// Corner name.
+    pub corner: String,
+    /// Setup WNS, ps.
+    pub wns_ps: f64,
+    /// Hold violations.
+    pub hold_violations: usize,
+    /// Standby leakage, µA.
+    pub standby_ua: f64,
+    /// Active leakage, µA.
+    pub active_ua: f64,
+}
+
+impl Table1Summary {
+    /// Digests a measured row.
+    pub fn from_row(row: &Table1Row) -> Self {
+        let mut corners = Vec::new();
+        for (r, tech) in row.results.iter().zip(["Dual-Vth", "Con.-SMT", "Imp.-SMT"]) {
+            for c in &r.corner_signoff {
+                corners.push(CornerSummary {
+                    technique: tech.to_owned(),
+                    corner: c.corner.name.clone(),
+                    wns_ps: c.wns.ps(),
+                    hold_violations: c.hold_violations,
+                    standby_ua: c.standby_leakage.ua(),
+                    active_ua: c.active_leakage.ua(),
+                });
+            }
+        }
+        Table1Summary {
+            name: row.name.to_owned(),
+            area_ratios: row.area_ratios(),
+            leakage_ratios: row.leakage_ratios(),
+            corners,
+        }
+    }
+}
+
+/// Digests every measured row (see [`Table1Summary`]).
+pub fn summarize_table1(rows: &[Table1Row]) -> Vec<Table1Summary> {
+    rows.iter().map(Table1Summary::from_row).collect()
+}
+
 /// Renders measured rows side by side with the paper's numbers.
 pub fn render_table1(rows: &[Table1Row]) -> Table {
+    render_table1_summaries(&summarize_table1(rows))
+}
+
+/// [`render_table1`] on pre-digested summaries.
+pub fn render_table1_summaries(rows: &[Table1Summary]) -> Table {
     let mut t = Table::new(
         "Table 1: comparison of three techniques (measured vs paper)",
         &[
@@ -145,10 +213,10 @@ pub fn render_table1(rows: &[Table1Row]) -> Table {
         ],
     );
     for (ci, row) in rows.iter().enumerate() {
-        let a = row.area_ratios();
-        let l = row.leakage_ratios();
+        let a = row.area_ratios;
+        let l = row.leakage_ratios;
         t.row_owned(vec![
-            row.name.to_owned(),
+            row.name.clone(),
             "Area".to_owned(),
             percent(a[0]),
             percent(a[1]),
@@ -157,7 +225,7 @@ pub fn render_table1(rows: &[Table1Row]) -> Table {
             percent(PAPER_TABLE1_AREA[ci][2]),
         ]);
         t.row_owned(vec![
-            row.name.to_owned(),
+            row.name.clone(),
             "Leakage".to_owned(),
             percent(l[0]),
             percent(l[1]),
@@ -210,6 +278,11 @@ pub fn check_table1_shape(rows: &[Table1Row]) -> Vec<String> {
 /// Renders the per-corner signoff rows of every technique: circuit x
 /// technique x corner, with WNS, hold count and leakage at that corner.
 pub fn render_corner_table(rows: &[Table1Row]) -> Table {
+    render_corner_summaries(&summarize_table1(rows))
+}
+
+/// [`render_corner_table`] on pre-digested summaries.
+pub fn render_corner_summaries(rows: &[Table1Summary]) -> Table {
     let mut t = Table::new(
         "Per-corner signoff (leakage / WNS at each PVT corner)",
         &[
@@ -223,18 +296,16 @@ pub fn render_corner_table(rows: &[Table1Row]) -> Table {
         ],
     );
     for row in rows {
-        for (r, tech) in row.results.iter().zip(["Dual-Vth", "Con.-SMT", "Imp.-SMT"]) {
-            for c in &r.corner_signoff {
-                t.row_owned(vec![
-                    row.name.to_owned(),
-                    tech.to_owned(),
-                    c.corner.name.clone(),
-                    format!("{:.1}", c.wns.ps()),
-                    c.hold_violations.to_string(),
-                    format!("{:.6}", c.standby_leakage.ua()),
-                    format!("{:.6}", c.active_leakage.ua()),
-                ]);
-            }
+        for c in &row.corners {
+            t.row_owned(vec![
+                row.name.clone(),
+                c.technique.clone(),
+                c.corner.clone(),
+                format!("{:.1}", c.wns_ps),
+                c.hold_violations.to_string(),
+                format!("{:.6}", c.standby_ua),
+                format!("{:.6}", c.active_ua),
+            ]);
         }
     }
     t

@@ -1,0 +1,86 @@
+//! Golden snapshot of the `table1` report rendering (typical corner).
+//!
+//! The snapshot pins the report *format* — column set, headers, number
+//! formatting, CSV shape — on canned summary values, so accidental
+//! drift in any rendering path the `table1` bin prints is caught in CI
+//! without re-running the (expensive) flows.
+//!
+//! When a format change is intentional, refresh the snapshot with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p smt-bench --test golden_table1
+//! ```
+//!
+//! and commit the updated `tests/golden/table1_typical.txt`.
+
+use smt_bench::{render_corner_summaries, render_table1_summaries, CornerSummary, Table1Summary};
+
+/// Fixed, hand-picked values in the ballpark of a real typical-corner
+/// run — stable by construction, so only *format* changes can move the
+/// snapshot.
+fn canned_rows() -> Vec<Table1Summary> {
+    let corners = |standby: [f64; 3], active: [f64; 3], wns: [f64; 3]| {
+        ["Dual-Vth", "Con.-SMT", "Imp.-SMT"]
+            .iter()
+            .enumerate()
+            .map(|(i, tech)| CornerSummary {
+                technique: (*tech).to_owned(),
+                corner: "typ".to_owned(),
+                wns_ps: wns[i],
+                hold_violations: 0,
+                standby_ua: standby[i],
+                active_ua: active[i],
+            })
+            .collect::<Vec<_>>()
+    };
+    vec![
+        Table1Summary {
+            name: "A".to_owned(),
+            area_ratios: [1.0, 1.6102, 1.3048],
+            leakage_ratios: [1.0, 0.1511, 0.0987],
+            corners: corners(
+                [5.1234, 0.7741, 0.5058],
+                [48.1102, 49.0233, 49.5118],
+                [101.2, 55.0, 42.7],
+            ),
+        },
+        Table1Summary {
+            name: "B".to_owned(),
+            area_ratios: [1.0, 1.4381, 1.1722],
+            leakage_ratios: [1.0, 0.2013, 0.1305],
+            corners: corners(
+                [2.2310, 0.4491, 0.2912],
+                [21.0450, 21.8890, 22.1034],
+                [210.8, 160.3, 121.9],
+            ),
+        },
+    ]
+}
+
+fn rendered() -> String {
+    let rows = canned_rows();
+    let main = render_table1_summaries(&rows);
+    let corners = render_corner_summaries(&rows);
+    format!("{main}\nCSV:\n{}\n{corners}", main.to_csv())
+}
+
+#[test]
+fn table1_report_format_matches_golden() {
+    let got = rendered();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/table1_typical.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        eprintln!("golden refreshed: {path}");
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — create it with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "table1 report format drifted from the golden snapshot; if the \
+         change is intentional, refresh with:\n  UPDATE_GOLDEN=1 cargo test \
+         -p smt-bench --test golden_table1"
+    );
+}

@@ -1,0 +1,889 @@
+//! Parameterized design-family generators for the workload suite.
+//!
+//! Where [`crate::rtl`] holds the paper's two hand-written benchmark
+//! substitutes and [`crate::gen`] a single random-logic stressor, this
+//! module generates *families* of structured designs at any scale — the
+//! corpus every flow-wide performance or correctness change is validated
+//! against:
+//!
+//! * [`pipeline`] — an N-stage registered datapath: each stage ripple-adds
+//!   the previous register rank to a rotated copy of itself and XOR-mixes
+//!   the result before the next rank (deep carry chains, regular
+//!   FF-to-FF paths);
+//! * [`multiplier`] — a schoolbook array multiplier with a registered
+//!   product (the classic adder-tree workload: quadratic gate count,
+//!   long critical path);
+//! * [`fsm_bank`] — many small independent state machines over shared
+//!   inputs (control-dominated, slack-rich, lots of near-critical
+//!   short paths);
+//! * [`fanout_blocks`] — enable-gated register banks behind buffer trees
+//!   (a clock-gating stand-in: few very-high-fanout enable nets, wide
+//!   shallow logic).
+//!
+//! All generators are deterministic per seed (via
+//! [`smt_base::rng::SplitMix64`]), emit lint-clean acyclic netlists on
+//! the library's low-Vth cells (high-Vth FFs, matching the technology
+//! mapper), validate their configuration and return [`GenError`] instead
+//! of panicking, and scale past 50k gates — see
+//! [`standard_suite`] for the curated parameterizations the `suite`
+//! batch driver runs.
+
+use crate::gen::{random_logic, GenError, RandomLogicConfig};
+use smt_base::rng::SplitMix64;
+use smt_cells::library::Library;
+use smt_netlist::netlist::{NetId, Netlist};
+
+// ---------------------------------------------------------------------------
+// Shared construction helper
+// ---------------------------------------------------------------------------
+
+/// Thin netlist-construction helper: fresh names, pin wiring by cell base
+/// name, full/half adders — shared by every family below.
+struct Builder<'a> {
+    lib: &'a Library,
+    n: Netlist,
+    clk: NetId,
+    counter: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(name: &str, lib: &'a Library) -> Self {
+        let mut n = Netlist::new(name);
+        let clk = n.add_clock("clk");
+        Builder {
+            lib,
+            n,
+            clk,
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.counter += 1;
+        self.counter
+    }
+
+    /// Emits a gate of `base` kind (e.g. `"ND2"`) on X1 low-Vth, wiring
+    /// `ins` to the logic input pins in order; returns the output net.
+    fn gate(&mut self, base: &str, ins: &[NetId]) -> NetId {
+        let cell = self
+            .lib
+            .find_id(&format!("{base}_X1_L"))
+            .unwrap_or_else(|| panic!("library lacks {base}_X1_L"));
+        let spec = self.lib.cell(cell);
+        let k = self.fresh();
+        let out = self.n.add_net(&format!("w{k}"));
+        let inst = self.n.add_instance(&format!("u{k}"), cell, self.lib);
+        let pins = spec.logic_input_pins();
+        assert_eq!(pins.len(), ins.len(), "{base} arity");
+        for (pin, net) in pins.into_iter().zip(ins) {
+            self.n.connect(inst, pin, *net).expect("input connect");
+        }
+        let z = spec.output_pin().expect("logic output");
+        self.n.connect(inst, z, out).expect("output connect");
+        out
+    }
+
+    /// A rising-edge D flip-flop (high-Vth, as the mapper emits); returns
+    /// its Q net.
+    fn dff(&mut self, d: NetId) -> NetId {
+        self.dff_inst(d).1
+    }
+
+    /// Like [`Builder::dff`], also returning the instance so callers can
+    /// re-bind `D` once later logic (that reads this Q) exists.
+    fn dff_inst(&mut self, d: NetId) -> (smt_netlist::netlist::InstId, NetId) {
+        let cell = self.lib.find_id("DFF_X1_H").expect("library has DFF_X1_H");
+        let k = self.fresh();
+        let q = self.n.add_net(&format!("q{k}"));
+        let inst = self.n.add_instance(&format!("ff{k}"), cell, self.lib);
+        self.n.connect_by_name(inst, "D", d, self.lib).expect("D");
+        self.n
+            .connect_by_name(inst, "CK", self.clk, self.lib)
+            .expect("CK");
+        self.n.connect_by_name(inst, "Q", q, self.lib).expect("Q");
+        (inst, q)
+    }
+
+    /// `MUX2`: `S ? b : a`.
+    fn mux(&mut self, a: NetId, b: NetId, s: NetId) -> NetId {
+        let cell = self.lib.find_id("MUX2_X1_L").expect("MUX2");
+        let k = self.fresh();
+        let out = self.n.add_net(&format!("w{k}"));
+        let inst = self.n.add_instance(&format!("u{k}"), cell, self.lib);
+        for (pin, net) in [("A", a), ("B", b), ("S", s), ("Z", out)] {
+            self.n
+                .connect_by_name(inst, pin, net, self.lib)
+                .expect("mux pin");
+        }
+        out
+    }
+
+    /// Full adder from library gates: `sum = a ^ b ^ cin`,
+    /// `cout = maj(a, b, cin)` as a NAND3 of three NAND2s.
+    fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.gate("XOR2", &[a, b]);
+        let sum = self.gate("XOR2", &[axb, cin]);
+        let n1 = self.gate("ND2", &[a, b]);
+        let n2 = self.gate("ND2", &[a, cin]);
+        let n3 = self.gate("ND2", &[b, cin]);
+        let cout = self.gate("ND3", &[n1, n2, n3]);
+        (sum, cout)
+    }
+
+    /// Half adder: `sum = a ^ b`, `cout = a & b`.
+    fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.gate("XOR2", &[a, b]);
+        let cout = self.gate("AN2", &[a, b]);
+        (sum, cout)
+    }
+
+    /// Exposes any remaining driven-but-unloaded net as a primary output
+    /// so nothing dangles, then returns the netlist.
+    fn finish(mut self) -> Netlist {
+        let unloaded: Vec<NetId> = self
+            .n
+            .nets()
+            .filter(|(_, net)| {
+                net.driver.is_some() && net.loads.is_empty() && net.port_loads.is_empty()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for (i, net) in unloaded.into_iter().enumerate() {
+            self.n.expose_output(&format!("spill{i}"), net);
+        }
+        self.n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined datapath
+// ---------------------------------------------------------------------------
+
+/// Options for [`pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Pipeline depth (register ranks after the input rank).
+    pub stages: usize,
+    /// Datapath width in bits.
+    pub width: usize,
+    /// RNG seed (drives the per-stage rotation amounts).
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            stages: 4,
+            width: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates an N-stage pipelined datapath: rank₀ registers the primary
+/// inputs; every later stage ripple-adds the previous rank to a
+/// seeded rotation of itself, XOR-mixes the carry back in, and registers
+/// the result. Roughly `stages × width × 7` gates plus
+/// `(stages + 1) × width` flip-flops.
+///
+/// # Errors
+///
+/// [`GenError`] when `stages == 0` or `width < 2`.
+pub fn pipeline(lib: &Library, config: &PipelineConfig) -> Result<Netlist, GenError> {
+    if config.stages == 0 {
+        return Err(GenError::new("pipeline", "`stages` must be at least 1"));
+    }
+    if config.width < 2 {
+        return Err(GenError::new("pipeline", "`width` must be at least 2"));
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    let mut b = Builder::new(
+        &format!("pipeline_s{}_w{}", config.stages, config.width),
+        lib,
+    );
+    let w = config.width;
+
+    // Rank 0 registers the inputs.
+    let mut rank: Vec<NetId> = (0..w)
+        .map(|i| {
+            let input = b.n.add_input(&format!("in{i}"));
+            b.dff(input)
+        })
+        .collect();
+
+    for _stage in 0..config.stages {
+        let rot = 1 + rng.next_below(w - 1);
+        // rank + (rank rotated by `rot`), ripple carry.
+        let mut carry: Option<NetId> = None;
+        let mut sum = Vec::with_capacity(w);
+        for i in 0..w {
+            let x = rank[i];
+            let y = rank[(i + rot) % w];
+            let (s, co) = match carry {
+                Some(c) => b.full_adder(x, y, c),
+                None => b.half_adder(x, y),
+            };
+            sum.push(s);
+            carry = Some(co);
+        }
+        // Fold the carry-out back into bit 0 so it is consumed, then
+        // register the mixed result as the next rank.
+        let carry = carry.expect("width >= 2 produced a carry");
+        sum[0] = b.gate("XOR2", &[sum[0], carry]);
+        rank = sum.into_iter().map(|s| b.dff(s)).collect();
+    }
+
+    for (i, q) in rank.iter().enumerate() {
+        b.n.expose_output(&format!("out{i}"), *q);
+    }
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Array multiplier
+// ---------------------------------------------------------------------------
+
+/// Options for [`multiplier`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplierConfig {
+    /// Operand width in bits (the product is `2 × width` bits). Gate
+    /// count grows quadratically: ~`7 × width²`.
+    pub width: usize,
+}
+
+impl Default for MultiplierConfig {
+    fn default() -> Self {
+        MultiplierConfig { width: 8 }
+    }
+}
+
+/// Generates a schoolbook array multiplier `p = a × b` with the product
+/// registered (structure is fully determined by `width`; there is no
+/// random choice to seed). The partial-product AND plane plus the
+/// row-by-row ripple reduction give ~`7 × width²` gates and the classic
+/// long add-chain critical path.
+///
+/// # Errors
+///
+/// [`GenError`] when `width < 2`.
+pub fn multiplier(lib: &Library, config: &MultiplierConfig) -> Result<Netlist, GenError> {
+    let w = config.width;
+    if w < 2 {
+        return Err(GenError::new("multiplier", "`width` must be at least 2"));
+    }
+    let mut b = Builder::new(&format!("multiplier_w{w}"), lib);
+    let a: Vec<NetId> = (0..w).map(|i| b.n.add_input(&format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..w).map(|i| b.n.add_input(&format!("b{i}"))).collect();
+
+    // Partial-product plane.
+    let pp: Vec<Vec<NetId>> = (0..w)
+        .map(|i| (0..w).map(|j| b.gate("AN2", &[a[j], bb[i]])).collect())
+        .collect();
+
+    // Row-by-row reduction: `acc` holds the running sum bits of weight
+    // `i ..`; each row adds its partial products one weight higher.
+    let mut prod: Vec<NetId> = Vec::with_capacity(2 * w);
+    let mut acc: Vec<NetId> = pp[0].clone();
+    prod.push(acc[0]);
+    for row in pp.iter().skip(1) {
+        let mut carry: Option<NetId> = None;
+        let mut next: Vec<NetId> = Vec::with_capacity(w + 1);
+        for (j, &x) in row.iter().enumerate() {
+            let y = acc.get(j + 1).copied();
+            let (s, co) = match (y, carry) {
+                (Some(y), Some(c)) => {
+                    let (s, co) = b.full_adder(x, y, c);
+                    (s, Some(co))
+                }
+                (Some(y), None) => {
+                    let (s, co) = b.half_adder(x, y);
+                    (s, Some(co))
+                }
+                (None, Some(c)) => {
+                    let (s, co) = b.half_adder(x, c);
+                    (s, Some(co))
+                }
+                (None, None) => (x, None),
+            };
+            next.push(s);
+            carry = co;
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        prod.push(next[0]);
+        acc = next;
+    }
+    prod.extend(acc.into_iter().skip(1));
+
+    // Register the product and expose it.
+    for (i, bit) in prod.into_iter().enumerate() {
+        let q = b.dff(bit);
+        b.n.expose_output(&format!("p{i}"), q);
+    }
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// FSM bank
+// ---------------------------------------------------------------------------
+
+/// Options for [`fsm_bank`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmBankConfig {
+    /// Number of independent state machines.
+    pub machines: usize,
+    /// State bits per machine.
+    pub state_bits: usize,
+    /// Shared primary inputs the machines sample.
+    pub inputs: usize,
+    /// RNG seed (drives each bit's next-state cone).
+    pub seed: u64,
+}
+
+impl Default for FsmBankConfig {
+    fn default() -> Self {
+        FsmBankConfig {
+            machines: 8,
+            state_bits: 6,
+            inputs: 8,
+            seed: 2,
+        }
+    }
+}
+
+/// Generates a bank of independent state machines over shared inputs.
+/// Each state bit's next-state function is a seeded two-level cone over
+/// the machine's own state and the shared inputs, XOR-folded with the
+/// bit itself (so every bit toggles); each machine exposes the parity of
+/// its state as an output. Control-flavoured: many short, slack-rich
+/// register-to-register paths. Roughly `machines × state_bits × 4`
+/// gates.
+///
+/// # Errors
+///
+/// [`GenError`] when any dimension is degenerate (`machines == 0`,
+/// `state_bits < 2`, `inputs == 0`).
+pub fn fsm_bank(lib: &Library, config: &FsmBankConfig) -> Result<Netlist, GenError> {
+    if config.machines == 0 {
+        return Err(GenError::new("fsm_bank", "`machines` must be at least 1"));
+    }
+    if config.state_bits < 2 {
+        return Err(GenError::new("fsm_bank", "`state_bits` must be at least 2"));
+    }
+    if config.inputs == 0 {
+        return Err(GenError::new("fsm_bank", "`inputs` must be at least 1"));
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    let mut b = Builder::new(
+        &format!("fsm_bank_m{}_s{}", config.machines, config.state_bits),
+        lib,
+    );
+    let ins: Vec<NetId> = (0..config.inputs)
+        .map(|i| b.n.add_input(&format!("in{i}")))
+        .collect();
+    let ops = ["ND2", "NR2", "AN2", "OR2", "XOR2", "XNR2"];
+
+    for m in 0..config.machines {
+        // The state rank first (Ds placeholder-bound to a shared input),
+        // so every bit's next-state cone can sample the whole rank; then
+        // each D is re-bound to its cone.
+        let rank: Vec<(smt_netlist::netlist::InstId, NetId)> = (0..config.state_bits)
+            .map(|_| {
+                let placeholder = ins[rng.next_below(ins.len())];
+                b.dff_inst(placeholder)
+            })
+            .collect();
+        let q: Vec<NetId> = rank.iter().map(|(_, q)| *q).collect();
+        for (ff, qn) in &rank {
+            let pick = |rng: &mut SplitMix64| {
+                if rng.chance(0.5) {
+                    q[rng.next_below(q.len())]
+                } else {
+                    ins[rng.next_below(ins.len())]
+                }
+            };
+            let s1 = pick(&mut rng);
+            let s2 = pick(&mut rng);
+            let s3 = pick(&mut rng);
+            let t1 = b.gate(ops[rng.next_below(ops.len())], &[s1, s2]);
+            let t2 = b.gate(ops[rng.next_below(ops.len())], &[t1, s3]);
+            let d = b.gate("XOR2", &[t2, *qn]);
+            // Re-bind the FF's D pin from the placeholder to the cone.
+            b.n.connect_by_name(*ff, "D", d, lib).expect("rebind D");
+        }
+        // Output: parity of the machine's state.
+        let mut parity = q[0];
+        for qn in q.iter().skip(1) {
+            parity = b.gate("XOR2", &[parity, *qn]);
+        }
+        b.n.expose_output(&format!("fsm{m}_parity"), parity);
+    }
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Fanout-heavy enable-gated blocks
+// ---------------------------------------------------------------------------
+
+/// Options for [`fanout_blocks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutConfig {
+    /// Number of independently enabled register blocks.
+    pub blocks: usize,
+    /// Registers per block (each behind the block's shared enable).
+    pub regs_per_block: usize,
+    /// Fanout cap per buffer-tree node before another level is added.
+    pub max_fanout: usize,
+    /// RNG seed (drives the data-scramble taps).
+    pub seed: u64,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        FanoutConfig {
+            blocks: 8,
+            regs_per_block: 32,
+            max_fanout: 8,
+            seed: 3,
+        }
+    }
+}
+
+/// Generates enable-gated register banks — the clock-gating stand-in of
+/// the suite. Each block computes an enable from shared controls and
+/// fans it out through an explicit `BUF` tree to `regs_per_block`
+/// recirculating-mux registers (`d = en ? scramble : q`), producing the
+/// few-very-wide-nets profile that stresses buffering, placement and the
+/// per-sink timing tables. Roughly `blocks × regs_per_block × 2` gates
+/// plus the buffer trees.
+///
+/// # Errors
+///
+/// [`GenError`] when `blocks == 0`, `regs_per_block == 0` or
+/// `max_fanout < 2`.
+pub fn fanout_blocks(lib: &Library, config: &FanoutConfig) -> Result<Netlist, GenError> {
+    if config.blocks == 0 {
+        return Err(GenError::new(
+            "fanout_blocks",
+            "`blocks` must be at least 1",
+        ));
+    }
+    if config.regs_per_block == 0 {
+        return Err(GenError::new(
+            "fanout_blocks",
+            "`regs_per_block` must be at least 1",
+        ));
+    }
+    if config.max_fanout < 2 {
+        return Err(GenError::new(
+            "fanout_blocks",
+            "`max_fanout` must be at least 2",
+        ));
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    let mut b = Builder::new(
+        &format!("fanout_b{}_r{}", config.blocks, config.regs_per_block),
+        lib,
+    );
+    let ctrl: Vec<NetId> = (0..4).map(|i| b.n.add_input(&format!("ctl{i}"))).collect();
+    let data: Vec<NetId> = (0..8).map(|i| b.n.add_input(&format!("dat{i}"))).collect();
+
+    for blk in 0..config.blocks {
+        // Enable cone over the shared controls.
+        let c0 = ctrl[blk % ctrl.len()];
+        let c1 = ctrl[(blk + 1) % ctrl.len()];
+        let c2 = ctrl[(blk + 2) % ctrl.len()];
+        let en = b.gate("AOI21", &[c0, c1, c2]);
+        // Buffer tree: split the enable until every leaf feeds at most
+        // `max_fanout` registers.
+        let mut leaves = vec![en];
+        while leaves.len() * config.max_fanout < config.regs_per_block {
+            leaves = leaves
+                .iter()
+                .flat_map(|&src| {
+                    let l = b.gate("BUF", &[src]);
+                    let r = b.gate("BUF", &[src]);
+                    [l, r]
+                })
+                .collect();
+        }
+        // Enable-gated registers: d = en ? (q ^ tap) : q.
+        let mut prev_q: Option<NetId> = None;
+        for r in 0..config.regs_per_block {
+            let leaf = leaves[r / config.max_fanout % leaves.len()];
+            // Placeholder D: the data tap; rebound once Q exists.
+            let tap = match prev_q {
+                Some(q) if rng.chance(0.5) => q,
+                _ => data[rng.next_below(data.len())],
+            };
+            let (ff, q) = b.dff_inst(tap);
+            let scr = b.gate("XOR2", &[q, tap]);
+            let d = b.mux(q, scr, leaf);
+            b.n.connect_by_name(ff, "D", d, lib).expect("rebind D");
+            prev_q = Some(q);
+        }
+        // Expose the block's last register.
+        if let Some(q) = prev_q {
+            b.n.expose_output(&format!("blk{blk}_q"), q);
+        }
+    }
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// The unified family surface
+// ---------------------------------------------------------------------------
+
+/// One family's configuration, unified so suites can be described as
+/// plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyConfig {
+    /// [`pipeline`].
+    Pipeline(PipelineConfig),
+    /// [`multiplier`].
+    Multiplier(MultiplierConfig),
+    /// [`fsm_bank`].
+    FsmBank(FsmBankConfig),
+    /// [`fanout_blocks`].
+    FanoutBlocks(FanoutConfig),
+    /// [`random_logic`].
+    RandomLogic(RandomLogicConfig),
+}
+
+impl FamilyConfig {
+    /// The family's stable name (used in reports and workload labels).
+    pub fn family(&self) -> &'static str {
+        match self {
+            FamilyConfig::Pipeline(_) => "pipeline",
+            FamilyConfig::Multiplier(_) => "multiplier",
+            FamilyConfig::FsmBank(_) => "fsm_bank",
+            FamilyConfig::FanoutBlocks(_) => "fanout_blocks",
+            FamilyConfig::RandomLogic(_) => "random_logic",
+        }
+    }
+}
+
+/// Generates the configured family.
+///
+/// # Errors
+///
+/// The underlying generator's [`GenError`] on invalid configurations.
+pub fn generate(lib: &Library, config: &FamilyConfig) -> Result<Netlist, GenError> {
+    match config {
+        FamilyConfig::Pipeline(c) => pipeline(lib, c),
+        FamilyConfig::Multiplier(c) => multiplier(lib, c),
+        FamilyConfig::FsmBank(c) => fsm_bank(lib, c),
+        FamilyConfig::FanoutBlocks(c) => fanout_blocks(lib, c),
+        FamilyConfig::RandomLogic(c) => random_logic(lib, c),
+    }
+}
+
+/// A named workload: one design the suite runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Report label.
+    pub name: String,
+    /// The design's generator configuration.
+    pub config: FamilyConfig,
+}
+
+impl Workload {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, config: FamilyConfig) -> Self {
+        Workload {
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// How big a [`standard_suite`] to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// A few hundred gates per design — CI smoke runs and equivalence
+    /// tests.
+    Smoke,
+    /// Thousands of gates per design — local benchmarking.
+    Standard,
+    /// Headlined by a ≥50k-gate pipeline and a ~55k-gate multiplier —
+    /// the scale the ROADMAP north star asks perf work to be measured
+    /// at.
+    Large,
+}
+
+/// The curated one-design-per-family suites the `suite` bin and the CI
+/// smoke step run. Every family appears at every scale; seeds are fixed
+/// so runs are reproducible.
+pub fn standard_suite(scale: SuiteScale) -> Vec<Workload> {
+    use FamilyConfig as F;
+    let (pipe, mult, fsm, fan, rand) = match scale {
+        SuiteScale::Smoke => (
+            PipelineConfig {
+                stages: 2,
+                width: 8,
+                seed: 11,
+            },
+            MultiplierConfig { width: 6 },
+            FsmBankConfig {
+                machines: 4,
+                state_bits: 4,
+                inputs: 6,
+                seed: 12,
+            },
+            FanoutConfig {
+                blocks: 4,
+                regs_per_block: 12,
+                max_fanout: 6,
+                seed: 13,
+            },
+            RandomLogicConfig {
+                gates: 300,
+                ffs: 16,
+                inputs: 12,
+                window: 48,
+                seed: 14,
+            },
+        ),
+        SuiteScale::Standard => (
+            PipelineConfig {
+                stages: 8,
+                width: 32,
+                seed: 21,
+            },
+            MultiplierConfig { width: 24 },
+            FsmBankConfig {
+                machines: 16,
+                state_bits: 8,
+                inputs: 12,
+                seed: 22,
+            },
+            FanoutConfig {
+                blocks: 16,
+                regs_per_block: 48,
+                max_fanout: 8,
+                seed: 23,
+            },
+            RandomLogicConfig {
+                gates: 5000,
+                ffs: 128,
+                inputs: 32,
+                window: 96,
+                seed: 24,
+            },
+        ),
+        SuiteScale::Large => (
+            PipelineConfig {
+                stages: 96,
+                width: 80,
+                seed: 31,
+            },
+            MultiplierConfig { width: 90 },
+            FsmBankConfig {
+                machines: 48,
+                state_bits: 12,
+                inputs: 16,
+                seed: 32,
+            },
+            FanoutConfig {
+                blocks: 48,
+                regs_per_block: 96,
+                max_fanout: 8,
+                seed: 33,
+            },
+            RandomLogicConfig {
+                gates: 20000,
+                ffs: 512,
+                inputs: 64,
+                window: 128,
+                seed: 34,
+            },
+        ),
+    };
+    vec![
+        Workload::new(
+            format!("pipeline_s{}_w{}", pipe.stages, pipe.width),
+            F::Pipeline(pipe.clone()),
+        ),
+        Workload::new(format!("multiplier_w{}", mult.width), F::Multiplier(mult)),
+        Workload::new(
+            format!("fsm_bank_m{}_s{}", fsm.machines, fsm.state_bits),
+            F::FsmBank(fsm),
+        ),
+        Workload::new(
+            format!("fanout_b{}_r{}", fan.blocks, fan.regs_per_block),
+            F::FanoutBlocks(fan),
+        ),
+        Workload::new(format!("random_{}", rand.gates), F::RandomLogic(rand)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::graph::topo_order;
+    use smt_sim::{Simulator, Value};
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    #[test]
+    fn every_family_is_clean_acyclic_and_deterministic() {
+        let l = lib();
+        for w in standard_suite(SuiteScale::Smoke) {
+            let a = generate(&l, &w.config).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let b = generate(&l, &w.config).unwrap();
+            let issues = lint(&a, &l, LintConfig::default());
+            assert!(is_clean(&issues), "{}: {issues:?}", w.name);
+            assert!(topo_order(&a, &l).is_ok(), "{}: cyclic", w.name);
+            // Determinism: identical structure, instance by instance.
+            assert_eq!(a.num_instances(), b.num_instances(), "{}", w.name);
+            assert_eq!(a.num_nets(), b.num_nets(), "{}", w.name);
+            for (id, inst) in a.instances() {
+                assert_eq!(inst, b.inst(id), "{}: instance {id}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_scales_are_ordered() {
+        let l = lib();
+        for (smoke, std) in standard_suite(SuiteScale::Smoke)
+            .iter()
+            .zip(standard_suite(SuiteScale::Standard))
+        {
+            let a = generate(&l, &smoke.config).unwrap();
+            let b = generate(&l, &std.config).unwrap();
+            assert!(
+                a.num_instances() < b.num_instances(),
+                "{}: smoke {} !< standard {}",
+                smoke.name,
+                a.num_instances(),
+                b.num_instances()
+            );
+        }
+    }
+
+    #[test]
+    fn large_pipeline_exceeds_50k_gates() {
+        let l = lib();
+        let pipe = &standard_suite(SuiteScale::Large)[0];
+        let n = generate(&l, &pipe.config).unwrap();
+        assert!(
+            n.num_instances() >= 50_000,
+            "large pipeline has {} cells",
+            n.num_instances()
+        );
+        assert!(topo_order(&n, &l).is_ok());
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        // Functional spot check: drive a × b, clock once, read p.
+        let l = lib();
+        let n = multiplier(&l, &MultiplierConfig { width: 4 }).unwrap();
+        let mut sim = Simulator::new(&n, &l).unwrap();
+        for (id, inst) in n.instances() {
+            if l.cell(inst.cell).is_sequential() {
+                sim.set_ff_state(id, Value::Zero);
+            }
+        }
+        for (av, bv) in [(3u32, 5u32), (7, 9), (15, 15), (0, 12), (1, 1)] {
+            for i in 0..4 {
+                let a = n.find_net(&format!("a{i}")).unwrap();
+                let b = n.find_net(&format!("b{i}")).unwrap();
+                sim.set_input(a, Value::from_bool(av >> i & 1 == 1));
+                sim.set_input(b, Value::from_bool(bv >> i & 1 == 1));
+            }
+            sim.propagate(&n, &l);
+            sim.clock_edge(&n, &l);
+            let mut p = 0u32;
+            for i in 0..8 {
+                let port = n
+                    .ports()
+                    .find(|(_, pt)| pt.name == format!("p{i}"))
+                    .unwrap()
+                    .1
+                    .net;
+                if sim.value(port) == Value::One {
+                    p |= 1 << i;
+                }
+            }
+            assert_eq!(p, av * bv, "{av} * {bv}");
+        }
+    }
+
+    #[test]
+    fn fanout_blocks_have_wide_nets() {
+        let l = lib();
+        let n = fanout_blocks(
+            &l,
+            &FanoutConfig {
+                blocks: 2,
+                regs_per_block: 32,
+                max_fanout: 8,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let widest = n.nets().map(|(_, net)| net.loads.len()).max().unwrap();
+        assert!(widest >= 6, "widest net only {widest} loads");
+    }
+
+    #[test]
+    fn invalid_configs_error_not_panic() {
+        let l = lib();
+        assert!(pipeline(
+            &l,
+            &PipelineConfig {
+                stages: 0,
+                ..PipelineConfig::default()
+            }
+        )
+        .is_err());
+        assert!(pipeline(
+            &l,
+            &PipelineConfig {
+                width: 1,
+                ..PipelineConfig::default()
+            }
+        )
+        .is_err());
+        assert!(multiplier(&l, &MultiplierConfig { width: 1 }).is_err());
+        assert!(fsm_bank(
+            &l,
+            &FsmBankConfig {
+                machines: 0,
+                ..FsmBankConfig::default()
+            }
+        )
+        .is_err());
+        assert!(fsm_bank(
+            &l,
+            &FsmBankConfig {
+                state_bits: 1,
+                ..FsmBankConfig::default()
+            }
+        )
+        .is_err());
+        assert!(fanout_blocks(
+            &l,
+            &FanoutConfig {
+                blocks: 0,
+                ..FanoutConfig::default()
+            }
+        )
+        .is_err());
+        assert!(fanout_blocks(
+            &l,
+            &FanoutConfig {
+                max_fanout: 1,
+                ..FanoutConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

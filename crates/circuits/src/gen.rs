@@ -1,9 +1,38 @@
 //! Seeded random-logic netlist generation (direct gate instantiation, no
-//! RTL round-trip) for placer/router/STA stress tests and property tests.
+//! RTL round-trip) for placer/router/STA stress tests and property tests,
+//! plus [`GenError`], the config-validation error shared by every
+//! generator in this crate (see also [`crate::families`]).
 
 use smt_base::rng::SplitMix64;
 use smt_cells::library::Library;
 use smt_netlist::netlist::{NetId, Netlist};
+use std::fmt;
+
+/// A generator rejected its configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenError {
+    /// Which generator complained.
+    pub generator: &'static str,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl GenError {
+    pub(crate) fn new(generator: &'static str, message: impl Into<String>) -> Self {
+        GenError {
+            generator,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} generator: {}", self.generator, self.message)
+    }
+}
+
+impl std::error::Error for GenError {}
 
 /// Options for the random generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,13 +68,30 @@ impl Default for RandomLogicConfig {
 /// inputs from recent nets (topologically earlier, so no combinational
 /// cycles); FF `D` pins and primary outputs consume the final nets so
 /// nothing dangles.
-pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Netlist {
+///
+/// # Errors
+///
+/// [`GenError`] when the configuration is degenerate: zero gates (an
+/// empty circuit), zero inputs (nothing to seed the net pool and no
+/// stimulus for equivalence checking), or a zero locality window (no
+/// candidate fanin set).
+pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Result<Netlist, GenError> {
+    let invalid = |message: &str| Err(GenError::new("random_logic", message));
+    if config.gates == 0 {
+        return invalid("`gates` must be at least 1");
+    }
+    if config.inputs == 0 {
+        return invalid("`inputs` must be at least 1");
+    }
+    if config.window == 0 {
+        return invalid("`window` must be at least 1");
+    }
     let mut rng = SplitMix64::new(config.seed);
     let mut n = Netlist::new("random_logic");
     let clk = n.add_clock("clk");
 
     let mut pool: Vec<NetId> = Vec::new();
-    for i in 0..config.inputs.max(1) {
+    for i in 0..config.inputs {
         pool.push(n.add_input(&format!("in{i}")));
     }
     // FFs created first so their Q nets join the pool.
@@ -118,7 +164,7 @@ pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Netlist {
     for (i, net) in unloaded.into_iter().enumerate() {
         n.expose_output(&format!("out{i}"), net);
     }
-    n
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -138,7 +184,8 @@ mod tests {
                     seed,
                     ..RandomLogicConfig::default()
                 },
-            );
+            )
+            .unwrap();
             assert!(n.num_instances() >= 300);
             let issues = lint(&n, &lib, LintConfig::default());
             assert!(is_clean(&issues), "seed {seed}: {issues:?}");
@@ -150,9 +197,61 @@ mod tests {
     fn deterministic_per_seed() {
         let lib = Library::industrial_130nm();
         let cfg = RandomLogicConfig::default();
-        let a = random_logic(&lib, &cfg);
-        let b = random_logic(&lib, &cfg);
+        let a = random_logic(&lib, &cfg).unwrap();
+        let b = random_logic(&lib, &cfg).unwrap();
         assert_eq!(a.num_instances(), b.num_instances());
         assert_eq!(a.num_nets(), b.num_nets());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let lib = Library::industrial_130nm();
+        for (cfg, needle) in [
+            (
+                RandomLogicConfig {
+                    gates: 0,
+                    ..RandomLogicConfig::default()
+                },
+                "gates",
+            ),
+            (
+                RandomLogicConfig {
+                    inputs: 0,
+                    ..RandomLogicConfig::default()
+                },
+                "inputs",
+            ),
+            (
+                RandomLogicConfig {
+                    window: 0,
+                    ..RandomLogicConfig::default()
+                },
+                "window",
+            ),
+        ] {
+            let e = random_logic(&lib, &cfg).unwrap_err();
+            assert!(e.message.contains(needle), "{e}");
+            assert_eq!(e.generator, "random_logic");
+        }
+    }
+
+    #[test]
+    fn minimal_valid_config_works() {
+        // The smallest accepted config: 1 gate, 1 input, window 1, no FFs.
+        let lib = Library::industrial_130nm();
+        let n = random_logic(
+            &lib,
+            &RandomLogicConfig {
+                gates: 1,
+                ffs: 0,
+                inputs: 1,
+                window: 1,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(n.num_instances(), 1);
+        let issues = lint(&n, &lib, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
     }
 }

@@ -21,6 +21,7 @@
 //! assert!(a.num_instances() > 800);
 //! ```
 
+pub mod families;
 pub mod figures;
 pub mod gen;
 pub mod rtl;

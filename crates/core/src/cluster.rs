@@ -341,7 +341,8 @@ mod tests {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         to_improved_mt_cells(&mut n, lib);
         insert_output_holders(&mut n, lib);
         let p = place(&n, lib, &PlacerConfig::default());

@@ -172,7 +172,8 @@ mod tests {
                 seed: 41,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         to_improved_mt_cells(&mut n, &lib);
         insert_output_holders(&mut n, &lib);
         let mut p = place(&n, &lib, &PlacerConfig::default());
@@ -234,7 +235,8 @@ mod tests {
     #[test]
     fn no_vgnd_nets_no_reports() {
         let lib = Library::industrial_130nm();
-        let n = random_logic(&lib, &RandomLogicConfig::default());
+        let n =
+            random_logic(&lib, &RandomLogicConfig::default()).expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         assert!(analyze_crosstalk(&n, &lib, &p, &CrosstalkConfig::default()).is_empty());
     }

@@ -753,8 +753,9 @@ pub struct FlowEngine<'a> {
 }
 
 /// Characterises the configured corners against the base library; an
-/// invalid set yields an empty vec (reported at run time).
-fn build_corner_libs(lib: &Library, corners: &CornerSet) -> Vec<CornerLibrary> {
+/// invalid set yields an empty vec (reported at run time). Shared with
+/// the suite batch driver so N designs reuse one characterisation.
+pub(crate) fn build_corner_libs(lib: &Library, corners: &CornerSet) -> Vec<CornerLibrary> {
     if corners.validate().is_err() {
         return Vec::new();
     }

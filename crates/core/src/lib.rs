@@ -18,7 +18,10 @@
 //!   [`engine::FlowEngine`] with observers, checkpoints and parallel
 //!   sweeps;
 //! * [`flow`] — the one-shot `run_flow` compatibility wrappers over the
-//!   engine.
+//!   engine;
+//! * [`suite`] — the workload-suite batch driver: many designs through
+//!   one configuration on the shared worker pool, with per-design
+//!   signoff rows and independent equivalence checks.
 //!
 //! ```no_run
 //! use smt_cells::library::Library;
@@ -45,6 +48,7 @@ pub mod flow;
 pub mod reopt;
 pub mod report;
 pub mod smtgen;
+pub mod suite;
 pub mod verify;
 
 pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
@@ -58,4 +62,5 @@ pub use flow::{
     run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique,
 };
 pub use report::render_signoff;
-pub use verify::{verify, VerifyReport};
+pub use suite::{SuiteOutcome, SuiteReport, SuiteRow, WorkloadSuite};
+pub use verify::{mirror_control_ports, verify, VerifyReport};

@@ -146,7 +146,8 @@ mod tests {
                 seed: 31,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         to_improved_mt_cells(&mut n, &lib);
         insert_output_holders(&mut n, &lib);
         let mut p = place(&n, &lib, &PlacerConfig::default());

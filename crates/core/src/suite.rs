@@ -1,0 +1,465 @@
+//! The workload-suite batch driver: fan a set of designs through the
+//! [`FlowEngine`] on the shared worker pool and collect one report.
+//!
+//! Where [`run_sweep`](crate::engine::run_sweep) fans **one** design
+//! across many configurations, [`WorkloadSuite`] fans **many** designs
+//! through one configuration — the shape of a benchmark-suite run (the
+//! paper's Table 1 writ large) and the harness every future sharding or
+//! caching PR is measured on. Per design it records the flow outcome,
+//! the per-corner [`CornerSignoff`] rows and leakage, and an
+//! *independent* pre- vs post-flow functional-equivalence check (a
+//! different stimulus seed than the flow's internal verification, so a
+//! seed-shaped verification bug cannot hide).
+//!
+//! ```no_run
+//! use smt_cells::library::Library;
+//! use smt_circuits::families::{generate, standard_suite, SuiteScale};
+//! use smt_core::engine::{FlowConfig, Technique};
+//! use smt_core::suite::WorkloadSuite;
+//!
+//! let lib = Library::industrial_130nm();
+//! let mut suite = WorkloadSuite::new(FlowConfig {
+//!     technique: Technique::DualVth,
+//!     ..FlowConfig::default()
+//! });
+//! for w in standard_suite(SuiteScale::Smoke) {
+//!     suite.push(&w.name, generate(&lib, &w.config).unwrap());
+//! }
+//! let report = suite.run(&lib);
+//! assert!(report.all_passed(), "{}", report.render());
+//! ```
+
+use crate::engine::{build_corner_libs, CornerSignoff, FlowConfig, FlowEngine, FlowError};
+use smt_base::par::parallel_map;
+use smt_base::report::Table;
+use smt_base::units::{Area, Current, Time};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{Netlist, VthCensus};
+use smt_sim::check_equivalence;
+use std::time::{Duration, Instant};
+
+/// One design queued in a suite.
+#[derive(Debug, Clone)]
+pub struct SuiteDesign {
+    /// Report label.
+    pub name: String,
+    /// The pre-flow (all-low-Vth) netlist.
+    pub netlist: Netlist,
+}
+
+/// A batch of designs plus the one flow configuration they all run under.
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    designs: Vec<SuiteDesign>,
+    config: FlowConfig,
+    threads: usize,
+    equiv_cycles: usize,
+}
+
+impl WorkloadSuite {
+    /// An empty suite running `config` (the configured corners apply to
+    /// every design; the corner libraries are characterised once and
+    /// shared).
+    pub fn new(config: FlowConfig) -> Self {
+        WorkloadSuite {
+            designs: Vec::new(),
+            config,
+            threads: 0,
+            equiv_cycles: 48,
+        }
+    }
+
+    /// Queues a design.
+    pub fn push(&mut self, name: &str, netlist: Netlist) {
+        self.designs.push(SuiteDesign {
+            name: name.to_owned(),
+            netlist,
+        });
+    }
+
+    /// Caps the worker pool (`0` = one per available core, the default).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Stimulus cycles for the independent equivalence check (`0`
+    /// disables it; default 48).
+    #[must_use]
+    pub fn with_equiv_cycles(mut self, cycles: usize) -> Self {
+        self.equiv_cycles = cycles;
+        self
+    }
+
+    /// Queued designs.
+    pub fn designs(&self) -> &[SuiteDesign] {
+        &self.designs
+    }
+
+    /// Number of queued designs.
+    pub fn len(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.designs.is_empty()
+    }
+
+    /// Runs every design through the flow, one design per worker thread
+    /// on the shared [`parallel_map`] pool, with panics isolated per
+    /// design ([`FlowError::RunPanicked`]). Rows come back in push
+    /// order.
+    pub fn run(&self, lib: &Library) -> SuiteReport {
+        // One corner characterisation for the whole batch.
+        let corner_libs = build_corner_libs(lib, &self.config.corners);
+        let t0 = Instant::now();
+        let rows: Vec<SuiteRow> = parallel_map(&self.designs, self.threads, |design| {
+            let started = Instant::now();
+            // The whole per-design pipeline (flow *and* the equivalence
+            // re-check) runs under one catch_unwind: a panic anywhere in
+            // one design becomes that design's Err row instead of
+            // tearing down the batch.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r = FlowEngine::with_corner_libraries(
+                    lib,
+                    self.config.clone(),
+                    corner_libs.clone(),
+                )
+                .run_netlist(design.netlist.clone())?;
+                // The flow must never change logic: re-check the final
+                // netlist against the *input* netlist under a stimulus
+                // seed unrelated to the flow's own. A check that cannot
+                // even be set up is reported as its own failure kind —
+                // not disguised as a logic divergence.
+                let (equivalent, equiv_error) = if self.equiv_cycles > 0 {
+                    let mut reference = design.netlist.clone();
+                    crate::verify::mirror_control_ports(&mut reference, &r.netlist);
+                    match check_equivalence(
+                        &reference,
+                        &r.netlist,
+                        lib,
+                        self.equiv_cycles,
+                        0xD0E5 ^ self.config.seed,
+                    ) {
+                        Ok(rep) => (Some(rep.is_equivalent()), None),
+                        Err(e) => (Some(false), Some(e.to_string())),
+                    }
+                } else {
+                    (None, None)
+                };
+                Ok(SuiteOutcome {
+                    cells: r.netlist.num_instances(),
+                    area: r.area,
+                    clock_period: r.clock_period,
+                    wns: r.timing.wns,
+                    hold_violations: r.hold_fix.remaining,
+                    standby_leakage: r.standby_leakage,
+                    active_leakage: r.active_leakage,
+                    census: r.census,
+                    verify_passed: r.verify.passed(),
+                    equivalent,
+                    equiv_error,
+                    corner_signoff: r.corner_signoff,
+                })
+            }))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(FlowError::RunPanicked { message })
+            });
+            SuiteRow {
+                name: design.name.clone(),
+                gates_in: design.netlist.num_instances(),
+                elapsed: started.elapsed(),
+                outcome,
+            }
+        });
+        SuiteReport {
+            rows,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+/// What one successful flow run contributed to the report.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Final live cell count.
+    pub cells: usize,
+    /// Final cell area.
+    pub area: Area,
+    /// Chosen clock period.
+    pub clock_period: Time,
+    /// Final setup WNS at the primary corner.
+    pub wns: Time,
+    /// Hold violations remaining after ECO.
+    pub hold_violations: usize,
+    /// Standby leakage (gated-mode snapshot).
+    pub standby_leakage: Current,
+    /// Active-mode leakage.
+    pub active_leakage: Current,
+    /// Final Vth census.
+    pub census: VthCensus,
+    /// The flow's own verification verdict (lint + equivalence +
+    /// standby-float checks).
+    pub verify_passed: bool,
+    /// The suite's independent pre- vs post-flow equivalence check
+    /// (`None` when disabled via
+    /// [`WorkloadSuite::with_equiv_cycles`]`(0)`; `Some(false)` with
+    /// [`SuiteOutcome::equiv_error`] set when the check could not even
+    /// be constructed).
+    pub equivalent: Option<bool>,
+    /// Why the equivalence check failed to *run*, when it did (a port
+    /// mismatch beyond the known control ports, a simulator setup
+    /// failure) — distinguishes infrastructure trouble from a real
+    /// logic divergence.
+    pub equiv_error: Option<String>,
+    /// Per-corner signoff rows, in corner-set order.
+    pub corner_signoff: Vec<CornerSignoff>,
+}
+
+impl SuiteOutcome {
+    /// True when the flow verified clean and the independent equivalence
+    /// check (if enabled) agreed.
+    pub fn passed(&self) -> bool {
+        self.verify_passed && self.equivalent != Some(false)
+    }
+}
+
+/// One design's row in the report.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Design label.
+    pub name: String,
+    /// Input (pre-flow) gate count.
+    pub gates_in: usize,
+    /// Wall-clock time of this design's flow.
+    pub elapsed: Duration,
+    /// The flow outcome (suites keep going when individual designs
+    /// fail).
+    pub outcome: Result<SuiteOutcome, FlowError>,
+}
+
+/// Everything a suite run produced.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Per-design rows, in push order.
+    pub rows: Vec<SuiteRow>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl SuiteReport {
+    /// True when every design completed, verified clean, and passed the
+    /// independent equivalence check.
+    pub fn all_passed(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| matches!(&r.outcome, Ok(o) if o.passed()))
+    }
+
+    /// Total input gates across designs that completed.
+    pub fn gates_completed(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .map(|r| r.gates_in)
+            .sum()
+    }
+
+    /// Batch throughput: completed input gates per wall-clock second —
+    /// the headline `suite_throughput` quantity the bench suite tracks
+    /// as a parallel-vs-serial ratio.
+    pub fn gates_per_second(&self) -> f64 {
+        self.gates_completed() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The per-design summary table.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(
+            "Workload suite",
+            &[
+                "Design",
+                "Gates in",
+                "Cells",
+                "Clock ps",
+                "WNS ps",
+                "Hold",
+                "Standby uA",
+                "Equiv",
+                "Status",
+                "Time s",
+            ],
+        );
+        for row in &self.rows {
+            match &row.outcome {
+                Ok(o) => t.row_owned(vec![
+                    row.name.clone(),
+                    row.gates_in.to_string(),
+                    o.cells.to_string(),
+                    format!("{:.1}", o.clock_period.ps()),
+                    format!("{:.1}", o.wns.ps()),
+                    o.hold_violations.to_string(),
+                    format!("{:.5}", o.standby_leakage.ua()),
+                    match (o.equivalent, &o.equiv_error) {
+                        (_, Some(_)) => "ERR".to_owned(),
+                        (Some(true), None) => "yes".to_owned(),
+                        (Some(false), None) => "NO".to_owned(),
+                        (None, None) => "-".to_owned(),
+                    },
+                    match (&o.equiv_error, o.passed()) {
+                        (Some(e), _) => format!("FAIL (equiv check: {e})"),
+                        (None, true) => "ok".to_owned(),
+                        (None, false) => "FAIL".to_owned(),
+                    },
+                    format!("{:.2}", row.elapsed.as_secs_f64()),
+                ]),
+                Err(e) => t.row_owned(vec![
+                    row.name.clone(),
+                    row.gates_in.to_string(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    format!("ERROR: {e}"),
+                    format!("{:.2}", row.elapsed.as_secs_f64()),
+                ]),
+            }
+        }
+        t
+    }
+
+    /// The per-corner signoff table across all completed designs (one
+    /// row per design × corner).
+    pub fn render_corners(&self) -> Table {
+        let mut t = Table::new(
+            "Workload suite: per-corner signoff",
+            &[
+                "Design",
+                "Corner",
+                "WNS ps",
+                "Hold viol.",
+                "Standby uA",
+                "Active uA",
+            ],
+        );
+        for row in &self.rows {
+            let Ok(o) = &row.outcome else { continue };
+            for c in &o.corner_signoff {
+                t.row_owned(vec![
+                    row.name.clone(),
+                    c.corner.name.clone(),
+                    format!("{:.1}", c.wns.ps()),
+                    c.hold_violations.to_string(),
+                    format!("{:.6}", c.standby_leakage.ua()),
+                    format!("{:.6}", c.active_leakage.ua()),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Technique;
+    use smt_circuits::families::{generate, standard_suite, SuiteScale};
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    fn smoke_suite(l: &Library, technique: Technique) -> WorkloadSuite {
+        let mut suite = WorkloadSuite::new(FlowConfig {
+            technique,
+            ..FlowConfig::default()
+        });
+        // Two small designs keep the unit test quick; the full five-family
+        // batch runs in tests/suite_equivalence.rs and the CI smoke step.
+        for w in standard_suite(SuiteScale::Smoke).into_iter().take(2) {
+            suite.push(&w.name, generate(l, &w.config).unwrap());
+        }
+        suite
+    }
+
+    #[test]
+    fn batch_runs_all_designs_and_reports() {
+        let l = lib();
+        let suite = smoke_suite(&l, Technique::DualVth);
+        let report = suite.run(&l);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.all_passed(), "{}", report.render());
+        for row in &report.rows {
+            let o = row.outcome.as_ref().unwrap();
+            assert!(o.verify_passed);
+            assert_eq!(o.equivalent, Some(true), "{}", row.name);
+            assert!(!o.corner_signoff.is_empty());
+        }
+        assert!(report.gates_per_second() > 0.0);
+        let text = report.render().to_string();
+        assert!(text.contains("pipeline"), "{text}");
+        assert!(!report.render_corners().is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let l = lib();
+        let serial = smoke_suite(&l, Technique::DualVth).with_threads(1).run(&l);
+        let parallel = smoke_suite(&l, Technique::DualVth).with_threads(2).run(&l);
+        assert!(serial.all_passed() && parallel.all_passed());
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            let (oa, ob) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(a.name, b.name);
+            assert_eq!(oa.cells, ob.cells);
+            assert_eq!(oa.wns, ob.wns, "{}", a.name);
+            assert_eq!(oa.standby_leakage, ob.standby_leakage, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn failing_design_does_not_sink_the_batch() {
+        let l = lib();
+        // A combinational loop: the flow must error on this design but
+        // still complete the other one.
+        let mut cyclic = Netlist::new("cyclic");
+        let a = cyclic.add_input("a");
+        let w1 = cyclic.add_net("w1");
+        let w2 = cyclic.add_net("w2");
+        let g1 = cyclic.add_instance("g1", l.find_id("ND2_X1_L").unwrap(), &l);
+        let g2 = cyclic.add_instance("g2", l.find_id("INV_X1_L").unwrap(), &l);
+        cyclic.connect_by_name(g1, "A", a, &l).unwrap();
+        cyclic.connect_by_name(g1, "B", w2, &l).unwrap();
+        cyclic.connect_by_name(g1, "Z", w1, &l).unwrap();
+        cyclic.connect_by_name(g2, "A", w1, &l).unwrap();
+        cyclic.connect_by_name(g2, "Z", w2, &l).unwrap();
+        cyclic.expose_output("z", w2);
+
+        let mut suite = WorkloadSuite::new(FlowConfig {
+            technique: Technique::DualVth,
+            ..FlowConfig::default()
+        });
+        suite.push("cyclic", cyclic);
+        let good = standard_suite(SuiteScale::Smoke)
+            .into_iter()
+            .next()
+            .unwrap();
+        suite.push(&good.name, generate(&l, &good.config).unwrap());
+        let report = suite.run(&l);
+        assert!(!report.all_passed());
+        assert!(report.rows[0].outcome.is_err());
+        assert!(
+            matches!(&report.rows[1].outcome, Ok(o) if o.passed()),
+            "good design should still complete"
+        );
+        // The failed row renders as an error, not a panic.
+        assert!(report.render().to_string().contains("ERROR"));
+    }
+}

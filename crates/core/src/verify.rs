@@ -45,6 +45,17 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Mirrors onto `reference` any standby-control input port the SMT
+/// transforms added to `dut` (today just `mte`), so port-name matching
+/// in equivalence checks succeeds. The one rule every pre- vs post-flow
+/// comparison must apply — [`verify`], the suite batch driver and the
+/// equivalence tests all share this helper.
+pub fn mirror_control_ports(reference: &mut Netlist, dut: &Netlist) {
+    if dut.find_net("mte").is_some() && reference.find_net("mte").is_none() {
+        reference.add_input("mte");
+    }
+}
+
 /// Runs the full verification suite.
 ///
 /// `golden` is the pre-transform netlist (after synthesis, before any Vth
@@ -78,9 +89,7 @@ pub fn verify(
     // 2. Active-mode equivalence. Give the golden design an `mte` port if
     // the DUT grew one, so the port sets match.
     let mut golden2 = golden.clone();
-    if dut.find_net("mte").is_some() && golden2.find_net("mte").is_none() {
-        golden2.add_input("mte");
-    }
+    mirror_control_ports(&mut golden2, dut);
     let equivalence =
         check_equivalence(&golden2, dut, lib, cycles, seed).map_err(|e| VerifyError {
             message: e.to_string(),

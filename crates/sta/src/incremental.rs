@@ -382,7 +382,8 @@ mod tests {
                     seed,
                     ..RandomLogicConfig::default()
                 },
-            );
+            )
+            .expect("valid random_logic config");
             let p = place(&n, &lib, &PlacerConfig::default());
             let par = Parasitics::estimate(&n, &lib, &p);
             let cfg = StaConfig::default();
@@ -437,7 +438,8 @@ mod tests {
                 seed: 5,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
         let cfg = StaConfig::default();
@@ -480,7 +482,8 @@ mod tests {
                     seed,
                     ..RandomLogicConfig::default()
                 },
-            );
+            )
+            .expect("valid random_logic config");
             let p = place(&n, &lib, &PlacerConfig::default());
             let par = Parasitics::estimate(&n, &lib, &p);
             let cfg = StaConfig::default();

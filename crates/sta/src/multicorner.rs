@@ -278,7 +278,8 @@ mod tests {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
         (lib, n, par)

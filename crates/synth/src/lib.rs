@@ -35,10 +35,12 @@
 pub mod aig;
 pub mod ast;
 pub mod map;
+pub mod snl;
 
 pub use aig::{Aig, Lit};
 pub use ast::{parse_rtl, Module, ParseRtlError};
 pub use map::{map_to_netlist, SynthOptions};
+pub use snl::{read as read_snl, write as write_snl, ParseSnlError, WriteSnlError};
 
 /// Parses RTL-lite text, elaborates it into an AIG and maps it to gates.
 ///

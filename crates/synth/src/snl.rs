@@ -1,0 +1,1003 @@
+//! SNL — the *structural netlist lite* text format, the workload-suite
+//! ingestion front end.
+//!
+//! A BLIF-like, technology-independent gate-level dialect: designs are
+//! described as generic logic operators and latches over named nets, and
+//! **ingestion lowers through the existing synthesis pipeline** — the
+//! parser builds an [`Aig`]-backed
+//! [`Design`] (structural hashing and constant
+//! folding apply exactly as for RTL-lite elaboration) and
+//! [`map_to_netlist`] produces the all-low-Vth
+//! [`Netlist`] every flow run starts from. The inverse direction,
+//! [`fn@write`], serialises any pre-flow netlist back to the dialect.
+//!
+//! ```text
+//! # any line may carry a '#' comment
+//! .model adder4
+//! .inputs a0 a1 b0 b1
+//! .clock clk
+//! .outputs s0 s1
+//! .gate xor2 A=a0 B=b0 Z=n1
+//! .gate an2  A=a0 B=b0 Z=c0
+//! .latch n1 s0
+//! .gate xor2 A=a1 B=b1 Z=t1
+//! .gate xor2 A=t1 B=c0 Z=n2
+//! .latch n2 s1
+//! .end
+//! ```
+//!
+//! Directives:
+//!
+//! * `.model <name>` — must come first; names the design;
+//! * `.inputs <net>...` / `.outputs <net>...` — primary ports (repeatable,
+//!   lists accumulate in order);
+//! * `.clock <net>` — the clock input (required iff `.latch` is used);
+//! * `.gate <op> <PIN>=<net>...` — one generic logic operator; the formal
+//!   pin names of each op mirror the library cells (`A`, `B`, `C`, `D`,
+//!   `S` for the mux select, `Z` for the output);
+//! * `.latch <d-net> <q-net>` — a rising-edge D flip-flop;
+//! * `.end` — required terminator (a missing `.end` means a truncated
+//!   file and is an error).
+//!
+//! Supported ops: `inv buf nd2 nd3 nd4 nr2 nr3 an2 or2 xor2 xnr2 aoi21
+//! oai21 aoi22 oai22 mux2` — exactly the combinational
+//! [`CellKind`]s of the library, so
+//! [`fn@write`] can serialise any mapped netlist and reading it back is a
+//! pure re-synthesis.
+//!
+//! Gates may appear in any order; the parser resolves nets on demand and
+//! reports combinational cycles, dangling nets (a consumed net that
+//! nothing drives), duplicate drivers, unknown ops and truncated files as
+//! [`ParseSnlError`]s — malformed input never panics.
+//!
+//! **Round-trip normal form.** `read` is a re-synthesis, so a
+//! `write → read` pair may restructure logic (an `an2` becomes the
+//! mapper's NAND+INV normal form, structural hashing merges duplicate
+//! gates, complex-gate covers regroup). Within a trip or two the text
+//! reaches the mapper's normal form, which **is** a fixed point of
+//! `write → parse → write` — the property the I/O round-trip tests pin
+//! down (`tests/io_roundtrips.rs`).
+
+use crate::aig::{Aig, Design, Lit, RegBit};
+use crate::map::{map_to_netlist, SynthOptions};
+use smt_cells::cell::{CellKind, CellRole};
+use smt_cells::library::Library;
+use smt_netlist::netlist::{Netlist, PortDir};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced by [`parse`] / [`read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSnlError {
+    /// 1-based source line (0 for whole-file problems such as a missing
+    /// `.end`).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSnlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snl parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSnlError {}
+
+/// Error produced by [`fn@write`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteSnlError {
+    /// The netlist contains a cell with no generic-logic equivalent
+    /// (switches, holders, clock-tree buffers): SNL is a *pre-flow*
+    /// format.
+    UnsupportedCell {
+        /// Instance name.
+        inst: String,
+        /// Cell name.
+        cell: String,
+    },
+    /// An instance pin that the format needs is unconnected.
+    DanglingPin {
+        /// Instance name.
+        inst: String,
+        /// Pin name.
+        pin: String,
+    },
+    /// The netlist has flip-flops but no clock port.
+    MissingClock,
+    /// An output port's name is also the name of a different, driven
+    /// net: in the text both would drive the same symbol, so the output
+    /// could not be parsed back.
+    AmbiguousName {
+        /// The colliding output port.
+        port: String,
+    },
+}
+
+impl fmt::Display for WriteSnlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteSnlError::UnsupportedCell { inst, cell } => {
+                write!(
+                    f,
+                    "instance `{inst}` ({cell}) has no SNL equivalent (pre-flow netlists only)"
+                )
+            }
+            WriteSnlError::DanglingPin { inst, pin } => {
+                write!(f, "instance `{inst}` pin `{pin}` is unconnected")
+            }
+            WriteSnlError::MissingClock => {
+                write!(f, "netlist has flip-flops but no clock port")
+            }
+            WriteSnlError::AmbiguousName { port } => {
+                write!(
+                    f,
+                    "output port `{port}` shares its name with a different driven \
+                     net; the text form would give the symbol two drivers"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteSnlError {}
+
+/// The generic logic operators of the dialect, i.e. the combinational
+/// cell kinds. `(keyword, input formals, CellKind)`.
+const OPS: &[(&str, &[&str], CellKind)] = &[
+    ("inv", &["A"], CellKind::Inv),
+    ("buf", &["A"], CellKind::Buf),
+    ("nd2", &["A", "B"], CellKind::Nand2),
+    ("nd3", &["A", "B", "C"], CellKind::Nand3),
+    ("nd4", &["A", "B", "C", "D"], CellKind::Nand4),
+    ("nr2", &["A", "B"], CellKind::Nor2),
+    ("nr3", &["A", "B", "C"], CellKind::Nor3),
+    ("an2", &["A", "B"], CellKind::And2),
+    ("or2", &["A", "B"], CellKind::Or2),
+    ("xor2", &["A", "B"], CellKind::Xor2),
+    ("xnr2", &["A", "B"], CellKind::Xnor2),
+    ("aoi21", &["A", "B", "C"], CellKind::Aoi21),
+    ("oai21", &["A", "B", "C"], CellKind::Oai21),
+    ("aoi22", &["A", "B", "C", "D"], CellKind::Aoi22),
+    ("oai22", &["A", "B", "C", "D"], CellKind::Oai22),
+    ("mux2", &["A", "B", "S"], CellKind::Mux2),
+];
+
+fn op_for_kind(kind: CellKind) -> Option<(&'static str, &'static [&'static str])> {
+    OPS.iter()
+        .find(|(_, _, k)| *k == kind)
+        .map(|(name, formals, _)| (*name, *formals))
+}
+
+fn op_by_name(name: &str) -> Option<(&'static [&'static str], CellKind)> {
+    OPS.iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, formals, k)| (*formals, *k))
+}
+
+/// The register name a latch's Q net stands for: the technology mapper
+/// names a register's output net `<reg>__q`, so the parser strips one
+/// `__q` suffix when turning a `.latch` back into a register — otherwise
+/// every write → read trip would accrete another suffix and the
+/// round-trip would never reach a fixed point.
+fn latch_symbol(q_net: &str) -> &str {
+    q_net.strip_suffix("__q").unwrap_or(q_net)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serialises a pre-flow netlist (logic gates + flip-flops) to SNL text.
+///
+/// MT-variant logic cells serialise fine (their `MTE`/`VGND` power pins
+/// are not logic and are omitted); switches, holders and clock-tree
+/// buffers have no generic-logic equivalent and are rejected.
+///
+/// # Errors
+///
+/// See [`WriteSnlError`].
+pub fn write(netlist: &Netlist, lib: &Library) -> Result<String, WriteSnlError> {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", netlist.name);
+
+    let inputs: Vec<&str> = netlist
+        .ports()
+        .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
+        .map(|(_, p)| p.name.as_str())
+        .collect();
+    if !inputs.is_empty() {
+        for chunk in inputs.chunks(16) {
+            let _ = writeln!(out, ".inputs {}", chunk.join(" "));
+        }
+    }
+    let clock = netlist
+        .ports()
+        .find(|(_, p)| p.dir == PortDir::Input && p.is_clock)
+        .map(|(_, p)| p.name.clone());
+    if let Some(ck) = &clock {
+        let _ = writeln!(out, ".clock {ck}");
+    }
+    let outputs: Vec<&str> = netlist
+        .ports()
+        .filter(|(_, p)| p.dir == PortDir::Output)
+        .map(|(_, p)| p.name.as_str())
+        .collect();
+    for chunk in outputs.chunks(16) {
+        let _ = writeln!(out, ".outputs {}", chunk.join(" "));
+    }
+
+    let pin_net = |inst: &smt_netlist::netlist::Instance,
+                   cell: &smt_cells::cell::Cell,
+                   pin: usize|
+     -> Result<String, WriteSnlError> {
+        inst.net_on(pin)
+            .map(|n| netlist.net(n).name.clone())
+            .ok_or_else(|| WriteSnlError::DanglingPin {
+                inst: inst.name.clone(),
+                pin: cell.pins[pin].name.clone(),
+            })
+    };
+
+    for (_, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        match cell.role {
+            CellRole::Sequential => {
+                if clock.is_none() {
+                    return Err(WriteSnlError::MissingClock);
+                }
+                let d = cell
+                    .pin_index("D")
+                    .ok_or_else(|| WriteSnlError::UnsupportedCell {
+                        inst: inst.name.clone(),
+                        cell: cell.name.clone(),
+                    })?;
+                let q = cell
+                    .pin_index("Q")
+                    .ok_or_else(|| WriteSnlError::UnsupportedCell {
+                        inst: inst.name.clone(),
+                        cell: cell.name.clone(),
+                    })?;
+                let d_net = pin_net(inst, cell, d)?;
+                let q_net = pin_net(inst, cell, q)?;
+                let _ = writeln!(out, ".latch {d_net} {q_net}");
+            }
+            CellRole::Logic => {
+                let (op, formals) =
+                    op_for_kind(cell.kind).ok_or_else(|| WriteSnlError::UnsupportedCell {
+                        inst: inst.name.clone(),
+                        cell: cell.name.clone(),
+                    })?;
+                let _ = write!(out, ".gate {op}");
+                for formal in formals {
+                    let pin =
+                        cell.pin_index(formal)
+                            .ok_or_else(|| WriteSnlError::UnsupportedCell {
+                                inst: inst.name.clone(),
+                                cell: cell.name.clone(),
+                            })?;
+                    let _ = write!(out, " {formal}={}", pin_net(inst, cell, pin)?);
+                }
+                let z = cell
+                    .output_pin()
+                    .ok_or_else(|| WriteSnlError::UnsupportedCell {
+                        inst: inst.name.clone(),
+                        cell: cell.name.clone(),
+                    })?;
+                let _ = writeln!(out, " Z={}", pin_net(inst, cell, z)?);
+            }
+            CellRole::ClockBuf | CellRole::Switch | CellRole::Holder => {
+                return Err(WriteSnlError::UnsupportedCell {
+                    inst: inst.name.clone(),
+                    cell: cell.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Output ports exposed on internal nets (the mapper's normal case)
+    // become identity `buf` gates driving a net named after the port, so
+    // the alias survives the trip. If a *different* net already uses the
+    // port's name, the alias gate and that net's driver would collide on
+    // one symbol in the text — unrepresentable, so refuse.
+    for (_, p) in netlist.ports() {
+        if p.dir == PortDir::Output && netlist.net(p.net).name != p.name {
+            if netlist.find_net(&p.name).is_some() {
+                return Err(WriteSnlError::AmbiguousName {
+                    port: p.name.clone(),
+                });
+            }
+            let _ = writeln!(out, ".gate buf A={} Z={}", netlist.net(p.net).name, p.name);
+        }
+    }
+
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct RawGate {
+    line: usize,
+    kind: CellKind,
+    /// Input nets in formal order.
+    inputs: Vec<String>,
+    /// Output net.
+    output: String,
+}
+
+#[derive(Debug)]
+struct RawLatch {
+    line: usize,
+    d: String,
+    q: String,
+}
+
+#[derive(Debug, Default)]
+struct RawModel {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    clock: Option<String>,
+    gates: Vec<RawGate>,
+    latches: Vec<RawLatch>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSnlError {
+    ParseSnlError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn scan(text: &str) -> Result<RawModel, ParseSnlError> {
+    let mut model: Option<RawModel> = None;
+    let mut ended = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(err(lineno, "content after `.end`"));
+        }
+        let mut toks = code.split_whitespace();
+        let head = toks.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = toks.collect();
+        if head == ".model" {
+            if model.is_some() {
+                return Err(err(lineno, "duplicate `.model`"));
+            }
+            let [name] = rest.as_slice() else {
+                return Err(err(lineno, "`.model` takes exactly one name"));
+            };
+            model = Some(RawModel {
+                name: (*name).to_owned(),
+                ..RawModel::default()
+            });
+            continue;
+        }
+        let m = model
+            .as_mut()
+            .ok_or_else(|| err(lineno, format!("`{head}` before `.model`")))?;
+        match head {
+            ".inputs" => m.inputs.extend(rest.iter().map(|s| (*s).to_owned())),
+            ".outputs" => m.outputs.extend(rest.iter().map(|s| (*s).to_owned())),
+            ".clock" => {
+                let [ck] = rest.as_slice() else {
+                    return Err(err(lineno, "`.clock` takes exactly one net"));
+                };
+                if m.clock.is_some() {
+                    return Err(err(lineno, "duplicate `.clock`"));
+                }
+                m.clock = Some((*ck).to_owned());
+            }
+            ".latch" => {
+                let [d, q] = rest.as_slice() else {
+                    return Err(err(lineno, "`.latch` takes `<d-net> <q-net>`"));
+                };
+                m.latches.push(RawLatch {
+                    line: lineno,
+                    d: (*d).to_owned(),
+                    q: (*q).to_owned(),
+                });
+            }
+            ".gate" => {
+                let Some((op, conns)) = rest.split_first() else {
+                    return Err(err(lineno, "`.gate` needs an operator"));
+                };
+                let Some((formals, kind)) = op_by_name(op) else {
+                    return Err(err(lineno, format!("unknown operator `{op}`")));
+                };
+                let mut bound: HashMap<&str, &str> = HashMap::new();
+                for conn in conns {
+                    let Some((formal, net)) = conn.split_once('=') else {
+                        return Err(err(lineno, format!("expected `PIN=net`, got `{conn}`")));
+                    };
+                    if net.is_empty() {
+                        return Err(err(lineno, format!("empty net in `{conn}`")));
+                    }
+                    if bound.insert(formal, net).is_some() {
+                        return Err(err(lineno, format!("pin `{formal}` bound twice")));
+                    }
+                }
+                let mut inputs = Vec::with_capacity(formals.len());
+                for formal in formals {
+                    let net = bound.remove(formal).ok_or_else(|| {
+                        err(lineno, format!("operator `{op}` is missing pin `{formal}`"))
+                    })?;
+                    inputs.push(net.to_owned());
+                }
+                let output = bound
+                    .remove("Z")
+                    .ok_or_else(|| err(lineno, format!("operator `{op}` is missing pin `Z`")))?
+                    .to_owned();
+                if let Some(stray) = bound.keys().next() {
+                    return Err(err(lineno, format!("operator `{op}` has no pin `{stray}`")));
+                }
+                m.gates.push(RawGate {
+                    line: lineno,
+                    kind,
+                    inputs,
+                    output,
+                });
+            }
+            ".end" => {
+                if !rest.is_empty() {
+                    return Err(err(lineno, "`.end` takes no arguments"));
+                }
+                ended = true;
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    let m = model.ok_or_else(|| err(0, "no `.model` declaration found"))?;
+    if !ended {
+        return Err(err(0, "missing `.end` (truncated file?)"));
+    }
+    Ok(m)
+}
+
+/// On-demand net resolution: builds the AIG by walking gate fanin cones
+/// from the outputs and latch D inputs.
+struct Resolver<'m> {
+    model: &'m RawModel,
+    aig: Aig,
+    /// Net name → literal, seeded with inputs and latch Qs.
+    env: HashMap<String, Lit>,
+    /// Net name → index of the gate driving it.
+    driver: HashMap<&'m str, usize>,
+    /// Expansion path, as a vec (for cycle error messages, in order) and
+    /// a set (for O(1) membership on deep chains).
+    visiting: Vec<&'m str>,
+    visiting_set: std::collections::HashSet<&'m str>,
+    /// Inner A·B / A+B literal of an in-flight AOI21/OAI21, by gate
+    /// index (see the `Mid` frame below).
+    partial: HashMap<usize, Lit>,
+}
+
+/// One step of the iterative cone walk. SNL ingests arbitrary designs at
+/// ≥50k-gate scale, where a recursive resolver would overflow the stack
+/// on long unregistered chains — so the walk keeps its own frame stack.
+enum Frame<'m> {
+    /// Demand a net (recorded with the line that referenced it).
+    Enter(&'m str, usize),
+    /// Build the inner A·B (resp. A+B) node of gate `gi` — AOI21/OAI21
+    /// must create it *before* the C cone is resolved. This reproduces
+    /// the node-creation order of the technology mapper's own
+    /// complex-gate rescue, so re-reading a written netlist regroups
+    /// these gates identically; without it the rescue's operand grouping
+    /// flips on every write→read trip and the round trip never reaches
+    /// a fixed point.
+    Mid(usize),
+    /// All inputs of gate `gi` resolved: build its output literal.
+    Exit(&'m str, usize),
+}
+
+impl<'m> Resolver<'m> {
+    fn resolve(&mut self, net: &'m str, use_line: usize) -> Result<Lit, ParseSnlError> {
+        let mut stack = vec![Frame::Enter(net, use_line)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(net, line) => {
+                    if self.env.contains_key(net) {
+                        continue;
+                    }
+                    let Some(&gi) = self.driver.get(net) else {
+                        return Err(err(
+                            line,
+                            format!("net `{net}` is never driven (dangling reference)"),
+                        ));
+                    };
+                    if self.visiting_set.contains(net) {
+                        return Err(err(
+                            self.model.gates[gi].line,
+                            format!(
+                                "combinational cycle through `{net}` (chain: {})",
+                                self.visiting.join(" -> ")
+                            ),
+                        ));
+                    }
+                    self.visiting.push(net);
+                    self.visiting_set.insert(net);
+                    let gate = &self.model.gates[gi];
+                    stack.push(Frame::Exit(net, gi));
+                    // Frames pop LIFO: push in reverse of execution order.
+                    match gate.kind {
+                        CellKind::Aoi21 | CellKind::Oai21 => {
+                            stack.push(Frame::Enter(&gate.inputs[2], gate.line));
+                            stack.push(Frame::Mid(gi));
+                            stack.push(Frame::Enter(&gate.inputs[1], gate.line));
+                            stack.push(Frame::Enter(&gate.inputs[0], gate.line));
+                        }
+                        _ => {
+                            for input in gate.inputs.iter().rev() {
+                                stack.push(Frame::Enter(input, gate.line));
+                            }
+                        }
+                    }
+                }
+                Frame::Mid(gi) => {
+                    let gate = &self.model.gates[gi];
+                    let a = self.env[&gate.inputs[0]];
+                    let b = self.env[&gate.inputs[1]];
+                    let ab = match gate.kind {
+                        CellKind::Aoi21 => self.aig.and(a, b),
+                        CellKind::Oai21 => self.aig.or(a, b),
+                        _ => unreachable!("Mid frames are only pushed for AOI21/OAI21"),
+                    };
+                    self.partial.insert(gi, ab);
+                }
+                Frame::Exit(net, gi) => {
+                    let gate = &self.model.gates[gi];
+                    let lit = match gate.kind {
+                        CellKind::Aoi21 => {
+                            let ab = self.partial.remove(&gi).expect("Mid ran before Exit");
+                            let c = self.env[&gate.inputs[2]];
+                            !self.aig.or(ab, c)
+                        }
+                        CellKind::Oai21 => {
+                            let ab = self.partial.remove(&gi).expect("Mid ran before Exit");
+                            let c = self.env[&gate.inputs[2]];
+                            !self.aig.and(ab, c)
+                        }
+                        _ => {
+                            let ins: Vec<Lit> =
+                                gate.inputs.iter().map(|input| self.env[input]).collect();
+                            build_op(&mut self.aig, gate.kind, &ins)
+                        }
+                    };
+                    self.visiting.pop();
+                    self.visiting_set.remove(net);
+                    self.env.insert(net.to_owned(), lit);
+                }
+            }
+        }
+        Ok(self.env[net])
+    }
+}
+
+/// Realises one generic operator over already-resolved input literals.
+fn build_op(aig: &mut Aig, kind: CellKind, ins: &[Lit]) -> Lit {
+    let and_all = |aig: &mut Aig, lits: &[Lit]| {
+        lits.iter()
+            .copied()
+            .reduce(|a, b| aig.and(a, b))
+            .expect("ops have at least one input")
+    };
+    match kind {
+        CellKind::Inv => !ins[0],
+        CellKind::Buf | CellKind::ClkBuf => ins[0],
+        CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !and_all(aig, ins),
+        CellKind::And2 => and_all(aig, ins),
+        CellKind::Nor2 | CellKind::Nor3 => {
+            let inv: Vec<Lit> = ins.iter().map(|l| !*l).collect();
+            and_all(aig, &inv)
+        }
+        CellKind::Or2 => aig.or(ins[0], ins[1]),
+        CellKind::Xor2 => aig.xor(ins[0], ins[1]),
+        CellKind::Xnor2 => aig.xnor(ins[0], ins[1]),
+        // Z = !((A&B) | C)
+        CellKind::Aoi21 => {
+            let ab = aig.and(ins[0], ins[1]);
+            !aig.or(ab, ins[2])
+        }
+        // Z = !((A|B) & C)
+        CellKind::Oai21 => {
+            let ab = aig.or(ins[0], ins[1]);
+            !aig.and(ab, ins[2])
+        }
+        // Z = !((A&B) | (C&D))
+        CellKind::Aoi22 => {
+            let ab = aig.and(ins[0], ins[1]);
+            let cd = aig.and(ins[2], ins[3]);
+            !aig.or(ab, cd)
+        }
+        // Z = !((A|B) & (C|D))
+        CellKind::Oai22 => {
+            let ab = aig.or(ins[0], ins[1]);
+            let cd = aig.or(ins[2], ins[3]);
+            !aig.and(ab, cd)
+        }
+        // Z = S ? B : A
+        CellKind::Mux2 => aig.mux(ins[2], ins[1], ins[0]),
+        CellKind::Dff | CellKind::Switch | CellKind::Holder => {
+            unreachable!("non-logic kinds never reach build_op")
+        }
+    }
+}
+
+/// Parses SNL text into an elaborated [`Design`] (the AIG plus port and
+/// register bindings), ready for [`map_to_netlist`].
+///
+/// # Errors
+///
+/// [`ParseSnlError`] for malformed text: unknown directives/operators,
+/// missing or doubly-bound pins, duplicate drivers, dangling nets,
+/// combinational cycles, latches without a `.clock`, truncated files.
+pub fn parse(text: &str) -> Result<Design, ParseSnlError> {
+    let model = scan(text)?;
+    let mut aig = Aig::new();
+    let mut env: HashMap<String, Lit> = HashMap::new();
+    let mut inputs = Vec::with_capacity(model.inputs.len());
+
+    for name in &model.inputs {
+        if env.contains_key(name) || model.clock.as_deref() == Some(name.as_str()) {
+            return Err(err(0, format!("duplicate input `{name}`")));
+        }
+        // The mapper always names the clock port `clk`; a *data* input
+        // with that name would collide with it during mapping.
+        if name == "clk" && model.clock.is_some() {
+            return Err(err(
+                0,
+                "input `clk` collides with the mapped clock port (rename it \
+                 or declare it as the `.clock`)",
+            ));
+        }
+        let lit = aig.input();
+        env.insert(name.clone(), lit);
+        inputs.push((name.clone(), lit));
+    }
+    if !model.latches.is_empty() && model.clock.is_none() {
+        let line = model.latches[0].line;
+        return Err(err(line, "`.latch` requires a `.clock` declaration"));
+    }
+    // Latch Q nets become AIG inputs (register outputs). Beyond textual
+    // duplicates, reject collisions in the *mapped* Q-net namespace: the
+    // technology mapper names each register's output net
+    // `<name, brackets replaced>__q` after the parser strips one `__q`
+    // suffix, so e.g. latch Qs `x` and `x__q` — or a primary input
+    // already named `x__q` — would collide inside `map_to_netlist` and
+    // panic there instead of erroring here.
+    let mut q_lits = Vec::with_capacity(model.latches.len());
+    let mut mapped_q: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for latch in &model.latches {
+        if env.contains_key(&latch.q) {
+            return Err(err(
+                latch.line,
+                format!("net `{}` has multiple drivers", latch.q),
+            ));
+        }
+        let mapped = format!("{}__q", latch_symbol(&latch.q).replace(['[', ']'], "_"));
+        if !mapped_q.insert(mapped.clone())
+            || model.inputs.contains(&mapped)
+            || model.clock.as_deref() == Some(mapped.as_str())
+        {
+            return Err(err(
+                latch.line,
+                format!(
+                    "latch output `{}` normalises to register net `{mapped}`, \
+                     which collides with another latch or port",
+                    latch.q
+                ),
+            ));
+        }
+        let lit = aig.input();
+        env.insert(latch.q.clone(), lit);
+        q_lits.push(lit);
+    }
+    // Gate output nets: build the driver index, rejecting duplicates.
+    let mut driver: HashMap<&str, usize> = HashMap::new();
+    for (gi, gate) in model.gates.iter().enumerate() {
+        if env.contains_key(&gate.output) || driver.insert(&gate.output, gi).is_some() {
+            return Err(err(
+                gate.line,
+                format!("net `{}` has multiple drivers", gate.output),
+            ));
+        }
+    }
+
+    let mut r = Resolver {
+        model: &model,
+        aig,
+        env,
+        driver,
+        visiting: Vec::new(),
+        visiting_set: std::collections::HashSet::new(),
+        partial: HashMap::new(),
+    };
+    let mut regs = Vec::with_capacity(model.latches.len());
+    for (latch, q) in model.latches.iter().zip(q_lits) {
+        let next = r.resolve(&latch.d, latch.line)?;
+        regs.push(RegBit {
+            name: latch_symbol(&latch.q).to_owned(),
+            q,
+            next,
+        });
+    }
+    let mut outputs = Vec::with_capacity(model.outputs.len());
+    for name in &model.outputs {
+        if outputs.iter().any(|(n, _)| n == name) {
+            return Err(err(0, format!("duplicate output `{name}`")));
+        }
+        let lit = r.resolve(name, 0)?;
+        outputs.push((name.clone(), lit));
+    }
+
+    Ok(Design {
+        name: model.name.clone(),
+        aig: r.aig,
+        inputs,
+        outputs,
+        regs,
+        has_clock: model.clock.is_some(),
+    })
+}
+
+/// Parses SNL text and technology-maps it onto the library's low-Vth
+/// cells — the workload-suite ingestion entry point.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn read(text: &str, lib: &Library, options: &SynthOptions) -> Result<Netlist, ParseSnlError> {
+    let design = parse(text)?;
+    Ok(map_to_netlist(&design, lib, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_sim::check_equivalence;
+
+    fn lib() -> Library {
+        Library::industrial_130nm()
+    }
+
+    const SAMPLE: &str = "\
+# a 1-bit accumulator
+.model acc1
+.inputs a
+.clock clk
+.outputs y
+.gate xor2 A=a B=q Z=d    # feedback
+.latch d q
+.gate buf A=q Z=y
+.end
+";
+
+    #[test]
+    fn parse_and_map_sample() {
+        let l = lib();
+        let n = read(SAMPLE, &l, &SynthOptions::default()).unwrap();
+        assert_eq!(n.name, "acc1");
+        assert!(n.clock_net().is_some());
+        assert!(n.num_instances() >= 2);
+        let issues = lint(&n, &l, LintConfig::default());
+        assert!(is_clean(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn gates_in_any_order_resolve() {
+        let text = "\
+.model reorder
+.inputs a b
+.outputs y
+.gate inv A=n1 Z=y
+.gate an2 A=a B=b Z=n1
+.end
+";
+        let l = lib();
+        let n = read(text, &l, &SynthOptions::default()).unwrap();
+        // AND followed by INV re-synthesises to a single NAND.
+        assert_eq!(n.num_instances(), 1);
+    }
+
+    #[test]
+    fn every_op_round_trips_functionally() {
+        // One gate of every op, written then reread: function preserved.
+        let l = lib();
+        for (op, formals, _) in OPS {
+            let mut text = String::from(".model one\n.inputs i0 i1 i2 i3\n.outputs y\n");
+            let _ = write!(text, ".gate {op}");
+            for (i, f) in formals.iter().enumerate() {
+                let _ = write!(text, " {f}=i{i}");
+            }
+            text.push_str(" Z=y\n.end\n");
+            let n1 =
+                read(&text, &l, &SynthOptions::default()).unwrap_or_else(|e| panic!("{op}: {e}"));
+            let t2 = write(&n1, &l).unwrap();
+            let n2 = read(&t2, &l, &SynthOptions::default()).unwrap();
+            let eq = check_equivalence(&n1, &n2, &l, 48, 11).unwrap();
+            assert!(eq.is_equivalent(), "{op}: {:?}", eq.mismatches.first());
+        }
+    }
+
+    #[test]
+    fn write_read_write_is_a_fixed_point() {
+        let l = lib();
+        let n1 = read(SAMPLE, &l, &SynthOptions::default()).unwrap();
+        let t1 = write(&n1, &l).unwrap();
+        let n2 = read(&t1, &l, &SynthOptions::default()).unwrap();
+        let t2 = write(&n2, &l).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn dangling_net_is_an_error() {
+        let text = ".model d\n.inputs a\n.outputs y\n.gate an2 A=a B=ghost Z=y\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn duplicate_driver_is_an_error() {
+        let text = "\
+.model d
+.inputs a b
+.outputs y
+.gate inv A=a Z=y
+.gate inv A=b Z=y
+.end
+";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("multiple drivers"), "{e}");
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let text = ".model t\n.inputs a\n.outputs y\n.gate inv A=a Z=y\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn combinational_cycle_is_an_error() {
+        let text = "\
+.model c
+.inputs a
+.outputs y
+.gate an2 A=a B=n2 Z=n1
+.gate inv A=n1 Z=n2
+.gate buf A=n1 Z=y
+.end
+";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn latch_without_clock_is_an_error() {
+        let text = ".model l\n.inputs a\n.outputs q\n.latch a q\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("clock"), "{e}");
+    }
+
+    #[test]
+    fn unknown_op_and_bad_pins_are_errors() {
+        for bad in [
+            ".model x\n.inputs a\n.outputs y\n.gate frob A=a Z=y\n.end\n",
+            ".model x\n.inputs a\n.outputs y\n.gate inv A=a\n.end\n", // no Z
+            ".model x\n.inputs a\n.outputs y\n.gate inv Z=y\n.end\n", // no A
+            ".model x\n.inputs a\n.outputs y\n.gate inv A=a B=a Z=y\n.end\n", // stray B
+            ".model x\n.inputs a\n.outputs y\n.gate inv A=a A=a Z=y\n.end\n", // dup A
+            ".model x\n.inputs a a\n.outputs y\n.gate inv A=a Z=y\n.end\n", // dup input
+            "gate inv A=a Z=y\n.end\n",                               // before .model
+            ".model x\n.model y\n.end\n",                             // dup model
+            ".model x\n.wat a\n.end\n",                               // unknown directive
+            ".model x\n.end\nleftovers\n",                            // after .end
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_unregistered_chains_do_not_overflow_the_stack() {
+        // 120k chained buffers: the iterative resolver must walk this
+        // without recursing (a recursive walk overflows around ~50k
+        // frames), and constant folding collapses it to the input.
+        let mut text = String::from(".model chain\n.inputs a\n.outputs y\n");
+        let n = 120_000;
+        let mut prev = "a".to_owned();
+        for i in 0..n {
+            let out = if i == n - 1 {
+                "y".to_owned()
+            } else {
+                format!("c{i}")
+            };
+            let _ = writeln!(text, ".gate buf A={prev} Z={out}");
+            prev = out;
+        }
+        text.push_str(".end\n");
+        let d = parse(&text).expect("deep chain parses");
+        assert_eq!(d.outputs.len(), 1);
+        // buf is the AIG identity, so the whole chain folds to `a`.
+        assert_eq!(d.outputs[0].1, d.inputs[0].1);
+    }
+
+    #[test]
+    fn colliding_register_namespaces_error_instead_of_panicking_in_map() {
+        // Latch Qs `x` and `x__q` both normalise to register net
+        // `x__q`; an input may also squat on a latch's mapped name.
+        // Either way parse must reject it — mapping would panic on the
+        // duplicate net otherwise.
+        for (what, text) in [
+            (
+                "two latches",
+                ".model m\n.inputs a b\n.clock clk\n.outputs x\n.latch a x\n.latch b x__q\n.end\n",
+            ),
+            (
+                "input vs latch",
+                ".model m\n.inputs a x__q\n.clock clk\n.outputs x\n.latch a x\n.end\n",
+            ),
+            (
+                "data input named clk",
+                ".model m\n.inputs a clk\n.clock ck\n.outputs y\n.gate an2 A=a B=clk Z=y\n.end\n",
+            ),
+        ] {
+            let e = parse(text).unwrap_err();
+            assert!(
+                e.message.contains("collides"),
+                "{what}: unexpected error `{e}`"
+            );
+        }
+        // The benign shapes still parse and map.
+        let l = lib();
+        let ok = ".model m\n.inputs a\n.clock clk\n.outputs y\n.latch a x__q\n.gate buf A=x__q Z=y\n.end\n";
+        assert!(read(ok, &l, &SynthOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn writer_rejects_output_port_shadowed_by_a_net() {
+        // An internal net literally named `y` plus an output port `y`
+        // exposed on a different net: the text form would hand the
+        // symbol `y` two drivers, so write must refuse.
+        let l = lib();
+        let mut n = Netlist::new("shadow");
+        let a = n.add_input("a");
+        let y_net = n.add_net("y");
+        let w = n.add_net("w");
+        let g1 = n.add_instance("g1", l.find_id("INV_X1_L").unwrap(), &l);
+        let g2 = n.add_instance("g2", l.find_id("BUF_X1_L").unwrap(), &l);
+        n.connect_by_name(g1, "A", a, &l).unwrap();
+        n.connect_by_name(g1, "Z", y_net, &l).unwrap();
+        n.connect_by_name(g2, "A", y_net, &l).unwrap();
+        n.connect_by_name(g2, "Z", w, &l).unwrap();
+        n.expose_output("y", w);
+        let e = write(&n, &l).unwrap_err();
+        assert!(
+            matches!(e, WriteSnlError::AmbiguousName { ref port } if port == "y"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn writer_rejects_post_flow_cells() {
+        let l = lib();
+        let mut n = Netlist::new("sw");
+        let a = n.add_input("a");
+        let sw_cell = l.find_id("SW_W8").expect("library has a switch");
+        let sw = n.add_instance("sw0", sw_cell, &l);
+        let _ = (a, sw);
+        let e = write(&n, &l).unwrap_err();
+        assert!(matches!(e, WriteSnlError::UnsupportedCell { .. }));
+    }
+}

@@ -13,7 +13,8 @@
 pub use smt_base::units::{Area, Cap, Current, Micron, Power, Res, Time, Volt};
 pub use smt_cells::corner::{Corner, CornerLibrary, CornerSet};
 pub use smt_cells::library::Library;
-pub use smt_circuits::gen::{random_logic, RandomLogicConfig};
+pub use smt_circuits::families::{generate, standard_suite, FamilyConfig, SuiteScale, Workload};
+pub use smt_circuits::gen::{random_logic, GenError, RandomLogicConfig};
 pub use smt_circuits::rtl::{
     circuit_a_rtl, circuit_a_rtl_lanes, circuit_b_rtl, circuit_b_rtl_sized,
 };

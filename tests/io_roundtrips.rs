@@ -1,15 +1,19 @@
-//! Cross-crate I/O round trips on a real synthesized design: Verilog-lite,
-//! Liberty-lite and SPEF-lite all survive write→parse with the design's
-//! semantics intact.
+//! Cross-crate I/O round trips on real designs: Verilog-lite,
+//! Liberty-lite, SPEF-lite and SNL all survive write→parse with the
+//! design's semantics intact, and the SNL parser survives a seeded
+//! corpus of mutated/malformed inputs without panicking.
 
+use selective_mt::base::SplitMix64;
 use selective_mt::cells::liberty;
 use selective_mt::cells::library::Library;
+use selective_mt::circuits::families::{generate, standard_suite, SuiteScale};
 use selective_mt::circuits::rtl::circuit_b_rtl_sized;
+use selective_mt::netlist::netlist::Netlist;
 use selective_mt::netlist::verilog;
 use selective_mt::place::{place, PlacerConfig};
 use selective_mt::route::{route_global, spef, Parasitics, RouteConfig};
 use selective_mt::sim::check_equivalence;
-use selective_mt::synth::{synthesize, SynthOptions};
+use selective_mt::synth::{snl, synthesize, SynthOptions};
 
 #[test]
 fn verilog_roundtrip_preserves_function() {
@@ -31,6 +35,162 @@ fn liberty_roundtrip_preserves_electricals() {
     // A netlist mapped against the parsed library times identically.
     let n = synthesize(&circuit_b_rtl_sized(6), &back, &SynthOptions::default()).unwrap();
     assert!(n.num_instances() > 50);
+}
+
+/// The SNL corpus: every generator family at smoke scale, a synthesized
+/// RTL design, and the paper's figure circuit.
+fn snl_corpus(lib: &Library) -> Vec<(String, Netlist)> {
+    let mut corpus: Vec<(String, Netlist)> = standard_suite(SuiteScale::Smoke)
+        .into_iter()
+        .map(|w| {
+            let n = generate(lib, &w.config).unwrap();
+            (w.name, n)
+        })
+        .collect();
+    corpus.push((
+        "circuit_b".to_owned(),
+        synthesize(&circuit_b_rtl_sized(6), lib, &SynthOptions::default()).unwrap(),
+    ));
+    corpus.push((
+        "fig_example".to_owned(),
+        selective_mt::circuits::figures::fig_example(lib).netlist,
+    ));
+    corpus
+}
+
+#[test]
+fn snl_roundtrip_preserves_function_across_the_corpus() {
+    let lib = Library::industrial_130nm();
+    for (name, n) in snl_corpus(&lib) {
+        let text = snl::write(&n, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back = snl::read(&text, &lib, &SynthOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let eq = check_equivalence(&n, &back, &lib, 64, 17).unwrap();
+        assert!(eq.is_equivalent(), "{name}: {:?}", eq.mismatches.first());
+    }
+}
+
+#[test]
+fn snl_write_read_write_reaches_a_fixed_point_across_the_corpus() {
+    // `read` is a re-synthesis, so the first trip (or two, for designs
+    // rich in complex-gate covers) normalises the structure into the
+    // mapper's normal form; that normal form must be a true fixed point
+    // of write → parse → write, verified by one extra trip.
+    let lib = Library::industrial_130nm();
+    for (name, n) in snl_corpus(&lib) {
+        let mut text = snl::write(&n, &lib).unwrap();
+        let mut fixed = false;
+        for _trip in 0..3 {
+            let back = snl::read(&text, &lib, &SynthOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let next = snl::write(&back, &lib).unwrap();
+            if next == text {
+                fixed = true;
+                break;
+            }
+            text = next;
+        }
+        assert!(fixed, "{name}: no fixed point within three trips");
+        // And it stays fixed.
+        let back = snl::read(&text, &lib, &SynthOptions::default()).unwrap();
+        assert_eq!(snl::write(&back, &lib).unwrap(), text, "{name}");
+    }
+}
+
+#[test]
+fn snl_malformed_inputs_error_instead_of_panicking() {
+    // Hand-picked malformations of every class the parser must reject.
+    for (what, text) in [
+        (
+            "dangling net",
+            ".model m\n.inputs a\n.outputs y\n.gate an2 A=a B=ghost Z=y\n.end\n",
+        ),
+        (
+            "duplicate driver",
+            ".model m\n.inputs a b\n.outputs y\n.gate inv A=a Z=y\n.gate inv A=b Z=y\n.end\n",
+        ),
+        (
+            "duplicate driver via latch",
+            ".model m\n.inputs a\n.clock clk\n.outputs q\n.latch a q\n.gate inv A=a Z=q\n.end\n",
+        ),
+        (
+            "truncated",
+            ".model m\n.inputs a\n.outputs y\n.gate buf A=a Z=y\n",
+        ),
+        ("empty", ""),
+        ("no model", ".inputs a\n.end\n"),
+        (
+            "undriven output",
+            ".model m\n.inputs a\n.outputs nothing\n.end\n",
+        ),
+    ] {
+        assert!(snl::parse(text).is_err(), "{what} was accepted");
+    }
+}
+
+#[test]
+fn snl_seeded_mutation_fuzz_never_panics() {
+    // Take a valid corpus text and apply hundreds of seeded mutations —
+    // truncations, line drops/duplications, token smashes. Every parse
+    // must return Ok or Err; a panic fails the harness.
+    let lib = Library::industrial_130nm();
+    let base = snl::write(
+        &generate(&lib, &standard_suite(SuiteScale::Smoke)[0].config).unwrap(),
+        &lib,
+    )
+    .unwrap();
+    let mut rng = SplitMix64::new(20050307);
+    for round in 0..300 {
+        let mut text = base.clone();
+        match rng.next_below(4) {
+            // Truncate at an arbitrary byte (snap to a char boundary —
+            // SNL output is ASCII, so any byte works).
+            0 => {
+                let cut = rng.next_below(text.len());
+                text.truncate(cut);
+            }
+            // Drop a line.
+            1 => {
+                let lines: Vec<&str> = text.lines().collect();
+                let drop = rng.next_below(lines.len());
+                text = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+            // Duplicate a line.
+            2 => {
+                let lines: Vec<&str> = text.lines().collect();
+                let dup = rng.next_below(lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == dup {
+                        out.push(l);
+                    }
+                }
+                text = out.join("\n");
+            }
+            // Smash one byte with printable junk.
+            _ => {
+                let idx = rng.next_below(text.len());
+                let junk = [b'=', b'.', b' ', b'(', b'z', b'0'][rng.next_below(6)];
+                let mut bytes = text.into_bytes();
+                bytes[idx] = junk;
+                text = String::from_utf8(bytes).expect("ascii in, ascii out");
+            }
+        }
+        // Ok or Err both fine — only a panic (or a wrong Ok on text the
+        // parser then chokes mapping) is a bug. When the text still
+        // parses, mapping it must succeed too.
+        if let Ok(design) = snl::parse(&text) {
+            let _ = selective_mt::synth::map_to_netlist(&design, &lib, &SynthOptions::default());
+        }
+        let _ = round;
+    }
 }
 
 #[test]

@@ -32,6 +32,7 @@ fn bench_circuit(seed: u64, gates: usize, lib: &Library) -> smt_netlist::netlist
             ..RandomLogicConfig::default()
         },
     )
+    .expect("valid random_logic config")
 }
 
 /// Property: over the generated benchmark circuits, the typical-corner

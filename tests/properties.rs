@@ -129,7 +129,7 @@ fn improved_transform_preserves_function() {
             seed,
             ..RandomLogicConfig::default()
         };
-        let golden = random_logic(&lib, &cfg);
+        let golden = random_logic(&lib, &cfg).expect("valid random_logic config");
         let mut dut = golden.clone();
         to_improved_mt_cells(&mut dut, &lib);
         insert_output_holders(&mut dut, &lib);
@@ -175,7 +175,7 @@ fn variant_swaps_preserve_structure() {
                 seed,
                 ..RandomLogicConfig::default()
             };
-            let golden = random_logic(&lib, &cfg);
+            let golden = random_logic(&lib, &cfg).expect("valid random_logic config");
             let mut dut = golden.clone();
             let ids: Vec<_> = dut.instances().map(|(id, _)| id).collect();
             for id in ids {
@@ -246,7 +246,8 @@ fn placement_is_always_legal() {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
         for (id, inst) in n.instances() {
@@ -286,7 +287,8 @@ fn verilog_roundtrip_any_design() {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let text = verilog::write_with_lib(&n, &lib);
         let back = verilog::parse(&text, &lib).unwrap();
         assert_eq!(n.num_instances(), back.num_instances());
@@ -352,7 +354,8 @@ fn timing_graph_analysis_is_bit_identical_to_legacy() {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let p = place(&n, &lib, &PlacerConfig::default());
         let par = Parasitics::estimate(&n, &lib, &p);
         let cfg = StaConfig::default();

@@ -22,7 +22,8 @@ fn check_no_powered_floats(seed: u64) {
             seed,
             ..RandomLogicConfig::default()
         },
-    );
+    )
+    .expect("valid random_logic config");
     to_improved_mt_cells(&mut n, &lib);
     let holders = insert_output_holders(&mut n, &lib);
     insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0));
@@ -97,7 +98,8 @@ fn active_mode_is_unaffected_by_the_gating_fabric() {
                 seed,
                 ..RandomLogicConfig::default()
             },
-        );
+        )
+        .expect("valid random_logic config");
         let mut dut = golden.clone();
         to_improved_mt_cells(&mut dut, &lib);
         insert_output_holders(&mut dut, &lib);
@@ -127,7 +129,8 @@ fn standby_cuts_leakage_on_the_same_state() {
             seed: 77,
             ..RandomLogicConfig::default()
         },
-    );
+    )
+    .expect("valid random_logic config");
     let mut dut = golden.clone();
     to_improved_mt_cells(&mut dut, &lib);
     insert_output_holders(&mut dut, &lib);
