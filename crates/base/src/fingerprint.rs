@@ -1,0 +1,188 @@
+//! Stable content fingerprinting.
+//!
+//! [`Fnv64`] is a 64-bit FNV-1a hasher with a *stable* output: the same
+//! byte sequence produces the same fingerprint on every platform and in
+//! every process run (unlike `std::hash`, which is randomly seeded per
+//! process). That stability is the whole point — fingerprints name
+//! on-disk cache entries (`smt_core`'s design cache keys netlists by
+//! `(family, config, seed, library fingerprint)`) and deterministic
+//! report digests, both of which must survive process boundaries.
+//!
+//! Beyond raw bytes the hasher offers *canonical* writers for the types
+//! the workspace fingerprints:
+//!
+//! * [`Fnv64::write_str`] length-prefixes the bytes, so `("ab", "c")`
+//!   and `("a", "bc")` hash differently;
+//! * [`Fnv64::write_f64`] hashes canonical IEEE-754 bits: `-0.0`
+//!   normalises to `+0.0` (they compare equal, so they must hash equal)
+//!   and every NaN collapses to one canonical pattern;
+//! * integer writers hash fixed-width little-endian bytes, so `usize`
+//!   values fingerprint identically on 32- and 64-bit hosts.
+//!
+//! ```
+//! use smt_base::fingerprint::Fnv64;
+//! let mut h = Fnv64::new();
+//! h.write_str("pipeline");
+//! h.write_u64(11);
+//! h.write_f64(1.25);
+//! let fp = h.finish();
+//! assert_eq!(fp, {
+//!     let mut h2 = Fnv64::new();
+//!     h2.write_str("pipeline");
+//!     h2.write_u64(11);
+//!     h2.write_f64(1.25);
+//!     h2.finish()
+//! });
+//! ```
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable (seed-free) 64-bit FNV-1a hasher. See the [module
+/// docs](self) for the canonicalisation rules.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Hashes raw bytes (no length prefix; prefer the typed writers for
+    /// composite keys).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Hashes a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to `u64` (host-width independent).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Hashes the canonical bit pattern of an `f64`: `-0.0` hashes as
+    /// `+0.0` and every NaN as one canonical NaN.
+    pub fn write_f64(&mut self, v: f64) {
+        let canonical = if v.is_nan() {
+            f64::NAN.to_bits() | 1 // one fixed quiet-NaN pattern
+        } else if v == 0.0 {
+            0u64 // +0.0 and -0.0 compare equal, so hash equal
+        } else {
+            v.to_bits()
+        };
+        self.write_u64(canonical);
+    }
+
+    /// Hashes a string as its byte length followed by its UTF-8 bytes
+    /// (unambiguous under concatenation).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The fingerprint accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot fingerprint of a byte slice.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// One-shot fingerprint of a string (length-prefixed, see
+/// [`Fnv64::write_str`]).
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(s);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Classic FNV-1a 64 test vectors.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let ab_c = {
+            let mut h = Fnv64::new();
+            h.write_str("ab");
+            h.write_str("c");
+            h.finish()
+        };
+        let a_bc = {
+            let mut h = Fnv64::new();
+            h.write_str("a");
+            h.write_str("bc");
+            h.finish()
+        };
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn floats_hash_canonically() {
+        let fp = |v: f64| {
+            let mut h = Fnv64::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        assert_eq!(fp(0.0), fp(-0.0));
+        assert_eq!(fp(f64::NAN), fp(-f64::NAN));
+        assert_ne!(fp(1.0), fp(1.0 + f64::EPSILON));
+        assert_ne!(fp(f64::INFINITY), fp(f64::MAX));
+    }
+
+    #[test]
+    fn integers_are_width_stable() {
+        let a = {
+            let mut h = Fnv64::new();
+            h.write_usize(7);
+            h.finish()
+        };
+        let b = {
+            let mut h = Fnv64::new();
+            h.write_u64(7);
+            h.finish()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -4,8 +4,9 @@
 //! physical [`units`], planar [`geom`]etry, a small deterministic
 //! [`rng`], plain-text [`report`] tables used by the experiment
 //! harness, a dependency-free [`json`] reader/writer for sweep
-//! configuration files, and the shared [`par`]allel fan-out worker
-//! pool.
+//! configuration files, the shared [`par`]allel fan-out worker pool,
+//! and a stable [`fingerprint`] hasher for content-addressed caches and
+//! deterministic report digests.
 //!
 //! The whole workspace uses one consistent unit system, chosen so that
 //! Elmore products come out directly in picoseconds:
@@ -30,6 +31,7 @@
 //! assert_eq!(delay.ps(), 20.0);
 //! ```
 
+pub mod fingerprint;
 pub mod geom;
 pub mod json;
 pub mod par;
@@ -37,6 +39,7 @@ pub mod report;
 pub mod rng;
 pub mod units;
 
+pub use fingerprint::Fnv64;
 pub use geom::{Point, Rect};
 pub use par::parallel_map;
 pub use rng::SplitMix64;

@@ -18,6 +18,7 @@ use crate::cell::{
 };
 use crate::leakage::{LeakageTable, PullNetwork};
 use crate::tech::Technology;
+use smt_base::fingerprint::Fnv64;
 use smt_base::units::{Area, Cap, Current, Res, Time};
 use std::collections::HashMap;
 
@@ -534,6 +535,31 @@ impl Library {
         }
     }
 
+    /// A stable content fingerprint of the whole characterised library:
+    /// the technology (where PVT-corner derates land — see
+    /// [`Corner::derive`](crate::corner::Corner::derive)), the generation
+    /// knobs, and every cell's electrical description (pins, timing
+    /// arcs, leakage tables, MT/switch metadata).
+    ///
+    /// Two libraries fingerprint identically exactly when every number a
+    /// flow run can observe is identical, so the fingerprint is a sound
+    /// cache key for anything derived from a netlist *and* this library
+    /// (`smt_core`'s design cache keys entries on it). It is stable
+    /// across process runs and platforms ([`Fnv64`]), independent of
+    /// when or in what order corner libraries are characterised from
+    /// this one, and changes whenever any cell or any corner derate
+    /// changes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        hash_technology(&mut h, &self.tech);
+        hash_config(&mut h, &self.config);
+        h.write_usize(self.cells.len());
+        for cell in &self.cells {
+            hash_cell(&mut h, cell);
+        }
+        h.finish()
+    }
+
     /// All cell types.
     pub fn cells(&self) -> &[Cell] {
         &self.cells
@@ -640,6 +666,120 @@ impl Library {
     pub fn clock_buffer(&self, drive: u8) -> Option<CellId> {
         self.find_id(&format!("CKBUF_X{}", drive))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting (see Library::fingerprint)
+// ---------------------------------------------------------------------------
+
+fn hash_technology(h: &mut Fnv64, t: &Technology) {
+    h.write_str(&t.name);
+    for v in [
+        t.vdd.volts(),
+        t.vth_low.volts(),
+        t.vth_high.volts(),
+        t.subthreshold_swing,
+        t.leak_i0_ua_per_um,
+        t.stack_factor,
+        t.ron_low_kohm_um,
+        t.ron_high_ratio,
+        t.cgate_ff_per_um,
+        t.wire_res_kohm_per_um,
+        t.wire_cap_ff_per_um,
+        t.row_height_um,
+        t.site_width_um,
+        t.ipeak_ua_per_um,
+        t.simultaneity,
+        t.vgnd_wire_res_factor,
+        t.switch_area_um2_per_um,
+        t.em_limit_ua,
+        t.bounce_delay_sens,
+    ] {
+        h.write_f64(v);
+    }
+}
+
+fn hash_config(h: &mut Fnv64, c: &LibraryConfig) {
+    h.write_usize(c.drives.len());
+    for &d in &c.drives {
+        h.write_u8(d);
+    }
+    for v in [
+        c.mv_area_factor,
+        c.embedded_switch_area_um2_per_um,
+        c.embedded_holder_area_um2,
+        c.embedded_bounce_limit_mv,
+        c.mt_delay_penalty_embedded,
+        c.mt_delay_penalty_vgnd,
+        c.em_ua_per_um,
+    ] {
+        h.write_f64(v);
+    }
+    h.write_usize(c.switch_widths_um.len());
+    for &w in &c.switch_widths_um {
+        h.write_f64(w);
+    }
+}
+
+fn hash_cell(h: &mut Fnv64, cell: &Cell) {
+    h.write_str(&cell.name);
+    h.write_u8(cell.kind as u8);
+    h.write_u8(cell.drive);
+    h.write_u8(cell.vth as u8);
+    h.write_u8(cell.role as u8);
+    h.write_f64(cell.area.um2());
+    h.write_usize(cell.pins.len());
+    for pin in &cell.pins {
+        h.write_str(&pin.name);
+        h.write_u8(pin.dir as u8);
+        h.write_f64(pin.cap.ff());
+        h.write_bool(pin.is_clock);
+        h.write_bool(pin.is_vgnd);
+    }
+    match &cell.function {
+        Some(tt) => {
+            h.write_bool(true);
+            h.write_u8(tt.n_inputs);
+            h.write_u64(u64::from(tt.bits));
+        }
+        None => h.write_bool(false),
+    }
+    h.write_usize(cell.arcs.len());
+    for arc in &cell.arcs {
+        h.write_usize(arc.from_pin);
+        h.write_usize(arc.to_pin);
+        h.write_f64(arc.intrinsic.ps());
+        h.write_f64(arc.slew_coeff);
+        h.write_f64(arc.drive_res.kohm());
+        h.write_f64(arc.slew_intrinsic.ps());
+        h.write_f64(arc.slew_res.kohm());
+    }
+    h.write_usize(cell.leakage.per_state.len());
+    for leak in &cell.leakage.per_state {
+        h.write_f64(leak.ua());
+    }
+    h.write_f64(cell.standby_leak.ua());
+    h.write_f64(cell.setup.ps());
+    h.write_f64(cell.hold.ps());
+    match &cell.mt {
+        Some(mt) => {
+            h.write_bool(true);
+            h.write_f64(mt.embedded_switch_width_um);
+            h.write_f64(mt.peak_current.ua());
+        }
+        None => h.write_bool(false),
+    }
+    match &cell.switch {
+        Some(sw) => {
+            h.write_bool(true);
+            h.write_f64(sw.width_um);
+            h.write_f64(sw.on_res.kohm());
+            h.write_f64(sw.off_leak.ua());
+            h.write_f64(sw.max_current.ua());
+        }
+        None => h.write_bool(false),
+    }
+    h.write_f64(cell.nmos_width_um);
 }
 
 #[cfg(test)]
@@ -771,5 +911,75 @@ mod tests {
         let big = l.find("ND4_X4_MC").unwrap().mt.unwrap();
         assert!(big.embedded_switch_width_um > small.embedded_switch_width_um);
         assert!(big.peak_current > small.peak_current);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_rebuilds() {
+        // Two independent generations of the same library (fresh
+        // HashMaps, fresh Vecs) must fingerprint identically — the
+        // process-run stability the on-disk design cache keys rely on.
+        assert_eq!(
+            Library::industrial_130nm().fingerprint(),
+            Library::industrial_130nm().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_corner_characterisation_order() {
+        use crate::corner::{Corner, CornerLibrary};
+        let base = lib();
+        let before = base.fingerprint();
+        // Characterise corners in one order...
+        let a: Vec<u64> = [Corner::slow(), Corner::typical(), Corner::fast()]
+            .into_iter()
+            .map(|c| CornerLibrary::build(&base, c).lib.fingerprint())
+            .collect();
+        // ...and the reverse; per-corner fingerprints must not depend on
+        // when (or in what order) the corners were derived, and deriving
+        // corners must not perturb the base library's own fingerprint.
+        let b: Vec<u64> = [Corner::fast(), Corner::typical(), Corner::slow()]
+            .into_iter()
+            .map(|c| CornerLibrary::build(&base, c).lib.fingerprint())
+            .collect();
+        assert_eq!(a[0], b[2], "slow corner fingerprint depends on order");
+        assert_eq!(a[1], b[1], "typical corner fingerprint depends on order");
+        assert_eq!(a[2], b[0], "fast corner fingerprint depends on order");
+        assert_eq!(base.fingerprint(), before);
+        // The identity corner is a clone of the base.
+        assert_eq!(a[1], before);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_cell_and_derate_changes() {
+        use crate::corner::Corner;
+        let base = lib();
+        let fp = base.fingerprint();
+
+        // A cell-level change: different MT-cell delay penalty.
+        let tweaked_cells = Library::generate(
+            Technology::industrial_130nm(),
+            LibraryConfig {
+                mt_delay_penalty_vgnd: 1.04,
+                ..LibraryConfig::default()
+            },
+        );
+        assert_ne!(tweaked_cells.fingerprint(), fp);
+
+        // A derate change: every non-identity corner moves the
+        // technology, so its re-characterised library fingerprints
+        // differently from the base and from every other corner.
+        let slow = Library::generate(Corner::slow().derive(&base.tech), base.config.clone());
+        let fast = Library::generate(Corner::fast().derive(&base.tech), base.config.clone());
+        assert_ne!(slow.fingerprint(), fp);
+        assert_ne!(fast.fingerprint(), fp);
+        assert_ne!(slow.fingerprint(), fast.fingerprint());
+
+        // Even a minimal derate (a 1 mV Vth shift) must change it.
+        let nudged = Corner {
+            vth_shift: Volt::from_millivolts(1.0),
+            ..Corner::typical()
+        };
+        let nudged_lib = Library::generate(nudged.derive(&base.tech), base.config.clone());
+        assert_ne!(nudged_lib.fingerprint(), fp);
     }
 }

@@ -29,6 +29,7 @@
 //! batch driver runs.
 
 use crate::gen::{random_logic, GenError, RandomLogicConfig};
+use smt_base::fingerprint::Fnv64;
 use smt_base::rng::SplitMix64;
 use smt_cells::library::Library;
 use smt_netlist::netlist::{NetId, Netlist};
@@ -563,6 +564,62 @@ impl FamilyConfig {
             FamilyConfig::RandomLogic(_) => "random_logic",
         }
     }
+
+    /// A stable fingerprint of the family plus every generator knob
+    /// (including the seed). Together with the library fingerprint this
+    /// is the design-cache key `(family, config, seed, library)`: equal
+    /// exactly when [`generate`] is guaranteed to produce the identical
+    /// netlist.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(self.family());
+        match self {
+            FamilyConfig::Pipeline(c) => {
+                h.write_usize(c.stages);
+                h.write_usize(c.width);
+                h.write_u64(c.seed);
+            }
+            FamilyConfig::Multiplier(c) => {
+                h.write_usize(c.width);
+            }
+            FamilyConfig::FsmBank(c) => {
+                h.write_usize(c.machines);
+                h.write_usize(c.state_bits);
+                h.write_usize(c.inputs);
+                h.write_u64(c.seed);
+            }
+            FamilyConfig::FanoutBlocks(c) => {
+                h.write_usize(c.blocks);
+                h.write_usize(c.regs_per_block);
+                h.write_usize(c.max_fanout);
+                h.write_u64(c.seed);
+            }
+            FamilyConfig::RandomLogic(c) => {
+                h.write_usize(c.gates);
+                h.write_usize(c.ffs);
+                h.write_usize(c.inputs);
+                h.write_usize(c.window);
+                h.write_u64(c.seed);
+            }
+        }
+        h.finish()
+    }
+
+    /// A cheap instance-count estimate, *without generating* — the
+    /// weight the suite's gate-balanced shard planner uses so shards can
+    /// be assigned before any netlist exists. Same order of magnitude as
+    /// the real count (the per-family docs' rough formulas), not exact.
+    pub fn estimated_gates(&self) -> usize {
+        match self {
+            FamilyConfig::Pipeline(c) => c.stages * c.width * 7 + (c.stages + 1) * c.width,
+            FamilyConfig::Multiplier(c) => 7 * c.width * c.width + 2 * c.width,
+            FamilyConfig::FsmBank(c) => c.machines * c.state_bits * 5,
+            FamilyConfig::FanoutBlocks(c) => {
+                c.blocks * (c.regs_per_block * 3 + c.regs_per_block / c.max_fanout.max(1) * 2 + 1)
+            }
+            FamilyConfig::RandomLogic(c) => c.gates + c.ffs,
+        }
+    }
 }
 
 /// Generates the configured family.
@@ -831,6 +888,49 @@ mod tests {
         .unwrap();
         let widest = n.nets().map(|(_, net)| net.loads.len()).max().unwrap();
         assert!(widest >= 6, "widest net only {widest} loads");
+    }
+
+    #[test]
+    fn family_fingerprints_are_distinct_and_stable() {
+        // Every curated workload across all three scales keys uniquely.
+        let mut fps = Vec::new();
+        for scale in [SuiteScale::Smoke, SuiteScale::Standard, SuiteScale::Large] {
+            for w in standard_suite(scale) {
+                fps.push((w.name.clone(), w.config.fingerprint()));
+                // Stable: recomputing yields the same key.
+                assert_eq!(w.config.fingerprint(), w.config.fingerprint());
+            }
+        }
+        for (i, (name_a, a)) in fps.iter().enumerate() {
+            for (name_b, b) in fps.iter().skip(i + 1) {
+                assert_ne!(a, b, "{name_a} and {name_b} share a fingerprint");
+            }
+        }
+        // The seed is part of the key.
+        let base = PipelineConfig::default();
+        let reseeded = PipelineConfig {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        assert_ne!(
+            FamilyConfig::Pipeline(base).fingerprint(),
+            FamilyConfig::Pipeline(reseeded).fingerprint()
+        );
+    }
+
+    #[test]
+    fn estimated_gates_track_actual_counts() {
+        let l = lib();
+        for w in standard_suite(SuiteScale::Smoke) {
+            let actual = generate(&l, &w.config).unwrap().num_instances();
+            let estimate = w.config.estimated_gates();
+            assert!(estimate > 0, "{}", w.name);
+            assert!(
+                estimate * 6 >= actual && estimate <= actual * 6,
+                "{}: estimate {estimate} far from actual {actual}",
+                w.name
+            );
+        }
     }
 
     #[test]

@@ -180,6 +180,45 @@ pub enum StageId {
 }
 
 impl StageId {
+    /// Every stage, in full Fig. 4 plan order — the canonical ordering
+    /// the suite's stage-profile table and report serialisation use.
+    pub const ALL: [StageId; 11] = [
+        StageId::Synthesize,
+        StageId::PlaceAndClock,
+        StageId::AssignDualVth,
+        StageId::MtReplace,
+        StageId::InsertHolders,
+        StageId::ClusterSwitches,
+        StageId::Cts,
+        StageId::RouteExtract,
+        StageId::ReoptSwitches,
+        StageId::EcoHoldFix,
+        StageId::Signoff,
+    ];
+
+    /// A stable machine-readable key (JSON report field; see
+    /// [`StageId::from_key`]).
+    pub fn key(self) -> &'static str {
+        match self {
+            StageId::Synthesize => "synthesize",
+            StageId::PlaceAndClock => "place_and_clock",
+            StageId::AssignDualVth => "assign_dual_vth",
+            StageId::MtReplace => "mt_replace",
+            StageId::InsertHolders => "insert_holders",
+            StageId::ClusterSwitches => "cluster_switches",
+            StageId::Cts => "cts",
+            StageId::RouteExtract => "route_extract",
+            StageId::ReoptSwitches => "reopt_switches",
+            StageId::EcoHoldFix => "eco_hold_fix",
+            StageId::Signoff => "signoff",
+        }
+    }
+
+    /// Inverse of [`StageId::key`].
+    pub fn from_key(key: &str) -> Option<StageId> {
+        StageId::ALL.into_iter().find(|s| s.key() == key)
+    }
+
     /// Human-readable stage title (used in [`StageMetrics::stage`]).
     pub fn title(self) -> &'static str {
         match self {
@@ -317,6 +356,13 @@ pub enum FlowError {
         /// Which invariant failed.
         message: String,
     },
+    /// An error reloaded from a serialised suite report
+    /// (`SuiteReport::from_json`): the original structured variant is
+    /// gone, only its rendered message survives the round trip.
+    Reported {
+        /// The original error's `Display` output.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -348,6 +394,7 @@ impl std::fmt::Display for FlowError {
             FlowError::InvalidCorners { message } => {
                 write!(f, "invalid corner set: {message}")
             }
+            FlowError::Reported { message } => f.write_str(message),
         }
     }
 }

@@ -19,9 +19,13 @@
 //!   sweeps;
 //! * [`flow`] — the one-shot `run_flow` compatibility wrappers over the
 //!   engine;
-//! * [`suite`] — the workload-suite batch driver: many designs through
-//!   one configuration on the shared worker pool, with per-design
-//!   signoff rows and independent equivalence checks.
+//! * [`suite`] — the workload-suite runtime: many designs through one
+//!   configuration on the shared worker pool, with per-design signoff
+//!   rows, independent equivalence checks, per-stage telemetry, and
+//!   deterministic sharding with mergeable JSON reports;
+//! * [`cache`] — the on-disk design cache: generated/ingested netlists
+//!   stored as SNL, keyed by `(family, config, seed, library
+//!   fingerprint)`.
 //!
 //! ```no_run
 //! use smt_cells::library::Library;
@@ -38,6 +42,7 @@
 //! println!("standby leakage: {}", result.standby_leakage);
 //! ```
 
+pub mod cache;
 pub mod cluster;
 pub mod config_io;
 pub mod crosstalk;
@@ -51,6 +56,7 @@ pub mod smtgen;
 pub mod suite;
 pub mod verify;
 
+pub use cache::{CacheStats, DesignCache};
 pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
 pub use crosstalk::{analyze_crosstalk, worst_noise, CrosstalkConfig, CrosstalkReport};
 pub use dualvth::{assign_dual_vth, assign_dual_vth_at_corners, DualVthConfig, DualVthReport};
@@ -62,5 +68,8 @@ pub use flow::{
     run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique,
 };
 pub use report::render_signoff;
-pub use suite::{SuiteOutcome, SuiteReport, SuiteRow, WorkloadSuite};
+pub use suite::{
+    plan_shards, render_suite, MergeError, ShardPlan, ShardStrategy, StageProfile, StageSample,
+    SuiteOutcome, SuiteReport, SuiteRow, WorkloadSuite,
+};
 pub use verify::{mirror_control_ports, verify, VerifyReport};

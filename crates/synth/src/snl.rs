@@ -760,6 +760,116 @@ pub fn read(text: &str, lib: &Library, options: &SynthOptions) -> Result<Netlist
     Ok(map_to_netlist(&design, lib, options))
 }
 
+/// Loads SNL text *structurally*: every `.gate` becomes the matching
+/// X1 low-Vth library cell and every `.latch` a `DFF_X1_H`, with no
+/// AIG round trip — where [`read`] is a re-synthesis that may
+/// restructure logic, `load` reconstructs the written netlist
+/// one-to-one (instance order, net names, port order). Because
+/// [`fn@write`] emits exactly one line per instance, `load(write(n))`
+/// reproduces `n` up to instance names, uniform X1/low-Vth sizing, and
+/// one alias `buf` per output port exposed on an internally-named net.
+/// The design cache (`smt_core::cache`) reads its entries through this
+/// loader so cached designs keep the generator's structure instead of
+/// drifting to the mapper's normal form.
+///
+/// Validation matches the writer's domain: unknown operators, rebound
+/// pins, duplicate drivers, dangling nets and a `.latch` without a
+/// `.clock` are positioned errors. Combinational cycles are *not*
+/// detected here (there is no levelisation) — downstream lint/STA
+/// reports them, exactly as for a hand-built netlist.
+///
+/// # Errors
+///
+/// [`ParseSnlError`] with the offending line.
+pub fn load(text: &str, lib: &Library) -> Result<Netlist, ParseSnlError> {
+    let m = scan(text)?;
+    let mut n = Netlist::new(&m.name);
+    let mut nets: HashMap<String, smt_netlist::netlist::NetId> = HashMap::new();
+    for name in &m.inputs {
+        if nets.contains_key(name) {
+            return Err(err(0, format!("duplicate input net `{name}`")));
+        }
+        nets.insert(name.clone(), n.add_input(name));
+    }
+    let clock = match &m.clock {
+        Some(ck) => {
+            if nets.contains_key(ck) {
+                return Err(err(0, format!("clock `{ck}` collides with an input")));
+            }
+            let id = n.add_clock(ck);
+            nets.insert(ck.clone(), id);
+            Some(id)
+        }
+        None => None,
+    };
+    fn net_of(
+        n: &mut Netlist,
+        nets: &mut HashMap<String, smt_netlist::netlist::NetId>,
+        name: &str,
+    ) -> smt_netlist::netlist::NetId {
+        if let Some(&id) = nets.get(name) {
+            return id;
+        }
+        let id = n.add_net(name);
+        nets.insert(name.to_owned(), id);
+        id
+    }
+    let cell_of = |kind: CellKind, line: usize| {
+        let name = format!("{}_X1_L", kind.base_name());
+        lib.find_id(&name)
+            .ok_or_else(|| err(line, format!("library lacks `{name}`")))
+    };
+    for (i, gate) in m.gates.iter().enumerate() {
+        let cell = cell_of(gate.kind, gate.line)?;
+        let inst = n.add_instance(&format!("g{i}"), cell, lib);
+        let (_, formals) = op_for_kind(gate.kind).expect("scan accepted the operator");
+        for (formal, net_name) in formals.iter().zip(&gate.inputs) {
+            let net = net_of(&mut n, &mut nets, net_name);
+            n.connect_by_name(inst, formal, net, lib)
+                .map_err(|e| err(gate.line, e.to_string()))?;
+        }
+        let out = net_of(&mut n, &mut nets, &gate.output);
+        n.connect_by_name(inst, "Z", out, lib)
+            .map_err(|e| err(gate.line, e.to_string()))?;
+    }
+    for (i, latch) in m.latches.iter().enumerate() {
+        let clock = clock.ok_or_else(|| err(latch.line, "`.latch` requires a `.clock`"))?;
+        let cell = lib
+            .find_id("DFF_X1_H")
+            .ok_or_else(|| err(latch.line, "library lacks `DFF_X1_H`"))?;
+        let inst = n.add_instance(&format!("ff{i}"), cell, lib);
+        let d = net_of(&mut n, &mut nets, &latch.d);
+        let q = net_of(&mut n, &mut nets, &latch.q);
+        for (pin, net) in [("D", d), ("CK", clock), ("Q", q)] {
+            n.connect_by_name(inst, pin, net, lib)
+                .map_err(|e| err(latch.line, e.to_string()))?;
+        }
+    }
+    let mut exposed: Vec<&str> = Vec::with_capacity(m.outputs.len());
+    for name in &m.outputs {
+        if exposed.contains(&name.as_str()) {
+            return Err(err(0, format!("duplicate output `{name}`")));
+        }
+        exposed.push(name);
+        let net = nets
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(0, format!("output `{name}` is never driven")))?;
+        n.expose_output(name, net);
+    }
+    // Every consumed net must have a driver (inputs drive themselves).
+    for (_, net) in n.nets() {
+        let consumed = !net.loads.is_empty() || !net.port_loads.is_empty();
+        if consumed && net.driver.is_none() {
+            return Err(err(
+                0,
+                format!("net `{}` is consumed but never driven", net.name),
+            ));
+        }
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

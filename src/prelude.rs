@@ -18,6 +18,7 @@ pub use smt_circuits::gen::{random_logic, GenError, RandomLogicConfig};
 pub use smt_circuits::rtl::{
     circuit_a_rtl, circuit_a_rtl_lanes, circuit_b_rtl, circuit_b_rtl_sized,
 };
+pub use smt_core::cache::{CacheStats, DesignCache};
 pub use smt_core::config_io::JsonConfig;
 pub use smt_core::engine::{
     run_sweep, run_three_techniques, Checkpoint, CornerSignoff, DesignState, FlowConfig,
@@ -25,4 +26,7 @@ pub use smt_core::engine::{
     SweepOutcome, SweepRun, Technique,
 };
 pub use smt_core::flow::{run_flow, run_flow_netlist};
+pub use smt_core::suite::{
+    plan_shards, render_suite, ShardPlan, ShardStrategy, SuiteReport, WorkloadSuite,
+};
 pub use smt_sta::{IncrementalSta, MultiCornerSta};

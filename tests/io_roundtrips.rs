@@ -71,6 +71,60 @@ fn snl_roundtrip_preserves_function_across_the_corpus() {
 }
 
 #[test]
+fn snl_structural_load_reproduces_the_written_netlist() {
+    // `load` (unlike the re-synthesising `read`) must reconstruct the
+    // written netlist one-to-one: same function, and the gate count
+    // grows only by the alias buffer each internally-named output port
+    // needs in the text. `write(load(write(n)))` is a fixed point
+    // immediately — no normalisation trips.
+    let lib = Library::industrial_130nm();
+    for (name, n) in snl_corpus(&lib) {
+        let text = snl::write(&n, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back = snl::load(&text, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let aliases = n
+            .ports()
+            .filter(|(_, p)| {
+                p.dir == selective_mt::netlist::netlist::PortDir::Output
+                    && n.net(p.net).name != p.name
+            })
+            .count();
+        assert_eq!(
+            back.num_instances(),
+            n.num_instances() + aliases,
+            "{name}: structural load must not restructure logic"
+        );
+        let eq = check_equivalence(&n, &back, &lib, 64, 23).unwrap();
+        assert!(eq.is_equivalent(), "{name}: {:?}", eq.mismatches.first());
+        let again = snl::write(&back, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            again,
+            snl::write(&snl::load(&again, &lib).unwrap(), &lib).unwrap(),
+            "{name}: write∘load must be a fixed point"
+        );
+    }
+}
+
+#[test]
+fn snl_load_rejects_malformed_structure() {
+    let lib = Library::industrial_130nm();
+    // Duplicate driver.
+    let dup = ".model m\n.inputs a\n.outputs y\n.gate inv A=a Z=y\n.gate buf A=a Z=y\n.end\n";
+    assert!(snl::load(dup, &lib).is_err());
+    // Dangling net: consumed but never driven.
+    let dangling = ".model m\n.inputs a\n.outputs y\n.gate nd2 A=a B=ghost Z=y\n.end\n";
+    assert!(snl::load(dangling, &lib).is_err());
+    // Latch without a clock.
+    let unclocked = ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n";
+    assert!(snl::load(unclocked, &lib).is_err());
+    // Undriven output.
+    let no_out = ".model m\n.inputs a\n.outputs nope\n.gate inv A=a Z=y\n.end\n";
+    assert!(snl::load(no_out, &lib).is_err());
+    // Duplicate output (matching `read`'s rejection).
+    let dup_out = ".model m\n.inputs a\n.outputs y y\n.gate inv A=a Z=y\n.end\n";
+    assert!(snl::load(dup_out, &lib).is_err());
+}
+
+#[test]
 fn snl_write_read_write_reaches_a_fixed_point_across_the_corpus() {
     // `read` is a re-synthesis, so the first trip (or two, for designs
     // rich in complex-gate covers) normalises the structure into the
