@@ -4,9 +4,10 @@
 //! physical [`units`], planar [`geom`]etry, a small deterministic
 //! [`rng`], plain-text [`report`] tables used by the experiment
 //! harness, a dependency-free [`json`] reader/writer for sweep
-//! configuration files, the shared [`par`]allel fan-out worker pool,
-//! and a stable [`fingerprint`] hasher for content-addressed caches and
-//! deterministic report digests.
+//! configuration files, the newline-delimited JSON wire [`proto`]col of
+//! the `smtd` flow service, the shared [`par`]allel fan-out worker
+//! pool, and a stable [`fingerprint`] hasher for content-addressed
+//! caches and deterministic report digests.
 //!
 //! The whole workspace uses one consistent unit system, chosen so that
 //! Elmore products come out directly in picoseconds:
@@ -35,6 +36,7 @@ pub mod fingerprint;
 pub mod geom;
 pub mod json;
 pub mod par;
+pub mod proto;
 pub mod report;
 pub mod rng;
 pub mod units;

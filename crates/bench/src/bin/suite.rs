@@ -31,7 +31,10 @@
 //!
 //! Exits non-zero when any design fails its flow, its verification, or
 //! the independent pre- vs post-flow equivalence check (and, for
-//! `--merge`, when the merged report is missing shards). The `large`
+//! `--merge`, when the merged report is missing shards). Shard JSON is
+//! digest-verified on load — a corrupt or hand-edited report is
+//! rejected rather than silently merged — and the merged digest is
+//! printed for comparison against the service's coordinator path. The `large`
 //! scale is the ROADMAP-level stress run: its pipeline design exceeds
 //! 50k gates.
 
@@ -229,6 +232,7 @@ fn run_merge(files: &[String]) -> ! {
     }
     let merged = SuiteReport::merge(reports).unwrap_or_else(|e| fail(e));
     print!("{}", render_suite(&merged));
+    println!("merged digest: {:016x}", merged.digest());
     let missing = merged.missing_ordinals();
     if !missing.is_empty() {
         println!("suite: FAIL — merged report is missing designs {missing:?}");

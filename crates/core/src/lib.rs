@@ -25,7 +25,11 @@
 //!   deterministic sharding with mergeable JSON reports;
 //! * [`cache`] — the on-disk design cache: generated/ingested netlists
 //!   stored as SNL, keyed by `(family, config, seed, library
-//!   fingerprint)`.
+//!   fingerprint)`;
+//! * [`session`] — warm what-if sessions over checkpoints (prefix
+//!   forks, finals replay, corner re-signoff) and the memoised corner
+//!   [`session::LibraryPool`] — the state the `smtd` daemon keeps
+//!   resident.
 //!
 //! ```no_run
 //! use smt_cells::library::Library;
@@ -52,6 +56,7 @@ pub mod engine;
 pub mod flow;
 pub mod reopt;
 pub mod report;
+pub mod session;
 pub mod smtgen;
 pub mod suite;
 pub mod verify;
@@ -68,6 +73,10 @@ pub use flow::{
     run_flow, run_flow_netlist, run_three_techniques, FlowConfig, FlowResult, Technique,
 };
 pub use report::render_signoff;
+pub use session::{
+    complete_flow, config_identity, finals_result, run_what_if, LibraryPool, Session,
+    SessionRegistry, SessionStats, WhatIf, WhatIfRun,
+};
 pub use suite::{
     plan_shards, render_suite, MergeError, ShardPlan, ShardStrategy, StageProfile, StageSample,
     SuiteOutcome, SuiteReport, SuiteRow, WorkloadSuite,

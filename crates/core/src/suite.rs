@@ -51,8 +51,8 @@
 
 use crate::cache::CacheStats;
 use crate::engine::{
-    build_corner_libs, CornerSignoff, FlowConfig, FlowEngine, FlowError, Observer, StageId,
-    StageMetrics,
+    build_corner_libs, CornerSignoff, FlowConfig, FlowEngine, FlowError, FlowResult, Observer,
+    StageId, StageMetrics,
 };
 use smt_base::fingerprint::Fnv64;
 use smt_base::json::Json;
@@ -361,20 +361,10 @@ impl WorkloadSuite {
                 } else {
                     (None, None)
                 };
-                Ok(SuiteOutcome {
-                    cells: r.netlist.num_instances(),
-                    area: r.area,
-                    clock_period: r.clock_period,
-                    wns: r.timing.wns,
-                    hold_violations: r.hold_fix.remaining,
-                    standby_leakage: r.standby_leakage,
-                    active_leakage: r.active_leakage,
-                    census: r.census,
-                    verify_passed: r.verify.passed(),
-                    equivalent,
-                    equiv_error,
-                    corner_signoff: r.corner_signoff,
-                })
+                let mut outcome = SuiteOutcome::from_flow(&r);
+                outcome.equivalent = equivalent;
+                outcome.equiv_error = equiv_error;
+                Ok(outcome)
             }))
             .unwrap_or_else(|payload| {
                 let message = payload
@@ -472,6 +462,55 @@ impl SuiteOutcome {
     /// check (if enabled) agreed.
     pub fn passed(&self) -> bool {
         self.verify_passed && self.equivalent != Some(false)
+    }
+
+    /// The signoff view of one completed flow run, with the suite-level
+    /// equivalence verdict unset ([`SuiteOutcome::equivalent`] stays
+    /// `None`). This is the same projection the suite runtime records
+    /// per design, so a one-shot flow and a suite row over the same
+    /// design digest identically — the contract the `smtd` daemon's
+    /// warm-vs-cold check rests on.
+    pub fn from_flow(r: &FlowResult) -> SuiteOutcome {
+        SuiteOutcome {
+            cells: r.netlist.num_instances(),
+            area: r.area,
+            clock_period: r.clock_period,
+            wns: r.timing.wns,
+            hold_violations: r.hold_fix.remaining,
+            standby_leakage: r.standby_leakage,
+            active_leakage: r.active_leakage,
+            census: r.census,
+            verify_passed: r.verify.passed(),
+            equivalent: None,
+            equiv_error: None,
+            corner_signoff: r.corner_signoff.clone(),
+        }
+    }
+
+    /// Canonical JSON form (the same rendering used inside
+    /// [`SuiteReport::to_json`] rows).
+    pub fn to_json(&self) -> Json {
+        outcome_to_json(self)
+    }
+
+    /// Reloads an outcome serialised by [`SuiteOutcome::to_json`];
+    /// `name` only labels error messages.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(json: &Json, name: &str) -> Result<SuiteOutcome, String> {
+        outcome_from_json(json, name)
+    }
+
+    /// Stable fingerprint of the outcome's canonical JSON rendering.
+    /// Two runs producing bit-identical results digest equal; this is
+    /// what lets a service response assert warm-path determinism
+    /// without shipping the whole netlist back.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(&self.to_json().render());
+        h.finish()
     }
 }
 
@@ -814,6 +853,15 @@ impl SuiteReport {
             Json::Str(format!("{:016x}", self.config_fingerprint)),
         );
         if timing {
+            // The report's own digest rides along (outside the digested
+            // content — `digest()` hashes the `timing == false` form) so
+            // consumers of a shard file or a daemon reply can verify the
+            // deterministic content survived transport. `from_json`
+            // checks it on load.
+            top.insert(
+                "digest".to_owned(),
+                Json::Str(format!("{:016x}", self.digest())),
+            );
             top.insert("wall_s".to_owned(), Json::Num(self.wall.as_secs_f64()));
             if let Some(cache) = &self.cache {
                 let mut c = BTreeMap::new();
@@ -874,13 +922,29 @@ impl SuiteReport {
             .iter()
             .map(row_from_json)
             .collect::<Result<Vec<_>, String>>()?;
-        Ok(SuiteReport {
+        let report = SuiteReport {
             rows,
             total_designs,
             config_fingerprint,
             wall,
             cache,
-        })
+        };
+        // Integrity check: when the serialised form carries its digest
+        // (every report written by `to_json` does), the reloaded
+        // deterministic content must hash to the same value — a
+        // truncated or hand-edited shard file must not merge quietly.
+        if let Some(expect) = json.get("digest").and_then(Json::as_str) {
+            let expect =
+                u64::from_str_radix(expect, 16).map_err(|_| "malformed `digest`".to_owned())?;
+            let got = report.digest();
+            if got != expect {
+                return Err(format!(
+                    "report digest mismatch: file claims {expect:016x}, \
+                     content hashes to {got:016x} (corrupt or edited report)"
+                ));
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -1546,5 +1610,67 @@ mod tests {
             cba.to_json().render(),
             "full serialisation (incl. cache sums) must not depend on merge order"
         );
+    }
+
+    #[test]
+    fn serialised_reports_carry_and_verify_their_digest() {
+        let report = stub_report(&[0, 1], 2);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("digest").and_then(Json::as_str),
+            Some(format!("{:016x}", report.digest()).as_str()),
+            "to_json must surface the report digest"
+        );
+        assert!(
+            json.get("cache").is_some(),
+            "to_json must surface cache statistics"
+        );
+        let back = SuiteReport::from_json(&json).expect("intact report loads");
+        assert_eq!(back.digest(), report.digest());
+
+        // Tampering with digested content after serialisation is caught
+        // on load — this is what `suite --merge` and the daemon's shard
+        // coordinator rely on to refuse corrupt shard files.
+        let mut tampered = json.clone();
+        if let Json::Obj(top) = &mut tampered {
+            let rows = top.get_mut("rows").unwrap();
+            if let Json::Arr(rows) = rows {
+                if let Json::Obj(row) = &mut rows[0] {
+                    row.insert("gates_in".to_owned(), Json::Num(999_999.0));
+                }
+            }
+        }
+        let err = SuiteReport::from_json(&tampered).expect_err("tampered report must not load");
+        assert!(err.contains("digest mismatch"), "{err}");
+
+        // Timing-only fields are legitimately mutable in transit (they
+        // are excluded from the digest): scrubbing wall time still loads.
+        let mut retimed = json;
+        if let Json::Obj(top) = &mut retimed {
+            top.insert("wall_s".to_owned(), Json::Num(0.0));
+        }
+        assert!(SuiteReport::from_json(&retimed).is_ok());
+    }
+
+    #[test]
+    fn outcome_json_round_trips_and_digests_stably() {
+        let outcome = SuiteOutcome {
+            cells: 123,
+            area: Area::new(456.5),
+            clock_period: Time::new(900.0),
+            wns: Time::new(12.25),
+            hold_violations: 1,
+            standby_leakage: Current::new(3.5),
+            active_leakage: Current::new(41.0),
+            census: VthCensus::default(),
+            verify_passed: true,
+            equivalent: Some(true),
+            equiv_error: None,
+            corner_signoff: Vec::new(),
+        };
+        let json = outcome.to_json();
+        let back = SuiteOutcome::from_json(&json, "stub").expect("outcome round trip");
+        assert_eq!(back.to_json().render(), json.render());
+        assert_eq!(back.digest(), outcome.digest());
     }
 }

@@ -20,6 +20,8 @@
 //! * [`core`] — the paper's methodology: Dual-Vth, conventional SMT,
 //!   improved SMT with shared-switch clustering, and the Fig. 4 flow
 //! * [`circuits`] — benchmark designs (circuit A/B substitutes and more)
+//! * [`serve`] — flow-as-a-service: the resident `smtd` daemon, its
+//!   line-protocol client, and the distributed shard coordinator
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use smt_netlist as netlist;
 pub use smt_place as place;
 pub use smt_power as power;
 pub use smt_route as route;
+pub use smt_serve as serve;
 pub use smt_sim as sim;
 pub use smt_sta as sta;
 pub use smt_synth as synth;

@@ -1,0 +1,326 @@
+//! End-to-end contracts of the flow service, over real loopback TCP:
+//!
+//! * a cold `flow` through `smtd` is bit-identical (same outcome
+//!   digest) to an in-process engine run on the same canonical
+//!   netlist, and a warm second `flow` reuses the characterised
+//!   library, the session, and the finals checkpoint — asserted via
+//!   the reply's stats, not timing;
+//! * a coordinator-driven two-worker sharded suite survives a worker
+//!   that dies mid-request (retry reassigns its shard) and its merged
+//!   report digests identically to the unsharded in-process run;
+//! * garbage frames and unknown methods poison only their own
+//!   connection, and a drain leaves no half-served requests behind.
+
+use selective_mt::base::json::Json;
+use selective_mt::cells::library::Library;
+use selective_mt::circuits::families::{generate, standard_suite, SuiteScale, Workload};
+use selective_mt::core::cache::DesignCache;
+use selective_mt::core::engine::{FlowConfig, FlowEngine, Technique};
+use selective_mt::core::suite::SuiteOutcome;
+use selective_mt::serve::{Client, Daemon, DaemonConfig, DaemonHandle, SuiteSpec};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smt-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn daemon(tag: &str) -> DaemonHandle {
+    Daemon::spawn(DaemonConfig {
+        cache_dir: temp_dir(tag),
+        drain_timeout: Duration::from_secs(60),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon boots")
+}
+
+fn connect(handle: &DaemonHandle) -> Client {
+    Client::connect(&handle.addr().to_string(), Duration::from_secs(5)).expect("client connects")
+}
+
+fn obj(pairs: &[(&str, Json)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn stat_bool(reply: &Json, key: &str) -> Option<bool> {
+    reply
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_bool)
+}
+
+/// The smallest Smoke workload keeps full-flow tests fast.
+fn smallest_smoke() -> Workload {
+    standard_suite(SuiteScale::Smoke)
+        .into_iter()
+        .min_by_key(|w| w.config.estimated_gates())
+        .expect("smoke suite is non-empty")
+}
+
+fn await_finished(handle: &DaemonHandle) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.is_finished() {
+        assert!(Instant::now() < deadline, "daemon did not drain in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn warm_flow_is_bit_identical_to_cold_and_in_process_runs() {
+    let handle = daemon("flow");
+    let mut client = connect(&handle);
+    let workload = smallest_smoke();
+    let params = obj(&[
+        ("design", Json::Str(workload.name.clone())),
+        ("session", Json::Str("warm".to_owned())),
+    ]);
+
+    // Cold: everything is built from scratch.
+    let cold = client.call("flow", params.clone()).expect("cold flow");
+    let cold_digest = cold
+        .get("digest")
+        .and_then(Json::as_str)
+        .expect("flow reply carries a digest")
+        .to_owned();
+    assert_eq!(stat_bool(&cold, "library_warm"), Some(false));
+    assert_eq!(stat_bool(&cold, "session_reused"), Some(false));
+    assert_eq!(stat_bool(&cold, "finals_reused"), Some(false));
+    let cold_misses = cold
+        .get("stats")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_usize);
+    assert_eq!(cold_misses, Some(1), "cold flow realises the design once");
+
+    // Warm: same request is served from the session's finals
+    // checkpoint, the library pool, and the design cache — and is
+    // bit-identical.
+    let warm = client.call("flow", params).expect("warm flow");
+    assert_eq!(
+        warm.get("digest").and_then(Json::as_str),
+        Some(cold_digest.as_str())
+    );
+    assert_eq!(stat_bool(&warm, "library_warm"), Some(true));
+    assert_eq!(stat_bool(&warm, "session_reused"), Some(true));
+    assert_eq!(stat_bool(&warm, "finals_reused"), Some(true));
+    let warm_hits = warm
+        .get("stats")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_usize);
+    assert_eq!(warm_hits, Some(1), "warm flow reads the cached design");
+
+    // A what-if forks the warm session without disturbing it: an ECO
+    // with the default hold budget reproduces the base digest.
+    let eco = client
+        .call(
+            "eco",
+            obj(&[
+                ("design", Json::Str(workload.name.clone())),
+                ("session", Json::Str("warm".to_owned())),
+                ("hold_rounds", Json::Num(f64::from(6))),
+            ]),
+        )
+        .expect("eco what-if");
+    assert_eq!(stat_bool(&eco, "session_reused"), Some(true));
+    let runs = eco.get("runs").and_then(Json::as_arr).expect("eco runs");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        runs[0].get("digest").and_then(Json::as_str),
+        Some(cold_digest.as_str()),
+        "an ECO at the session's own hold budget is the identity fork"
+    );
+
+    // In-process reference: same canonical netlist (through a design
+    // cache of our own), same configuration, one-shot engine.
+    let lib = Library::industrial_130nm();
+    let mut cache =
+        DesignCache::open(temp_dir("flow-reference"), &lib).expect("reference cache opens");
+    let netlist = cache
+        .get_or_insert(
+            &workload.name,
+            workload.config.family(),
+            workload.config.fingerprint(),
+            &lib,
+            || generate(&lib, &workload.config).map_err(|e| e.to_string()),
+        )
+        .expect("reference design realises");
+    let config = FlowConfig {
+        technique: Technique::DualVth,
+        ..FlowConfig::default()
+    };
+    let result = FlowEngine::new(&lib, config)
+        .run_netlist(netlist)
+        .expect("reference flow");
+    let reference = format!("{:016x}", SuiteOutcome::from_flow(&result).digest());
+    assert_eq!(
+        cold_digest, reference,
+        "daemon flow and in-process engine run must be bit-identical"
+    );
+
+    // Drain: the shutdown reply confirms, and the accept loop exits.
+    let bye = client.call("shutdown", obj(&[])).expect("shutdown");
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+    await_finished(&handle);
+    handle.wait();
+}
+
+#[test]
+fn coordinator_retries_past_a_dead_worker_and_merges_bit_identical() {
+    // Two live workers, plus a "worker" that accepts a connection and
+    // immediately drops it — a worker dying mid-request.
+    let worker_a = daemon("worker-a");
+    let worker_b = daemon("worker-b");
+    let dead = std::net::TcpListener::bind("127.0.0.1:0").expect("dead listener binds");
+    let dead_addr = dead.local_addr().expect("dead addr");
+    std::thread::spawn(move || {
+        for stream in dead.incoming() {
+            drop(stream);
+        }
+    });
+
+    let coordinator = daemon("coordinator");
+    let mut client = connect(&coordinator);
+    // The dead worker is registered FIRST, so shard 0's dispatch hits
+    // it and must retry onto a live worker.
+    for spec in [
+        format!("tcp:{dead_addr}"),
+        format!("tcp:{}", worker_a.addr()),
+        format!("tcp:{}", worker_b.addr()),
+    ] {
+        client
+            .call("register-worker", obj(&[("worker", Json::Str(spec))]))
+            .expect("register worker");
+    }
+
+    let spec = SuiteSpec {
+        take: Some(2),
+        equiv_cycles: 8,
+        ..SuiteSpec::default()
+    };
+    let mut params = match spec.to_json() {
+        Json::Obj(m) => m,
+        other => panic!("spec JSON is an object, got {other:?}"),
+    };
+    params.insert("shards".to_owned(), Json::Num(2.0));
+    // No local fallback: the merge below proves the work really ran on
+    // the TCP workers.
+    params.insert("local_fallback".to_owned(), Json::Bool(false));
+    let reply = client
+        .call_timeout("suite", Json::Obj(params), Some(Duration::from_secs(1800)))
+        .expect("sharded suite");
+
+    assert_eq!(reply.get("passed").and_then(Json::as_bool), Some(true));
+    let shards = reply
+        .get("shards")
+        .and_then(Json::as_arr)
+        .expect("shard table");
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        let executor = shard
+            .get("executor")
+            .and_then(Json::as_str)
+            .expect("executor");
+        assert!(
+            executor.starts_with("tcp:"),
+            "every shard must run on a TCP worker, got `{executor}`"
+        );
+    }
+    let shard0 = shards
+        .iter()
+        .find(|s| s.get("shard").and_then(Json::as_usize) == Some(0))
+        .expect("shard 0 row");
+    assert!(
+        shard0
+            .get("attempts")
+            .and_then(Json::as_usize)
+            .expect("attempts")
+            >= 2,
+        "shard 0 hits the dead worker first and must retry"
+    );
+
+    // In-process reference: the same spec, unsharded, fresh cache.
+    let lib = Library::industrial_130nm();
+    let mut cache =
+        DesignCache::open(temp_dir("suite-reference"), &lib).expect("reference cache opens");
+    let workloads = spec.workloads();
+    let all: Vec<usize> = (0..workloads.len()).collect();
+    let suite = spec
+        .build_shard(&lib, &mut cache, &workloads, 0, &all)
+        .expect("reference suite builds");
+    let report = suite.run(&lib);
+    assert!(report.all_passed());
+    assert_eq!(
+        reply.get("digest").and_then(Json::as_str),
+        Some(format!("{:016x}", report.digest()).as_str()),
+        "coordinator merge must be bit-identical to the unsharded in-process run"
+    );
+
+    for handle in [coordinator, worker_a, worker_b] {
+        let mut c = connect(&handle);
+        c.call("shutdown", obj(&[])).expect("shutdown");
+        await_finished(&handle);
+        handle.wait();
+    }
+}
+
+#[test]
+fn garbage_frames_and_unknown_methods_poison_only_their_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = daemon("hygiene");
+
+    // A raw connection spewing non-JSON gets one bad-frame error and a
+    // closed connection.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("raw connect");
+    raw.write_all(b"this is not json\n").expect("send garbage");
+    raw.flush().expect("flush");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().expect("clone"))
+        .read_line(&mut line)
+        .expect("error reply");
+    assert!(line.contains("bad-frame"), "got: {line}");
+
+    // The daemon is still perfectly healthy for everyone else.
+    let mut client = connect(&handle);
+    assert_eq!(
+        client.call("ping", obj(&[])).expect("ping"),
+        Json::Bool(true)
+    );
+
+    // Unknown methods are structured errors, not disconnects.
+    let err = client.call("frobnicate", obj(&[]));
+    match err {
+        Err(selective_mt::serve::CallError::Remote(e)) => {
+            assert_eq!(e.code, "unknown-method");
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    assert_eq!(
+        client.call("ping", obj(&[])).expect("ping again"),
+        Json::Bool(true)
+    );
+
+    // Status reflects the traffic and the drain finishes clean.
+    let status = client.call("status", obj(&[])).expect("status");
+    assert!(
+        status
+            .get("served")
+            .and_then(Json::as_usize)
+            .expect("served")
+            >= 3
+    );
+    client.call("shutdown", obj(&[])).expect("shutdown");
+    await_finished(&handle);
+    handle.wait();
+}
