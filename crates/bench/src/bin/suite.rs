@@ -41,7 +41,7 @@
 use smt_cells::corner::CornerSet;
 use smt_cells::library::Library;
 use smt_circuits::families::{generate, standard_suite, SuiteScale, Workload};
-use smt_core::cache::{snl_text_fingerprint, DesignCache, DEFAULT_DIR};
+use smt_core::cache::{snl_text_fingerprint, DesignCache, PlacementCache, DEFAULT_DIR};
 use smt_core::engine::{FlowConfig, Technique};
 use smt_core::suite::{plan_shards, render_suite, ShardStrategy, SuiteReport, WorkloadSuite};
 use smt_netlist::netlist::Netlist;
@@ -300,6 +300,16 @@ fn main() {
     } else {
         None
     };
+    // Placements memoise into the same directory (`.plc` beside the
+    // `.snl` entries), so the same `--cache-dir` / `--no-cache` pair
+    // governs both caches.
+    let placement_cache = if o.use_cache {
+        Some(std::sync::Arc::new(
+            PlacementCache::open(&o.cache_dir).unwrap_or_else(|e| fail(e)),
+        ))
+    } else {
+        None
+    };
     if let Some(dir) = &o.write_snl {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(format_args!("creating {dir}: {e}")));
     }
@@ -319,6 +329,9 @@ fn main() {
         .with_equiv_cycles(o.equiv_cycles)
         .with_total_designs(entries.len())
         .with_suite_fingerprint(suite_fp.finish());
+    if let Some(pc) = &placement_cache {
+        suite = suite.with_placement_cache(pc.clone());
+    }
     for &idx in mine {
         let entry = &entries[idx];
         let netlist = entry
@@ -356,6 +369,9 @@ fn main() {
     print!("{}", render_suite(&report));
     if let Some(stats) = &report.cache {
         eprintln!("design cache ({}): {stats}", o.cache_dir);
+    }
+    if let Some(stats) = &report.placement_cache {
+        eprintln!("placement cache ({}): {stats}", o.cache_dir);
     }
     if let Some(path) = &o.json {
         std::fs::write(path, report.to_json().render())

@@ -354,6 +354,7 @@ impl JsonConfig for PlacerConfig {
                 num(self.anneal_moves_per_cell as f64),
             ),
             ("seed".to_owned(), u64_json(self.seed)),
+            ("anneal_window".to_owned(), num(self.anneal_window as f64)),
         ]))
     }
 
@@ -364,6 +365,7 @@ impl JsonConfig for PlacerConfig {
         f.usize("min_partition", &mut cfg.min_partition)?;
         f.usize("anneal_moves_per_cell", &mut cfg.anneal_moves_per_cell)?;
         f.u64("seed", &mut cfg.seed)?;
+        f.usize("anneal_window", &mut cfg.anneal_window)?;
         f.deny_unknown()?;
         Ok(cfg)
     }

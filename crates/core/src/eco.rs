@@ -8,7 +8,7 @@ use crate::smtgen::mte_net;
 use smt_base::units::Time;
 use smt_cells::cell::VthClass;
 use smt_cells::library::Library;
-use smt_netlist::netlist::{Netlist, PinRef};
+use smt_netlist::netlist::{InstId, Netlist, PinRef};
 use smt_place::Placement;
 use smt_route::{buffer_net, BufferingConfig, BufferingReport, Parasitics};
 use smt_sta::{analyze_cached, Derating, StaConfig, TimingGraph};
@@ -163,7 +163,7 @@ pub fn fix_hold_at_corners(
 }
 
 /// Outcome of setup recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SetupFixReport {
     /// High→low Vth swaps applied on critical paths.
     pub vth_downgrades: usize,
@@ -171,6 +171,10 @@ pub struct SetupFixReport {
     pub upsizes: usize,
     /// Final WNS, ps.
     pub final_wns_ps: f64,
+    /// Every instance whose cell (and so possibly footprint) changed —
+    /// the work-list an incremental placer re-legalizes, instead of
+    /// re-placing the whole design.
+    pub touched: Vec<InstId>,
 }
 
 /// Post-route setup recovery: while setup fails, walk the worst path and
@@ -255,6 +259,7 @@ pub fn recover_setup_at_corners(
                 if let Some(low) = lib.variant_id(netlist.inst(inst).cell, VthClass::Low) {
                     netlist.replace_cell(inst, low, lib).expect("variant swap");
                     report.vth_downgrades += 1;
+                    report.touched.push(inst);
                     changed += 1;
                 }
             } else if cell.drive < 4 {
@@ -268,6 +273,7 @@ pub fn recover_setup_at_corners(
                 if let Some(bigger) = lib.find_id(&name) {
                     netlist.replace_cell(inst, bigger, lib).expect("drive swap");
                     report.upsizes += 1;
+                    report.touched.push(inst);
                     changed += 1;
                 }
             }

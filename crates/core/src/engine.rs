@@ -31,6 +31,7 @@
 //! [`run_flow_netlist`](crate::flow::run_flow_netlist) entry points remain
 //! available as thin wrappers over the engine.
 
+use crate::cache::PlacementCache;
 use crate::cluster::{
     cluster_state, construct_switch_structure, ClusterConfig, SwitchStructureReport,
 };
@@ -46,7 +47,7 @@ use smt_base::units::{Area, Current, Time};
 use smt_cells::corner::{hold_libs, setup_libs, Corner, CornerLibrary, CornerSet};
 use smt_cells::library::Library;
 use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
-use smt_place::{place, Placement, PlacerConfig};
+use smt_place::{PlaceError, Placement, Placer, PlacerConfig};
 use smt_power::{bounce_derates, standby_leakage, StateSource};
 use smt_route::{
     route_global, synthesize_clock_tree, CtsConfig, CtsReport, Parasitics, RouteConfig,
@@ -54,6 +55,7 @@ use smt_route::{
 use smt_sim::{Mode, Simulator, Value};
 use smt_sta::{analyze, analyze_cached, Derating, StaConfig, TimingGraph, TimingReport};
 use smt_synth::{synthesize, SynthError, SynthOptions};
+use std::sync::Arc;
 use std::time::Duration;
 
 // ---------------------------------------------------------------------------
@@ -314,6 +316,9 @@ pub enum FlowError {
     /// Levelisation failed (combinational loop) in placement, STA, CTS,
     /// routing or ECO.
     Cycle(smt_netlist::graph::CombinationalCycle),
+    /// The placer refused its configuration
+    /// ([`PlacerConfig::validate`]).
+    Place(PlaceError),
     /// Verification machinery failed.
     Verify(VerifyError),
     /// The final design misses timing even after re-clustering retries.
@@ -371,6 +376,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Synth(e) => write!(f, "{e}"),
             FlowError::Assign(e) => write!(f, "{e}"),
             FlowError::Cycle(e) => write!(f, "{e}"),
+            FlowError::Place(e) => write!(f, "{e}"),
             FlowError::Verify(e) => write!(f, "{e}"),
             FlowError::TimingNotMet { wns } => {
                 write!(f, "flow result misses timing (wns = {wns})")
@@ -405,6 +411,7 @@ impl std::error::Error for FlowError {
             FlowError::Synth(e) => Some(e),
             FlowError::Assign(e) => Some(e),
             FlowError::Cycle(e) => Some(e),
+            FlowError::Place(e) => Some(e),
             FlowError::Verify(e) => Some(e),
             _ => None,
         }
@@ -424,8 +431,10 @@ pub struct DesignState {
     pub netlist: Netlist,
     /// The post-synthesis reference for equivalence checking.
     pub golden: Netlist,
-    /// Placement (from [`StageId::PlaceAndClock`] onward).
-    pub placement: Option<Placement>,
+    /// The placement session (from [`StageId::PlaceAndClock`] onward):
+    /// holds the current [`Placement`] plus the incremental re-place
+    /// machinery, and forks with the rest of the state in checkpoints.
+    pub placer: Option<Placer>,
     /// Estimated (pre-route) parasitics.
     pub estimated: Option<Parasitics>,
     /// Extracted (post-route) parasitics.
@@ -471,7 +480,7 @@ impl DesignState {
         DesignState {
             netlist: Netlist::new("design"),
             golden: Netlist::new("design"),
-            placement: None,
+            placer: None,
             estimated: None,
             extracted: None,
             clock_period: None,
@@ -525,10 +534,13 @@ impl DesignState {
     }
 
     fn placement(&self, stage: StageId) -> Result<&Placement, FlowError> {
-        self.placement.as_ref().ok_or(FlowError::MissingState {
-            stage,
-            what: "placement",
-        })
+        self.placer
+            .as_ref()
+            .map(Placer::placement)
+            .ok_or(FlowError::MissingState {
+                stage,
+                what: "placement",
+            })
     }
 
     fn sta(&self, stage: StageId) -> Result<&StaConfig, FlowError> {
@@ -545,14 +557,23 @@ impl Default for DesignState {
     }
 }
 
-/// Borrows just the placement field mutably — a free function (not a
+/// Borrows just the placer's placement mutably — a free function (not a
 /// `DesignState` method) so stages can hold it alongside
 /// `&mut state.netlist`.
-fn placement_mut(
-    placement: &mut Option<Placement>,
-    stage: StageId,
-) -> Result<&mut Placement, FlowError> {
-    placement.as_mut().ok_or(FlowError::MissingState {
+fn placement_mut(placer: &mut Option<Placer>, stage: StageId) -> Result<&mut Placement, FlowError> {
+    placer
+        .as_mut()
+        .map(Placer::placement_mut)
+        .ok_or(FlowError::MissingState {
+            stage,
+            what: "placement",
+        })
+}
+
+/// Borrows the whole placer session mutably (stages that re-place
+/// incrementally rather than just recording new-cell locations).
+fn placer_mut(placer: &mut Option<Placer>, stage: StageId) -> Result<&mut Placer, FlowError> {
+    placer.as_mut().ok_or(FlowError::MissingState {
         stage,
         what: "placement",
     })
@@ -632,7 +653,10 @@ impl FlowResult {
             census: state.netlist.vth_census(lib),
             area: state.netlist.total_area(lib),
             golden: state.golden,
-            placement: state.placement.ok_or(missing("placement"))?,
+            placement: state
+                .placer
+                .map(Placer::into_placement)
+                .ok_or(missing("placement"))?,
             clock_period: state.clock_period.ok_or(missing("clock period"))?,
             stages: state.stages,
             dualvth: state.dualvth.ok_or(missing("dual-Vth report"))?,
@@ -667,6 +691,9 @@ pub struct FlowContext<'a> {
     /// RTL-lite source ([`StageId::Synthesize`] input; absent when the
     /// flow was seeded from a netlist).
     pub rtl: Option<&'a str>,
+    /// On-disk placement memo ([`FlowEngine::with_placement_cache`]);
+    /// `None` places from scratch.
+    pub placement_cache: Option<&'a PlacementCache>,
 }
 
 impl<'a> FlowContext<'a> {
@@ -797,6 +824,7 @@ pub struct FlowEngine<'a> {
     corner_libs: Vec<CornerLibrary>,
     stages: Vec<Box<dyn Stage + 'a>>,
     observers: Vec<Box<dyn Observer + 'a>>,
+    placement_cache: Option<Arc<PlacementCache>>,
 }
 
 /// Characterises the configured corners against the base library; an
@@ -843,6 +871,7 @@ impl<'a> FlowEngine<'a> {
             corner_libs,
             stages,
             observers: Vec::new(),
+            placement_cache: None,
         }
     }
 
@@ -859,7 +888,18 @@ impl<'a> FlowEngine<'a> {
             corner_libs,
             stages,
             observers: Vec::new(),
+            placement_cache: None,
         }
+    }
+
+    /// Attaches an on-disk placement cache (builder style): the
+    /// `PlaceAndClock` stage serves warm, digest-verified placements
+    /// instead of re-placing, and stores what it places. The `Arc` lets
+    /// one cache back every engine of a suite run concurrently.
+    #[must_use]
+    pub fn with_placement_cache(mut self, cache: Arc<PlacementCache>) -> Self {
+        self.placement_cache = Some(cache);
+        self
     }
 
     /// The per-corner libraries this engine signs off against, in
@@ -988,6 +1028,7 @@ impl<'a> FlowEngine<'a> {
             corners: &self.corner_libs,
             config: &self.config,
             rtl,
+            placement_cache: self.placement_cache.as_deref(),
         };
         for stage in &self.stages {
             let id = stage.id();
@@ -1067,8 +1108,16 @@ impl Stage for PlaceAndClock {
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
         let cfg = ctx.config;
-        let placement = place(&state.netlist, ctx.lib, &cfg.placer);
-        let parasitics = Parasitics::estimate(&state.netlist, ctx.lib, &placement);
+        // Placement is a pure function of (netlist, placer config,
+        // library): with a cache attached, warm runs skip the full
+        // parallel placement and load bit-identical coordinates.
+        let placer = match ctx.placement_cache {
+            Some(cache) => cache
+                .placer_for(&state.netlist, ctx.lib, &cfg.placer)
+                .map_err(FlowError::Place)?,
+            None => Placer::new(&state.netlist, ctx.lib, &cfg.placer).map_err(FlowError::Place)?,
+        };
+        let parasitics = Parasitics::estimate(&state.netlist, ctx.lib, placer.placement());
 
         // Clock selection: probe the all-low critical delay with a huge
         // period at every setup corner — the slowest corner's critical
@@ -1097,7 +1146,7 @@ impl Stage for PlaceAndClock {
             .unwrap_or(crit * cfg.period_margin)
             .max(MIN_CLOCK_PERIOD);
 
-        state.placement = Some(placement);
+        state.placer = Some(placer);
         state.estimated = Some(parasitics);
         state.clock_period = Some(clock_period);
         state.sta = Some(StaConfig {
@@ -1195,7 +1244,7 @@ impl Stage for InsertHolders {
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
         insert_output_holders(&mut state.netlist, ctx.lib);
-        let placement = placement_mut(&mut state.placement, StageId::InsertHolders)?;
+        let placement = placement_mut(&mut state.placer, StageId::InsertHolders)?;
         place_new_support_cells(&state.netlist, ctx.lib, placement);
         insert_initial_switch(&mut state.netlist, ctx.lib, ctx.config.cluster.bounce_limit);
         Ok(())
@@ -1217,7 +1266,7 @@ impl Stage for ClusterSwitches {
         let cfg = ctx.config;
         let lib = ctx.lib;
         let sta_cfg = state.sta(StageId::ClusterSwitches)?.clone();
-        let placement = placement_mut(&mut state.placement, StageId::ClusterSwitches)?;
+        let placement = placement_mut(&mut state.placer, StageId::ClusterSwitches)?;
         let mut cl_cfg = cfg.cluster.clone();
         for attempt in 0..=cfg.recluster_retries {
             let report = construct_switch_structure(&mut state.netlist, lib, placement, &cl_cfg);
@@ -1256,14 +1305,14 @@ impl Stage for Cts {
     }
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
-        let placement = placement_mut(&mut state.placement, StageId::Cts)?;
+        let placement = placement_mut(&mut state.placer, StageId::Cts)?;
         let cts = synthesize_clock_tree(&mut state.netlist, placement, ctx.lib, &ctx.config.cts);
         if let (Some(r), Some(sta)) = (&cts, state.sta.as_mut()) {
             sta.clock_skew = r.skew();
         }
         state.cts = cts;
         if state.netlist.find_net("mte").is_some() {
-            let placement = placement_mut(&mut state.placement, StageId::Cts)?;
+            let placement = placement_mut(&mut state.placer, StageId::Cts)?;
             distribute_mte(
                 &mut state.netlist,
                 placement,
@@ -1365,7 +1414,7 @@ impl Stage for EcoHoldFix {
         let sta_cfg = state.sta(StageId::EcoHoldFix)?.clone();
         // Setup recovery against the worst setup corner; hold padding
         // against the union of violations at the hold corners.
-        crate::eco::recover_setup_at_corners(
+        let setup_fix = crate::eco::recover_setup_at_corners(
             &mut state.netlist,
             &ctx.setup_libs(),
             extracted,
@@ -1374,7 +1423,13 @@ impl Stage for EcoHoldFix {
             20,
         )
         .map_err(FlowError::Cycle)?;
-        let placement = placement_mut(&mut state.placement, StageId::EcoHoldFix)?;
+        // Setup fixes are in-place variant/drive swaps; re-legalize just
+        // the rows they touched instead of re-running placement.
+        if !setup_fix.touched.is_empty() {
+            let placer = placer_mut(&mut state.placer, StageId::EcoHoldFix)?;
+            placer.replace_cells(&state.netlist, ctx.lib, &setup_fix.touched);
+        }
+        let placement = placement_mut(&mut state.placer, StageId::EcoHoldFix)?;
         let hold_fix = fix_hold_at_corners(
             &mut state.netlist,
             placement,

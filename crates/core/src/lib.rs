@@ -25,7 +25,8 @@
 //!   deterministic sharding with mergeable JSON reports;
 //! * [`cache`] — the on-disk design cache: generated/ingested netlists
 //!   stored as SNL, keyed by `(family, config, seed, library
-//!   fingerprint)`;
+//!   fingerprint)`, plus the digest-verified placement cache keyed by
+//!   `(netlist, placer config, library)` fingerprints;
 //! * [`session`] — warm what-if sessions over checkpoints (prefix
 //!   forks, finals replay, corner re-signoff) and the memoised corner
 //!   [`session::LibraryPool`] — the state the `smtd` daemon keeps
@@ -61,7 +62,7 @@ pub mod smtgen;
 pub mod suite;
 pub mod verify;
 
-pub use cache::{CacheStats, DesignCache};
+pub use cache::{CacheStats, DesignCache, PlacementCache};
 pub use cluster::{construct_switch_structure, ClusterConfig, SwitchStructureReport};
 pub use crosstalk::{analyze_crosstalk, worst_noise, CrosstalkConfig, CrosstalkReport};
 pub use dualvth::{assign_dual_vth, assign_dual_vth_at_corners, DualVthConfig, DualVthReport};

@@ -37,6 +37,7 @@
 //! and re-signing off at the session's own corners reproduces the
 //! stored finals exactly.
 
+use crate::cache::PlacementCache;
 use crate::config_io::JsonConfig;
 use crate::dualvth::DualVthConfig;
 use crate::engine::{
@@ -163,10 +164,48 @@ impl Session {
         lib: &Library,
         corner_libs: &[CornerLibrary],
     ) -> Result<Session, FlowError> {
+        Self::open_with_cache(
+            name,
+            design,
+            design_fp,
+            netlist,
+            config,
+            lib,
+            corner_libs,
+            None,
+        )
+    }
+
+    /// [`Session::open`] with an optional shared [`PlacementCache`]: the
+    /// prefix's placement stage is served from disk when the cache holds
+    /// the `(netlist, placer config, library)` key, so reopening a
+    /// session for a known design skips the placement kernel entirely.
+    /// The resulting prefix checkpoint carries the warm
+    /// [`Placer`](smt_place::Placer) session, which every what-if fork
+    /// inherits — forks re-place incrementally, never from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Any prefix-stage [`FlowError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_cache(
+        name: impl Into<String>,
+        design: impl Into<String>,
+        design_fp: u64,
+        netlist: Netlist,
+        config: FlowConfig,
+        lib: &Library,
+        corner_libs: &[CornerLibrary],
+        placement_cache: Option<Arc<PlacementCache>>,
+    ) -> Result<Session, FlowError> {
         let config_fp = config_identity(&config, lib);
         let seed = Checkpoint::new(DesignState::from_netlist(netlist.clone()));
-        let prefix = FlowEngine::with_corner_libraries(lib, config.clone(), corner_libs.to_vec())
-            .resume_until(&seed, StageId::PlaceAndClock)?;
+        let mut engine =
+            FlowEngine::with_corner_libraries(lib, config.clone(), corner_libs.to_vec());
+        if let Some(cache) = placement_cache {
+            engine = engine.with_placement_cache(cache);
+        }
+        let prefix = engine.resume_until(&seed, StageId::PlaceAndClock)?;
         Ok(Session {
             name: name.into(),
             design: design.into(),

@@ -25,8 +25,8 @@
 //! Reports serialise to JSON ([`SuiteReport::to_json`] /
 //! [`SuiteReport::from_json`]) so shards can run in separate processes
 //! (the `suite` bin's `--shard K/N` / `--merge` flags), and carry the
-//! [`DesignCache`](crate::cache::DesignCache) hit/miss statistics when
-//! the driver used one.
+//! [`DesignCache`](crate::cache::DesignCache) and [`PlacementCache`]
+//! hit/miss statistics when the driver used them.
 //!
 //! ```no_run
 //! use smt_cells::library::Library;
@@ -49,7 +49,7 @@
 //! println!("{}", smt_core::suite::render_suite(&report));
 //! ```
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, PlacementCache};
 use crate::engine::{
     build_corner_libs, CornerSignoff, FlowConfig, FlowEngine, FlowError, FlowResult, Observer,
     StageId, StageMetrics,
@@ -67,6 +67,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One design queued in a suite.
@@ -163,6 +164,7 @@ pub struct WorkloadSuite {
     equiv_cycles: usize,
     total: Option<usize>,
     suite_fp: Option<u64>,
+    placement_cache: Option<Arc<PlacementCache>>,
 }
 
 impl WorkloadSuite {
@@ -177,6 +179,7 @@ impl WorkloadSuite {
             equiv_cycles: 48,
             total: None,
             suite_fp: None,
+            placement_cache: None,
         }
     }
 
@@ -210,6 +213,18 @@ impl WorkloadSuite {
     #[must_use]
     pub fn with_equiv_cycles(mut self, cycles: usize) -> Self {
         self.equiv_cycles = cycles;
+        self
+    }
+
+    /// Shares one on-disk [`PlacementCache`] across every design's
+    /// engine: repeat runs of the same suite skip the placement kernel
+    /// entirely and decode bit-identical coordinates from disk. The
+    /// handle is thread-safe, so the `parallel_map` workers share it
+    /// directly. The report carries the hit/miss delta this run
+    /// contributed ([`SuiteReport::placement_cache`]).
+    #[must_use]
+    pub fn with_placement_cache(mut self, cache: Arc<PlacementCache>) -> Self {
+        self.placement_cache = Some(cache);
         self
     }
 
@@ -320,6 +335,9 @@ impl WorkloadSuite {
         // One corner characterisation for the whole batch.
         let corner_libs = build_corner_libs(lib, &self.config.corners);
         let t0 = Instant::now();
+        // The placement-cache handle outlives this run; report only the
+        // delta this batch contributed.
+        let place_before = self.placement_cache.as_ref().map(|c| c.stats());
         let selected: Vec<&SuiteDesign> = indices.iter().map(|&i| &self.designs[i]).collect();
         let rows: Vec<SuiteRow> = parallel_map(&selected, self.threads, |design| {
             let design: &SuiteDesign = design;
@@ -333,13 +351,16 @@ impl WorkloadSuite {
             // one design becomes that design's Err row instead of
             // tearing down the batch.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let r = FlowEngine::with_corner_libraries(
+                let mut engine = FlowEngine::with_corner_libraries(
                     lib,
                     self.config.clone(),
                     corner_libs.clone(),
                 )
-                .observe(TraceObserver(trace.clone()))
-                .run_netlist(design.netlist.clone())?;
+                .observe(TraceObserver(trace.clone()));
+                if let Some(cache) = &self.placement_cache {
+                    engine = engine.with_placement_cache(cache.clone());
+                }
+                let r = engine.run_netlist(design.netlist.clone())?;
                 // The flow must never change logic: re-check the final
                 // netlist against the *input* netlist under a stimulus
                 // seed unrelated to the flow's own. A check that cannot
@@ -384,12 +405,24 @@ impl WorkloadSuite {
                 outcome,
             }
         });
+        let placement_cache = match (place_before, &self.placement_cache) {
+            (Some(before), Some(cache)) => {
+                let after = cache.stats();
+                Some(CacheStats {
+                    hits: after.hits - before.hits,
+                    misses: after.misses - before.misses,
+                    invalidated: after.invalidated - before.invalidated,
+                })
+            }
+            _ => None,
+        };
         SuiteReport {
             rows,
             total_designs: self.total.unwrap_or(self.designs.len()),
             config_fingerprint: self.config_fingerprint(lib),
             wall: t0.elapsed(),
             cache: None,
+            placement_cache,
         }
     }
 }
@@ -619,6 +652,10 @@ pub struct SuiteReport {
     /// Design-cache statistics, when the driver used one (summed across
     /// shards by [`SuiteReport::merge`]).
     pub cache: Option<CacheStats>,
+    /// Placement-cache statistics contributed by this run, when the
+    /// suite carried a [`PlacementCache`] (summed across shards by
+    /// [`SuiteReport::merge`]).
+    pub placement_cache: Option<CacheStats>,
 }
 
 impl SuiteReport {
@@ -682,6 +719,7 @@ impl SuiteReport {
         let config_fingerprint = first.config_fingerprint;
         let mut wall = first.wall;
         let mut cache = first.cache;
+        let mut placement_cache = first.placement_cache;
         let mut rows = first.rows;
         for report in it {
             if report.total_designs != total {
@@ -698,6 +736,10 @@ impl SuiteReport {
             }
             wall = wall.max(report.wall);
             cache = match (cache, report.cache) {
+                (Some(a), Some(b)) => Some(a.merged(b)),
+                (a, b) => a.or(b),
+            };
+            placement_cache = match (placement_cache, report.placement_cache) {
                 (Some(a), Some(b)) => Some(a.merged(b)),
                 (a, b) => a.or(b),
             };
@@ -724,6 +766,7 @@ impl SuiteReport {
             config_fingerprint,
             wall,
             cache,
+            placement_cache,
         })
     }
 
@@ -863,7 +906,7 @@ impl SuiteReport {
                 Json::Str(format!("{:016x}", self.digest())),
             );
             top.insert("wall_s".to_owned(), Json::Num(self.wall.as_secs_f64()));
-            if let Some(cache) = &self.cache {
+            let cache_json = |cache: &CacheStats| {
                 let mut c = BTreeMap::new();
                 c.insert("hits".to_owned(), Json::Num(cache.hits as f64));
                 c.insert("misses".to_owned(), Json::Num(cache.misses as f64));
@@ -871,7 +914,13 @@ impl SuiteReport {
                     "invalidated".to_owned(),
                     Json::Num(cache.invalidated as f64),
                 );
-                top.insert("cache".to_owned(), Json::Obj(c));
+                Json::Obj(c)
+            };
+            if let Some(cache) = &self.cache {
+                top.insert("cache".to_owned(), cache_json(cache));
+            }
+            if let Some(cache) = &self.placement_cache {
+                top.insert("placement_cache".to_owned(), cache_json(cache));
             }
         }
         let rows = self.rows.iter().map(|r| row_to_json(r, timing)).collect();
@@ -907,14 +956,16 @@ impl SuiteReport {
         let wall =
             Duration::try_from_secs_f64(json.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0))
                 .unwrap_or(Duration::ZERO);
-        let cache = json.get("cache").map(|c| {
+        let cache_stats = |c: &Json| {
             let n = |k: &str| c.get(k).and_then(Json::as_usize).unwrap_or(0);
             CacheStats {
                 hits: n("hits"),
                 misses: n("misses"),
                 invalidated: n("invalidated"),
             }
-        });
+        };
+        let cache = json.get("cache").map(cache_stats);
+        let placement_cache = json.get("placement_cache").map(cache_stats);
         let rows = json
             .get("rows")
             .and_then(Json::as_arr)
@@ -928,6 +979,7 @@ impl SuiteReport {
             config_fingerprint,
             wall,
             cache,
+            placement_cache,
         };
         // Integrity check: when the serialised form carries its digest
         // (every report written by `to_json` does), the reloaded
@@ -1345,6 +1397,9 @@ pub fn render_suite(report: &SuiteReport) -> String {
     if let Some(cache) = &report.cache {
         let _ = writeln!(out, "design cache: {cache}");
     }
+    if let Some(cache) = &report.placement_cache {
+        let _ = writeln!(out, "placement cache: {cache}");
+    }
     let _ = writeln!(
         out,
         "batch: {}/{} designs, {} gates in {:.2}s  ->  {:.0} gates/s  [digest {:016x}]",
@@ -1552,6 +1607,11 @@ mod tests {
                 misses: 2,
                 invalidated: 0,
             }),
+            placement_cache: Some(CacheStats {
+                hits: 3,
+                misses: 1,
+                invalidated: 0,
+            }),
         }
     }
 
@@ -1566,6 +1626,8 @@ mod tests {
         assert!(merged.missing_ordinals().is_empty());
         let cache = merged.cache.expect("cache stats merged");
         assert_eq!((cache.hits, cache.misses), (2, 4));
+        let pcache = merged.placement_cache.expect("placement stats merged");
+        assert_eq!((pcache.hits, pcache.misses), (6, 2));
 
         assert!(matches!(
             SuiteReport::merge([stub_report(&[0], 2), stub_report(&[0], 2)]),
@@ -1625,8 +1687,13 @@ mod tests {
             json.get("cache").is_some(),
             "to_json must surface cache statistics"
         );
+        assert!(
+            json.get("placement_cache").is_some(),
+            "to_json must surface placement-cache statistics"
+        );
         let back = SuiteReport::from_json(&json).expect("intact report loads");
         assert_eq!(back.digest(), report.digest());
+        assert_eq!(back.placement_cache, report.placement_cache);
 
         // Tampering with digested content after serialisation is caught
         // on load — this is what `suite --merge` and the daemon's shard

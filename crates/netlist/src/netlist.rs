@@ -624,6 +624,69 @@ impl Netlist {
             .map(|p| p.net)
     }
 
+    /// Stable structural content fingerprint: FNV-1a over the design
+    /// name, every live instance (slot, name, cell id, pin bindings),
+    /// every net (name, driver, load order, port loads) and every port.
+    /// Two netlists fingerprint equal iff they are the same structure
+    /// under the same ids — tombstone layout included, since dense
+    /// side tables (placement!) are slot-addressed. Pairs with
+    /// `Library::fingerprint()` and `PlacerConfig::fingerprint()` as a
+    /// placement-cache key, and is stable across process runs (no
+    /// hash-map iteration, no pointer values).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = smt_base::fingerprint::Fnv64::new();
+        h.write_str(&self.name);
+        h.write_usize(self.insts.len());
+        for (id, inst) in self.instances() {
+            h.write_usize(id.index());
+            h.write_str(&inst.name);
+            h.write_usize(inst.cell.index());
+            h.write_usize(inst.conns.len());
+            for conn in &inst.conns {
+                match conn {
+                    Some(n) => {
+                        h.write_bool(true);
+                        h.write_usize(n.index());
+                    }
+                    None => h.write_bool(false),
+                }
+            }
+        }
+        h.write_usize(self.nets.len());
+        for (_, net) in self.nets() {
+            h.write_str(&net.name);
+            match net.driver {
+                Some(NetDriver::Inst(pr)) => {
+                    h.write_u8(1);
+                    h.write_usize(pr.inst.index());
+                    h.write_usize(pr.pin);
+                }
+                Some(NetDriver::Port(p)) => {
+                    h.write_u8(2);
+                    h.write_usize(p.index());
+                }
+                None => h.write_u8(0),
+            }
+            h.write_usize(net.loads.len());
+            for pr in &net.loads {
+                h.write_usize(pr.inst.index());
+                h.write_usize(pr.pin);
+            }
+            h.write_usize(net.port_loads.len());
+            for p in &net.port_loads {
+                h.write_usize(p.index());
+            }
+        }
+        h.write_usize(self.ports.len());
+        for (_, p) in self.ports() {
+            h.write_str(&p.name);
+            h.write_bool(p.dir == PortDir::Output);
+            h.write_usize(p.net.index());
+            h.write_bool(p.is_clock);
+        }
+        h.finish()
+    }
+
     // ---- bulk topology export / maintenance -----------------------------
 
     /// Exports net → sink connectivity in compressed-sparse-row form:
@@ -843,6 +906,32 @@ mod tests {
         // Output port loads its net.
         let z = n.find_net("z").unwrap();
         assert_eq!(n.net(z).port_loads.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_tracks_structure() {
+        let lib = lib();
+        let (n, u1, _) = tiny(&lib);
+        let (same, _, _) = tiny(&lib);
+        assert_eq!(n.fingerprint(), same.fingerprint(), "same build, same fp");
+        // A cell-variant swap changes the fingerprint…
+        let (mut swapped, _, _) = tiny(&lib);
+        swapped
+            .replace_cell(u1, lib.find_id("ND2_X1_H").unwrap(), &lib)
+            .unwrap();
+        assert_ne!(n.fingerprint(), swapped.fingerprint());
+        // …and so does a topology edit.
+        let (mut edited, _, _) = tiny(&lib);
+        edited.add_net("extra");
+        assert_ne!(n.fingerprint(), edited.fingerprint());
+        // Tombstone layout matters (dense side tables are slot-addressed):
+        // removing and compacting are distinct states.
+        let (mut dead, _, u2) = tiny(&lib);
+        dead.remove_instance(u2);
+        let fp_tombstoned = dead.fingerprint();
+        assert_ne!(n.fingerprint(), fp_tombstoned);
+        dead.compact();
+        assert_ne!(fp_tombstoned, dead.fingerprint());
     }
 
     #[test]

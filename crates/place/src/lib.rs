@@ -4,9 +4,12 @@
 //! placement" in the paper's Fig. 4):
 //!
 //! * [`fm`] — Fiduccia–Mattheyses min-cut bipartitioning;
-//! * [`mod@place`] — recursive bisection global placement, Tetris row
-//!   legalization, and simulated-annealing refinement (equal-footprint
-//!   swaps keep the placement legal by construction);
+//! * [`mod@place`] — parallel recursive-bisection global placement,
+//!   Tetris row legalization, and region-windowed simulated-annealing
+//!   refinement (equal-footprint swaps keep the placement legal by
+//!   construction), behind the incremental [`Placer`] session type;
+//! * [`store`] — digest-verified text serialization of placements, the
+//!   on-disk format behind the flow's placement cache;
 //! * [`estimate`] — placement-based pre-route RC estimation, the
 //!   "information about the resistance and the capacitance of each wire
 //!   is estimated based on the placement information" step that the
@@ -28,7 +31,9 @@ pub mod def;
 pub mod estimate;
 pub mod fm;
 pub mod place;
+pub mod store;
 
 pub use def::{parse as parse_def, write as write_def, ParseDefError};
 pub use estimate::{estimate_net_rc, NetRc};
-pub use place::{place, Placement, PlacerConfig};
+pub use place::{full_place_runs, place, PlaceError, Placement, Placer, PlacerConfig};
+pub use store::{decode_placement, encode_placement, PlacementDecodeError};

@@ -1,11 +1,28 @@
-//! Global placement (recursive min-cut), row legalization, and simulated
-//! annealing refinement.
+//! Global placement (parallel recursive min-cut), row legalization, and
+//! region-windowed simulated-annealing refinement, behind the
+//! incremental [`Placer`] session type.
+//!
+//! The placer is organised like the timing kernel: one expensive full
+//! construction ([`Placer::new`]), then cheap incremental maintenance
+//! ([`Placer::replace_cell`] re-legalizes only the touched row window,
+//! [`Placer::apply`] re-indexes after a netlist compaction). The free
+//! function [`place`] remains as a thin one-shot wrapper.
+//!
+//! Parallelism runs on the shared `smt_base::par::parallel_map` pool in
+//! two places — the independent sub-regions of each recursive-bisection
+//! level, and the disjoint annealing windows — and is deterministic for
+//! a fixed seed at *any* thread count: every region and window carries
+//! its own seed, workers never share mutable state, and results are
+//! committed in item order.
 
 use crate::fm::{bipartition, FmConfig, Hypergraph};
+use smt_base::fingerprint::Fnv64;
 use smt_base::geom::{Point, Rect};
+use smt_base::par::parallel_map;
 use smt_base::rng::SplitMix64;
 use smt_cells::library::Library;
-use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PortDir};
+use smt_netlist::netlist::{CompactMap, InstId, NetDriver, NetId, Netlist, PortDir};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Placer options.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +35,10 @@ pub struct PlacerConfig {
     pub anneal_moves_per_cell: usize,
     /// RNG seed (placement is deterministic for a fixed seed).
     pub seed: u64,
+    /// Target cells per annealing window. Designs larger than one
+    /// window anneal as a grid of independent windows in parallel;
+    /// smaller designs keep the single global annealing chain.
+    pub anneal_window: usize,
 }
 
 impl Default for PlacerConfig {
@@ -27,13 +48,92 @@ impl Default for PlacerConfig {
             min_partition: 12,
             anneal_moves_per_cell: 40,
             seed: 42,
+            anneal_window: 512,
         }
     }
 }
 
+/// Why a [`PlacerConfig`] cannot produce a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// Utilization must be a finite fraction in `(0, 1]`; zero (or
+    /// negative, or NaN) utilization asks for an infinite die.
+    BadUtilization {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `min_partition` of zero never terminates the bisection.
+    ZeroPartition,
+    /// `anneal_window` of zero cannot hold any cell.
+    ZeroWindow,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::BadUtilization { value } => {
+                write!(f, "placer utilization must be in (0, 1], got {value}")
+            }
+            PlaceError::ZeroPartition => {
+                f.write_str("placer min_partition must be at least 1 cell")
+            }
+            PlaceError::ZeroWindow => f.write_str("placer anneal_window must be at least 1 cell"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl PlacerConfig {
+    /// Checks the config invariants (mirrors `FamilyConfig::validate` in
+    /// `smt-circuits`): degenerate values error here instead of hanging
+    /// the bisection or exploding the floorplan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), PlaceError> {
+        if !(self.utilization.is_finite() && self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(PlaceError::BadUtilization {
+                value: self.utilization,
+            });
+        }
+        if self.min_partition == 0 {
+            return Err(PlaceError::ZeroPartition);
+        }
+        if self.anneal_window == 0 {
+            return Err(PlaceError::ZeroWindow);
+        }
+        Ok(())
+    }
+
+    /// Stable content fingerprint over every placement-affecting knob —
+    /// one third of a placement-cache key (with the netlist and library
+    /// fingerprints).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_f64(self.utilization);
+        h.write_usize(self.min_partition);
+        h.write_usize(self.anneal_moves_per_cell);
+        h.write_u64(self.seed);
+        h.write_usize(self.anneal_window);
+        h.finish()
+    }
+}
+
+/// Lifetime count of *full* placements performed by this process
+/// ([`Placer::new`] / [`place`]; cache hits and incremental updates do
+/// not count). Lets tests assert that warm paths — what-if forks,
+/// cached suite runs — really stopped re-placing.
+pub fn full_place_runs() -> u64 {
+    FULL_PLACE_RUNS.load(Ordering::Relaxed)
+}
+
+static FULL_PLACE_RUNS: AtomicU64 = AtomicU64::new(0);
+
 /// A legalized placement: instance locations on rows plus port locations
 /// on the die boundary.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Placement {
     /// Location of each instance slot (tombstoned slots keep their last
     /// position; nobody queries them).
@@ -44,18 +144,81 @@ pub struct Placement {
     pub die: Rect,
     /// Row y-coordinates.
     pub row_ys: Vec<f64>,
+    /// Whether each slot was ever deliberately placed (initial placement
+    /// or [`Placement::set_loc`]). Parallel to `locs`.
+    pub(crate) placed: Vec<bool>,
+    /// Times [`Placement::loc`] fell back to the die centre for a
+    /// never-placed instance — a flow stage created a cell and forgot to
+    /// place it.
+    pub(crate) fallback_hits: AtomicU64,
+}
+
+impl Clone for Placement {
+    fn clone(&self) -> Self {
+        Placement {
+            locs: self.locs.clone(),
+            port_locs: self.port_locs.clone(),
+            die: self.die,
+            row_ys: self.row_ys.clone(),
+            placed: self.placed.clone(),
+            fallback_hits: AtomicU64::new(self.fallback_hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Placement {
+    /// Assembles a placement from already-legal parts (the DEF reader,
+    /// hand-built test fixtures). Every slot in `locs` counts as
+    /// deliberately placed.
+    pub fn from_parts(
+        locs: Vec<Point>,
+        port_locs: Vec<Point>,
+        die: Rect,
+        row_ys: Vec<f64>,
+    ) -> Self {
+        let placed = vec![true; locs.len()];
+        Placement {
+            locs,
+            port_locs,
+            die,
+            row_ys,
+            placed,
+            fallback_hits: AtomicU64::new(0),
+        }
+    }
+
     /// Location of an instance. Instances created after placement that
     /// were never given a location via [`Placement::set_loc`] read as the
     /// die centre (flow stages place the cells they create; the fallback
-    /// keeps estimation robust while they do).
+    /// keeps estimation robust while they do) — every such read is
+    /// counted in [`Placement::fallback_hits`]. Use
+    /// [`Placement::try_loc`] where an unplaced cell should be an error
+    /// instead of a silent default.
     pub fn loc(&self, inst: InstId) -> Point {
-        self.locs
-            .get(inst.index())
-            .copied()
-            .unwrap_or_else(|| self.die.center())
+        match self.try_loc(inst) {
+            Some(p) => p,
+            None => {
+                self.fallback_hits.fetch_add(1, Ordering::Relaxed);
+                self.die.center()
+            }
+        }
+    }
+
+    /// Location of an instance, or `None` when it was never placed.
+    pub fn try_loc(&self, inst: InstId) -> Option<Point> {
+        let i = inst.index();
+        if *self.placed.get(i)? {
+            self.locs.get(i).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Times [`Placement::loc`] silently defaulted to the die centre.
+    /// A non-zero count after a flow means some stage created cells
+    /// without placing them.
+    pub fn fallback_hits(&self) -> u64 {
+        self.fallback_hits.load(Ordering::Relaxed)
     }
 
     /// Records (or overrides) the location of an instance — used by the
@@ -64,8 +227,10 @@ impl Placement {
     pub fn set_loc(&mut self, inst: InstId, loc: Point) {
         if inst.index() >= self.locs.len() {
             self.locs.resize(inst.index() + 1, Point::ORIGIN);
+            self.placed.resize(inst.index() + 1, false);
         }
         self.locs[inst.index()] = loc;
+        self.placed[inst.index()] = true;
     }
 
     /// Location of a port. Ports created after placement (e.g. the `mte`
@@ -124,8 +289,333 @@ fn cell_sites(lib: &Library, netlist: &Netlist, inst: InstId) -> usize {
 
 /// Places a netlist: recursive FM bisection for global positions, Tetris
 /// row legalization, then annealing refinement. Deterministic for a fixed
-/// seed.
+/// seed. Thin wrapper over [`Placer::new`] for one-shot callers.
+///
+/// # Panics
+///
+/// Panics when `config` is invalid ([`PlacerConfig::validate`]); use
+/// [`Placer::new`] where the error should surface as a value.
 pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placement {
+    Placer::new(netlist, lib, config)
+        .expect("invalid placer config")
+        .into_placement()
+}
+
+// ---------------------------------------------------------------------------
+// The Placer session
+// ---------------------------------------------------------------------------
+
+/// An incremental placement session, mirroring `IncrementalSta`: one
+/// expensive full placement at construction, then window-local
+/// maintenance as the netlist evolves. Clones freely (flow checkpoints
+/// fork it with the rest of the design state).
+#[derive(Debug, Clone)]
+pub struct Placer {
+    config: PlacerConfig,
+    placement: Placement,
+}
+
+impl Placer {
+    /// Runs a full placement on the shared worker pool (one worker per
+    /// core).
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError`] when the config is invalid; nothing is placed.
+    pub fn new(
+        netlist: &Netlist,
+        lib: &Library,
+        config: &PlacerConfig,
+    ) -> Result<Self, PlaceError> {
+        Self::with_threads(netlist, lib, config, 0)
+    }
+
+    /// Like [`Placer::new`] with an explicit worker cap (`0` = one per
+    /// core). The placement is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError`] when the config is invalid.
+    pub fn with_threads(
+        netlist: &Netlist,
+        lib: &Library,
+        config: &PlacerConfig,
+        threads: usize,
+    ) -> Result<Self, PlaceError> {
+        config.validate()?;
+        FULL_PLACE_RUNS.fetch_add(1, Ordering::Relaxed);
+        let placement = full_place(netlist, lib, config, threads);
+        Ok(Placer {
+            config: config.clone(),
+            placement,
+        })
+    }
+
+    /// Wraps an existing placement (a cache hit, a DEF import) in a
+    /// session without re-placing anything.
+    pub fn from_placement(placement: Placement, config: PlacerConfig) -> Self {
+        Placer { config, placement }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// The current placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Mutable access for stages that place the cells they create
+    /// ([`Placement::set_loc`]).
+    pub fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
+    /// Unwraps the placement, ending the session.
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+
+    /// Window-local incremental re-place after `inst`'s cell type (and
+    /// so possibly its footprint) changed via `Netlist::replace_cell`:
+    /// re-packs only the row holding `inst`, leaving every other row
+    /// untouched. An unplaced instance is first dropped at the die
+    /// centre. O(row) — never a full re-place.
+    pub fn replace_cell(&mut self, netlist: &Netlist, lib: &Library, inst: InstId) {
+        if self.placement.try_loc(inst).is_none() {
+            let c = self.placement.die.center();
+            let y = self.nearest_row_y(c.y);
+            self.placement.set_loc(inst, Point::new(c.x, y));
+        }
+        let y = self.nearest_row_y(self.placement.loc(inst).y);
+        self.repack_row(netlist, lib, y);
+    }
+
+    /// [`Placer::replace_cell`] for a batch: each touched row is
+    /// re-packed once, in ascending row order.
+    pub fn replace_cells(&mut self, netlist: &Netlist, lib: &Library, insts: &[InstId]) {
+        let mut rows: Vec<u64> = Vec::new();
+        for &inst in insts {
+            if self.placement.try_loc(inst).is_none() {
+                let c = self.placement.die.center();
+                let y = self.nearest_row_y(c.y);
+                self.placement.set_loc(inst, Point::new(c.x, y));
+            }
+            rows.push(self.nearest_row_y(self.placement.loc(inst).y).to_bits());
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        for y in rows {
+            self.repack_row(netlist, lib, f64::from_bits(y));
+        }
+    }
+
+    /// Re-indexes the placement after `Netlist::compact()` squeezed out
+    /// tombstones: slot `old` moves to `map.new_id(old)`, dead slots are
+    /// dropped. The fallback-hit counter carries over.
+    pub fn apply(&mut self, map: &CompactMap) {
+        let live = (0..map.old_capacity())
+            .filter(|&i| map.new_id(InstId(i as u32)).is_some())
+            .count();
+        let mut locs = vec![Point::ORIGIN; live];
+        let mut placed = vec![false; live];
+        for old in 0..map.old_capacity() {
+            let Some(new) = map.new_id(InstId(old as u32)) else {
+                continue;
+            };
+            if old < self.placement.locs.len() && self.placement.placed[old] {
+                locs[new.index()] = self.placement.locs[old];
+                placed[new.index()] = true;
+            }
+        }
+        self.placement.locs = locs;
+        self.placement.placed = placed;
+    }
+
+    fn nearest_row_y(&self, y: f64) -> f64 {
+        let mut best = y;
+        let mut best_d = f64::INFINITY;
+        for &ry in &self.placement.row_ys {
+            let d = (ry - y).abs();
+            if d < best_d {
+                best_d = d;
+                best = ry;
+            }
+        }
+        best
+    }
+
+    /// Deterministically re-packs every cell sitting within half a row
+    /// height of `row_y` onto that row, left to right in current-x
+    /// order (instance index breaks ties).
+    fn repack_row(&mut self, netlist: &Netlist, lib: &Library, row_y: f64) {
+        let half = lib.tech.row_height_um / 2.0;
+        let mut members: Vec<(InstId, f64)> = netlist
+            .instances()
+            .filter_map(|(id, _)| {
+                self.placement
+                    .try_loc(id)
+                    .filter(|p| (p.y - row_y).abs() < half)
+                    .map(|p| (id, p.x))
+            })
+            .collect();
+        members.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let site_w = lib.tech.site_width_um;
+        let mut x = 0.0;
+        for (id, _) in members {
+            let w = cell_sites(lib, netlist, id) as f64 * site_w;
+            self.placement.set_loc(id, Point::new(x + w / 2.0, row_y));
+            x += w;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full placement
+// ---------------------------------------------------------------------------
+
+/// One bisection work item: a region of the die, the cells assigned to
+/// it, and the sub-hypergraph restricted to those cells (net pin lists
+/// in *member-local* indices, inherited filtered from the parent so the
+/// per-level cost is proportional to the level's pins, not to
+/// `regions × all nets`).
+struct RegionTask {
+    /// Dense cell indices (into the placement-order instance list).
+    members: Vec<usize>,
+    /// Nets with ≥2 member pins, as indices into `members`.
+    nets: Vec<Vec<usize>>,
+    rect: Rect,
+    seed: u64,
+}
+
+/// Splits one region: FM bipartition, halve the rect along its long
+/// axis, and filter the net lists down to each child. Pure — safe to
+/// fan out across regions.
+fn split_region(task: &RegionTask, weights: &[f64]) -> Vec<RegionTask> {
+    let w: Vec<f64> = task.members.iter().map(|&m| weights[m]).collect();
+    let h = Hypergraph::new(task.members.len(), task.nets.clone(), w);
+    let side = bipartition(
+        &h,
+        FmConfig {
+            seed: task.seed,
+            ..FmConfig::default()
+        },
+    );
+    let region = task.rect;
+    let (r0, r1) = if region.width() >= region.height() {
+        let mid = (region.lo.x + region.hi.x) / 2.0;
+        (
+            Rect::new(region.lo, Point::new(mid, region.hi.y)),
+            Rect::new(Point::new(mid, region.lo.y), region.hi),
+        )
+    } else {
+        let mid = (region.lo.y + region.hi.y) / 2.0;
+        (
+            Rect::new(region.lo, Point::new(region.hi.x, mid)),
+            Rect::new(Point::new(region.lo.x, mid), region.hi),
+        )
+    };
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    // Old-local → child-local translation for the net filter below.
+    let mut child_local = vec![usize::MAX; task.members.len()];
+    for (li, &m) in task.members.iter().enumerate() {
+        if side[li] {
+            child_local[li] = right.len();
+            right.push(m);
+        } else {
+            child_local[li] = left.len();
+            left.push(m);
+        }
+    }
+    let mut left_nets = Vec::new();
+    let mut right_nets = Vec::new();
+    for net in &task.nets {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for &p in net {
+            if side[p] {
+                r.push(child_local[p]);
+            } else {
+                l.push(child_local[p]);
+            }
+        }
+        if l.len() >= 2 {
+            left_nets.push(l);
+        }
+        if r.len() >= 2 {
+            right_nets.push(r);
+        }
+    }
+    vec![
+        RegionTask {
+            members: left,
+            nets: left_nets,
+            rect: r0,
+            seed: task.seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+        },
+        RegionTask {
+            members: right,
+            nets: right_nets,
+            rect: r1,
+            seed: task.seed.wrapping_mul(6364136223846793005).wrapping_add(2),
+        },
+    ]
+}
+
+/// Level-synchronous parallel recursive bisection: each level's regions
+/// are independent `(members, nets, rect, seed)` items fanned out on
+/// the shared pool. Deterministic at any thread count — every region's
+/// output depends only on its own seeded content, and children are
+/// collected in item order.
+fn bisect_targets(
+    n: usize,
+    all_nets: Vec<Vec<usize>>,
+    weights: &[f64],
+    die: Rect,
+    config: &PlacerConfig,
+    threads: usize,
+) -> Vec<Point> {
+    let mut targets = vec![Point::ORIGIN; n];
+    let mut frontier = vec![RegionTask {
+        members: (0..n).collect(),
+        nets: all_nets,
+        rect: die,
+        seed: config.seed,
+    }];
+    while !frontier.is_empty() {
+        let mut work = Vec::new();
+        for task in frontier.drain(..) {
+            if task.members.len() <= config.min_partition {
+                let c = task.rect.center();
+                for &m in &task.members {
+                    targets[m] = c;
+                }
+            } else {
+                work.push(task);
+            }
+        }
+        if work.is_empty() {
+            break;
+        }
+        frontier = parallel_map(&work, threads, |task: &RegionTask| {
+            split_region(task, weights)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    }
+    targets
+}
+
+fn full_place(
+    netlist: &Netlist,
+    lib: &Library,
+    config: &PlacerConfig,
+    threads: usize,
+) -> Placement {
     let insts: Vec<InstId> = netlist.instances().map(|(id, _)| id).collect();
     let site_w = lib.tech.site_width_um;
     let row_h = lib.tech.row_height_um;
@@ -142,7 +632,7 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
     );
     let row_ys: Vec<f64> = (0..rows).map(|r| (r as f64 + 0.5) * row_h).collect();
 
-    // ---- global placement: recursive bisection ------------------------
+    // ---- global placement: parallel recursive bisection ---------------
     // Map instance -> dense index.
     let dense: Vec<usize> = insts.iter().map(|i| i.index()).collect();
     let mut dense_of = vec![usize::MAX; netlist.inst_capacity()];
@@ -171,76 +661,7 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
         }
     }
 
-    let mut targets = vec![Point::ORIGIN; insts.len()];
-    let mut stack: Vec<(Vec<usize>, Rect, u64)> =
-        vec![((0..insts.len()).collect(), die, config.seed)];
-    while let Some((members, region, seed)) = stack.pop() {
-        if members.len() <= config.min_partition {
-            let c = region.center();
-            for &m in &members {
-                targets[m] = c;
-            }
-            continue;
-        }
-        // Build the sub-hypergraph restricted to `members`.
-        let mut local_of = vec![usize::MAX; insts.len()];
-        for (li, &m) in members.iter().enumerate() {
-            local_of[m] = li;
-        }
-        let mut sub_nets = Vec::new();
-        for cells in &all_nets {
-            let local: Vec<usize> = cells
-                .iter()
-                .map(|&c| local_of[c])
-                .filter(|&l| l != usize::MAX)
-                .collect();
-            if local.len() >= 2 {
-                sub_nets.push(local);
-            }
-        }
-        let w: Vec<f64> = members.iter().map(|&m| weights[m]).collect();
-        let h = Hypergraph::new(members.len(), sub_nets, w);
-        let side = bipartition(
-            &h,
-            FmConfig {
-                seed,
-                ..FmConfig::default()
-            },
-        );
-        // Split the region along its long axis.
-        let (r0, r1) = if region.width() >= region.height() {
-            let mid = (region.lo.x + region.hi.x) / 2.0;
-            (
-                Rect::new(region.lo, Point::new(mid, region.hi.y)),
-                Rect::new(Point::new(mid, region.lo.y), region.hi),
-            )
-        } else {
-            let mid = (region.lo.y + region.hi.y) / 2.0;
-            (
-                Rect::new(region.lo, Point::new(region.hi.x, mid)),
-                Rect::new(Point::new(region.lo.x, mid), region.hi),
-            )
-        };
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        for (li, &m) in members.iter().enumerate() {
-            if side[li] {
-                right.push(m);
-            } else {
-                left.push(m);
-            }
-        }
-        stack.push((
-            left,
-            r0,
-            seed.wrapping_mul(6364136223846793005).wrapping_add(1),
-        ));
-        stack.push((
-            right,
-            r1,
-            seed.wrapping_mul(6364136223846793005).wrapping_add(2),
-        ));
-    }
+    let targets = bisect_targets(insts.len(), all_nets, &weights, die, config, threads);
 
     // ---- legalization: Tetris packing per row -------------------------
     // Assign cells to the nearest row by target y, then pack by target x.
@@ -273,14 +694,14 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
     }
 
     let mut locs = vec![Point::ORIGIN; netlist.inst_capacity()];
-    let mut slot_x: Vec<Vec<f64>> = vec![Vec::new(); rows];
+    let mut placed = vec![false; netlist.inst_capacity()];
     for (r, members) in row_members.iter().enumerate() {
         let mut x = 0.0;
         for &d in members {
             let w = sites(&weights, d) as f64 * site_w;
             let center = Point::new(x + w / 2.0, row_ys[r]);
             locs[insts[d].index()] = center;
-            slot_x[r].push(x);
+            placed[insts[d].index()] = true;
             x += w;
         }
     }
@@ -321,11 +742,13 @@ pub fn place(netlist: &Netlist, lib: &Library, config: &PlacerConfig) -> Placeme
         port_locs,
         die,
         row_ys,
+        placed,
+        fallback_hits: AtomicU64::new(0),
     };
 
     // ---- annealing refinement: same-width swaps ------------------------
     if config.anneal_moves_per_cell > 0 && insts.len() >= 2 {
-        anneal(netlist, &insts, &weights, &mut placement, config);
+        anneal_windows(netlist, &insts, &weights, &mut placement, config, threads);
     }
     placement
 }
@@ -334,23 +757,110 @@ fn sites(weights: &[f64], d: usize) -> usize {
     weights[d] as usize
 }
 
-/// Simulated annealing over equal-footprint position swaps. Keeps the
-/// placement legal by construction.
-fn anneal(
+// ---------------------------------------------------------------------------
+// Annealing
+// ---------------------------------------------------------------------------
+
+/// Region-windowed annealing refinement. Designs up to one
+/// `anneal_window` keep the original single global annealing chain
+/// (bit-identical to the pre-window placer); larger designs are cut
+/// into a grid of disjoint windows annealed independently — each window
+/// worker owns a snapshot, swaps only its own members, and derives its
+/// RNG from the window index, so the result is deterministic at any
+/// thread count.
+fn anneal_windows(
     netlist: &Netlist,
     insts: &[InstId],
     weights: &[f64],
     placement: &mut Placement,
     config: &PlacerConfig,
+    threads: usize,
 ) {
-    let mut rng = SplitMix64::new(config.seed ^ 0x5157_1057);
+    let n = insts.len();
+    let wanted = n.div_ceil(config.anneal_window.max(1));
+    let base_seed = config.seed ^ 0x5157_1057;
+    if wanted <= 1 {
+        let members: Vec<usize> = (0..n).collect();
+        let temp0 = placement.die.half_perimeter() * 0.05;
+        let moves = config.anneal_moves_per_cell * n;
+        anneal_one(
+            netlist, insts, weights, placement, &members, base_seed, temp0, moves,
+        );
+        return;
+    }
+
+    // A square-ish wx × wy grid of windows over the die.
+    let wx = (wanted as f64).sqrt().ceil().max(1.0) as usize;
+    let wy = wanted.div_ceil(wx);
+    let die = placement.die;
+    let step_x = die.width() / wx as f64;
+    let step_y = die.height() / wy as f64;
+    let mut members_of: Vec<Vec<usize>> = vec![Vec::new(); wx * wy];
+    for (d, &id) in insts.iter().enumerate() {
+        let p = placement.locs[id.index()];
+        let cx = (((p.x - die.lo.x) / step_x) as usize).min(wx - 1);
+        let cy = (((p.y - die.lo.y) / step_y) as usize).min(wy - 1);
+        members_of[cy * wx + cx].push(d);
+    }
+    let window_hp = (step_x + step_y) * 0.05;
+    let windows: Vec<(usize, Vec<usize>)> = members_of
+        .into_iter()
+        .enumerate()
+        .filter(|(_, m)| m.len() >= 2)
+        .collect();
+    // Each worker anneals a clone restricted to its window and reports
+    // the member slots it settled; windows are disjoint by construction
+    // so the commits never conflict.
+    let refined: Vec<Vec<(usize, Point)>> =
+        parallel_map(&windows, threads, |(w, members): &(usize, Vec<usize>)| {
+            let mut scratch = placement.clone();
+            let seed = base_seed.wrapping_add((*w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let moves = config.anneal_moves_per_cell * members.len();
+            anneal_one(
+                netlist,
+                insts,
+                weights,
+                &mut scratch,
+                members,
+                seed,
+                window_hp,
+                moves,
+            );
+            members
+                .iter()
+                .map(|&d| (insts[d].index(), scratch.locs[insts[d].index()]))
+                .collect()
+        });
+    for updates in refined {
+        for (slot, p) in updates {
+            placement.locs[slot] = p;
+        }
+    }
+}
+
+/// One simulated-annealing chain over equal-footprint position swaps
+/// among `members` (dense indices). Keeps the placement legal by
+/// construction. This is the original global annealing loop, seeded and
+/// scoped per window.
+#[allow(clippy::too_many_arguments)]
+fn anneal_one(
+    netlist: &Netlist,
+    insts: &[InstId],
+    weights: &[f64],
+    placement: &mut Placement,
+    members: &[usize],
+    seed: u64,
+    temp0: f64,
+    moves: usize,
+) {
+    let mut rng = SplitMix64::new(seed);
     // Group dense indices by footprint so swaps stay legal. Ordered map:
     // the group iteration order feeds the seeded RNG's swap choices, so a
     // hash map's per-instance ordering would break the placement
     // determinism that checkpoints and sweeps rely on.
     let mut by_width: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-    for (d, &w) in weights.iter().enumerate() {
-        by_width.entry(w as usize).or_default().push(d);
+    for &d in members {
+        by_width.entry(weights[d] as usize).or_default().push(d);
     }
     let groups: Vec<&Vec<usize>> = by_width.values().filter(|g| g.len() >= 2).collect();
     if groups.is_empty() {
@@ -366,8 +876,7 @@ fn anneal(
         v
     };
 
-    let moves = config.anneal_moves_per_cell * insts.len();
-    let mut temp = placement.die.half_perimeter() * 0.05;
+    let mut temp = temp0;
     let cooling = (0.02f64).powf(1.0 / moves.max(1) as f64);
 
     for _ in 0..moves {
@@ -516,5 +1025,210 @@ mod tests {
             "avg = {avg}, die = {}",
             p.die.half_perimeter()
         );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = PlacerConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let zero_util = PlacerConfig {
+            utilization: 0.0,
+            ..ok.clone()
+        };
+        assert!(matches!(
+            zero_util.validate(),
+            Err(PlaceError::BadUtilization { .. })
+        ));
+        let nan_util = PlacerConfig {
+            utilization: f64::NAN,
+            ..ok.clone()
+        };
+        assert!(matches!(
+            nan_util.validate(),
+            Err(PlaceError::BadUtilization { .. })
+        ));
+        let over_util = PlacerConfig {
+            utilization: 1.5,
+            ..ok.clone()
+        };
+        assert!(over_util.validate().is_err());
+        let zero_part = PlacerConfig {
+            min_partition: 0,
+            ..ok.clone()
+        };
+        assert_eq!(zero_part.validate(), Err(PlaceError::ZeroPartition));
+        let zero_window = PlacerConfig {
+            anneal_window: 0,
+            ..ok
+        };
+        assert_eq!(zero_window.validate(), Err(PlaceError::ZeroWindow));
+        // And the session constructor refuses instead of degenerating.
+        let lib = lib();
+        let n = chain(&lib, 4);
+        assert!(Placer::new(&n, &lib, &zero_part).is_err());
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_knob() {
+        let base = PlacerConfig::default().fingerprint();
+        for cfg in [
+            PlacerConfig {
+                utilization: 0.6,
+                ..PlacerConfig::default()
+            },
+            PlacerConfig {
+                min_partition: 13,
+                ..PlacerConfig::default()
+            },
+            PlacerConfig {
+                anneal_moves_per_cell: 41,
+                ..PlacerConfig::default()
+            },
+            PlacerConfig {
+                seed: 43,
+                ..PlacerConfig::default()
+            },
+            PlacerConfig {
+                anneal_window: 513,
+                ..PlacerConfig::default()
+            },
+        ] {
+            assert_ne!(cfg.fingerprint(), base, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn try_loc_exposes_unplaced_cells_and_loc_counts_fallbacks() {
+        let lib = lib();
+        let mut n = chain(&lib, 8);
+        let p = place(&n, &lib, &PlacerConfig::default());
+        assert_eq!(p.fallback_hits(), 0);
+        // A cell created after placement is unplaced until set_loc.
+        let inv = lib.find_id("INV_X1_L").unwrap();
+        let late = n.add_instance("late", inv, &lib);
+        assert_eq!(p.try_loc(late), None);
+        assert_eq!(p.loc(late), p.die.center());
+        assert_eq!(p.fallback_hits(), 1, "fallback reads are counted");
+        let mut p = p;
+        p.set_loc(late, Point::new(1.0, 2.0));
+        assert_eq!(p.try_loc(late), Some(Point::new(1.0, 2.0)));
+        assert_eq!(p.fallback_hits(), 1, "placed reads are free");
+        // The counter survives cloning (checkpoint forks).
+        assert_eq!(p.clone().fallback_hits(), 1);
+    }
+
+    #[test]
+    fn placer_replace_cell_relegalizes_only_the_touched_row() {
+        let lib = lib();
+        let mut n = chain(&lib, 40);
+        let mut placer = Placer::new(&n, &lib, &PlacerConfig::default()).unwrap();
+        let victim = n
+            .instances()
+            .map(|(id, _)| id)
+            .nth(7)
+            .expect("chain has cells");
+        let row_y = placer.placement().loc(victim).y;
+        let before: Vec<(InstId, Point)> = n
+            .instances()
+            .map(|(id, _)| (id, placer.placement().loc(id)))
+            .collect();
+        // Swap to a 4x drive: a wider footprint that no longer fits its slot.
+        let wide = lib.find_id("INV_X4_L").expect("library has INV_X4_L");
+        n.replace_cell(victim, wide, &lib).expect("variant swap");
+        placer.replace_cell(&n, &lib, victim);
+        // Off-row cells kept their exact locations.
+        for (id, old) in &before {
+            let now = placer.placement().loc(*id);
+            if (old.y - row_y).abs() > 1e-9 {
+                assert_eq!((now.x, now.y), (old.x, old.y), "off-row cell {id} moved");
+            } else {
+                assert_eq!(now.y, row_y, "row member {id} left its row");
+            }
+        }
+        // The touched row is overlap-free under the new widths.
+        let mut row: Vec<(f64, f64)> = n
+            .instances()
+            .filter(|(id, _)| (placer.placement().loc(*id).y - row_y).abs() < 1e-9)
+            .map(|(id, inst)| {
+                let w = lib.cell(inst.cell).area.um2() / lib.tech.row_height_um;
+                (placer.placement().loc(id).x, w)
+            })
+            .collect();
+        row.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in row.windows(2) {
+            let (x0, w0) = pair[0];
+            let (x1, w1) = pair[1];
+            assert!(x1 - x0 >= (w0 + w1) / 2.0 - 1e-6, "overlap after re-place");
+        }
+    }
+
+    #[test]
+    fn placer_apply_follows_a_compaction() {
+        let lib = lib();
+        let mut n = chain(&lib, 10);
+        let mut placer = Placer::new(&n, &lib, &PlacerConfig::default()).unwrap();
+        let dead = n
+            .instances()
+            .map(|(id, _)| id)
+            .nth(3)
+            .expect("chain has cells");
+        let survivor = n
+            .instances()
+            .map(|(id, _)| id)
+            .nth(8)
+            .expect("chain has cells");
+        let survivor_loc = placer.placement().loc(survivor);
+        n.remove_instance(dead);
+        let map = n.compact();
+        placer.apply(&map);
+        let new_id = map.new_id(survivor).expect("survivor kept");
+        assert_eq!(placer.placement().try_loc(new_id), Some(survivor_loc));
+        // Every live instance is still placed after re-indexing.
+        for (id, _) in n.instances() {
+            assert!(placer.placement().try_loc(id).is_some(), "{id} unplaced");
+        }
+    }
+
+    #[test]
+    fn parallel_placement_is_bit_identical_across_thread_counts() {
+        let lib = lib();
+        // Big enough to exercise multiple bisection levels and >1 anneal
+        // window.
+        let n = chain(&lib, 700);
+        let cfg = PlacerConfig {
+            anneal_window: 128,
+            ..PlacerConfig::default()
+        };
+        let serial = Placer::with_threads(&n, &lib, &cfg, 1).unwrap();
+        let wide = Placer::with_threads(&n, &lib, &cfg, 8).unwrap();
+        for (id, _) in n.instances() {
+            let a = serial.placement().loc(id);
+            let b = wide.placement().loc(id);
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits()),
+                (b.x.to_bits(), b.y.to_bits()),
+                "cell {id} differs between 1 and 8 workers"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_annealing_still_improves_or_holds_hpwl() {
+        let lib = lib();
+        let n = chain(&lib, 700);
+        let cfg = PlacerConfig {
+            anneal_window: 128,
+            ..PlacerConfig::default()
+        };
+        let base = place(
+            &n,
+            &lib,
+            &PlacerConfig {
+                anneal_moves_per_cell: 0,
+                ..cfg.clone()
+            },
+        );
+        let refined = place(&n, &lib, &cfg);
+        assert!(refined.hpwl(&n) <= base.hpwl(&n) * 1.10);
     }
 }
