@@ -51,6 +51,14 @@ pub struct LibraryConfig {
     pub switch_widths_um: Vec<f64>,
     /// Electromigration limit per µm of switch width, µA/µm.
     pub em_ua_per_um: f64,
+    /// Maximum data-sink fanout a net may carry before the static
+    /// analyzer flags it (`smt_netlist::check`, rule `max-fanout`).
+    /// Clock, MTE and VGND sinks are exempt — those nets have their own
+    /// buffering/clustering budgets in the flow.
+    pub max_fanout: usize,
+    /// Maximum total pin capacitance (fF) a net may present to its
+    /// driver before the static analyzer flags it (rule `max-load`).
+    pub max_load_ff: f64,
 }
 
 impl Default for LibraryConfig {
@@ -68,6 +76,8 @@ impl Default for LibraryConfig {
                 256.0, 384.0,
             ],
             em_ua_per_um: 60.0,
+            max_fanout: 64,
+            max_load_ff: 256.0,
         }
     }
 }
@@ -712,9 +722,11 @@ fn hash_config(h: &mut Fnv64, c: &LibraryConfig) {
         c.mt_delay_penalty_embedded,
         c.mt_delay_penalty_vgnd,
         c.em_ua_per_um,
+        c.max_load_ff,
     ] {
         h.write_f64(v);
     }
+    h.write_usize(c.max_fanout);
     h.write_usize(c.switch_widths_um.len());
     for &w in &c.switch_widths_um {
         h.write_f64(w);

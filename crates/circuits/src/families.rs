@@ -779,7 +779,7 @@ pub fn standard_suite(scale: SuiteScale) -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_netlist::graph::topo_order;
     use smt_sim::{Simulator, Value};
 
@@ -793,8 +793,8 @@ mod tests {
         for w in standard_suite(SuiteScale::Smoke) {
             let a = generate(&l, &w.config).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let b = generate(&l, &w.config).unwrap();
-            let issues = lint(&a, &l, LintConfig::default());
-            assert!(is_clean(&issues), "{}: {issues:?}", w.name);
+            let report = analyze(&a, &l, &LintPolicy::structural());
+            assert!(report.is_clean(), "{}: {report:?}", w.name);
             assert!(topo_order(&a, &l).is_ok(), "{}: cyclic", w.name);
             // Determinism: identical structure, instance by instance.
             assert_eq!(a.num_instances(), b.num_instances(), "{}", w.name);

@@ -100,15 +100,15 @@ pub fn fig_example(lib: &Library) -> FigureCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_netlist::graph::topo_order;
 
     #[test]
     fn figure_circuit_is_well_formed() {
         let lib = Library::industrial_130nm();
         let f = fig_example(&lib);
-        let issues = lint(&f.netlist, &lib, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&f.netlist, &lib, &LintPolicy::structural());
+        assert!(report.is_clean(), "{report:?}");
         assert!(topo_order(&f.netlist, &lib).is_ok());
         assert_eq!(f.critical.len(), 6);
         // Seven FFs as drawn.

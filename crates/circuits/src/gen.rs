@@ -170,7 +170,7 @@ pub fn random_logic(lib: &Library, config: &RandomLogicConfig) -> Result<Netlist
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_netlist::graph::topo_order;
 
     #[test]
@@ -187,8 +187,8 @@ mod tests {
             )
             .unwrap();
             assert!(n.num_instances() >= 300);
-            let issues = lint(&n, &lib, LintConfig::default());
-            assert!(is_clean(&issues), "seed {seed}: {issues:?}");
+            let report = analyze(&n, &lib, &LintPolicy::structural());
+            assert!(report.is_clean(), "seed {seed}: {report:?}");
             assert!(topo_order(&n, &lib).is_ok(), "seed {seed}: cyclic");
         }
     }
@@ -251,7 +251,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n.num_instances(), 1);
-        let issues = lint(&n, &lib, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &lib, &LintPolicy::structural());
+        assert!(report.is_clean(), "{report:?}");
     }
 }

@@ -325,7 +325,7 @@ mod tests {
     use super::*;
     use crate::smtgen::{insert_initial_switch, insert_output_holders, to_improved_mt_cells};
     use smt_circuits::gen::{random_logic, RandomLogicConfig};
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_place::{place, PlacerConfig};
 
     fn lib() -> Library {
@@ -368,14 +368,8 @@ mod tests {
             cfg.bounce_limit
         );
         // Structure is structurally valid.
-        let issues = lint(
-            &n,
-            &lib,
-            LintConfig {
-                require_mt_wiring: true,
-            },
-        );
-        assert!(is_clean(&issues), "{issues:?}");
+        let lint = analyze(&n, &lib, &LintPolicy::signoff());
+        assert!(lint.is_clean(), "{lint:?}");
         // Every MT cell is in exactly one cluster.
         assert_eq!(report.mt_cells, mt_vgnd_cells(&n, &lib).len());
     }

@@ -46,6 +46,7 @@ use smt_base::par::parallel_map;
 use smt_base::units::{Area, Current, Time};
 use smt_cells::corner::{hold_libs, setup_libs, Corner, CornerLibrary, CornerSet};
 use smt_cells::library::Library;
+use smt_netlist::check::{analyze_with_threads, Diagnostic, LintPolicy, Waiver};
 use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
 use smt_place::{PlaceError, Placement, Placer, PlacerConfig};
 use smt_power::{bounce_derates, standby_leakage, StateSource};
@@ -361,6 +362,16 @@ pub enum FlowError {
         /// Which invariant failed.
         message: String,
     },
+    /// The per-stage [`LintGate`] found `Error`-severity diagnostics
+    /// after a stage ran: the stage left the netlist structurally
+    /// broken, caught here before any downstream stage (or the
+    /// simulation-based equivalence check) trips over the symptoms.
+    Lint {
+        /// The stage whose output failed analysis.
+        stage: StageId,
+        /// The error-severity findings, in canonical report order.
+        errors: Vec<Diagnostic>,
+    },
     /// An error reloaded from a serialised suite report
     /// (`SuiteReport::from_json`): the original structured variant is
     /// gone, only its rendered message survives the round trip.
@@ -399,6 +410,13 @@ impl std::fmt::Display for FlowError {
             }
             FlowError::InvalidCorners { message } => {
                 write!(f, "invalid corner set: {message}")
+            }
+            FlowError::Lint { stage, errors } => {
+                write!(f, "stage `{stage}` left {} lint error(s)", errors.len())?;
+                if let Some(first) = errors.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             FlowError::Reported { message } => f.write_str(message),
         }
@@ -808,6 +826,48 @@ impl Checkpoint {
 }
 
 // ---------------------------------------------------------------------------
+// Lint gate
+// ---------------------------------------------------------------------------
+
+/// The per-stage static-analysis gate: after every completed stage the
+/// engine analyzes the working netlist under the stage-appropriate
+/// [`LintPolicy`] ([`LintPolicy::for_stage`] — MT-wiring rules only arm
+/// once the switch network exists) and converts `Error`-severity
+/// findings into [`FlowError::Lint`]. This replaced the scattered ad-hoc
+/// `lint(...)` call sites: a transform bug now fails the flow at the
+/// stage that introduced it instead of surfacing as a confusing
+/// equivalence mismatch three stages later.
+///
+/// On by default on every engine; [`FlowEngine::without_lint_gate`]
+/// disables it (e.g. deliberately-broken netlists in tests),
+/// [`FlowEngine::with_lint_gate`] installs a customised gate.
+#[derive(Debug, Clone, Default)]
+pub struct LintGate {
+    /// Extra waivers applied on top of every stage policy.
+    pub waivers: Vec<Waiver>,
+    /// Worker count handed to the analyzer (`0` = one per core; the
+    /// report is bit-identical at any count).
+    pub threads: usize,
+}
+
+impl LintGate {
+    /// Analyzes `netlist` as the output of `stage`; `Err` carries the
+    /// error-severity findings.
+    pub fn check(&self, netlist: &Netlist, lib: &Library, stage: StageId) -> Result<(), FlowError> {
+        let mut policy = LintPolicy::for_stage(stage.key());
+        policy.waivers.extend(self.waivers.iter().cloned());
+        let report = analyze_with_threads(netlist, lib, &policy, self.threads);
+        if report.is_clean() {
+            return Ok(());
+        }
+        Err(FlowError::Lint {
+            stage,
+            errors: report.errors().cloned().collect(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------------
 
@@ -825,6 +885,7 @@ pub struct FlowEngine<'a> {
     stages: Vec<Box<dyn Stage + 'a>>,
     observers: Vec<Box<dyn Observer + 'a>>,
     placement_cache: Option<Arc<PlacementCache>>,
+    lint_gate: Option<LintGate>,
 }
 
 /// Characterises the configured corners against the base library; an
@@ -872,6 +933,7 @@ impl<'a> FlowEngine<'a> {
             stages,
             observers: Vec::new(),
             placement_cache: None,
+            lint_gate: Some(LintGate::default()),
         }
     }
 
@@ -889,6 +951,7 @@ impl<'a> FlowEngine<'a> {
             stages,
             observers: Vec::new(),
             placement_cache: None,
+            lint_gate: Some(LintGate::default()),
         }
     }
 
@@ -899,6 +962,22 @@ impl<'a> FlowEngine<'a> {
     #[must_use]
     pub fn with_placement_cache(mut self, cache: Arc<PlacementCache>) -> Self {
         self.placement_cache = Some(cache);
+        self
+    }
+
+    /// Installs a customised [`LintGate`] (builder style).
+    #[must_use]
+    pub fn with_lint_gate(mut self, gate: LintGate) -> Self {
+        self.lint_gate = Some(gate);
+        self
+    }
+
+    /// Disables the per-stage [`LintGate`] (builder style) — for flows
+    /// that deliberately drive broken netlists, e.g. fault-injection
+    /// tests.
+    #[must_use]
+    pub fn without_lint_gate(mut self) -> Self {
+        self.lint_gate = None;
         self
     }
 
@@ -1039,6 +1118,15 @@ impl<'a> FlowEngine<'a> {
                 let t0 = std::time::Instant::now();
                 state.last_wns = None;
                 stage.run(state, &ctx)?;
+                // Gate the stage's output before committing it: an
+                // `Error` finding is a transform bug in *this* stage.
+                // Signoff is exempt — `verify` just ran the full
+                // signoff-policy analysis itself.
+                if let Some(gate) = &self.lint_gate {
+                    if id != StageId::Signoff {
+                        gate.check(&state.netlist, self.lib, id)?;
+                    }
+                }
                 state.completed.push(id);
                 state.snapshot(id, self.lib);
                 let elapsed = t0.elapsed();

@@ -68,7 +68,7 @@ mod tests {
         };
         let r = run_flow(&circuit_b_rtl_sized(8), &lib, &cfg).unwrap();
         assert!(r.timing.setup_met());
-        assert!(r.verify.passed(), "lint: {:?}", r.verify.lint_errors);
+        assert!(r.verify.passed(), "lint: {:?}", r.verify.lint);
         assert!(r.census.high > 0, "some cells went high-Vth");
         assert_eq!(r.census.mt_vgnd + r.census.mt_embedded, 0);
         assert!(r.hold_fix.remaining == 0);
@@ -97,7 +97,7 @@ mod tests {
         )
         .unwrap();
         assert!(imp.timing.setup_met());
-        assert!(imp.verify.passed(), "{:?}", imp.verify.lint_errors);
+        assert!(imp.verify.passed(), "{:?}", imp.verify.lint);
         assert!(imp.census.mt_vgnd > 0);
         assert!(imp.cluster.is_some());
         // The paper's direction: big standby-leakage cut, some area cost.
@@ -123,7 +123,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.timing.setup_met());
-        assert!(r.verify.passed(), "{:?}", r.verify.lint_errors);
+        assert!(r.verify.passed(), "{:?}", r.verify.lint);
         assert!(r.census.mt_embedded > 0);
         assert!(r.cluster.is_none());
     }

@@ -196,7 +196,7 @@ pub fn insert_initial_switch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_sim::{check_equivalence, Mode, Simulator, Value};
 
     fn lib() -> Library {
@@ -239,14 +239,8 @@ mod tests {
         assert_eq!(r.converted, 2);
         let mte = n.find_net("mte").unwrap();
         assert_eq!(n.net(mte).loads.len(), 2, "both MC cells on MTE");
-        let issues = lint(
-            &n,
-            &lib,
-            LintConfig {
-                require_mt_wiring: true,
-            },
-        );
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &lib, &LintPolicy::signoff());
+        assert!(report.is_clean(), "{report:?}");
         // Function unchanged in active mode. The golden netlist has no
         // `mte` port, so compare against a copy that has one too.
         let mut golden2 = golden.clone();
@@ -290,14 +284,8 @@ mod tests {
         insert_output_holders(&mut n, &lib);
         let sw =
             insert_initial_switch(&mut n, &lib, Volt::from_millivolts(50.0)).expect("has MT cells");
-        let issues = lint(
-            &n,
-            &lib,
-            LintConfig {
-                require_mt_wiring: true,
-            },
-        );
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &lib, &LintPolicy::signoff());
+        assert!(report.is_clean(), "{report:?}");
         let spec = lib.cell(n.inst(sw).cell);
         assert_eq!(spec.role, CellRole::Switch);
     }

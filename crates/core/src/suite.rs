@@ -61,6 +61,7 @@ use smt_base::report::Table;
 use smt_base::units::{Area, Current, Time, Volt};
 use smt_cells::corner::Corner;
 use smt_cells::library::Library;
+use smt_netlist::check::DiagCounts;
 use smt_netlist::netlist::{Netlist, VthCensus};
 use smt_sim::check_equivalence;
 use std::cell::RefCell;
@@ -475,6 +476,11 @@ pub struct SuiteOutcome {
     /// The flow's own verification verdict (lint + equivalence +
     /// standby-float checks).
     pub verify_passed: bool,
+    /// Static-analysis severity tallies from the flow's signoff lint
+    /// (zero errors on a passing run; warnings/infos are the design's
+    /// structural health counters). Merge-summed across a report via
+    /// [`SuiteReport::diag_totals`].
+    pub diagnostics: DiagCounts,
     /// The suite's independent pre- vs post-flow equivalence check
     /// (`None` when disabled via
     /// [`WorkloadSuite::with_equiv_cycles`]`(0)`; `Some(false)` with
@@ -514,6 +520,7 @@ impl SuiteOutcome {
             active_leakage: r.active_leakage,
             census: r.census,
             verify_passed: r.verify.passed(),
+            diagnostics: r.verify.lint.counts(),
             equivalent: None,
             equiv_error: None,
             corner_signoff: r.corner_signoff.clone(),
@@ -698,6 +705,19 @@ impl SuiteReport {
     /// as a parallel-vs-serial ratio.
     pub fn gates_per_second(&self) -> f64 {
         self.gates_completed() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Static-analysis tallies summed across every completed design —
+    /// the suite-level structural-health counter. Merge-stable: shards
+    /// sum row-wise, so merged totals equal the unsharded run's.
+    pub fn diag_totals(&self) -> DiagCounts {
+        let mut total = DiagCounts::default();
+        for row in &self.rows {
+            if let Ok(o) = &row.outcome {
+                total.add(o.diagnostics);
+            }
+        }
+        total
     }
 
     /// Recombines shard reports into one, in full-suite ordinal order.
@@ -1001,7 +1021,7 @@ impl SuiteReport {
 }
 
 /// Format tag guarding [`SuiteReport::from_json`] against foreign files.
-const FORMAT_TAG: &str = "smt-suite-report-v1";
+const FORMAT_TAG: &str = "smt-suite-report-v2";
 
 fn row_to_json(row: &SuiteRow, timing: bool) -> Json {
     let mut m = BTreeMap::new();
@@ -1068,6 +1088,15 @@ fn outcome_to_json(o: &SuiteOutcome) -> Json {
     }
     m.insert("census".to_owned(), Json::Obj(census));
     m.insert("verify_passed".to_owned(), Json::Bool(o.verify_passed));
+    let mut diags = BTreeMap::new();
+    for (k, v) in [
+        ("errors", o.diagnostics.errors),
+        ("warnings", o.diagnostics.warnings),
+        ("infos", o.diagnostics.infos),
+    ] {
+        diags.insert(k.to_owned(), Json::Num(v as f64));
+    }
+    m.insert("diagnostics".to_owned(), Json::Obj(diags));
     m.insert(
         "equivalent".to_owned(),
         o.equivalent.map_or(Json::Null, Json::Bool),
@@ -1236,6 +1265,21 @@ fn outcome_from_json(json: &Json, name: &str) -> Result<SuiteOutcome, String> {
         standby_leakage: Current::new(num("standby_ua")?),
         active_leakage: Current::new(num("active_ua")?),
         census,
+        diagnostics: {
+            let dj = json
+                .get("diagnostics")
+                .ok_or_else(|| field("diagnostics"))?;
+            let dcount = |key: &str| {
+                dj.get(key)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("row `{name}` diagnostics missing `{key}`"))
+            };
+            DiagCounts {
+                errors: dcount("errors")?,
+                warnings: dcount("warnings")?,
+                infos: dcount("infos")?,
+            }
+        },
         verify_passed: json
             .get("verify_passed")
             .and_then(Json::as_bool)
@@ -1399,6 +1443,14 @@ pub fn render_suite(report: &SuiteReport) -> String {
     }
     if let Some(cache) = &report.placement_cache {
         let _ = writeln!(out, "placement cache: {cache}");
+    }
+    let diags = report.diag_totals();
+    if diags.total() > 0 {
+        let _ = writeln!(
+            out,
+            "lint: {} error(s), {} warning(s), {} info(s) across completed designs",
+            diags.errors, diags.warnings, diags.infos,
+        );
     }
     let _ = writeln!(
         out,
@@ -1731,6 +1783,11 @@ mod tests {
             active_leakage: Current::new(41.0),
             census: VthCensus::default(),
             verify_passed: true,
+            diagnostics: DiagCounts {
+                errors: 0,
+                warnings: 2,
+                infos: 1,
+            },
             equivalent: Some(true),
             equiv_error: None,
             corner_signoff: Vec::new(),

@@ -5,15 +5,18 @@
 
 use smt_cells::cell::CellRole;
 use smt_cells::library::Library;
-use smt_netlist::check::{lint, LintConfig, Severity};
+use smt_netlist::check::{analyze, LintPolicy, LintReport};
 use smt_netlist::netlist::{Netlist, PortDir};
 use smt_sim::{check_equivalence, EquivReport, Mode, Simulator, Value};
 
 /// Combined verification outcome.
 #[derive(Debug, Clone)]
 pub struct VerifyReport {
-    /// Structural lint errors (strict MT-wiring rules).
-    pub lint_errors: Vec<String>,
+    /// Static-analysis report under the signoff policy (full rule
+    /// catalog, MT-wiring rules armed). Any `Error` finding fails
+    /// verification; warnings and infos ride along as health counters
+    /// for the suite rows.
+    pub lint: LintReport,
     /// Functional equivalence result (active mode).
     pub equivalence: EquivReport,
     /// Powered-cell inputs observed floating in standby (instance, pin
@@ -24,7 +27,7 @@ pub struct VerifyReport {
 impl VerifyReport {
     /// True when all three checks pass.
     pub fn passed(&self) -> bool {
-        self.lint_errors.is_empty()
+        self.lint.is_clean()
             && self.equivalence.is_equivalent()
             && self.floating_in_standby.is_empty()
     }
@@ -72,19 +75,11 @@ pub fn verify(
     cycles: usize,
     seed: u64,
 ) -> Result<VerifyReport, VerifyError> {
-    // 1. Structural lint with strict MT wiring.
-    let issues = lint(
-        dut,
-        lib,
-        LintConfig {
-            require_mt_wiring: true,
-        },
-    );
-    let lint_errors: Vec<String> = issues
-        .iter()
-        .filter(|i| i.severity == Severity::Error)
-        .map(|i| i.message.clone())
-        .collect();
+    // 1. Static analysis under the signoff policy (full catalog, strict
+    // MT wiring). This pre-filters equivalence checking: a structural
+    // error here is a transform bug, reported long before the
+    // simulation-based comparison would trip over its symptoms.
+    let lint = analyze(dut, lib, &LintPolicy::signoff());
 
     // 2. Active-mode equivalence. Give the golden design an `mte` port if
     // the DUT grew one, so the port sets match.
@@ -143,7 +138,7 @@ pub fn verify(
     }
 
     Ok(VerifyReport {
-        lint_errors,
+        lint,
         equivalence,
         floating_in_standby,
     })
@@ -230,7 +225,11 @@ mod tests {
         insert_output_holders(&mut dut, &lib);
         // Skip switch insertion: VGND pins float.
         let report = verify(&golden, &dut, &lib, 32, 1).unwrap();
-        assert!(!report.lint_errors.is_empty());
+        assert!(!report.lint.is_clean());
+        assert!(report
+            .lint
+            .errors()
+            .any(|d| d.rule == smt_netlist::check::RuleId::UnwiredMtPin));
         assert!(!report.passed());
     }
 }

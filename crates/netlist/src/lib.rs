@@ -14,7 +14,7 @@
 //!   tested);
 //! * [`graph`] — levelisation, topological order over the combinational
 //!   core, fan-in/fan-out cones, combinational-cycle detection;
-//! * [`check`] — structural lint used as the flow's invariant gate
+//! * [`check`] — rule-based static analysis used as the flow's invariant gate
 //!   (exactly one driver per net, no floating inputs, VGND wired to a
 //!   switch, ...).
 //!

@@ -694,7 +694,7 @@ impl Netlist {
     /// offset into a net's row *is* the sink ordinal of
     /// [`Net::load_ordinal`]). Bulk consumers walk these rows in one
     /// cache-friendly pass instead of per-net pointer chasing: the
-    /// structural lint ([`crate::check::lint`]) cross-validates them
+    /// static analyzer ([`crate::check::analyze`]) cross-validates them
     /// against the instance-side `conns` tables, and the `smt_sta`
     /// timing kernel's sink cache derives exactly these rows, fused
     /// with its per-net load sums.

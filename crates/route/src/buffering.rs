@@ -105,7 +105,7 @@ fn split_geometric(loads: &[PinRef], max_size: usize, placement: &Placement) -> 
 mod tests {
     use super::*;
     use smt_cells::cell::VthClass;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_place::{place, PlacerConfig};
     use smt_sim::check_equivalence;
 
@@ -148,8 +148,8 @@ mod tests {
                 net.loads.len()
             );
         }
-        let issues = lint(&n, &lib, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &lib, &LintPolicy::structural());
+        assert!(report.is_clean(), "{report:?}");
         // Buffering must not change logic.
         let r = check_equivalence(&reference, &n, &lib, 32, 11).unwrap();
         assert!(r.is_equivalent(), "{:?}", r.mismatches.first());

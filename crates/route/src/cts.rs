@@ -296,7 +296,7 @@ fn wire_cap_of(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_place::{place, PlacerConfig};
 
     fn many_ffs(lib: &Library, count: usize) -> Netlist {
@@ -344,8 +344,8 @@ mod tests {
             }
         }
         // Netlist still structurally clean.
-        let issues = lint(&n, &lib, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let lint = analyze(&n, &lib, &LintPolicy::structural());
+        assert!(lint.is_clean(), "{lint:?}");
         // Skew is a finite, non-negative estimate.
         assert!(report.skew().ps() >= 0.0);
         assert!(report.insertion_max.ps() > 0.0);

@@ -408,13 +408,14 @@ fn dispatch(state: &Arc<State>, method: &str, params: &Json) -> Result<Json, Wir
         "flow" => flow(state, params),
         "vth-swap" | "eco" | "signoff" | "sweep" => what_if(state, method, params),
         "suite" => suite(state, params),
+        "lint" => lint(state, params),
         "run_shard" => run_shard(state, params),
         "register-worker" => register_worker(state, params),
         other => Err(WireError::new(
             "unknown-method",
             format!(
                 "unknown method `{other}` (expected ping | status | flow | vth-swap | eco | \
-                 signoff | sweep | suite | run_shard | register-worker | shutdown)"
+                 signoff | sweep | suite | lint | run_shard | register-worker | shutdown)"
             ),
         )),
     }
@@ -900,6 +901,67 @@ struct ShardRun {
     executor: String,
     attempts: usize,
     report: SuiteReport,
+}
+
+/// `lint`: static analysis of a suite design, served from the warm
+/// design cache. Params: `design` (required), `scale`
+/// (smoke|standard|large, default smoke), `policy` (a stage key or
+/// `signoff`/`structural`, default signoff), `threads` (default 0 = one
+/// per core; the report is bit-identical at any count). The response
+/// carries the severity tallies, the canonical diagnostic list and the
+/// report's FNV digest — the same digest `smt-lint` prints, so a remote
+/// answer is checkable against a local run.
+fn lint(state: &Arc<State>, params: &Json) -> Result<Json, WireError> {
+    use smt_netlist::check::{analyze_with_threads, LintPolicy};
+    let design = params
+        .get("design")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("`design` is required"))?;
+    let scale = parse_scale(params)?;
+    let policy = match params.get("policy").and_then(Json::as_str) {
+        None | Some("signoff") => LintPolicy::signoff(),
+        Some("structural") => LintPolicy::structural(),
+        Some(stage) => LintPolicy::for_stage(stage),
+    };
+    let threads = params.get("threads").and_then(Json::as_usize).unwrap_or(0);
+    let (netlist, design_fp, cache) = realise_design(state, design, scale)?;
+    let report = analyze_with_threads(&netlist, &state.lib, &policy, threads);
+    let counts = report.counts();
+    let mut m = BTreeMap::new();
+    m.insert("design".to_owned(), Json::Str(design.to_owned()));
+    m.insert(
+        "design_fingerprint".to_owned(),
+        Json::Str(format!("{design_fp:016x}")),
+    );
+    m.insert(
+        "digest".to_owned(),
+        Json::Str(format!("{:016x}", report.digest())),
+    );
+    m.insert("clean".to_owned(), Json::Bool(report.is_clean()));
+    m.insert("errors".to_owned(), num(counts.errors));
+    m.insert("warnings".to_owned(), num(counts.warnings));
+    m.insert("infos".to_owned(), num(counts.infos));
+    let diags = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut dm = BTreeMap::new();
+            dm.insert("rule".to_owned(), Json::Str(d.rule.key().to_owned()));
+            dm.insert(
+                "severity".to_owned(),
+                Json::Str(d.severity.key().to_owned()),
+            );
+            dm.insert(
+                "object".to_owned(),
+                Json::Str(d.object.name(&netlist).to_owned()),
+            );
+            dm.insert("message".to_owned(), Json::Str(d.message.clone()));
+            Json::Obj(dm)
+        })
+        .collect();
+    m.insert("diagnostics".to_owned(), Json::Arr(diags));
+    m.insert("cache".to_owned(), cache_stats_json(cache));
+    Ok(Json::Obj(m))
 }
 
 fn suite(state: &Arc<State>, params: &Json) -> Result<Json, WireError> {

@@ -45,12 +45,60 @@ use crate::analysis::{Derating, StaConfig};
 use smt_base::par::parallel_map;
 use smt_base::units::{Cap, Time};
 use smt_cells::library::Library;
+use smt_netlist::check::RuleId;
 use smt_netlist::graph::{topo_order, CombinationalCycle};
 use smt_netlist::netlist::{InstId, Net, NetId, Netlist, PinRef, PortDir};
 use smt_route::Parasitics;
+use std::fmt;
 
 /// Sentinel for "this pin is not a sink of any net".
 const NO_ORD: u32 = u32::MAX;
+
+/// Structured form of the timing kernel's hard error: a connected input
+/// pin missing from its net's load list. Carries the same
+/// [`RuleId::DanglingPinRef`] identity the static analyzer reports, so
+/// STA panics and lint diagnostics agree on vocabulary — a `smt-lint`
+/// run on the same netlist surfaces this exact object under the
+/// `dangling-pin-ref` rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DanglingPinRef {
+    /// The offending pin.
+    pub pin: PinRef,
+    /// The net the instance claims, when known at the failure site.
+    pub net: Option<String>,
+}
+
+impl DanglingPinRef {
+    /// The lint rule this error corresponds to.
+    pub fn rule(&self) -> RuleId {
+        RuleId::DanglingPinRef
+    }
+}
+
+impl fmt::Display for DanglingPinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.net {
+            Some(net) => write!(
+                f,
+                "dangling PinRef [{}]: {} pin {} claims net `{}` but is not in its load list",
+                self.rule().key(),
+                self.pin.inst,
+                self.pin.pin,
+                net
+            ),
+            None => write!(
+                f,
+                "dangling PinRef [{}]: {} pin {} is not a load of its net \
+                 (stale cache or broken edit invariant)",
+                self.rule().key(),
+                self.pin.inst,
+                self.pin.pin
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DanglingPinRef {}
 
 /// Levels narrower than this are evaluated inline; wider levels are
 /// chunked across the shared worker pool. Per-instance evaluation is a
@@ -66,11 +114,15 @@ const PARALLEL_LEVEL_WIDTH: usize = 4096;
 /// connection table and the net-side load list disagree, and any
 /// ordinal we could return would price the wrong sink's wire delay.
 pub(crate) fn sink_ordinal(net: &Net, pr: PinRef) -> usize {
-    net.load_ordinal(pr).unwrap_or_else(|| {
-        panic!(
-            "dangling PinRef: {} pin {} claims net `{}` but is not in its load list",
-            pr.inst, pr.pin, net.name
-        )
+    try_sink_ordinal(net, pr).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking form of the sink-ordinal lookup: the structured
+/// [`DanglingPinRef`] error names the lint rule instead of aborting.
+pub fn try_sink_ordinal(net: &Net, pr: PinRef) -> Result<usize, DanglingPinRef> {
+    net.load_ordinal(pr).ok_or_else(|| DanglingPinRef {
+        pin: pr,
+        net: Some(net.name.clone()),
     })
 }
 
@@ -84,10 +136,7 @@ pub(crate) fn sink_ordinal(net: &Net, pr: PinRef) -> usize {
 #[cold]
 #[inline(never)]
 fn dangling_lookup(pr: PinRef) -> ! {
-    panic!(
-        "dangling PinRef: {} pin {} is not a load of its net (stale cache or broken edit invariant)",
-        pr.inst, pr.pin
-    )
+    panic!("{}", DanglingPinRef { pin: pr, net: None })
 }
 
 /// Forward-propagation state over all nets: max/min arrivals and slews,
@@ -343,6 +392,14 @@ impl TimingGraph {
     /// from its net's load list. This is a broken netlist-edit
     /// invariant; continuing would price some other sink's wire delay.
     pub fn build_cache(&self, netlist: &Netlist) -> SinkCache {
+        self.try_build_cache(netlist)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking form of [`TimingGraph::build_cache`]: the
+    /// structured [`DanglingPinRef`] error carries the offending pin and
+    /// names the lint engine's `dangling-pin-ref` rule.
+    pub fn try_build_cache(&self, netlist: &Netlist) -> Result<SinkCache, DanglingPinRef> {
         let mut cache = SinkCache {
             ord: vec![NO_ORD; *self.pin_start.last().unwrap() as usize],
             load: Vec::with_capacity(self.num_nets),
@@ -366,27 +423,28 @@ impl TimingGraph {
         // inputs and FF `D` pins: each must be a load of the net it
         // claims, at the ordinal the cache holds.
         let check = |pin: usize, id: InstId, inst: &smt_netlist::netlist::Instance| {
-            let Some(net) = inst.net_on(pin) else { return };
+            let Some(net) = inst.net_on(pin) else {
+                return Ok(());
+            };
             let pr = PinRef { inst: id, pin };
             let ord = cache.ord[self.pin_start[id.index()] as usize + pin];
             if ord == NO_ORD || netlist.net(net).loads.get(ord as usize) != Some(&pr) {
-                panic!(
-                    "dangling PinRef: {} pin {} claims net `{}` but is not in its load list",
-                    id,
-                    pin,
-                    netlist.net(net).name
-                );
+                return Err(DanglingPinRef {
+                    pin: pr,
+                    net: Some(netlist.net(net).name.clone()),
+                });
             }
+            Ok(())
         };
         for (id, inst) in netlist.instances() {
             for &pin in self.cells.inputs(inst.cell) {
-                check(pin as usize, id, inst);
+                check(pin as usize, id, inst)?;
             }
             if let Some(dp) = self.cells.d_pin(inst.cell) {
-                check(dp, id, inst);
+                check(dp, id, inst)?;
             }
         }
-        cache
+        Ok(cache)
     }
 
     /// Sink ordinal of an input pin from the per-consumer cache.
@@ -626,6 +684,26 @@ mod tests {
                 pin: 0,
             },
         );
+    }
+
+    #[test]
+    fn dangling_error_names_the_lint_rule() {
+        // STA and the static analyzer share vocabulary: the structured
+        // error (and the panic message built from it) names the
+        // `dangling-pin-ref` rule `smt-lint` reports for the same net.
+        let net = Net {
+            name: "w".to_owned(),
+            ..Net::default()
+        };
+        let pr = PinRef {
+            inst: InstId(7),
+            pin: 0,
+        };
+        let err = try_sink_ordinal(&net, pr).unwrap_err();
+        assert_eq!(err.rule(), RuleId::DanglingPinRef);
+        assert_eq!(err.pin, pr);
+        assert!(err.to_string().contains(RuleId::DanglingPinRef.key()));
+        assert!(err.to_string().contains("dangling PinRef"));
     }
 
     #[test]

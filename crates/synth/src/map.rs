@@ -487,7 +487,7 @@ mod tests {
     use super::*;
     use crate::aig::elaborate;
     use crate::ast::parse_rtl;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_sim::{Simulator, Value};
 
     fn lib() -> Library {
@@ -526,8 +526,8 @@ mod tests {
             "module m;\ninput clk;\ninput [3:0] a, b;\nreg [3:0] acc;\noutput [3:0] y;\nalways @(posedge clk) acc <= acc + (a ^ b);\nassign y = acc;\nendmodule\n",
             &lib,
         );
-        let issues = lint(&n, &lib, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &lib, &LintPolicy::structural());
+        assert!(report.is_clean(), "{report:?}");
         assert!(n.clock_net().is_some());
     }
 

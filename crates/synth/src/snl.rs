@@ -873,7 +873,7 @@ pub fn load(text: &str, lib: &Library) -> Result<Netlist, ParseSnlError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_netlist::check::{is_clean, lint, LintConfig};
+    use smt_netlist::check::{analyze, LintPolicy};
     use smt_sim::check_equivalence;
 
     fn lib() -> Library {
@@ -899,8 +899,8 @@ mod tests {
         assert_eq!(n.name, "acc1");
         assert!(n.clock_net().is_some());
         assert!(n.num_instances() >= 2);
-        let issues = lint(&n, &l, LintConfig::default());
-        assert!(is_clean(&issues), "{issues:?}");
+        let report = analyze(&n, &l, &LintPolicy::structural());
+        assert!(report.is_clean(), "{report:?}");
     }
 
     #[test]

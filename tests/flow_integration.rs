@@ -45,7 +45,7 @@ fn table1_shape_holds_end_to_end() {
         assert!(
             r.verify.passed(),
             "{name} verification: lint {:?}, equiv {}, floats {:?}",
-            r.verify.lint_errors,
+            r.verify.lint,
             r.verify.equivalence.is_equivalent(),
             r.verify.floating_in_standby
         );

@@ -12,7 +12,7 @@ use selective_mt::circuits::gen::{random_logic, RandomLogicConfig};
 use selective_mt::core::smtgen::{
     insert_initial_switch, insert_output_holders, to_improved_mt_cells,
 };
-use selective_mt::netlist::check::{is_clean, lint, LintConfig};
+use selective_mt::netlist::check::{analyze, LintPolicy};
 use selective_mt::sim::check_equivalence;
 use selective_mt::synth::aig::{elaborate, NodeKind};
 use selective_mt::synth::ast::parse_rtl;
@@ -138,14 +138,8 @@ fn improved_transform_preserves_function() {
             &lib,
             selective_mt::base::units::Volt::from_millivolts(50.0),
         );
-        let issues = lint(
-            &dut,
-            &lib,
-            LintConfig {
-                require_mt_wiring: true,
-            },
-        );
-        assert!(is_clean(&issues), "seed {seed}: {issues:?}");
+        let report = analyze(&dut, &lib, &LintPolicy::signoff());
+        assert!(report.is_clean(), "seed {seed}: {report:?}");
         let mut golden2 = golden.clone();
         if dut.find_net("mte").is_some() {
             golden2.add_input("mte");
@@ -187,10 +181,10 @@ fn variant_swaps_preserve_structure() {
                     dut.replace_cell(id, v, &lib).unwrap();
                 }
             }
-            let issues = lint(&dut, &lib, LintConfig::default());
+            let report = analyze(&dut, &lib, &LintPolicy::structural());
             assert!(
-                is_clean(&issues),
-                "seed {seed} flavour {flavour}: {issues:?}"
+                report.is_clean(),
+                "seed {seed} flavour {flavour}: {report:?}"
             );
             let eq = check_equivalence(&golden, &dut, &lib, 16, seed).unwrap();
             assert!(eq.is_equivalent(), "seed {seed} flavour {flavour}");

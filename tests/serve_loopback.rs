@@ -166,6 +166,31 @@ fn warm_flow_is_bit_identical_to_cold_and_in_process_runs() {
         "daemon flow and in-process engine run must be bit-identical"
     );
 
+    // The wire `lint` method answers from the same warm design cache
+    // and digests identically to a local analysis of the same netlist.
+    let lint = client
+        .call("lint", obj(&[("design", Json::Str(workload.name.clone()))]))
+        .expect("lint");
+    assert_eq!(lint.get("clean").and_then(Json::as_bool), Some(true));
+    let local = selective_mt::netlist::check::analyze(
+        &cache
+            .get_or_insert(
+                &workload.name,
+                workload.config.family(),
+                workload.config.fingerprint(),
+                &lib,
+                || generate(&lib, &workload.config).map_err(|e| e.to_string()),
+            )
+            .expect("reference design realises again"),
+        &lib,
+        &selective_mt::netlist::check::LintPolicy::signoff(),
+    );
+    assert_eq!(
+        lint.get("digest").and_then(Json::as_str),
+        Some(format!("{:016x}", local.digest()).as_str()),
+        "wire lint digest must match a local signoff analysis"
+    );
+
     // Drain: the shutdown reply confirms, and the accept loop exits.
     let bye = client.call("shutdown", obj(&[])).expect("shutdown");
     assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
