@@ -1,0 +1,105 @@
+//! Benchmarks for the equivalence-checking engine: what the word-parallel
+//! checker buys over the one-vector-per-cycle scalar engine, and what the
+//! fraig fast path takes off the top on the flow's own (function-preserving)
+//! transforms.
+//!
+//! ```text
+//! cargo bench -p smt-bench --bench equiv
+//! ```
+//!
+//! Records one runner-independent metric for the regression gate:
+//!
+//! * `equiv_throughput` — stimulus vectors per second of the word-parallel
+//!   checker (fraig off, 1 worker) over the scalar checker on the same
+//!   design and cycle budget. Each simulated cycle carries 64 lanes, so
+//!   the ideal is 64x; truth-table expansion overhead eats part of that,
+//!   and the gate holds the floor at >=8x so a lost bitwise fast path
+//!   (e.g. an accidental per-lane loop) trips it immediately.
+
+use smt_bench::harness::Harness;
+use smt_cells::library::Library;
+use smt_circuits::rtl::circuit_b_rtl_sized;
+use smt_sim::{check_equivalence_scalar, check_equivalence_with, EquivOptions};
+use smt_synth::{synthesize, SynthOptions};
+
+fn main() {
+    let lib = Library::industrial_130nm();
+    let mut h = Harness::new();
+
+    // The same large flat-datapath design the timing-kernel and lint
+    // benches use (~5.2k instances). Checking a design against itself
+    // keeps every output in play for the full cycle budget: no
+    // mismatch cap, no early exit, a pure throughput measurement.
+    let golden = synthesize(&circuit_b_rtl_sized(256), &lib, &SynthOptions::default())
+        .expect("circuit B synthesizes");
+    let dut = golden.clone();
+    const CYCLES: usize = 12;
+    let seed = 0x0E05;
+
+    let word_opts = EquivOptions {
+        cycles: CYCLES,
+        seed,
+        workers: 1,
+        fraig: false,
+    };
+    let fraig_opts = EquivOptions {
+        cycles: CYCLES,
+        seed,
+        ..EquivOptions::default()
+    };
+
+    let throughput = {
+        let mut g = h.group("equiv_circuit_b256");
+        g.sample_size(10);
+        let scalar = g.bench("scalar checker (1 vector/cycle)", || {
+            check_equivalence_scalar(&golden, &dut, &lib, CYCLES, seed)
+                .expect("ports match")
+                .digest()
+        });
+        let word = g.bench("word-parallel, fraig off, 1 worker", || {
+            check_equivalence_with(&golden, &dut, &lib, &word_opts)
+                .expect("ports match")
+                .digest()
+        });
+        g.bench("word-parallel + fraig fast path", || {
+            check_equivalence_with(&golden, &dut, &lib, &fraig_opts)
+                .expect("ports match")
+                .digest()
+        });
+        // Same cycle budget on both engines; the word engine carries 64
+        // stimulus lanes per cycle, so vectors/sec ratio = 64 * t_s/t_w.
+        64.0 * scalar.median.as_secs_f64() / word.median.as_secs_f64()
+    };
+
+    // The determinism contract, asserted where the wide design lives:
+    // worker count moves wall time only, never one bit of the report.
+    let one = check_equivalence_with(
+        &golden,
+        &dut,
+        &lib,
+        &EquivOptions {
+            workers: 1,
+            ..word_opts.clone()
+        },
+    )
+    .expect("ports match");
+    let eight = check_equivalence_with(
+        &golden,
+        &dut,
+        &lib,
+        &EquivOptions {
+            workers: 8,
+            ..word_opts.clone()
+        },
+    )
+    .expect("ports match");
+    assert_eq!(
+        one.digest(),
+        eight.digest(),
+        "equivalence digest must be worker-count invariant"
+    );
+
+    println!("\nequiv throughput (vectors/sec, word vs scalar): {throughput:.2}x");
+    h.metric("equiv_throughput", throughput);
+    h.finish();
+}

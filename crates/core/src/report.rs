@@ -30,6 +30,24 @@ pub fn render_signoff(result: &FlowResult, lib: &Library, top_paths: usize) -> S
             "FAIL"
         }
     );
+    let eq = &result.verify.equivalence;
+    let _ = writeln!(
+        out,
+        "equiv: {} outputs ({} fraig-proven), {} cycles x {} lanes{}{}",
+        eq.outputs_compared,
+        eq.outputs_proven,
+        eq.cycles,
+        eq.lanes,
+        if eq.truncated {
+            " [truncated by mismatch cap]"
+        } else {
+            ""
+        },
+        match eq.mismatches.first() {
+            Some(m) => format!(", {} mismatches (first: {m})", eq.mismatches.len()),
+            None => String::new(),
+        }
+    );
 
     let _ = writeln!(out, "\n-- flow stages --");
     for s in &result.stages {

@@ -367,7 +367,7 @@ impl WorkloadSuite {
                 // seed unrelated to the flow's own. A check that cannot
                 // even be set up is reported as its own failure kind —
                 // not disguised as a logic divergence.
-                let (equivalent, equiv_error) = if self.equiv_cycles > 0 {
+                let (equivalent, equiv_error, cycles_run, truncated) = if self.equiv_cycles > 0 {
                     let mut reference = design.netlist.clone();
                     crate::verify::mirror_control_ports(&mut reference, &r.netlist);
                     match check_equivalence(
@@ -377,15 +377,22 @@ impl WorkloadSuite {
                         self.equiv_cycles,
                         0xD0E5 ^ self.config.seed,
                     ) {
-                        Ok(rep) => (Some(rep.is_equivalent()), None),
-                        Err(e) => (Some(false), Some(e.to_string())),
+                        Ok(rep) => (
+                            Some(rep.is_equivalent()),
+                            None,
+                            Some(rep.cycles),
+                            Some(rep.truncated),
+                        ),
+                        Err(e) => (Some(false), Some(e.to_string()), None, None),
                     }
                 } else {
-                    (None, None)
+                    (None, None, None, None)
                 };
                 let mut outcome = SuiteOutcome::from_flow(&r);
                 outcome.equivalent = equivalent;
                 outcome.equiv_error = equiv_error;
+                outcome.equiv_cycles_run = cycles_run;
+                outcome.equiv_truncated = truncated;
                 Ok(outcome)
             }))
             .unwrap_or_else(|payload| {
@@ -492,6 +499,13 @@ pub struct SuiteOutcome {
     /// failure) — distinguishes infrastructure trouble from a real
     /// logic divergence.
     pub equiv_error: Option<String>,
+    /// Stimulus cycles the independent check *actually* simulated — not
+    /// the requested depth. `Some(0)` means the fraig fast path proved
+    /// every output without simulating a vector.
+    pub equiv_cycles_run: Option<usize>,
+    /// True when the independent check's mismatch cap cut the run
+    /// short: the verdict rests on a prefix of the requested stimulus.
+    pub equiv_truncated: Option<bool>,
     /// Per-corner signoff rows, in corner-set order.
     pub corner_signoff: Vec<CornerSignoff>,
 }
@@ -523,6 +537,8 @@ impl SuiteOutcome {
             diagnostics: r.verify.lint.counts(),
             equivalent: None,
             equiv_error: None,
+            equiv_cycles_run: None,
+            equiv_truncated: None,
             corner_signoff: r.corner_signoff.clone(),
         }
     }
@@ -819,7 +835,12 @@ impl SuiteReport {
                     format!("{:.5}", o.standby_leakage.ua()),
                     match (o.equivalent, &o.equiv_error) {
                         (_, Some(_)) => "ERR".to_owned(),
+                        // `0 cycles` = every output was fraig-proven.
+                        (Some(true), None) if o.equiv_cycles_run == Some(0) => "proved".to_owned(),
                         (Some(true), None) => "yes".to_owned(),
+                        (Some(false), None) if o.equiv_truncated == Some(true) => {
+                            "NO (capped)".to_owned()
+                        }
                         (Some(false), None) => "NO".to_owned(),
                         (None, None) => "-".to_owned(),
                     },
@@ -1104,6 +1125,12 @@ fn outcome_to_json(o: &SuiteOutcome) -> Json {
     if let Some(err) = &o.equiv_error {
         m.insert("equiv_error".to_owned(), Json::Str(err.clone()));
     }
+    if let Some(c) = o.equiv_cycles_run {
+        m.insert("equiv_cycles_run".to_owned(), Json::Num(c as f64));
+    }
+    if let Some(t) = o.equiv_truncated {
+        m.insert("equiv_truncated".to_owned(), Json::Bool(t));
+    }
     let corners = o
         .corner_signoff
         .iter()
@@ -1289,6 +1316,8 @@ fn outcome_from_json(json: &Json, name: &str) -> Result<SuiteOutcome, String> {
             .get("equiv_error")
             .and_then(Json::as_str)
             .map(str::to_owned),
+        equiv_cycles_run: json.get("equiv_cycles_run").and_then(Json::as_usize),
+        equiv_truncated: json.get("equiv_truncated").and_then(Json::as_bool),
         corner_signoff,
     })
 }
@@ -1790,6 +1819,8 @@ mod tests {
             },
             equivalent: Some(true),
             equiv_error: None,
+            equiv_cycles_run: Some(48),
+            equiv_truncated: Some(false),
             corner_signoff: Vec::new(),
         };
         let json = outcome.to_json();

@@ -1,18 +1,47 @@
-//! Random-vector equivalence checking between two netlists.
+//! Word-parallel, cone-partitioned equivalence checking between two
+//! netlists.
 //!
-//! The flow's verification step (last box of Fig. 4) runs the original
-//! netlist and the transformed one side-by-side in *active* mode over many
-//! random stimulus cycles and compares all primary outputs by name. This is
-//! simulation-based equivalence — probabilistic, not a proof — but with
-//! hundreds of vectors over the small-depth benchmark circuits it reliably
-//! catches transform bugs (wrong pin rebinding, dropped inverters,
-//! mis-inserted buffers).
+//! The flow's verification step (last box of Fig. 4) compares the
+//! original netlist and the transformed one on all primary outputs by
+//! name, in *active* mode. Three layers make it fast without changing
+//! what it observes:
+//!
+//! 1. **Fraiging fast path** ([`crate::fraig`]): both netlists are
+//!    lowered into one shared AIG; outputs whose cones hash to the same
+//!    node (or are swept equal and sequentially closed) are *proven*
+//!    equivalent and never simulated. On the flow's own transforms
+//!    (Vth swaps, buffer ECOs, holder insertion) this certifies almost
+//!    everything structurally.
+//! 2. **Cone partitioning**: the residue outputs are grouped by
+//!    overlapping fan-in cones (walking combinational gates and FF `D`
+//!    pins — never clocks), and the groups are checked concurrently on
+//!    [`smt_base::par::parallel_map`] with scoped simulators that never
+//!    touch out-of-cone or dead logic.
+//! 3. **64-wide simulation** ([`crate::wordsim`]): each simulated cycle
+//!    carries 64 independent stimulus lanes, so `cycles` clocked cycles
+//!    compare `64 × cycles` vectors per output.
+//!
+//! Stimulus is a pure function of `(seed, input name, cycle)`
+//! ([`stimulus_word`]), so the report is bit-identical regardless of
+//! how the outputs were partitioned or how many workers ran — the
+//! determinism contract the nightly ThreadSanitizer job pins via
+//! [`EquivReport::digest`]. Simulation remains probabilistic rather
+//! than a proof, but fraig-certified outputs are exact.
 
+use crate::fraig;
 use crate::sim::{Mode, Simulator, Value};
-use smt_base::SplitMix64;
+use crate::wordsim::{Word, WordSimulator};
+use smt_base::par::parallel_map;
+use smt_base::{Fnv64, SplitMix64};
 use smt_cells::library::Library;
-use smt_netlist::graph::CombinationalCycle;
-use smt_netlist::netlist::{Netlist, PortDir};
+use smt_netlist::graph::{topo_order, CombinationalCycle};
+use smt_netlist::netlist::{InstId, NetId, Netlist, PortDir};
+use std::collections::BTreeSet;
+
+/// How many divergences the checker keeps before giving up: enough
+/// evidence for a bug report, applied consistently per cone and after
+/// the merge.
+pub const MISMATCH_CAP: usize = 16;
 
 /// One observed divergence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +50,9 @@ pub struct Mismatch {
     pub output: String,
     /// Cycle index at which the divergence appeared.
     pub cycle: usize,
+    /// Stimulus lane (0..64) that diverged; lowest such lane when
+    /// several did at once. Always 0 for the scalar checker.
+    pub lane: usize,
     /// Value in the reference netlist.
     pub expected: Value,
     /// Value in the netlist under test.
@@ -31,8 +63,8 @@ impl std::fmt::Display for Mismatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "output `{}` diverged at cycle {}: expected {}, got {}",
-            self.output, self.cycle, self.expected, self.actual
+            "output `{}` diverged at cycle {} (lane {}): expected {}, got {}",
+            self.output, self.cycle, self.lane, self.expected, self.actual
         )
     }
 }
@@ -40,11 +72,24 @@ impl std::fmt::Display for Mismatch {
 /// Result of an equivalence run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivReport {
-    /// Cycles simulated.
+    /// Clocked cycles actually simulated (the minimum across cones).
+    /// Equals the requested cycle count unless the run was truncated,
+    /// and is 0 when fraiging proved every output without simulating.
     pub cycles: usize,
-    /// Outputs compared per cycle.
+    /// Outputs compared, proven or simulated.
     pub outputs_compared: usize,
-    /// All divergences found (empty = equivalent under this stimulus).
+    /// Outputs certified by the fraig fast path (skipped in simulation).
+    pub outputs_proven: usize,
+    /// Fan-in cone partitions the residue outputs were checked in.
+    pub cones: usize,
+    /// Stimulus vectors carried per simulated cycle (64 word-parallel,
+    /// 1 scalar).
+    pub lanes: usize,
+    /// True when the mismatch cap cut the run or the merged list short:
+    /// the mismatches shown are a prefix of the evidence, not all of it.
+    pub truncated: bool,
+    /// Divergences, sorted by (cycle, output, lane); empty = equivalent
+    /// under this stimulus. At most one entry per output per cycle.
     pub mismatches: Vec<Mismatch>,
 }
 
@@ -52,6 +97,36 @@ impl EquivReport {
     /// True when no mismatches were observed.
     pub fn is_equivalent(&self) -> bool {
         self.mismatches.is_empty()
+    }
+
+    /// Order-independent fingerprint of everything the checker decided.
+    /// Two runs of the same check must produce the same digest at any
+    /// worker count and over any cone partitioning.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.cycles);
+        h.write_usize(self.outputs_compared);
+        h.write_usize(self.outputs_proven);
+        h.write_usize(self.cones);
+        h.write_usize(self.lanes);
+        h.write_bool(self.truncated);
+        h.write_usize(self.mismatches.len());
+        for m in &self.mismatches {
+            h.write_str(&m.output);
+            h.write_usize(m.cycle);
+            h.write_usize(m.lane);
+            h.write_u8(value_code(m.expected));
+            h.write_u8(value_code(m.actual));
+        }
+        h.finish()
+    }
+}
+
+fn value_code(v: Value) -> u8 {
+    match v {
+        Value::Zero => 0,
+        Value::One => 1,
+        Value::X => 2,
     }
 }
 
@@ -75,17 +150,358 @@ impl std::fmt::Display for EquivError {
 
 impl std::error::Error for EquivError {}
 
-/// Runs `cycles` random-stimulus clock cycles on both netlists and compares
-/// primary outputs by name each cycle.
+/// Tuning knobs for [`check_equivalence_with`].
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Clocked cycles to simulate (each carries 64 stimulus lanes).
+    pub cycles: usize,
+    /// Stimulus seed.
+    pub seed: u64,
+    /// Worker threads for cone-parallel checking; 0 = one per core.
+    pub workers: usize,
+    /// Run the AIG fraiging fast path before simulating.
+    pub fraig: bool,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            cycles: 64,
+            seed: 1,
+            workers: 0,
+            fraig: true,
+        }
+    }
+}
+
+/// The deterministic stimulus contract: the 64 lane values driven onto
+/// input `name` at clocked cycle `cycle`. A pure function of its
+/// arguments — never of cone partitioning, worker count, or visit
+/// order — which is what makes the parallel checker's report
+/// bit-reproducible.
+pub fn stimulus_word(seed: u64, name: &str, cycle: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(seed);
+    h.write_str(name);
+    h.write_usize(cycle);
+    SplitMix64::new(h.finish()).next_u64()
+}
+
+/// Name-paired port nets: `(name, reference net, dut net)`.
+type PairedPorts = Vec<(String, NetId, NetId)>;
+
+/// Pairs input and output ports by name, **bidirectionally**: a port
+/// missing from the DUT and a port the DUT has but the reference does
+/// not are both errors (an extra DUT output is unverified logic; an
+/// extra DUT input is uncontrolled stimulus).
+fn paired_ports(
+    reference: &Netlist,
+    dut: &Netlist,
+) -> Result<(PairedPorts, PairedPorts), EquivError> {
+    let collect = |n: &Netlist, dir: PortDir| -> Vec<(String, NetId)> {
+        let mut v: Vec<(String, NetId)> = n
+            .ports()
+            .filter(|(_, p)| p.dir == dir && !p.is_clock)
+            .map(|(_, p)| (p.name.clone(), p.net))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    };
+    let mut paired = Vec::new();
+    for (dir, word) in [(PortDir::Input, "input"), (PortDir::Output, "output")] {
+        let refs = collect(reference, dir);
+        let duts = collect(dut, dir);
+        let ref_names: BTreeSet<&String> = refs.iter().map(|(n, _)| n).collect();
+        let dut_names: BTreeSet<&String> = duts.iter().map(|(n, _)| n).collect();
+        if let Some(missing) = ref_names.difference(&dut_names).next() {
+            return Err(EquivError::PortMismatch(format!(
+                "dut missing {word} `{missing}`"
+            )));
+        }
+        if let Some(extra) = dut_names.difference(&ref_names).next() {
+            return Err(EquivError::PortMismatch(format!(
+                "dut has extra {word} `{extra}`"
+            )));
+        }
+        let dut_net = |name: &str| duts.iter().find(|(n, _)| n == name).map(|(_, net)| *net);
+        paired.push(
+            refs.into_iter()
+                .map(|(name, rn)| {
+                    let dn = dut_net(&name).expect("name sets verified equal");
+                    (name, rn, dn)
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    let outputs = paired.pop().expect("two directions");
+    let inputs = paired.pop().expect("two directions");
+    Ok((inputs, outputs))
+}
+
+/// One fan-in cone partition: output indices (into the paired outputs)
+/// plus the instance scope each side's simulator is restricted to.
+struct Cone {
+    outputs: Vec<usize>,
+    ref_scope: Vec<InstId>,
+    dut_scope: Vec<InstId>,
+}
+
+/// Groups outputs whose fan-in cones overlap **in either netlist** into
+/// shared partitions. Derived purely from netlist structure, so the
+/// partitioning (and therefore the stimulus each cone sees) is
+/// independent of worker count.
+fn partition_cones(
+    reference: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    outputs: &[(String, NetId, NetId)],
+    residue: &[usize],
+) -> Vec<Cone> {
+    let ref_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| fraig::dependency_closure(reference, lib, &[outputs[i].1]))
+        .collect();
+    let dut_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| fraig::dependency_closure(dut, lib, &[outputs[i].2]))
+        .collect();
+
+    // Union-find over residue slots.
+    let mut parent: Vec<usize> = (0..residue.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (cones, capacity) in [
+        (&ref_cones, reference.inst_capacity()),
+        (&dut_cones, dut.inst_capacity()),
+    ] {
+        let mut owner: Vec<Option<usize>> = vec![None; capacity];
+        for (slot, cone) in cones.iter().enumerate() {
+            for id in cone {
+                match owner[id.index()] {
+                    Some(first) => {
+                        let (a, b) = (find(&mut parent, first), find(&mut parent, slot));
+                        if a != b {
+                            parent[b.max(a)] = b.min(a);
+                        }
+                    }
+                    None => owner[id.index()] = Some(slot),
+                }
+            }
+        }
+    }
+
+    let mut cones: Vec<Cone> = Vec::new();
+    let mut root_cone: Vec<Option<usize>> = vec![None; residue.len()];
+    for slot in 0..residue.len() {
+        let root = find(&mut parent, slot);
+        let cone_idx = *root_cone[root].get_or_insert_with(|| {
+            cones.push(Cone {
+                outputs: Vec::new(),
+                ref_scope: Vec::new(),
+                dut_scope: Vec::new(),
+            });
+            cones.len() - 1
+        });
+        let cone = &mut cones[cone_idx];
+        cone.outputs.push(residue[slot]);
+        cone.ref_scope.extend_from_slice(&ref_cones[slot]);
+        cone.dut_scope.extend_from_slice(&dut_cones[slot]);
+    }
+    for cone in &mut cones {
+        for scope in [&mut cone.ref_scope, &mut cone.dut_scope] {
+            scope.sort_unstable();
+            scope.dedup();
+        }
+    }
+    cones
+}
+
+/// Per-cone simulation result.
+struct ConeRun {
+    mismatches: Vec<Mismatch>,
+    cycles_run: usize,
+    truncated: bool,
+}
+
+/// Compares one cone's outputs at the current simulator state. Records
+/// at most one divergence per output per cycle (`seen`), at most
+/// [`MISMATCH_CAP`] total; returns false when the cap says stop.
+#[allow(clippy::too_many_arguments)]
+fn compare_cone(
+    sim_ref: &WordSimulator,
+    sim_dut: &WordSimulator,
+    outputs: &[(String, NetId, NetId)],
+    cone_outputs: &[usize],
+    cycle: usize,
+    seen: &mut [bool],
+    mismatches: &mut Vec<Mismatch>,
+    truncated: &mut bool,
+) -> bool {
+    for (k, &i) in cone_outputs.iter().enumerate() {
+        if seen[k] {
+            continue;
+        }
+        let (name, rn, dn) = &outputs[i];
+        let expected = sim_ref.value(*rn);
+        let actual = sim_dut.value(*dn);
+        // Lanes where the reference is known (cold-start X is skipped)
+        // but the DUT is X or disagrees.
+        let bad = expected.known() & (actual.xs | ((expected.ones ^ actual.ones) & actual.known()));
+        if bad == 0 {
+            continue;
+        }
+        seen[k] = true;
+        if mismatches.len() >= MISMATCH_CAP {
+            *truncated = true;
+            return false;
+        }
+        let lane = bad.trailing_zeros() as usize;
+        mismatches.push(Mismatch {
+            output: name.clone(),
+            cycle,
+            lane,
+            expected: expected.get(lane),
+            actual: actual.get(lane),
+        });
+    }
+    true
+}
+
+/// Simulates one cone for up to `cycles` clocked cycles.
+fn run_cone(
+    reference: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    inputs: &[(String, NetId, NetId)],
+    outputs: &[(String, NetId, NetId)],
+    cone: &Cone,
+    opts: &EquivOptions,
+) -> ConeRun {
+    let mut sim_ref = WordSimulator::with_scope(reference, lib, &cone.ref_scope)
+        .expect("combinational cycles rejected before partitioning");
+    let mut sim_dut = WordSimulator::with_scope(dut, lib, &cone.dut_scope)
+        .expect("combinational cycles rejected before partitioning");
+    sim_ref.set_mode(Mode::Active);
+    sim_dut.set_mode(Mode::Active);
+
+    let mut mismatches = Vec::new();
+    let mut truncated = false;
+    let mut cycles_run = 0;
+    let mut seen = vec![false; cone.outputs.len()];
+    for cycle in 0..opts.cycles {
+        seen.iter_mut().for_each(|s| *s = false);
+        for (name, rn, dn) in inputs {
+            let w = Word::from_bits(stimulus_word(opts.seed, name, cycle));
+            sim_ref.set_input(*rn, w);
+            sim_dut.set_input(*dn, w);
+        }
+        sim_ref.propagate(reference, lib);
+        sim_dut.propagate(dut, lib);
+        let more = compare_cone(
+            &sim_ref,
+            &sim_dut,
+            outputs,
+            &cone.outputs,
+            cycle,
+            &mut seen,
+            &mut mismatches,
+            &mut truncated,
+        );
+        sim_ref.clock_edge(reference, lib);
+        sim_dut.clock_edge(dut, lib);
+        let more = more
+            && compare_cone(
+                &sim_ref,
+                &sim_dut,
+                outputs,
+                &cone.outputs,
+                cycle,
+                &mut seen,
+                &mut mismatches,
+                &mut truncated,
+            );
+        cycles_run = cycle + 1;
+        if !more {
+            break;
+        }
+    }
+    ConeRun {
+        mismatches,
+        cycles_run,
+        truncated,
+    }
+}
+
+/// Checks `dut` against `reference` with explicit [`EquivOptions`].
 ///
 /// Output samples where the *reference* produces `X` (cold-start state)
-/// are skipped; once the reference is known, any disagreement — including
-/// `X` in the DUT — counts as a mismatch.
+/// are skipped; once the reference is known, any disagreement —
+/// including `X` in the DUT — counts as a mismatch. The report's
+/// `cycles` field is the number of cycles actually simulated, and
+/// `truncated` says whether the mismatch cap cut anything short.
 ///
 /// # Errors
 ///
-/// [`EquivError::PortMismatch`] when port names differ;
-/// [`EquivError::Cycle`] when either netlist has a combinational loop.
+/// [`EquivError::PortMismatch`] when the input/output name sets differ
+/// in either direction; [`EquivError::Cycle`] when either netlist has
+/// a combinational loop.
+pub fn check_equivalence_with(
+    reference: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    opts: &EquivOptions,
+) -> Result<EquivReport, EquivError> {
+    let (inputs, outputs) = paired_ports(reference, dut)?;
+    topo_order(reference, lib).map_err(EquivError::Cycle)?;
+    topo_order(dut, lib).map_err(EquivError::Cycle)?;
+
+    // Structural fast path: certified outputs skip simulation entirely.
+    let proven = if opts.fraig {
+        let names: Vec<String> = outputs.iter().map(|(n, _, _)| n.clone()).collect();
+        fraig::prove_equivalent_outputs(reference, dut, lib, &names, opts.seed).proven
+    } else {
+        BTreeSet::new()
+    };
+    let residue: Vec<usize> = (0..outputs.len())
+        .filter(|&i| !proven.contains(&outputs[i].0))
+        .collect();
+
+    let cones = partition_cones(reference, dut, lib, &outputs, &residue);
+    let runs: Vec<ConeRun> = parallel_map(&cones, opts.workers, |cone| {
+        run_cone(reference, dut, lib, &inputs, &outputs, cone, opts)
+    });
+
+    let mut mismatches: Vec<Mismatch> = runs.iter().flat_map(|r| r.mismatches.clone()).collect();
+    mismatches.sort_by(|a, b| (a.cycle, &a.output, a.lane).cmp(&(b.cycle, &b.output, b.lane)));
+    let mut truncated = runs.iter().any(|r| r.truncated);
+    if mismatches.len() > MISMATCH_CAP {
+        mismatches.truncate(MISMATCH_CAP);
+        truncated = true;
+    }
+    let cycles = runs.iter().map(|r| r.cycles_run).min().unwrap_or(0);
+    Ok(EquivReport {
+        cycles,
+        outputs_compared: outputs.len(),
+        outputs_proven: proven.len(),
+        cones: cones.len(),
+        lanes: 64,
+        truncated,
+        mismatches,
+    })
+}
+
+/// Runs `cycles` random-stimulus clock cycles on both netlists and
+/// compares primary outputs by name each cycle. Convenience wrapper
+/// over [`check_equivalence_with`] with default options.
+///
+/// # Errors
+///
+/// See [`check_equivalence_with`].
 pub fn check_equivalence(
     reference: &Netlist,
     dut: &Netlist,
@@ -93,101 +509,96 @@ pub fn check_equivalence(
     cycles: usize,
     seed: u64,
 ) -> Result<EquivReport, EquivError> {
-    let ref_inputs: Vec<(String, _)> = reference
-        .ports()
-        .filter(|(_, p)| p.dir == PortDir::Input && !p.is_clock)
-        .map(|(_, p)| (p.name.clone(), p.net))
-        .collect();
-    let ref_outputs: Vec<(String, _)> = reference
-        .ports()
-        .filter(|(_, p)| p.dir == PortDir::Output)
-        .map(|(_, p)| (p.name.clone(), p.net))
-        .collect();
+    check_equivalence_with(
+        reference,
+        dut,
+        lib,
+        &EquivOptions {
+            cycles,
+            seed,
+            ..EquivOptions::default()
+        },
+    )
+}
 
-    let mut dut_inputs = Vec::with_capacity(ref_inputs.len());
-    for (name, _) in &ref_inputs {
-        let port = dut
-            .ports()
-            .find(|(_, p)| p.dir == PortDir::Input && &p.name == name)
-            .ok_or_else(|| EquivError::PortMismatch(format!("dut missing input `{name}`")))?;
-        dut_inputs.push(port.1.net);
-    }
-    let mut dut_outputs = Vec::with_capacity(ref_outputs.len());
-    for (name, _) in &ref_outputs {
-        let port = dut
-            .ports()
-            .find(|(_, p)| p.dir == PortDir::Output && &p.name == name)
-            .ok_or_else(|| EquivError::PortMismatch(format!("dut missing output `{name}`")))?;
-        dut_outputs.push(port.1.net);
-    }
-
+/// The one-vector-per-cycle scalar checker: the pre-word-parallel
+/// engine, kept as the benchmark baseline and differential oracle. Its
+/// single vector at each cycle is lane 0 of [`stimulus_word`], so any
+/// divergence it can see, the word-parallel checker sees in lane 0.
+///
+/// # Errors
+///
+/// See [`check_equivalence_with`].
+pub fn check_equivalence_scalar(
+    reference: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    cycles: usize,
+    seed: u64,
+) -> Result<EquivReport, EquivError> {
+    let (inputs, outputs) = paired_ports(reference, dut)?;
     let mut sim_ref = Simulator::new(reference, lib).map_err(EquivError::Cycle)?;
     let mut sim_dut = Simulator::new(dut, lib).map_err(EquivError::Cycle)?;
     sim_ref.set_mode(Mode::Active);
     sim_dut.set_mode(Mode::Active);
 
-    let mut rng = SplitMix64::new(seed);
-    let mut mismatches = Vec::new();
-    for cycle in 0..cycles {
-        for (i, (_, net)) in ref_inputs.iter().enumerate() {
-            let v = Value::from_bool(rng.chance(0.5));
-            sim_ref.set_input(*net, v);
-            sim_dut.set_input(dut_inputs[i], v);
+    let mut mismatches: Vec<Mismatch> = Vec::new();
+    let mut truncated = false;
+    let mut cycles_run = 0;
+    let mut seen = vec![false; outputs.len()];
+    'cycles: for cycle in 0..cycles {
+        seen.iter_mut().for_each(|s| *s = false);
+        for (name, rn, dn) in &inputs {
+            let v = Value::from_bool(stimulus_word(seed, name, cycle) & 1 == 1);
+            sim_ref.set_input(*rn, v);
+            sim_dut.set_input(*dn, v);
         }
-        sim_ref.propagate(reference, lib);
-        sim_dut.propagate(dut, lib);
-        compare(
-            &sim_ref,
-            &sim_dut,
-            &ref_outputs,
-            &dut_outputs,
-            cycle,
-            &mut mismatches,
-        );
-        sim_ref.clock_edge(reference, lib);
-        sim_dut.clock_edge(dut, lib);
-        compare(
-            &sim_ref,
-            &sim_dut,
-            &ref_outputs,
-            &dut_outputs,
-            cycle,
-            &mut mismatches,
-        );
-        if mismatches.len() > 16 {
-            break; // enough evidence
+        cycles_run = cycle + 1;
+        for phase in 0..2 {
+            if phase == 0 {
+                sim_ref.propagate(reference, lib);
+                sim_dut.propagate(dut, lib);
+            } else {
+                sim_ref.clock_edge(reference, lib);
+                sim_dut.clock_edge(dut, lib);
+            }
+            for (i, (name, rn, dn)) in outputs.iter().enumerate() {
+                if seen[i] {
+                    continue;
+                }
+                let expected = sim_ref.value(*rn);
+                if expected == Value::X {
+                    continue;
+                }
+                let actual = sim_dut.value(*dn);
+                if actual == expected {
+                    continue;
+                }
+                seen[i] = true;
+                if mismatches.len() >= MISMATCH_CAP {
+                    truncated = true;
+                    break 'cycles;
+                }
+                mismatches.push(Mismatch {
+                    output: name.clone(),
+                    cycle,
+                    lane: 0,
+                    expected,
+                    actual,
+                });
+            }
         }
     }
+    mismatches.sort_by(|a, b| (a.cycle, &a.output, a.lane).cmp(&(b.cycle, &b.output, b.lane)));
     Ok(EquivReport {
-        cycles,
-        outputs_compared: ref_outputs.len(),
+        cycles: cycles_run,
+        outputs_compared: outputs.len(),
+        outputs_proven: 0,
+        cones: 1,
+        lanes: 1,
+        truncated,
         mismatches,
     })
-}
-
-fn compare(
-    sim_ref: &Simulator,
-    sim_dut: &Simulator,
-    ref_outputs: &[(String, smt_netlist::netlist::NetId)],
-    dut_outputs: &[smt_netlist::netlist::NetId],
-    cycle: usize,
-    mismatches: &mut Vec<Mismatch>,
-) {
-    for (i, (name, net)) in ref_outputs.iter().enumerate() {
-        let expected = sim_ref.value(*net);
-        if expected == Value::X {
-            continue; // reference not yet initialised
-        }
-        let actual = sim_dut.value(dut_outputs[i]);
-        if actual != expected {
-            mismatches.push(Mismatch {
-                output: name.clone(),
-                cycle,
-                expected,
-                actual,
-            });
-        }
-    }
 }
 
 #[cfg(test)]
@@ -219,6 +630,9 @@ mod tests {
         let r = check_equivalence(&a, &b, &lib, 64, 7).unwrap();
         assert!(r.is_equivalent(), "{:?}", r.mismatches.first());
         assert_eq!(r.outputs_compared, 1);
+        // The Vth swap is caught by the structural fast path.
+        assert_eq!(r.outputs_proven, 1);
+        assert_eq!(r.cycles, 0, "nothing left to simulate");
     }
 
     #[test]
@@ -228,8 +642,10 @@ mod tests {
         let b = xor_pair(&lib, "XNR2_X1_L");
         let r = check_equivalence(&a, &b, &lib, 64, 7).unwrap();
         assert!(!r.is_equivalent());
+        assert_eq!(r.outputs_proven, 0);
         let m = &r.mismatches[0];
         assert_eq!(m.output, "z");
+        assert_eq!(m.cycle, 0, "an always-wrong gate diverges immediately");
         assert!(m.to_string().contains("diverged"));
     }
 
@@ -241,6 +657,28 @@ mod tests {
         b.add_input("a");
         let e = check_equivalence(&a, &b, &lib, 4, 1).unwrap_err();
         assert!(matches!(e, EquivError::PortMismatch(_)));
+    }
+
+    #[test]
+    fn extra_dut_ports_are_errors_too() {
+        let lib = lib();
+        let a = xor_pair(&lib, "XOR2_X1_L");
+        // Same gate, but the DUT grew an extra input port.
+        let mut b = xor_pair(&lib, "XOR2_X1_L");
+        b.add_input("stowaway");
+        let e = check_equivalence(&a, &b, &lib, 4, 1).unwrap_err();
+        let EquivError::PortMismatch(msg) = e else {
+            panic!("expected port mismatch");
+        };
+        assert!(msg.contains("extra input `stowaway`"), "{msg}");
+        // And an extra output: unverified logic must not pass silently.
+        let mut c = xor_pair(&lib, "XOR2_X1_L");
+        c.add_output("debug_tap");
+        let e = check_equivalence(&a, &c, &lib, 4, 1).unwrap_err();
+        let EquivError::PortMismatch(msg) = e else {
+            panic!("expected port mismatch");
+        };
+        assert!(msg.contains("extra output `debug_tap`"), "{msg}");
     }
 
     #[test]
@@ -274,6 +712,149 @@ mod tests {
         let a = build(VthClass::Low);
         let b = build(VthClass::MtVgnd);
         let r = check_equivalence(&a, &b, &lib, 128, 99).unwrap();
+        assert!(r.is_equivalent(), "{:?}", r.mismatches.first());
+    }
+
+    /// A bank of independent single-gate outputs, `wrong` of which use
+    /// the complemented function.
+    fn gate_bank(lib: &Library, total: usize, wrong: usize) -> (Netlist, Netlist) {
+        let build = |flipped: usize| {
+            let mut n = Netlist::new("bank");
+            for i in 0..total {
+                let a = n.add_input(&format!("a{i}"));
+                let z = n.add_output(&format!("z{i}"));
+                let cell = if i < flipped { "BUF_X1_L" } else { "INV_X1_L" };
+                let u = n.add_instance(&format!("u{i}"), lib.find_id(cell).unwrap(), lib);
+                n.connect_by_name(u, "A", a, lib).unwrap();
+                n.connect_by_name(u, "Z", z, lib).unwrap();
+            }
+            n
+        };
+        (build(0), build(wrong))
+    }
+
+    #[test]
+    fn truncation_reports_cycles_actually_run() {
+        let lib = lib();
+        // 20 always-diverging outputs overflow the 16-mismatch cap in
+        // the very first cycle: the report must say so instead of
+        // claiming all 48 requested cycles were checked.
+        let (a, b) = gate_bank(&lib, 20, 20);
+        let r = check_equivalence(&a, &b, &lib, 48, 3).unwrap();
+        assert!(r.truncated);
+        assert!(r.mismatches.len() <= MISMATCH_CAP);
+        assert!(r.cycles < 48, "cap stopped the run at cycle {}", r.cycles);
+        // No truncation: full cycle count, flag clear.
+        let (a, b) = gate_bank(&lib, 4, 0);
+        let r = check_equivalence(&a, &b, &lib, 48, 3).unwrap();
+        assert!(!r.truncated);
+        assert_eq!(r.cycles, 0, "equal banks are fully fraig-proven");
+        let r = check_equivalence_with(
+            &a,
+            &b,
+            &lib,
+            &EquivOptions {
+                cycles: 48,
+                seed: 3,
+                fraig: false,
+                ..EquivOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.truncated);
+        assert_eq!(r.cycles, 48);
+    }
+
+    #[test]
+    fn one_mismatch_per_output_per_cycle() {
+        let lib = lib();
+        // One wrong output diverging every cycle, compared twice per
+        // cycle (after propagate and after the edge): exactly one entry
+        // per cycle may be recorded.
+        let (a, b) = gate_bank(&lib, 2, 1);
+        let r = check_equivalence(&a, &b, &lib, 8, 11).unwrap();
+        assert!(!r.is_equivalent());
+        for c in 0..r.cycles {
+            let per_cycle = r
+                .mismatches
+                .iter()
+                .filter(|m| m.cycle == c && m.output == "z0")
+                .count();
+            assert!(per_cycle <= 1, "cycle {c} recorded {per_cycle} entries");
+        }
+    }
+
+    #[test]
+    fn report_is_worker_count_invariant() {
+        let lib = lib();
+        let (a, b) = gate_bank(&lib, 12, 5);
+        let mut digests = BTreeSet::new();
+        for workers in [1, 2, 4, 8] {
+            let r = check_equivalence_with(
+                &a,
+                &b,
+                &lib,
+                &EquivOptions {
+                    cycles: 24,
+                    seed: 17,
+                    workers,
+                    ..EquivOptions::default()
+                },
+            )
+            .unwrap();
+            digests.insert(r.digest());
+        }
+        assert_eq!(digests.len(), 1, "digest must not depend on workers");
+    }
+
+    #[test]
+    fn scalar_and_word_checkers_agree_on_the_verdict() {
+        let lib = lib();
+        for (total, wrong) in [(3, 0), (3, 1), (6, 2)] {
+            let (a, b) = gate_bank(&lib, total, wrong);
+            let opts = EquivOptions {
+                cycles: 32,
+                seed: 23,
+                fraig: false,
+                ..EquivOptions::default()
+            };
+            let word = check_equivalence_with(&a, &b, &lib, &opts).unwrap();
+            let scalar = check_equivalence_scalar(&a, &b, &lib, 32, 23).unwrap();
+            assert_eq!(word.is_equivalent(), scalar.is_equivalent());
+            // Whatever the scalar engine saw is the word engine's lane 0.
+            for m in &scalar.mismatches {
+                assert!(
+                    word.mismatches
+                        .iter()
+                        .any(|w| w.output == m.output && w.cycle == m.cycle),
+                    "scalar mismatch {m} missing from word report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dut_x_where_reference_known_is_a_mismatch() {
+        let lib = lib();
+        let build = |drive: bool| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a");
+            let z = n.add_output("z");
+            let u = n.add_instance("u", lib.find_id("BUF_X1_L").unwrap(), &lib);
+            if drive {
+                n.connect_by_name(u, "A", a, &lib).unwrap();
+            }
+            n.connect_by_name(u, "Z", z, &lib).unwrap();
+            n
+        };
+        let driven = build(true);
+        let floating = build(false); // unconnected input pin -> X output
+                                     // Reference known, DUT X: caught.
+        let r = check_equivalence(&driven, &floating, &lib, 8, 5).unwrap();
+        assert!(!r.is_equivalent());
+        assert_eq!(r.mismatches[0].actual, Value::X);
+        // Reference X: those samples are skipped, not mismatches.
+        let r = check_equivalence(&floating, &driven, &lib, 8, 5).unwrap();
         assert!(r.is_equivalent(), "{:?}", r.mismatches.first());
     }
 }

@@ -7,9 +7,14 @@
 //!   (`MTE` low), MT-cells drive `X` (their virtual ground floats) unless an
 //!   output holder pins the net to `1` — exactly the behaviour the paper's
 //!   output-holder rule exists to guarantee;
-//! * **random-vector equivalence checking** between two netlists (used by
-//!   the flow to verify that every transform of Fig. 4 preserves function
-//!   in active mode);
+//! * **word-parallel simulation** ([`wordsim`]): 64 stimulus vectors per
+//!   net packed into a [`wordsim::Word`] (`u64` value lanes plus a paired
+//!   X mask), evaluated with bitwise truth-table expansion;
+//! * **equivalence checking** between two netlists (used by the flow to
+//!   verify that every transform of Fig. 4 preserves function in active
+//!   mode): an AIG fraiging fast path ([`fraig`]) certifies identical
+//!   cones structurally, and only the residue is simulated — 64 vectors
+//!   per pass, fanned out over fan-in cone partitions;
 //! * **toggle-rate estimation** for the dynamic-power model.
 //!
 //! ```
@@ -32,11 +37,18 @@
 //! ```
 
 pub mod equiv;
+pub mod fraig;
 pub mod sim;
 pub mod toggle;
 pub mod vcd;
+pub mod wordsim;
 
-pub use equiv::{check_equivalence, EquivReport, Mismatch};
+pub use equiv::{
+    check_equivalence, check_equivalence_scalar, check_equivalence_with, EquivOptions, EquivReport,
+    Mismatch,
+};
+pub use fraig::{prove_equivalent_outputs, FraigOutcome};
 pub use sim::{Mode, Simulator, Value};
 pub use toggle::{estimate_toggles, ToggleStats};
 pub use vcd::WaveRecorder;
+pub use wordsim::{eval_tt_word, Word, WordSimulator};

@@ -219,7 +219,9 @@ impl Simulator {
 
 /// Evaluates a truth table where `x_mask` marks unknown inputs: the output
 /// is known only if it agrees across all assignments of the unknowns.
-fn eval_tt_with_x(tt: TruthTable, known: u32, x_mask: u32) -> Value {
+/// (Crate-visible so the word-parallel simulator's differential tests can
+/// pin lane-exact agreement against it.)
+pub(crate) fn eval_tt_with_x(tt: TruthTable, known: u32, x_mask: u32) -> Value {
     if x_mask == 0 {
         return Value::from_bool(tt.eval(known));
     }
