@@ -196,14 +196,17 @@ impl Group<'_> {
 
     /// Times `f` for `samples` iterations (after one untimed warm-up) and
     /// prints min / median / mean. The closure's result is returned via
-    /// `std::hint::black_box` so the computation cannot be optimised away.
+    /// `std::hint::black_box` so the computation cannot be optimised away,
+    /// and dropped only after the sample is recorded — deallocating the
+    /// result is not part of the computation under test.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Stats {
         std::hint::black_box(f()); // warm-up
         let mut times = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let t0 = Instant::now();
-            std::hint::black_box(f());
+            let out = std::hint::black_box(f());
             times.push(t0.elapsed());
+            drop(out);
         }
         let stats = Stats::from_times(&mut times);
         self.record(id, stats);
@@ -211,7 +214,10 @@ impl Group<'_> {
     }
 
     /// Like [`Group::bench`] but regenerates the input with `setup` outside
-    /// the timed region on every sample (Criterion's `iter_batched`).
+    /// the timed region on every sample (Criterion's `iter_batched`). The
+    /// result drops outside the timed window too; a closure that wants its
+    /// *input's* deallocation untimed as well can return the input as part
+    /// of its result.
     pub fn bench_batched<T, R>(
         &mut self,
         id: &str,
@@ -223,8 +229,9 @@ impl Group<'_> {
         for _ in 0..self.samples {
             let input = setup();
             let t0 = Instant::now();
-            std::hint::black_box(f(input));
+            let out = std::hint::black_box(f(input));
             times.push(t0.elapsed());
+            drop(out);
         }
         let stats = Stats::from_times(&mut times);
         self.record(id, stats);

@@ -41,21 +41,21 @@ use crate::reopt::{reoptimize_switches_at_corners, ReoptReport};
 use crate::smtgen::{
     insert_initial_switch, insert_output_holders, to_conventional_smt, to_improved_mt_cells,
 };
-use crate::verify::{verify, VerifyError, VerifyReport};
+use crate::verify::{verify_cached, VerifyError, VerifyReport};
 use smt_base::par::parallel_map;
 use smt_base::units::{Area, Current, Time};
 use smt_cells::corner::{hold_libs, setup_libs, Corner, CornerLibrary, CornerSet};
 use smt_cells::library::Library;
 use smt_netlist::check::{analyze_with_threads, Diagnostic, LintPolicy, Waiver};
-use smt_netlist::netlist::{Netlist, PortDir, VthCensus};
+use smt_netlist::netlist::{InstId, NetId, Netlist, PortDir, VthCensus};
+use smt_netlist::{DeltaBasis, NetlistDelta};
 use smt_place::{PlaceError, Placement, Placer, PlacerConfig};
-use smt_power::{bounce_derates, standby_leakage, StateSource};
-use smt_route::{
-    route_global, synthesize_clock_tree, CtsConfig, CtsReport, Parasitics, RouteConfig,
-};
-use smt_sim::{Mode, Simulator, Value};
+use smt_power::{bounce_derates, LeakageLedger, PricingMode};
+use smt_route::{CtsConfig, CtsReport, CtsSession, Parasitics, RouteConfig, Router};
+use smt_sim::{EquivCache, Mode, Simulator, Value};
 use smt_sta::{analyze, analyze_cached, Derating, StaConfig, TimingGraph, TimingReport};
 use smt_synth::{synthesize, SynthError, SynthOptions};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -490,6 +490,23 @@ pub struct DesignState {
     /// Per-corner signoff rows (filled by [`StageId::Signoff`]; one row
     /// per configured corner, in corner-set order).
     pub corner_signoff: Vec<CornerSignoff>,
+    /// The routing session (from [`StageId::RouteExtract`] onward):
+    /// per-net route caches keyed by pin fingerprints, so re-runs after
+    /// an ECO re-route only nets whose pins moved or rebound.
+    pub router: Option<Router>,
+    /// The CTS session: a fingerprint-gated recording of the clock tree,
+    /// replayed bit-identically when the sequential fabric is unchanged.
+    pub cts_session: Option<CtsSession>,
+    /// Warm equivalence state: per-output fan-in closures and per-cone
+    /// verdicts, so signoff re-verifies only cones an ECO touched.
+    pub equiv_cache: Option<EquivCache>,
+    /// Per-instance leakage rows for delta-aware power re-summation and
+    /// cheap per-corner re-pricing.
+    pub power_ledger: Option<LeakageLedger>,
+    /// Netlist changes accumulated since the routing/extraction caches
+    /// were last synchronized; ECO stages use it to scope their
+    /// mid-stage re-route/re-extract candidates.
+    pub delta: NetlistDelta,
 }
 
 impl DesignState {
@@ -517,6 +534,11 @@ impl DesignState {
             standby_leakage: None,
             active_leakage: None,
             corner_signoff: Vec::new(),
+            router: None,
+            cts_session: None,
+            equiv_cache: None,
+            power_ledger: None,
+            delta: NetlistDelta::new(),
         }
     }
 
@@ -595,6 +617,41 @@ fn placer_mut(placer: &mut Option<Placer>, stage: StageId) -> Result<&mut Placer
         stage,
         what: "placement",
     })
+}
+
+/// Brings routing and extraction back in sync with the netlist after a
+/// mid-stage edit, re-routing only the nets in `state.delta` and
+/// re-extracting only what the router actually changed. No-op when the
+/// delta is empty or the design has not been routed yet (pre-route
+/// stages record deltas too; `RouteExtract` consumes them wholesale).
+fn sync_routing(
+    state: &mut DesignState,
+    ctx: &FlowContext<'_>,
+    stage: StageId,
+) -> Result<(), FlowError> {
+    if state.delta.is_empty() {
+        return Ok(());
+    }
+    let Some(mut router) = state.router.take() else {
+        return Ok(());
+    };
+    let prev = state.extracted.take();
+    let candidates: BTreeSet<NetId> = state.delta.nets.clone();
+    let placement = state.placement(stage)?;
+    router.reroute_nets(
+        &state.netlist,
+        ctx.lib,
+        placement,
+        &ctx.config.route,
+        Some(&candidates),
+        0,
+    );
+    let updated =
+        prev.map(|p| Parasitics::update(p, &state.netlist, ctx.lib, placement, router.global()));
+    state.extracted = updated;
+    state.router = Some(router);
+    state.delta.clear();
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -1284,6 +1341,7 @@ impl Stage for AssignDualVth {
         })?;
         // Worst-across-corners assignment: whatever stays low-Vth must
         // tolerate its MT conversion at the slow corner too.
+        let basis = DeltaBasis::of(&state.netlist);
         let report = assign_dual_vth_at_corners(
             &mut state.netlist,
             &ctx.setup_libs(),
@@ -1292,6 +1350,7 @@ impl Stage for AssignDualVth {
             &dualvth_cfg,
         )
         .map_err(FlowError::Assign)?;
+        state.delta.merge(&basis.diff(&state.netlist));
         state.last_wns = Some(report.final_wns);
         state.dualvth = Some(report);
         Ok(())
@@ -1308,6 +1367,7 @@ impl Stage for MtReplace {
     }
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let basis = DeltaBasis::of(&state.netlist);
         match ctx.config.technique {
             Technique::DualVth => {}
             Technique::ConventionalSmt => {
@@ -1317,6 +1377,7 @@ impl Stage for MtReplace {
                 to_improved_mt_cells(&mut state.netlist, ctx.lib);
             }
         }
+        state.delta.merge(&basis.diff(&state.netlist));
         Ok(())
     }
 }
@@ -1331,10 +1392,12 @@ impl Stage for InsertHolders {
     }
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let basis = DeltaBasis::of(&state.netlist);
         insert_output_holders(&mut state.netlist, ctx.lib);
         let placement = placement_mut(&mut state.placer, StageId::InsertHolders)?;
         place_new_support_cells(&state.netlist, ctx.lib, placement);
         insert_initial_switch(&mut state.netlist, ctx.lib, ctx.config.cluster.bounce_limit);
+        state.delta.merge(&basis.diff(&state.netlist));
         Ok(())
     }
 }
@@ -1354,6 +1417,7 @@ impl Stage for ClusterSwitches {
         let cfg = ctx.config;
         let lib = ctx.lib;
         let sta_cfg = state.sta(StageId::ClusterSwitches)?.clone();
+        let basis = DeltaBasis::of(&state.netlist);
         let placement = placement_mut(&mut state.placer, StageId::ClusterSwitches)?;
         let mut cl_cfg = cfg.cluster.clone();
         for attempt in 0..=cfg.recluster_retries {
@@ -1380,6 +1444,7 @@ impl Stage for ClusterSwitches {
             // Tighten the bounce budget and re-cluster.
             cl_cfg.bounce_limit = cl_cfg.bounce_limit * 0.7;
         }
+        state.delta.merge(&basis.diff(&state.netlist));
         Ok(())
     }
 }
@@ -1393,8 +1458,14 @@ impl Stage for Cts {
     }
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let basis = DeltaBasis::of(&state.netlist);
+        // The session replays the recorded tree bit-identically when the
+        // clock fabric fingerprint is unchanged (warm what-if re-runs),
+        // and falls back to full synthesis otherwise.
+        let mut session = state.cts_session.take().unwrap_or_default();
         let placement = placement_mut(&mut state.placer, StageId::Cts)?;
-        let cts = synthesize_clock_tree(&mut state.netlist, placement, ctx.lib, &ctx.config.cts);
+        let cts = session.run(&mut state.netlist, placement, ctx.lib, &ctx.config.cts);
+        state.cts_session = Some(session);
         if let (Some(r), Some(sta)) = (&cts, state.sta.as_mut()) {
             sta.clock_skew = r.skew();
         }
@@ -1408,6 +1479,7 @@ impl Stage for Cts {
                 ctx.config.mte_max_fanout,
             );
         }
+        state.delta.merge(&basis.diff(&state.netlist));
         Ok(())
     }
 }
@@ -1421,14 +1493,38 @@ impl Stage for RouteExtract {
     }
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
+        let warm_router = state.router.take();
+        let prev_extracted = state.extracted.take();
         let placement = state.placement(StageId::RouteExtract)?;
-        let groute = route_global(&state.netlist, ctx.lib, placement, &ctx.config.route);
-        state.extracted = Some(Parasitics::extract(
-            &state.netlist,
-            ctx.lib,
-            placement,
-            &groute,
-        ));
+        // Warm sessions re-fingerprint every net and re-route only the
+        // stale ones; the fingerprint scan is sound against any netlist,
+        // including checkpoint forks with divergent edit histories.
+        let router = match warm_router {
+            Some(mut r) => {
+                r.reroute_nets(
+                    &state.netlist,
+                    ctx.lib,
+                    placement,
+                    &ctx.config.route,
+                    None,
+                    0,
+                );
+                r
+            }
+            None => Router::route(&state.netlist, ctx.lib, placement, &ctx.config.route, 0),
+        };
+        let extracted = match prev_extracted {
+            // Same fingerprint-gated reuse for RC: unmoved nets keep
+            // their extracted entries byte for byte.
+            Some(prev) => {
+                Parasitics::update(prev, &state.netlist, ctx.lib, placement, router.global())
+            }
+            None => Parasitics::extract(&state.netlist, ctx.lib, placement, router.global()),
+        };
+        state.extracted = Some(extracted);
+        state.router = Some(router);
+        // Routing and extraction are now synchronized with the netlist.
+        state.delta.clear();
         Ok(())
     }
 }
@@ -1454,12 +1550,14 @@ impl Stage for ReoptSwitches {
             .collect();
         // Size each cluster's switch for its binding corner (the slow
         // corner's resistive devices bounce hardest).
+        let basis = DeltaBasis::of(&state.netlist);
         let report = reoptimize_switches_at_corners(
             &mut state.netlist,
             &ctx.corner_libs(),
             ctx.config.cluster.bounce_limit,
             |id| lengths.get(id.index()).copied().unwrap_or(0.0),
         );
+        state.delta.merge(&basis.diff(&state.netlist));
         state.reopt = Some(report);
         Ok(())
     }
@@ -1476,6 +1574,9 @@ impl Stage for EcoHoldFix {
 
     fn run(&self, state: &mut DesignState, ctx: &FlowContext<'_>) -> Result<(), FlowError> {
         let lib = ctx.lib;
+        // Fold any pending netlist changes (post-route switch sizing)
+        // into routing and extraction before timing anything.
+        sync_routing(state, ctx, StageId::EcoHoldFix)?;
         let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
             stage: StageId::EcoHoldFix,
             what: "extracted parasitics",
@@ -1502,21 +1603,56 @@ impl Stage for EcoHoldFix {
         let sta_cfg = state.sta(StageId::EcoHoldFix)?.clone();
         // Setup recovery against the worst setup corner; hold padding
         // against the union of violations at the hold corners.
-        let setup_fix = crate::eco::recover_setup_at_corners(
-            &mut state.netlist,
-            &ctx.setup_libs(),
-            extracted,
-            &sta_cfg,
-            &derating,
-            20,
-        )
-        .map_err(FlowError::Cycle)?;
-        // Setup fixes are in-place variant/drive swaps; re-legalize just
-        // the rows they touched instead of re-running placement.
-        if !setup_fix.touched.is_empty() {
+        //
+        // Recovery and the row repack interact: an upsize can force the
+        // repack to shift neighbours, and the shifted wires cost delay
+        // that the recovery pass never saw. The old flow signed off on
+        // the stale pre-repack RC and hid that cost; here each pass
+        // re-routes and re-extracts exactly the nets whose pins moved or
+        // rebound (setup swaps, repack shifts, earlier re-opt sizing)
+        // and recovers again against fresh numbers until the moves die
+        // out — unmoved nets keep their routed trees and extracted
+        // entries byte for byte.
+        for _pass in 0..3 {
+            let basis = DeltaBasis::of(&state.netlist);
+            let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
+                stage: StageId::EcoHoldFix,
+                what: "extracted parasitics",
+            })?;
+            let setup_fix = crate::eco::recover_setup_at_corners(
+                &mut state.netlist,
+                &ctx.setup_libs(),
+                extracted,
+                &sta_cfg,
+                &derating,
+                20,
+            )
+            .map_err(FlowError::Cycle)?;
+            state.delta.merge(&basis.diff(&state.netlist));
+            if setup_fix.touched.is_empty() {
+                break;
+            }
+            // Setup fixes are in-place variant/drive swaps; re-legalize
+            // just the rows they touched instead of re-running placement.
             let placer = placer_mut(&mut state.placer, StageId::EcoHoldFix)?;
+            // The repack can shift *other* cells in the touched rows;
+            // snapshot locations so their nets join the re-route set.
+            let before: Vec<_> = (0..state.netlist.inst_capacity())
+                .map(|i| placer.placement().try_loc(InstId(i as u32)))
+                .collect();
             placer.replace_cells(&state.netlist, ctx.lib, &setup_fix.touched);
+            let moved: Vec<InstId> = (0..state.netlist.inst_capacity())
+                .map(|i| InstId(i as u32))
+                .filter(|&id| placer.placement().try_loc(id) != before[id.index()])
+                .collect();
+            state.delta.record_insts(&state.netlist, &moved);
+            sync_routing(state, ctx, StageId::EcoHoldFix)?;
         }
+        let basis = DeltaBasis::of(&state.netlist);
+        let extracted = state.extracted.as_ref().ok_or(FlowError::MissingState {
+            stage: StageId::EcoHoldFix,
+            what: "extracted parasitics",
+        })?;
         let placement = placement_mut(&mut state.placer, StageId::EcoHoldFix)?;
         let hold_fix = fix_hold_at_corners(
             &mut state.netlist,
@@ -1528,6 +1664,7 @@ impl Stage for EcoHoldFix {
             ctx.config.hold_rounds,
         )
         .map_err(FlowError::Cycle)?;
+        state.delta.merge(&basis.diff(&state.netlist));
         state.hold_fix = Some(hold_fix);
         state.derating = Some(derating);
         Ok(())
@@ -1569,20 +1706,31 @@ impl Stage for Signoff {
             return Err(FlowError::TimingNotMet { wns: timing.wns });
         }
 
-        let verify_report = verify(
+        // Equivalence re-checks are scoped to the cones an ECO touched:
+        // the warm cache inherits fraig and simulation verdicts for
+        // untouched cones, and the report digest stays bit-identical to
+        // an uncached run.
+        let mut equiv_cache = state.equiv_cache.take().unwrap_or_default();
+        let verify_report = verify_cached(
             &state.golden,
             &state.netlist,
             lib,
             ctx.config.verify_cycles,
             ctx.config.seed,
+            &mut equiv_cache,
         )
         .map_err(FlowError::Verify)?;
+        state.equiv_cache = Some(equiv_cache);
 
+        // Leakage through the delta-aware ledger: refresh re-derives
+        // only when the netlist moved, and pricing replays the exact
+        // accumulation sequence of the from-scratch walks — at the
+        // primary library here and per corner below — bit-identically.
         let standby = standby_sim(&state.netlist, lib)?;
-        let standby_total =
-            standby_leakage(&state.netlist, lib, StateSource::Snapshot(&standby)).total();
-        let active_total =
-            smt_power::active_leakage(&state.netlist, lib, StateSource::Mean).total();
+        let mut ledger = state.power_ledger.take().unwrap_or_default();
+        ledger.refresh(&state.netlist, lib, &standby);
+        let standby_total = ledger.price(lib, PricingMode::Standby).total();
+        let active_total = ledger.price(lib, PricingMode::ActiveMean).total();
 
         // Per-corner signoff table: the final design re-timed and
         // re-priced at every corner, fanned out on the same worker pool
@@ -1592,6 +1740,7 @@ impl Stage for Signoff {
         // recompute the identical numbers.
         let netlist = &state.netlist;
         let (graph, cache) = (&graph, &cache);
+        let ledger_ref = &ledger;
         let rows: Vec<Result<CornerSignoff, FlowError>> =
             parallel_map(ctx.corners, 0, |cl: &CornerLibrary| {
                 if cl.corner.is_identity() {
@@ -1612,14 +1761,10 @@ impl Stage for Signoff {
                     wns: t.wns,
                     tns: t.tns,
                     hold_violations: t.hold_violations.len(),
-                    standby_leakage: standby_leakage(
-                        netlist,
-                        &cl.lib,
-                        StateSource::Snapshot(&standby),
-                    )
-                    .total(),
-                    active_leakage: smt_power::active_leakage(netlist, &cl.lib, StateSource::Mean)
-                        .total(),
+                    // Re-pricing the cached rows per corner replaces a
+                    // netlist + snapshot walk per corner library.
+                    standby_leakage: ledger_ref.price(&cl.lib, PricingMode::Standby).total(),
+                    active_leakage: ledger_ref.price(&cl.lib, PricingMode::ActiveMean).total(),
                 })
             });
         let mut corner_signoff = Vec::with_capacity(rows.len());
@@ -1643,6 +1788,7 @@ impl Stage for Signoff {
         state.standby_leakage = Some(standby_total);
         state.active_leakage = Some(active_total);
         state.corner_signoff = corner_signoff;
+        state.power_ledger = Some(ledger);
         Ok(())
     }
 }

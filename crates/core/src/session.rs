@@ -12,7 +12,10 @@
 //!
 //! * [`WhatIf::VthSwap`] / [`WhatIf::Eco`] fork the *prefix* with a
 //!   modified [`DualVthConfig`] / hold-fix budget and run the remaining
-//!   stages;
+//!   stages — with the finals' warm incremental caches (routing
+//!   session, CTS recording, extracted parasitics, equivalence cache,
+//!   leakage ledger) grafted in, so the back half of the flow
+//!   re-computes only what the fork actually changed;
 //! * [`WhatIf::Signoff`] forks the *finals*, strips only the signoff
 //!   stage, and re-signs the finished design off at a different
 //!   [`CornerSet`] — no re-implementation at all;
@@ -411,6 +414,31 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_owned())
 }
 
+/// Forks the prefix for an implementation what-if, grafting the warm
+/// incremental-session caches out of the finals checkpoint when one
+/// exists: routing session, CTS recording, extracted parasitics,
+/// equivalence cache and leakage ledger. Every one of these caches is
+/// fingerprint-gated against the netlist it is later asked about, so a
+/// fork whose implementation diverges from the finals simply rebuilds
+/// the stale entries — reuse can change how much work the re-run does,
+/// never its result (the bit-identity the incremental-flow tests
+/// digest-assert).
+fn fork_prefix_with_warm_caches(prefix: &Checkpoint, finals: Option<&Checkpoint>) -> Checkpoint {
+    let mut state = prefix.restore();
+    if let Some(finals) = finals {
+        // Borrow the finals and clone only the five cache fields — the
+        // rest of that state (netlist, placement, reports) is dead
+        // weight for a fork that restarts from the prefix.
+        let warm = finals.state();
+        state.router = warm.router.clone();
+        state.cts_session = warm.cts_session.clone();
+        state.extracted = warm.extracted.clone();
+        state.equiv_cache = warm.equiv_cache.clone();
+        state.power_ledger = warm.power_ledger.clone();
+    }
+    Checkpoint::new(state)
+}
+
 /// Runs one forked engine pass with panic isolation.
 fn run_forked(
     lib: &Library,
@@ -450,18 +478,20 @@ pub fn run_what_if(
             let mut config = base.clone();
             config.dualvth = dualvth.clone();
             let corners = corner_libs_for(&config.corners);
+            let from = fork_prefix_with_warm_caches(prefix, finals);
             vec![WhatIfRun {
                 label: "vth-swap".to_owned(),
-                result: run_forked(lib, corners, config, prefix),
+                result: run_forked(lib, corners, config, &from),
             }]
         }
         WhatIf::Eco { hold_rounds } => {
             let mut config = base.clone();
             config.hold_rounds = *hold_rounds;
             let corners = corner_libs_for(&config.corners);
+            let from = fork_prefix_with_warm_caches(prefix, finals);
             vec![WhatIfRun {
                 label: "eco".to_owned(),
-                result: run_forked(lib, corners, config, prefix),
+                result: run_forked(lib, corners, config, &from),
             }]
         }
         WhatIf::Signoff { corners } => {

@@ -11,12 +11,14 @@
 
 pub mod dynamic;
 pub mod leakage;
+pub mod ledger;
 pub mod report;
 pub mod vgnd;
 pub mod wakeup;
 
 pub use dynamic::dynamic_power;
 pub use leakage::{active_leakage, standby_leakage, LeakageBreakdown, StateSource};
+pub use ledger::{LeakageLedger, PricingMode};
 pub use report::{
     gating_potential, render_corner_leakage, render_standby_report, top_leakers, GatingPotential,
 };

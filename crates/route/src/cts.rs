@@ -7,11 +7,22 @@
 //! root buffer on the clock port. Insertion delay and skew are estimated
 //! with the same linear-delay + wire-Elmore models the STA uses.
 
+use smt_base::fingerprint::Fnv64;
 use smt_base::geom::Point;
 use smt_base::units::{Cap, Time};
 use smt_cells::library::Library;
 use smt_netlist::netlist::{InstId, Netlist, PinRef};
 use smt_place::Placement;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FULL_CTS_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of from-scratch clock-tree syntheses since process start.
+/// [`CtsSession`] replays do not count; tests use the delta of this
+/// counter to assert session reuse.
+pub fn full_cts_runs() -> u64 {
+    FULL_CTS_RUNS.load(Ordering::Relaxed)
+}
 
 /// CTS options.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +68,130 @@ struct Cluster {
     centroid: Point,
 }
 
+/// One recorded buffer insertion of a CTS run: everything needed to
+/// replay it verbatim on a structurally identical netlist.
+#[derive(Debug, Clone, PartialEq)]
+struct CtsOp {
+    buf_cell: smt_cells::cell::CellId,
+    sinks: Vec<PinRef>,
+    loc: Point,
+    hint: String,
+}
+
+/// Incremental CTS session: caches a full synthesis as a fingerprint of
+/// its inputs plus the ordered buffer-insertion ops and the resulting
+/// report. When [`CtsSession::run`] sees the same fingerprint again
+/// (same clock sinks, sink locations, FF cells, buffer cell, config and
+/// netlist id counters), it replays the recorded insertions — producing
+/// byte-identical buffer names, ids and placements — and returns the
+/// cached report, skipping the median-split clustering and the
+/// insertion-delay estimate. Any input drift misses the fingerprint and
+/// falls back to full synthesis, so results are always bit-identical to
+/// the from-scratch path.
+#[derive(Debug, Clone, Default)]
+pub struct CtsSession {
+    fp: Option<u64>,
+    ops: Vec<CtsOp>,
+    report: Option<CtsReport>,
+    /// True when the last [`CtsSession::run`] replayed the cache.
+    pub last_replayed: bool,
+}
+
+impl CtsSession {
+    /// An empty session (first run is always a full synthesis).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs CTS, replaying the cached synthesis when the inputs are
+    /// provably unchanged.
+    pub fn run(
+        &mut self,
+        netlist: &mut Netlist,
+        placement: &mut Placement,
+        lib: &Library,
+        config: &CtsConfig,
+    ) -> Option<CtsReport> {
+        let fp = cts_fp(netlist, placement, lib, config);
+        if self.fp == Some(fp) {
+            self.last_replayed = true;
+            for op in &self.ops {
+                insert_buffer(netlist, placement, lib, op);
+            }
+            return self.report.clone();
+        }
+        self.last_replayed = false;
+        let mut ops = Vec::new();
+        let report = synthesize_recording(netlist, placement, lib, config, &mut ops);
+        self.fp = Some(fp);
+        self.ops = ops;
+        self.report = report.clone();
+        report
+    }
+}
+
+/// Fingerprint of every input a CTS run depends on: the config, the
+/// buffer cell, the clock net and its ordered sink pins, every
+/// sequential instance (id, cell, location, clock binding — the
+/// insertion-delay estimate walks all of them), the die (port
+/// locations), and the netlist's id counters (inserted buffer names and
+/// ids must replay identically).
+fn cts_fp(netlist: &Netlist, placement: &Placement, lib: &Library, config: &CtsConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(config.max_fanout);
+    h.write_u8(config.buffer_drive);
+    h.write_usize(netlist.inst_capacity());
+    h.write_usize(netlist.num_nets());
+    h.write_f64(placement.die.lo.x);
+    h.write_f64(placement.die.lo.y);
+    h.write_f64(placement.die.hi.x);
+    h.write_f64(placement.die.hi.y);
+    match lib
+        .clock_buffer(config.buffer_drive)
+        .or_else(|| lib.clock_buffer(1))
+    {
+        Some(c) => h.write_u64(u64::from(c.0)),
+        None => h.write_u8(0),
+    }
+    match netlist.clock_net() {
+        None => h.write_u8(0),
+        Some(clock) => {
+            h.write_u8(1);
+            h.write_u64(u64::from(clock.0));
+            let net = netlist.net(clock);
+            h.write_usize(net.loads.len());
+            for pr in &net.loads {
+                h.write_u64(u64::from(pr.inst.0));
+                h.write_usize(pr.pin);
+            }
+        }
+    }
+    for (id, inst) in netlist.instances() {
+        let cell = lib.cell(inst.cell);
+        if !cell.is_sequential() {
+            continue;
+        }
+        h.write_u64(u64::from(id.0));
+        h.write_u64(u64::from(inst.cell.0));
+        let loc = placement.loc(id);
+        h.write_f64(loc.x);
+        h.write_f64(loc.y);
+        match cell
+            .pins
+            .iter()
+            .position(|p| p.is_clock)
+            .and_then(|ck| inst.net_on(ck))
+        {
+            Some(n) => {
+                h.write_u8(1);
+                h.write_u64(u64::from(n.0));
+            }
+            None => h.write_u8(0),
+        }
+    }
+    h.finish()
+}
+
 /// Runs CTS on the netlist's clock net. Returns `None` when the design has
 /// no clock or no FFs.
 ///
@@ -68,6 +203,17 @@ pub fn synthesize_clock_tree(
     lib: &Library,
     config: &CtsConfig,
 ) -> Option<CtsReport> {
+    synthesize_recording(netlist, placement, lib, config, &mut Vec::new())
+}
+
+fn synthesize_recording(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &Library,
+    config: &CtsConfig,
+    ops: &mut Vec<CtsOp>,
+) -> Option<CtsReport> {
+    FULL_CTS_RUNS.fetch_add(1, Ordering::Relaxed);
     let clock = netlist.clock_net()?;
     let sinks: Vec<PinRef> = netlist.net(clock).loads.clone();
     if sinks.is_empty() {
@@ -112,15 +258,14 @@ pub fn synthesize_clock_tree(
     let mut levels = 1usize;
     let mut level: Vec<(InstId, Point)> = Vec::new();
     for (i, leaf) in leaves.iter().enumerate() {
-        let (buf, _net) = insert_buffer(
-            netlist,
-            placement,
-            lib,
+        let op = CtsOp {
             buf_cell,
-            &leaf.sinks,
-            leaf.centroid,
-            &format!("ctsl{i}"),
-        );
+            sinks: leaf.sinks.clone(),
+            loc: leaf.centroid,
+            hint: format!("ctsl{i}"),
+        };
+        let (buf, _net) = insert_buffer(netlist, placement, lib, &op);
+        ops.push(op);
         buffers += 1;
         level.push((buf, leaf.centroid));
     }
@@ -142,15 +287,14 @@ pub fn synthesize_clock_tree(
                 chunk.iter().map(|(_, p)| p.x).sum::<f64>() / chunk.len() as f64,
                 chunk.iter().map(|(_, p)| p.y).sum::<f64>() / chunk.len() as f64,
             );
-            let (buf, _net) = insert_buffer(
-                netlist,
-                placement,
-                lib,
+            let op = CtsOp {
                 buf_cell,
-                &pins,
-                c,
-                &format!("ctsm{levels}_{i}"),
-            );
+                sinks: pins,
+                loc: c,
+                hint: format!("ctsm{levels}_{i}"),
+            };
+            let (buf, _net) = insert_buffer(netlist, placement, lib, &op);
+            ops.push(op);
             buffers += 1;
             next.push((buf, c));
         }
@@ -169,9 +313,14 @@ pub fn synthesize_clock_tree(
         })
         .collect();
     let root_loc = centroid_points(&level.iter().map(|(_, p)| *p).collect::<Vec<_>>());
-    let (_root, _net) = insert_buffer(
-        netlist, placement, lib, buf_cell, &pins, root_loc, "ctsroot",
-    );
+    let op = CtsOp {
+        buf_cell,
+        sinks: pins,
+        loc: root_loc,
+        hint: "ctsroot".to_owned(),
+    };
+    let (_root, _net) = insert_buffer(netlist, placement, lib, &op);
+    ops.push(op);
     buffers += 1;
 
     // Insertion delay estimate per FF sink: walk up the buffer chain.
@@ -197,23 +346,21 @@ fn centroid_points(pts: &[Point]) -> Point {
     )
 }
 
-/// Inserts one buffer driving `sinks`, rewiring them from whatever net they
-/// were on (they must share one net — the clock or a parent buffer net).
+/// Inserts one buffer driving the op's sinks, rewiring them from
+/// whatever net they were on (they must share one net — the clock or a
+/// parent buffer net).
 fn insert_buffer(
     netlist: &mut Netlist,
     placement: &mut Placement,
     lib: &Library,
-    buf_cell: smt_cells::cell::CellId,
-    sinks: &[PinRef],
-    loc: Point,
-    hint: &str,
+    op: &CtsOp,
 ) -> (InstId, smt_netlist::netlist::NetId) {
     let src = netlist
-        .inst(sinks[0].inst)
-        .net_on(sinks[0].pin)
+        .inst(op.sinks[0].inst)
+        .net_on(op.sinks[0].pin)
         .expect("sink pin is connected");
-    let (buf, net) = netlist.insert_buffer(src, sinks, buf_cell, hint, lib);
-    placement.set_loc(buf, loc);
+    let (buf, net) = netlist.insert_buffer(src, &op.sinks, op.buf_cell, &op.hint, lib);
+    placement.set_loc(buf, op.loc);
     (buf, net)
 }
 
@@ -362,6 +509,48 @@ mod tests {
         n.connect_by_name(u, "Z", z, &lib).unwrap();
         let mut p = place(&n, &lib, &PlacerConfig::default());
         assert!(synthesize_clock_tree(&mut n, &mut p, &lib, &CtsConfig::default()).is_none());
+    }
+
+    #[test]
+    fn session_replay_is_bit_identical_and_skips_synthesis() {
+        let lib = Library::industrial_130nm();
+        let n0 = many_ffs(&lib, 40);
+        let p0 = place(&n0, &lib, &PlacerConfig::default());
+        let cfg = CtsConfig::default();
+
+        let mut s = CtsSession::new();
+        let before = full_cts_runs();
+        let mut n1 = n0.clone();
+        let mut p1 = p0.clone();
+        let r1 = s.run(&mut n1, &mut p1, &lib, &cfg).unwrap();
+        assert!(!s.last_replayed);
+        assert_eq!(full_cts_runs() - before, 1);
+
+        // Same pre-CTS state again: the session replays without a
+        // synthesis and rebuilds the identical tree.
+        let mut n2 = n0.clone();
+        let mut p2 = p0.clone();
+        let r2 = s.run(&mut n2, &mut p2, &lib, &cfg).unwrap();
+        assert!(s.last_replayed);
+        assert_eq!(full_cts_runs() - before, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            smt_netlist::verilog::write_with_lib(&n1, &lib),
+            smt_netlist::verilog::write_with_lib(&n2, &lib)
+        );
+        for (id, _) in n1.instances() {
+            assert_eq!(p1.loc(id), p2.loc(id));
+        }
+
+        // A moved FF misses the fingerprint and re-synthesises.
+        let mut n3 = n0.clone();
+        let mut p3 = p0.clone();
+        let ff = n3.find_inst("ff3").unwrap();
+        let loc = p3.loc(ff);
+        p3.set_loc(ff, Point::new(loc.x + 24.0, loc.y));
+        s.run(&mut n3, &mut p3, &lib, &cfg).unwrap();
+        assert!(!s.last_replayed);
+        assert_eq!(full_cts_runs() - before, 2);
     }
 
     #[test]

@@ -11,11 +11,21 @@
 
 use crate::global::{net_pins, GlobalRoute};
 use crate::steiner::steiner_tree;
+use smt_base::fingerprint::Fnv64;
 use smt_base::units::{Cap, Res, Time};
 use smt_cells::library::Library;
 use smt_netlist::netlist::{NetId, Netlist};
 use smt_place::estimate::estimate_net_rc;
 use smt_place::Placement;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static REEXTRACTIONS_AVOIDED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of per-net extractions [`Parasitics::update`] skipped because
+/// the net's extraction fingerprint was unchanged (process-wide).
+pub fn reextractions_avoided() -> u64 {
+    REEXTRACTIONS_AVOIDED.load(Ordering::Relaxed)
+}
 
 /// Extracted parasitics of one net.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -51,6 +61,11 @@ pub struct Parasitics {
     pub nets: Vec<NetParasitics>,
     /// True when produced by post-route extraction.
     pub post_route: bool,
+    /// Per-net extraction fingerprints (empty for estimates and parsed
+    /// SPEF): everything a net's extraction depends on — pin positions,
+    /// sink cells, port loads, routed length — so [`Parasitics::update`]
+    /// can prove a cached entry is still exact.
+    pub(crate) fps: Vec<u64>,
 }
 
 impl Parasitics {
@@ -85,6 +100,7 @@ impl Parasitics {
         Parasitics {
             nets,
             post_route: false,
+            fps: Vec::new(),
         }
     }
 
@@ -98,92 +114,190 @@ impl Parasitics {
         route: &GlobalRoute,
     ) -> Self {
         let mut nets = Vec::with_capacity(netlist.num_nets());
-        for (id, net) in netlist.nets() {
-            let pins = net_pins(netlist, placement, id);
-            let n_sinks = net.loads.len() + net.port_loads.len();
-            if pins.len() < 2 {
-                nets.push(NetParasitics::default());
-                continue;
-            }
-            let tree = steiner_tree(&pins);
-            let topo_len = tree.wirelength().max(1e-6);
-            let routed = route.length(id).max(topo_len);
-            let scale = routed / topo_len;
-
-            // Sink pin caps, in the same order as `pins[1..]`.
-            let mut sink_cap = vec![Cap::ZERO; pins.len()];
-            for (k, pr) in net.loads.iter().enumerate() {
-                let cell = lib.cell(netlist.inst(pr.inst).cell);
-                sink_cap[1 + k] = cell.pins[pr.pin].cap;
-            }
-            // Port loads get a pad cap.
-            for k in 0..net.port_loads.len() {
-                sink_cap[1 + net.loads.len() + k] = Cap::new(2.0);
-            }
-
-            // Node caps: half of each incident edge's wire cap + pin cap.
-            let n_nodes = tree.nodes.len();
-            let mut node_cap = vec![Cap::ZERO; n_nodes];
-            let mut edge_res = vec![Res::ZERO; n_nodes]; // resistance of edge to parent
-            for (child, parent) in tree.edges() {
-                let len = tree.nodes[child].manhattan(tree.nodes[parent]) * scale;
-                let c = lib.tech.wire_cap(len);
-                let r = lib.tech.wire_res(len);
-                node_cap[child] += c * 0.5;
-                node_cap[parent] += c * 0.5;
-                edge_res[child] = r;
-            }
-            for (i, &c) in sink_cap.iter().enumerate() {
-                node_cap[i] += c;
-            }
-
-            // Downstream cap per node (children of each node first).
-            let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
-            for (child, parent) in tree.edges() {
-                children[parent].push(child);
-            }
-            let mut down_cap = node_cap.clone();
-            // Process nodes in reverse BFS order from root.
-            let mut order = vec![0usize];
-            let mut qi = 0;
-            while qi < order.len() {
-                let v = order[qi];
-                qi += 1;
-                for &c in &children[v] {
-                    order.push(c);
-                }
-            }
-            for &v in order.iter().rev() {
-                for &c in &children[v] {
-                    let add = down_cap[c];
-                    down_cap[v] += add;
-                }
-            }
-
-            // Elmore to each node: parent's + R_edge * down_cap(node).
-            let mut elmore = vec![Time::ZERO; n_nodes];
-            for &v in &order {
-                if v == 0 {
-                    continue;
-                }
-                let p = tree.parent[v];
-                elmore[v] = elmore[p] + edge_res[v] * down_cap[v];
-            }
-
-            let wire_cap = lib.tech.wire_cap(routed);
-            let wire_res = lib.tech.wire_res(routed);
-            let sink_elmore: Vec<Time> = (0..n_sinks).map(|k| elmore[1 + k]).collect();
-            nets.push(NetParasitics {
-                length_um: routed,
-                wire_cap,
-                wire_res,
-                sink_elmore,
-            });
+        let mut fps = Vec::with_capacity(netlist.num_nets());
+        for (id, _) in netlist.nets() {
+            nets.push(extract_net(netlist, lib, placement, id, route.length(id)));
+            fps.push(net_ext_fp(netlist, placement, id, route.length(id)));
         }
         Parasitics {
             nets,
             post_route: true,
+            fps,
         }
+    }
+
+    /// Incremental post-route re-extraction: nets whose extraction
+    /// fingerprint (pins, sink cells, port loads, routed length) is
+    /// unchanged from `prev` keep their cached entry; everything else
+    /// runs through the same per-net extraction as
+    /// [`Parasitics::extract`], so the result is bit-identical to a
+    /// from-scratch extraction of the same inputs. `prev` must itself be
+    /// post-route with fingerprints (otherwise every net re-extracts and
+    /// the call degrades to a full pass).
+    pub fn update(
+        mut prev: Parasitics,
+        netlist: &Netlist,
+        lib: &Library,
+        placement: &Placement,
+        route: &GlobalRoute,
+    ) -> Self {
+        let reusable = prev.post_route && prev.fps.len() == prev.nets.len();
+        let mut nets = Vec::with_capacity(netlist.num_nets());
+        let mut fps = Vec::with_capacity(netlist.num_nets());
+        for (id, _) in netlist.nets() {
+            let fp = net_ext_fp(netlist, placement, id, route.length(id));
+            if reusable && prev.fps.get(id.index()) == Some(&fp) {
+                REEXTRACTIONS_AVOIDED.fetch_add(1, Ordering::Relaxed);
+                // `prev` is consumed, so a proven-fresh entry moves over
+                // without cloning its per-sink buffers.
+                nets.push(std::mem::take(&mut prev.nets[id.index()]));
+            } else {
+                nets.push(extract_net(netlist, lib, placement, id, route.length(id)));
+            }
+            fps.push(fp);
+        }
+        Parasitics {
+            nets,
+            post_route: true,
+            fps,
+        }
+    }
+}
+
+/// Everything one net's extraction depends on (besides the library,
+/// which is fixed for a flow): ordered pin positions, instance-sink
+/// cells and pin indices, port-load identities, and the routed length.
+/// Pin positions are streamed with [`net_pins`]' framing (driver first,
+/// instance loads, then port loads; empty when undriven) without
+/// materialising the list — the revalidation scan in
+/// [`Parasitics::update`] touches every net, so it must not allocate.
+fn net_ext_fp(netlist: &Netlist, placement: &Placement, id: NetId, routed: f64) -> u64 {
+    let net = netlist.net(id);
+    let mut h = Fnv64::new();
+    match net.driver {
+        None => h.write_usize(0),
+        Some(driver) => {
+            let d = match driver {
+                smt_netlist::netlist::NetDriver::Inst(pr) => placement.loc(pr.inst),
+                smt_netlist::netlist::NetDriver::Port(p) => placement.port_loc(p),
+            };
+            h.write_usize(1 + net.loads.len() + net.port_loads.len());
+            h.write_f64(d.x);
+            h.write_f64(d.y);
+            for pr in &net.loads {
+                let p = placement.loc(pr.inst);
+                h.write_f64(p.x);
+                h.write_f64(p.y);
+            }
+            for p in &net.port_loads {
+                let p = placement.port_loc(*p);
+                h.write_f64(p.x);
+                h.write_f64(p.y);
+            }
+        }
+    }
+    h.write_usize(net.loads.len());
+    for pr in &net.loads {
+        h.write_u64(u64::from(pr.inst.0));
+        h.write_usize(pr.pin);
+        h.write_usize(netlist.inst(pr.inst).cell.0 as usize);
+    }
+    h.write_usize(net.port_loads.len());
+    for p in &net.port_loads {
+        h.write_u64(u64::from(p.0));
+    }
+    h.write_f64(routed);
+    h.finish()
+}
+
+/// Post-route extraction of one net (the per-net body both
+/// [`Parasitics::extract`] and [`Parasitics::update`] share).
+fn extract_net(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+    id: NetId,
+    route_len: f64,
+) -> NetParasitics {
+    let net = netlist.net(id);
+    let pins = net_pins(netlist, placement, id);
+    let n_sinks = net.loads.len() + net.port_loads.len();
+    if pins.len() < 2 {
+        return NetParasitics::default();
+    }
+    let tree = steiner_tree(&pins);
+    let topo_len = tree.wirelength().max(1e-6);
+    let routed = route_len.max(topo_len);
+    let scale = routed / topo_len;
+
+    // Sink pin caps, in the same order as `pins[1..]`.
+    let mut sink_cap = vec![Cap::ZERO; pins.len()];
+    for (k, pr) in net.loads.iter().enumerate() {
+        let cell = lib.cell(netlist.inst(pr.inst).cell);
+        sink_cap[1 + k] = cell.pins[pr.pin].cap;
+    }
+    // Port loads get a pad cap.
+    for k in 0..net.port_loads.len() {
+        sink_cap[1 + net.loads.len() + k] = Cap::new(2.0);
+    }
+
+    // Node caps: half of each incident edge's wire cap + pin cap.
+    let n_nodes = tree.nodes.len();
+    let mut node_cap = vec![Cap::ZERO; n_nodes];
+    let mut edge_res = vec![Res::ZERO; n_nodes]; // resistance of edge to parent
+    for (child, parent) in tree.edges() {
+        let len = tree.nodes[child].manhattan(tree.nodes[parent]) * scale;
+        let c = lib.tech.wire_cap(len);
+        let r = lib.tech.wire_res(len);
+        node_cap[child] += c * 0.5;
+        node_cap[parent] += c * 0.5;
+        edge_res[child] = r;
+    }
+    for (i, &c) in sink_cap.iter().enumerate() {
+        node_cap[i] += c;
+    }
+
+    // Downstream cap per node (children of each node first).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for (child, parent) in tree.edges() {
+        children[parent].push(child);
+    }
+    let mut down_cap = node_cap.clone();
+    // Process nodes in reverse BFS order from root.
+    let mut order = vec![0usize];
+    let mut qi = 0;
+    while qi < order.len() {
+        let v = order[qi];
+        qi += 1;
+        for &c in &children[v] {
+            order.push(c);
+        }
+    }
+    for &v in order.iter().rev() {
+        for &c in &children[v] {
+            let add = down_cap[c];
+            down_cap[v] += add;
+        }
+    }
+
+    // Elmore to each node: parent's + R_edge * down_cap(node).
+    let mut elmore = vec![Time::ZERO; n_nodes];
+    for &v in &order {
+        if v == 0 {
+            continue;
+        }
+        let p = tree.parent[v];
+        elmore[v] = elmore[p] + edge_res[v] * down_cap[v];
+    }
+
+    let wire_cap = lib.tech.wire_cap(routed);
+    let wire_res = lib.tech.wire_res(routed);
+    let sink_elmore: Vec<Time> = (0..n_sinks).map(|k| elmore[1 + k]).collect();
+    NetParasitics {
+        length_um: routed,
+        wire_cap,
+        wire_res,
+        sink_elmore,
     }
 }
 

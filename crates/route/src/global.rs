@@ -9,7 +9,6 @@
 //! RC — the "precise RC information which is generated after routing" of
 //! the paper.
 
-use crate::steiner::steiner_tree;
 use smt_base::geom::Point;
 use smt_cells::library::Library;
 use smt_netlist::netlist::{NetDriver, NetId, Netlist};
@@ -67,17 +66,35 @@ impl GlobalRoute {
     }
 }
 
-struct Grid {
-    nx: usize,
-    ny: usize,
+#[derive(Debug, Clone)]
+pub(crate) struct Grid {
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
     /// usage of horizontal edges (between (x,y) and (x+1,y)): (nx-1)*ny
-    h: Vec<u32>,
+    pub(crate) h: Vec<u32>,
     /// usage of vertical edges: nx*(ny-1)
-    v: Vec<u32>,
-    capacity: u32,
+    pub(crate) v: Vec<u32>,
+    pub(crate) capacity: u32,
+    /// Edge count per usage value, maintained by `apply` so peak
+    /// utilisation never needs an O(edges) scan.
+    hist: Vec<u64>,
+    /// Running total of usage above capacity, maintained by `apply`.
+    over: u64,
 }
 
 impl Grid {
+    pub(crate) fn empty(nx: usize, ny: usize, capacity: u32) -> Grid {
+        Grid {
+            nx,
+            ny,
+            h: vec![0; (nx - 1) * ny],
+            v: vec![0; nx * (ny - 1)],
+            capacity,
+            hist: vec![((nx - 1) * ny + nx * (ny - 1)) as u64],
+            over: 0,
+        }
+    }
+
     fn h_idx(&self, x: usize, y: usize) -> usize {
         y * (self.nx - 1) + x
     }
@@ -91,7 +108,12 @@ impl Grid {
     }
 
     /// A* route between two tiles; returns the tile path.
-    fn route(&self, from: (usize, usize), to: (usize, usize), weight: f64) -> Vec<(usize, usize)> {
+    pub(crate) fn route(
+        &self,
+        from: (usize, usize),
+        to: (usize, usize),
+        weight: f64,
+    ) -> Vec<(usize, usize)> {
         let idx = |x: usize, y: usize| y * self.nx + x;
         let mut dist = vec![f64::INFINITY; self.nx * self.ny];
         let mut prev = vec![usize::MAX; self.nx * self.ny];
@@ -156,20 +178,43 @@ impl Grid {
         path
     }
 
-    fn apply(&mut self, path: &[(usize, usize)], dir: i32) {
+    pub(crate) fn apply(&mut self, path: &[(usize, usize)], dir: i32) {
         for w in path.windows(2) {
             let ((x0, y0), (x1, y1)) = (w[0], w[1]);
-            if y0 == y1 {
+            let u = if y0 == y1 {
                 let i = self.h_idx(x0.min(x1), y0);
-                self.h[i] = (self.h[i] as i64 + dir as i64).max(0) as u32;
+                let old = self.h[i];
+                self.h[i] = (old as i64 + dir as i64).max(0) as u32;
+                (old, self.h[i])
             } else {
                 let i = self.v_idx(x0, y0.min(y1));
-                self.v[i] = (self.v[i] as i64 + dir as i64).max(0) as u32;
+                let old = self.v[i];
+                self.v[i] = (old as i64 + dir as i64).max(0) as u32;
+                (old, self.v[i])
+            };
+            let (old, new) = u;
+            if old == new {
+                continue;
+            }
+            self.hist[old as usize] -= 1;
+            if new as usize >= self.hist.len() {
+                self.hist.resize(new as usize + 1, 0);
+            }
+            self.hist[new as usize] += 1;
+            // Overflow contribution is max(usage - capacity, 0); a ±1
+            // step changes it by ±1 exactly when the higher of the two
+            // values is above capacity.
+            if old.max(new) > self.capacity {
+                if new > old {
+                    self.over += 1;
+                } else {
+                    self.over -= 1;
+                }
             }
         }
     }
 
-    fn path_overflows(&self, path: &[(usize, usize)]) -> bool {
+    pub(crate) fn path_overflows(&self, path: &[(usize, usize)]) -> bool {
         for w in path.windows(2) {
             let ((x0, y0), (x1, y1)) = (w[0], w[1]);
             let usage = if y0 == y1 {
@@ -184,22 +229,14 @@ impl Grid {
         false
     }
 
-    fn overflow(&self) -> u64 {
-        self.h
-            .iter()
-            .chain(self.v.iter())
-            .map(|&u| u.saturating_sub(self.capacity) as u64)
-            .sum()
+    pub(crate) fn overflow(&self) -> u64 {
+        self.over
     }
 
-    fn peak_utilization(&self) -> f64 {
-        let m = self
-            .h
-            .iter()
-            .chain(self.v.iter())
-            .copied()
-            .max()
-            .unwrap_or(0);
+    pub(crate) fn peak_utilization(&self) -> f64 {
+        // `hist` keeps trailing zero buckets after usage drops; the scan
+        // is over distinct usage values, not edges.
+        let m = self.hist.iter().rposition(|&c| c > 0).unwrap_or(0);
         m as f64 / self.capacity as f64
     }
 }
@@ -223,93 +260,23 @@ pub(crate) fn net_pins(netlist: &Netlist, placement: &Placement, net: NetId) -> 
 }
 
 /// Runs global routing over all multi-pin nets.
+///
+/// Thin wrapper over [`crate::router::Router`]: the initial pass routes
+/// every net independently on an empty grid (a pure function of the
+/// net's pin list, which is what makes per-net caching and the
+/// incremental [`crate::router::Router::reroute_nets`] path exact), and
+/// congestion is then resolved by sequential rip-up & reroute in net-id
+/// order against the live grid, so later victims see earlier victims'
+/// new paths and the iteration converges deterministically.
 pub fn route_global(
     netlist: &Netlist,
     lib: &Library,
     placement: &Placement,
     config: &RouteConfig,
 ) -> GlobalRoute {
-    let _ = lib;
-    let die = placement.die;
-    let nx = ((die.width() / config.tile_um).ceil() as usize).max(2);
-    let ny = ((die.height() / config.tile_um).ceil() as usize).max(2);
-    let mut grid = Grid {
-        nx,
-        ny,
-        h: vec![0; (nx - 1) * ny],
-        v: vec![0; nx * (ny - 1)],
-        capacity: config.capacity,
-    };
-    let tile_of = |p: Point| -> (usize, usize) {
-        let x = (((p.x - die.lo.x) / config.tile_um) as usize).min(nx - 1);
-        let y = (((p.y - die.lo.y) / config.tile_um) as usize).min(ny - 1);
-        (x, y)
-    };
-
-    // Initial pass.
-    let mut net_paths: Vec<Vec<Vec<(usize, usize)>>> = vec![Vec::new(); netlist.num_nets()];
-    let mut net_length = vec![0.0f64; netlist.num_nets()];
-    let route_net = |grid: &mut Grid, net: NetId, weight: f64| -> (Vec<Vec<(usize, usize)>>, f64) {
-        let pins = net_pins(netlist, placement, net);
-        if pins.len() < 2 {
-            return (Vec::new(), 0.0);
-        }
-        let tree = steiner_tree(&pins);
-        let mut paths = Vec::new();
-        let mut length = 0.0;
-        for (child, parent) in tree.edges() {
-            let from = tile_of(tree.nodes[parent]);
-            let to = tile_of(tree.nodes[child]);
-            if from == to {
-                // Sub-tile connection: count its direct length.
-                length += tree.nodes[parent].manhattan(tree.nodes[child]);
-                continue;
-            }
-            let path = grid.route(from, to, weight);
-            length += (path.len().saturating_sub(1)) as f64 * config.tile_um;
-            grid.apply(&path, 1);
-            paths.push(path);
-        }
-        (paths, length)
-    };
-
-    let nets: Vec<NetId> = netlist.nets().map(|(id, _)| id).collect();
-    for &net in &nets {
-        let (paths, len) = route_net(&mut grid, net, 4.0);
-        net_paths[net.index()] = paths;
-        net_length[net.index()] = len;
-    }
-
-    // Rip-up & reroute nets over congested edges.
-    for iter in 0..config.rrr_iterations {
-        if grid.overflow() == 0 {
-            break;
-        }
-        let weight = 8.0 * (iter + 2) as f64;
-        for &net in &nets {
-            let congested = net_paths[net.index()]
-                .iter()
-                .any(|p| grid.path_overflows(p));
-            if !congested {
-                continue;
-            }
-            for p in &net_paths[net.index()] {
-                grid.apply(p, -1);
-            }
-            let (paths, len) = route_net(&mut grid, net, weight);
-            net_paths[net.index()] = paths;
-            net_length[net.index()] = len;
-        }
-    }
-
-    GlobalRoute {
-        tile_um: config.tile_um,
-        nx,
-        ny,
-        net_length,
-        overflow: grid.overflow(),
-        peak_utilization: grid.peak_utilization(),
-    }
+    crate::router::Router::route(netlist, lib, placement, config, 0)
+        .global()
+        .clone()
 }
 
 #[cfg(test)]

@@ -150,7 +150,13 @@ pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, ParseSpefError
         }
         return Err(err(line, format!("unrecognised line `{l}`")));
     }
-    Ok(Parasitics { nets, post_route })
+    // Parsed parasitics carry no extraction fingerprints: an incremental
+    // update after a SPEF round-trip conservatively re-extracts.
+    Ok(Parasitics {
+        nets,
+        post_route,
+        fps: Vec::new(),
+    })
 }
 
 #[cfg(test)]

@@ -35,8 +35,9 @@ use smt_base::par::parallel_map;
 use smt_base::{Fnv64, SplitMix64};
 use smt_cells::library::Library;
 use smt_netlist::graph::{topo_order, CombinationalCycle};
-use smt_netlist::netlist::{InstId, NetId, Netlist, PortDir};
-use std::collections::BTreeSet;
+use smt_netlist::netlist::{InstId, NetDriver, NetId, Netlist, PortDir};
+use smt_netlist::DeltaBasis;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How many divergences the checker keeps before giving up: enough
 /// evidence for a bug report, applied consistently per cone and after
@@ -247,25 +248,17 @@ struct Cone {
 }
 
 /// Groups outputs whose fan-in cones overlap **in either netlist** into
-/// shared partitions. Derived purely from netlist structure, so the
-/// partitioning (and therefore the stimulus each cone sees) is
-/// independent of worker count.
+/// shared partitions. Derived purely from netlist structure (the
+/// closures are passed in precomputed), so the partitioning (and
+/// therefore the stimulus each cone sees) is independent of worker
+/// count and of the order of instances within each closure.
 fn partition_cones(
     reference: &Netlist,
     dut: &Netlist,
-    lib: &Library,
-    outputs: &[(String, NetId, NetId)],
     residue: &[usize],
+    ref_cones: &[Vec<InstId>],
+    dut_cones: &[Vec<InstId>],
 ) -> Vec<Cone> {
-    let ref_cones: Vec<Vec<InstId>> = residue
-        .iter()
-        .map(|&i| fraig::dependency_closure(reference, lib, &[outputs[i].1]))
-        .collect();
-    let dut_cones: Vec<Vec<InstId>> = residue
-        .iter()
-        .map(|&i| fraig::dependency_closure(dut, lib, &[outputs[i].2]))
-        .collect();
-
     // Union-find over residue slots.
     let mut parent: Vec<usize> = (0..residue.len()).collect();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
@@ -276,8 +269,8 @@ fn partition_cones(
         i
     }
     for (cones, capacity) in [
-        (&ref_cones, reference.inst_capacity()),
-        (&dut_cones, dut.inst_capacity()),
+        (ref_cones, reference.inst_capacity()),
+        (dut_cones, dut.inst_capacity()),
     ] {
         let mut owner: Vec<Option<usize>> = vec![None; capacity];
         for (slot, cone) in cones.iter().enumerate() {
@@ -471,7 +464,15 @@ pub fn check_equivalence_with(
         .filter(|&i| !proven.contains(&outputs[i].0))
         .collect();
 
-    let cones = partition_cones(reference, dut, lib, &outputs, &residue);
+    let ref_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| fraig::dependency_closure(reference, lib, &[outputs[i].1]))
+        .collect();
+    let dut_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| fraig::dependency_closure(dut, lib, &[outputs[i].2]))
+        .collect();
+    let cones = partition_cones(reference, dut, &residue, &ref_cones, &dut_cones);
     let runs: Vec<ConeRun> = parallel_map(&cones, opts.workers, |cone| {
         run_cone(reference, dut, lib, &inputs, &outputs, cone, opts)
     });
@@ -519,6 +520,319 @@ pub fn check_equivalence(
             ..EquivOptions::default()
         },
     )
+}
+
+/// Cached per-output equivalence facts: the DUT-side fan-in closure
+/// (instances and incident nets) plus the cone fingerprint and fraig
+/// verdict captured when the output was last (re-)checked.
+#[derive(Debug, Clone)]
+struct OutputEntry {
+    ref_net: NetId,
+    dut_net: NetId,
+    proven: bool,
+    /// Reference-side fan-in closure, sorted (the reference is pinned
+    /// by the cache's base fingerprint, so this never goes stale).
+    ref_closure: Vec<InstId>,
+    /// DUT-side fan-in closure, sorted.
+    dut_closure: Vec<InstId>,
+    /// Every DUT net incident to the closure plus the output net,
+    /// sorted. A delta touching none of these nets and none of the
+    /// closure instances cannot change what this output computes.
+    cone_nets: Vec<NetId>,
+    /// Cone fingerprint (structure + stimulus binding), the verdict
+    /// cache key component for this output.
+    fp: u64,
+}
+
+/// A remembered [`ConeRun`], replayed verbatim on a fingerprint hit.
+#[derive(Debug, Clone)]
+struct CachedConeRun {
+    mismatches: Vec<Mismatch>,
+    cycles_run: usize,
+    truncated: bool,
+}
+
+/// Warm state for [`check_equivalence_cached`]: ECO-scoped equivalence
+/// re-checks.
+///
+/// The cache pins the reference netlist and the options in a base
+/// fingerprint, keeps a [`DeltaBasis`] of the DUT it last verified, and
+/// stores per-output closures plus per-cone simulation verdicts keyed
+/// by cone fingerprint. On the next call only outputs whose fan-in
+/// closure intersects the DUT delta are re-fraiged and re-simulated;
+/// everything else inherits its cached verdict. The assembled report is
+/// bit-identical to [`check_equivalence_with`] on the same inputs:
+/// fraig verdicts are cone-local (a subset run returns the same
+/// per-output answers as the full run) and cone stimulus is a pure
+/// function of `(seed, input name, cycle)`, never of what else ran.
+#[derive(Debug, Clone, Default)]
+pub struct EquivCache {
+    base_fp: Option<u64>,
+    basis: DeltaBasis,
+    outputs: BTreeMap<String, OutputEntry>,
+    verdicts: BTreeMap<u64, CachedConeRun>,
+    /// Outputs whose verdicts were inherited untouched on the last call.
+    pub last_outputs_inherited: usize,
+    /// Residue cones actually simulated on the last call.
+    pub last_cones_simulated: usize,
+    /// Residue cones replayed from the verdict cache on the last call.
+    pub last_cones_inherited: usize,
+}
+
+impl EquivCache {
+    /// An empty cache; the first call through it runs everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Pins everything the per-output verdicts depend on besides the DUT:
+/// the reference netlist's structure, the stimulus options, and the
+/// port pairing on the reference side. Any change empties the cache.
+fn cache_base_fp(
+    reference: &Netlist,
+    opts: &EquivOptions,
+    inputs: &PairedPorts,
+    outputs: &PairedPorts,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(DeltaBasis::of(reference).digest());
+    h.write_usize(opts.cycles);
+    h.write_u64(opts.seed);
+    h.write_bool(opts.fraig);
+    h.write_usize(inputs.len());
+    for (name, rn, _) in inputs {
+        h.write_str(name);
+        h.write_u64(u64::from(rn.0));
+    }
+    h.write_usize(outputs.len());
+    for (name, rn, _) in outputs {
+        h.write_str(name);
+        h.write_u64(u64::from(rn.0));
+    }
+    h.finish()
+}
+
+/// All DUT nets whose value can feed the cone: the closure instances'
+/// pins plus the output net itself.
+fn cone_net_set(dut: &Netlist, dn: NetId, closure: &[InstId]) -> Vec<NetId> {
+    let mut nets: Vec<NetId> = closure
+        .iter()
+        .flat_map(|&id| dut.inst(id).conns.iter().flatten().copied())
+        .collect();
+    nets.push(dn);
+    nets.sort_unstable();
+    nets.dedup();
+    nets
+}
+
+/// Fingerprint of one output's DUT cone: closure instance structure,
+/// incident-net drivers (port drivers by *name*, because stimulus binds
+/// by name), and the paired net ids. Two outputs with equal
+/// fingerprints under the same base fingerprint compute the same
+/// function on the same stimulus.
+fn output_fp(
+    dut: &Netlist,
+    name: &str,
+    rn: NetId,
+    dn: NetId,
+    dut_closure: &[InstId],
+    cone_nets: &[NetId],
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(name);
+    h.write_u64(u64::from(rn.0));
+    h.write_u64(u64::from(dn.0));
+    h.write_usize(dut_closure.len());
+    for &id in dut_closure {
+        let inst = dut.inst(id);
+        h.write_u64(u64::from(id.0));
+        h.write_str(&inst.name);
+        h.write_usize(inst.cell.0 as usize);
+        h.write_usize(inst.conns.len());
+        for conn in &inst.conns {
+            h.write_u64(conn.map_or(u64::MAX, |n| u64::from(n.0)));
+        }
+    }
+    h.write_usize(cone_nets.len());
+    for &nid in cone_nets {
+        h.write_u64(u64::from(nid.0));
+        match dut.net(nid).driver {
+            None => h.write_u8(0),
+            Some(NetDriver::Inst(pr)) => {
+                h.write_u8(1);
+                h.write_u64(u64::from(pr.inst.0));
+                h.write_usize(pr.pin);
+            }
+            Some(NetDriver::Port(p)) => {
+                h.write_u8(2);
+                h.write_str(&dut.port(p).name);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// [`check_equivalence_with`], re-check scoped to what changed in the
+/// DUT since the cache last saw it.
+///
+/// Outputs whose cached fan-in closure intersects neither the delta's
+/// instances nor its nets inherit their fraig verdict and simulation
+/// result outright; only the rest are re-proven (fraig runs on just the
+/// stale name subset) and re-partitioned. Residue cones then consult a
+/// verdict cache keyed by cone fingerprint, so even a stale-but-
+/// structurally-identical cone replays instead of simulating. On a cold
+/// cache this *is* the uncached checker; on a warm cache the report —
+/// including its [`EquivReport::digest`] — is bit-identical to running
+/// [`check_equivalence_with`] from scratch on the same pair.
+///
+/// # Errors
+///
+/// See [`check_equivalence_with`].
+pub fn check_equivalence_cached(
+    reference: &Netlist,
+    dut: &Netlist,
+    lib: &Library,
+    opts: &EquivOptions,
+    cache: &mut EquivCache,
+) -> Result<EquivReport, EquivError> {
+    let (inputs, outputs) = paired_ports(reference, dut)?;
+    topo_order(reference, lib).map_err(EquivError::Cycle)?;
+    topo_order(dut, lib).map_err(EquivError::Cycle)?;
+
+    let base = cache_base_fp(reference, opts, &inputs, &outputs);
+    if cache.base_fp != Some(base) {
+        cache.outputs.clear();
+        cache.verdicts.clear();
+        cache.basis = DeltaBasis::default();
+        cache.base_fp = Some(base);
+    }
+    let delta = cache.basis.diff(dut);
+
+    // Split outputs into inherited (cached cone provably untouched by
+    // the delta) and stale.
+    let mut entries: Vec<Option<OutputEntry>> = vec![None; outputs.len()];
+    let mut stale: Vec<usize> = Vec::new();
+    for (i, (name, rn, dn)) in outputs.iter().enumerate() {
+        let hit = cache.outputs.get(name).filter(|e| {
+            e.ref_net == *rn
+                && e.dut_net == *dn
+                && !e.dut_closure.iter().any(|id| delta.insts.contains(id))
+                && !e.cone_nets.iter().any(|n| delta.nets.contains(n))
+        });
+        match hit {
+            Some(e) => entries[i] = Some(e.clone()),
+            None => stale.push(i),
+        }
+    }
+    cache.last_outputs_inherited = outputs.len() - stale.len();
+
+    // Re-prove only the stale outputs. Fraig verdicts are per-output
+    // and cone-local, so the subset run answers exactly as a full run
+    // would for these names.
+    let newly_proven = if opts.fraig && !stale.is_empty() {
+        let names: Vec<String> = stale.iter().map(|&i| outputs[i].0.clone()).collect();
+        fraig::prove_equivalent_outputs(reference, dut, lib, &names, opts.seed).proven
+    } else {
+        BTreeSet::new()
+    };
+    for &i in &stale {
+        let (name, rn, dn) = &outputs[i];
+        let mut ref_closure = fraig::dependency_closure(reference, lib, &[*rn]);
+        ref_closure.sort_unstable();
+        ref_closure.dedup();
+        let mut dut_closure = fraig::dependency_closure(dut, lib, &[*dn]);
+        dut_closure.sort_unstable();
+        dut_closure.dedup();
+        let cone_nets = cone_net_set(dut, *dn, &dut_closure);
+        let fp = output_fp(dut, name, *rn, *dn, &dut_closure, &cone_nets);
+        entries[i] = Some(OutputEntry {
+            ref_net: *rn,
+            dut_net: *dn,
+            proven: newly_proven.contains(name),
+            ref_closure,
+            dut_closure,
+            cone_nets,
+            fp,
+        });
+    }
+    let entries: Vec<OutputEntry> = entries
+        .into_iter()
+        .map(|e| e.expect("every output slot filled"))
+        .collect();
+
+    let proven_count = entries.iter().filter(|e| e.proven).count();
+    let residue: Vec<usize> = (0..outputs.len()).filter(|&i| !entries[i].proven).collect();
+    let ref_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| entries[i].ref_closure.clone())
+        .collect();
+    let dut_cones: Vec<Vec<InstId>> = residue
+        .iter()
+        .map(|&i| entries[i].dut_closure.clone())
+        .collect();
+    let cones = partition_cones(reference, dut, &residue, &ref_cones, &dut_cones);
+
+    // Per-cone verdict cache: key = ordered (output name, cone fp).
+    let keys: Vec<u64> = cones
+        .iter()
+        .map(|cone| {
+            let mut h = Fnv64::new();
+            h.write_usize(cone.outputs.len());
+            for &i in &cone.outputs {
+                h.write_str(&outputs[i].0);
+                h.write_u64(entries[i].fp);
+            }
+            h.finish()
+        })
+        .collect();
+    let misses: Vec<usize> = (0..cones.len())
+        .filter(|&c| !cache.verdicts.contains_key(&keys[c]))
+        .collect();
+    cache.last_cones_simulated = misses.len();
+    cache.last_cones_inherited = cones.len() - misses.len();
+
+    let fresh: Vec<ConeRun> = parallel_map(&misses, opts.workers, |&c| {
+        run_cone(reference, dut, lib, &inputs, &outputs, &cones[c], opts)
+    });
+    for (&c, run) in misses.iter().zip(&fresh) {
+        cache.verdicts.insert(
+            keys[c],
+            CachedConeRun {
+                mismatches: run.mismatches.clone(),
+                cycles_run: run.cycles_run,
+                truncated: run.truncated,
+            },
+        );
+    }
+    let runs: Vec<&CachedConeRun> = keys.iter().map(|k| &cache.verdicts[k]).collect();
+
+    // Assemble exactly as `check_equivalence_with` does.
+    let mut mismatches: Vec<Mismatch> = runs.iter().flat_map(|r| r.mismatches.clone()).collect();
+    mismatches.sort_by(|a, b| (a.cycle, &a.output, a.lane).cmp(&(b.cycle, &b.output, b.lane)));
+    let mut truncated = runs.iter().any(|r| r.truncated);
+    if mismatches.len() > MISMATCH_CAP {
+        mismatches.truncate(MISMATCH_CAP);
+        truncated = true;
+    }
+    let cycles = runs.iter().map(|r| r.cycles_run).min().unwrap_or(0);
+    let num_cones = cones.len();
+
+    // Advance the cache to this DUT.
+    cache.basis = DeltaBasis::of(dut);
+    for (i, entry) in entries.into_iter().enumerate() {
+        cache.outputs.insert(outputs[i].0.clone(), entry);
+    }
+
+    Ok(EquivReport {
+        cycles,
+        outputs_compared: outputs.len(),
+        outputs_proven: proven_count,
+        cones: num_cones,
+        lanes: 64,
+        truncated,
+        mismatches,
+    })
 }
 
 /// The one-vector-per-cycle scalar checker: the pre-word-parallel
@@ -831,6 +1145,76 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_checker_is_bit_identical_and_scopes_the_recheck() {
+        let lib = lib();
+        // 8 independent gates, 2 functionally wrong: with fraig off,
+        // every output is a residue cone of its own.
+        let (a, mut b) = gate_bank(&lib, 8, 2);
+        let opts = EquivOptions {
+            cycles: 24,
+            seed: 17,
+            fraig: false,
+            ..EquivOptions::default()
+        };
+        let mut cache = EquivCache::new();
+        let cold = check_equivalence_with(&a, &b, &lib, &opts).unwrap();
+        let cached = check_equivalence_cached(&a, &b, &lib, &opts, &mut cache).unwrap();
+        assert_eq!(cold.digest(), cached.digest(), "cold cache = uncached");
+        assert_eq!(cache.last_cones_simulated, 8);
+
+        // Equivalent drive swap on one untouched-function gate: only
+        // its cone is re-simulated, everything else inherits.
+        let u5 = b.find_inst("u5").unwrap();
+        b.replace_cell(u5, lib.find_id("INV_X2_L").unwrap(), &lib)
+            .unwrap();
+        let scratch = check_equivalence_with(&a, &b, &lib, &opts).unwrap();
+        let warm = check_equivalence_cached(&a, &b, &lib, &opts, &mut cache).unwrap();
+        assert_eq!(scratch.digest(), warm.digest(), "warm cache = uncached");
+        assert_eq!(cache.last_outputs_inherited, 7);
+        assert_eq!(cache.last_cones_simulated, 1);
+        assert_eq!(cache.last_cones_inherited, 7);
+
+        // A *wrong* swap through the warm cache is still caught, with
+        // the same report a from-scratch run produces.
+        let u6 = b.find_inst("u6").unwrap();
+        b.replace_cell(u6, lib.find_id("BUF_X1_L").unwrap(), &lib)
+            .unwrap();
+        let scratch = check_equivalence_with(&a, &b, &lib, &opts).unwrap();
+        let warm = check_equivalence_cached(&a, &b, &lib, &opts, &mut cache).unwrap();
+        assert!(!warm.is_equivalent());
+        assert_eq!(scratch.digest(), warm.digest());
+        assert!(warm.mismatches.iter().any(|m| m.output == "z6"));
+    }
+
+    #[test]
+    fn cached_checker_inherits_fraig_verdicts() {
+        let lib = lib();
+        let (a, mut b) = gate_bank(&lib, 6, 0);
+        let opts = EquivOptions {
+            cycles: 24,
+            seed: 5,
+            ..EquivOptions::default() // fraig on
+        };
+        let mut cache = EquivCache::new();
+        let r = check_equivalence_cached(&a, &b, &lib, &opts, &mut cache).unwrap();
+        assert_eq!(r.outputs_proven, 6, "identical banks fully proven");
+
+        // Vth-style swap: one output goes stale, is re-proven by the
+        // subset fraig run; the other five inherit their proof without
+        // any fraig or simulation work.
+        let u2 = b.find_inst("u2").unwrap();
+        b.replace_cell(u2, lib.find_id("INV_X1_H").unwrap(), &lib)
+            .unwrap();
+        let scratch = check_equivalence_with(&a, &b, &lib, &opts).unwrap();
+        let warm = check_equivalence_cached(&a, &b, &lib, &opts, &mut cache).unwrap();
+        assert_eq!(scratch.digest(), warm.digest());
+        assert_eq!(warm.outputs_proven, 6);
+        assert_eq!(cache.last_outputs_inherited, 5);
+        assert_eq!(cache.last_cones_simulated, 0);
+        assert_eq!(warm.cycles, 0, "nothing simulated on either path");
     }
 
     #[test]

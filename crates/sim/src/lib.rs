@@ -44,8 +44,8 @@ pub mod vcd;
 pub mod wordsim;
 
 pub use equiv::{
-    check_equivalence, check_equivalence_scalar, check_equivalence_with, EquivOptions, EquivReport,
-    Mismatch,
+    check_equivalence, check_equivalence_cached, check_equivalence_scalar, check_equivalence_with,
+    EquivCache, EquivOptions, EquivReport, Mismatch,
 };
 pub use fraig::{prove_equivalent_outputs, FraigOutcome};
 pub use sim::{Mode, Simulator, Value};
